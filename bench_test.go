@@ -1,0 +1,236 @@
+// Benchmarks regenerating every figure and table of the paper's
+// evaluation (DESIGN.md experiment index). Each benchmark iteration runs
+// one full virtual-clock simulation of the corresponding experiment
+// cell; reported ns/op is the *real* time needed to simulate it, and the
+// custom metrics carry the measured (virtual-time) results that map onto
+// the paper's figures:
+//
+//	latency-ms   mean client-perceived invocation latency
+//	grant-ms     when the contended/predicted grant happened (Fig. 2/3)
+//	msgs/req     wire transfers per request (Sect. 3.5 / E6 / E9)
+//
+// Run with: go test -bench=. -benchmem
+package detmt
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"detmt/internal/harness"
+	"detmt/internal/replica"
+)
+
+func simFor(kind replica.SchedulerKind, clients int) harness.SimOptions {
+	o := harness.DefaultSim()
+	o.Kind = kind
+	o.Clients = clients
+	o.RequestsPerClient = 3
+	if kind == replica.KindPDS {
+		o.DummyInterval = 2 * time.Millisecond
+		o.PDSWindow = clients
+		if o.PDSWindow > 8 {
+			o.PDSWindow = 8
+		}
+	}
+	return o
+}
+
+func reportSim(b *testing.B, r *harness.SimResult) {
+	b.ReportMetric(float64(r.Latency.Mean())/1e6, "latency-ms")
+	b.ReportMetric(float64(r.Transfers)/float64(r.Requests), "msgs/req")
+}
+
+// BenchmarkFig1 regenerates the Fig. 1 cells: every algorithm at several
+// client counts; latency-ms is the figure's y-axis.
+func BenchmarkFig1(b *testing.B) {
+	for _, kind := range replica.AllKinds() {
+		for _, clients := range []int{1, 8, 32} {
+			b.Run(fmt.Sprintf("%s/clients=%d", kind, clients), func(b *testing.B) {
+				var last *harness.SimResult
+				for i := 0; i < b.N; i++ {
+					last = harness.RunSim(simFor(kind, clients))
+				}
+				reportSim(b, last)
+			})
+		}
+	}
+}
+
+// BenchmarkFig2 measures the last-lock handover: grant-ms is when the
+// second request obtained the contended mutex (11ms plain, 1ms with LLA).
+func BenchmarkFig2(b *testing.B) {
+	for _, variant := range []struct {
+		name string
+		lla  bool
+	}{{"MAT", false}, {"MAT+LLA", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			var grant time.Duration
+			for i := 0; i < b.N; i++ {
+				grant = harness.Fig2GrantTime(variant.lla)
+			}
+			b.ReportMetric(float64(grant)/1e6, "grant-ms")
+		})
+	}
+}
+
+// BenchmarkFig3 measures lock prediction on disjoint mutexes: grant-ms
+// is when the second request obtained its (non-conflicting) mutex
+// (3ms with last-lock analysis only, 0ms with PMAT).
+func BenchmarkFig3(b *testing.B) {
+	for _, variant := range []struct {
+		name string
+		pmat bool
+	}{{"MAT+LLA", false}, {"PMAT", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			var grant time.Duration
+			for i := 0; i < b.N; i++ {
+				grant = harness.Fig3GrantTime(variant.pmat)
+			}
+			b.ReportMetric(float64(grant)/1e6, "grant-ms")
+		})
+	}
+}
+
+// BenchmarkFig4 measures the static analysis + transformation itself.
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if harness.Fig4().Text == "" {
+			b.Fatal("empty analysis output")
+		}
+	}
+}
+
+// BenchmarkComparison regenerates the Sect. 3.5 comparison cells.
+func BenchmarkComparison(b *testing.B) {
+	for _, kind := range replica.AllKinds() {
+		b.Run(string(kind), func(b *testing.B) {
+			var last *harness.SimResult
+			for i := 0; i < b.N; i++ {
+				last = harness.RunSim(simFor(kind, 4))
+			}
+			reportSim(b, last)
+		})
+	}
+}
+
+// BenchmarkWanSweep regenerates the E6 cells: LSA vs MAT across one-way
+// network latencies.
+func BenchmarkWanSweep(b *testing.B) {
+	for _, kind := range []replica.SchedulerKind{replica.KindLSA, replica.KindMAT} {
+		for _, lat := range []time.Duration{500 * time.Microsecond, 10 * time.Millisecond} {
+			b.Run(fmt.Sprintf("%s/latency=%v", kind, lat), func(b *testing.B) {
+				var last *harness.SimResult
+				for i := 0; i < b.N; i++ {
+					o := simFor(kind, 4)
+					o.NetLatency = lat
+					o.RequestsPerClient = 2
+					last = harness.RunSim(o)
+				}
+				reportSim(b, last)
+			})
+		}
+	}
+}
+
+// BenchmarkPredictionOverhead regenerates the E7 ablation cells.
+func BenchmarkPredictionOverhead(b *testing.B) {
+	for _, kind := range []replica.SchedulerKind{replica.KindMAT, replica.KindMATLLA, replica.KindPMAT} {
+		for _, mutexes := range []int{1, 100} {
+			b.Run(fmt.Sprintf("%s/mutexes=%d", kind, mutexes), func(b *testing.B) {
+				var last *harness.SimResult
+				for i := 0; i < b.N; i++ {
+					o := simFor(kind, 8)
+					o.RequestsPerClient = 2
+					o.Workload.Mutexes = mutexes
+					o.Workload.PNested = 0
+					last = harness.RunSim(o)
+				}
+				reportSim(b, last)
+				b.ReportMetric(float64(last.BookkeepingEvents)/float64(last.Requests), "bookkeeping/req")
+			})
+		}
+	}
+}
+
+// BenchmarkPDSDummy regenerates the E9 cells: the published PDS with its
+// dummy pump vs the relaxed pool.
+func BenchmarkPDSDummy(b *testing.B) {
+	for _, variant := range []struct {
+		name    string
+		relaxed bool
+	}{{"strict+dummies", false}, {"relaxed", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			var last *harness.SimResult
+			for i := 0; i < b.N; i++ {
+				o := simFor(replica.KindPDS, 2)
+				o.RequestsPerClient = 2
+				if variant.relaxed {
+					o.DummyInterval = 0
+					o.PDSRelaxed = true
+				}
+				last = harness.RunSim(o)
+			}
+			reportSim(b, last)
+		})
+	}
+}
+
+// BenchmarkReplay regenerates the E8 passive-replication replay.
+func BenchmarkReplay(b *testing.B) {
+	for _, kind := range []replica.SchedulerKind{replica.KindSAT, replica.KindMAT} {
+		b.Run(string(kind), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := harness.RunReplay(kind, 2, 2, 5)
+				if !r.StateMatches || !r.ScheduleMatches {
+					b.Fatal("replay diverged")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDeterminism re-runs the E10 spot check.
+func BenchmarkDeterminism(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a := harness.RunSim(simFor(replica.KindPMAT, 4))
+		c := harness.RunSim(simFor(replica.KindPMAT, 4))
+		for j := range a.Hashes {
+			if a.Hashes[j] != c.Hashes[j] {
+				b.Fatal("nondeterministic schedule")
+			}
+		}
+	}
+}
+
+// BenchmarkAdvisor measures a full advisory pass (the Sect. 5 request
+// analyser probing every symmetric strategy).
+func BenchmarkAdvisor(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := harness.DefaultSim()
+		o.Clients = 4
+		o.RequestsPerClient = 2
+		adv := harness.Advise(o, []replica.SchedulerKind{
+			replica.KindSEQ, replica.KindSAT, replica.KindMAT, replica.KindPMAT,
+		})
+		if adv.Recommended == "" {
+			b.Fatal("no recommendation")
+		}
+	}
+}
+
+// BenchmarkReplicaScaling regenerates the E12 cells.
+func BenchmarkReplicaScaling(b *testing.B) {
+	for _, n := range []int{3, 7} {
+		b.Run(fmt.Sprintf("replicas=%d", n), func(b *testing.B) {
+			var last *harness.SimResult
+			for i := 0; i < b.N; i++ {
+				o := simFor(replica.KindMAT, 4)
+				o.Replicas = n
+				o.RequestsPerClient = 2
+				last = harness.RunSim(o)
+			}
+			reportSim(b, last)
+		})
+	}
+}

@@ -1,0 +1,102 @@
+// Command detmt-analyze runs the paper's static lock analysis (Sect. 4)
+// on a mini-language object and prints the transformed source — sync
+// blocks expanded into scheduler.lock/unlock calls with the injected
+// lockinfo / ignore / loopdone announcements — plus the per-block
+// classification and the enumerated execution paths. With no file
+// argument it analyses the paper's own Fig. 4 example.
+//
+// Usage:
+//
+//	detmt-analyze [object.dmt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"detmt/internal/analysis"
+	"detmt/internal/lang"
+)
+
+const paperExample = `// The example of the paper's Fig. 4.
+object Paper {
+    field myo;
+
+    method foo(o) {
+        if (o == myo) {
+            sync (o) {
+                compute(1ms);
+            }
+        } else {
+            sync (myo) {
+                compute(1ms);
+            }
+        }
+    }
+}
+`
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: detmt-analyze [object.dmt]\n\nWithout arguments, the paper's Fig. 4 example is analysed.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	src := paperExample
+	name := "(built-in Fig. 4 example)"
+	if flag.NArg() > 0 {
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "detmt-analyze: %v\n", err)
+			os.Exit(1)
+		}
+		src = string(data)
+		name = flag.Arg(0)
+	}
+
+	obj, err := lang.Parse(src)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "detmt-analyze: %v\n", err)
+		os.Exit(1)
+	}
+	res, err := analysis.Analyze(obj)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "detmt-analyze: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("== input: %s ==\n\n%s\n", name, lang.Print(obj))
+	fmt.Printf("== transformed (scheduler calls injected) ==\n\n%s\n", lang.Print(res.Object))
+	fmt.Println("== classification ==")
+	for _, rep := range res.Reports {
+		for _, s := range rep.Syncs {
+			kind := "spontaneous (mutex unknown until the lock happens)"
+			if s.Announceable {
+				kind = "announceable " + s.AnnouncedAt
+			}
+			fmt.Printf("  %-7s %s.%s  param %-12q %s, loop=%v\n", s.SyncID, obj.Name, s.Method, s.Param, kind, s.Loop)
+		}
+	}
+	fmt.Println("\n== execution paths (syncid sequences) ==")
+	for _, rep := range res.Reports {
+		fmt.Printf("  %s: ", rep.Method)
+		for i, p := range rep.Paths {
+			if i > 0 {
+				fmt.Print(" | ")
+			}
+			if len(p) == 0 {
+				fmt.Print("(no locks)")
+			} else {
+				fmt.Print(p)
+			}
+		}
+		if rep.PathsTruncated {
+			fmt.Print(" ... (truncated)")
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n== interference analysis (future-work data flow) ==")
+	fmt.Print(res.InterferenceMatrix())
+}

@@ -1,0 +1,98 @@
+// Command detmt-bench regenerates the figures and tables of the paper's
+// evaluation (see DESIGN.md's experiment index). Each experiment runs on
+// deterministic virtual-clock simulations and prints its series as text.
+//
+// Usage:
+//
+//	detmt-bench -experiment fig1 -clients 1,2,4,8,16,32,48 -requests 4
+//	detmt-bench -experiment all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"detmt/internal/harness"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all",
+		"which experiment to run: fig1, fig1tput, fig2, fig3, fig4, table1, wan, overhead, pds, replay, determinism, advisor, scaling, scenarios, or all")
+	clients := flag.String("clients", "1,2,4,8,16,32,48", "client counts for the fig1 sweep")
+	requests := flag.Int("requests", 4, "requests per client")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	flag.Parse()
+
+	opts := harness.DefaultFig1Options()
+	opts.Sim.RequestsPerClient = *requests
+	opts.Sim.Seed = *seed
+	if cs, err := parseInts(*clients); err != nil {
+		fmt.Fprintf(os.Stderr, "detmt-bench: bad -clients: %v\n", err)
+		os.Exit(2)
+	} else {
+		opts.Clients = cs
+	}
+
+	var results []harness.Result
+	switch *experiment {
+	case "fig1":
+		results = []harness.Result{harness.Fig1(opts)}
+	case "fig1tput":
+		results = []harness.Result{harness.Fig1Throughput(opts)}
+	case "fig2":
+		results = []harness.Result{harness.Fig2()}
+	case "fig3":
+		results = []harness.Result{harness.Fig3()}
+	case "fig4":
+		results = []harness.Result{harness.Fig4()}
+	case "table1":
+		results = []harness.Result{harness.Comparison()}
+	case "wan":
+		results = []harness.Result{harness.WanSweep()}
+	case "overhead":
+		results = []harness.Result{harness.PredictionOverhead()}
+	case "pds":
+		results = []harness.Result{harness.PDSDummies()}
+	case "replay":
+		results = []harness.Result{harness.Replay()}
+	case "determinism":
+		results = []harness.Result{harness.Determinism()}
+	case "advisor":
+		results = []harness.Result{harness.Advisor()}
+	case "scaling":
+		results = []harness.Result{harness.ReplicaScaling()}
+	case "scenarios":
+		results = []harness.Result{harness.Scenarios()}
+	case "all":
+		results = harness.All()
+	default:
+		fmt.Fprintf(os.Stderr, "detmt-bench: unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+
+	for _, r := range results {
+		fmt.Printf("==== %s: %s ====\n\n%s\n", r.ID, r.Title, r.Text)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("%q is not a positive integer", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

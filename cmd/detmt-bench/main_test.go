@@ -1,0 +1,32 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseInts(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+		err  bool
+	}{
+		{"1,2,4", []int{1, 2, 4}, false},
+		{" 8 , 16 ", []int{8, 16}, false},
+		{"1,,2", []int{1, 2}, false},
+		{"", nil, true},
+		{"a", nil, true},
+		{"0", nil, true},
+		{"-3", nil, true},
+	}
+	for _, c := range cases {
+		got, err := parseInts(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("parseInts(%q) error = %v, want err=%v", c.in, err, c.err)
+			continue
+		}
+		if !c.err && !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseInts(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

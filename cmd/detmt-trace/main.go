@@ -1,0 +1,122 @@
+// Command detmt-trace inspects scheduler traces exported by
+// `detmt-sim -trace file.json`.
+//
+// With one file it prints summary statistics, the decision log (-log),
+// and/or the thread timeline (-gantt). With two files it compares them:
+// identical consistency hashes certify that both runs drove every
+// monitor through the same critical-section order; otherwise the first
+// diverging decision is printed.
+//
+// Usage:
+//
+//	detmt-trace run.json                 # summary
+//	detmt-trace -gantt run.json          # thread timeline
+//	detmt-trace -log run.json            # full decision log
+//	detmt-trace a.json b.json            # replica/rerun comparison
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"detmt/internal/trace"
+)
+
+func main() {
+	gantt := flag.Bool("gantt", false, "render the thread timeline")
+	htmlOut := flag.String("html", "", "write an SVG timeline page to this file")
+	logOut := flag.Bool("log", false, "print the full event log")
+	width := flag.Int("width", 100, "timeline width in columns")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: detmt-trace [flags] trace.json [other.json]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 1 || flag.NArg() > 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	tr := load(flag.Arg(0))
+	if flag.NArg() == 2 {
+		other := load(flag.Arg(1))
+		compare(tr, other)
+		return
+	}
+
+	summarise(flag.Arg(0), tr)
+	if *logOut {
+		fmt.Print(tr.String())
+	}
+	if *gantt {
+		fmt.Print(trace.Gantt{Width: *width}.Render(tr))
+	}
+	if *htmlOut != "" {
+		f, err := os.Create(*htmlOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "detmt-trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := tr.WriteHTML(f, flag.Arg(0)); err != nil {
+			fmt.Fprintf(os.Stderr, "detmt-trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "detmt-trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("timeline written to %s\n", *htmlOut)
+	}
+}
+
+func load(path string) *trace.Trace {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "detmt-trace: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	tr, err := trace.ReadJSON(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "detmt-trace: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	return tr
+}
+
+func summarise(path string, tr *trace.Trace) {
+	events := tr.Events()
+	byKind := map[string]int{}
+	threads := map[uint64]bool{}
+	for _, e := range events {
+		byKind[e.Kind.String()]++
+		threads[uint64(e.Thread)] = true
+	}
+	fmt.Printf("%s: %d events, %d threads\n", path, len(events), len(threads))
+	if len(events) > 0 {
+		fmt.Printf("span: %v .. %v\n", events[0].At, events[len(events)-1].At)
+	}
+	fmt.Printf("consistency hash: %016x\n", tr.ConsistencyHash())
+	for _, k := range []string{"admit", "start", "lockacq", "lockrel", "waitbegin", "waitend", "notify", "nestedbegin", "exit", "predicted", "promote", "barrier"} {
+		if n := byKind[k]; n > 0 {
+			fmt.Printf("  %-12s %d\n", k, n)
+		}
+	}
+}
+
+func compare(a, b *trace.Trace) {
+	ha, hb := a.ConsistencyHash(), b.ConsistencyHash()
+	if ha == hb {
+		fmt.Printf("traces agree: consistency hash %016x\n", ha)
+		fmt.Println("(every monitor saw the same critical-section order;")
+		fmt.Println(" the runs lead to identical replicated state)")
+		return
+	}
+	fmt.Printf("traces DIVERGE: %016x vs %016x\n", ha, hb)
+	if idx, ea, eb, ok := trace.FirstDivergence(a, b); ok {
+		fmt.Printf("first differing decision (global order) at index %d:\n", idx)
+		fmt.Printf("  a: %v\n  b: %v\n", ea, eb)
+	}
+	os.Exit(1)
+}

@@ -1,0 +1,127 @@
+// Bank: fine-grained locking and the value of lock prediction.
+//
+// The bank object guards every account with its own monitor — the
+// fine-grained locking pattern the paper says makes pessimistic
+// schedulers "very restrictive" (Sect. 4). Transfers lock two accounts
+// in ascending order; audits sweep all accounts in a loop.
+//
+// The example runs the same deposit workload under plain MAT and under
+// PMAT: MAT serialises every lock acquisition behind its single primary
+// thread, while PMAT's static lock prediction proves that deposits to
+// different accounts can never conflict and lets them run in parallel.
+//
+// Run with: go run ./examples/bank
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"detmt"
+)
+
+const bankSource = `
+object Bank {
+    monitor accounts[16];
+    monitor totalLock;
+    field balance0;
+    field total;
+
+    // deposit locks exactly one account monitor: the analysis announces
+    // accounts[acct] at method entry (immutable array + parameter), so
+    // PMAT knows two deposits to different accounts never conflict.
+    method deposit(acct, amount) {
+        sync (accounts[acct]) {
+            compute(2ms);
+            total = total + amount;
+        }
+    }
+
+    // transfer locks two accounts in ascending index order (deadlock
+    // discipline) and both monitors are announced up front.
+    method transfer(from, to, amount) {
+        var lo = from;
+        var hi = to;
+        if (to < from) {
+            lo = to;
+            hi = from;
+        }
+        sync (accounts[lo]) {
+            sync (accounts[hi]) {
+                compute(1ms);
+            }
+        }
+    }
+
+    // audit sweeps every account: a variable-mutex loop, so the thread
+    // is only "predicted" once the loop is done (paper Sect. 4.4).
+    method audit() {
+        var sum = 0;
+        repeat i : 16 {
+            sync (accounts[i]) {
+                sum = sum + 1;
+            }
+        }
+        return sum;
+    }
+}
+`
+
+func run(scheduler detmt.Scheduler) (time.Duration, bool) {
+	cluster, err := detmt.NewCluster(detmt.Options{
+		Source:    bankSource,
+		Scheduler: scheduler,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var worst time.Duration
+	cluster.Run(func(s *detmt.Session) {
+		join := s.Join()
+		// Eight tellers deposit into eight distinct accounts: disjoint
+		// lock sets, fully parallelisable — if the scheduler can tell.
+		for teller := 0; teller < 8; teller++ {
+			client := s.NewClient(teller + 1)
+			acct := int64(teller)
+			join.Go(func() {
+				for k := 0; k < 3; k++ {
+					_, lat, err := client.Invoke("deposit", acct, int64(100))
+					if err != nil {
+						log.Fatalf("deposit: %v", err)
+					}
+					if lat > worst {
+						worst = lat
+					}
+				}
+			})
+		}
+		join.Wait()
+
+		// One transfer and one audit exercise the multi-lock and
+		// loop-classified paths.
+		ops := s.NewClient(50)
+		if _, _, err := ops.Invoke("transfer", int64(3), int64(1), int64(25)); err != nil {
+			log.Fatalf("transfer: %v", err)
+		}
+		if v, _, err := ops.Invoke("audit"); err != nil || v != int64(16) {
+			log.Fatalf("audit: %v (%v)", v, err)
+		}
+	})
+	if got := cluster.State(1)["total"]; got != int64(2400) {
+		log.Fatalf("%s: total %v, want 2400", scheduler, got)
+	}
+	return worst, cluster.Converged()
+}
+
+func main() {
+	fmt.Println("8 tellers x 3 deposits into disjoint accounts (2ms critical sections)")
+	for _, sched := range []detmt.Scheduler{detmt.MAT, detmt.MATLLA, detmt.PMAT} {
+		worst, converged := run(sched)
+		fmt.Printf("  %-8s worst deposit latency %8v   replicas converged: %v\n", sched, worst, converged)
+	}
+	fmt.Println()
+	fmt.Println("MAT blocks every deposit behind the primary thread regardless of the")
+	fmt.Println("account; PMAT's lock prediction proves the accounts disjoint and lets")
+	fmt.Println("the critical sections overlap — the paper's Fig. 3 effect at scale.")
+}

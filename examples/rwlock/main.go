@@ -1,0 +1,131 @@
+// Readers-writer coordination built from monitors — a heavier
+// condition-variable workout than the bounded queue: state-dependent
+// blocking in two directions, notifyall storms, and many concurrent
+// request threads, all replicated deterministically.
+//
+// The object implements a classic readers-writer protocol: any number of
+// concurrent readers OR one writer. Because the whole protocol is
+// ordinary object state guarded by one monitor, the deterministic
+// scheduler replicates it without any special support — every replica's
+// readers and writers interleave identically.
+//
+// Run with: go run ./examples/rwlock
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"detmt"
+)
+
+const rwSource = `
+object RWRegister {
+    monitor gate;
+    field readers;
+    field writing;
+    field value;
+    field readsSeen;
+    field maxConcurrentReaders;
+
+    method read() {
+        var got = 0;
+        sync (gate) {
+            while (writing == 1) {
+                wait(gate);
+            }
+            readers = readers + 1;
+            if (readers > maxConcurrentReaders) {
+                maxConcurrentReaders = readers;
+            }
+        }
+        compute(2ms);   // the read itself, outside the gate
+        sync (gate) {
+            got = value;
+            readsSeen = readsSeen + 1;
+            readers = readers - 1;
+            if (readers == 0) {
+                notifyall(gate);
+            }
+        }
+        return got;
+    }
+
+    method write(v) {
+        sync (gate) {
+            while (writing == 1 || readers > 0) {
+                wait(gate);
+            }
+            writing = 1;
+        }
+        compute(3ms);   // the write itself
+        sync (gate) {
+            value = v;
+            writing = 0;
+            notifyall(gate);
+        }
+    }
+}
+`
+
+func run(scheduler detmt.Scheduler) *detmt.Cluster {
+	cluster, err := detmt.NewCluster(detmt.Options{
+		Source:    rwSource,
+		Scheduler: scheduler,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cluster.Run(func(s *detmt.Session) {
+		join := s.Join()
+		// A writer kicks things off, then five readers pile in while a
+		// second writer queues behind them.
+		w1 := s.NewClient(1)
+		join.Go(func() {
+			if _, _, err := w1.Invoke("write", int64(7)); err != nil {
+				log.Fatalf("write: %v", err)
+			}
+		})
+		for r := 0; r < 5; r++ {
+			client := s.NewClient(10 + r)
+			join.Go(func() {
+				if _, _, err := client.Invoke("read"); err != nil {
+					log.Fatalf("read: %v", err)
+				}
+			})
+		}
+		w2 := s.NewClient(2)
+		join.Go(func() {
+			if _, _, err := w2.Invoke("write", int64(9)); err != nil {
+				log.Fatalf("write: %v", err)
+			}
+		})
+		join.Wait()
+	})
+	if !cluster.Converged() {
+		log.Fatalf("%s: replicas diverged!", scheduler)
+	}
+	st := cluster.State(1)
+	if st["readsSeen"] != int64(5) || st["writing"] != int64(0) || st["readers"] != int64(0) {
+		log.Fatalf("%s: protocol state broken: %v", scheduler, st)
+	}
+	return cluster
+}
+
+func main() {
+	fmt.Println("one writer, five readers, one more writer — per scheduler:")
+	for _, scheduler := range []detmt.Scheduler{detmt.SAT, detmt.MAT, detmt.LSA} {
+		cluster := run(scheduler)
+		st := cluster.State(1)
+		fmt.Printf("  %-4s value=%v reads=%v maxConcurrentReaders=%v converged=%v\n",
+			scheduler, st["value"], st["readsSeen"], st["maxConcurrentReaders"], cluster.Converged())
+	}
+	fmt.Println()
+	fmt.Println("Every scheduler runs the protocol correctly and keeps the replicas")
+	fmt.Println("identical. The symmetric schedulers serialise the gate (one reader at")
+	fmt.Println("a time acquires it while the previous one still owns the execution")
+	fmt.Println("slot), so maxConcurrentReaders stays 1; the unrestricted LSA leader")
+	fmt.Println("lets the readers truly overlap — and its followers still replay the")
+	fmt.Println("exact same schedule.")
+}

@@ -1,0 +1,3 @@
+module detmt
+
+go 1.22

@@ -1,0 +1,398 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"detmt/internal/ids"
+	"detmt/internal/lang"
+	"detmt/internal/lockpred"
+)
+
+// paperFoo is the example of the paper's Fig. 4, ported to the mini
+// language: one branch synchronises on the method parameter (announceable
+// at method entry), the other on a mutable instance field (spontaneous).
+const paperFoo = `
+object Paper {
+    field myo;
+
+    method foo(o) {
+        if (o == myo) {
+            sync (o) {
+                compute(1ms);
+            }
+        } else {
+            sync (myo) {
+                compute(1ms);
+            }
+        }
+    }
+}
+`
+
+func TestFig4Transformation(t *testing.T) {
+	res := MustAnalyze(lang.MustParse(paperFoo))
+	got := lang.PrintMethod(res.Object.Methods[0], 0)
+	want := `method foo(o) {
+    scheduler.lockinfo(#1, o);
+    if (o == myo) {
+        scheduler.ignore(#2);
+        scheduler.lock(#1, o);
+        compute(1ms);
+        scheduler.unlock(#1, o);
+    } else {
+        scheduler.ignore(#1);
+        scheduler.lock(#2, myo);
+        compute(1ms);
+        scheduler.unlock(#2, myo);
+    }
+}
+`
+	if got != want {
+		t.Fatalf("Fig. 4 transformation mismatch.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestFig4Classification(t *testing.T) {
+	res := MustAnalyze(lang.MustParse(paperFoo))
+	rep := res.Report("foo")
+	if rep == nil || len(rep.Syncs) != 2 {
+		t.Fatalf("report %+v", rep)
+	}
+	s1, s2 := rep.Syncs[0], rep.Syncs[1]
+	if !s1.Announceable || s1.AnnouncedAt != "method entry" || s1.Param != "o" {
+		t.Errorf("sync1 %+v, want announceable at method entry", s1)
+	}
+	if s2.Announceable {
+		t.Errorf("sync2 %+v, want spontaneous (instance field)", s2)
+	}
+	// Static info: entry 1 announceable, entry 2 spontaneous.
+	mi := res.Static.Method(res.Object.Methods[0].ID)
+	if mi == nil || len(mi.Entries) != 2 {
+		t.Fatalf("static info %+v", mi)
+	}
+	if mi.Entries[0].Spontaneous || !mi.Entries[1].Spontaneous {
+		t.Errorf("entries %+v", mi.Entries)
+	}
+	// Two paths, each with one syncid.
+	if len(rep.Paths) != 2 {
+		t.Fatalf("paths %v", rep.Paths)
+	}
+	seen := map[ids.SyncID]bool{}
+	for _, p := range rep.Paths {
+		if len(p) != 1 {
+			t.Fatalf("path %v, want single sync", p)
+		}
+		seen[p[0]] = true
+	}
+	if !seen[1] || !seen[2] {
+		t.Fatalf("paths %v must cover both branches", rep.Paths)
+	}
+}
+
+func TestLocalAnnouncedAfterAssignment(t *testing.T) {
+	src := `
+object X {
+    monitor cells[8];
+    field state;
+
+    method m(i) {
+        compute(1ms);
+        var c = cells[i];
+        sync (c) {
+            state = i;
+        }
+    }
+}
+`
+	res := MustAnalyze(lang.MustParse(src))
+	printed := lang.PrintMethod(res.Object.Methods[0], 0)
+	wantOrder := []string{
+		"compute(1ms);",
+		"var c = cells[i];",
+		"scheduler.lockinfo(#1, c);",
+		"scheduler.lock(#1, c);",
+	}
+	last := -1
+	for _, w := range wantOrder {
+		idx := strings.Index(printed, w)
+		if idx < 0 || idx < last {
+			t.Fatalf("expected %q in order; got:\n%s", w, printed)
+		}
+		last = idx
+	}
+	rep := res.Report("m")
+	if !rep.Syncs[0].Announceable || !strings.Contains(rep.Syncs[0].AnnouncedAt, `"c"`) {
+		t.Fatalf("sync %+v", rep.Syncs[0])
+	}
+}
+
+func TestMonitorFieldAnnouncedAtEntry(t *testing.T) {
+	src := `
+object X {
+    monitor l;
+    field n;
+    method inc() {
+        sync (l) { n = n + 1; }
+    }
+}
+`
+	res := MustAnalyze(lang.MustParse(src))
+	printed := lang.PrintMethod(res.Object.Methods[0], 0)
+	if !strings.Contains(printed, "scheduler.lockinfo(#1, l);") {
+		t.Fatalf("immutable monitor field not announced:\n%s", printed)
+	}
+}
+
+func TestReassignedLocalIsSpontaneous(t *testing.T) {
+	src := `
+object X {
+    monitor a;
+    monitor b;
+    method m(p) {
+        var c = a;
+        if (p == 1) {
+            c = b;
+        }
+        sync (c) { compute(1ms); }
+    }
+}
+`
+	res := MustAnalyze(lang.MustParse(src))
+	rep := res.Report("m")
+	if rep.Syncs[0].Announceable {
+		t.Fatal("conditionally reassigned local must be spontaneous")
+	}
+	if strings.Contains(lang.PrintMethod(res.Object.Methods[0], 0), "lockinfo") {
+		t.Fatal("no lockinfo expected for spontaneous parameter")
+	}
+}
+
+func TestFixedLoopClassification(t *testing.T) {
+	src := `
+object X {
+    monitor cells[4];
+    field s;
+    method m(i, n) {
+        var c = cells[i];
+        repeat k : n {
+            sync (c) { s = k; }
+        }
+    }
+}
+`
+	res := MustAnalyze(lang.MustParse(src))
+	rep := res.Report("m")
+	if rep.Syncs[0].Loop != lockpred.LoopFixed {
+		t.Fatalf("loop kind %v, want fixed (parameter assigned before the loop)", rep.Syncs[0].Loop)
+	}
+	if !rep.Syncs[0].Announceable {
+		t.Fatal("fixed-loop parameter should be announceable")
+	}
+	printed := lang.PrintMethod(res.Object.Methods[0], 0)
+	if !strings.Contains(printed, "scheduler.loopdone(#1);") {
+		t.Fatalf("missing loopdone after the loop:\n%s", printed)
+	}
+	// The loopdone must come after the repeat body.
+	if strings.Index(printed, "loopdone") < strings.Index(printed, "repeat") {
+		t.Fatalf("loopdone before the loop:\n%s", printed)
+	}
+}
+
+func TestVariableLoopClassification(t *testing.T) {
+	src := `
+object X {
+    monitor cells[4];
+    field s;
+    method m(n) {
+        repeat k : n {
+            sync (cells[k]) { s = k; }
+        }
+    }
+}
+`
+	res := MustAnalyze(lang.MustParse(src))
+	rep := res.Report("m")
+	if rep.Syncs[0].Loop != lockpred.LoopVariable {
+		t.Fatalf("loop kind %v, want variable (index changes per iteration)", rep.Syncs[0].Loop)
+	}
+	if rep.Syncs[0].Announceable {
+		t.Fatal("variable-loop sync must not be announceable")
+	}
+	mi := res.Static.Method(res.Object.Methods[0].ID)
+	if mi.Entries[0].Loop != lockpred.LoopVariable {
+		t.Fatalf("static entry %+v", mi.Entries[0])
+	}
+}
+
+func TestNoIgnoreInsideLoops(t *testing.T) {
+	src := `
+object X {
+    monitor a;
+    monitor b;
+    field s;
+    method m(n, p) {
+        repeat k : n {
+            if (p == k) {
+                sync (a) { s = 1; }
+            } else {
+                sync (b) { s = 2; }
+            }
+        }
+    }
+}
+`
+	res := MustAnalyze(lang.MustParse(src))
+	printed := lang.PrintMethod(res.Object.Methods[0], 0)
+	if strings.Contains(printed, "ignore") {
+		t.Fatalf("ignore injected inside a loop would complete entries prematurely:\n%s", printed)
+	}
+	if n := strings.Count(printed, "loopdone"); n != 2 {
+		t.Fatalf("want 2 loopdone calls (one per sync), got %d:\n%s", n, printed)
+	}
+}
+
+func TestIgnoreWithSyncOnlyInThenBranch(t *testing.T) {
+	src := `
+object X {
+    monitor a;
+    field s;
+    method m(p) {
+        if (p == 1) {
+            sync (a) { s = 1; }
+        }
+        compute(1ms);
+    }
+}
+`
+	res := MustAnalyze(lang.MustParse(src))
+	printed := lang.PrintMethod(res.Object.Methods[0], 0)
+	// An else branch must be created to carry the ignore.
+	if !strings.Contains(printed, "else {") || !strings.Contains(printed, "scheduler.ignore(#1);") {
+		t.Fatalf("missing synthesised else with ignore:\n%s", printed)
+	}
+}
+
+func TestNestedIfIgnores(t *testing.T) {
+	src := `
+object X {
+    monitor a;
+    monitor b;
+    monitor c;
+    field s;
+    method m(p, q) {
+        if (p == 1) {
+            if (q == 1) {
+                sync (a) { s = 1; }
+            } else {
+                sync (b) { s = 2; }
+            }
+        } else {
+            sync (c) { s = 3; }
+        }
+    }
+}
+`
+	res := MustAnalyze(lang.MustParse(src))
+	rep := res.Report("m")
+	if len(rep.Paths) != 3 {
+		t.Fatalf("paths %v, want 3", rep.Paths)
+	}
+	printed := lang.PrintMethod(res.Object.Methods[0], 0)
+	// The else branch of the outer if must ignore both inner syncids.
+	outerElse := printed[strings.LastIndex(printed, "} else {"):]
+	if !strings.Contains(outerElse, "ignore(#1)") || !strings.Contains(outerElse, "ignore(#2)") {
+		t.Fatalf("outer else must ignore both then-side syncids:\n%s", printed)
+	}
+}
+
+func TestHelperWithSyncRejected(t *testing.T) {
+	src := `
+object X {
+    monitor l;
+    field s;
+    method m() { helper(); }
+    method helper() { sync (l) { s = 1; } }
+}
+`
+	if _, err := Analyze(lang.MustParse(src)); err == nil || !strings.Contains(err.Error(), "helper") {
+		t.Fatalf("want helper-synchronisation error, got %v", err)
+	}
+}
+
+func TestRecursionRejected(t *testing.T) {
+	src := `
+object X {
+    method a() { b(); }
+    method b() { a(); }
+}
+`
+	if _, err := Analyze(lang.MustParse(src)); err == nil || !strings.Contains(err.Error(), "recursion") {
+		t.Fatalf("want recursion error, got %v", err)
+	}
+}
+
+func TestUnknownCalleeRejected(t *testing.T) {
+	src := `object X { method a() { nosuch(); } }`
+	if _, err := Analyze(lang.MustParse(src)); err == nil {
+		t.Fatal("want unknown-method error")
+	}
+}
+
+func TestCallResultSpontaneous(t *testing.T) {
+	src := `
+object X {
+    monitor cells[4];
+    field s;
+    method pickIdx() { return 2; }
+    method m() {
+        sync (cells[pickIdx()]) { s = 1; }
+    }
+}
+`
+	res := MustAnalyze(lang.MustParse(src))
+	rep := res.Report("m")
+	if rep.Syncs[0].Announceable {
+		t.Fatal("call-result parameter must be spontaneous")
+	}
+}
+
+func TestInputObjectNotMutated(t *testing.T) {
+	obj := lang.MustParse(paperFoo)
+	before := lang.Print(obj)
+	MustAnalyze(obj)
+	if lang.Print(obj) != before {
+		t.Fatal("Analyze mutated its input")
+	}
+}
+
+func TestSyncIDsGloballyUniqueAcrossMethods(t *testing.T) {
+	src := `
+object X {
+    monitor a;
+    field s;
+    method m1() { sync (a) { s = 1; } }
+    method m2() { sync (a) { s = 2; } }
+}
+`
+	res := MustAnalyze(lang.MustParse(src))
+	id1 := res.Report("m1").Syncs[0].SyncID
+	id2 := res.Report("m2").Syncs[0].SyncID
+	if id1 == id2 {
+		t.Fatalf("syncids collide across methods: %v", id1)
+	}
+}
+
+func TestPathTruncation(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("object X {\n monitor a;\n field s;\n method m(p) {\n")
+	for i := 0; i < 8; i++ { // 2^8 = 256 paths > MaxPaths
+		b.WriteString("if (p == 1) { sync (a) { s = 1; } } else { compute(1ms); }\n")
+	}
+	b.WriteString("}\n}\n")
+	res := MustAnalyze(lang.MustParse(b.String()))
+	rep := res.Report("m")
+	if !rep.PathsTruncated || len(rep.Paths) > MaxPaths {
+		t.Fatalf("truncation broken: %d paths, truncated=%v", len(rep.Paths), rep.PathsTruncated)
+	}
+}

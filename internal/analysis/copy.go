@@ -1,0 +1,111 @@
+package analysis
+
+import "detmt/internal/lang"
+
+// copyObject deep-copies an object AST so the transformation never
+// mutates the caller's parse tree.
+func copyObject(o *lang.Object) *lang.Object {
+	out := &lang.Object{Name: o.Name}
+	for _, f := range o.Fields {
+		ff := *f
+		out.Fields = append(out.Fields, &ff)
+	}
+	for _, m := range o.Methods {
+		out.Methods = append(out.Methods, copyMethod(m))
+	}
+	return out
+}
+
+func copyMethod(m *lang.Method) *lang.Method {
+	return &lang.Method{
+		ID:     m.ID,
+		Name:   m.Name,
+		Params: append([]string(nil), m.Params...),
+		Body:   copyBlock(m.Body),
+	}
+}
+
+func copyBlock(b *lang.Block) *lang.Block {
+	if b == nil {
+		return nil
+	}
+	out := &lang.Block{}
+	for _, s := range b.Stmts {
+		out.Stmts = append(out.Stmts, copyStmt(s))
+	}
+	return out
+}
+
+func copyStmt(s lang.Stmt) lang.Stmt {
+	switch n := s.(type) {
+	case *lang.Block:
+		return copyBlock(n)
+	case *lang.VarDecl:
+		return &lang.VarDecl{Name: n.Name, Init: copyExpr(n.Init)}
+	case *lang.Assign:
+		return &lang.Assign{Target: copyExpr(n.Target), Value: copyExpr(n.Value)}
+	case *lang.If:
+		return &lang.If{Cond: copyExpr(n.Cond), Then: copyBlock(n.Then), Else: copyBlock(n.Else)}
+	case *lang.While:
+		return &lang.While{Cond: copyExpr(n.Cond), Body: copyBlock(n.Body)}
+	case *lang.Repeat:
+		return &lang.Repeat{Var: n.Var, Count: copyExpr(n.Count), Body: copyBlock(n.Body)}
+	case *lang.Sync:
+		return &lang.Sync{Param: copyExpr(n.Param), Body: copyBlock(n.Body), SyncID: n.SyncID}
+	case *lang.Wait:
+		return &lang.Wait{Monitor: copyExpr(n.Monitor), Timeout: n.Timeout}
+	case *lang.Notify:
+		return &lang.Notify{Monitor: copyExpr(n.Monitor), All: n.All}
+	case *lang.Compute:
+		return &lang.Compute{Dur: copyExpr(n.Dur)}
+	case *lang.NestedCall:
+		return &lang.NestedCall{Arg: copyExpr(n.Arg), Result: n.Result}
+	case *lang.CallStmt:
+		return &lang.CallStmt{Call: copyExpr(n.Call).(*lang.CallExpr)}
+	case *lang.Return:
+		return &lang.Return{Value: copyExpr(n.Value)}
+	case *lang.RawLock:
+		return &lang.RawLock{Param: copyExpr(n.Param)}
+	case *lang.RawUnlock:
+		return &lang.RawUnlock{Param: copyExpr(n.Param)}
+	case *lang.LockStmt:
+		return &lang.LockStmt{SyncID: n.SyncID, Param: copyExpr(n.Param)}
+	case *lang.UnlockStmt:
+		return &lang.UnlockStmt{SyncID: n.SyncID, Param: copyExpr(n.Param)}
+	case *lang.LockInfoStmt:
+		return &lang.LockInfoStmt{SyncID: n.SyncID, Param: copyExpr(n.Param)}
+	case *lang.IgnoreStmt:
+		return &lang.IgnoreStmt{SyncID: n.SyncID}
+	case *lang.LoopDoneStmt:
+		return &lang.LoopDoneStmt{SyncID: n.SyncID}
+	default:
+		panic("analysis: unknown statement in copy")
+	}
+}
+
+func copyExpr(e lang.Expr) lang.Expr {
+	if e == nil {
+		return nil
+	}
+	switch n := e.(type) {
+	case *lang.IntLit:
+		c := *n
+		return &c
+	case *lang.NullLit:
+		return &lang.NullLit{}
+	case *lang.VarRef:
+		return &lang.VarRef{Name: n.Name}
+	case *lang.Index:
+		return &lang.Index{Base: n.Base, Index: copyExpr(n.Index)}
+	case *lang.Binary:
+		return &lang.Binary{Op: n.Op, L: copyExpr(n.L), R: copyExpr(n.R)}
+	case *lang.CallExpr:
+		out := &lang.CallExpr{Name: n.Name}
+		for _, a := range n.Args {
+			out.Args = append(out.Args, copyExpr(a))
+		}
+		return out
+	default:
+		panic("analysis: unknown expression in copy")
+	}
+}

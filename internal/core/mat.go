@@ -1,0 +1,254 @@
+package core
+
+// MAT is the multiple-active-threads algorithm (paper Sect. 3.4), an
+// extension of SAT that allows real concurrency.
+//
+// All admitted threads run immediately, but they fall into two classes:
+// the single *primary* thread may request locks; *secondary* threads may
+// not — a secondary requesting a lock blocks until it has become primary,
+// "no matter whether the lock that itself and the current primary will
+// request conflict or not". The oldest secondary (by admission order)
+// becomes primary when the current primary blocks, finishes, or issues a
+// nested invocation, and no blocked former primary can continue running.
+//
+// Determinism note: primacy succession is strictly age-based (admission
+// order) over the alive, unsuspended threads, so it never depends on the
+// racy order in which concurrently running secondaries reach their lock
+// requests — only on the totally ordered admission/suspension events.
+//
+// Two documented weaknesses of plain MAT (both quoted from the paper, and
+// both measured by the Fig. 2 / Fig. 3 experiments):
+//
+//   - it does not recognise when a thread has released its last lock, so
+//     a post-critical-section computation keeps the primary slot busy;
+//   - a secondary blocks even if its lock conflicts with nothing the
+//     primary will ever acquire.
+//
+// Setting UseLastLock enables the last-lock analysis of Sect. 4.1: as
+// soon as the primary's bookkeeping table shows it has released its last
+// lock, it is demoted and the slot handed over before it terminates
+// (Fig. 2(b)). The full lock-prediction extension is the separate PMAT
+// scheduler.
+type MAT struct {
+	rt *Runtime
+
+	// UseLastLock demotes the primary as soon as its bookkeeping table
+	// proves it will never lock again (requires static analysis info).
+	UseLastLock bool
+
+	primary *Thread
+	// blockedPrimaries are threads that blocked on a mutex while being
+	// primary, FIFO by suspension time. A resumable one (its mutex became
+	// free) is preferred when the primary slot frees.
+	blockedPrimaries []*Thread
+}
+
+// NewMAT returns a multiple-active-threads scheduler. withLastLock
+// enables the last-lock optimisation of Sect. 4.1.
+func NewMAT(withLastLock bool) *MAT { return &MAT{UseLastLock: withLastLock} }
+
+type matState struct {
+	need      *Mutex // pending lock request (blocked secondary or primary)
+	suspended bool   // in a nested invocation or condition wait
+	blockedP  bool   // member of blockedPrimaries
+}
+
+func matOf(t *Thread) *matState {
+	if t.sched == nil {
+		t.sched = &matState{}
+	}
+	return t.sched.(*matState)
+}
+
+// Name implements Scheduler.
+func (s *MAT) Name() string {
+	if s.UseLastLock {
+		return "MAT+LLA"
+	}
+	return "MAT"
+}
+
+// Attach implements Scheduler.
+func (s *MAT) Attach(rt *Runtime) { s.rt = rt }
+
+// Admit starts the thread immediately; the first thread of an idle object
+// claims the primary slot.
+func (s *MAT) Admit(t *Thread) {
+	matOf(t)
+	s.rt.StartThread(t)
+	if s.primary == nil {
+		s.promote()
+	}
+}
+
+// Acquire grants to the primary if the mutex is free (a held mutex means
+// the owner is suspended inside a synchronized block; the primary then
+// becomes a blocked primary). A secondary simply blocks until promoted.
+func (s *MAT) Acquire(t *Thread, m *Mutex) {
+	st := matOf(t)
+	st.need = m
+	if s.primary == t {
+		if m.Free() {
+			st.need = nil
+			s.rt.Grant(t, m)
+			return
+		}
+		s.demote(t)
+		st.blockedP = true
+		s.blockedPrimaries = append(s.blockedPrimaries, t)
+		s.promote()
+		return
+	}
+	if s.primary == nil {
+		s.promote()
+	}
+}
+
+// Release hands the slot over early when last-lock analysis proves the
+// primary done with locking (Fig. 2(b)); otherwise the primary keeps the
+// slot through its final computation (the plain-MAT weakness).
+func (s *MAT) Release(t *Thread, m *Mutex) {
+	if s.UseLastLock && s.primary == t && t.Table().AllLocksDone() {
+		s.demote(t)
+	}
+	s.promote()
+}
+
+// WaitPark suspends the thread (releasing its monitor) and hands the
+// primary slot over.
+func (s *MAT) WaitPark(t *Thread, m *Mutex) {
+	matOf(t).suspended = true
+	s.demote(t)
+	s.promote()
+}
+
+// WaitWake turns the notified thread into a blocked secondary that needs
+// its monitor back; reacquisition requires the primary slot like any
+// other lock (documented completion of the paper's rules).
+func (s *MAT) WaitWake(t *Thread, m *Mutex) {
+	st := matOf(t)
+	st.suspended = false
+	st.need = m
+	s.promote()
+}
+
+// NestedBegin suspends the thread for the duration of the call and frees
+// the primary slot.
+func (s *MAT) NestedBegin(t *Thread) {
+	matOf(t).suspended = true
+	s.demote(t)
+	s.promote()
+}
+
+// NestedResume lets the thread continue immediately — as a secondary; it
+// competes for the primary slot again at its next lock request.
+func (s *MAT) NestedResume(t *Thread) {
+	matOf(t).suspended = false
+	s.rt.ResumeNested(t)
+	if s.primary == nil {
+		s.promote()
+	}
+}
+
+// Exit frees the primary slot if the finished thread held it.
+func (s *MAT) Exit(t *Thread) {
+	s.demote(t)
+	st := matOf(t)
+	if st.blockedP {
+		s.removeBlockedPrimary(t)
+	}
+	s.promote()
+}
+
+// PredictionChanged implements the last-lock optimisation: the moment the
+// primary's table proves all locks done, the slot is handed over even
+// though the thread keeps running its final computation.
+func (s *MAT) PredictionChanged(t *Thread) {
+	if !s.UseLastLock {
+		return
+	}
+	if s.primary == t && t.Table().AllLocksDone() {
+		s.demote(t)
+		s.promote()
+	}
+}
+
+func (s *MAT) demote(t *Thread) {
+	if s.primary == t {
+		s.primary = nil
+	}
+}
+
+func (s *MAT) setPrimary(t *Thread) {
+	s.primary = t
+	s.rt.RecordPromote(t)
+}
+
+func (s *MAT) removeBlockedPrimary(t *Thread) {
+	matOf(t).blockedP = false
+	for i, u := range s.blockedPrimaries {
+		if u == t {
+			s.blockedPrimaries = append(s.blockedPrimaries[:i], s.blockedPrimaries[i+1:]...)
+			return
+		}
+	}
+}
+
+// promote fills a free primary slot:
+//
+//  1. a blocked former primary whose mutex is now free (FIFO by
+//     suspension) resumes with its lock granted;
+//  2. otherwise the oldest alive, unsuspended thread that is not already
+//     a blocked primary becomes primary — if it is blocked on a held
+//     mutex it joins the blocked primaries and the scan cascades.
+func (s *MAT) promote() {
+	for s.primary == nil {
+		for i, t := range s.blockedPrimaries {
+			m := matOf(t).need
+			if m.Free() {
+				s.blockedPrimaries = append(s.blockedPrimaries[:i], s.blockedPrimaries[i+1:]...)
+				st := matOf(t)
+				st.blockedP = false
+				st.need = nil
+				s.setPrimary(t)
+				s.rt.Grant(t, m)
+				return
+			}
+		}
+		var cand *Thread
+		for _, t := range s.rt.Threads() { // admission order
+			st := matOf(t)
+			if st.suspended || st.blockedP || t == s.primary {
+				continue
+			}
+			if s.UseLastLock && st.need == nil && t.Table().AllLocksDone() {
+				// Last-lock analysis: this thread provably never locks
+				// again, so it must not reclaim the slot (Fig. 2(b)).
+				continue
+			}
+			cand = t
+			break
+		}
+		if cand == nil {
+			return
+		}
+		st := matOf(cand)
+		if st.need == nil {
+			// A running thread: it simply owns the slot now and may lock
+			// at will.
+			s.setPrimary(cand)
+			return
+		}
+		if st.need.Free() {
+			m := st.need
+			st.need = nil
+			s.setPrimary(cand)
+			s.rt.Grant(cand, m)
+			return
+		}
+		// Its mutex is held by a suspended thread: it becomes a blocked
+		// primary and the scan continues with the next-oldest thread.
+		st.blockedP = true
+		s.blockedPrimaries = append(s.blockedPrimaries, cand)
+	}
+}

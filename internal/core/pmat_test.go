@@ -1,0 +1,242 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"detmt/internal/ids"
+	"detmt/internal/lockpred"
+)
+
+// fig3Static describes two start methods: method 1 locks only sync1,
+// method 2 locks only sync2. Parameters are announceable (not
+// spontaneous).
+func fig3Static() *lockpred.StaticInfo {
+	return lockpred.NewStaticInfo(
+		&lockpred.MethodInfo{Method: 1, Entries: []lockpred.StaticEntry{{Sync: 1}}},
+		&lockpred.MethodInfo{Method: 2, Entries: []lockpred.StaticEntry{{Sync: 2}}},
+	)
+}
+
+func TestPMATFig3NonConflictingMutexes(t *testing.T) {
+	// Fig. 3: T1 will lock x (announced up front) and T2 wants y. With
+	// last-lock analysis only (MAT+LLA), T2 waits until T1 releases x;
+	// with full lock prediction (PMAT), T2's grant is immediate.
+	body1 := func(th *Thread) {
+		th.LockInfo(1, 1) // announce: sync1 will lock mutex x(=1)
+		th.Compute(2 * ms)
+		th.Lock(1, 1)
+		th.Compute(ms)
+		th.Unlock(1, 1)
+	}
+	body2 := func(th *Thread) {
+		th.LockInfo(2, 2) // announce: sync2 will lock mutex y(=2)
+		th.Lock(2, 2)
+		th.Compute(ms)
+		th.Unlock(2, 2)
+	}
+	run := func(sched Scheduler) time.Duration {
+		tr, _ := scenario(t, sched, fig3Static(), func(e *env) {
+			e.spawn(1, body1)
+			e.spawn(2, body2)
+		})
+		checkMutualExclusion(t, tr)
+		for _, g := range grants(tr) {
+			if g.Thread == 2 {
+				return g.At
+			}
+		}
+		t.Fatal("T2 never granted")
+		return 0
+	}
+	llaGrant := run(NewMAT(true))
+	pmatGrant := run(NewPMAT())
+	if llaGrant != 3*ms {
+		t.Errorf("MAT+LLA grants y at %v, want 3ms (after T1's last unlock)", llaGrant)
+	}
+	if pmatGrant != 0 {
+		t.Errorf("PMAT grants y at %v, want 0 (no conflict with T1's prediction)", pmatGrant)
+	}
+}
+
+func TestPMATConflictingPredictionsSerialise(t *testing.T) {
+	// Both threads announce the same mutex: the younger must wait.
+	static := lockpred.NewStaticInfo(
+		&lockpred.MethodInfo{Method: 1, Entries: []lockpred.StaticEntry{{Sync: 1}}},
+	)
+	tr, _ := scenario(t, NewPMAT(), static, func(e *env) {
+		for i := 0; i < 2; i++ {
+			e.spawn(1, func(th *Thread) {
+				th.LockInfo(1, 5)
+				th.Lock(1, 5)
+				th.Compute(2 * ms)
+				th.Unlock(1, 5)
+			})
+		}
+	})
+	checkMutualExclusion(t, tr)
+	gs := grants(tr)
+	if len(gs) != 2 {
+		t.Fatalf("grants %v", gs)
+	}
+	if gs[0].Thread != 1 || gs[1].Thread != 2 {
+		t.Fatalf("grant order %v, want queue order", gs)
+	}
+	if gs[1].At != 2*ms {
+		t.Errorf("second grant at %v, want 2ms", gs[1].At)
+	}
+}
+
+func TestPMATUnpredictedPredecessorBlocksEverything(t *testing.T) {
+	// T1 never announces (spontaneous parameter): T2 must wait for T1's
+	// lock set to resolve even on an unrelated mutex.
+	static := lockpred.NewStaticInfo(
+		&lockpred.MethodInfo{Method: 1, Entries: []lockpred.StaticEntry{{Sync: 1, Spontaneous: true}}},
+		&lockpred.MethodInfo{Method: 2, Entries: []lockpred.StaticEntry{{Sync: 2}}},
+	)
+	tr, _ := scenario(t, NewPMAT(), static, func(e *env) {
+		e.spawn(1, func(th *Thread) {
+			th.Compute(4 * ms)
+			th.Lock(1, 1) // spontaneous: announced only here
+			th.Unlock(1, 1)
+			th.Compute(3 * ms)
+		})
+		e.spawn(2, func(th *Thread) {
+			th.LockInfo(2, 2)
+			th.Lock(2, 2)
+			th.Unlock(2, 2)
+		})
+	})
+	checkMutualExclusion(t, tr)
+	var t2grant time.Duration = -1
+	for _, g := range grants(tr) {
+		if g.Thread == 2 {
+			t2grant = g.At
+		}
+	}
+	// T1 resolves its spontaneous entry when it locks at 4ms; right after
+	// that lock T1 is predicted (and y does not conflict), so T2 runs.
+	if t2grant != 4*ms {
+		t.Errorf("T2 granted at %v, want 4ms (when T1 became predicted)", t2grant)
+	}
+}
+
+func TestPMATIgnoreUnblocksSuccessors(t *testing.T) {
+	// T1 takes the branch that skips its only synchronized block; the
+	// injected ignore makes it predicted with an empty lock set.
+	static := lockpred.NewStaticInfo(
+		&lockpred.MethodInfo{Method: 1, Entries: []lockpred.StaticEntry{{Sync: 1}}},
+		&lockpred.MethodInfo{Method: 2, Entries: []lockpred.StaticEntry{{Sync: 2}}},
+	)
+	tr, _ := scenario(t, NewPMAT(), static, func(e *env) {
+		e.spawn(1, func(th *Thread) {
+			th.Compute(2 * ms)
+			th.Ignore(1) // path without the lock
+			th.Compute(6 * ms)
+		})
+		e.spawn(2, func(th *Thread) {
+			th.LockInfo(2, 7)
+			th.Lock(2, 7)
+			th.Unlock(2, 7)
+		})
+	})
+	var t2grant time.Duration = -1
+	for _, g := range grants(tr) {
+		if g.Thread == 2 {
+			t2grant = g.At
+		}
+	}
+	if t2grant != 2*ms {
+		t.Errorf("T2 granted at %v, want 2ms (T1's ignore)", t2grant)
+	}
+}
+
+func TestPMATExitUnblocksSuccessors(t *testing.T) {
+	// A thread with no analysis info is never predicted; successors wait
+	// for its removal from the queue (thread exit).
+	static := lockpred.NewStaticInfo(
+		&lockpred.MethodInfo{Method: 2, Entries: []lockpred.StaticEntry{{Sync: 2}}},
+	)
+	tr, _ := scenario(t, NewPMAT(), static, func(e *env) {
+		e.spawn(9, func(th *Thread) { // method 9: unanalysed
+			th.Compute(5 * ms)
+		})
+		e.spawn(2, func(th *Thread) {
+			th.LockInfo(2, 3)
+			th.Lock(2, 3)
+			th.Unlock(2, 3)
+		})
+	})
+	var t2grant time.Duration = -1
+	for _, g := range grants(tr) {
+		if g.Thread == 2 {
+			t2grant = g.At
+		}
+	}
+	if t2grant != 5*ms {
+		t.Errorf("T2 granted at %v, want 5ms (unanalysed predecessor exit)", t2grant)
+	}
+}
+
+func TestPMATQueueHeadAlwaysEligibleOnFreeMutex(t *testing.T) {
+	// The first thread in the queue has no predecessors: its requests on
+	// free mutexes are granted immediately even without analysis info.
+	tr, _ := scenario(t, NewPMAT(), nil, func(e *env) {
+		e.spawn(0, func(th *Thread) {
+			th.Lock(ids.NoSync, 1)
+			th.Unlock(ids.NoSync, 1)
+		})
+	})
+	gs := grants(tr)
+	if len(gs) != 1 || gs[0].At != 0 {
+		t.Fatalf("grants %v", gs)
+	}
+}
+
+func TestPMATWaitKeepsQueuePositionSound(t *testing.T) {
+	// Documented completion: a waiting thread keeps its position and its
+	// table; a successor whose mutex cannot conflict proceeds, one whose
+	// mutex may conflict (the monitor itself) waits.
+	static := lockpred.NewStaticInfo(
+		&lockpred.MethodInfo{Method: 1, Entries: []lockpred.StaticEntry{{Sync: 1}}},
+		&lockpred.MethodInfo{Method: 2, Entries: []lockpred.StaticEntry{{Sync: 2}}},
+		&lockpred.MethodInfo{Method: 3, Entries: []lockpred.StaticEntry{{Sync: 3}}},
+	)
+	var waiterDone atomic.Bool
+	tr, _ := scenario(t, NewPMAT(), static, func(e *env) {
+		e.spawn(1, func(th *Thread) { // waits on monitor 1
+			th.LockInfo(1, 1)
+			th.Lock(1, 1)
+			th.Wait(1)
+			th.Unlock(1, 1)
+			waiterDone.Store(true)
+		})
+		e.spawn(2, func(th *Thread) { // unrelated mutex: must not block
+			th.LockInfo(2, 2)
+			th.Lock(2, 2)
+			th.Compute(ms)
+			th.Unlock(2, 2)
+		})
+		e.spawn(1, func(th *Thread) { // notifier on monitor 1
+			th.LockInfo(1, 1)
+			th.Compute(2 * ms)
+			th.Lock(1, 1)
+			th.Notify(1)
+			th.Unlock(1, 1)
+		})
+	})
+	if !waiterDone.Load() {
+		t.Fatal("waiter never completed")
+	}
+	checkMutualExclusion(t, tr)
+	var t2grant time.Duration = -1
+	for _, g := range grants(tr) {
+		if g.Thread == 2 {
+			t2grant = g.At
+		}
+	}
+	if t2grant != 0 {
+		t.Errorf("unrelated successor granted at %v, want 0", t2grant)
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"detmt/internal/vclock"
+)
+
+// The event pump delivers all scheduler events that do not originate from
+// a managed thread's own call — condition-wait timeouts and (simulated)
+// nested-invocation replies — at deterministic instants in a
+// deterministic order.
+//
+// Why it exists: two future events expiring at the same (virtual) instant
+// must be processed in an order that is a pure function of the event set,
+// not of the racy order in which helper goroutines happened to register
+// their timers. The pump keeps one priority queue ordered by
+// (time, thread id, event kind) and processes due events from a single
+// goroutine; its wakeup timer uses a low-priority ordered parker so that
+// same-instant thread computations always finish their (deterministic)
+// cascades first.
+//
+// The replication layer's nested replies arrive through totally ordered
+// group communication; it injects them via ScheduleNestedResume, which
+// funnels them through this same pump so that replies racing with running
+// threads are serialised identically on every replica.
+
+type pumpKind int
+
+const (
+	pumpNestedResume pumpKind = iota
+	pumpWaitTimeout
+)
+
+type pumpEvent struct {
+	at     time.Duration
+	thread *Thread
+	kind   pumpKind
+	mutex  *Mutex
+	reply  interface{}
+	seq    uint64 // final tiebreak: schedule order
+}
+
+type pump struct {
+	rt *Runtime
+
+	mu      sync.Mutex
+	events  []pumpEvent
+	running bool
+	seq     uint64
+	parker  vclock.Parker
+}
+
+func newPump(rt *Runtime) *pump {
+	p := &pump{rt: rt}
+	if v, ok := rt.clock.(*vclock.Virtual); ok {
+		// Fire after all same-instant thread timers (threads rank by id).
+		p.parker = v.NewOrderedParker("event pump", ^uint64(0))
+	} else {
+		p.parker = rt.clock.NewParker()
+	}
+	return p
+}
+
+// schedule enqueues an event and ensures the pump goroutine is running.
+func (p *pump) schedule(at time.Duration, ev pumpEvent) {
+	p.mu.Lock()
+	ev.at = at
+	p.seq++
+	ev.seq = p.seq
+	p.events = append(p.events, ev)
+	start := !p.running
+	p.running = true
+	p.mu.Unlock()
+	if start {
+		p.rt.clock.Go(p.loop)
+	} else {
+		p.parker.Unpark()
+	}
+}
+
+func pumpLess(a, b pumpEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.thread.ID != b.thread.ID {
+		return a.thread.ID < b.thread.ID
+	}
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	return a.seq < b.seq
+}
+
+// loop processes events until the queue drains, then exits (a permanently
+// parked goroutine would trip the virtual clock's deadlock detector).
+//
+// A due event is processed only when the pump was woken by its own timer,
+// which — being the lowest-priority timer — fires only when every managed
+// goroutine is blocked. This guarantees that pump events never race with
+// the cascades of running threads: each event's consequences settle
+// completely before the next event (even one due at the same instant) is
+// delivered. An unpark (new event scheduled) merely re-evaluates the
+// deadline and parks again.
+func (p *pump) loop() {
+	quiesced := false
+	for {
+		p.mu.Lock()
+		if len(p.events) == 0 {
+			p.running = false
+			p.mu.Unlock()
+			return
+		}
+		sort.SliceStable(p.events, func(i, j int) bool { return pumpLess(p.events[i], p.events[j]) })
+		head := p.events[0]
+		now := p.rt.clock.Now()
+		if head.at > now || !quiesced {
+			p.mu.Unlock()
+			// ParkTimeout(<=0) parks on an immediate timer: under the
+			// virtual clock it returns (woken=false) at quiescence
+			// without advancing time; a true result means a new event
+			// arrived and the deadline must be recomputed.
+			woken := p.parker.ParkTimeout(head.at - now)
+			quiesced = !woken
+			continue
+		}
+		p.events = p.events[1:]
+		p.mu.Unlock()
+		quiesced = false // processing wakes threads; re-park before the next event
+		switch head.kind {
+		case pumpNestedResume:
+			p.rt.NestedResume(head.thread, head.reply)
+		case pumpWaitTimeout:
+			p.rt.waitTimeout(head.thread, head.mutex)
+		}
+	}
+}

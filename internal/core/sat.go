@@ -1,0 +1,179 @@
+package core
+
+// SAT is the single-active-thread algorithm (Jiménez-Peris et al.,
+// adapted by Zhao et al. and FTflex — paper Sect. 3.1).
+//
+// At most one thread executes at a time, but unlike SEQ the slot is
+// handed over whenever the active thread suspends: on a condition wait,
+// on a nested invocation, or on a lock that is held by a suspended
+// thread. Threads whose suspension reason has cleared (nested reply
+// arrived, notify received, mutex released) are appended to a FIFO ready
+// queue; the head of the queue runs when the active thread suspends or
+// terminates. SAT therefore uses the idle time of nested invocations and
+// supports condition variables, but never exploits more than one CPU.
+type SAT struct {
+	NopScheduler
+	rt     *Runtime
+	active *Thread
+	ready  []*Thread
+}
+
+// NewSAT returns a single-active-thread scheduler.
+func NewSAT() *SAT { return &SAT{} }
+
+type satKind int
+
+const (
+	satStart satKind = iota
+	satResume
+	satNeedsMutex
+)
+
+type satState struct {
+	kind    satKind
+	need    *Mutex
+	inReady bool
+}
+
+func satOf(t *Thread) *satState {
+	if t.sched == nil {
+		t.sched = &satState{}
+	}
+	return t.sched.(*satState)
+}
+
+// Name implements Scheduler.
+func (s *SAT) Name() string { return "SAT" }
+
+// Attach implements Scheduler.
+func (s *SAT) Attach(rt *Runtime) { s.rt = rt }
+
+func (s *SAT) enqueue(t *Thread) {
+	st := satOf(t)
+	if st.inReady {
+		return
+	}
+	st.inReady = true
+	s.ready = append(s.ready, t)
+}
+
+// Admit queues the new thread for its first activation.
+func (s *SAT) Admit(t *Thread) {
+	satOf(t).kind = satStart
+	s.enqueue(t)
+	s.activateNext()
+}
+
+// Acquire grants directly if the mutex is free (the active thread keeps
+// running); otherwise the active thread suspends on the mutex — the
+// holder must be a thread suspended in a nested invocation — and the slot
+// is handed over.
+func (s *SAT) Acquire(t *Thread, m *Mutex) {
+	if m.Free() {
+		s.rt.Grant(t, m)
+		return
+	}
+	satOf(t).kind = satNeedsMutex
+	satOf(t).need = m
+	if s.active == t {
+		s.active = nil
+	}
+	s.activateNext()
+}
+
+// Release makes the first lock-waiter ready; it will attempt the
+// acquisition when activated.
+func (s *SAT) Release(t *Thread, m *Mutex) {
+	if len(m.waiters) > 0 {
+		s.enqueue(m.waiters[0])
+	}
+}
+
+// WaitPark hands the slot over while t waits on the condition variable,
+// and readies the monitor's first lock-waiter (the wait released it).
+func (s *SAT) WaitPark(t *Thread, m *Mutex) {
+	if s.active == t {
+		s.active = nil
+	}
+	if len(m.waiters) > 0 {
+		s.enqueue(m.waiters[0])
+	}
+	s.activateNext()
+}
+
+// WaitWake readies a notified (or timed-out) waiter; the monitor is
+// reacquired at activation time.
+func (s *SAT) WaitWake(t *Thread, m *Mutex) {
+	st := satOf(t)
+	st.kind = satNeedsMutex
+	st.need = m
+	s.enqueue(t)
+	s.activateNext()
+}
+
+// NestedBegin hands the slot over for the duration of the nested
+// invocation — the SAT improvement over SEQ.
+func (s *SAT) NestedBegin(t *Thread) {
+	if s.active == t {
+		s.active = nil
+	}
+	s.activateNext()
+}
+
+// NestedResume readies the thread; it continues when activated.
+func (s *SAT) NestedResume(t *Thread) {
+	satOf(t).kind = satResume
+	s.enqueue(t)
+	s.activateNext()
+}
+
+// Exit hands the slot to the next ready thread.
+func (s *SAT) Exit(t *Thread) {
+	if s.active == t {
+		s.active = nil
+	}
+	s.activateNext()
+}
+
+// activateNext pops ready threads (FIFO) until one can actually run.
+// A ready thread that needs a mutex which meanwhile got re-acquired is
+// skipped; it stays in the mutex's waiter queue and becomes ready again
+// on the next release.
+func (s *SAT) activateNext() {
+	for s.active == nil && len(s.ready) > 0 {
+		t := s.ready[0]
+		s.ready = s.ready[1:]
+		st := satOf(t)
+		st.inReady = false
+		switch st.kind {
+		case satStart:
+			s.active = t
+			s.rt.StartThread(t)
+		case satResume:
+			s.active = t
+			s.rt.ResumeNested(t)
+		case satNeedsMutex:
+			m := st.need
+			if !m.Free() {
+				// Someone re-acquired m before this activation; ensure t
+				// is queued on the mutex and try the next ready thread.
+				if !mutexHasWaiter(m, t) {
+					m.waiters = append(m.waiters, t)
+				}
+				continue
+			}
+			st.need = nil
+			s.active = t
+			s.rt.Grant(t, m)
+		}
+	}
+}
+
+func mutexHasWaiter(m *Mutex, t *Thread) bool {
+	for _, w := range m.waiters {
+		if w == t {
+			return true
+		}
+	}
+	return false
+}

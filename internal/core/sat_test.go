@@ -1,0 +1,181 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"detmt/internal/ids"
+	"detmt/internal/trace"
+)
+
+func TestSATUsesNestedIdleTime(t *testing.T) {
+	// T1 suspends in a 12ms nested call; T2 (5ms compute) runs meanwhile.
+	var t1done, t2done time.Duration
+	_, makespan := scenarioFull(t, NewSAT(), nil, 12*ms, func(e *env) {
+		e.spawnDone(0, func(th *Thread) { th.Nested(nil) }, &t1done)
+		e.spawnDone(0, func(th *Thread) { th.Compute(5 * ms) }, &t2done)
+	})
+	if t2done != 5*ms {
+		t.Errorf("T2 done at %v, want 5ms (ran during T1's nested call)", t2done)
+	}
+	if t1done != 12*ms || makespan != 12*ms {
+		t.Errorf("T1 done %v makespan %v, want 12ms", t1done, makespan)
+	}
+}
+
+func TestSATNeverOverlapsComputation(t *testing.T) {
+	// Unlike MAT, two pure computations cannot overlap under SAT.
+	_, makespan := scenario(t, NewSAT(), nil, func(e *env) {
+		e.spawn(0, func(th *Thread) { th.Compute(7 * ms) })
+		e.spawn(0, func(th *Thread) { th.Compute(7 * ms) })
+	})
+	if makespan != 14*ms {
+		t.Errorf("makespan %v, want 14ms (single active thread)", makespan)
+	}
+}
+
+func TestSATWaitNotify(t *testing.T) {
+	var got int32
+	tr, _ := scenario(t, NewSAT(), nil, func(e *env) {
+		e.spawn(0, func(th *Thread) {
+			th.Lock(ids.NoSync, 1)
+			for atomic.LoadInt32(&got) == 0 {
+				th.Wait(1)
+			}
+			th.Unlock(ids.NoSync, 1)
+		})
+		e.spawn(0, func(th *Thread) {
+			th.Compute(2 * ms)
+			th.Lock(ids.NoSync, 1)
+			atomic.StoreInt32(&got, 1)
+			th.Notify(1)
+			th.Unlock(ids.NoSync, 1)
+		})
+	})
+	if got != 1 {
+		t.Fatal("producer never ran")
+	}
+	checkMutualExclusion(t, tr)
+	ends := tr.Filter(func(e trace.Event) bool { return e.Kind == trace.KindWaitEnd })
+	if len(ends) != 1 || ends[0].Arg != 1 {
+		t.Fatalf("wait end events %v, want one notified end", ends)
+	}
+}
+
+func TestSATLockHandoverOnContention(t *testing.T) {
+	// T1 takes m then suspends in a nested call while holding it; T2
+	// requests m, must block, and the slot goes to T3.
+	var t3done time.Duration
+	tr, _ := scenarioFull(t, NewSAT(), nil, 10*ms, func(e *env) {
+		e.spawn(0, func(th *Thread) {
+			th.Lock(ids.NoSync, 1)
+			th.Nested(nil) // holds the lock across the nested call
+			th.Unlock(ids.NoSync, 1)
+		})
+		e.spawn(0, func(th *Thread) {
+			th.Lock(ids.NoSync, 1)
+			th.Unlock(ids.NoSync, 1)
+		})
+		e.spawnDone(0, func(th *Thread) { th.Compute(3 * ms) }, &t3done)
+	})
+	if t3done != 3*ms {
+		t.Errorf("T3 done at %v, want 3ms (slot handed over twice)", t3done)
+	}
+	checkMutualExclusion(t, tr)
+	// T2's grant must come after T1's release at 10ms.
+	gs := grants(tr)
+	if len(gs) != 2 {
+		t.Fatalf("grants: %v", gs)
+	}
+	if gs[1].Thread != 2 || gs[1].At != 10*ms {
+		t.Errorf("T2 granted at %v (thread %v), want 10ms", gs[1].At, gs[1].Thread)
+	}
+}
+
+func TestSATReadyQueueFIFO(t *testing.T) {
+	// Three threads suspend in nested calls that return in submission
+	// order; they must resume in that order.
+	var order []ids.ThreadID
+	var mu atomic.Int32
+	scenarioFull(t, NewSAT(), nil, ms, func(e *env) {
+		for i := 0; i < 3; i++ {
+			e.spawn(0, func(th *Thread) {
+				th.Nested(nil)
+				// SAT: only one thread runs at a time, appends are safe.
+				order = append(order, th.ID)
+				mu.Add(1)
+			})
+		}
+	})
+	if len(order) != 3 {
+		t.Fatalf("resumed %d threads", len(order))
+	}
+	for i, id := range order {
+		if id != ids.ThreadID(i+1) {
+			t.Fatalf("resume order %v", order)
+		}
+	}
+}
+
+func TestSATWaitTimeout(t *testing.T) {
+	var notified int32 = -1
+	_, makespan := scenario(t, NewSAT(), nil, func(e *env) {
+		e.spawn(0, func(th *Thread) {
+			th.Lock(ids.NoSync, 1)
+			if th.WaitTimeout(1, 4*ms) {
+				atomic.StoreInt32(&notified, 1)
+			} else {
+				atomic.StoreInt32(&notified, 0)
+			}
+			th.Unlock(ids.NoSync, 1)
+		})
+		// A second thread runs during the wait.
+		e.spawn(0, func(th *Thread) { th.Compute(2 * ms) })
+	})
+	if notified != 0 {
+		t.Fatalf("expected timeout, got %d", notified)
+	}
+	if makespan != 4*ms {
+		t.Errorf("makespan %v", makespan)
+	}
+}
+
+func TestSATNotifyAllWakesEveryWaiter(t *testing.T) {
+	var woken atomic.Int32
+	scenario(t, NewSAT(), nil, func(e *env) {
+		for i := 0; i < 3; i++ {
+			e.spawn(0, func(th *Thread) {
+				th.Lock(ids.NoSync, 1)
+				th.Wait(1)
+				woken.Add(1)
+				th.Unlock(ids.NoSync, 1)
+			})
+		}
+		e.spawn(0, func(th *Thread) {
+			th.Compute(ms) // let all three wait first
+			th.Lock(ids.NoSync, 1)
+			th.NotifyAll(1)
+			th.Unlock(ids.NoSync, 1)
+		})
+	})
+	if woken.Load() != 3 {
+		t.Fatalf("woken %d of 3", woken.Load())
+	}
+}
+
+func TestSATReentrantLock(t *testing.T) {
+	tr, _ := scenario(t, NewSAT(), nil, func(e *env) {
+		e.spawn(0, func(th *Thread) {
+			th.Lock(1, 1)
+			th.Lock(2, 1) // reentrant
+			th.Unlock(2, 1)
+			th.Unlock(1, 1)
+		})
+	})
+	rels := tr.Filter(func(e trace.Event) bool { return e.Kind == trace.KindLockRel })
+	if len(rels) != 1 {
+		t.Fatalf("full releases %d, want 1 (reentrancy)", len(rels))
+	}
+	checkMutualExclusion(t, tr)
+}

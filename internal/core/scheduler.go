@@ -1,0 +1,79 @@
+package core
+
+// Scheduler is the decision module of the deterministic multithreading
+// runtime. Every method is invoked by the Runtime with the decision lock
+// held; implementations react by calling the Runtime's decision helpers
+// (Grant, StartThread, ResumeNested), which take effect once the decision
+// lock is released.
+//
+// Determinism contract: given the same sequence of Admit / NestedResume /
+// WaitWake-producing events (which the replication layer delivers in
+// total order), a deterministic scheduler must produce the same sequence
+// of Grant/Start/Resume decisions on every replica.
+type Scheduler interface {
+	// Name returns the algorithm's short name (SEQ, SAT, ...).
+	Name() string
+
+	// Attach wires the scheduler to its runtime. Called once before any
+	// other method.
+	Attach(rt *Runtime)
+
+	// Admit introduces a new thread, in total request order. The thread
+	// is blocked; the scheduler starts it now or later via
+	// rt.StartThread.
+	Admit(t *Thread)
+
+	// Acquire is called when t requests mutex m and is not its owner
+	// (reentrant re-acquisition is handled by the runtime). t is marked
+	// blocked and already appended to m's waiter queue; the scheduler
+	// grants now or later via rt.Grant.
+	Acquire(t *Thread, m *Mutex)
+
+	// Release is called after t fully released m (owner already cleared).
+	// The scheduler may grant m to a waiter and/or reschedule threads.
+	Release(t *Thread, m *Mutex)
+
+	// WaitPark is called when t entered a condition wait on monitor m.
+	// The monitor has been released (like Release) and t is blocked in
+	// m's condition queue.
+	WaitPark(t *Thread, m *Mutex)
+
+	// WaitWake is called when t's wait ended (notify or timeout): t has
+	// been removed from the condition queue and must reacquire m before
+	// it can continue. The scheduler grants via rt.Grant, now or later.
+	WaitWake(t *Thread, m *Mutex)
+
+	// NestedBegin is called when t suspends for a nested invocation.
+	NestedBegin(t *Thread)
+
+	// NestedResume is called when t's nested reply arrived (in total
+	// order). The scheduler resumes t now or later via rt.ResumeNested.
+	NestedResume(t *Thread)
+
+	// Exit is called when t terminated (holding no locks).
+	Exit(t *Thread)
+
+	// PredictionChanged is called when t's bookkeeping table changed in
+	// a way that may unblock other threads: a lockinfo/ignore/loop-done
+	// ran, or t's predicted flag flipped (paper Sect. 4.3 re-check
+	// events). Schedulers without prediction ignore it.
+	PredictionChanged(t *Thread)
+}
+
+// CondPicker is an optional Scheduler extension that overrides the
+// default FIFO choice of which condition waiters a notify wakes. The LSA
+// follower uses it to replay the leader's choices.
+type CondPicker interface {
+	// PickCondWaiters returns the waiters of m to wake for one notify
+	// (all=false: at most one) or notifyAll (all=true). The returned
+	// threads must currently be in m's condition queue.
+	PickCondWaiters(m *Mutex, all bool) []*Thread
+}
+
+// NopScheduler provides no-op implementations of the optional
+// notification hooks so that simple schedulers stay small. It is
+// embedded, not used on its own.
+type NopScheduler struct{}
+
+// PredictionChanged ignores prediction updates.
+func (NopScheduler) PredictionChanged(*Thread) {}

@@ -1,0 +1,81 @@
+package core
+
+// SEQ executes all requests sequentially in total order — the baseline
+// strategy most object replication systems use (paper Sect. 1). It never
+// overlaps two requests: a thread suspended in a nested invocation keeps
+// its execution slot, so the idle time is wasted (which is exactly the
+// inefficiency Fig. 1's SEQ curve shows), and chains of nested
+// invocations that loop back to the object deadlock (detected by the
+// virtual clock).
+type SEQ struct {
+	NopScheduler
+	rt     *Runtime
+	active *Thread
+	queue  []*Thread
+}
+
+// NewSEQ returns a sequential scheduler.
+func NewSEQ() *SEQ { return &SEQ{} }
+
+// Name implements Scheduler.
+func (s *SEQ) Name() string { return "SEQ" }
+
+// Attach implements Scheduler.
+func (s *SEQ) Attach(rt *Runtime) { s.rt = rt }
+
+// Admit starts the thread if the slot is free, otherwise queues it.
+func (s *SEQ) Admit(t *Thread) {
+	if s.active == nil {
+		s.active = t
+		s.rt.StartThread(t)
+		return
+	}
+	s.queue = append(s.queue, t)
+}
+
+// Acquire always grants: with a single executing thread no mutex can be
+// contended (reentrancy is handled by the runtime).
+func (s *SEQ) Acquire(t *Thread, m *Mutex) {
+	if m.Free() {
+		s.rt.Grant(t, m)
+	}
+	// A held mutex here means the object performed a wait with a timeout
+	// and another code path holds the monitor — impossible under SEQ; the
+	// thread stays blocked and the virtual clock reports the deadlock.
+}
+
+// Release is a no-op: nobody can be waiting.
+func (s *SEQ) Release(*Thread, *Mutex) {}
+
+// WaitPark keeps the slot occupied. A wait under SEQ can only ever end by
+// timeout, since no concurrent thread exists to notify — sequential
+// execution simply cannot support condition synchronisation, one of the
+// paper's arguments for multithreading.
+func (s *SEQ) WaitPark(*Thread, *Mutex) {}
+
+// WaitWake regrants the monitor after a wait timeout.
+func (s *SEQ) WaitWake(t *Thread, m *Mutex) {
+	if m.Free() {
+		s.rt.Grant(t, m)
+	}
+}
+
+// NestedBegin keeps the slot occupied during the nested invocation (the
+// defining SEQ inefficiency).
+func (s *SEQ) NestedBegin(*Thread) {}
+
+// NestedResume continues the suspended thread immediately.
+func (s *SEQ) NestedResume(t *Thread) { s.rt.ResumeNested(t) }
+
+// Exit frees the slot and starts the next queued request.
+func (s *SEQ) Exit(t *Thread) {
+	if s.active == t {
+		s.active = nil
+	}
+	if s.active == nil && len(s.queue) > 0 {
+		next := s.queue[0]
+		s.queue = s.queue[1:]
+		s.active = next
+		s.rt.StartThread(next)
+	}
+}

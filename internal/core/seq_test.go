@@ -1,0 +1,106 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"detmt/internal/ids"
+	"detmt/internal/trace"
+)
+
+func TestSEQSerialisesRequests(t *testing.T) {
+	var order []ids.ThreadID
+	tr, makespan := scenario(t, NewSEQ(), nil, func(e *env) {
+		for i := 0; i < 4; i++ {
+			e.spawn(0, func(th *Thread) {
+				th.Compute(10 * ms)
+				order = append(order, th.ID) // safe: SEQ never overlaps threads
+			})
+		}
+	})
+	if makespan != 40*ms {
+		t.Errorf("SEQ makespan %v, want 40ms (no overlap)", makespan)
+	}
+	for i, id := range order {
+		if id != ids.ThreadID(i+1) {
+			t.Fatalf("execution order %v, want submission order", order)
+		}
+	}
+	checkMutualExclusion(t, tr)
+}
+
+func TestSEQWastesNestedIdleTime(t *testing.T) {
+	// The defining SEQ weakness: a nested invocation blocks the slot.
+	var t2done time.Duration
+	scenarioFull(t, NewSEQ(), nil, 12*ms, func(e *env) {
+		e.spawn(0, func(th *Thread) {
+			if got := th.Nested("reply"); got != "reply" {
+				t.Errorf("nested reply %v", got)
+			}
+		})
+		e.spawnDone(0, func(th *Thread) { th.Compute(ms) }, &t2done)
+	})
+	// T2 cannot start before T1's nested call returns: done at 12+1.
+	if t2done != 13*ms {
+		t.Errorf("T2 done at %v, want 13ms", t2done)
+	}
+}
+
+func TestSEQLockAlwaysGranted(t *testing.T) {
+	tr, _ := scenario(t, NewSEQ(), nil, func(e *env) {
+		for i := 0; i < 3; i++ {
+			e.spawn(0, func(th *Thread) {
+				th.Lock(ids.NoSync, 1)
+				th.Compute(ms)
+				th.Unlock(ids.NoSync, 1)
+			})
+		}
+	})
+	if got := len(grants(tr)); got != 3 {
+		t.Fatalf("%d grants, want 3", got)
+	}
+	checkMutualExclusion(t, tr)
+}
+
+func TestSEQWaitTimeoutRecovers(t *testing.T) {
+	// Under SEQ nobody can notify; a timed wait must time out, reacquire
+	// the monitor, and finish.
+	var notified int32 = -1
+	_, makespan := scenario(t, NewSEQ(), nil, func(e *env) {
+		e.spawn(0, func(th *Thread) {
+			th.Lock(ids.NoSync, 1)
+			if th.WaitTimeout(1, 5*ms) {
+				atomic.StoreInt32(&notified, 1)
+			} else {
+				atomic.StoreInt32(&notified, 0)
+			}
+			th.Unlock(ids.NoSync, 1)
+		})
+	})
+	if notified != 0 {
+		t.Fatalf("wait result %d, want timeout(0)", notified)
+	}
+	if makespan != 5*ms {
+		t.Errorf("makespan %v, want 5ms", makespan)
+	}
+}
+
+func TestSEQQueuedThreadStartsAfterExit(t *testing.T) {
+	tr, _ := scenario(t, NewSEQ(), nil, func(e *env) {
+		e.spawn(0, func(th *Thread) { th.Compute(3 * ms) })
+		e.spawn(0, func(th *Thread) { th.Compute(ms) })
+	})
+	var starts []trace.Event
+	for _, ev := range tr.Events() {
+		if ev.Kind == trace.KindStart {
+			starts = append(starts, ev)
+		}
+	}
+	if len(starts) != 2 {
+		t.Fatalf("%d starts", len(starts))
+	}
+	if starts[1].At != 3*ms {
+		t.Errorf("second start at %v, want 3ms", starts[1].At)
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"time"
+
+	"detmt/internal/ids"
+	"detmt/internal/lockpred"
+	"detmt/internal/vclock"
+)
+
+// Thread is a scheduler-managed thread executing one request against the
+// replicated object. The replication layer creates one Thread per request
+// (in total order); the transformed object code calls the Thread's
+// synchronisation methods, which route every operation through the
+// replica's Scheduler.
+type Thread struct {
+	ID     ids.ThreadID
+	Method ids.MethodID
+
+	rt     *Runtime
+	parker vclock.Parker
+
+	// All fields below are guarded by the runtime's decision lock.
+
+	admitIdx uint64 // position in the total admission order
+
+	waiting bool // blocked, pending a scheduler grant/resume
+
+	held       map[*Mutex]struct{} // mutexes currently owned
+	savedDepth int                 // monitor depth saved across a condition wait
+	waitMutex  *Mutex              // monitor being waited on / reacquired
+	notified   bool                // wait ended by notify (vs timeout)
+
+	pendingSync ids.SyncID // syncid of the lock operation in flight
+
+	nestedReply interface{} // reply delivered by the nested-invocation handler
+
+	table *lockpred.ThreadTable // prediction bookkeeping (may be nil)
+	pred  bool                  // last announced predicted state
+
+	exited bool
+
+	// sched is scheduler-private per-thread state.
+	sched interface{}
+}
+
+// AdmitIndex returns the thread's position in the total admission order.
+// Scheduler implementations use it as the deterministic "age" of a thread
+// ("the oldest secondary becomes primary").
+func (t *Thread) AdmitIndex() uint64 { return t.admitIdx }
+
+// Table returns the thread's prediction bookkeeping table (nil if its
+// method was not analysed).
+func (t *Thread) Table() *lockpred.ThreadTable { return t.table }
+
+// Runtime returns the runtime this thread belongs to.
+func (t *Thread) Runtime() *Runtime { return t.rt }
+
+// Lock enters the synchronized block sid on mutex mid, blocking until the
+// scheduler grants it. Reentrant acquisition by the owner succeeds
+// immediately.
+func (t *Thread) Lock(sid ids.SyncID, mid ids.MutexID) { t.rt.lock(t, sid, mid) }
+
+// Unlock leaves the synchronized block sid on mutex mid.
+func (t *Thread) Unlock(sid ids.SyncID, mid ids.MutexID) { t.rt.unlock(t, sid, mid) }
+
+// Wait releases the monitor mid (which the thread must own) and blocks
+// until notified. The monitor is reacquired (at its previous reentrancy
+// depth) before Wait returns.
+func (t *Thread) Wait(mid ids.MutexID) { t.rt.wait(t, mid, 0) }
+
+// WaitTimeout is Wait with a timeout. It reports whether the thread was
+// notified (true) or timed out (false). Either way the monitor is held
+// again when it returns.
+func (t *Thread) WaitTimeout(mid ids.MutexID, d time.Duration) bool {
+	return t.rt.wait(t, mid, d)
+}
+
+// Notify wakes the longest-waiting thread on monitor mid (which the
+// caller must own).
+func (t *Thread) Notify(mid ids.MutexID) { t.rt.notify(t, mid, false) }
+
+// NotifyAll wakes all threads waiting on monitor mid.
+func (t *Thread) NotifyAll(mid ids.MutexID) { t.rt.notify(t, mid, true) }
+
+// Compute models a local computation of duration d. Under the virtual
+// clock it advances virtual time without consuming CPU.
+func (t *Thread) Compute(d time.Duration) { t.rt.compute(t, d) }
+
+// Nested performs a nested invocation: the thread suspends, the runtime's
+// NestedHandler is invoked with arg (the replication layer performs the
+// external call on one replica and spreads the reply), and the reply is
+// returned once the scheduler resumes the thread.
+func (t *Thread) Nested(arg interface{}) interface{} { return t.rt.nested(t, arg) }
+
+// LockInfo is the injected announcement "the parameter of sid was
+// assigned for the last time; it will be mutex mid" (paper Sect. 4.2).
+func (t *Thread) LockInfo(sid ids.SyncID, mid ids.MutexID) { t.rt.lockInfo(t, sid, mid) }
+
+// Ignore is the injected notice that control flow skipped the block sid
+// on this path (paper Sect. 4.1).
+func (t *Thread) Ignore(sid ids.SyncID) { t.rt.ignore(t, sid) }
+
+// LoopDone is the injected notice that the loop containing sid finished
+// (paper Sect. 4.4).
+func (t *Thread) LoopDone(sid ids.SyncID) { t.rt.loopDone(t, sid) }
+
+// HoldsLocks reports whether the thread currently owns any mutex.
+// Must be called under the decision lock; exposed for schedulers.
+func (t *Thread) HoldsLocks() bool { return len(t.held) > 0 }

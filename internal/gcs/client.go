@@ -1,0 +1,150 @@
+package gcs
+
+import (
+	"fmt"
+	"sync"
+
+	"detmt/internal/ids"
+	"detmt/internal/vclock"
+)
+
+// ClientEndpoint lets a client submit requests into the group's total
+// order and receive direct replies from replicas. Replication logic on
+// top implements the "first reply wins" semantics.
+type ClientEndpoint struct {
+	g  *Group
+	id ids.ClientID
+
+	mu      sync.Mutex
+	inbox   []envelope
+	running bool
+	parker  vclock.Parker
+
+	onReply func(from ids.ReplicaID, p Payload)
+
+	nextUID uint64
+	pending map[uint64]Payload
+}
+
+func newClientEndpoint(g *Group, id ids.ClientID) *ClientEndpoint {
+	c := &ClientEndpoint{g: g, id: id, pending: map[uint64]Payload{}}
+	if v, ok := g.cfg.Clock.(*vclock.Virtual); ok {
+		c.parker = v.NewOrderedParker(fmt.Sprintf("gcs client %v", id), ^uint64(0)-4096+uint64(uint16(id)))
+	} else {
+		c.parker = g.cfg.Clock.NewParker()
+	}
+	return c
+}
+
+// ID returns the client id.
+func (c *ClientEndpoint) ID() ids.ClientID { return c.id }
+
+// SetOnReply installs the reply handler.
+func (c *ClientEndpoint) SetOnReply(fn func(from ids.ReplicaID, p Payload)) { c.onReply = fn }
+
+// Broadcast submits a request payload into the total order and returns
+// the uid assigned to it. The client's per-endpoint uid provides the
+// duplicate suppression the paper requires ("a unique message identifier
+// for each client request"); pass it to Ack once the request completed.
+func (c *ClientEndpoint) Broadcast(p Payload) uint64 {
+	c.g.stats.add(0, 1, 0)
+	c.mu.Lock()
+	c.nextUID++
+	uid := c.nextUID
+	c.pending[uid] = p
+	c.mu.Unlock()
+	c.send(envelope{
+		kind:    envForward,
+		origin:  Origin{Client: c.id, IsClient: true},
+		uid:     uid,
+		payload: p,
+	})
+	return uid
+}
+
+func (c *ClientEndpoint) send(env envelope) {
+	seq := c.g.sequencer()
+	if seq < 0 {
+		return
+	}
+	dst := c.g.Node(seq)
+	c.g.transfer(fmt.Sprintf("%v>%v", env.origin, seq), dst.enqueue, env)
+}
+
+// Ack tells the endpoint that the request with the given uid completed,
+// so takeover retransmissions stop re-sending it.
+func (c *ClientEndpoint) Ack(uid uint64) {
+	c.mu.Lock()
+	delete(c.pending, uid)
+	c.mu.Unlock()
+}
+
+// LastUID returns the uid assigned to the most recent Broadcast.
+func (c *ClientEndpoint) LastUID() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nextUID
+}
+
+// retransmitPending re-sends unacknowledged requests after a sequencer
+// takeover.
+func (c *ClientEndpoint) retransmitPending() {
+	c.mu.Lock()
+	uids := make([]uint64, 0, len(c.pending))
+	for uid := range c.pending {
+		uids = append(uids, uid)
+	}
+	payloads := make(map[uint64]Payload, len(uids))
+	for _, uid := range uids {
+		payloads[uid] = c.pending[uid]
+	}
+	c.mu.Unlock()
+	sortUint64(uids)
+	for _, uid := range uids {
+		c.send(envelope{
+			kind:    envForward,
+			origin:  Origin{Client: c.id, IsClient: true},
+			uid:     uid,
+			payload: payloads[uid],
+		})
+	}
+}
+
+// enqueue accepts a reply envelope from the transport.
+func (c *ClientEndpoint) enqueue(env envelope) {
+	c.mu.Lock()
+	c.inbox = append(c.inbox, env)
+	start := !c.running
+	c.running = true
+	c.mu.Unlock()
+	if start {
+		c.g.cfg.Clock.Go(c.loop)
+	} else {
+		c.parker.Unpark()
+	}
+}
+
+func (c *ClientEndpoint) loop() {
+	quiesced := false
+	for {
+		c.mu.Lock()
+		if len(c.inbox) == 0 {
+			c.running = false
+			c.mu.Unlock()
+			return
+		}
+		if !quiesced {
+			c.mu.Unlock()
+			woken := c.parker.ParkTimeout(0)
+			quiesced = !woken
+			continue
+		}
+		env := c.inbox[0]
+		c.inbox = c.inbox[1:]
+		c.mu.Unlock()
+		quiesced = false
+		if c.onReply != nil {
+			c.onReply(env.from.Replica, env.payload)
+		}
+	}
+}

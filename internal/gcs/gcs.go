@@ -1,0 +1,277 @@
+// Package gcs simulates the group communication system that FTflex
+// relies on (paper Sect. 2): totally ordered broadcast to a static group
+// of replicas, duplicate suppression, point-to-point messages, and a
+// simple sequencer-takeover protocol for leader failure.
+//
+// The simulation runs on a vclock.Clock: every message transfer costs the
+// configured one-way latency of virtual time, and per-node delivery loops
+// hand messages to the replication layer one at a time, only when the
+// rest of the system is quiescent at the current instant — the same
+// discipline as core's event pump, which keeps simultaneous deliveries
+// deterministic.
+//
+// Total order is provided by a fixed-sequencer protocol: nodes (and
+// clients) forward payloads to the current sequencer, which assigns
+// sequence numbers and multicasts; receivers deliver in sequence order
+// through a hold-back queue, suppressing duplicates by (origin, uid).
+// When the sequencer crashes, surviving nodes detect the failure after
+// DetectTimeout, adopt the lowest-id survivor as the new sequencer, and
+// retransmit their unsequenced forwards — the takeover cost that
+// experiment E5 measures for LSA versus the symmetric algorithms.
+package gcs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"detmt/internal/ids"
+	"detmt/internal/vclock"
+)
+
+// Payload is an application-level message body (defined by the
+// replication layer).
+type Payload interface{}
+
+// Message is a totally ordered delivery.
+type Message struct {
+	Seq     uint64 // position in the total order (1-based)
+	Origin  Origin
+	UID     uint64 // per-origin unique id (duplicate suppression)
+	Payload Payload
+}
+
+// Origin identifies the producer of a broadcast: a replica or a client.
+type Origin struct {
+	Replica  ids.ReplicaID // valid if IsClient is false
+	Client   ids.ClientID  // valid if IsClient is true
+	IsClient bool
+}
+
+func (o Origin) String() string {
+	if o.IsClient {
+		return o.Client.String()
+	}
+	return o.Replica.String()
+}
+
+// Config parameterises a simulated group.
+type Config struct {
+	Clock   vclock.Clock
+	Members []ids.ReplicaID
+	// Latency is the one-way transfer time between any two endpoints
+	// (including a node's messages to itself, for symmetry).
+	Latency time.Duration
+	// DetectTimeout is how long survivors take to detect a crashed
+	// sequencer and fail over.
+	DetectTimeout time.Duration
+}
+
+// Stats counts network traffic, for the message-overhead comparisons of
+// experiments E5/E6.
+type Stats struct {
+	mu        sync.Mutex
+	Transfers int // individual point-to-point transfers on the wire
+	Broadcast int // total-order broadcasts initiated
+	Direct    int // direct (non-ordered) application messages
+}
+
+func (s *Stats) add(transfers, broadcasts, directs int) {
+	s.mu.Lock()
+	s.Transfers += transfers
+	s.Broadcast += broadcasts
+	s.Direct += directs
+	s.mu.Unlock()
+}
+
+// Snapshot returns a copy of the counters.
+func (s *Stats) Snapshot() (transfers, broadcasts, directs int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Transfers, s.Broadcast, s.Direct
+}
+
+// Group is one simulated process group plus its client endpoints.
+type Group struct {
+	cfg   Config
+	stats Stats
+
+	mu        sync.Mutex
+	nodes     map[ids.ReplicaID]*Node
+	clients   map[ids.ClientID]*ClientEndpoint
+	crashed   map[ids.ReplicaID]bool
+	crashedAt map[ids.ReplicaID]time.Duration
+
+	linksMu sync.Mutex
+	links   map[string]*link
+}
+
+// NewGroup creates the group and its member nodes.
+func NewGroup(cfg Config) *Group {
+	if cfg.Clock == nil {
+		panic("gcs: Config.Clock is required")
+	}
+	if len(cfg.Members) == 0 {
+		panic("gcs: Config.Members must not be empty")
+	}
+	if cfg.DetectTimeout <= 0 {
+		cfg.DetectTimeout = 50 * time.Millisecond
+	}
+	members := append([]ids.ReplicaID(nil), cfg.Members...)
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	cfg.Members = members
+	g := &Group{
+		cfg:       cfg,
+		nodes:     map[ids.ReplicaID]*Node{},
+		clients:   map[ids.ClientID]*ClientEndpoint{},
+		crashed:   map[ids.ReplicaID]bool{},
+		crashedAt: map[ids.ReplicaID]time.Duration{},
+	}
+	for _, id := range members {
+		g.nodes[id] = newNode(g, id)
+	}
+	return g
+}
+
+// Stats exposes the traffic counters.
+func (g *Group) Stats() *Stats { return &g.stats }
+
+// Node returns the member with the given id.
+func (g *Group) Node(id ids.ReplicaID) *Node {
+	n := g.nodes[id]
+	if n == nil {
+		panic(fmt.Sprintf("gcs: unknown member %v", id))
+	}
+	return n
+}
+
+// Members returns the configured member ids in ascending order.
+func (g *Group) Members() []ids.ReplicaID {
+	return append([]ids.ReplicaID(nil), g.cfg.Members...)
+}
+
+// NewClientEndpoint registers a client endpoint.
+func (g *Group) NewClientEndpoint(id ids.ClientID) *ClientEndpoint {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, dup := g.clients[id]; dup {
+		panic(fmt.Sprintf("gcs: duplicate client %v", id))
+	}
+	c := newClientEndpoint(g, id)
+	g.clients[id] = c
+	return c
+}
+
+// sequencer returns the sequencer as *currently visible* to senders: a
+// crashed sequencer keeps receiving (and dropping) traffic until the
+// failure-detection timeout passes — that lost window is exactly the
+// takeover cost experiment E5 measures.
+func (g *Group) sequencer() ids.ReplicaID {
+	now := g.cfg.Clock.Now()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, id := range g.cfg.Members {
+		if at, dead := g.crashedAt[id]; dead && now >= at+g.cfg.DetectTimeout {
+			continue // failure already detected: skip
+		}
+		return id
+	}
+	return -1
+}
+
+// actualSequencerLocked ignores detection delay (internal liveness view).
+func (g *Group) actualSequencerLocked() ids.ReplicaID {
+	for _, id := range g.cfg.Members {
+		if !g.crashed[id] {
+			return id
+		}
+	}
+	return -1
+}
+
+// alive reports whether a member is still up.
+func (g *Group) alive(id ids.ReplicaID) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return !g.crashed[id]
+}
+
+// Alive reports whether a member is still up (public view for the
+// replication layer, e.g. to pick the nested-invocation performer).
+func (g *Group) Alive(id ids.ReplicaID) bool { return g.alive(id) }
+
+// LiveMembers returns the live member ids in ascending order.
+func (g *Group) LiveMembers() []ids.ReplicaID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var out []ids.ReplicaID
+	for _, id := range g.cfg.Members {
+		if !g.crashed[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Crash stops a member: it no longer sends or receives anything. If the
+// member was the sequencer, survivors fail over after DetectTimeout:
+// they adopt the next sequencer and retransmit unsequenced forwards.
+// Returns false if the member was already down.
+func (g *Group) Crash(id ids.ReplicaID) bool {
+	g.mu.Lock()
+	if g.crashed[id] {
+		g.mu.Unlock()
+		return false
+	}
+	wasSequencer := g.actualSequencerLocked() == id
+	g.crashed[id] = true
+	g.crashedAt[id] = g.cfg.Clock.Now()
+	newSeq := g.actualSequencerLocked()
+	clients := make([]*ClientEndpoint, 0, len(g.clients))
+	for _, c := range g.clients {
+		clients = append(clients, c)
+	}
+	g.mu.Unlock()
+
+	if !wasSequencer || newSeq < 0 {
+		return true
+	}
+	// Failure detection and retransmission after the timeout.
+	for _, n := range g.nodes {
+		if n.id == id {
+			continue
+		}
+		n := n
+		g.cfg.Clock.Go(func() {
+			g.cfg.Clock.Sleep(g.cfg.DetectTimeout)
+			n.retransmitPending()
+		})
+	}
+	for _, c := range clients {
+		c := c
+		g.cfg.Clock.Go(func() {
+			g.cfg.Clock.Sleep(g.cfg.DetectTimeout)
+			c.retransmitPending()
+		})
+	}
+	return true
+}
+
+// envelope is the wire format.
+type envKind int
+
+const (
+	envForward   envKind = iota // needs sequencing (to the sequencer)
+	envSequenced                // sequenced multicast (to all members)
+	envDirect                   // application point-to-point
+)
+
+type envelope struct {
+	kind    envKind
+	seq     uint64
+	origin  Origin
+	uid     uint64
+	from    Origin // transport-level sender (for direct messages)
+	payload Payload
+}

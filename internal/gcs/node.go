@@ -1,0 +1,296 @@
+package gcs
+
+import (
+	"fmt"
+	"sync"
+
+	"detmt/internal/ids"
+	"detmt/internal/vclock"
+)
+
+// Node is one group member's endpoint: it can broadcast in total order,
+// send direct messages, and hands incoming messages to the replication
+// layer one at a time through its delivery loop.
+type Node struct {
+	g  *Group
+	id ids.ReplicaID
+
+	mu      sync.Mutex
+	inbox   []envelope
+	running bool
+	parker  vclock.Parker
+
+	deliver func(Message)                // total-order deliveries
+	direct  func(from Origin, p Payload) // point-to-point deliveries
+
+	// sender state
+	nextUID uint64
+	pending map[uint64]Payload // broadcasts not yet seen sequenced
+
+	// sequencer state
+	nextAssign uint64
+	assigned   map[string]bool // origin/uid already sequenced by me
+
+	// receiver state
+	nextDeliver   uint64
+	holdback      map[uint64]envelope
+	sequencedSeen map[string]bool // origin/uid seen in any sequenced msg
+	highestSeen   uint64
+}
+
+func newNode(g *Group, id ids.ReplicaID) *Node {
+	n := &Node{
+		g:             g,
+		id:            id,
+		pending:       map[uint64]Payload{},
+		assigned:      map[string]bool{},
+		holdback:      map[uint64]envelope{},
+		sequencedSeen: map[string]bool{},
+		nextDeliver:   1,
+	}
+	if v, ok := g.cfg.Clock.(*vclock.Virtual); ok {
+		// Deliveries rank just below the core runtime's event pump, and
+		// per-node ranks keep simultaneous deliveries on different
+		// replicas in a fixed (if arbitrary) global order.
+		n.parker = v.NewOrderedParker(fmt.Sprintf("gcs %v", id), ^uint64(0)-1024+uint64(uint16(id)))
+	} else {
+		n.parker = g.cfg.Clock.NewParker()
+	}
+	return n
+}
+
+// ID returns the member id.
+func (n *Node) ID() ids.ReplicaID { return n.id }
+
+// SetDeliver installs the total-order delivery handler. Must be set
+// before any traffic flows.
+func (n *Node) SetDeliver(fn func(Message)) { n.deliver = fn }
+
+// SetDirect installs the point-to-point handler.
+func (n *Node) SetDirect(fn func(from Origin, p Payload)) { n.direct = fn }
+
+func origKey(o Origin, uid uint64) string {
+	return fmt.Sprintf("%s/%d", o, uid)
+}
+
+// Broadcast submits p for total ordering. Delivery happens on every live
+// member (including this one) once the sequencer has assigned a slot.
+func (n *Node) Broadcast(p Payload) {
+	if !n.g.alive(n.id) {
+		return
+	}
+	n.g.stats.add(0, 1, 0)
+	n.mu.Lock()
+	n.nextUID++
+	uid := n.nextUID
+	n.pending[uid] = p
+	n.mu.Unlock()
+	env := envelope{
+		kind:    envForward,
+		origin:  Origin{Replica: n.id},
+		uid:     uid,
+		payload: p,
+	}
+	n.sendToSequencer(env)
+}
+
+func (n *Node) sendToSequencer(env envelope) {
+	seq := n.g.sequencer()
+	if seq < 0 {
+		return // nobody left alive
+	}
+	dst := n.g.Node(seq)
+	key := fmt.Sprintf("%v>%v", env.origin, seq)
+	if !env.origin.IsClient && env.origin.Replica != n.id {
+		// re-forward path (received a forward while not sequencer)
+		key = fmt.Sprintf("fwd%v>%v", n.id, seq)
+	}
+	n.g.transfer(key, dst.enqueue, env)
+}
+
+// SendDirect sends p to another member outside the total order (FIFO per
+// sender-receiver pair). The LSA decision stream uses this.
+func (n *Node) SendDirect(to ids.ReplicaID, p Payload) {
+	if !n.g.alive(n.id) || !n.g.alive(to) {
+		return
+	}
+	n.g.stats.add(0, 0, 1)
+	dst := n.g.Node(to)
+	env := envelope{kind: envDirect, from: Origin{Replica: n.id}, payload: p}
+	n.g.transfer(fmt.Sprintf("dir%v>%v", n.id, to), dst.enqueue, env)
+}
+
+// SendToClient sends p to a client endpoint (replies).
+func (n *Node) SendToClient(to ids.ClientID, p Payload) {
+	if !n.g.alive(n.id) {
+		return
+	}
+	n.g.mu.Lock()
+	c := n.g.clients[to]
+	n.g.mu.Unlock()
+	if c == nil {
+		return
+	}
+	n.g.stats.add(0, 0, 1)
+	env := envelope{kind: envDirect, from: Origin{Replica: n.id}, payload: p}
+	n.g.transfer(fmt.Sprintf("rep%v>%v", n.id, to), c.enqueue, env)
+}
+
+// retransmitPending re-sends unsequenced broadcasts to the (new)
+// sequencer after a takeover.
+func (n *Node) retransmitPending() {
+	if !n.g.alive(n.id) {
+		return
+	}
+	n.mu.Lock()
+	uids := make([]uint64, 0, len(n.pending))
+	for uid := range n.pending {
+		uids = append(uids, uid)
+	}
+	payloads := make(map[uint64]Payload, len(uids))
+	for _, uid := range uids {
+		payloads[uid] = n.pending[uid]
+	}
+	n.mu.Unlock()
+	sortUint64(uids)
+	for _, uid := range uids {
+		n.sendToSequencer(envelope{
+			kind:    envForward,
+			origin:  Origin{Replica: n.id},
+			uid:     uid,
+			payload: payloads[uid],
+		})
+	}
+}
+
+func sortUint64(s []uint64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// enqueue accepts an envelope from the transport and kicks the delivery
+// loop (same start/park discipline as core's event pump).
+func (n *Node) enqueue(env envelope) {
+	if !n.g.alive(n.id) {
+		return
+	}
+	n.mu.Lock()
+	n.inbox = append(n.inbox, env)
+	start := !n.running
+	n.running = true
+	n.mu.Unlock()
+	if start {
+		n.g.cfg.Clock.Go(n.loop)
+	} else {
+		n.parker.Unpark()
+	}
+}
+
+// loop hands envelopes to the handlers one at a time, each at a quiescent
+// instant, so deliveries never race with running request threads.
+func (n *Node) loop() {
+	quiesced := false
+	for {
+		n.mu.Lock()
+		if len(n.inbox) == 0 {
+			n.running = false
+			n.mu.Unlock()
+			return
+		}
+		if !quiesced {
+			n.mu.Unlock()
+			woken := n.parker.ParkTimeout(0)
+			quiesced = !woken
+			continue
+		}
+		env := n.inbox[0]
+		n.inbox = n.inbox[1:]
+		n.mu.Unlock()
+		quiesced = false
+		n.handle(env)
+	}
+}
+
+func (n *Node) handle(env envelope) {
+	switch env.kind {
+	case envForward:
+		n.handleForward(env)
+	case envSequenced:
+		n.handleSequenced(env)
+	case envDirect:
+		if n.direct != nil {
+			n.direct(env.from, env.payload)
+		}
+	}
+}
+
+func (n *Node) handleForward(env envelope) {
+	if n.g.sequencer() != n.id {
+		// Takeover race: pass it on to the current sequencer.
+		n.sendToSequencer(env)
+		return
+	}
+	key := origKey(env.origin, env.uid)
+	n.mu.Lock()
+	if n.assigned[key] || n.sequencedSeen[key] {
+		n.mu.Unlock()
+		return // duplicate (retransmission)
+	}
+	n.assigned[key] = true
+	if n.nextAssign <= n.highestSeen {
+		n.nextAssign = n.highestSeen + 1
+	}
+	if n.nextAssign == 0 {
+		n.nextAssign = 1
+	}
+	seq := n.nextAssign
+	n.nextAssign++
+	n.mu.Unlock()
+
+	out := env
+	out.kind = envSequenced
+	out.seq = seq
+	for _, id := range n.g.Members() {
+		if !n.g.alive(id) {
+			continue
+		}
+		dst := n.g.Node(id)
+		n.g.transfer(fmt.Sprintf("seq%v>%v", n.id, id), dst.enqueue, out)
+	}
+}
+
+func (n *Node) handleSequenced(env envelope) {
+	key := origKey(env.origin, env.uid)
+	n.mu.Lock()
+	n.sequencedSeen[key] = true
+	if env.seq > n.highestSeen {
+		n.highestSeen = env.seq
+	}
+	if !env.origin.IsClient && env.origin.Replica == n.id {
+		delete(n.pending, env.uid) // our broadcast made it into the order
+	}
+	if env.seq < n.nextDeliver {
+		n.mu.Unlock()
+		return // duplicate of an already delivered slot
+	}
+	n.holdback[env.seq] = env
+	var ready []envelope
+	for {
+		e, ok := n.holdback[n.nextDeliver]
+		if !ok {
+			break
+		}
+		delete(n.holdback, n.nextDeliver)
+		n.nextDeliver++
+		ready = append(ready, e)
+	}
+	n.mu.Unlock()
+	for _, e := range ready {
+		if n.deliver != nil {
+			n.deliver(Message{Seq: e.seq, Origin: e.origin, UID: e.uid, Payload: e.payload})
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package gcs
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"detmt/internal/ids"
+	"detmt/internal/vclock"
+)
+
+// These tests drive node internals directly (synthetic envelopes) to
+// exercise paths the uniform-latency transport cannot produce naturally:
+// out-of-order sequenced deliveries, duplicate slots, and stale forwards.
+
+func newBareNode(t *testing.T) (*Node, *[]Message, *vclock.Virtual) {
+	t.Helper()
+	v := vclock.NewVirtual()
+	g := NewGroup(Config{Clock: v, Members: []ids.ReplicaID{1, 2}, Latency: time.Millisecond})
+	n := g.Node(2)
+	var mu sync.Mutex
+	delivered := &[]Message{}
+	n.SetDeliver(func(m Message) {
+		mu.Lock()
+		*delivered = append(*delivered, m)
+		mu.Unlock()
+	})
+	return n, delivered, v
+}
+
+func seqEnv(seq uint64, origin ids.ReplicaID, uid uint64, payload Payload) envelope {
+	return envelope{
+		kind:    envSequenced,
+		seq:     seq,
+		origin:  Origin{Replica: origin},
+		uid:     uid,
+		payload: payload,
+	}
+}
+
+func TestHoldbackReordersGaps(t *testing.T) {
+	n, delivered, _ := newBareNode(t)
+	// Deliver 3, 1, 2: the hold-back queue must emit 1, 2, 3.
+	n.handleSequenced(seqEnv(3, 1, 3, "c"))
+	if len(*delivered) != 0 {
+		t.Fatalf("delivered before the gap filled: %v", *delivered)
+	}
+	n.handleSequenced(seqEnv(1, 1, 1, "a"))
+	n.handleSequenced(seqEnv(2, 1, 2, "b"))
+	got := *delivered
+	if len(got) != 3 {
+		t.Fatalf("delivered %d", len(got))
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if got[i].Payload != want || got[i].Seq != uint64(i+1) {
+			t.Fatalf("delivery %d: %+v", i, got[i])
+		}
+	}
+}
+
+func TestDuplicateSequencedSlotIgnored(t *testing.T) {
+	n, delivered, _ := newBareNode(t)
+	n.handleSequenced(seqEnv(1, 1, 1, "a"))
+	n.handleSequenced(seqEnv(1, 1, 1, "a")) // duplicate of a delivered slot
+	if len(*delivered) != 1 {
+		t.Fatalf("duplicate slot delivered: %v", *delivered)
+	}
+}
+
+func TestSequencerDedupsReForwardedBroadcast(t *testing.T) {
+	// The sequencer must not assign a second slot to a forward whose
+	// original it already sequenced (retransmission after takeover).
+	v := vclock.NewVirtual()
+	g := NewGroup(Config{Clock: v, Members: []ids.ReplicaID{1, 2}, Latency: time.Millisecond})
+	seqNode := g.Node(1)
+	var mu sync.Mutex
+	var got []Message
+	seqNode.SetDeliver(func(m Message) {
+		mu.Lock()
+		got = append(got, m)
+		mu.Unlock()
+	})
+	fwd := envelope{kind: envForward, origin: Origin{Replica: 2}, uid: 7, payload: "x"}
+	done := make(chan struct{})
+	v.Go(func() {
+		defer close(done)
+		seqNode.handleForward(fwd)
+		seqNode.handleForward(fwd) // duplicate forward
+		v.Sleep(time.Second)
+	})
+	<-done
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 {
+		t.Fatalf("sequencer assigned %d slots for one broadcast", len(got))
+	}
+}
+
+func TestCrashedNodeDropsEnqueues(t *testing.T) {
+	n, delivered, v := newBareNode(t)
+	n.g.Crash(2)
+	done := make(chan struct{})
+	v.Go(func() {
+		defer close(done)
+		n.enqueue(seqEnv(1, 1, 1, "a"))
+		v.Sleep(10 * time.Millisecond)
+	})
+	<-done
+	if len(*delivered) != 0 {
+		t.Fatal("crashed node delivered a message")
+	}
+}
+
+func TestOriginKeyDistinguishesClientsAndReplicas(t *testing.T) {
+	r := origKey(Origin{Replica: 3}, 7)
+	c := origKey(Origin{Client: 3, IsClient: true}, 7)
+	if r == c {
+		t.Fatalf("replica and client keys collide: %q", r)
+	}
+}
+
+func TestSortUint64(t *testing.T) {
+	s := []uint64{5, 1, 4, 1, 3}
+	sortUint64(s)
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1] {
+			t.Fatalf("not sorted: %v", s)
+		}
+	}
+}
+
+func TestFnv32Stable(t *testing.T) {
+	if fnv32("a>b") != fnv32("a>b") {
+		t.Fatal("hash not stable")
+	}
+	if fnv32("a>b") == fnv32("b>a") {
+		t.Fatal("suspicious collision on reversed key")
+	}
+}
+
+func TestSendDirectToCrashedTargetDropped(t *testing.T) {
+	v := vclock.NewVirtual()
+	g := NewGroup(Config{Clock: v, Members: []ids.ReplicaID{1, 2}, Latency: time.Millisecond})
+	delivered := 0
+	g.Node(2).SetDirect(func(Origin, Payload) { delivered++ })
+	g.Crash(2)
+	done := make(chan struct{})
+	v.Go(func() {
+		defer close(done)
+		g.Node(1).SendDirect(2, "x")
+		v.Sleep(10 * time.Millisecond)
+	})
+	<-done
+	if delivered != 0 {
+		t.Fatal("message delivered to a crashed node")
+	}
+	if !g.Alive(1) || g.Alive(2) {
+		t.Fatal("Alive view wrong")
+	}
+	live := g.LiveMembers()
+	if len(live) != 1 || live[0] != 1 {
+		t.Fatalf("live members %v", live)
+	}
+}

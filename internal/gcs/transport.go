@@ -1,0 +1,96 @@
+package gcs
+
+import (
+	"sync"
+	"time"
+
+	"detmt/internal/vclock"
+)
+
+// The transport models point-to-point links with a fixed one-way latency
+// and FIFO ordering: messages sent on the same link never overtake each
+// other, even when their virtual send instants coincide. Each link drains
+// through its own managed goroutine, so per-link order equals send order
+// by construction (the sender enqueues synchronously inside transfer).
+
+type timedEnv struct {
+	sentAt time.Duration
+	env    envelope
+}
+
+type link struct {
+	g       *Group
+	key     string
+	deliver func(envelope)
+	// order ranks this link's delivery timer among same-instant timers:
+	// derived from the link key, so simultaneous arrivals on different
+	// links are always processed in the same (arbitrary but fixed)
+	// order — a requirement for rerun-identical simulations.
+	order uint64
+
+	mu      sync.Mutex
+	queue   []timedEnv
+	running bool
+}
+
+// linkOrderBase places link timers between thread timers (small ids) and
+// the per-node delivery/pump parkers (top of the range).
+const linkOrderBase = uint64(1) << 62
+
+func fnv32(s string) uint64 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return uint64(h)
+}
+
+// linkTo returns (creating on demand) the FIFO link identified by key.
+func (g *Group) linkTo(key string, deliver func(envelope)) *link {
+	g.linksMu.Lock()
+	defer g.linksMu.Unlock()
+	if g.links == nil {
+		g.links = map[string]*link{}
+	}
+	lk := g.links[key]
+	if lk == nil {
+		lk = &link{g: g, key: key, deliver: deliver, order: linkOrderBase + fnv32(key)}
+		g.links[key] = lk
+	}
+	return lk
+}
+
+// transfer puts env on the named link. deliver runs after the configured
+// latency, in send order per link.
+func (g *Group) transfer(key string, deliver func(envelope), env envelope) {
+	g.stats.add(1, 0, 0)
+	lk := g.linkTo(key, deliver)
+	lk.mu.Lock()
+	lk.queue = append(lk.queue, timedEnv{sentAt: g.cfg.Clock.Now(), env: env})
+	start := !lk.running
+	lk.running = true
+	lk.mu.Unlock()
+	if start {
+		g.cfg.Clock.Go(lk.drain)
+	}
+}
+
+func (lk *link) drain() {
+	for {
+		lk.mu.Lock()
+		if len(lk.queue) == 0 {
+			lk.running = false
+			lk.mu.Unlock()
+			return
+		}
+		te := lk.queue[0]
+		lk.queue = lk.queue[1:]
+		lk.mu.Unlock()
+		arrival := te.sentAt + lk.g.cfg.Latency
+		if d := arrival - lk.g.cfg.Clock.Now(); d > 0 {
+			vclock.SleepOrdered(lk.g.cfg.Clock, d, "link "+lk.key, lk.order)
+		}
+		lk.deliver(te.env)
+	}
+}

@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"detmt/internal/metrics"
+	"detmt/internal/replica"
+)
+
+// The advisor implements the paper's future-work "request analyser that
+// chooses the appropriate scheduler at runtime depending on the client
+// interaction patterns and the methods' lock pattern" — as an offline
+// profiler: it runs a short probe simulation of each candidate strategy
+// on the observed workload profile and recommends the fastest. The
+// probes run in virtual time, so the whole advisory pass costs
+// milliseconds of real time.
+
+// Advice is the advisor's outcome for one workload profile.
+type Advice struct {
+	Recommended replica.SchedulerKind
+	// Probes holds the measured mean latency per candidate.
+	Probes map[replica.SchedulerKind]time.Duration
+}
+
+// Advise probes the candidate schedulers on the given workload profile
+// and returns the fastest. Candidates default to every strategy.
+func Advise(profile SimOptions, candidates []replica.SchedulerKind) Advice {
+	if len(candidates) == 0 {
+		candidates = replica.AllKinds()
+	}
+	adv := Advice{Probes: map[replica.SchedulerKind]time.Duration{}}
+	best := time.Duration(-1)
+	for _, kind := range candidates {
+		probe := profile
+		probe.Kind = kind
+		if kind == replica.KindPDS {
+			probe.DummyInterval = 2 * time.Millisecond
+			probe.PDSWindow = minInt(probe.Clients, 8)
+		}
+		r := RunSim(probe)
+		lat := r.Latency.Mean()
+		adv.Probes[kind] = lat
+		if best < 0 || lat < best {
+			best = lat
+			adv.Recommended = kind
+		}
+	}
+	return adv
+}
+
+// Advisor renders the advisory experiment: three contrasting workload
+// profiles and what the request analyser would pick for each.
+func Advisor() Result {
+	type profile struct {
+		name  string
+		tweak func(*SimOptions)
+	}
+	profiles := []profile{
+		{"nested-heavy, shared locks (paper Fig. 1)", func(o *SimOptions) {
+			o.Clients = 8
+		}},
+		{"compute-heavy, disjoint locks", func(o *SimOptions) {
+			o.Clients = 8
+			o.Workload.PNested = 0
+			o.Workload.PCompute = 1.0
+		}},
+		{"single client (no concurrency to exploit)", func(o *SimOptions) {
+			o.Clients = 1
+		}},
+	}
+	// LSA excluded: its latency win is bought with leader dependence and
+	// broadcast load, which the advisor treats as a policy veto; the
+	// probes below compare the symmetric strategies.
+	candidates := []replica.SchedulerKind{
+		replica.KindSEQ, replica.KindSAT, replica.KindPDS,
+		replica.KindMAT, replica.KindMATLLA, replica.KindPMAT,
+	}
+	tb := metrics.NewTable("workload profile", "recommended", "best [ms]", "SEQ [ms]", "MAT [ms]", "PMAT [ms]")
+	for _, p := range profiles {
+		o := DefaultSim()
+		o.RequestsPerClient = 2
+		p.tweak(&o)
+		adv := Advise(o, candidates)
+		tb.Row(p.name, string(adv.Recommended),
+			metrics.Ms(adv.Probes[adv.Recommended]),
+			metrics.Ms(adv.Probes[replica.KindSEQ]),
+			metrics.Ms(adv.Probes[replica.KindMAT]),
+			metrics.Ms(adv.Probes[replica.KindPMAT]))
+	}
+	var b strings.Builder
+	b.WriteString("Scheduler advisor (paper Sect. 5 future work: request analyser)\n")
+	b.WriteString("Each profile is probed with every symmetric strategy in virtual time;\n")
+	b.WriteString("the fastest probe wins.\n\n")
+	b.WriteString(tb.String())
+	b.WriteString(fmt.Sprintf("\n(probes cost virtual time only; a full advisory pass simulates %d runs)\n",
+		len(profiles)*len(candidates)))
+	return Result{ID: "advisor", Title: "E11 — scheduler advisor", Text: b.String()}
+}

@@ -1,0 +1,96 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"detmt/internal/metrics"
+	"detmt/internal/replica"
+)
+
+// Fig1Options parameterises the Fig. 1 reproduction: mean invocation
+// latency as a function of the number of clients, per algorithm.
+type Fig1Options struct {
+	Sim     SimOptions
+	Clients []int
+	Kinds   []replica.SchedulerKind
+}
+
+// DefaultFig1Options mirrors the paper's setup: 3 replicas, the five
+// algorithms of Fig. 1 (SEQ, SAT, LSA, PDS, MAT) plus our MAT+LLA and
+// PMAT extensions, client counts sweeping 1..48.
+func DefaultFig1Options() Fig1Options {
+	sim := DefaultSim()
+	sim.RequestsPerClient = 4
+	return Fig1Options{
+		Sim:     sim,
+		Clients: []int{1, 2, 4, 8, 16, 32, 48},
+		Kinds: []replica.SchedulerKind{
+			replica.KindSEQ, replica.KindSAT, replica.KindLSA,
+			replica.KindPDS, replica.KindMAT,
+			replica.KindMATLLA, replica.KindPMAT,
+		},
+	}
+}
+
+// Fig1Cell runs one (algorithm, client-count) cell.
+func Fig1Cell(o Fig1Options, kind replica.SchedulerKind, clients int) *SimResult {
+	sim := o.Sim
+	sim.Kind = kind
+	sim.Clients = clients
+	if kind == replica.KindPDS {
+		// The published PDS needs the pool filled; run the dummy pump at
+		// roughly the nested-invocation granularity (paper Sect. 3.3).
+		sim.PDSWindow = minInt(clients, 8)
+		sim.DummyInterval = 2 * time.Millisecond
+	}
+	return RunSim(sim)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Fig1 regenerates the Fig. 1 series: one row per algorithm, one column
+// per client count, cells are mean invocation latency in milliseconds.
+func Fig1(o Fig1Options) Result {
+	header := []string{"algorithm \\ clients"}
+	for _, c := range o.Clients {
+		header = append(header, fmt.Sprintf("%d", c))
+	}
+	tb := metrics.NewTable(header...)
+	for _, kind := range o.Kinds {
+		row := []interface{}{string(kind)}
+		for _, c := range o.Clients {
+			r := Fig1Cell(o, kind, c)
+			row = append(row, metrics.Ms(r.Latency.Mean()))
+		}
+		tb.Row(row...)
+	}
+	var b strings.Builder
+	b.WriteString("Mean remote-invocation latency [ms] vs. number of clients\n")
+	fmt.Fprintf(&b, "(%d replicas, %v LAN latency, %v nested calls, %d-iteration workload, seed %d)\n\n",
+		o.Sim.Replicas, o.Sim.NetLatency, o.Sim.NestedLatency, o.Sim.Workload.Iterations, o.Sim.Seed)
+	b.WriteString(tb.String())
+	b.WriteString("\nExpected shape (paper Fig. 1): SEQ scales worst; PDS and LSA beat SEQ;\nMAT scales far better than PDS; LSA has the lowest client-perceived\nlatency because the client accepts the leader's (unrestricted) reply.\n")
+	return Result{ID: "fig1", Title: "Fig. 1 — latency vs. clients", Text: b.String()}
+}
+
+// Fig1Throughput is the companion view: completed requests per second of
+// virtual time, at the largest client count.
+func Fig1Throughput(o Fig1Options) Result {
+	clients := o.Clients[len(o.Clients)-1]
+	tb := metrics.NewTable("algorithm", "requests", "makespan [ms]", "throughput [req/s]", "mean lat [ms]", "p95 lat [ms]")
+	for _, kind := range o.Kinds {
+		r := Fig1Cell(o, kind, clients)
+		tput := float64(r.Requests) / r.Makespan.Seconds()
+		tb.Row(string(kind), r.Requests, metrics.Ms(r.Makespan),
+			fmt.Sprintf("%.1f", tput), metrics.Ms(r.Latency.Mean()), metrics.Ms(r.Latency.Percentile(95)))
+	}
+	text := fmt.Sprintf("Throughput at %d clients\n\n%s", clients, tb.String())
+	return Result{ID: "fig1tput", Title: "Fig. 1 companion — throughput", Text: text}
+}

@@ -1,0 +1,212 @@
+// Package harness defines the experiment suite that regenerates every
+// figure and table of the paper's evaluation, plus the ablations listed
+// in DESIGN.md (experiment index E1–E10). Each experiment runs on fresh
+// virtual-clock clusters and renders its outcome as a text table or
+// timeline, so `cmd/detmt-bench` and the benchmark suite can print the
+// same series the paper reports.
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"detmt/internal/analysis"
+	"detmt/internal/gcs"
+	"detmt/internal/ids"
+	"detmt/internal/lang"
+	"detmt/internal/metrics"
+	"detmt/internal/replica"
+	"detmt/internal/trace"
+	"detmt/internal/vclock"
+	"detmt/internal/workload"
+)
+
+// Result is one experiment's rendered outcome.
+type Result struct {
+	ID    string // experiment id from DESIGN.md (e.g. "fig1")
+	Title string
+	Text  string
+}
+
+// SimOptions parameterises one simulated cluster run.
+type SimOptions struct {
+	Kind              replica.SchedulerKind
+	Replicas          int
+	Clients           int
+	RequestsPerClient int
+	Seed              uint64
+	NetLatency        time.Duration
+	NestedLatency     time.Duration
+	Workload          workload.Fig1Config
+	PDSWindow         int
+	PDSRelaxed        bool
+	DummyInterval     time.Duration // 0: no dummy pump
+	// CrashSequencerAfter crashes the sequencer after this many completed
+	// requests per client 1 (0: never). Used by the takeover experiment.
+	CrashAfterWarmup bool
+	DetectTimeout    time.Duration
+}
+
+// DefaultSim returns the baseline parameters: 3 replicas on a 500µs LAN,
+// 12ms nested invocations, the paper's Fig. 1 workload.
+func DefaultSim() SimOptions {
+	return SimOptions{
+		Kind:              replica.KindMAT,
+		Replicas:          3,
+		Clients:           4,
+		RequestsPerClient: 3,
+		Seed:              1,
+		NetLatency:        500 * time.Microsecond,
+		NestedLatency:     12 * time.Millisecond,
+		Workload:          workload.DefaultFig1(),
+		PDSWindow:         4,
+		DetectTimeout:     50 * time.Millisecond,
+	}
+}
+
+// SimResult captures the measurements of one cluster run.
+type SimResult struct {
+	Latency    *metrics.Sample // client-perceived per-request latency
+	Makespan   time.Duration   // virtual time until the last reply
+	Requests   int
+	Transfers  int // point-to-point wire transfers
+	Broadcasts int
+	Directs    int
+	// TakeoverLatency is the latency of the first request issued after
+	// the sequencer crash (only with CrashAfterWarmup).
+	TakeoverLatency time.Duration
+	// StateTotal is the replicated object's final counter (sanity).
+	StateTotal int64
+	// Hashes are the per-replica schedule consistency hashes.
+	Hashes []uint64
+	// BookkeepingEvents counts lockinfo/ignore/loopdone trace events on
+	// replica 1 — the prediction-overhead proxy of experiment E7.
+	BookkeepingEvents int
+	// Trace is replica 1's full scheduler trace (timelines, JSON export).
+	Trace *trace.Trace
+}
+
+var analysisCache sync.Map // source -> *analysis.Result
+
+func analyzed(src string) *analysis.Result {
+	if v, ok := analysisCache.Load(src); ok {
+		return v.(*analysis.Result)
+	}
+	res := analysis.MustAnalyze(lang.MustParse(src))
+	analysisCache.Store(src, res)
+	return res
+}
+
+// RunSim executes one cluster simulation to completion and returns its
+// measurements. It panics with the virtual clock's diagnostic if the run
+// genuinely deadlocks and aborts after a real-time watchdog.
+func RunSim(o SimOptions) *SimResult {
+	if o.Replicas <= 0 {
+		o.Replicas = 3
+	}
+	res := analyzed(workload.Fig1Source(o.Workload))
+	v := vclock.NewVirtual()
+	if o.Kind == replica.KindPDS || o.CrashAfterWarmup {
+		// Leftover dummy threads legitimately starve at the last PDS
+		// barrier, and a crashed replica's in-flight threads stay parked;
+		// neither is a simulation bug.
+		v.SetDeadlockHandler(func(string) {})
+	}
+	members := make([]ids.ReplicaID, o.Replicas)
+	for i := range members {
+		members[i] = ids.ReplicaID(i + 1)
+	}
+	g := gcs.NewGroup(gcs.Config{
+		Clock:         v,
+		Members:       members,
+		Latency:       o.NetLatency,
+		DetectTimeout: o.DetectTimeout,
+	})
+	reps := make([]*replica.Replica, 0, o.Replicas)
+	for _, id := range members {
+		reps = append(reps, replica.New(replica.Config{
+			ID:            id,
+			Clock:         v,
+			Group:         g,
+			Analysis:      res,
+			Kind:          o.Kind,
+			PDSWindow:     o.PDSWindow,
+			PDSRelaxed:    o.PDSRelaxed,
+			NestedLatency: o.NestedLatency,
+		}))
+		reps[len(reps)-1].Instance().SetField("state", int64(0))
+	}
+
+	out := &SimResult{Latency: &metrics.Sample{}}
+	var mu sync.Mutex
+	done := make(chan struct{})
+	v.Go(func() {
+		defer close(done)
+		if o.DummyInterval > 0 {
+			reps[0].StartDummyPump(o.DummyInterval)
+		}
+		rootRNG := ids.NewRNG(o.Seed)
+		grp := vclock.NewGroup(v)
+		for ci := 0; ci < o.Clients; ci++ {
+			cl := replica.NewClient(v, g, ids.ClientID(ci+1))
+			rng := rootRNG.Fork()
+			first := ci == 0
+			grp.Go(func() {
+				for k := 0; k < o.RequestsPerClient; k++ {
+					args := workload.Fig1Args(o.Workload, rng)
+					_, lat, err := cl.Invoke(workload.MethodName, args...)
+					if err != nil {
+						panic(fmt.Sprintf("harness: invoke failed: %v", err))
+					}
+					mu.Lock()
+					out.Latency.Add(lat)
+					out.Requests++
+					mu.Unlock()
+				}
+				if first && o.CrashAfterWarmup {
+					g.Crash(members[0])
+					args := workload.Fig1Args(o.Workload, rng)
+					_, lat, err := cl.Invoke(workload.MethodName, args...)
+					if err != nil {
+						panic(fmt.Sprintf("harness: post-crash invoke failed: %v", err))
+					}
+					mu.Lock()
+					out.TakeoverLatency = lat
+					out.Requests++
+					mu.Unlock()
+				}
+			})
+		}
+		grp.Wait()
+		mu.Lock()
+		out.Makespan = v.Now()
+		mu.Unlock()
+		for _, r := range reps {
+			r.StopDummyPump()
+		}
+		v.Sleep(2 * time.Second) // flush follower/straggler work
+	})
+	watchdog := time.AfterFunc(10*time.Minute, func() {
+		panic("harness: simulation exceeded the real-time watchdog (deadlock?)")
+	})
+	<-done
+	watchdog.Stop()
+
+	out.Transfers, out.Broadcasts, out.Directs = g.Stats().Snapshot()
+	survivor := reps[len(reps)-1]
+	if st, ok := survivor.Instance().GetField("state").(int64); ok {
+		out.StateTotal = st
+	}
+	for _, r := range reps {
+		out.Hashes = append(out.Hashes, r.Runtime().Trace().ConsistencyHash())
+	}
+	out.Trace = reps[0].Runtime().Trace()
+	for _, e := range reps[0].Runtime().Trace().Events() {
+		switch e.Kind.String() {
+		case "lockinfo", "ignore":
+			out.BookkeepingEvents++
+		}
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+// Package ids defines the typed identifiers shared by all detmt modules
+// and a deterministic random number generator.
+//
+// Every entity that participates in a deterministic schedule — replicas,
+// client requests, scheduler-managed threads, synchronized blocks — is
+// identified by a dedicated integer type so that identifiers from
+// different spaces cannot be confused, and so that traces and decision
+// logs are comparable across replicas.
+package ids
+
+import "fmt"
+
+// ReplicaID identifies one replica of a replicated object group.
+type ReplicaID int
+
+// ClientID identifies a client issuing remote method invocations.
+type ClientID int
+
+// RequestID identifies a client request uniquely across the whole group.
+// The replication logic uses it to suppress duplicated requests; the
+// schedulers use it as the total-order tiebreaker for thread admission.
+type RequestID uint64
+
+// ThreadID identifies a scheduler-managed thread on one replica.
+// Threads executing the same request on different replicas carry the same
+// ThreadID, which is what makes per-thread traces comparable.
+type ThreadID uint64
+
+// SyncID identifies one synchronized block in the object implementation.
+// It is assigned by static analysis (package analysis) and is globally
+// unique within one object implementation, as required by the paper's
+// bookkeeping scheme (Sect. 4.1).
+type SyncID int
+
+// MutexID identifies a runtime mutex / condition-variable object.
+// In the Java model of the paper every object can act as a monitor; here
+// a mutex table maps names or indices to MutexIDs.
+type MutexID int
+
+// MethodID identifies a start method of the remote object's public
+// interface.
+type MethodID int
+
+func (r ReplicaID) String() string { return fmt.Sprintf("R%d", int(r)) }
+func (c ClientID) String() string  { return fmt.Sprintf("C%d", int(c)) }
+func (r RequestID) String() string { return fmt.Sprintf("req%d", uint64(r)) }
+func (t ThreadID) String() string  { return fmt.Sprintf("T%d", uint64(t)) }
+func (s SyncID) String() string    { return fmt.Sprintf("sync%d", int(s)) }
+func (m MutexID) String() string   { return fmt.Sprintf("mx%d", int(m)) }
+func (m MethodID) String() string  { return fmt.Sprintf("m%d", int(m)) }
+
+// NoMutex is the zero-like sentinel for "no mutex known yet"; real mutexes
+// are numbered from 0, so the sentinel is negative.
+const NoMutex MutexID = -1
+
+// NoSync is the sentinel for operations that have no static syncid, e.g.
+// locks issued by hand-written harness code rather than transformed source.
+const NoSync SyncID = -1
+
+// MakeRequestID combines a client id and a per-client sequence number into
+// a globally unique request id. 32 bits of sequence space per client is
+// plenty for any experiment in this repository.
+func MakeRequestID(c ClientID, seq uint32) RequestID {
+	return RequestID(uint64(uint32(c))<<32 | uint64(seq))
+}
+
+// Client extracts the client id from a request id built by MakeRequestID.
+func (r RequestID) Client() ClientID { return ClientID(uint32(uint64(r) >> 32)) }
+
+// Seq extracts the per-client sequence number from a request id.
+func (r RequestID) Seq() uint32 { return uint32(uint64(r)) }

@@ -1,0 +1,136 @@
+package ids
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeRequestIDRoundTrip(t *testing.T) {
+	f := func(c uint16, seq uint32) bool {
+		id := MakeRequestID(ClientID(c), seq)
+		return id.Client() == ClientID(c) && id.Seq() == seq
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequestIDUniqueAcrossClients(t *testing.T) {
+	seen := map[RequestID]bool{}
+	for c := ClientID(0); c < 50; c++ {
+		for seq := uint32(0); seq < 50; seq++ {
+			id := MakeRequestID(c, seq)
+			if seen[id] {
+				t.Fatalf("duplicate request id %v for %v/%d", id, c, seq)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{ReplicaID(2).String(), "R2"},
+		{ClientID(7).String(), "C7"},
+		{ThreadID(3).String(), "T3"},
+		{SyncID(1).String(), "sync1"},
+		{MutexID(9).String(), "mx9"},
+		{MethodID(4).String(), "m4"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		n := r.Intn(13)
+		if n < 0 || n >= 13 {
+			t.Fatalf("Intn(13) = %d out of range", n)
+		}
+	}
+}
+
+func TestRNGIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(99)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of range", f)
+		}
+	}
+}
+
+func TestRNGBoolProbability(t *testing.T) {
+	r := NewRNG(5)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.2) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.18 || frac > 0.22 {
+		t.Fatalf("Bool(0.2) hit fraction %v, want ~0.2", frac)
+	}
+}
+
+func TestRNGForkIndependent(t *testing.T) {
+	r := NewRNG(11)
+	f1 := r.Fork()
+	f2 := r.Fork()
+	if f1.Uint64() == f2.Uint64() {
+		t.Fatal("forked generators produced identical first values")
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(3)
+	for trial := 0; trial < 20; trial++ {
+		p := r.Perm(17)
+		seen := make([]bool, 17)
+		for _, v := range p {
+			if v < 0 || v >= 17 || seen[v] {
+				t.Fatalf("not a permutation: %v", p)
+			}
+			seen[v] = true
+		}
+	}
+}

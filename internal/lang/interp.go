@@ -1,0 +1,552 @@
+package lang
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"detmt/internal/core"
+	"detmt/internal/ids"
+)
+
+// Value is a runtime value of the mini language: int64, bool, Monitor, or
+// nil (null).
+type Value interface{}
+
+// Monitor is a reference to a runtime monitor (mutex + condition
+// variable).
+type Monitor ids.MutexID
+
+// Instance is one replica's live copy of an object: its field values and
+// its monitor identities. All replicas construct instances from the same
+// Object in the same way, so monitor ids agree across replicas.
+//
+// Field access is physically protected by an internal mutex; *logical*
+// protection is the program's own responsibility via sync blocks, exactly
+// as the paper's system model assumes.
+type Instance struct {
+	Obj *Object
+
+	mu       sync.Mutex
+	fields   map[string]Value
+	monitors map[string]ids.MutexID   // monitor fields
+	arrays   map[string][]ids.MutexID // monitor array fields
+	next     ids.MutexID
+}
+
+// NewInstance allocates field storage and monitor identities. Monitor ids
+// are assigned densely in field declaration order starting at base, which
+// lets several instances coexist on one runtime without collisions.
+func NewInstance(obj *Object, base ids.MutexID) *Instance {
+	in := &Instance{
+		Obj:      obj,
+		fields:   map[string]Value{},
+		monitors: map[string]ids.MutexID{},
+		arrays:   map[string][]ids.MutexID{},
+		next:     base,
+	}
+	for _, f := range obj.Fields {
+		switch f.Kind {
+		case FieldMonitor:
+			in.monitors[f.Name] = in.next
+			in.next++
+		case FieldMonitorArray:
+			arr := make([]ids.MutexID, f.Size)
+			for i := range arr {
+				arr[i] = in.next
+				in.next++
+			}
+			in.arrays[f.Name] = arr
+		default:
+			// Plain fields start at integer zero (the language's natural
+			// default); programs can still assign null explicitly.
+			in.fields[f.Name] = int64(0)
+		}
+	}
+	return in
+}
+
+// MonitorCount returns how many monitor ids the instance allocated.
+func (in *Instance) MonitorCount() int {
+	n := len(in.monitors)
+	for _, a := range in.arrays {
+		n += len(a)
+	}
+	return n
+}
+
+// GetField reads a plain field (for assertions in tests and examples).
+func (in *Instance) GetField(name string) Value {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fields[name]
+}
+
+// SetField writes a plain field (typically for initial state).
+func (in *Instance) SetField(name string, v Value) {
+	in.mu.Lock()
+	in.fields[name] = v
+	in.mu.Unlock()
+}
+
+// Snapshot returns a copy of all plain fields — the object state used for
+// replica-consistency assertions.
+func (in *Instance) Snapshot() map[string]Value {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]Value, len(in.fields))
+	for k, v := range in.fields {
+		out[k] = v
+	}
+	return out
+}
+
+// execLimit bounds interpreter steps per invocation, so buggy programs
+// fail loudly instead of hanging the virtual clock.
+const execLimit = 10_000_000
+
+type interp struct {
+	in     *Instance
+	th     *core.Thread
+	steps  int
+	locals map[string]Value
+	params map[string]Value
+}
+
+type returned struct{ v Value }
+
+func (returned) Error() string { return "return" }
+
+// Exec runs the named method with the given positional arguments on the
+// (scheduler-managed) thread th and returns the method's return value.
+func (in *Instance) Exec(th *core.Thread, method string, args []Value) (Value, error) {
+	m := in.Obj.Lookup(method)
+	if m == nil {
+		return nil, fmt.Errorf("lang: unknown method %q", method)
+	}
+	return in.exec(th, m, args, new(int))
+}
+
+func (in *Instance) exec(th *core.Thread, m *Method, args []Value, steps *int) (Value, error) {
+	if len(args) != len(m.Params) {
+		return nil, fmt.Errorf("lang: %s expects %d args, got %d", m.Name, len(m.Params), len(args))
+	}
+	it := &interp{in: in, th: th, locals: map[string]Value{}, params: map[string]Value{}}
+	for i, p := range m.Params {
+		it.params[p] = args[i]
+	}
+	err := it.block(m.Body, steps)
+	if r, ok := err.(returned); ok {
+		return r.v, nil
+	}
+	return nil, err
+}
+
+func (it *interp) block(b *Block, steps *int) error {
+	for _, s := range b.Stmts {
+		if err := it.stmt(s, steps); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (it *interp) stmt(s Stmt, steps *int) error {
+	*steps++
+	if *steps > execLimit {
+		return fmt.Errorf("lang: execution step limit exceeded (infinite loop?)")
+	}
+	switch n := s.(type) {
+	case *Block:
+		return it.block(n, steps)
+	case *VarDecl:
+		v, err := it.eval(n.Init, steps)
+		if err != nil {
+			return err
+		}
+		it.locals[n.Name] = v
+		return nil
+	case *Assign:
+		v, err := it.eval(n.Value, steps)
+		if err != nil {
+			return err
+		}
+		return it.assign(n.Target, v, steps)
+	case *If:
+		c, err := it.evalBool(n.Cond, steps)
+		if err != nil {
+			return err
+		}
+		if c {
+			return it.block(n.Then, steps)
+		}
+		if n.Else != nil {
+			return it.block(n.Else, steps)
+		}
+		return nil
+	case *While:
+		for {
+			c, err := it.evalBool(n.Cond, steps)
+			if err != nil {
+				return err
+			}
+			if !c {
+				return nil
+			}
+			if err := it.block(n.Body, steps); err != nil {
+				return err
+			}
+			*steps++
+			if *steps > execLimit {
+				return fmt.Errorf("lang: execution step limit exceeded (infinite loop?)")
+			}
+		}
+	case *Repeat:
+		count, err := it.evalInt(n.Count, steps)
+		if err != nil {
+			return err
+		}
+		saved, had := it.locals[n.Var]
+		for i := int64(0); i < count; i++ {
+			it.locals[n.Var] = i
+			if err := it.block(n.Body, steps); err != nil {
+				return err
+			}
+		}
+		if had {
+			it.locals[n.Var] = saved
+		} else {
+			delete(it.locals, n.Var)
+		}
+		return nil
+	case *Sync:
+		// Untransformed sync: behave like lock/body/unlock with the
+		// node's syncid (NoSync when analysis has not run).
+		mid, err := it.evalMonitor(n.Param, steps)
+		if err != nil {
+			return err
+		}
+		sid := n.SyncID
+		if sid == 0 {
+			sid = ids.NoSync
+		}
+		it.th.Lock(sid, mid)
+		err = it.block(n.Body, steps)
+		it.th.Unlock(sid, mid)
+		return err
+	case *LockStmt:
+		mid, err := it.evalMonitor(n.Param, steps)
+		if err != nil {
+			return err
+		}
+		it.th.Lock(n.SyncID, mid)
+		return nil
+	case *UnlockStmt:
+		mid, err := it.evalMonitor(n.Param, steps)
+		if err != nil {
+			return err
+		}
+		it.th.Unlock(n.SyncID, mid)
+		return nil
+	case *LockInfoStmt:
+		mid, err := it.evalMonitor(n.Param, steps)
+		if err != nil {
+			return err
+		}
+		it.th.LockInfo(n.SyncID, mid)
+		return nil
+	case *IgnoreStmt:
+		it.th.Ignore(n.SyncID)
+		return nil
+	case *LoopDoneStmt:
+		it.th.LoopDone(n.SyncID)
+		return nil
+	case *Wait:
+		mid, err := it.evalMonitor(n.Monitor, steps)
+		if err != nil {
+			return err
+		}
+		if n.Timeout > 0 {
+			it.th.WaitTimeout(mid, n.Timeout)
+		} else {
+			it.th.Wait(mid)
+		}
+		return nil
+	case *Notify:
+		mid, err := it.evalMonitor(n.Monitor, steps)
+		if err != nil {
+			return err
+		}
+		if n.All {
+			it.th.NotifyAll(mid)
+		} else {
+			it.th.Notify(mid)
+		}
+		return nil
+	case *Compute:
+		us, err := it.evalInt(n.Dur, steps)
+		if err != nil {
+			return err
+		}
+		it.th.Compute(time.Duration(us) * time.Microsecond)
+		return nil
+	case *NestedCall:
+		var arg Value
+		if n.Arg != nil {
+			v, err := it.eval(n.Arg, steps)
+			if err != nil {
+				return err
+			}
+			arg = v
+		}
+		reply := it.th.Nested(arg)
+		if n.Result != "" {
+			it.locals[n.Result] = reply
+		}
+		return nil
+	case *RawLock:
+		mid, err := it.evalMonitor(n.Param, steps)
+		if err != nil {
+			return err
+		}
+		it.th.Lock(ids.NoSync, mid)
+		return nil
+	case *RawUnlock:
+		mid, err := it.evalMonitor(n.Param, steps)
+		if err != nil {
+			return err
+		}
+		it.th.Unlock(ids.NoSync, mid)
+		return nil
+	case *CallStmt:
+		_, err := it.call(n.Call, steps)
+		return err
+	case *Return:
+		if n.Value == nil {
+			return returned{}
+		}
+		v, err := it.eval(n.Value, steps)
+		if err != nil {
+			return err
+		}
+		return returned{v}
+	default:
+		return fmt.Errorf("lang: unknown statement %T", s)
+	}
+}
+
+func (it *interp) assign(target Expr, v Value, steps *int) error {
+	switch t := target.(type) {
+	case *VarRef:
+		if _, ok := it.locals[t.Name]; ok {
+			it.locals[t.Name] = v
+			return nil
+		}
+		if _, ok := it.params[t.Name]; ok {
+			it.params[t.Name] = v
+			return nil
+		}
+		f := it.in.Obj.Field(t.Name)
+		if f == nil {
+			return fmt.Errorf("lang: assignment to undeclared name %q", t.Name)
+		}
+		if f.Kind != FieldPlain {
+			return fmt.Errorf("lang: cannot assign to monitor field %q", t.Name)
+		}
+		it.in.mu.Lock()
+		it.in.fields[t.Name] = v
+		it.in.mu.Unlock()
+		return nil
+	default:
+		return fmt.Errorf("lang: invalid assignment target %T", target)
+	}
+}
+
+func (it *interp) call(c *CallExpr, steps *int) (Value, error) {
+	callee := it.in.Obj.Lookup(c.Name)
+	if callee == nil {
+		return nil, fmt.Errorf("lang: call to unknown method %q", c.Name)
+	}
+	args := make([]Value, len(c.Args))
+	for i, a := range c.Args {
+		v, err := it.eval(a, steps)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	return it.in.exec(it.th, callee, args, steps)
+}
+
+func (it *interp) eval(e Expr, steps *int) (Value, error) {
+	*steps++
+	if *steps > execLimit {
+		return nil, fmt.Errorf("lang: execution step limit exceeded (infinite loop?)")
+	}
+	switch n := e.(type) {
+	case *IntLit:
+		return n.Value, nil
+	case *NullLit:
+		return nil, nil
+	case *VarRef:
+		if v, ok := it.locals[n.Name]; ok {
+			return v, nil
+		}
+		if v, ok := it.params[n.Name]; ok {
+			return v, nil
+		}
+		f := it.in.Obj.Field(n.Name)
+		if f == nil {
+			return nil, fmt.Errorf("lang: unknown name %q", n.Name)
+		}
+		switch f.Kind {
+		case FieldMonitor:
+			return Monitor(it.in.monitors[n.Name]), nil
+		case FieldMonitorArray:
+			return nil, fmt.Errorf("lang: monitor array %q used without index", n.Name)
+		default:
+			it.in.mu.Lock()
+			v := it.in.fields[n.Name]
+			it.in.mu.Unlock()
+			return v, nil
+		}
+	case *Index:
+		arr, ok := it.in.arrays[n.Base]
+		if !ok {
+			return nil, fmt.Errorf("lang: %q is not a monitor array", n.Base)
+		}
+		idx, err := it.evalInt(n.Index, steps)
+		if err != nil {
+			return nil, err
+		}
+		if idx < 0 || int(idx) >= len(arr) {
+			return nil, fmt.Errorf("lang: index %d out of range for %s[%d]", idx, n.Base, len(arr))
+		}
+		return Monitor(arr[idx]), nil
+	case *Binary:
+		return it.evalBinary(n, steps)
+	case *CallExpr:
+		return it.call(n, steps)
+	default:
+		return nil, fmt.Errorf("lang: unknown expression %T", e)
+	}
+}
+
+func (it *interp) evalBinary(n *Binary, steps *int) (Value, error) {
+	// Short-circuit logicals first.
+	if n.Op == "&&" || n.Op == "||" {
+		l, err := it.evalBool(n.L, steps)
+		if err != nil {
+			return nil, err
+		}
+		if n.Op == "&&" && !l {
+			return false, nil
+		}
+		if n.Op == "||" && l {
+			return true, nil
+		}
+		return it.evalBool(n.R, steps)
+	}
+	l, err := it.eval(n.L, steps)
+	if err != nil {
+		return nil, err
+	}
+	r, err := it.eval(n.R, steps)
+	if err != nil {
+		return nil, err
+	}
+	switch n.Op {
+	case "==":
+		return valueEqual(l, r), nil
+	case "!=":
+		return !valueEqual(l, r), nil
+	}
+	li, lok := l.(int64)
+	ri, rok := r.(int64)
+	if !lok || !rok {
+		return nil, fmt.Errorf("lang: operator %q needs integers, got %T and %T", n.Op, l, r)
+	}
+	switch n.Op {
+	case "+":
+		return li + ri, nil
+	case "-":
+		return li - ri, nil
+	case "*":
+		return li * ri, nil
+	case "/":
+		if ri == 0 {
+			return nil, fmt.Errorf("lang: division by zero")
+		}
+		return li / ri, nil
+	case "%":
+		if ri == 0 {
+			return nil, fmt.Errorf("lang: modulo by zero")
+		}
+		return li % ri, nil
+	case "<":
+		return li < ri, nil
+	case "<=":
+		return li <= ri, nil
+	case ">":
+		return li > ri, nil
+	case ">=":
+		return li >= ri, nil
+	default:
+		return nil, fmt.Errorf("lang: unknown operator %q", n.Op)
+	}
+}
+
+func valueEqual(l, r Value) bool {
+	if l == nil || r == nil {
+		return l == nil && r == nil
+	}
+	switch lv := l.(type) {
+	case int64:
+		rv, ok := r.(int64)
+		return ok && lv == rv
+	case Monitor:
+		rv, ok := r.(Monitor)
+		return ok && lv == rv
+	case bool:
+		rv, ok := r.(bool)
+		return ok && lv == rv
+	default:
+		return false
+	}
+}
+
+func (it *interp) evalBool(e Expr, steps *int) (bool, error) {
+	v, err := it.eval(e, steps)
+	if err != nil {
+		return false, err
+	}
+	b, ok := v.(bool)
+	if !ok {
+		return false, fmt.Errorf("lang: condition is %T, want bool", v)
+	}
+	return b, nil
+}
+
+func (it *interp) evalInt(e Expr, steps *int) (int64, error) {
+	v, err := it.eval(e, steps)
+	if err != nil {
+		return 0, err
+	}
+	i, ok := v.(int64)
+	if !ok {
+		return 0, fmt.Errorf("lang: expected integer, got %T", v)
+	}
+	return i, nil
+}
+
+func (it *interp) evalMonitor(e Expr, steps *int) (ids.MutexID, error) {
+	v, err := it.eval(e, steps)
+	if err != nil {
+		return ids.NoMutex, err
+	}
+	m, ok := v.(Monitor)
+	if !ok {
+		return ids.NoMutex, fmt.Errorf("lang: sync parameter is %T, want monitor", v)
+	}
+	return ids.MutexID(m), nil
+}

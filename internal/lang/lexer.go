@@ -1,0 +1,165 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokDur // duration literal, value in microseconds
+	tokPunct
+)
+
+type token struct {
+	kind tokKind
+	text string
+	val  int64 // for tokInt / tokDur
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokIdent, tokPunct:
+		return fmt.Sprintf("%q", t.text)
+	default:
+		return t.text
+	}
+}
+
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *lexer) errorf(line, col int, format string, args ...interface{}) error {
+	return fmt.Errorf("lang: %d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+// next returns the next token, skipping whitespace and // comments.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		r := l.peek()
+		switch {
+		case r == ' ' || r == '\t' || r == '\r' || r == '\n':
+			l.advance()
+		case r == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			goto body
+		}
+	}
+	return token{kind: tokEOF, line: l.line, col: l.col}, nil
+
+body:
+	line, col := l.line, l.col
+	r := l.peek()
+	switch {
+	case unicode.IsLetter(r) || r == '_':
+		start := l.pos
+		for l.pos < len(l.src) && (unicode.IsLetter(l.peek()) || unicode.IsDigit(l.peek()) || l.peek() == '_') {
+			l.advance()
+		}
+		return token{kind: tokIdent, text: string(l.src[start:l.pos]), line: line, col: col}, nil
+	case unicode.IsDigit(r):
+		start := l.pos
+		for l.pos < len(l.src) && unicode.IsDigit(l.peek()) {
+			l.advance()
+		}
+		digits := string(l.src[start:l.pos])
+		n, err := strconv.ParseInt(digits, 10, 64)
+		if err != nil {
+			return token{}, l.errorf(line, col, "bad integer %q", digits)
+		}
+		// Optional duration suffix: us, ms, s.
+		if l.pos < len(l.src) && unicode.IsLetter(l.peek()) {
+			sStart := l.pos
+			for l.pos < len(l.src) && unicode.IsLetter(l.peek()) {
+				l.advance()
+			}
+			suffix := string(l.src[sStart:l.pos])
+			var mult int64
+			switch suffix {
+			case "us":
+				mult = 1
+			case "ms":
+				mult = 1000
+			case "s":
+				mult = 1000000
+			default:
+				return token{}, l.errorf(line, col, "unknown duration suffix %q", suffix)
+			}
+			return token{kind: tokDur, text: digits + suffix, val: n * mult, line: line, col: col}, nil
+		}
+		return token{kind: tokInt, text: digits, val: n, line: line, col: col}, nil
+	default:
+		// Multi-char operators first.
+		two := ""
+		if l.pos+1 < len(l.src) {
+			two = string(l.src[l.pos : l.pos+2])
+		}
+		switch two {
+		case "==", "!=", "<=", ">=", "&&", "||":
+			l.advance()
+			l.advance()
+			return token{kind: tokPunct, text: two, line: line, col: col}, nil
+		}
+		switch r {
+		case '{', '}', '(', ')', '[', ']', ';', ',', '=', '<', '>', '+', '-', '*', '/', '%', ':', '!':
+			l.advance()
+			return token{kind: tokPunct, text: string(r), line: line, col: col}, nil
+		}
+		return token{}, l.errorf(line, col, "unexpected character %q", r)
+	}
+}
+
+// lexAll tokenises the whole input.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,629 @@
+package lang
+
+import (
+	"fmt"
+	"time"
+
+	"detmt/internal/ids"
+)
+
+// Parse turns a source string into an Object declaration.
+func Parse(src string) (*Object, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	obj, err := p.parseObject()
+	if err != nil {
+		return nil, err
+	}
+	return obj, nil
+}
+
+// MustParse is Parse that panics on error; for tests and fixed fixtures.
+func MustParse(src string) *Object {
+	obj, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return obj
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errorf(t token, format string, args ...interface{}) error {
+	return fmt.Errorf("lang: %d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.next()
+	if t.kind != tokPunct || t.text != s {
+		return p.errorf(t, "expected %q, got %s", s, t)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return "", p.errorf(t, "expected identifier, got %s", t)
+	}
+	return t.text, nil
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	if p.cur().kind == tokPunct && p.cur().text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptKeyword(s string) bool {
+	if p.cur().kind == tokIdent && p.cur().text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseObject() (*Object, error) {
+	if !p.acceptKeyword("object") {
+		return nil, p.errorf(p.cur(), "expected 'object'")
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	obj := &Object{Name: name}
+	for !p.acceptPunct("}") {
+		switch {
+		case p.acceptKeyword("monitor"):
+			fname, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			f := &FieldDecl{Name: fname, Kind: FieldMonitor}
+			if p.acceptPunct("[") {
+				t := p.next()
+				if t.kind != tokInt || t.val < 1 {
+					return nil, p.errorf(t, "monitor array size must be a positive integer")
+				}
+				f.Kind = FieldMonitorArray
+				f.Size = int(t.val)
+				if err := p.expectPunct("]"); err != nil {
+					return nil, err
+				}
+			}
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+			obj.Fields = append(obj.Fields, f)
+		case p.acceptKeyword("field"):
+			fname, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+			obj.Fields = append(obj.Fields, &FieldDecl{Name: fname, Kind: FieldPlain})
+		case p.acceptKeyword("method"):
+			m, err := p.parseMethod()
+			if err != nil {
+				return nil, err
+			}
+			m.ID = ids.MethodID(len(obj.Methods) + 1)
+			obj.Methods = append(obj.Methods, m)
+		default:
+			return nil, p.errorf(p.cur(), "expected field, monitor, or method declaration")
+		}
+	}
+	if t := p.cur(); t.kind != tokEOF {
+		return nil, p.errorf(t, "trailing input after object")
+	}
+	return obj, nil
+}
+
+func (p *parser) parseMethod() (*Method, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	m := &Method{Name: name}
+	if !p.acceptPunct(")") {
+		for {
+			pn, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			m.Params = append(m.Params, pn)
+			if p.acceptPunct(")") {
+				break
+			}
+			if err := p.expectPunct(","); err != nil {
+				return nil, err
+			}
+		}
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	m.Body = body
+	return m, nil
+}
+
+func (p *parser) parseBlock() (*Block, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	b := &Block{}
+	for !p.acceptPunct("}") {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return nil, p.errorf(t, "expected statement, got %s", t)
+	}
+	switch t.text {
+	case "var":
+		p.pos++
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		// `var y = nested(arg);` binds a nested-invocation reply.
+		if p.cur().kind == tokIdent && p.cur().text == "nested" {
+			p.pos++
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			var arg Expr
+			if !p.acceptPunct(")") {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				arg = a
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+			}
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+			return &NestedCall{Arg: arg, Result: name}, nil
+		}
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &VarDecl{Name: name, Init: init}, nil
+	case "if":
+		p.pos++
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		node := &If{Cond: cond, Then: then}
+		if p.acceptKeyword("else") {
+			if p.cur().kind == tokIdent && p.cur().text == "if" {
+				inner, err := p.parseStmt()
+				if err != nil {
+					return nil, err
+				}
+				node.Else = &Block{Stmts: []Stmt{inner}}
+			} else {
+				els, err := p.parseBlock()
+				if err != nil {
+					return nil, err
+				}
+				node.Else = els
+			}
+		}
+		return node, nil
+	case "while":
+		p.pos++
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &While{Cond: cond, Body: body}, nil
+	case "repeat":
+		p.pos++
+		v, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(":"); err != nil {
+			return nil, err
+		}
+		count, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &Repeat{Var: v, Count: count, Body: body}, nil
+	case "sync":
+		p.pos++
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		param, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &Sync{Param: param, Body: body}, nil
+	case "wait":
+		p.pos++
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		mon, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		w := &Wait{Monitor: mon}
+		if p.acceptPunct(",") {
+			d := p.next()
+			if d.kind != tokDur {
+				return nil, p.errorf(d, "wait timeout must be a duration literal")
+			}
+			w.Timeout = time.Duration(d.val) * time.Microsecond
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return w, nil
+	case "lock", "unlock":
+		raw := t.text
+		p.pos++
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		param, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		if raw == "lock" {
+			return &RawLock{Param: param}, nil
+		}
+		return &RawUnlock{Param: param}, nil
+	case "notify", "notifyall":
+		all := t.text == "notifyall"
+		p.pos++
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		mon, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &Notify{Monitor: mon, All: all}, nil
+	case "compute":
+		p.pos++
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		d, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &Compute{Dur: d}, nil
+	case "nested":
+		p.pos++
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var arg Expr
+		if !p.acceptPunct(")") {
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			arg = a
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &NestedCall{Arg: arg}, nil
+	case "return":
+		p.pos++
+		node := &Return{}
+		if !p.acceptPunct(";") {
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			node.Value = v
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+		}
+		return node, nil
+	}
+	// Assignment or helper call: IDENT ( '[' e ']' )? '=' e ';'
+	//                           | IDENT '(' args ')' ';'
+	name := p.next().text
+	if p.acceptPunct("(") {
+		call := &CallExpr{Name: name}
+		if !p.acceptPunct(")") {
+			for {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+				if p.acceptPunct(")") {
+					break
+				}
+				if err := p.expectPunct(","); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &CallStmt{Call: call}, nil
+	}
+	var target Expr = &VarRef{Name: name}
+	if p.acceptPunct("[") {
+		idx, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+		target = &Index{Base: name, Index: idx}
+	}
+	if err := p.expectPunct("="); err != nil {
+		return nil, err
+	}
+	val, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return &Assign{Target: target, Value: val}, nil
+}
+
+// ---- expressions (precedence climbing) ----
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokPunct && p.cur().text == "||" {
+		p.pos++
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "||", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokPunct && p.cur().text == "&&" {
+		p.pos++
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "&&", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPunct {
+			return l, nil
+		}
+		switch t.text {
+		case "==", "!=", "<", "<=", ">", ">=":
+			p.pos++
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: t.text, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind == tokPunct && (t.text == "+" || t.text == "-") {
+			p.pos++
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: t.text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind == tokPunct && (t.text == "*" || t.text == "/" || t.text == "%") {
+			p.pos++
+			r, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: t.text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.next()
+	switch {
+	case t.kind == tokInt:
+		return &IntLit{Value: t.val}, nil
+	case t.kind == tokDur:
+		return &IntLit{Value: t.val, IsDur: true}, nil
+	case t.kind == tokPunct && t.text == "(":
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokIdent && t.text == "null":
+		return &NullLit{}, nil
+	case t.kind == tokIdent:
+		name := t.text
+		if p.acceptPunct("(") {
+			call := &CallExpr{Name: name}
+			if !p.acceptPunct(")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if p.acceptPunct(")") {
+						break
+					}
+					if err := p.expectPunct(","); err != nil {
+						return nil, err
+					}
+				}
+			}
+			return call, nil
+		}
+		if p.acceptPunct("[") {
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			return &Index{Base: name, Index: idx}, nil
+		}
+		return &VarRef{Name: name}, nil
+	default:
+		return nil, p.errorf(t, "expected expression, got %s", t)
+	}
+}

@@ -1,0 +1,175 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Print renders an Object back to source form. Injected statements
+// (lock/unlock/lockinfo/ignore/loopdone) print as scheduler calls, which
+// makes the output of the analysis directly comparable to the paper's
+// Fig. 4 right-hand side.
+func Print(o *Object) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "object %s {\n", o.Name)
+	for _, f := range o.Fields {
+		switch f.Kind {
+		case FieldMonitor:
+			fmt.Fprintf(&b, "    monitor %s;\n", f.Name)
+		case FieldMonitorArray:
+			fmt.Fprintf(&b, "    monitor %s[%d];\n", f.Name, f.Size)
+		default:
+			fmt.Fprintf(&b, "    field %s;\n", f.Name)
+		}
+	}
+	for _, m := range o.Methods {
+		b.WriteString("\n")
+		b.WriteString(PrintMethod(m, 1))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// PrintMethod renders one method at the given indentation level.
+func PrintMethod(m *Method, indent int) string {
+	var b strings.Builder
+	pad := strings.Repeat("    ", indent)
+	fmt.Fprintf(&b, "%smethod %s(%s) {\n", pad, m.Name, strings.Join(m.Params, ", "))
+	printStmts(&b, m.Body.Stmts, indent+1)
+	fmt.Fprintf(&b, "%s}\n", pad)
+	return b.String()
+}
+
+func printStmts(b *strings.Builder, stmts []Stmt, indent int) {
+	for _, s := range stmts {
+		printStmt(b, s, indent)
+	}
+}
+
+func printStmt(b *strings.Builder, s Stmt, indent int) {
+	pad := strings.Repeat("    ", indent)
+	switch n := s.(type) {
+	case *Block:
+		fmt.Fprintf(b, "%s{\n", pad)
+		printStmts(b, n.Stmts, indent+1)
+		fmt.Fprintf(b, "%s}\n", pad)
+	case *VarDecl:
+		fmt.Fprintf(b, "%svar %s = %s;\n", pad, n.Name, PrintExpr(n.Init))
+	case *Assign:
+		fmt.Fprintf(b, "%s%s = %s;\n", pad, PrintExpr(n.Target), PrintExpr(n.Value))
+	case *If:
+		fmt.Fprintf(b, "%sif (%s) {\n", pad, PrintExpr(n.Cond))
+		printStmts(b, n.Then.Stmts, indent+1)
+		if n.Else != nil {
+			fmt.Fprintf(b, "%s} else {\n", pad)
+			printStmts(b, n.Else.Stmts, indent+1)
+		}
+		fmt.Fprintf(b, "%s}\n", pad)
+	case *While:
+		fmt.Fprintf(b, "%swhile (%s) {\n", pad, PrintExpr(n.Cond))
+		printStmts(b, n.Body.Stmts, indent+1)
+		fmt.Fprintf(b, "%s}\n", pad)
+	case *Repeat:
+		fmt.Fprintf(b, "%srepeat %s : %s {\n", pad, n.Var, PrintExpr(n.Count))
+		printStmts(b, n.Body.Stmts, indent+1)
+		fmt.Fprintf(b, "%s}\n", pad)
+	case *Sync:
+		fmt.Fprintf(b, "%ssync (%s) {\n", pad, PrintExpr(n.Param))
+		printStmts(b, n.Body.Stmts, indent+1)
+		fmt.Fprintf(b, "%s}\n", pad)
+	case *Wait:
+		if n.Timeout > 0 {
+			fmt.Fprintf(b, "%swait(%s, %s);\n", pad, PrintExpr(n.Monitor), printDur(n.Timeout))
+		} else {
+			fmt.Fprintf(b, "%swait(%s);\n", pad, PrintExpr(n.Monitor))
+		}
+	case *Notify:
+		kw := "notify"
+		if n.All {
+			kw = "notifyall"
+		}
+		fmt.Fprintf(b, "%s%s(%s);\n", pad, kw, PrintExpr(n.Monitor))
+	case *Compute:
+		fmt.Fprintf(b, "%scompute(%s);\n", pad, PrintExpr(n.Dur))
+	case *NestedCall:
+		prefix := ""
+		if n.Result != "" {
+			prefix = "var " + n.Result + " = "
+		}
+		if n.Arg != nil {
+			fmt.Fprintf(b, "%s%snested(%s);\n", pad, prefix, PrintExpr(n.Arg))
+		} else {
+			fmt.Fprintf(b, "%s%snested();\n", pad, prefix)
+		}
+	case *CallStmt:
+		fmt.Fprintf(b, "%s%s;\n", pad, PrintExpr(n.Call))
+	case *RawLock:
+		fmt.Fprintf(b, "%slock(%s);\n", pad, PrintExpr(n.Param))
+	case *RawUnlock:
+		fmt.Fprintf(b, "%sunlock(%s);\n", pad, PrintExpr(n.Param))
+	case *Return:
+		if n.Value != nil {
+			fmt.Fprintf(b, "%sreturn %s;\n", pad, PrintExpr(n.Value))
+		} else {
+			fmt.Fprintf(b, "%sreturn;\n", pad)
+		}
+	case *LockStmt:
+		fmt.Fprintf(b, "%sscheduler.lock(#%d, %s);\n", pad, n.SyncID, PrintExpr(n.Param))
+	case *UnlockStmt:
+		fmt.Fprintf(b, "%sscheduler.unlock(#%d, %s);\n", pad, n.SyncID, PrintExpr(n.Param))
+	case *LockInfoStmt:
+		fmt.Fprintf(b, "%sscheduler.lockinfo(#%d, %s);\n", pad, n.SyncID, PrintExpr(n.Param))
+	case *IgnoreStmt:
+		fmt.Fprintf(b, "%sscheduler.ignore(#%d);\n", pad, n.SyncID)
+	case *LoopDoneStmt:
+		fmt.Fprintf(b, "%sscheduler.loopdone(#%d);\n", pad, n.SyncID)
+	default:
+		fmt.Fprintf(b, "%s/* unknown stmt %T */\n", pad, s)
+	}
+}
+
+func printDur(d time.Duration) string {
+	switch {
+	case d%time.Second == 0:
+		return fmt.Sprintf("%ds", d/time.Second)
+	case d%time.Millisecond == 0:
+		return fmt.Sprintf("%dms", d/time.Millisecond)
+	default:
+		return fmt.Sprintf("%dus", d/time.Microsecond)
+	}
+}
+
+// PrintExpr renders one expression.
+func PrintExpr(e Expr) string {
+	switch n := e.(type) {
+	case *IntLit:
+		if n.IsDur {
+			return printDur(time.Duration(n.Value) * time.Microsecond)
+		}
+		return fmt.Sprintf("%d", n.Value)
+	case *NullLit:
+		return "null"
+	case *VarRef:
+		return n.Name
+	case *Index:
+		return fmt.Sprintf("%s[%s]", n.Base, PrintExpr(n.Index))
+	case *Binary:
+		return fmt.Sprintf("%s %s %s", printOperand(n.L), n.Op, printOperand(n.R))
+	case *CallExpr:
+		args := make([]string, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = PrintExpr(a)
+		}
+		return fmt.Sprintf("%s(%s)", n.Name, strings.Join(args, ", "))
+	default:
+		return fmt.Sprintf("/* unknown expr %T */", e)
+	}
+}
+
+func printOperand(e Expr) string {
+	if b, ok := e.(*Binary); ok {
+		return "(" + PrintExpr(b) + ")"
+	}
+	return PrintExpr(e)
+}

@@ -1,0 +1,364 @@
+package lockpred
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"detmt/internal/ids"
+)
+
+func simpleMethod(syncs ...ids.SyncID) *MethodInfo {
+	mi := &MethodInfo{Method: 1}
+	for _, s := range syncs {
+		mi.Entries = append(mi.Entries, StaticEntry{Sync: s})
+	}
+	return mi
+}
+
+func TestNilTableIsConservative(t *testing.T) {
+	var tt *ThreadTable
+	if tt.Predicted() {
+		t.Error("nil table predicted")
+	}
+	if !tt.MayLock(3) {
+		t.Error("nil table must conservatively MayLock everything")
+	}
+	if tt.AllLocksDone() {
+		t.Error("nil table claims all locks done")
+	}
+	// All mutators must be nil-safe.
+	tt.LockInfo(1, 2)
+	tt.Ignore(1)
+	tt.OnLock(1, 2)
+	tt.OnUnlock(1, 2)
+	tt.LoopDone(1)
+	if tt.Remaining() != nil {
+		t.Error("nil table has remaining syncids")
+	}
+	if tt.String() != "(no table)" {
+		t.Error("nil table string")
+	}
+}
+
+func TestNewThreadTableNilMethod(t *testing.T) {
+	if NewThreadTable(nil) != nil {
+		t.Fatal("table from nil method info should be nil")
+	}
+}
+
+func TestAnnounceThenPredicted(t *testing.T) {
+	tt := NewThreadTable(simpleMethod(1, 2))
+	if tt.Predicted() {
+		t.Fatal("predicted before any announcement")
+	}
+	tt.LockInfo(1, 10)
+	if tt.Predicted() {
+		t.Fatal("predicted with one pending entry")
+	}
+	tt.LockInfo(2, 11)
+	if !tt.Predicted() {
+		t.Fatal("not predicted after all entries announced")
+	}
+	if !tt.MayLock(10) || !tt.MayLock(11) || tt.MayLock(12) {
+		t.Fatal("MayLock wrong after announcements")
+	}
+}
+
+func TestIgnoreMakesPathPredicted(t *testing.T) {
+	// The paper's foo example: two branches, one syncid each; the taken
+	// branch announces its lock, the other is ignored.
+	tt := NewThreadTable(simpleMethod(1, 2))
+	tt.LockInfo(1, 10) // parameter of sync1 known at method start
+	tt.Ignore(2)       // path skips sync2
+	if !tt.Predicted() {
+		t.Fatal("ignore did not complete prediction")
+	}
+	if tt.MayLock(11) {
+		t.Fatal("ignored entry still conflicts")
+	}
+	tt.OnLock(1, 10)
+	if tt.AllLocksDone() {
+		t.Fatal("locks done while holding")
+	}
+	tt.OnUnlock(1, 10)
+	if !tt.AllLocksDone() {
+		t.Fatal("locks not done after final unlock")
+	}
+	if tt.MayLock(10) {
+		t.Fatal("completed entry still conflicts")
+	}
+}
+
+func TestSpontaneousLockAnnouncesImplicitly(t *testing.T) {
+	mi := &MethodInfo{Method: 1, Entries: []StaticEntry{{Sync: 1, Spontaneous: true}}}
+	tt := NewThreadTable(mi)
+	if tt.Predicted() {
+		t.Fatal("spontaneous entry predicted before lock")
+	}
+	if !tt.MayLock(99) {
+		t.Fatal("pending spontaneous entry must conflict with everything")
+	}
+	tt.OnLock(1, 7) // lock acts as lockinfo+lock
+	if !tt.MayLock(7) {
+		t.Fatal("held mutex must conflict")
+	}
+	if tt.MayLock(99) {
+		t.Fatal("after implicit announce the unknown is resolved")
+	}
+	tt.OnUnlock(1, 7)
+	if !tt.AllLocksDone() {
+		t.Fatal("not done after spontaneous block finished")
+	}
+}
+
+func TestReentrantHoldCounting(t *testing.T) {
+	tt := NewThreadTable(simpleMethod(1))
+	tt.OnLock(1, 5)
+	tt.OnLock(1, 5) // reentrant
+	tt.OnUnlock(1, 5)
+	if tt.AllLocksDone() {
+		t.Fatal("done while still holding reentrantly")
+	}
+	tt.OnUnlock(1, 5)
+	if !tt.AllLocksDone() {
+		t.Fatal("not done after matching unlocks")
+	}
+}
+
+func TestFixedLoopKeepsMutexUntilLoopDone(t *testing.T) {
+	mi := &MethodInfo{Method: 1, Entries: []StaticEntry{{Sync: 1, Loop: LoopFixed}}}
+	tt := NewThreadTable(mi)
+	tt.LockInfo(1, 4) // parameter assigned before loop
+	if !tt.Predicted() {
+		t.Fatal("fixed loop with known mutex should be predicted")
+	}
+	for i := 0; i < 3; i++ {
+		tt.OnLock(1, 4)
+		tt.OnUnlock(1, 4)
+		if tt.AllLocksDone() {
+			t.Fatalf("iteration %d: loop not finished but locks done", i)
+		}
+		if !tt.MayLock(4) {
+			t.Fatalf("iteration %d: loop mutex must stay respected", i)
+		}
+	}
+	tt.LoopDone(1)
+	if !tt.AllLocksDone() {
+		t.Fatal("not done after LoopDone")
+	}
+	if tt.MayLock(4) {
+		t.Fatal("loop mutex still conflicts after LoopDone")
+	}
+}
+
+func TestVariableLoopBlocksPrediction(t *testing.T) {
+	mi := &MethodInfo{Method: 1, Entries: []StaticEntry{{Sync: 1, Loop: LoopVariable}}}
+	tt := NewThreadTable(mi)
+	if tt.Predicted() {
+		t.Fatal("variable loop predicted before passing it")
+	}
+	tt.OnLock(1, 2)
+	tt.OnUnlock(1, 2)
+	tt.OnLock(1, 3) // different mutex next iteration
+	if !tt.MayLock(99) {
+		t.Fatal("open variable loop must conflict with everything")
+	}
+	tt.OnUnlock(1, 3)
+	if tt.Predicted() {
+		t.Fatal("variable loop predicted while still open")
+	}
+	tt.LoopDone(1)
+	if !tt.Predicted() || !tt.AllLocksDone() {
+		t.Fatal("variable loop not closed by LoopDone")
+	}
+}
+
+func TestVariableLoopNotTaken(t *testing.T) {
+	mi := &MethodInfo{Method: 1, Entries: []StaticEntry{{Sync: 1, Loop: LoopVariable}}}
+	tt := NewThreadTable(mi)
+	tt.LoopDone(1) // loop body never entered
+	if !tt.Predicted() || !tt.AllLocksDone() {
+		t.Fatal("untaken loop should close the entry")
+	}
+}
+
+func TestDuplicateSyncids(t *testing.T) {
+	// The same block reachable on two paths of one method appears twice;
+	// one execution locks it once and ignores the other occurrence.
+	mi := simpleMethod(1, 1)
+	tt := NewThreadTable(mi)
+	tt.LockInfo(1, 5)
+	tt.Ignore(1)
+	if !tt.Predicted() {
+		t.Fatal("duplicate syncid handling broken")
+	}
+	tt.OnLock(1, 5)
+	tt.OnUnlock(1, 5)
+	if !tt.AllLocksDone() {
+		t.Fatal("duplicate syncid not completed")
+	}
+}
+
+func TestWaitSuppressesMonitorConflict(t *testing.T) {
+	tt := NewThreadTable(simpleMethod(1))
+	tt.OnLock(1, 4)
+	if !tt.MayLock(4) {
+		t.Fatal("held monitor must conflict")
+	}
+	tt.OnWaitBegin(4)
+	if tt.MayLock(4) {
+		t.Fatal("monitor suspended in a wait must not conflict (deadlocks the notifier)")
+	}
+	if tt.AllLocksDone() {
+		t.Fatal("waiting is not done")
+	}
+	tt.OnWaitEnd(4)
+	if !tt.MayLock(4) {
+		t.Fatal("reacquired monitor must conflict again")
+	}
+	tt.OnUnlock(1, 4)
+	if !tt.AllLocksDone() {
+		t.Fatal("not done after unlock")
+	}
+	// Nil safety.
+	var nilTT *ThreadTable
+	nilTT.OnWaitBegin(1)
+	nilTT.OnWaitEnd(1)
+}
+
+func TestOpenVariableLoopConflictsWhileLocked(t *testing.T) {
+	mi := &MethodInfo{Method: 1, Entries: []StaticEntry{{Sync: 1, Loop: LoopVariable}}}
+	tt := NewThreadTable(mi)
+	tt.OnLock(1, 2)
+	if !tt.MayLock(9) {
+		t.Fatal("locked open variable loop must conflict with everything")
+	}
+}
+
+func TestRemainingAndString(t *testing.T) {
+	tt := NewThreadTable(simpleMethod(2, 1))
+	rem := tt.Remaining()
+	if len(rem) != 2 || rem[0] != 1 || rem[1] != 2 {
+		t.Fatalf("remaining %v", rem)
+	}
+	tt.LockInfo(2, 8)
+	if s := tt.String(); !strings.Contains(s, "announced:mx8") || !strings.Contains(s, "pending") {
+		t.Fatalf("table string %q", s)
+	}
+	tt.Ignore(1)
+	tt.OnLock(2, 8)
+	if s := tt.String(); !strings.Contains(s, "locked") {
+		t.Fatalf("table string %q", s)
+	}
+	tt.OnUnlock(2, 8)
+	if got := tt.Remaining(); got != nil {
+		t.Fatalf("remaining after completion: %v", got)
+	}
+}
+
+func TestStaticInfoLookup(t *testing.T) {
+	m1 := simpleMethod(1)
+	si := NewStaticInfo(m1)
+	if si.Method(1) != m1 {
+		t.Fatal("lookup failed")
+	}
+	if si.Method(2) != nil {
+		t.Fatal("unknown method should be nil")
+	}
+	m2 := &MethodInfo{Method: 2}
+	si.Add(m2)
+	if si.Method(2) != m2 {
+		t.Fatal("Add failed")
+	}
+	var nilSI *StaticInfo
+	if nilSI.Method(1) != nil {
+		t.Fatal("nil StaticInfo lookup should be nil")
+	}
+}
+
+// Property: prediction soundness. Whatever interleaving of announcements
+// and lock/unlock events occurs, a predicted thread's MayLock(m) must be
+// true for every mutex it subsequently locks.
+func TestPredictionSoundnessProperty(t *testing.T) {
+	f := func(seed uint64, nEntries uint8, spont uint8) bool {
+		rng := ids.NewRNG(seed)
+		n := int(nEntries)%5 + 1
+		mi := &MethodInfo{Method: 1}
+		for i := 0; i < n; i++ {
+			mi.Entries = append(mi.Entries, StaticEntry{
+				Sync:        ids.SyncID(i),
+				Spontaneous: spont&(1<<uint(i)) != 0,
+			})
+		}
+		tt := NewThreadTable(mi)
+		// Drive the table through a random but legal life cycle.
+		mutexOf := make(map[ids.SyncID]ids.MutexID)
+		for i := 0; i < n; i++ {
+			sid := ids.SyncID(i)
+			m := ids.MutexID(rng.Intn(4))
+			mutexOf[sid] = m
+			action := rng.Intn(3)
+			switch action {
+			case 0: // announce then later lock
+				if !mi.Entries[i].Spontaneous {
+					tt.LockInfo(sid, m)
+				}
+			case 1: // ignore
+				tt.Ignore(sid)
+				delete(mutexOf, sid)
+			case 2: // spontaneous path: nothing until the lock
+			}
+		}
+		// Soundness check before each lock.
+		for sid, m := range mutexOf {
+			if tt.Predicted() && !tt.MayLock(m) {
+				return false // predicted thread denied a mutex it locks next
+			}
+			tt.OnLock(sid, m)
+			if !tt.MayLock(m) {
+				return false // held mutex must conflict
+			}
+			tt.OnUnlock(sid, m)
+		}
+		return tt.AllLocksDone() == (len(mutexOf) >= 0) == tt.AllLocksDone()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AllLocksDone implies MayLock is false for every mutex.
+func TestAllDoneImpliesNoConflicts(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := ids.NewRNG(seed)
+		n := rng.Intn(4) + 1
+		mi := &MethodInfo{Method: 1}
+		for i := 0; i < n; i++ {
+			mi.Entries = append(mi.Entries, StaticEntry{Sync: ids.SyncID(i)})
+		}
+		tt := NewThreadTable(mi)
+		for i := 0; i < n; i++ {
+			sid := ids.SyncID(i)
+			if rng.Bool(0.3) {
+				tt.Ignore(sid)
+			} else {
+				m := ids.MutexID(rng.Intn(3))
+				tt.OnLock(sid, m)
+				tt.OnUnlock(sid, m)
+			}
+		}
+		if !tt.AllLocksDone() {
+			return false
+		}
+		for m := ids.MutexID(0); m < 5; m++ {
+			if tt.MayLock(m) {
+				return false
+			}
+		}
+		return tt.Predicted()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

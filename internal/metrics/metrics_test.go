@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sample(ds ...time.Duration) *Sample {
+	s := &Sample{}
+	for _, d := range ds {
+		s.Add(d)
+	}
+	return s
+}
+
+func TestSampleBasics(t *testing.T) {
+	s := sample(1*time.Millisecond, 3*time.Millisecond, 2*time.Millisecond)
+	if s.N() != 3 {
+		t.Fatalf("n=%d", s.N())
+	}
+	if s.Mean() != 2*time.Millisecond {
+		t.Fatalf("mean %v", s.Mean())
+	}
+	if s.Min() != time.Millisecond || s.Max() != 3*time.Millisecond {
+		t.Fatalf("min/max %v %v", s.Min(), s.Max())
+	}
+}
+
+func TestEmptySample(t *testing.T) {
+	s := &Sample{}
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Percentile(50) != 0 || s.Stddev() != 0 {
+		t.Fatal("empty sample should yield zeros")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := &Sample{}
+	for i := 1; i <= 100; i++ {
+		s.Add(time.Duration(i))
+	}
+	if got := s.Percentile(50); got != 50 {
+		t.Fatalf("p50=%v", got)
+	}
+	if got := s.Percentile(95); got != 95 {
+		t.Fatalf("p95=%v", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Fatalf("p0=%v", got)
+	}
+	if got := s.Percentile(100); got != 100 {
+		t.Fatalf("p100=%v", got)
+	}
+}
+
+func TestPercentileWithinRangeProperty(t *testing.T) {
+	f := func(vals []uint16, p uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		s := &Sample{}
+		for _, v := range vals {
+			s.Add(time.Duration(v))
+		}
+		got := s.Percentile(float64(p % 101))
+		return got >= s.Min() && got <= s.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStddev(t *testing.T) {
+	if got := sample(2, 2, 2, 2).Stddev(); got != 0 {
+		t.Fatalf("constant stddev %v", got)
+	}
+	if got := sample(1).Stddev(); got != 0 {
+		t.Fatalf("single-sample stddev %v", got)
+	}
+	// {0, 2}: mean 1, variance 2/(2-1)=2, stddev sqrt(2)~1.41.
+	got := sample(0, 2).Stddev()
+	if got < 1 || got > 2 {
+		t.Fatalf("stddev %v", got)
+	}
+}
+
+func TestMs(t *testing.T) {
+	if got := Ms(12340 * time.Microsecond); got != "12.34" {
+		t.Fatalf("Ms=%q", got)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.Row("a", 1)
+	tb.Row("longer", 22)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines %d:\n%s", len(lines), out)
+	}
+	if len(lines[0]) != len(lines[2]) || len(lines[2]) != len(lines[3]) {
+		t.Fatalf("misaligned:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Fatalf("missing separator:\n%s", out)
+	}
+}

@@ -1,0 +1,112 @@
+// Package model is a first-order analytic latency model for the
+// deterministic scheduling strategies — the "mathematical model for
+// locks, methods and client interaction" the paper's Sect. 5 lists as
+// future work. It exists to sanity-check the simulator (and vice versa):
+// the predictions are validated against simulation in the test suite.
+//
+// The model is deliberately simple (closed clients, symmetric requests,
+// negligible critical sections) and is accurate to roughly a factor of
+// two on the paper's workload; its purpose is to expose *why* the curves
+// order the way they do:
+//
+//   - SEQ: one request at a time — everyone queues for everyone's full
+//     service time.
+//   - SAT: the execution slot is released during nested invocations, so
+//     requests only queue for each other's busy (non-suspended) time.
+//   - MAT: like SAT for lock phases, but pure computation overlaps too;
+//     only the busy-primary time between a thread's first and last lock
+//     serialises.
+//   - LSA: the leader runs unrestricted — latency is the request's own
+//     service time plus transport.
+//   - PDS: requests advance in lockstep rounds; a request with k lock
+//     acquisitions needs k rounds, each paced by the slowest member.
+package model
+
+import (
+	"time"
+
+	"detmt/internal/replica"
+)
+
+// Workload describes the symmetric closed-loop workload of the paper's
+// Fig. 1 benchmark.
+type Workload struct {
+	Clients    int
+	Replicas   int
+	Iterations int
+	PNested    float64
+	PCompute   float64
+	NestedDur  time.Duration
+	ComputeDur time.Duration
+	NetLatency time.Duration
+}
+
+// ServiceTime is the expected uncontended execution time of one request
+// (critical sections are treated as instantaneous).
+func (w Workload) ServiceTime() time.Duration {
+	perIter := w.PNested*float64(w.NestedDur) + w.PCompute*float64(w.ComputeDur)
+	return time.Duration(float64(w.Iterations) * perIter)
+}
+
+// BusyTime is the expected slot-occupying time of one request: the time
+// it runs without being suspended in a nested invocation.
+func (w Workload) BusyTime() time.Duration {
+	perIter := w.PCompute * float64(w.ComputeDur)
+	return time.Duration(float64(w.Iterations) * perIter)
+}
+
+// Transport is the fixed network cost of one invocation: client to
+// sequencer, sequencer to replica, reply to client.
+func (w Workload) Transport() time.Duration { return 3 * w.NetLatency }
+
+// Predict returns the model's mean-latency estimate for one strategy.
+// Unknown strategies fall back to the MAT estimate.
+func Predict(kind replica.SchedulerKind, w Workload) time.Duration {
+	n := float64(w.Clients)
+	s := float64(w.ServiceTime())
+	busy := float64(w.BusyTime())
+	t := float64(w.Transport())
+	switch kind {
+	case replica.KindSEQ:
+		// A request waits, on average, for the other N-1 requests'
+		// complete service before its own.
+		return time.Duration(t + n*s)
+	case replica.KindSAT:
+		// Queueing only for busy time; own service runs at full length.
+		return time.Duration(t + s + (n-1)*busy)
+	case replica.KindMAT, replica.KindMATLLA, replica.KindPMAT:
+		// Computation overlaps; the primary slot serialises roughly the
+		// busy time between each thread's lock acquisitions. First-order:
+		// same as SAT minus the (overlapped) computation of the request
+		// itself — we keep the SAT term as an upper bound.
+		return time.Duration(t + s + (n-1)*busy)
+	case replica.KindLSA:
+		// The leader decides freely and answers first.
+		return time.Duration(t + s)
+	case replica.KindPDS:
+		// Rounds are paced by the slowest member; with symmetric
+		// requests each of the Iterations lock acquisitions costs one
+		// round of the expected per-iteration time.
+		perIter := s / float64(w.Iterations)
+		roundPenalty := perIter * 1.5 // stragglers pace the barrier
+		return time.Duration(t + float64(w.Iterations)*roundPenalty + n*busy)
+	default:
+		return time.Duration(t + s + (n-1)*busy)
+	}
+}
+
+// Ordering returns the strategies sorted by predicted latency, best
+// first — the model's qualitative claim about Fig. 1.
+func Ordering(w Workload) []replica.SchedulerKind {
+	kinds := []replica.SchedulerKind{
+		replica.KindSEQ, replica.KindSAT, replica.KindLSA,
+		replica.KindPDS, replica.KindMAT,
+	}
+	// insertion sort by prediction (tiny fixed slice)
+	for i := 1; i < len(kinds); i++ {
+		for j := i; j > 0 && Predict(kinds[j], w) < Predict(kinds[j-1], w); j-- {
+			kinds[j], kinds[j-1] = kinds[j-1], kinds[j]
+		}
+	}
+	return kinds
+}

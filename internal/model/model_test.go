@@ -1,0 +1,84 @@
+package model
+
+import (
+	"testing"
+	"time"
+
+	"detmt/internal/harness"
+	"detmt/internal/replica"
+)
+
+func paperWorkload(clients int) Workload {
+	return Workload{
+		Clients:    clients,
+		Replicas:   3,
+		Iterations: 10,
+		PNested:    0.2,
+		PCompute:   0.2,
+		NestedDur:  12 * time.Millisecond,
+		ComputeDur: 1500 * time.Microsecond,
+		NetLatency: 500 * time.Microsecond,
+	}
+}
+
+func TestDerivedQuantities(t *testing.T) {
+	w := paperWorkload(8)
+	// 10 * (0.2*12ms + 0.2*1.5ms) = 27ms
+	if got := w.ServiceTime(); got != 27*time.Millisecond {
+		t.Fatalf("service time %v", got)
+	}
+	// 10 * 0.2*1.5ms = 3ms
+	if got := w.BusyTime(); got != 3*time.Millisecond {
+		t.Fatalf("busy time %v", got)
+	}
+	if got := w.Transport(); got != 1500*time.Microsecond {
+		t.Fatalf("transport %v", got)
+	}
+}
+
+func TestPredictedOrderingMatchesPaper(t *testing.T) {
+	order := Ordering(paperWorkload(16))
+	// LSA best, SEQ worst; SAT/MAT between.
+	if order[0] != replica.KindLSA {
+		t.Fatalf("best %v, want LSA (order %v)", order[0], order)
+	}
+	if order[len(order)-1] != replica.KindSEQ {
+		t.Fatalf("worst %v, want SEQ (order %v)", order[len(order)-1], order)
+	}
+}
+
+// TestModelWithinFactorTwoOfSimulation validates the model against the
+// simulator on the paper workload — the purpose of the future-work
+// mathematical model.
+func TestModelWithinFactorTwoOfSimulation(t *testing.T) {
+	for _, clients := range []int{4, 8, 16} {
+		w := paperWorkload(clients)
+		for _, kind := range []replica.SchedulerKind{
+			replica.KindSEQ, replica.KindSAT, replica.KindLSA, replica.KindMAT,
+		} {
+			o := harness.DefaultSim()
+			o.Kind = kind
+			o.Clients = clients
+			o.RequestsPerClient = 3
+			sim := harness.RunSim(o)
+			measured := sim.Latency.Mean()
+			predicted := Predict(kind, w)
+			ratio := float64(predicted) / float64(measured)
+			t.Logf("%-4s clients=%2d measured=%v predicted=%v ratio=%.2f", kind, clients, measured, predicted, ratio)
+			if ratio < 0.4 || ratio > 2.5 {
+				t.Errorf("%s at %d clients: prediction %v vs measured %v (ratio %.2f) out of band",
+					kind, clients, predicted, measured, ratio)
+			}
+		}
+	}
+}
+
+func TestUnknownKindFallsBack(t *testing.T) {
+	w := paperWorkload(4)
+	if Predict("BOGUS", w) != Predict(replica.KindMAT, w) {
+		t.Fatal("unknown kind should fall back to the MAT estimate")
+	}
+	if Predict(replica.KindMATLLA, w) != Predict(replica.KindMAT, w) {
+		t.Fatal("MAT variants share the first-order estimate")
+	}
+}

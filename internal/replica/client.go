@@ -1,0 +1,111 @@
+package replica
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"detmt/internal/gcs"
+	"detmt/internal/ids"
+	"detmt/internal/lang"
+	"detmt/internal/vclock"
+)
+
+// Client is a replicated-object client stub: it broadcasts each request
+// into the group's total order and accepts the first reply, ignoring the
+// redundant ones (the semantics the paper assumes, and the reason LSA's
+// leader determines the client-perceived latency).
+type Client struct {
+	id    ids.ClientID
+	clock vclock.Clock
+	ep    *gcs.ClientEndpoint
+
+	mu         sync.Mutex
+	pending    map[ids.RequestID]*call
+	seq        uint32
+	replies    int
+	dupReplies int
+}
+
+type call struct {
+	parker vclock.Parker
+	uid    uint64
+	value  lang.Value
+	err    string
+	done   bool
+}
+
+// NewClient registers a client endpoint with the group.
+func NewClient(clock vclock.Clock, g *gcs.Group, id ids.ClientID) *Client {
+	c := &Client{
+		id:      id,
+		clock:   clock,
+		ep:      g.NewClientEndpoint(id),
+		pending: map[ids.RequestID]*call{},
+	}
+	c.ep.SetOnReply(c.onReply)
+	return c
+}
+
+// ID returns the client id.
+func (c *Client) ID() ids.ClientID { return c.id }
+
+// ReplyStats returns how many replies arrived in total and how many were
+// redundant (later replicas answering an already-completed request).
+func (c *Client) ReplyStats() (total, redundant int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.replies, c.dupReplies
+}
+
+func (c *Client) onReply(from ids.ReplicaID, p gcs.Payload) {
+	rep, ok := p.(Reply)
+	if !ok {
+		return
+	}
+	c.mu.Lock()
+	c.replies++
+	ca := c.pending[rep.Req]
+	if ca == nil || ca.done {
+		c.dupReplies++
+		c.mu.Unlock()
+		return
+	}
+	ca.done = true
+	ca.value = rep.Value
+	ca.err = rep.Err
+	uid := ca.uid
+	c.mu.Unlock()
+	c.ep.Ack(uid)
+	ca.parker.Unpark()
+}
+
+// Invoke performs one remote method invocation and blocks (on the clock)
+// until the first reply arrives. It returns the reply value and the
+// client-perceived latency. Call it from a managed goroutine.
+func (c *Client) Invoke(method string, args ...lang.Value) (lang.Value, time.Duration, error) {
+	c.mu.Lock()
+	c.seq++
+	req := ids.MakeRequestID(c.id, c.seq)
+	ca := &call{parker: c.clock.NewParker()}
+	c.pending[req] = ca
+	c.mu.Unlock()
+
+	start := c.clock.Now()
+	uid := c.ep.Broadcast(Request{Req: req, Method: method, Args: args})
+	c.mu.Lock()
+	ca.uid = uid
+	c.mu.Unlock()
+
+	ca.parker.Park()
+	latency := c.clock.Now() - start
+
+	c.mu.Lock()
+	delete(c.pending, req)
+	value, errStr := ca.value, ca.err
+	c.mu.Unlock()
+	if errStr != "" {
+		return value, latency, errors.New(errStr)
+	}
+	return value, latency, nil
+}

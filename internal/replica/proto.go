@@ -1,0 +1,71 @@
+// Package replica implements the FTflex-style replication container of
+// the paper: replicated objects driven by totally ordered requests,
+// deterministic multithreaded execution via a configurable scheduler,
+// nested invocations performed by exactly one replica, client stubs with
+// first-reply semantics, and passive replication with deterministic
+// re-execution from a request log.
+package replica
+
+import (
+	"detmt/internal/core"
+	"detmt/internal/ids"
+	"detmt/internal/lang"
+)
+
+// Request is a client invocation, broadcast in total order.
+type Request struct {
+	Req    ids.RequestID
+	Method string
+	Args   []lang.Value
+}
+
+// Reply is a replica's answer to a client (direct message).
+type Reply struct {
+	Req   ids.RequestID
+	Value lang.Value
+	Err   string
+}
+
+// NestedReply carries the result of a nested invocation performed by the
+// designated replica, broadcast in total order so every replica resumes
+// the suspended thread with the same value (paper Sect. 2: "we allow
+// only one replica to do the call. The same replica spreads the reply to
+// all other replicas").
+type NestedReply struct {
+	Req   ids.RequestID // the thread that issued the nested call
+	N     int           // per-thread nested call counter
+	Value lang.Value
+}
+
+// StateUpdate is a primary checkpoint for passive replication: the
+// paper notes that "many systems update the state of backup replicas
+// only after multiple modifications. State modifications not yet
+// propagated to the backup replicas can be applied to them by
+// re-executing method invocations from a request log." The primary
+// broadcasts one whenever its checkpoint interval elapses at a quiescent
+// point (no request threads in flight), so the snapshot is consistent
+// and covers exactly the messages up to UpToSeq; a failover then applies
+// the snapshot and replays only the log tail.
+type StateUpdate struct {
+	Snapshot map[string]lang.Value
+	UpToSeq  uint64 // total-order position whose effects are included
+}
+
+// Dummy is a filler request for PDS: it runs a method with the standard
+// profile (one lock acquisition) so that barrier rounds keep completing
+// when too few real requests arrive (paper Sect. 3.3).
+type Dummy struct {
+	Seq uint64
+}
+
+// LSADecision carries one leader scheduling decision to the followers.
+type LSADecision struct {
+	Event core.LSAEvent
+}
+
+// DummyMutex is the reserved mutex id dummy requests lock; it is far
+// outside any instance's monitor range.
+const DummyMutex = ids.MutexID(1 << 30)
+
+// dummyThreadBase offsets dummy thread ids away from request ids.
+const dummyThreadBase = uint64(1) << 62

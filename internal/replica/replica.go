@@ -1,0 +1,450 @@
+package replica
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"detmt/internal/analysis"
+	"detmt/internal/core"
+	"detmt/internal/gcs"
+	"detmt/internal/ids"
+	"detmt/internal/lang"
+	"detmt/internal/vclock"
+)
+
+// SchedulerKind selects the deterministic multithreading strategy.
+type SchedulerKind string
+
+// The strategies surveyed and proposed by the paper.
+const (
+	KindSEQ    SchedulerKind = "SEQ"
+	KindSAT    SchedulerKind = "SAT"
+	KindLSA    SchedulerKind = "LSA"
+	KindPDS    SchedulerKind = "PDS"
+	KindMAT    SchedulerKind = "MAT"
+	KindMATLLA SchedulerKind = "MAT+LLA"
+	KindPMAT   SchedulerKind = "PMAT"
+)
+
+// AllKinds lists every scheduler kind in presentation order.
+func AllKinds() []SchedulerKind {
+	return []SchedulerKind{KindSEQ, KindSAT, KindLSA, KindPDS, KindMAT, KindMATLLA, KindPMAT}
+}
+
+// Role distinguishes active replicas from passive backups.
+type Role int
+
+const (
+	// RoleActive executes every request (active replication).
+	RoleActive Role = iota
+	// RoleBackup only logs the totally ordered messages; it executes
+	// nothing until a failover replays the log (passive replication).
+	RoleBackup
+)
+
+// Config parameterises one replica.
+type Config struct {
+	ID    ids.ReplicaID
+	Clock vclock.Clock
+	Group *gcs.Group
+	// Analysis is the shared static-analysis result (transformed object
+	// plus bookkeeping tables); all replicas must use the same one.
+	Analysis *analysis.Result
+	Kind     SchedulerKind
+	Role     Role
+	// PDSWindow is the PDS pool size (defaults to 4).
+	PDSWindow int
+	// PDSRelaxed disables the full-pool barrier requirement (the
+	// published algorithm waits for W requests and needs dummy traffic;
+	// relaxed mode lets a round open with whatever the pool holds).
+	PDSRelaxed bool
+	// NestedLatency is the simulated duration of the external service
+	// called by nested invocations.
+	NestedLatency time.Duration
+	// Service computes the nested invocation reply from its argument on
+	// the performing replica. Defaults to echoing the argument.
+	Service func(arg lang.Value) lang.Value
+	// LeaderID is the LSA leader (defaults to the lowest member).
+	LeaderID ids.ReplicaID
+	// CheckpointEvery makes an active primary broadcast a StateUpdate
+	// checkpoint after every N completed requests, at the next quiescent
+	// point (passive replication; 0 disables checkpoints).
+	CheckpointEvery int
+}
+
+// Replica is one member of a replicated object group.
+type Replica struct {
+	cfg  Config
+	rt   *core.Runtime
+	in   *lang.Instance
+	node *gcs.Node
+
+	mu          sync.Mutex
+	seenReqs    map[ids.RequestID]bool
+	threads     map[ids.ThreadID]*core.Thread
+	nestedCount map[ids.ThreadID]int
+	waitingNest map[nestedKey]*core.Thread
+	stashedNest map[nestedKey]lang.Value
+	log         []LogEntry
+	completed   int
+	lastSeq     uint64
+	sinceCkpt   int
+	checkpoint  *StateUpdate
+
+	follower *core.LSAFollower // non-nil on LSA followers
+
+	dummyStop chan struct{}
+}
+
+type nestedKey struct {
+	req ids.RequestID
+	n   int
+}
+
+// LogEntry is one totally ordered message with its delivery instant,
+// recorded for passive-replication replay (E8).
+type LogEntry struct {
+	At  time.Duration
+	Msg gcs.Message
+}
+
+// New wires a replica to its group node and builds its scheduler.
+func New(cfg Config) *Replica {
+	if cfg.Analysis == nil {
+		panic("replica: Config.Analysis is required")
+	}
+	if cfg.PDSWindow <= 0 {
+		cfg.PDSWindow = 4
+	}
+	if cfg.Service == nil {
+		cfg.Service = func(arg lang.Value) lang.Value { return arg }
+	}
+	if cfg.LeaderID == 0 && cfg.Group != nil {
+		cfg.LeaderID = cfg.Group.Members()[0]
+	}
+	r := &Replica{
+		cfg:         cfg,
+		seenReqs:    map[ids.RequestID]bool{},
+		threads:     map[ids.ThreadID]*core.Thread{},
+		nestedCount: map[ids.ThreadID]int{},
+		waitingNest: map[nestedKey]*core.Thread{},
+		stashedNest: map[nestedKey]lang.Value{},
+	}
+	sched := r.buildScheduler()
+	r.rt = core.NewRuntime(core.Options{
+		Clock:     cfg.Clock,
+		Scheduler: sched,
+		Static:    cfg.Analysis.Static,
+		Nested:    r.onNested,
+	})
+	r.in = lang.NewInstance(cfg.Analysis.Object, 0)
+	if cfg.Group != nil {
+		r.node = cfg.Group.Node(cfg.ID)
+		r.node.SetDeliver(r.onDeliver)
+		r.node.SetDirect(r.onDirect)
+	}
+	return r
+}
+
+func (r *Replica) buildScheduler() core.Scheduler {
+	switch r.cfg.Kind {
+	case KindSEQ:
+		return core.NewSEQ()
+	case KindSAT:
+		return core.NewSAT()
+	case KindPDS:
+		return core.NewPDS(r.cfg.PDSWindow, !r.cfg.PDSRelaxed)
+	case KindMAT:
+		return core.NewMAT(false)
+	case KindMATLLA:
+		return core.NewMAT(true)
+	case KindPMAT:
+		return core.NewPMAT()
+	case KindLSA:
+		if r.cfg.ID == r.cfg.LeaderID {
+			return core.NewLSALeader(func(e core.LSAEvent) {
+				for _, m := range r.cfg.Group.Members() {
+					if m != r.cfg.ID {
+						r.node.SendDirect(m, LSADecision{Event: e})
+					}
+				}
+			})
+		}
+		r.follower = core.NewLSAFollower()
+		return r.follower
+	default:
+		panic(fmt.Sprintf("replica: unknown scheduler kind %q", r.cfg.Kind))
+	}
+}
+
+// Runtime exposes the scheduler runtime (for traces and assertions).
+func (r *Replica) Runtime() *core.Runtime { return r.rt }
+
+// Instance exposes the object instance (for state assertions).
+func (r *Replica) Instance() *lang.Instance { return r.in }
+
+// ID returns the replica id.
+func (r *Replica) ID() ids.ReplicaID { return r.cfg.ID }
+
+// IsLSALeader reports whether this replica leads an LSA group.
+func (r *Replica) IsLSALeader() bool {
+	return r.cfg.Kind == KindLSA && r.cfg.ID == r.cfg.LeaderID
+}
+
+// Completed returns how many request threads have finished.
+func (r *Replica) Completed() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.completed
+}
+
+// Log returns the recorded totally ordered message log.
+func (r *Replica) Log() []LogEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]LogEntry(nil), r.log...)
+}
+
+// onDeliver handles one totally ordered message.
+func (r *Replica) onDeliver(m gcs.Message) {
+	r.mu.Lock()
+	r.log = append(r.log, LogEntry{At: r.cfg.Clock.Now(), Msg: m})
+	r.lastSeq = m.Seq
+	r.mu.Unlock()
+	if su, ok := m.Payload.(StateUpdate); ok {
+		r.applyCheckpoint(su)
+		return
+	}
+	if r.cfg.Role == RoleBackup {
+		return // passive backup: log only
+	}
+	r.apply(m)
+}
+
+// applyCheckpoint records (and, on backups, installs) a primary
+// checkpoint.
+func (r *Replica) applyCheckpoint(su StateUpdate) {
+	r.mu.Lock()
+	r.checkpoint = &su
+	r.mu.Unlock()
+	if r.cfg.Role == RoleBackup {
+		for k, v := range su.Snapshot {
+			r.in.SetField(k, v)
+		}
+	}
+}
+
+// FailoverData returns what a backup needs to take over: the latest
+// checkpoint snapshot (nil if none arrived) and the log tail not covered
+// by it.
+func (r *Replica) FailoverData() (snapshot map[string]lang.Value, tail []LogEntry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	from := uint64(0)
+	if r.checkpoint != nil {
+		snapshot = make(map[string]lang.Value, len(r.checkpoint.Snapshot))
+		for k, v := range r.checkpoint.Snapshot {
+			snapshot[k] = v
+		}
+		from = r.checkpoint.UpToSeq
+	}
+	for _, e := range r.log {
+		if e.Msg.Seq <= from {
+			continue
+		}
+		if _, isCkpt := e.Msg.Payload.(StateUpdate); isCkpt {
+			continue
+		}
+		tail = append(tail, e)
+	}
+	return snapshot, tail
+}
+
+// apply executes one totally ordered message (shared with replay).
+func (r *Replica) apply(m gcs.Message) {
+	switch p := m.Payload.(type) {
+	case Request:
+		r.applyRequest(p)
+	case NestedReply:
+		r.applyNestedReply(p)
+	case Dummy:
+		r.applyDummy(p)
+	}
+}
+
+func (r *Replica) applyRequest(req Request) {
+	r.mu.Lock()
+	if r.seenReqs[req.Req] {
+		r.mu.Unlock()
+		return // duplicate suppression (paper Sect. 2)
+	}
+	r.seenReqs[req.Req] = true
+	r.mu.Unlock()
+
+	method := r.cfg.Analysis.Object.Lookup(req.Method)
+	if method == nil {
+		r.reply(req, nil, fmt.Sprintf("unknown method %q", req.Method))
+		return
+	}
+	tid := ids.ThreadID(req.Req)
+	th := r.rt.Submit(tid, method.ID, func(th *core.Thread) {
+		v, err := r.in.Exec(th, req.Method, req.Args)
+		errStr := ""
+		if err != nil {
+			errStr = err.Error()
+		}
+		r.reply(req, v, errStr)
+	}, func() {
+		r.mu.Lock()
+		r.completed++
+		r.sinceCkpt++
+		delete(r.threads, tid)
+		ckpt := r.cfg.CheckpointEvery > 0 && r.cfg.Role == RoleActive &&
+			r.sinceCkpt >= r.cfg.CheckpointEvery && len(r.threads) == 0
+		var upTo uint64
+		if ckpt {
+			r.sinceCkpt = 0
+			upTo = r.lastSeq
+		}
+		r.mu.Unlock()
+		if ckpt && r.node != nil {
+			// Quiescent point: no request threads in flight, so the
+			// snapshot covers every delivered message.
+			r.node.Broadcast(StateUpdate{Snapshot: r.in.Snapshot(), UpToSeq: upTo})
+		}
+	})
+	r.mu.Lock()
+	r.threads[tid] = th
+	r.mu.Unlock()
+}
+
+func (r *Replica) reply(req Request, v lang.Value, errStr string) {
+	if r.node == nil {
+		return // detached replay: no clients to answer
+	}
+	r.node.SendToClient(req.Req.Client(), Reply{Req: req.Req, Value: v, Err: errStr})
+}
+
+func (r *Replica) applyNestedReply(nr NestedReply) {
+	key := nestedKey{nr.Req, nr.N}
+	r.mu.Lock()
+	if th, ok := r.waitingNest[key]; ok {
+		delete(r.waitingNest, key)
+		r.mu.Unlock()
+		r.rt.ScheduleNestedResume(th, nr.Value)
+		return
+	}
+	// The reply arrived before this replica's thread reached the call
+	// (replicas progress at different speeds): stash it.
+	r.stashedNest[key] = nr.Value
+	r.mu.Unlock()
+}
+
+func (r *Replica) applyDummy(d Dummy) {
+	tid := ids.ThreadID(dummyThreadBase | d.Seq)
+	r.rt.Submit(tid, 0, func(th *core.Thread) {
+		// The standard dummy profile: one lock acquisition on a reserved
+		// mutex, so PDS barriers complete.
+		th.Lock(ids.NoSync, DummyMutex)
+		th.Unlock(ids.NoSync, DummyMutex)
+	}, func() {
+		r.mu.Lock()
+		delete(r.threads, tid)
+		r.mu.Unlock()
+	})
+}
+
+// onDirect handles point-to-point messages (LSA decision stream).
+func (r *Replica) onDirect(from gcs.Origin, p gcs.Payload) {
+	if d, ok := p.(LSADecision); ok && r.follower != nil {
+		r.rt.External(func() { r.follower.Feed(d.Event) })
+	}
+}
+
+// onNested is the core NestedHandler: it implements the paper's
+// one-replica-performs rule. The designated performer (lowest live
+// member) runs the external call and broadcasts the reply through the
+// total order; everyone resumes on delivery.
+func (r *Replica) onNested(rt *core.Runtime, th *core.Thread, arg interface{}) {
+	tid := th.ID
+	r.mu.Lock()
+	r.nestedCount[tid]++
+	n := r.nestedCount[tid]
+	key := nestedKey{ids.RequestID(tid), n}
+	if v, ok := r.stashedNest[key]; ok {
+		delete(r.stashedNest, key)
+		r.mu.Unlock()
+		rt.ScheduleNestedResume(th, v)
+		return
+	}
+	r.waitingNest[key] = th
+	r.mu.Unlock()
+
+	if r.isPerformer() {
+		var value lang.Value
+		if v, ok := arg.(lang.Value); ok {
+			value = v
+		}
+		reply := r.cfg.Service(value)
+		// The external call itself; the thread-id rank keeps two calls
+		// finishing at the same instant in a deterministic broadcast
+		// order (their total-order slots must not depend on a race).
+		vclock.SleepOrdered(r.cfg.Clock, r.cfg.NestedLatency,
+			fmt.Sprintf("nested %s", tid), uint64(tid))
+		r.node.Broadcast(NestedReply{Req: ids.RequestID(tid), N: n, Value: reply})
+	}
+}
+
+// isPerformer reports whether this replica performs external calls: the
+// lowest-id member of the group. For LSA the leader performs them (it is
+// ahead of the followers anyway).
+func (r *Replica) isPerformer() bool {
+	if r.cfg.Group == nil {
+		return false // detached replay: nested replies come from the log
+	}
+	if r.cfg.Kind == KindLSA {
+		return r.cfg.ID == r.cfg.LeaderID
+	}
+	live := r.cfg.Group.LiveMembers()
+	return len(live) > 0 && r.cfg.ID == live[0]
+}
+
+// StartDummyPump makes this replica broadcast Dummy requests every
+// interval until StopDummyPump is called. Only the performer replica
+// should run a pump (one source suffices); the messages pass through the
+// group communication like everything else — the overhead the paper
+// attributes to the PDS adaptation.
+func (r *Replica) StartDummyPump(interval time.Duration) {
+	if r.dummyStop != nil {
+		return
+	}
+	stop := make(chan struct{})
+	r.dummyStop = stop
+	r.cfg.Clock.Go(func() {
+		seq := uint64(0)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r.cfg.Clock.Sleep(interval)
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			seq++
+			r.node.Broadcast(Dummy{Seq: seq})
+		}
+	})
+}
+
+// StopDummyPump stops the dummy generator.
+func (r *Replica) StopDummyPump() {
+	if r.dummyStop != nil {
+		close(r.dummyStop)
+		r.dummyStop = nil
+	}
+}

@@ -1,0 +1,451 @@
+package replica
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"detmt/internal/analysis"
+	"detmt/internal/gcs"
+	"detmt/internal/ids"
+	"detmt/internal/lang"
+	"detmt/internal/vclock"
+)
+
+const bankSrc = `
+object Bank {
+    monitor cells[8];
+    monitor lock;
+    field total;
+
+    method deposit(cell, amount) {
+        var m = cells[cell];
+        sync (m) {
+            compute(1ms);
+        }
+        sync (lock) {
+            total = total + amount;
+        }
+    }
+
+    method totalOf() {
+        var v = 0;
+        sync (lock) {
+            v = total;
+        }
+        return v;
+    }
+
+    method echoNested(x) {
+        var y = nested(x + 1);
+        return y;
+    }
+
+    method slow(cell) {
+        var m = cells[cell];
+        compute(3ms);
+        sync (m) {
+            compute(2ms);
+        }
+        compute(5ms);
+    }
+}
+`
+
+type cluster struct {
+	t    *testing.T
+	v    *vclock.Virtual
+	g    *gcs.Group
+	res  *analysis.Result
+	reps map[ids.ReplicaID]*Replica
+}
+
+func newCluster(t *testing.T, kind SchedulerKind, n int, tweak func(*Config)) *cluster {
+	t.Helper()
+	c := &cluster{
+		t:    t,
+		v:    vclock.NewVirtual(),
+		res:  analysis.MustAnalyze(lang.MustParse(bankSrc)),
+		reps: map[ids.ReplicaID]*Replica{},
+	}
+	members := make([]ids.ReplicaID, n)
+	for i := range members {
+		members[i] = ids.ReplicaID(i + 1)
+	}
+	c.g = gcs.NewGroup(gcs.Config{
+		Clock:         c.v,
+		Members:       members,
+		Latency:       time.Millisecond,
+		DetectTimeout: 20 * time.Millisecond,
+	})
+	for _, id := range members {
+		cfg := Config{
+			ID:            id,
+			Clock:         c.v,
+			Group:         c.g,
+			Analysis:      c.res,
+			Kind:          kind,
+			NestedLatency: 4 * time.Millisecond,
+		}
+		if tweak != nil {
+			tweak(&cfg)
+		}
+		cfg.ID = id
+		c.reps[id] = New(cfg)
+	}
+	for _, r := range c.reps {
+		r.Instance().SetField("total", int64(0))
+	}
+	return c
+}
+
+// drive runs fn as a managed goroutine and flushes the simulation.
+func (c *cluster) drive(fn func()) {
+	c.t.Helper()
+	done := make(chan struct{})
+	c.v.Go(func() {
+		defer close(done)
+		fn()
+		c.v.Sleep(2 * time.Second) // flush all in-flight work
+	})
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		c.t.Fatal("cluster test timed out in real time")
+	}
+}
+
+// assertConverged checks that all replicas reached the same object state.
+func (c *cluster) assertConverged() map[string]lang.Value {
+	c.t.Helper()
+	var ref map[string]lang.Value
+	var refID ids.ReplicaID
+	for id, r := range c.reps {
+		snap := r.Instance().Snapshot()
+		if ref == nil {
+			ref, refID = snap, id
+			continue
+		}
+		if !reflect.DeepEqual(snap, ref) {
+			c.t.Fatalf("replica %v state %v != replica %v state %v", id, snap, refID, ref)
+		}
+	}
+	return ref
+}
+
+// assertSameSchedule compares consistency hashes across replicas.
+func (c *cluster) assertSameSchedule() {
+	c.t.Helper()
+	var ref uint64
+	first := true
+	for id, r := range c.reps {
+		h := r.Runtime().Trace().ConsistencyHash()
+		if first {
+			ref, first = h, false
+			continue
+		}
+		if h != ref {
+			c.t.Fatalf("replica %v schedule hash %x differs from %x", id, h, ref)
+		}
+	}
+}
+
+func TestAllSchedulersConvergeUnderLoad(t *testing.T) {
+	for _, kind := range AllKinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			c := newCluster(t, kind, 3, func(cfg *Config) { cfg.PDSWindow = 2; cfg.PDSRelaxed = true })
+			var sum int64
+			c.drive(func() {
+				g := vclock.NewGroup(c.v)
+				rng := ids.NewRNG(42)
+				for ci := 0; ci < 4; ci++ {
+					client := NewClient(c.v, c.g, ids.ClientID(ci+1))
+					cell := int64(rng.Intn(8))
+					amount := int64(rng.Intn(100) + 1)
+					sum += 3 * amount
+					g.Go(func() {
+						for k := 0; k < 3; k++ {
+							if _, _, err := client.Invoke("deposit", cell, amount); err != nil {
+								t.Errorf("deposit: %v", err)
+							}
+						}
+					})
+				}
+				g.Wait()
+			})
+			state := c.assertConverged()
+			if state["total"] != sum {
+				t.Fatalf("total %v, want %d", state["total"], sum)
+			}
+			for id, r := range c.reps {
+				if r.Completed() != 12 {
+					t.Fatalf("replica %v completed %d of 12", id, r.Completed())
+				}
+			}
+			if kind != KindLSA {
+				c.assertSameSchedule()
+			}
+		})
+	}
+}
+
+func TestNestedInvocationOnePerformer(t *testing.T) {
+	c := newCluster(t, KindMAT, 3, nil)
+	var value lang.Value
+	var latency time.Duration
+	c.drive(func() {
+		client := NewClient(c.v, c.g, 1)
+		v, lat, err := client.Invoke("echoNested", int64(41))
+		if err != nil {
+			t.Errorf("invoke: %v", err)
+		}
+		value, latency = v, lat
+	})
+	if value != int64(42) {
+		t.Fatalf("nested reply %v, want 42 (service echoes arg+1... arg is x+1=42)", value)
+	}
+	// Latency must include the nested external call (4ms) plus transport.
+	if latency < 4*time.Millisecond {
+		t.Fatalf("latency %v too small for a nested call", latency)
+	}
+	c.assertConverged()
+	c.assertSameSchedule()
+	// Exactly one NestedReply broadcast happened (one performer); total
+	// broadcasts = 1 request + 1 nested reply.
+	_, broadcasts, _ := c.g.Stats().Snapshot()
+	if broadcasts != 2 {
+		t.Fatalf("broadcasts %d, want 2 (request + one nested reply)", broadcasts)
+	}
+}
+
+func TestDuplicateRequestSuppressed(t *testing.T) {
+	c := newCluster(t, KindSEQ, 3, nil)
+	c.drive(func() {
+		client := NewClient(c.v, c.g, 1)
+		if _, _, err := client.Invoke("deposit", int64(0), int64(10)); err != nil {
+			t.Errorf("deposit: %v", err)
+		}
+		// Byzantine re-broadcast of an identical request id via a second
+		// endpoint is not possible through the public API; replica-level
+		// dedup is exercised through the gcs retransmission path in the
+		// takeover test. Here: two distinct requests must both apply.
+		if _, _, err := client.Invoke("deposit", int64(0), int64(5)); err != nil {
+			t.Errorf("deposit: %v", err)
+		}
+	})
+	if got := c.assertConverged()["total"]; got != int64(15) {
+		t.Fatalf("total %v", got)
+	}
+}
+
+func TestClientFirstReplyWinsAndCountsDuplicates(t *testing.T) {
+	c := newCluster(t, KindMAT, 3, nil)
+	var client *Client
+	c.drive(func() {
+		client = NewClient(c.v, c.g, 1)
+		if _, _, err := client.Invoke("deposit", int64(1), int64(7)); err != nil {
+			t.Errorf("deposit: %v", err)
+		}
+	})
+	total, redundant := client.ReplyStats()
+	if total != 3 || redundant != 2 {
+		t.Fatalf("replies=%d redundant=%d, want 3/2", total, redundant)
+	}
+}
+
+func TestClientErrorPropagation(t *testing.T) {
+	c := newCluster(t, KindSEQ, 3, nil)
+	c.drive(func() {
+		client := NewClient(c.v, c.g, 1)
+		if _, _, err := client.Invoke("nosuchmethod"); err == nil {
+			t.Error("expected error for unknown method")
+		}
+	})
+}
+
+func TestLSALeaderFasterThanFollowers(t *testing.T) {
+	c := newCluster(t, KindLSA, 3, nil)
+	c.drive(func() {
+		client := NewClient(c.v, c.g, 1)
+		if _, _, err := client.Invoke("slow", int64(2)); err != nil {
+			t.Errorf("slow: %v", err)
+		}
+	})
+	c.assertConverged()
+	// The leader's exit must precede every follower's exit.
+	exitOf := func(id ids.ReplicaID) time.Duration {
+		for _, e := range c.reps[id].Runtime().Trace().Events() {
+			if e.Kind.String() == "exit" {
+				return e.At
+			}
+		}
+		t.Fatalf("replica %v never exited", id)
+		return 0
+	}
+	leader := exitOf(1)
+	for _, id := range []ids.ReplicaID{2, 3} {
+		if exitOf(id) < leader {
+			t.Fatalf("follower %v finished before the leader", id)
+		}
+	}
+}
+
+func TestPDSWithDummyPump(t *testing.T) {
+	// PDS window 3 but only one real client: without dummies the single
+	// request would starve at the barrier; the pump unblocks it.
+	c := newCluster(t, KindPDS, 3, func(cfg *Config) { cfg.PDSWindow = 3 })
+	// Leftover dummy threads legitimately starve at the final barrier
+	// once the pump stops; ignore the quiescence report for them.
+	c.v.SetDeadlockHandler(func(string) {})
+	var errInvoke error
+	c.drive(func() {
+		c.reps[1].StartDummyPump(2 * time.Millisecond)
+		client := NewClient(c.v, c.g, 1)
+		_, _, errInvoke = client.Invoke("deposit", int64(0), int64(3))
+		for _, r := range c.reps {
+			r.StopDummyPump()
+		}
+	})
+	if errInvoke != nil {
+		t.Fatalf("invoke: %v", errInvoke)
+	}
+	if got := c.assertConverged()["total"]; got != int64(3) {
+		t.Fatalf("total %v", got)
+	}
+}
+
+func TestPassiveReplicationReplay(t *testing.T) {
+	// Primary (active) + two backups (log only). After the workload, a
+	// backup replays its log and must reproduce the primary's state.
+	c := newCluster(t, KindMAT, 3, func(cfg *Config) {
+		if cfg.ID != 1 {
+			cfg.Role = RoleBackup
+		}
+	})
+	c.drive(func() {
+		g := vclock.NewGroup(c.v)
+		for ci := 0; ci < 3; ci++ {
+			client := NewClient(c.v, c.g, ids.ClientID(ci+1))
+			cell := int64(ci)
+			g.Go(func() {
+				for k := 0; k < 2; k++ {
+					// Only the primary answers; first reply = its reply.
+					if _, _, err := client.Invoke("deposit", cell, int64(10)); err != nil {
+						t.Errorf("deposit: %v", err)
+					}
+				}
+				if _, _, err := client.Invoke("echoNested", cell); err != nil {
+					t.Errorf("echoNested: %v", err)
+				}
+			})
+		}
+		g.Wait()
+	})
+	primary := c.reps[1].Instance().Snapshot()
+	if primary["total"] != int64(60) {
+		t.Fatalf("primary total %v", primary["total"])
+	}
+	// Backups executed nothing.
+	if c.reps[2].Completed() != 0 {
+		t.Fatalf("backup executed %d requests", c.reps[2].Completed())
+	}
+	backupLog := c.reps[2].Log()
+	if len(backupLog) == 0 {
+		t.Fatal("backup log empty")
+	}
+
+	// Failover: replay the backup's log on a fresh virtual clock.
+	v2 := vclock.NewVirtual()
+	var replayed *Replica
+	done := make(chan struct{})
+	v2.Go(func() {
+		defer close(done)
+		replayed = Replay(v2, c.res, KindMAT, 4, backupLog)
+		replayed.Instance().SetField("total", int64(0))
+		v2.Sleep(5 * time.Second)
+	})
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("replay timed out")
+	}
+	got := replayed.Instance().Snapshot()
+	if !reflect.DeepEqual(got, primary) {
+		t.Fatalf("replayed state %v != primary %v", got, primary)
+	}
+	// The replayed schedule matches the primary's schedule.
+	if replayed.Runtime().Trace().ConsistencyHash() != c.reps[1].Runtime().Trace().ConsistencyHash() {
+		t.Fatal("replayed schedule differs from the primary's")
+	}
+}
+
+func TestSequencerCrashDuringLoad(t *testing.T) {
+	// Crash the sequencer mid-workload: surviving replicas still converge
+	// and the client's pending request completes after takeover.
+	c := newCluster(t, KindMAT, 3, nil)
+	var lat time.Duration
+	c.drive(func() {
+		client := NewClient(c.v, c.g, 1)
+		if _, _, err := client.Invoke("deposit", int64(0), int64(1)); err != nil {
+			t.Errorf("warmup: %v", err)
+		}
+		c.g.Crash(1)
+		var err error
+		_, lat, err = client.Invoke("deposit", int64(1), int64(2))
+		if err != nil {
+			t.Errorf("post-crash deposit: %v", err)
+		}
+	})
+	// Takeover adds at least the detection timeout to the latency.
+	if lat < 20*time.Millisecond {
+		t.Fatalf("post-crash latency %v, want >= detection timeout", lat)
+	}
+	s2 := c.reps[2].Instance().Snapshot()
+	s3 := c.reps[3].Instance().Snapshot()
+	if !reflect.DeepEqual(s2, s3) || s2["total"] != int64(3) {
+		t.Fatalf("survivor states %v / %v", s2, s3)
+	}
+}
+
+func TestReplayRejectsLSA(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for LSA replay")
+		}
+	}()
+	Replay(vclock.NewVirtual(), analysis.MustAnalyze(lang.MustParse(bankSrc)), KindLSA, 4, nil)
+}
+
+func TestUnknownSchedulerKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	v := vclock.NewVirtual()
+	g := gcs.NewGroup(gcs.Config{Clock: v, Members: []ids.ReplicaID{1}, Latency: time.Millisecond})
+	New(Config{ID: 1, Clock: v, Group: g, Analysis: analysis.MustAnalyze(lang.MustParse(bankSrc)), Kind: "BOGUS"})
+}
+
+func ExampleAllKinds() {
+	fmt.Println(AllKinds())
+	// Output: [SEQ SAT LSA PDS MAT MAT+LLA PMAT]
+}
+
+func TestLSALeaderSelection(t *testing.T) {
+	c := newCluster(t, KindLSA, 3, func(cfg *Config) { cfg.LeaderID = 2 })
+	if c.reps[1].IsLSALeader() || !c.reps[2].IsLSALeader() || c.reps[3].IsLSALeader() {
+		t.Fatal("explicit LeaderID not honoured")
+	}
+	c.drive(func() {
+		client := NewClient(c.v, c.g, 1)
+		if _, _, err := client.Invoke("deposit", int64(0), int64(4)); err != nil {
+			t.Errorf("deposit: %v", err)
+		}
+	})
+	if got := c.assertConverged()["total"]; got != int64(4) {
+		t.Fatalf("total %v", got)
+	}
+}

@@ -1,0 +1,51 @@
+package replica
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"detmt/internal/analysis"
+	"detmt/internal/lang"
+)
+
+// TestSoakRandomPrograms widens the end-to-end property campaign: many
+// more generated programs, every deterministic scheduler, replica
+// agreement, and cross-scheduler state equality. Skipped with -short.
+func TestSoakRandomPrograms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak campaign")
+	}
+	kinds := []SchedulerKind{KindSEQ, KindSAT, KindPDS, KindMAT, KindMATLLA, KindPMAT}
+	for seed := uint64(100); seed < 130; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			src, methods := genSource(seed)
+			obj, err := lang.Parse(src)
+			if err != nil {
+				t.Fatalf("parse: %v\n%s", err, src)
+			}
+			res, err := analysis.Analyze(obj)
+			if err != nil {
+				t.Fatalf("analyse: %v\n%s", err, src)
+			}
+			var refState map[string]lang.Value
+			for _, kind := range kinds {
+				state, hashes := runRandom(t, res, kind, methods, seed)
+				for _, h := range hashes[1:] {
+					if h != hashes[0] {
+						t.Fatalf("%s: replicas diverged\n%s", kind, src)
+					}
+				}
+				if refState == nil {
+					refState = state
+					continue
+				}
+				if !reflect.DeepEqual(state, refState) {
+					t.Fatalf("%s: state %v differs from %v\n%s", kind, state, refState, src)
+				}
+			}
+		})
+	}
+}

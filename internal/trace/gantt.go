@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"detmt/internal/ids"
+)
+
+// Gantt renders a per-thread ASCII timeline from a trace, reproducing the
+// locking-pattern figures of the paper (Fig. 2 and Fig. 3).
+//
+// Lane characters, later entries override earlier ones when intervals
+// overlap:
+//
+//	'.'  thread not yet admitted / already exited
+//	'-'  admitted but not running (queued by the scheduler)
+//	'='  running
+//	'n'  suspended in a nested invocation
+//	'w'  waiting on a condition variable
+//	'?'  blocked waiting for a lock grant
+//	a-z  holding the mutex with that letter (MutexID mod 26)
+//
+// Width is the number of character columns the makespan is scaled to.
+type Gantt struct {
+	Width int
+}
+
+// Render produces the timeline for all threads appearing in tr.
+func (g Gantt) Render(tr *Trace) string {
+	width := g.Width
+	if width <= 0 {
+		width = 64
+	}
+	lanes, end := Lanes(tr)
+	if len(lanes) == 0 {
+		return "(empty trace)\n"
+	}
+	col := func(at time.Duration) int {
+		c := int(int64(at) * int64(width) / int64(end))
+		if c >= width {
+			c = width - 1
+		}
+		if c < 0 {
+			c = 0
+		}
+		return c
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "time 0 .. %v, one column = %v\n", end, (end / time.Duration(width)).Round(time.Microsecond))
+	for _, lane := range lanes {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, sp := range lane.Spans {
+			ch := spanChar(sp)
+			c0, c1 := col(sp.From), col(sp.To)
+			for c := c0; c <= c1 && c < width; c++ {
+				row[c] = ch
+			}
+		}
+		fmt.Fprintf(&b, "%6s |%s|\n", lane.ID, row)
+	}
+	return b.String()
+}
+
+func spanChar(sp Span) byte {
+	switch sp.Class {
+	case SpanQueued:
+		return '-'
+	case SpanRun:
+		return '='
+	case SpanBlocked:
+		return '?'
+	case SpanWait:
+		return 'w'
+	case SpanNested:
+		return 'n'
+	case SpanHold:
+		return mutexChar(sp.Mutex)
+	}
+	return '#'
+}
+
+func mutexChar(m ids.MutexID) byte {
+	if m < 0 {
+		return 'X'
+	}
+	return byte('a' + int(m)%26)
+}

@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"time"
+)
+
+// WriteHTML renders the trace as a standalone HTML page with an SVG
+// thread timeline — the shareable version of the Fig. 2/3 locking
+// patterns. Hovering a bar shows its interval and class.
+func (t *Trace) WriteHTML(w io.Writer, title string) error {
+	lanes, end := Lanes(t)
+	const (
+		chartW     = 960
+		rowH       = 26
+		barH       = 16
+		labelW     = 120
+		axisH      = 28
+		padding    = 12
+		mutexHueGs = 12 // distinct hues for held-mutex bars
+	)
+	chartH := axisH + rowH*len(lanes) + 2*padding
+
+	px := func(at time.Duration) float64 {
+		return float64(labelW) + float64(at)/float64(end)*float64(chartW-labelW-padding)
+	}
+
+	if _, err := fmt.Fprintf(w, `<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>%s</title>
+<style>
+  body { font: 13px/1.4 system-ui, sans-serif; margin: 20px; }
+  .legend span { display: inline-block; margin-right: 14px; }
+  .swatch { display: inline-block; width: 12px; height: 12px; border-radius: 2px; vertical-align: -1px; margin-right: 4px; }
+  text { font: 11px system-ui, sans-serif; }
+</style></head><body>
+<h2>%s</h2>
+<div class="legend">
+  <span><i class="swatch" style="background:#c9c9c9"></i>queued</span>
+  <span><i class="swatch" style="background:#7fb2e5"></i>running</span>
+  <span><i class="swatch" style="background:#e06666"></i>lock-blocked</span>
+  <span><i class="swatch" style="background:#e5c07f"></i>waiting</span>
+  <span><i class="swatch" style="background:#b48ee0"></i>nested call</span>
+  <span><i class="swatch" style="background:#5fae64"></i>holding a mutex (hue per mutex)</span>
+</div>
+<svg width="%d" height="%d" role="img">
+`, html.EscapeString(title), html.EscapeString(title), chartW, chartH); err != nil {
+		return err
+	}
+
+	// Time axis: ten ticks.
+	for i := 0; i <= 10; i++ {
+		at := end * time.Duration(i) / 10
+		x := px(at)
+		fmt.Fprintf(w, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#ddd"/>`+"\n",
+			x, axisH, x, chartH-padding)
+		fmt.Fprintf(w, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n",
+			x, axisH-8, html.EscapeString(at.Round(time.Microsecond).String()))
+	}
+
+	for row, lane := range lanes {
+		y := axisH + padding + row*rowH
+		fmt.Fprintf(w, `<text x="4" y="%d">%s</text>`+"\n", y+barH-3, lane.ID)
+		for _, sp := range lane.Spans {
+			x0, x1 := px(sp.From), px(sp.To)
+			if x1-x0 < 1 {
+				x1 = x0 + 1
+			}
+			fill, label := spanStyle(sp)
+			fmt.Fprintf(w,
+				`<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s" rx="2"><title>%s %v – %v</title></rect>`+"\n",
+				x0, y, x1-x0, barH, fill,
+				html.EscapeString(label), sp.From.Round(time.Microsecond), sp.To.Round(time.Microsecond))
+		}
+	}
+	_, err := fmt.Fprint(w, "</svg></body></html>\n")
+	return err
+}
+
+func spanStyle(sp Span) (fill, label string) {
+	switch sp.Class {
+	case SpanQueued:
+		return "#c9c9c9", "queued"
+	case SpanRun:
+		return "#7fb2e5", "running"
+	case SpanBlocked:
+		return "#e06666", "lock-blocked"
+	case SpanWait:
+		return "#e5c07f", "condition wait"
+	case SpanNested:
+		return "#b48ee0", "nested invocation"
+	case SpanHold:
+		hue := (int(sp.Mutex)*47 + 100) % 360
+		return fmt.Sprintf("hsl(%d,55%%,45%%)", hue), "holding " + sp.Mutex.String()
+	}
+	return "#000", "?"
+}

@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"detmt/internal/ids"
+)
+
+// JSON serialisation of traces, so scheduling decisions can be archived,
+// diffed between runs, or rendered by external tooling. The format is a
+// single JSON array of event objects with microsecond timestamps and
+// symbolic kind names.
+
+type jsonEvent struct {
+	AtMicros int64  `json:"at_us"`
+	Thread   uint64 `json:"thread"`
+	Kind     string `json:"kind"`
+	Sync     int    `json:"sync,omitempty"`
+	Mutex    int    `json:"mutex,omitempty"`
+	Arg      int64  `json:"arg,omitempty"`
+}
+
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+// WriteJSON writes the whole trace as a JSON array.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	events := t.Events()
+	out := make([]jsonEvent, len(events))
+	for i, e := range events {
+		out[i] = jsonEvent{
+			AtMicros: int64(e.At / time.Microsecond),
+			Thread:   uint64(e.Thread),
+			Kind:     e.Kind.String(),
+			Sync:     int(e.Sync),
+			Mutex:    int(e.Mutex),
+			Arg:      e.Arg,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON parses a trace previously written by WriteJSON.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	var in []jsonEvent
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	t := New()
+	for _, je := range in {
+		kind, ok := kindByName[je.Kind]
+		if !ok {
+			return nil, fmt.Errorf("trace: unknown event kind %q", je.Kind)
+		}
+		t.Record(Event{
+			At:     time.Duration(je.AtMicros) * time.Microsecond,
+			Thread: ids.ThreadID(je.Thread),
+			Kind:   kind,
+			Sync:   ids.SyncID(je.Sync),
+			Mutex:  ids.MutexID(je.Mutex),
+			Arg:    je.Arg,
+		})
+	}
+	return t, nil
+}

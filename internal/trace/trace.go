@@ -1,0 +1,284 @@
+// Package trace records scheduler decision events.
+//
+// Traces serve three purposes in this reproduction:
+//
+//  1. Determinism checking (paper Sect. 2): two replicas executing the
+//     same totally ordered request stream must make identical scheduling
+//     decisions. DecisionHash folds the order-relevant fields of all
+//     decision events into one comparable value.
+//  2. Locking-pattern figures (paper Fig. 2 and Fig. 3): Gantt renders a
+//     per-thread ASCII timeline of running / blocked / waiting / nested /
+//     lock-holding intervals from a trace.
+//  3. Debugging: String gives a readable decision log.
+//
+// Schedulers must record decision events while holding their decision
+// lock, so that the append order of the trace is the decision order.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"detmt/internal/ids"
+)
+
+// Kind enumerates trace event kinds.
+type Kind int
+
+// Event kinds. Decision kinds (order fixed by the scheduler's decision
+// lock) are marked; the rest are informational and excluded from hashes.
+const (
+	KindAdmit       Kind = iota // decision: thread admitted to the scheduler
+	KindStart                   // decision: thread starts running
+	KindLockReq                 // decision: lock requested
+	KindLockAcq                 // decision: lock granted
+	KindLockRel                 // decision: lock released
+	KindWaitBegin               // decision: thread entered condition wait
+	KindWaitEnd                 // decision: thread left condition wait
+	KindNotify                  // decision: notify issued
+	KindNotifyAll               // decision: notifyAll issued
+	KindNestedBegin             // decision: nested invocation started
+	KindNestedEnd               // decision: nested invocation reply consumed
+	KindExit                    // decision: thread terminated
+	KindPromote                 // info: thread became primary (MAT family)
+	KindPredicted               // decision: thread became fully predicted (PMAT)
+	KindLockInfo                // info: future lock announced (injected code)
+	KindIgnore                  // info: syncid declared unreachable on this path
+	KindCompute                 // info: local computation interval (Arg = µs)
+	KindBarrier                 // info: PDS round barrier crossed (Arg = round)
+)
+
+var kindNames = map[Kind]string{
+	KindAdmit: "admit", KindStart: "start", KindLockReq: "lockreq",
+	KindLockAcq: "lockacq", KindLockRel: "lockrel", KindWaitBegin: "waitbegin",
+	KindWaitEnd: "waitend", KindNotify: "notify", KindNotifyAll: "notifyall",
+	KindNestedBegin: "nestedbegin", KindNestedEnd: "nestedend", KindExit: "exit",
+	KindPromote: "promote", KindPredicted: "predicted", KindLockInfo: "lockinfo",
+	KindIgnore: "ignore", KindCompute: "compute", KindBarrier: "barrier",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Decision reports whether events of this kind participate in the
+// determinism hashes. Lock *requests* are inputs (their arrival order
+// between concurrently running threads is inherently racy); the grants
+// are the decisions. Promotions are bookkeeping: a primary slot can be
+// claimed and released transiently by a running thread without any
+// observable effect, so only the grants that promotions lead to are
+// hashed.
+func (k Kind) Decision() bool {
+	switch k {
+	case KindLockInfo, KindIgnore, KindCompute, KindBarrier, KindLockReq, KindPromote:
+		return false
+	}
+	return true
+}
+
+// Event is one recorded scheduler event.
+type Event struct {
+	At     time.Duration // virtual (or wall) time of the event
+	Thread ids.ThreadID
+	Kind   Kind
+	Sync   ids.SyncID  // static syncid or ids.NoSync
+	Mutex  ids.MutexID // mutex involved or ids.NoMutex
+	Arg    int64       // kind-specific extra value
+}
+
+func (e Event) String() string {
+	s := fmt.Sprintf("%8s %s %s", e.At.Round(time.Microsecond), e.Thread, e.Kind)
+	if e.Mutex != ids.NoMutex {
+		s += " " + e.Mutex.String()
+	}
+	if e.Sync != ids.NoSync {
+		s += " " + e.Sync.String()
+	}
+	if e.Arg != 0 {
+		s += fmt.Sprintf(" arg=%d", e.Arg)
+	}
+	return s
+}
+
+// Trace is an append-only, concurrency-safe event log.
+type Trace struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// New returns an empty trace.
+func New() *Trace { return &Trace{} }
+
+// Record appends an event. The caller supplies the timestamp so that the
+// scheduler can stamp events with its clock while holding its decision
+// lock.
+func (t *Trace) Record(e Event) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a copy of the recorded events.
+func (t *Trace) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// Filter returns the events satisfying pred, in order.
+func (t *Trace) Filter(pred func(Event) bool) []Event {
+	var out []Event
+	for _, e := range t.Events() {
+		if pred(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// DecisionHash returns an FNV-1a hash over the order-relevant fields
+// (thread, kind, syncid, mutex, arg) of all decision events. Timestamps
+// are deliberately excluded: replicas agree on the decision sequence, not
+// necessarily on wall-clock instants.
+func (t *Trace) DecisionHash() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, e := range t.events {
+		if !e.Kind.Decision() {
+			continue
+		}
+		mix(uint64(e.Thread))
+		mix(uint64(e.Kind))
+		mix(uint64(int64(e.Sync)))
+		mix(uint64(int64(e.Mutex)))
+		mix(uint64(e.Arg))
+	}
+	return h
+}
+
+// ConsistencyHash summarises the schedule in the way replica consistency
+// actually requires: the *per-mutex* order of monitor decisions (grants,
+// releases, waits, notifies) and the *per-thread* order of lifecycle
+// decisions, combined order-independently across mutexes and threads.
+//
+// Rationale: the paper's system model assumes all shared-state access is
+// protected by the intercepted mutexes, so two executions lead to the
+// same object state iff every monitor sees the same sequence of critical
+// sections and every thread performs the same sequence of operations.
+// The interleaving of decisions on unrelated mutexes is immaterial — and
+// between concurrently running threads it is inherently racy even in a
+// correct deterministic scheduler, which is why DecisionHash (global
+// order) is only meaningful for single-active-thread schedulers.
+func (t *Trace) ConsistencyHash() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	step := func(h, v uint64) uint64 {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+		return h
+	}
+	type chainKey struct {
+		mutex  ids.MutexID
+		thread ids.ThreadID // zero when the chain is a mutex chain
+	}
+	chains := map[chainKey]uint64{}
+	bump := func(k chainKey, e Event) {
+		h, ok := chains[k]
+		if !ok {
+			h = step(step(offset, uint64(int64(k.mutex))), uint64(k.thread))
+		}
+		h = step(h, uint64(e.Thread))
+		h = step(h, uint64(e.Kind))
+		h = step(h, uint64(int64(e.Sync)))
+		h = step(h, uint64(int64(e.Mutex)))
+		h = step(h, uint64(e.Arg))
+		chains[k] = h
+	}
+	t.mu.Lock()
+	events := t.events
+	for _, e := range events {
+		if !e.Kind.Decision() {
+			continue
+		}
+		switch e.Kind {
+		case KindLockAcq, KindLockRel, KindWaitBegin, KindWaitEnd, KindNotify, KindNotifyAll:
+			bump(chainKey{mutex: e.Mutex, thread: ids.ThreadID(0)}, e)
+		default: // lifecycle: admit, start, nested, exit, promote, predicted
+			bump(chainKey{mutex: ids.NoMutex, thread: e.Thread}, e)
+		}
+	}
+	t.mu.Unlock()
+	var out uint64
+	for _, h := range chains {
+		out ^= h
+	}
+	return out
+}
+
+// String renders the whole trace, one event per line.
+func (t *Trace) String() string {
+	var b strings.Builder
+	for _, e := range t.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FirstDivergence compares the decision-event subsequences of two traces
+// and returns the index of the first differing decision plus the two
+// events, or -1 if one sequence is a prefix of the other (ok=false means
+// the traces agree completely, including length).
+func FirstDivergence(a, b *Trace) (idx int, ea, eb Event, ok bool) {
+	da := a.Filter(func(e Event) bool { return e.Kind.Decision() })
+	db := b.Filter(func(e Event) bool { return e.Kind.Decision() })
+	n := len(da)
+	if len(db) < n {
+		n = len(db)
+	}
+	for i := 0; i < n; i++ {
+		if !sameDecision(da[i], db[i]) {
+			return i, da[i], db[i], true
+		}
+	}
+	if len(da) != len(db) {
+		return n, Event{}, Event{}, true
+	}
+	return -1, Event{}, Event{}, false
+}
+
+func sameDecision(a, b Event) bool {
+	return a.Thread == b.Thread && a.Kind == b.Kind && a.Sync == b.Sync &&
+		a.Mutex == b.Mutex && a.Arg == b.Arg
+}

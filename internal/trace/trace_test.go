@@ -1,0 +1,384 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"detmt/internal/ids"
+)
+
+func ev(tid uint64, k Kind, m int) Event {
+	return Event{Thread: ids.ThreadID(tid), Kind: k, Sync: ids.NoSync, Mutex: ids.MutexID(m)}
+}
+
+func TestDecisionHashIgnoresTimestamps(t *testing.T) {
+	a, b := New(), New()
+	e := ev(1, KindLockAcq, 3)
+	e.At = 5 * time.Millisecond
+	a.Record(e)
+	e.At = 9 * time.Hour
+	b.Record(e)
+	if a.DecisionHash() != b.DecisionHash() {
+		t.Fatal("hash depends on timestamps")
+	}
+}
+
+func TestDecisionHashIgnoresInfoEvents(t *testing.T) {
+	a, b := New(), New()
+	a.Record(ev(1, KindLockAcq, 3))
+	b.Record(ev(1, KindLockInfo, 7))
+	b.Record(ev(1, KindLockAcq, 3))
+	b.Record(ev(1, KindCompute, 0))
+	if a.DecisionHash() != b.DecisionHash() {
+		t.Fatal("info events changed the hash")
+	}
+}
+
+func TestDecisionHashSensitiveToOrder(t *testing.T) {
+	a, b := New(), New()
+	a.Record(ev(1, KindLockAcq, 3))
+	a.Record(ev(2, KindLockAcq, 4))
+	b.Record(ev(2, KindLockAcq, 4))
+	b.Record(ev(1, KindLockAcq, 3))
+	if a.DecisionHash() == b.DecisionHash() {
+		t.Fatal("hash insensitive to decision order")
+	}
+}
+
+func TestDecisionHashSensitiveToFields(t *testing.T) {
+	base := func() *Trace {
+		tr := New()
+		tr.Record(Event{Thread: 1, Kind: KindLockAcq, Sync: 2, Mutex: 3, Arg: 4})
+		return tr
+	}
+	h := base().DecisionHash()
+	variants := []Event{
+		{Thread: 9, Kind: KindLockAcq, Sync: 2, Mutex: 3, Arg: 4},
+		{Thread: 1, Kind: KindLockRel, Sync: 2, Mutex: 3, Arg: 4},
+		{Thread: 1, Kind: KindLockAcq, Sync: 9, Mutex: 3, Arg: 4},
+		{Thread: 1, Kind: KindLockAcq, Sync: 2, Mutex: 9, Arg: 4},
+		{Thread: 1, Kind: KindLockAcq, Sync: 2, Mutex: 3, Arg: 9},
+	}
+	for i, v := range variants {
+		tr := New()
+		tr.Record(v)
+		if tr.DecisionHash() == h {
+			t.Errorf("variant %d did not change hash", i)
+		}
+	}
+}
+
+func TestDecisionHashQuickProperty(t *testing.T) {
+	// Identical event sequences always hash identically.
+	f := func(threads []uint8, kinds []uint8) bool {
+		a, b := New(), New()
+		n := len(threads)
+		if len(kinds) < n {
+			n = len(kinds)
+		}
+		for i := 0; i < n; i++ {
+			e := Event{
+				Thread: ids.ThreadID(threads[i]),
+				Kind:   Kind(int(kinds[i]) % int(KindBarrier+1)),
+				Sync:   ids.NoSync,
+				Mutex:  ids.MutexID(int(threads[i]) % 7),
+			}
+			a.Record(e)
+			b.Record(e)
+		}
+		return a.DecisionHash() == b.DecisionHash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConsistencyHashOrderIndependentAcrossMutexes(t *testing.T) {
+	a, b := New(), New()
+	e1 := ev(1, KindLockAcq, 1)
+	e2 := ev(2, KindLockAcq, 2)
+	a.Record(e1)
+	a.Record(e2)
+	b.Record(e2)
+	b.Record(e1)
+	if a.ConsistencyHash() != b.ConsistencyHash() {
+		t.Fatal("interleaving of unrelated mutexes changed the consistency hash")
+	}
+	// ...but the global DecisionHash does see the difference.
+	if a.DecisionHash() == b.DecisionHash() {
+		t.Fatal("global hash should be order sensitive")
+	}
+}
+
+func TestConsistencyHashOrderSensitiveWithinMutex(t *testing.T) {
+	a, b := New(), New()
+	a.Record(ev(1, KindLockAcq, 1))
+	a.Record(ev(1, KindLockRel, 1))
+	a.Record(ev(2, KindLockAcq, 1))
+	b.Record(ev(2, KindLockAcq, 1))
+	b.Record(ev(1, KindLockAcq, 1))
+	b.Record(ev(1, KindLockRel, 1))
+	if a.ConsistencyHash() == b.ConsistencyHash() {
+		t.Fatal("grant order on one mutex must change the consistency hash")
+	}
+}
+
+func TestConsistencyHashThreadLifecycle(t *testing.T) {
+	a, b := New(), New()
+	a.Record(Event{Thread: 1, Kind: KindNestedBegin, Sync: ids.NoSync, Mutex: ids.NoMutex})
+	a.Record(Event{Thread: 1, Kind: KindNestedEnd, Sync: ids.NoSync, Mutex: ids.NoMutex})
+	b.Record(Event{Thread: 1, Kind: KindNestedEnd, Sync: ids.NoSync, Mutex: ids.NoMutex})
+	b.Record(Event{Thread: 1, Kind: KindNestedBegin, Sync: ids.NoSync, Mutex: ids.NoMutex})
+	if a.ConsistencyHash() == b.ConsistencyHash() {
+		t.Fatal("per-thread lifecycle order must change the consistency hash")
+	}
+}
+
+func TestConsistencyHashIgnoresLockRequests(t *testing.T) {
+	a, b := New(), New()
+	a.Record(ev(1, KindLockAcq, 1))
+	b.Record(ev(2, KindLockReq, 1)) // racy input event
+	b.Record(ev(1, KindLockAcq, 1))
+	if a.ConsistencyHash() != b.ConsistencyHash() {
+		t.Fatal("lock requests must not affect the consistency hash")
+	}
+}
+
+func TestFirstDivergence(t *testing.T) {
+	a, b := New(), New()
+	a.Record(ev(1, KindLockAcq, 1))
+	a.Record(ev(2, KindLockAcq, 2))
+	b.Record(ev(1, KindLockAcq, 1))
+	b.Record(ev(3, KindLockAcq, 2))
+	idx, ea, eb, diverged := FirstDivergence(a, b)
+	if !diverged || idx != 1 {
+		t.Fatalf("divergence at %d, want 1", idx)
+	}
+	if ea.Thread != 2 || eb.Thread != 3 {
+		t.Fatalf("wrong events: %v vs %v", ea, eb)
+	}
+}
+
+func TestFirstDivergenceIdentical(t *testing.T) {
+	a, b := New(), New()
+	for i := 0; i < 5; i++ {
+		e := ev(uint64(i), KindLockAcq, i)
+		a.Record(e)
+		b.Record(e)
+	}
+	if _, _, _, diverged := FirstDivergence(a, b); diverged {
+		t.Fatal("identical traces reported divergent")
+	}
+}
+
+func TestFirstDivergenceLengthMismatch(t *testing.T) {
+	a, b := New(), New()
+	a.Record(ev(1, KindLockAcq, 1))
+	a.Record(ev(1, KindLockRel, 1))
+	b.Record(ev(1, KindLockAcq, 1))
+	idx, _, _, diverged := FirstDivergence(a, b)
+	if !diverged || idx != 1 {
+		t.Fatalf("length mismatch not detected (idx=%d diverged=%v)", idx, diverged)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{At: time.Millisecond, Thread: 3, Kind: KindLockAcq, Sync: 2, Mutex: 5, Arg: 7}
+	s := e.String()
+	for _, want := range []string{"T3", "lockacq", "mx5", "sync2", "arg=7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("event string %q missing %q", s, want)
+		}
+	}
+}
+
+func TestTraceStringAndLen(t *testing.T) {
+	tr := New()
+	tr.Record(ev(1, KindAdmit, -1))
+	tr.Record(ev(1, KindExit, -1))
+	if tr.Len() != 2 {
+		t.Fatalf("len %d", tr.Len())
+	}
+	if lines := strings.Count(tr.String(), "\n"); lines != 2 {
+		t.Fatalf("%d lines in trace string", lines)
+	}
+}
+
+func TestGanttRender(t *testing.T) {
+	tr := New()
+	ms := func(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+	// T1: runs 0..10, holds mutex 0 ('a') 2..6.
+	tr.Record(Event{At: ms(0), Thread: 1, Kind: KindAdmit, Sync: ids.NoSync, Mutex: ids.NoMutex})
+	tr.Record(Event{At: ms(0), Thread: 1, Kind: KindStart, Sync: ids.NoSync, Mutex: ids.NoMutex})
+	tr.Record(Event{At: ms(2), Thread: 1, Kind: KindLockReq, Sync: ids.NoSync, Mutex: 0})
+	tr.Record(Event{At: ms(2), Thread: 1, Kind: KindLockAcq, Sync: ids.NoSync, Mutex: 0})
+	tr.Record(Event{At: ms(6), Thread: 1, Kind: KindLockRel, Sync: ids.NoSync, Mutex: 0})
+	tr.Record(Event{At: ms(10), Thread: 1, Kind: KindExit, Sync: ids.NoSync, Mutex: ids.NoMutex})
+	// T2: admitted at 0, blocked on mutex 0 from 3, granted at 6, exits 10.
+	tr.Record(Event{At: ms(0), Thread: 2, Kind: KindAdmit, Sync: ids.NoSync, Mutex: ids.NoMutex})
+	tr.Record(Event{At: ms(3), Thread: 2, Kind: KindStart, Sync: ids.NoSync, Mutex: ids.NoMutex})
+	tr.Record(Event{At: ms(3), Thread: 2, Kind: KindLockReq, Sync: ids.NoSync, Mutex: 0})
+	tr.Record(Event{At: ms(6), Thread: 2, Kind: KindLockAcq, Sync: ids.NoSync, Mutex: 0})
+	tr.Record(Event{At: ms(8), Thread: 2, Kind: KindLockRel, Sync: ids.NoSync, Mutex: 0})
+	tr.Record(Event{At: ms(10), Thread: 2, Kind: KindExit, Sync: ids.NoSync, Mutex: ids.NoMutex})
+
+	out := Gantt{Width: 40}.Render(tr)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 lanes, got %d lines:\n%s", len(lines), out)
+	}
+	t1, t2 := lines[1], lines[2]
+	if !strings.Contains(t1, "a") {
+		t.Errorf("T1 lane shows no lock hold: %s", t1)
+	}
+	if !strings.Contains(t2, "?") {
+		t.Errorf("T2 lane shows no blocked interval: %s", t2)
+	}
+	if !strings.Contains(t2, "a") {
+		t.Errorf("T2 lane shows no lock hold after grant: %s", t2)
+	}
+	// T2's block ('?') must appear before its hold ('a').
+	if strings.Index(t2, "?") > strings.Index(t2, "a") {
+		t.Errorf("T2 blocked after holding: %s", t2)
+	}
+}
+
+func TestGanttEmptyTrace(t *testing.T) {
+	if out := (Gantt{}).Render(New()); !strings.Contains(out, "empty") {
+		t.Fatalf("unexpected render of empty trace: %q", out)
+	}
+}
+
+func TestGanttOpenIntervalsClosedAtEnd(t *testing.T) {
+	tr := New()
+	tr.Record(Event{At: 0, Thread: 1, Kind: KindAdmit, Sync: ids.NoSync, Mutex: ids.NoMutex})
+	tr.Record(Event{At: 0, Thread: 1, Kind: KindStart, Sync: ids.NoSync, Mutex: ids.NoMutex})
+	tr.Record(Event{At: time.Millisecond, Thread: 1, Kind: KindLockReq, Sync: ids.NoSync, Mutex: 2})
+	tr.Record(Event{At: 2 * time.Millisecond, Thread: 1, Kind: KindLockAcq, Sync: ids.NoSync, Mutex: 2})
+	// no release, no exit: hold extends to end of trace
+	tr.Record(Event{At: 4 * time.Millisecond, Thread: 2, Kind: KindAdmit, Sync: ids.NoSync, Mutex: ids.NoMutex})
+	out := Gantt{Width: 20}.Render(tr)
+	if !strings.Contains(out, "c") { // mutex 2 -> 'c'
+		t.Fatalf("open lock hold not rendered:\n%s", out)
+	}
+}
+
+func TestMutexChar(t *testing.T) {
+	if mutexChar(0) != 'a' || mutexChar(25) != 'z' || mutexChar(26) != 'a' {
+		t.Fatal("mutexChar mapping broken")
+	}
+	if mutexChar(ids.NoMutex) != 'X' {
+		t.Fatal("sentinel mutex char broken")
+	}
+}
+
+func TestKindStringAndDecision(t *testing.T) {
+	if KindLockAcq.String() != "lockacq" {
+		t.Fatal("kind name broken")
+	}
+	if Kind(999).String() == "" {
+		t.Fatal("unknown kind has empty name")
+	}
+	if !KindLockAcq.Decision() || KindCompute.Decision() {
+		t.Fatal("decision classification broken")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := New()
+	tr.Record(Event{At: 1500 * time.Microsecond, Thread: 3, Kind: KindLockAcq, Sync: 2, Mutex: 5, Arg: 7})
+	tr.Record(Event{At: 2 * time.Millisecond, Thread: 4, Kind: KindWaitBegin, Sync: ids.NoSync, Mutex: 5})
+	tr.Record(Event{At: 3 * time.Millisecond, Thread: 4, Kind: KindExit, Sync: ids.NoSync, Mutex: ids.NoMutex})
+
+	var buf strings.Builder
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := tr.Events(), back.Events()
+	if len(a) != len(b) {
+		t.Fatalf("event counts %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if tr.ConsistencyHash() != back.ConsistencyHash() {
+		t.Fatal("hash changed across serialisation")
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`[{"kind":"nosuch"}]`)); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestLanesExtraction(t *testing.T) {
+	tr := New()
+	msd := func(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+	rec := func(at time.Duration, tid uint64, k Kind, m int) {
+		tr.Record(Event{At: at, Thread: ids.ThreadID(tid), Kind: k, Sync: ids.NoSync, Mutex: ids.MutexID(m)})
+	}
+	rec(0, 1, KindAdmit, -1)
+	rec(0, 1, KindStart, -1)
+	rec(msd(1), 1, KindLockReq, 2)
+	rec(msd(1), 1, KindLockAcq, 2)
+	rec(msd(2), 1, KindWaitBegin, 2)
+	rec(msd(4), 1, KindWaitEnd, 2)
+	rec(msd(5), 1, KindLockRel, 2)
+	rec(msd(6), 1, KindExit, -1)
+
+	lanes, end := Lanes(tr)
+	if len(lanes) != 1 || end != msd(6) {
+		t.Fatalf("lanes %v end %v", lanes, end)
+	}
+	var holds, waits int
+	for _, sp := range lanes[0].Spans {
+		switch sp.Class {
+		case SpanHold:
+			holds++
+			if sp.Mutex != 2 {
+				t.Fatalf("hold on %v", sp.Mutex)
+			}
+		case SpanWait:
+			waits++
+			if sp.From != msd(2) || sp.To != msd(4) {
+				t.Fatalf("wait span %v..%v", sp.From, sp.To)
+			}
+		}
+	}
+	// The wait splits the monitor hold into two segments.
+	if holds != 2 || waits != 1 {
+		t.Fatalf("holds=%d waits=%d, want 2/1", holds, waits)
+	}
+}
+
+func TestWriteHTML(t *testing.T) {
+	tr := New()
+	tr.Record(Event{At: 0, Thread: 1, Kind: KindAdmit, Sync: ids.NoSync, Mutex: ids.NoMutex})
+	tr.Record(Event{At: 0, Thread: 1, Kind: KindStart, Sync: ids.NoSync, Mutex: ids.NoMutex})
+	tr.Record(Event{At: time.Millisecond, Thread: 1, Kind: KindLockReq, Sync: ids.NoSync, Mutex: 3})
+	tr.Record(Event{At: 2 * time.Millisecond, Thread: 1, Kind: KindLockAcq, Sync: ids.NoSync, Mutex: 3})
+	tr.Record(Event{At: 3 * time.Millisecond, Thread: 1, Kind: KindLockRel, Sync: ids.NoSync, Mutex: 3})
+	tr.Record(Event{At: 4 * time.Millisecond, Thread: 1, Kind: KindExit, Sync: ids.NoSync, Mutex: ids.NoMutex})
+	var b strings.Builder
+	if err := tr.WriteHTML(&b, "test <title>"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"<svg", "holding mx3", "lock-blocked", "test &lt;title&gt;", "</html>"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("HTML missing %q", want)
+		}
+	}
+}

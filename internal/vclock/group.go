@@ -1,0 +1,67 @@
+package vclock
+
+import "sync"
+
+// Group is the clock-aware analogue of sync.WaitGroup.
+//
+// A plain sync.WaitGroup must not be used to join managed goroutines under
+// a Virtual clock: a goroutine blocked in WaitGroup.Wait still counts as
+// runnable (the clock cannot see the block), which stalls virtual time,
+// and waking a parked goroutine from an unmanaged one can race with
+// deadlock detection. Group parks the waiter on a clock Parker and has the
+// final Done — executed by a still-runnable managed goroutine — deliver
+// the wakeup, so the accounting stays exact.
+type Group struct {
+	c       Clock
+	mu      sync.Mutex
+	n       int
+	waiters []Parker
+}
+
+// NewGroup returns a Group bound to clock c.
+func NewGroup(c Clock) *Group { return &Group{c: c} }
+
+// Add adds delta to the group counter. It panics if the counter goes
+// negative. If the counter reaches zero, all current waiters are released.
+func (g *Group) Add(delta int) {
+	g.mu.Lock()
+	g.n += delta
+	if g.n < 0 {
+		g.mu.Unlock()
+		panic("vclock: negative Group counter")
+	}
+	var release []Parker
+	if g.n == 0 {
+		release = g.waiters
+		g.waiters = nil
+	}
+	g.mu.Unlock()
+	for _, p := range release {
+		p.Unpark()
+	}
+}
+
+// Done decrements the group counter by one.
+func (g *Group) Done() { g.Add(-1) }
+
+// Wait parks the calling (managed) goroutine until the counter is zero.
+func (g *Group) Wait() {
+	g.mu.Lock()
+	if g.n == 0 {
+		g.mu.Unlock()
+		return
+	}
+	p := g.c.NewParker()
+	g.waiters = append(g.waiters, p)
+	g.mu.Unlock()
+	p.Park()
+}
+
+// Go runs fn in a managed goroutine tracked by the group.
+func (g *Group) Go(fn func()) {
+	g.Add(1)
+	g.c.Go(func() {
+		defer g.Done()
+		fn()
+	})
+}

@@ -1,0 +1,75 @@
+package vclock
+
+import "time"
+
+// Real is a wall-clock implementation of Clock. Sleeps and parks use the
+// operating system timer; no goroutine accounting is performed. It exists
+// so that examples and sanity benchmarks can run the very same scheduler
+// and workload code against real time.
+type Real struct {
+	start time.Time
+}
+
+// NewReal returns a wall clock positioned at time zero (= now).
+func NewReal() *Real { return &Real{start: time.Now()} }
+
+// Now returns the wall-clock time elapsed since the clock was created.
+func (r *Real) Now() time.Duration { return time.Since(r.start) }
+
+// Sleep blocks for d of wall-clock time.
+func (r *Real) Sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Go runs fn in a plain goroutine.
+func (r *Real) Go(fn func()) { go fn() }
+
+// Enter is a no-op for the real clock.
+func (r *Real) Enter() {}
+
+// Exit is a no-op for the real clock.
+func (r *Real) Exit() {}
+
+// NewParker returns a channel-based parker.
+func (r *Real) NewParker() Parker { return &rparker{ch: make(chan struct{}, 1)} }
+
+type rparker struct {
+	ch chan struct{}
+}
+
+func (p *rparker) Park() { <-p.ch }
+
+func (p *rparker) ParkTimeout(d time.Duration) bool {
+	if d <= 0 {
+		select {
+		case <-p.ch:
+			return true
+		default:
+			return false
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-p.ch:
+		return true
+	case <-t.C:
+		// Clear a wakeup that raced with the timeout so it cannot leak
+		// into the next park.
+		select {
+		case <-p.ch:
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+func (p *rparker) Unpark() {
+	select {
+	case p.ch <- struct{}{}:
+	default: // a wakeup is already pending; coalesce
+	}
+}

@@ -1,0 +1,262 @@
+package vclock
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Virtual is a discrete-event clock.
+//
+// It maintains a count of runnable managed goroutines. Whenever that count
+// drops to zero, the goroutine that caused the drop advances virtual time
+// to the earliest pending timer and wakes its sleeper before blocking
+// itself. If the count drops to zero with no pending timer while parked
+// goroutines exist, the system is deadlocked and the deadlock handler runs
+// (by default: panic with a dump of the parked sites).
+type Virtual struct {
+	mu         sync.Mutex
+	now        time.Duration
+	runnable   int
+	timers     timerHeap
+	seq        uint64
+	parkedSet  map[*vparker]struct{}
+	onDeadlock func(dump string)
+}
+
+// NewVirtual returns a virtual clock positioned at time zero.
+func NewVirtual() *Virtual {
+	return &Virtual{parkedSet: make(map[*vparker]struct{})}
+}
+
+// SetDeadlockHandler replaces the default panic-on-deadlock behaviour.
+// The handler receives a human-readable dump of the parked sites. It is
+// called with the clock's lock held; it must not call back into the clock.
+func (v *Virtual) SetDeadlockHandler(h func(dump string)) {
+	v.mu.Lock()
+	v.onDeadlock = h
+	v.mu.Unlock()
+}
+
+// Now returns the current virtual time.
+func (v *Virtual) Now() time.Duration {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Enter registers the calling goroutine as managed.
+func (v *Virtual) Enter() {
+	v.mu.Lock()
+	v.runnable++
+	v.mu.Unlock()
+}
+
+// Exit unregisters the calling goroutine, possibly advancing the clock if
+// it was the last runnable one.
+func (v *Virtual) Exit() {
+	v.mu.Lock()
+	v.runnable--
+	v.advanceLocked()
+	v.mu.Unlock()
+}
+
+// Go runs fn in a new managed goroutine. The goroutine is accounted as
+// runnable from the moment Go returns, so the clock can never advance past
+// work that has been spawned but not yet scheduled.
+func (v *Virtual) Go(fn func()) {
+	v.Enter()
+	go func() {
+		defer v.Exit()
+		fn()
+	}()
+}
+
+// Sleep suspends the calling goroutine for d of virtual time.
+func (v *Virtual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	p := v.newParker("sleep", DefaultOrder)
+	p.ParkTimeout(d)
+}
+
+// DefaultOrder is the firing-order rank of parkers created without an
+// explicit order. Lower ranks fire first among timers with an identical
+// deadline.
+const DefaultOrder = ^uint64(0) / 2
+
+// NewParker returns a Parker bound to this clock.
+func (v *Virtual) NewParker() Parker { return v.newParker("", DefaultOrder) }
+
+// NewNamedParker returns a Parker whose label appears in deadlock dumps.
+func (v *Virtual) NewNamedParker(label string) Parker { return v.newParker(label, DefaultOrder) }
+
+// NewOrderedParker returns a Parker whose timeout timers fire in `order`
+// rank among timers with the same deadline (ties broken by registration
+// sequence). Deterministic simulations use this so that simultaneous
+// events are processed in an order that does not depend on racy timer
+// registration.
+func (v *Virtual) NewOrderedParker(label string, order uint64) Parker {
+	return v.newParker(label, order)
+}
+
+func (v *Virtual) newParker(label string, order uint64) *vparker {
+	return &vparker{v: v, ch: make(chan struct{}, 1), label: label, order: order}
+}
+
+type vparker struct {
+	v        *Virtual
+	ch       chan struct{}
+	label    string
+	order    uint64 // same-deadline firing rank
+	pending  bool   // an Unpark arrived while not parked
+	parked   bool   // currently parked (guarded by v.mu)
+	timedOut bool   // last ParkTimeout ended by timeout
+	gen      uint64 // invalidates stale heap entries
+}
+
+func (p *vparker) Park() {
+	v := p.v
+	v.mu.Lock()
+	if p.pending {
+		p.pending = false
+		v.mu.Unlock()
+		return
+	}
+	p.parked = true
+	p.timedOut = false
+	v.runnable--
+	v.parkedSet[p] = struct{}{}
+	v.advanceLocked()
+	v.mu.Unlock()
+	<-p.ch
+}
+
+// ParkTimeout parks with a deadline. A non-positive d parks on an
+// immediate timer: the goroutine is woken (with woken=false) as soon as
+// every other managed goroutine is blocked, without advancing virtual
+// time. Low-order parkers use this to run "after everything due now has
+// settled" — the event pump in package core depends on it.
+func (p *vparker) ParkTimeout(d time.Duration) bool {
+	if d < 0 {
+		d = 0
+	}
+	v := p.v
+	v.mu.Lock()
+	if p.pending {
+		p.pending = false
+		v.mu.Unlock()
+		return true
+	}
+	p.parked = true
+	p.timedOut = false
+	p.gen++
+	v.seq++
+	heap.Push(&v.timers, timer{at: v.now + d, order: p.order, seq: v.seq, p: p, gen: p.gen})
+	v.runnable--
+	v.parkedSet[p] = struct{}{}
+	v.advanceLocked()
+	v.mu.Unlock()
+	<-p.ch
+	v.mu.Lock()
+	woken := !p.timedOut
+	p.timedOut = false
+	v.mu.Unlock()
+	return woken
+}
+
+func (p *vparker) Unpark() {
+	v := p.v
+	v.mu.Lock()
+	if p.parked {
+		p.parked = false
+		p.gen++ // invalidate any outstanding timeout timer
+		delete(v.parkedSet, p)
+		v.runnable++
+		v.mu.Unlock()
+		p.ch <- struct{}{}
+		return
+	}
+	p.pending = true
+	v.mu.Unlock()
+}
+
+// advanceLocked runs with v.mu held. If no managed goroutine is runnable
+// it fires the earliest valid timer (advancing virtual time), and if none
+// exists while goroutines are parked it reports a deadlock.
+func (v *Virtual) advanceLocked() {
+	if v.runnable > 0 {
+		return
+	}
+	for v.timers.Len() > 0 {
+		t := heap.Pop(&v.timers).(timer)
+		if t.gen != t.p.gen || !t.p.parked {
+			continue // stale entry: sleeper was unparked early
+		}
+		if t.at > v.now {
+			v.now = t.at
+		}
+		t.p.parked = false
+		t.p.timedOut = true
+		delete(v.parkedSet, t.p)
+		v.runnable++
+		t.p.ch <- struct{}{} // buffered; cannot block
+		return
+	}
+	if len(v.parkedSet) > 0 {
+		dump := v.dumpLocked()
+		if v.onDeadlock != nil {
+			v.onDeadlock(dump)
+			return
+		}
+		panic("vclock: deadlock — all managed goroutines parked with no pending timer\n" + dump)
+	}
+	// Nothing runnable, nothing parked: the simulation simply finished.
+}
+
+func (v *Virtual) dumpLocked() string {
+	labels := make([]string, 0, len(v.parkedSet))
+	for p := range v.parkedSet {
+		l := p.label
+		if l == "" {
+			l = "<unnamed>"
+		}
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	return fmt.Sprintf("virtual time %v, %d parked: %s", v.now, len(labels), strings.Join(labels, ", "))
+}
+
+type timer struct {
+	at    time.Duration
+	order uint64 // deterministic same-deadline rank (parker order)
+	seq   uint64 // FIFO tiebreak among identical (at, order)
+	p     *vparker
+	gen   uint64
+}
+
+type timerHeap []timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].order != h[j].order {
+		return h[i].order < h[j].order
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(timer)) }
+func (h *timerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	*h = old[:n-1]
+	return t
+}

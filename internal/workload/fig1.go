@@ -1,0 +1,141 @@
+// Package workload generates the synthetic workloads of the paper's
+// evaluation, most importantly the Fig. 1 benchmark method:
+//
+//	"The implementation of that method in the remote object does ten
+//	iterations of a loop. Each iteration performs the following
+//	operations:
+//	  - with probability 0.2, simulate a nested invocation (~12 ms)
+//	  - with probability 0.2, simulate a local computation (~1.5 ms)
+//	  - execute a sequence of lock, state update, unlock, using a mutex
+//	    chosen by random from a set of 100 mutexes.
+//	To guarantee deterministic behaviour the clients were responsible
+//	for all random decisions and passed them as method parameters."
+//
+// Fig1Source emits mini-language source with the loop unrolled into one
+// decision parameter per iteration, because the decisions differ per
+// iteration; Fig1Args draws the client-side random decisions and encodes
+// them into those parameters.
+package workload
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"detmt/internal/ids"
+	"detmt/internal/lang"
+)
+
+// Fig1Config parameterises the benchmark object and its workload.
+type Fig1Config struct {
+	Iterations int           // loop iterations per request (paper: 10)
+	Mutexes    int           // size of the mutex set (paper: 100)
+	PNested    float64       // probability of a nested invocation (0.2)
+	PCompute   float64       // probability of a local computation (0.2)
+	ComputeDur time.Duration // local computation duration (~1.5 ms)
+	// Announceable selects the lock-parameter style: true locks
+	// cells[dK] directly (the immutable-array + parameter form the
+	// analysis can announce at method entry, enabling PMAT); false
+	// copies the index through a mutable field first, producing the
+	// spontaneous parameters of the original benchmark.
+	Announceable bool
+}
+
+// DefaultFig1 returns the paper's parameters.
+func DefaultFig1() Fig1Config {
+	return Fig1Config{
+		Iterations:   10,
+		Mutexes:      100,
+		PNested:      0.2,
+		PCompute:     0.2,
+		ComputeDur:   1500 * time.Microsecond,
+		Announceable: true,
+	}
+}
+
+// MethodName is the benchmark start method.
+const MethodName = "work"
+
+// Decision encoding inside one integer parameter d:
+//
+//	mutex index = d % Mutexes
+//	nested flag = (d / Mutexes) % 2
+//	compute flag = (d / (2*Mutexes)) % 2
+func encode(cfg Fig1Config, mutex int, nested, compute bool) int64 {
+	d := int64(mutex)
+	if nested {
+		d += int64(cfg.Mutexes)
+	}
+	if compute {
+		d += int64(2 * cfg.Mutexes)
+	}
+	return d
+}
+
+// Fig1Source generates the benchmark object's source text.
+func Fig1Source(cfg Fig1Config) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "object Fig1 {\n")
+	fmt.Fprintf(&b, "    monitor cells[%d];\n", cfg.Mutexes)
+	b.WriteString("    field state;\n")
+	b.WriteString("    field spont;\n\n")
+
+	params := make([]string, cfg.Iterations)
+	for i := range params {
+		params[i] = fmt.Sprintf("d%d", i)
+	}
+	fmt.Fprintf(&b, "    method %s(%s) {\n", MethodName, strings.Join(params, ", "))
+	us := int64(cfg.ComputeDur / time.Microsecond)
+	for i := 0; i < cfg.Iterations; i++ {
+		d := params[i]
+		m := cfg.Mutexes
+		fmt.Fprintf(&b, "        if (%s / %d %% 2 == 1) {\n", d, m)
+		fmt.Fprintf(&b, "            nested(%s);\n", d)
+		b.WriteString("        }\n")
+		fmt.Fprintf(&b, "        if (%s / %d %% 2 == 1) {\n", d, 2*m)
+		fmt.Fprintf(&b, "            compute(%dus);\n", us)
+		b.WriteString("        }\n")
+		if cfg.Announceable {
+			fmt.Fprintf(&b, "        sync (cells[%s %% %d]) {\n", d, m)
+		} else {
+			// Route the index through a mutable field: the analysis must
+			// classify the parameter as spontaneous (paper Sect. 4.2).
+			fmt.Fprintf(&b, "        spont = %s %% %d;\n", d, m)
+			b.WriteString("        sync (cells[spont]) {\n")
+		}
+		b.WriteString("            state = state + 1;\n")
+		b.WriteString("        }\n")
+	}
+	b.WriteString("    }\n")
+
+	// The reference reader used by tests and examples.
+	b.WriteString("\n    method readState() {\n")
+	b.WriteString("        var v = 0;\n")
+	b.WriteString("        sync (cells[0]) {\n")
+	b.WriteString("            v = state;\n")
+	b.WriteString("        }\n")
+	b.WriteString("        return v;\n")
+	b.WriteString("    }\n")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Fig1Args draws one request's client-side random decisions.
+func Fig1Args(cfg Fig1Config, rng *ids.RNG) []lang.Value {
+	args := make([]lang.Value, cfg.Iterations)
+	for i := range args {
+		nested := rng.Bool(cfg.PNested)
+		compute := rng.Bool(cfg.PCompute)
+		mutex := rng.Intn(cfg.Mutexes)
+		args[i] = encode(cfg, mutex, nested, compute)
+	}
+	return args
+}
+
+// DecodeArg splits a decision parameter back into its parts (for tests).
+func DecodeArg(cfg Fig1Config, d int64) (mutex int, nested, compute bool) {
+	mutex = int(d % int64(cfg.Mutexes))
+	nested = (d/int64(cfg.Mutexes))%2 == 1
+	compute = (d/int64(2*cfg.Mutexes))%2 == 1
+	return
+}

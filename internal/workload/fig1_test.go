@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"detmt/internal/analysis"
+	"detmt/internal/ids"
+	"detmt/internal/lang"
+	"detmt/internal/lockpred"
+)
+
+func TestFig1SourceParsesAndAnalyses(t *testing.T) {
+	for _, ann := range []bool{true, false} {
+		cfg := DefaultFig1()
+		cfg.Announceable = ann
+		src := Fig1Source(cfg)
+		obj, err := lang.Parse(src)
+		if err != nil {
+			t.Fatalf("announceable=%v: parse: %v\n%s", ann, err, src)
+		}
+		res, err := analysis.Analyze(obj)
+		if err != nil {
+			t.Fatalf("announceable=%v: analyse: %v", ann, err)
+		}
+		rep := res.Report(MethodName)
+		if len(rep.Syncs) != cfg.Iterations {
+			t.Fatalf("announceable=%v: %d syncs, want %d", ann, len(rep.Syncs), cfg.Iterations)
+		}
+		for _, s := range rep.Syncs {
+			if s.Announceable != ann {
+				t.Fatalf("sync %v announceable=%v, want %v", s.SyncID, s.Announceable, ann)
+			}
+			if s.Loop != lockpred.LoopNone {
+				t.Fatalf("sync %v loop kind %v (unrolled code has no loops)", s.SyncID, s.Loop)
+			}
+		}
+	}
+}
+
+func TestFig1ArgsEncoding(t *testing.T) {
+	cfg := DefaultFig1()
+	rng := ids.NewRNG(7)
+	var nested, compute int
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		args := Fig1Args(cfg, rng)
+		if len(args) != cfg.Iterations {
+			t.Fatalf("%d args", len(args))
+		}
+		for _, a := range args {
+			m, n, c := DecodeArg(cfg, a.(int64))
+			if m < 0 || m >= cfg.Mutexes {
+				t.Fatalf("mutex %d out of range", m)
+			}
+			if n {
+				nested++
+			}
+			if c {
+				compute++
+			}
+		}
+	}
+	total := trials * cfg.Iterations
+	nf := float64(nested) / float64(total)
+	cf := float64(compute) / float64(total)
+	if nf < 0.18 || nf > 0.22 || cf < 0.18 || cf > 0.22 {
+		t.Fatalf("probabilities off: nested %.3f compute %.3f, want ~0.2", nf, cf)
+	}
+}
+
+func TestFig1ArgsDeterministic(t *testing.T) {
+	cfg := DefaultFig1()
+	a := Fig1Args(cfg, ids.NewRNG(5))
+	b := Fig1Args(cfg, ids.NewRNG(5))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different decisions")
+		}
+	}
+}
+
+func TestFig1SourceShape(t *testing.T) {
+	src := Fig1Source(DefaultFig1())
+	if !strings.Contains(src, "monitor cells[100];") {
+		t.Fatal("missing mutex set")
+	}
+	if got := strings.Count(src, "nested("); got != 10 {
+		t.Fatalf("%d nested sites, want 10", got)
+	}
+	if got := strings.Count(src, "compute(1500us);"); got != 10 {
+		t.Fatalf("%d compute sites, want 10", got)
+	}
+}
