@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +25,7 @@ func main() {
 	clients := flag.String("clients", "1,2,4,8,16,32,48", "client counts for the fig1 sweep")
 	requests := flag.Int("requests", 4, "requests per client")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	jsonOut := flag.Bool("json", false, "emit results as a JSON array instead of text")
 	flag.Parse()
 
 	opts := harness.DefaultFig1Options()
@@ -73,6 +75,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintf(os.Stderr, "detmt-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	for _, r := range results {
 		fmt.Printf("==== %s: %s ====\n\n%s\n", r.ID, r.Title, r.Text)
 	}

@@ -1,0 +1,144 @@
+// Command detmt-load is the closed-loop load generator for a running
+// detmt-server cluster: N concurrent clients issue Fig. 1 requests over
+// TCP, wait for the first replica reply, and report the client-perceived
+// latency distribution (the paper's Fig. 1 measurement protocol, over
+// real sockets). It exits non-zero if the replicas' schedule consistency
+// hashes diverge.
+//
+// Usage:
+//
+//	detmt-load -servers 1=127.0.0.1:7101,2=127.0.0.1:7102,3=127.0.0.1:7103 \
+//	    -clients 4 -requests 8 -seed 1
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"detmt/internal/ids"
+	"detmt/internal/metrics"
+	"detmt/internal/server"
+	"detmt/internal/workload"
+)
+
+func main() {
+	servers := flag.String("servers", "", "cluster members as id=addr,id=addr,... (all of them)")
+	clients := flag.Int("clients", 4, "number of concurrent closed-loop clients")
+	requests := flag.Int("requests", 8, "requests per client")
+	seed := flag.Uint64("seed", 1, "client-side decision seed")
+	pipelined := flag.Bool("pipelined", false, "submit each client's requests as one atomic batch")
+	timeout := flag.Duration("timeout", 2*time.Minute, "overall run timeout")
+	iterations := flag.Int("iterations", 10, "Fig. 1 loop iterations per request (must match the servers)")
+	mutexes := flag.Int("mutexes", 100, "Fig. 1 mutex set size (must match the servers)")
+	jsonOut := flag.Bool("json", false, "emit the result as JSON instead of text")
+	verbose := flag.Bool("v", false, "log transport diagnostics")
+	flag.Parse()
+
+	serverMap, err := parseServers(*servers)
+	if err != nil || len(serverMap) == 0 {
+		fmt.Fprintf(os.Stderr, "detmt-load: bad -servers: %v\n", err)
+		os.Exit(2)
+	}
+	wl := workload.DefaultFig1()
+	wl.Iterations = *iterations
+	wl.Mutexes = *mutexes
+
+	logf := func(string, ...interface{}) {}
+	if *verbose {
+		logf = log.Printf
+	}
+	res, err := server.RunLoad(server.LoadOptions{
+		Servers:           serverMap,
+		Clients:           *clients,
+		RequestsPerClient: *requests,
+		Seed:              *seed,
+		Workload:          wl,
+		Pipelined:         *pipelined,
+		Timeout:           *timeout,
+		Logf:              logf,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "detmt-load: %v\n", err)
+		os.Exit(1)
+	}
+
+	qs := res.Latency.Quantiles(50, 95)
+	if *jsonOut {
+		out := struct {
+			Requests  int             `json:"requests"`
+			Errors    int             `json:"errors"`
+			ElapsedMs float64         `json:"elapsed_ms"`
+			MeanMs    float64         `json:"latency_mean_ms"`
+			P50Ms     float64         `json:"latency_p50_ms"`
+			P95Ms     float64         `json:"latency_p95_ms"`
+			MaxMs     float64         `json:"latency_max_ms"`
+			Converged bool            `json:"converged"`
+			Hashes    []uint64        `json:"hashes"`
+			Statuses  []server.Status `json:"statuses"`
+		}{
+			Requests:  res.Requests,
+			Errors:    res.Errors,
+			ElapsedMs: ms(res.Elapsed),
+			MeanMs:    ms(res.Latency.Mean()),
+			P50Ms:     ms(qs[0]),
+			P95Ms:     ms(qs[1]),
+			MaxMs:     ms(res.Latency.Max()),
+			Converged: res.Converged,
+			Hashes:    res.Hashes,
+			Statuses:  res.Statuses,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "detmt-load: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Printf("requests  %d (%d errors) in %s wall\n", res.Requests, res.Errors, res.Elapsed.Round(time.Millisecond))
+		fmt.Printf("latency   mean %s ms  p50 %s ms  p95 %s ms  max %s ms\n",
+			metrics.Ms(res.Latency.Mean()), metrics.Ms(qs[0]),
+			metrics.Ms(qs[1]), metrics.Ms(res.Latency.Max()))
+		for _, st := range res.Statuses {
+			fmt.Printf("replica %v  scheduler=%s completed=%d state=%d hash=%016x\n",
+				st.ID, st.Scheduler, st.Completed, st.State, st.Hash)
+		}
+	}
+	if !res.Converged {
+		fmt.Fprintln(os.Stderr, "detmt-load: DIVERGED — replica consistency hashes differ")
+		os.Exit(1)
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func parseServers(s string) (map[ids.ReplicaID]string, error) {
+	out := map[ids.ReplicaID]string{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("%q is not id=addr", part)
+		}
+		n, err := strconv.Atoi(kv[0])
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("%q is not a positive replica id", kv[0])
+		}
+		if _, dup := out[ids.ReplicaID(n)]; dup {
+			return nil, fmt.Errorf("replica id %d listed twice", n)
+		}
+		out[ids.ReplicaID(n)] = kv[1]
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty server list")
+	}
+	return out, nil
+}

@@ -1,0 +1,123 @@
+// Command detmt-server hosts one detmt replica over real TCP — the
+// deployment mode that takes the system out of the simulator. Start one
+// process per member with the full (static) membership; the lowest
+// replica id acts as the sequencer and runs the stamped sequencing tick
+// loop that keeps every member's virtual schedule identical.
+//
+// Usage (3-replica loopback cluster):
+//
+//	detmt-server -id 1 -listen 127.0.0.1:7101 -peers 2=127.0.0.1:7102,3=127.0.0.1:7103 &
+//	detmt-server -id 2 -listen 127.0.0.1:7102 -peers 1=127.0.0.1:7101,3=127.0.0.1:7103 &
+//	detmt-server -id 3 -listen 127.0.0.1:7103 -peers 1=127.0.0.1:7101,2=127.0.0.1:7102 &
+//	detmt-load -servers 1=127.0.0.1:7101,2=127.0.0.1:7102,3=127.0.0.1:7103 -clients 4 -requests 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"detmt/internal/ids"
+	"detmt/internal/replica"
+	"detmt/internal/server"
+	"detmt/internal/workload"
+)
+
+func main() {
+	id := flag.Int("id", 1, "this replica's id (must appear in the membership)")
+	listen := flag.String("listen", "127.0.0.1:7101", "TCP address to accept peer and client connections on")
+	peers := flag.String("peers", "", "other members as id=addr,id=addr,... (static membership)")
+	scheduler := flag.String("scheduler", "MAT", "scheduler kind: SEQ, SAT, LSA, PDS, MAT, MAT+LLA, or PMAT")
+	nested := flag.Duration("nested", 12*time.Millisecond, "virtual duration of the nested external call")
+	tick := flag.Duration("tick", 2*time.Millisecond, "sequencing tick interval (virtual = wall)")
+	budget := flag.Duration("budget", 5*time.Millisecond, "delivery-deadline budget per sequenced message")
+	pdsWindow := flag.Int("pds-window", 4, "PDS pool size")
+	pdsRelaxed := flag.Bool("pds-relaxed", false, "relax the PDS full-pool barrier")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "broadcast a state checkpoint every N requests (0: never)")
+	iterations := flag.Int("iterations", 10, "Fig. 1 loop iterations per request")
+	mutexes := flag.Int("mutexes", 100, "Fig. 1 mutex set size")
+	verbose := flag.Bool("v", false, "log transport diagnostics")
+	flag.Parse()
+
+	peerMap, err := parsePeers(*peers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "detmt-server: bad -peers: %v\n", err)
+		os.Exit(2)
+	}
+	kind := replica.SchedulerKind(*scheduler)
+	known := false
+	for _, k := range replica.AllKinds() {
+		if k == kind {
+			known = true
+		}
+	}
+	if !known {
+		fmt.Fprintf(os.Stderr, "detmt-server: unknown scheduler %q (want one of %v)\n", *scheduler, replica.AllKinds())
+		os.Exit(2)
+	}
+	wl := workload.DefaultFig1()
+	wl.Iterations = *iterations
+	wl.Mutexes = *mutexes
+
+	logf := func(string, ...interface{}) {}
+	if *verbose {
+		logf = log.Printf
+	}
+	srv, err := server.New(server.Options{
+		ID:              ids.ReplicaID(*id),
+		Listen:          *listen,
+		Peers:           peerMap,
+		Scheduler:       kind,
+		Workload:        wl,
+		NestedLatency:   *nested,
+		Tick:            *tick,
+		Budget:          *budget,
+		PDSWindow:       *pdsWindow,
+		PDSRelaxed:      *pdsRelaxed,
+		CheckpointEvery: *checkpointEvery,
+		Logf:            logf,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "detmt-server: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("detmt-server: replica %d (%s) listening on %s, %d peer(s)",
+		*id, *scheduler, srv.Addr(), len(peerMap))
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	<-sigc
+	st := srv.Status()
+	log.Printf("detmt-server: shutting down: completed=%d hash=%x state=%d",
+		st.Completed, st.Hash, st.State)
+	srv.Close()
+}
+
+func parsePeers(s string) (map[ids.ReplicaID]string, error) {
+	out := map[ids.ReplicaID]string{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("%q is not id=addr", part)
+		}
+		n, err := strconv.Atoi(kv[0])
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("%q is not a positive replica id", kv[0])
+		}
+		if _, dup := out[ids.ReplicaID(n)]; dup {
+			return nil, fmt.Errorf("replica id %d listed twice", n)
+		}
+		out[ids.ReplicaID(n)] = kv[1]
+	}
+	return out, nil
+}

@@ -16,7 +16,7 @@ type ClientEndpoint struct {
 	id ids.ClientID
 
 	mu      sync.Mutex
-	inbox   []envelope
+	inbox   []Envelope
 	running bool
 	parker  vclock.Parker
 
@@ -53,22 +53,49 @@ func (c *ClientEndpoint) Broadcast(p Payload) uint64 {
 	uid := c.nextUID
 	c.pending[uid] = p
 	c.mu.Unlock()
-	c.send(envelope{
-		kind:    envForward,
-		origin:  Origin{Client: c.id, IsClient: true},
-		uid:     uid,
-		payload: p,
+	c.send(Envelope{
+		Kind:    EnvForward,
+		Origin:  Origin{Client: c.id, IsClient: true},
+		UID:     uid,
+		Payload: p,
 	})
 	return uid
 }
 
-func (c *ClientEndpoint) send(env envelope) {
+func (c *ClientEndpoint) send(env Envelope) {
 	seq := c.g.sequencer()
 	if seq < 0 {
 		return
 	}
-	dst := c.g.Node(seq)
-	c.g.transfer(fmt.Sprintf("%v>%v", env.origin, seq), dst.enqueue, env)
+	c.g.transfer(fmt.Sprintf("%v>%v", env.Origin, seq), Origin{Replica: seq}, env)
+}
+
+// BroadcastBatch submits several payloads as one atomic wire batch: on a
+// batching transport the sequencer observes them contiguously, within a
+// single sequencing tick, which distributed-mode determinism tests rely
+// on. It returns the uids assigned to the payloads, in order.
+func (c *ClientEndpoint) BroadcastBatch(ps []Payload) []uint64 {
+	if len(ps) == 0 {
+		return nil
+	}
+	c.g.stats.add(0, len(ps), 0)
+	uids := make([]uint64, len(ps))
+	envs := make([]Envelope, len(ps))
+	origin := Origin{Client: c.id, IsClient: true}
+	c.mu.Lock()
+	for i, p := range ps {
+		c.nextUID++
+		uids[i] = c.nextUID
+		c.pending[c.nextUID] = p
+		envs[i] = Envelope{Kind: EnvForward, Origin: origin, UID: c.nextUID, Payload: p}
+	}
+	c.mu.Unlock()
+	seq := c.g.sequencer()
+	if seq < 0 {
+		return uids
+	}
+	c.g.transferBatch(fmt.Sprintf("%v>%v", origin, seq), Origin{Replica: seq}, envs)
+	return uids
 }
 
 // Ack tells the endpoint that the request with the given uid completed,
@@ -101,17 +128,17 @@ func (c *ClientEndpoint) retransmitPending() {
 	c.mu.Unlock()
 	sortUint64(uids)
 	for _, uid := range uids {
-		c.send(envelope{
-			kind:    envForward,
-			origin:  Origin{Client: c.id, IsClient: true},
-			uid:     uid,
-			payload: payloads[uid],
+		c.send(Envelope{
+			Kind:    EnvForward,
+			Origin:  Origin{Client: c.id, IsClient: true},
+			UID:     uid,
+			Payload: payloads[uid],
 		})
 	}
 }
 
 // enqueue accepts a reply envelope from the transport.
-func (c *ClientEndpoint) enqueue(env envelope) {
+func (c *ClientEndpoint) enqueue(env Envelope) {
 	c.mu.Lock()
 	c.inbox = append(c.inbox, env)
 	start := !c.running
@@ -144,7 +171,7 @@ func (c *ClientEndpoint) loop() {
 		c.mu.Unlock()
 		quiesced = false
 		if c.onReply != nil {
-			c.onReply(env.from.Replica, env.payload)
+			c.onReply(env.From.Replica, env.Payload)
 		}
 	}
 }

@@ -56,16 +56,38 @@ func (o Origin) String() string {
 	return o.Replica.String()
 }
 
-// Config parameterises a simulated group.
+// Config parameterises a group.
 type Config struct {
 	Clock   vclock.Clock
 	Members []ids.ReplicaID
 	// Latency is the one-way transfer time between any two endpoints
-	// (including a node's messages to itself, for symmetry).
+	// (including a node's messages to itself, for symmetry). Only the
+	// in-memory transport uses it.
 	Latency time.Duration
 	// DetectTimeout is how long survivors take to detect a crashed
 	// sequencer and fail over.
 	DetectTimeout time.Duration
+
+	// Transport carries envelopes between endpoints. nil selects the
+	// in-memory virtual-latency transport (the simulator). A distributed
+	// deployment passes the TCP transport from internal/wire.
+	Transport Transport
+	// Local lists the member ids hosted in this process. nil means all
+	// members are local (the simulator); an empty non-nil slice means
+	// none are (a client-only process such as a load generator).
+	Local []ids.ReplicaID
+	// Tick and Budget configure stamped sequencing, active when a
+	// non-nil Transport is combined with a Virtual clock: the sequencer
+	// drains forwarded broadcasts every Tick and stamps each sequenced
+	// message with a virtual delivery deadline Budget in the future.
+	// Every member injects the message into its own virtual timeline at
+	// exactly that instant and treats the stamps as its clock horizon,
+	// so all replicas execute an identical virtual schedule even though
+	// real network delays differ. When stamped sequencing is active the
+	// clock must have pacing enabled (vclock.Virtual.EnablePacing)
+	// before NewGroup is called.
+	Tick   time.Duration
+	Budget time.Duration
 }
 
 // Stats counts network traffic, for the message-overhead comparisons of
@@ -92,22 +114,33 @@ func (s *Stats) Snapshot() (transfers, broadcasts, directs int) {
 	return s.Transfers, s.Broadcast, s.Direct
 }
 
-// Group is one simulated process group plus its client endpoints.
+// Group is one process group plus its client endpoints. In the simulator
+// every member is hosted by the same Group; in a distributed deployment
+// each process hosts a Group with one local member (or none, for pure
+// client processes), wired together by a shared Transport implementation.
 type Group struct {
-	cfg   Config
-	stats Stats
+	cfg      Config
+	stats    Stats
+	tr       Transport
+	vclk     *vclock.Virtual // non-nil when Clock is a Virtual
+	stamped  bool            // stamped sequencing active (see Config.Tick)
+	allLocal bool
 
 	mu        sync.Mutex
 	nodes     map[ids.ReplicaID]*Node
+	localSet  map[ids.ReplicaID]bool
 	clients   map[ids.ClientID]*ClientEndpoint
 	crashed   map[ids.ReplicaID]bool
 	crashedAt map[ids.ReplicaID]time.Duration
+	isClosed  bool
 
-	linksMu sync.Mutex
-	links   map[string]*link
+	fwdMu sync.Mutex
+	fwdQ  []Envelope // forwards awaiting the next sequencing tick
+
+	closed chan struct{}
 }
 
-// NewGroup creates the group and its member nodes.
+// NewGroup creates the group and its locally hosted member nodes.
 func NewGroup(cfg Config) *Group {
 	if cfg.Clock == nil {
 		panic("gcs: Config.Clock is required")
@@ -118,21 +151,70 @@ func NewGroup(cfg Config) *Group {
 	if cfg.DetectTimeout <= 0 {
 		cfg.DetectTimeout = 50 * time.Millisecond
 	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = time.Millisecond
+	}
+	if cfg.Budget <= 0 {
+		cfg.Budget = 5 * time.Millisecond
+	}
 	members := append([]ids.ReplicaID(nil), cfg.Members...)
 	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
 	cfg.Members = members
+	local := cfg.Local
+	if local == nil {
+		local = members
+	}
 	g := &Group{
 		cfg:       cfg,
 		nodes:     map[ids.ReplicaID]*Node{},
+		localSet:  map[ids.ReplicaID]bool{},
 		clients:   map[ids.ClientID]*ClientEndpoint{},
 		crashed:   map[ids.ReplicaID]bool{},
 		crashedAt: map[ids.ReplicaID]time.Duration{},
+		closed:    make(chan struct{}),
 	}
+	for _, id := range local {
+		g.localSet[id] = true
+	}
+	g.allLocal = true
 	for _, id := range members {
-		g.nodes[id] = newNode(g, id)
+		if !g.localSet[id] {
+			g.allLocal = false
+		}
+	}
+	g.vclk, _ = cfg.Clock.(*vclock.Virtual)
+	g.tr = cfg.Transport
+	if g.tr == nil {
+		g.tr = newMemTransport(g)
+	}
+	g.stamped = cfg.Transport != nil && g.vclk != nil
+	for _, id := range members {
+		if !g.localSet[id] {
+			continue
+		}
+		n := newNode(g, id)
+		g.nodes[id] = n
+		g.tr.Bind(Origin{Replica: id}, func(envs ...Envelope) { g.inject(n.enqueue, envs...) })
+	}
+	if g.stamped && g.localSet[members[0]] {
+		cfg.Clock.Go(g.runTicks)
 	}
 	return g
 }
+
+// Close stops the sequencing tick loop (if any) and closes the
+// transport. Simulated groups never need it.
+func (g *Group) Close() error {
+	g.mu.Lock()
+	if !g.isClosed {
+		g.isClosed = true
+		close(g.closed)
+	}
+	g.mu.Unlock()
+	return g.tr.Close()
+}
+
+func (g *Group) isLocal(id ids.ReplicaID) bool { return g.localSet[id] }
 
 // Stats exposes the traffic counters.
 func (g *Group) Stats() *Stats { return &g.stats }
@@ -154,12 +236,14 @@ func (g *Group) Members() []ids.ReplicaID {
 // NewClientEndpoint registers a client endpoint.
 func (g *Group) NewClientEndpoint(id ids.ClientID) *ClientEndpoint {
 	g.mu.Lock()
-	defer g.mu.Unlock()
 	if _, dup := g.clients[id]; dup {
+		g.mu.Unlock()
 		panic(fmt.Sprintf("gcs: duplicate client %v", id))
 	}
 	c := newClientEndpoint(g, id)
 	g.clients[id] = c
+	g.mu.Unlock()
+	g.tr.Bind(Origin{Client: id, IsClient: true}, func(envs ...Envelope) { g.inject(c.enqueue, envs...) })
 	return c
 }
 
@@ -258,20 +342,128 @@ func (g *Group) Crash(id ids.ReplicaID) bool {
 	return true
 }
 
-// envelope is the wire format.
-type envKind int
+// EnvKind classifies an envelope on the wire.
+type EnvKind int
 
 const (
-	envForward   envKind = iota // needs sequencing (to the sequencer)
-	envSequenced                // sequenced multicast (to all members)
-	envDirect                   // application point-to-point
+	EnvForward   EnvKind = iota // needs sequencing (to the sequencer)
+	EnvSequenced                // sequenced multicast (to all members)
+	EnvDirect                   // application point-to-point
+	EnvHorizon                  // time-horizon heartbeat (stamped mode)
 )
 
-type envelope struct {
-	kind    envKind
-	seq     uint64
-	origin  Origin
-	uid     uint64
-	from    Origin // transport-level sender (for direct messages)
-	payload Payload
+// Envelope is the transport-level unit of transfer. The wire codec in
+// internal/wire serializes exactly these fields.
+type Envelope struct {
+	Kind   EnvKind
+	Seq    uint64 // total-order slot (sequenced envelopes)
+	Origin Origin // broadcast originator
+	UID    uint64 // per-origin unique id (duplicate suppression)
+	From   Origin // transport-level sender (direct messages)
+	To     Origin // destination endpoint
+	// Stamp is the virtual delivery deadline assigned by the sequencer
+	// in stamped mode (zero in the simulator): receivers inject the
+	// envelope into their virtual timeline at exactly this instant. On
+	// an EnvHorizon heartbeat it is a promise that no later sequenced
+	// envelope will carry a smaller stamp.
+	Stamp   time.Duration
+	Payload Payload
+}
+
+// transfer puts env on the named FIFO link toward to, counting it.
+func (g *Group) transfer(key string, to Origin, env Envelope) {
+	g.stats.add(1, 0, 0)
+	env.To = to
+	g.tr.Send(key, to, env)
+}
+
+// transferBatch sends envs as one atomic unit when the transport
+// supports batching (falling back to individual sends otherwise).
+func (g *Group) transferBatch(key string, to Origin, envs []Envelope) {
+	g.stats.add(len(envs), 0, 0)
+	for i := range envs {
+		envs[i].To = to
+	}
+	if bs, ok := g.tr.(BatchSender); ok {
+		bs.SendBatch(key, to, envs)
+		return
+	}
+	for _, e := range envs {
+		g.tr.Send(key, to, e)
+	}
+}
+
+// Delivery-order ranks for stamped-mode timers (same band as links).
+var (
+	injectOrder = linkOrderBase + fnv32("inject")
+	tickOrder   = linkOrderBase + fnv32("tick")
+)
+
+// inject routes envelopes arriving from the transport into the local
+// endpoint. In the simulator this is a straight pass-through; in stamped
+// mode sequenced envelopes are scheduled at their stamped virtual
+// instant, forwards are queued for the next sequencing tick, and
+// horizon heartbeats raise the clock horizon.
+func (g *Group) inject(enqueue func(Envelope), envs ...Envelope) {
+	if !g.stamped {
+		for _, e := range envs {
+			enqueue(e)
+		}
+		return
+	}
+	var fwds []Envelope
+	for _, e := range envs {
+		switch {
+		case e.Kind == EnvHorizon:
+			g.vclk.SetHorizon(e.Stamp)
+		case e.Kind == EnvForward:
+			fwds = append(fwds, e)
+		case e.Kind == EnvSequenced && e.Stamp > 0:
+			env := e
+			g.vclk.ScheduleAt(env.Stamp, injectOrder, "gcs inject", func() { enqueue(env) })
+			g.vclk.SetHorizon(env.Stamp)
+		default:
+			enqueue(e)
+		}
+	}
+	if len(fwds) > 0 {
+		g.fwdMu.Lock()
+		g.fwdQ = append(g.fwdQ, fwds...)
+		g.fwdMu.Unlock()
+	}
+}
+
+// runTicks is the stamped-mode sequencing loop, run only by the process
+// hosting the sequencer (the lowest member). Each tick it assigns total-
+// order slots to the forwards accumulated since the previous tick,
+// stamping them with a shared virtual delivery deadline, and multicasts
+// a horizon heartbeat so follower clocks keep flowing through idle
+// periods. Tick instants are exact virtual multiples of Config.Tick, so
+// the stamps a given forward sequence receives are reproducible.
+func (g *Group) runTicks() {
+	seqID := g.cfg.Members[0]
+	n := g.nodes[seqID]
+	for {
+		vclock.SleepOrdered(g.cfg.Clock, g.cfg.Tick, "gcs tick", tickOrder)
+		select {
+		case <-g.closed:
+			return
+		default:
+		}
+		g.fwdMu.Lock()
+		batch := g.fwdQ
+		g.fwdQ = nil
+		g.fwdMu.Unlock()
+		deadline := g.cfg.Clock.Now() + g.cfg.Budget
+		for _, env := range batch {
+			n.sequence(env, deadline)
+		}
+		for _, id := range g.cfg.Members {
+			if g.isLocal(id) {
+				continue
+			}
+			g.transfer(fmt.Sprintf("hz%v>%v", seqID, id), Origin{Replica: id},
+				Envelope{Kind: EnvHorizon, Stamp: deadline})
+		}
+	}
 }

@@ -3,6 +3,7 @@ package gcs
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"detmt/internal/ids"
 	"detmt/internal/vclock"
@@ -16,7 +17,7 @@ type Node struct {
 	id ids.ReplicaID
 
 	mu      sync.Mutex
-	inbox   []envelope
+	inbox   []Envelope
 	running bool
 	parker  vclock.Parker
 
@@ -33,7 +34,7 @@ type Node struct {
 
 	// receiver state
 	nextDeliver   uint64
-	holdback      map[uint64]envelope
+	holdback      map[uint64]Envelope
 	sequencedSeen map[string]bool // origin/uid seen in any sequenced msg
 	highestSeen   uint64
 }
@@ -44,7 +45,7 @@ func newNode(g *Group, id ids.ReplicaID) *Node {
 		id:            id,
 		pending:       map[uint64]Payload{},
 		assigned:      map[string]bool{},
-		holdback:      map[uint64]envelope{},
+		holdback:      map[uint64]Envelope{},
 		sequencedSeen: map[string]bool{},
 		nextDeliver:   1,
 	}
@@ -85,27 +86,26 @@ func (n *Node) Broadcast(p Payload) {
 	uid := n.nextUID
 	n.pending[uid] = p
 	n.mu.Unlock()
-	env := envelope{
-		kind:    envForward,
-		origin:  Origin{Replica: n.id},
-		uid:     uid,
-		payload: p,
+	env := Envelope{
+		Kind:    EnvForward,
+		Origin:  Origin{Replica: n.id},
+		UID:     uid,
+		Payload: p,
 	}
 	n.sendToSequencer(env)
 }
 
-func (n *Node) sendToSequencer(env envelope) {
+func (n *Node) sendToSequencer(env Envelope) {
 	seq := n.g.sequencer()
 	if seq < 0 {
 		return // nobody left alive
 	}
-	dst := n.g.Node(seq)
-	key := fmt.Sprintf("%v>%v", env.origin, seq)
-	if !env.origin.IsClient && env.origin.Replica != n.id {
+	key := fmt.Sprintf("%v>%v", env.Origin, seq)
+	if !env.Origin.IsClient && env.Origin.Replica != n.id {
 		// re-forward path (received a forward while not sequencer)
 		key = fmt.Sprintf("fwd%v>%v", n.id, seq)
 	}
-	n.g.transfer(key, dst.enqueue, env)
+	n.g.transfer(key, Origin{Replica: seq}, env)
 }
 
 // SendDirect sends p to another member outside the total order (FIFO per
@@ -115,9 +115,8 @@ func (n *Node) SendDirect(to ids.ReplicaID, p Payload) {
 		return
 	}
 	n.g.stats.add(0, 0, 1)
-	dst := n.g.Node(to)
-	env := envelope{kind: envDirect, from: Origin{Replica: n.id}, payload: p}
-	n.g.transfer(fmt.Sprintf("dir%v>%v", n.id, to), dst.enqueue, env)
+	env := Envelope{Kind: EnvDirect, From: Origin{Replica: n.id}, Payload: p}
+	n.g.transfer(fmt.Sprintf("dir%v>%v", n.id, to), Origin{Replica: to}, env)
 }
 
 // SendToClient sends p to a client endpoint (replies).
@@ -125,15 +124,18 @@ func (n *Node) SendToClient(to ids.ClientID, p Payload) {
 	if !n.g.alive(n.id) {
 		return
 	}
-	n.g.mu.Lock()
-	c := n.g.clients[to]
-	n.g.mu.Unlock()
-	if c == nil {
-		return
+	if n.g.allLocal {
+		// Simulator semantics: replies to unregistered clients vanish.
+		n.g.mu.Lock()
+		c := n.g.clients[to]
+		n.g.mu.Unlock()
+		if c == nil {
+			return
+		}
 	}
 	n.g.stats.add(0, 0, 1)
-	env := envelope{kind: envDirect, from: Origin{Replica: n.id}, payload: p}
-	n.g.transfer(fmt.Sprintf("rep%v>%v", n.id, to), c.enqueue, env)
+	env := Envelope{Kind: EnvDirect, From: Origin{Replica: n.id}, Payload: p}
+	n.g.transfer(fmt.Sprintf("rep%v>%v", n.id, to), Origin{Client: to, IsClient: true}, env)
 }
 
 // retransmitPending re-sends unsequenced broadcasts to the (new)
@@ -154,11 +156,11 @@ func (n *Node) retransmitPending() {
 	n.mu.Unlock()
 	sortUint64(uids)
 	for _, uid := range uids {
-		n.sendToSequencer(envelope{
-			kind:    envForward,
-			origin:  Origin{Replica: n.id},
-			uid:     uid,
-			payload: payloads[uid],
+		n.sendToSequencer(Envelope{
+			Kind:    EnvForward,
+			Origin:  Origin{Replica: n.id},
+			UID:     uid,
+			Payload: payloads[uid],
 		})
 	}
 }
@@ -173,7 +175,7 @@ func sortUint64(s []uint64) {
 
 // enqueue accepts an envelope from the transport and kicks the delivery
 // loop (same start/park discipline as core's event pump).
-func (n *Node) enqueue(env envelope) {
+func (n *Node) enqueue(env Envelope) {
 	if !n.g.alive(n.id) {
 		return
 	}
@@ -214,26 +216,33 @@ func (n *Node) loop() {
 	}
 }
 
-func (n *Node) handle(env envelope) {
-	switch env.kind {
-	case envForward:
+func (n *Node) handle(env Envelope) {
+	switch env.Kind {
+	case EnvForward:
 		n.handleForward(env)
-	case envSequenced:
+	case EnvSequenced:
 		n.handleSequenced(env)
-	case envDirect:
+	case EnvDirect:
 		if n.direct != nil {
-			n.direct(env.from, env.payload)
+			n.direct(env.From, env.Payload)
 		}
 	}
 }
 
-func (n *Node) handleForward(env envelope) {
+func (n *Node) handleForward(env Envelope) {
 	if n.g.sequencer() != n.id {
 		// Takeover race: pass it on to the current sequencer.
 		n.sendToSequencer(env)
 		return
 	}
-	key := origKey(env.origin, env.uid)
+	n.sequence(env, 0)
+}
+
+// sequence assigns the next total-order slot to env and multicasts it to
+// every live member. A non-zero stamp (stamped mode) becomes the shared
+// virtual delivery deadline carried by the sequenced envelope.
+func (n *Node) sequence(env Envelope, stamp time.Duration) {
+	key := origKey(env.Origin, env.UID)
 	n.mu.Lock()
 	if n.assigned[key] || n.sequencedSeen[key] {
 		n.mu.Unlock()
@@ -251,33 +260,33 @@ func (n *Node) handleForward(env envelope) {
 	n.mu.Unlock()
 
 	out := env
-	out.kind = envSequenced
-	out.seq = seq
+	out.Kind = EnvSequenced
+	out.Seq = seq
+	out.Stamp = stamp
 	for _, id := range n.g.Members() {
 		if !n.g.alive(id) {
 			continue
 		}
-		dst := n.g.Node(id)
-		n.g.transfer(fmt.Sprintf("seq%v>%v", n.id, id), dst.enqueue, out)
+		n.g.transfer(fmt.Sprintf("seq%v>%v", n.id, id), Origin{Replica: id}, out)
 	}
 }
 
-func (n *Node) handleSequenced(env envelope) {
-	key := origKey(env.origin, env.uid)
+func (n *Node) handleSequenced(env Envelope) {
+	key := origKey(env.Origin, env.UID)
 	n.mu.Lock()
 	n.sequencedSeen[key] = true
-	if env.seq > n.highestSeen {
-		n.highestSeen = env.seq
+	if env.Seq > n.highestSeen {
+		n.highestSeen = env.Seq
 	}
-	if !env.origin.IsClient && env.origin.Replica == n.id {
-		delete(n.pending, env.uid) // our broadcast made it into the order
+	if !env.Origin.IsClient && env.Origin.Replica == n.id {
+		delete(n.pending, env.UID) // our broadcast made it into the order
 	}
-	if env.seq < n.nextDeliver {
+	if env.Seq < n.nextDeliver {
 		n.mu.Unlock()
 		return // duplicate of an already delivered slot
 	}
-	n.holdback[env.seq] = env
-	var ready []envelope
+	n.holdback[env.Seq] = env
+	var ready []Envelope
 	for {
 		e, ok := n.holdback[n.nextDeliver]
 		if !ok {
@@ -290,7 +299,7 @@ func (n *Node) handleSequenced(env envelope) {
 	n.mu.Unlock()
 	for _, e := range ready {
 		if n.deliver != nil {
-			n.deliver(Message{Seq: e.seq, Origin: e.origin, UID: e.uid, Payload: e.payload})
+			n.deliver(Message{Seq: e.Seq, Origin: e.Origin, UID: e.UID, Payload: e.Payload})
 		}
 	}
 }

@@ -28,13 +28,13 @@ func newBareNode(t *testing.T) (*Node, *[]Message, *vclock.Virtual) {
 	return n, delivered, v
 }
 
-func seqEnv(seq uint64, origin ids.ReplicaID, uid uint64, payload Payload) envelope {
-	return envelope{
-		kind:    envSequenced,
-		seq:     seq,
-		origin:  Origin{Replica: origin},
-		uid:     uid,
-		payload: payload,
+func seqEnv(seq uint64, origin ids.ReplicaID, uid uint64, payload Payload) Envelope {
+	return Envelope{
+		Kind:    EnvSequenced,
+		Seq:     seq,
+		Origin:  Origin{Replica: origin},
+		UID:     uid,
+		Payload: payload,
 	}
 }
 
@@ -80,7 +80,7 @@ func TestSequencerDedupsReForwardedBroadcast(t *testing.T) {
 		got = append(got, m)
 		mu.Unlock()
 	})
-	fwd := envelope{kind: envForward, origin: Origin{Replica: 2}, uid: 7, payload: "x"}
+	fwd := Envelope{Kind: EnvForward, Origin: Origin{Replica: 2}, UID: 7, Payload: "x"}
 	done := make(chan struct{})
 	v.Go(func() {
 		defer close(done)

@@ -7,21 +7,96 @@ import (
 	"detmt/internal/vclock"
 )
 
-// The transport models point-to-point links with a fixed one-way latency
+// Transport moves envelopes between group endpoints. Two implementations
+// exist: the in-memory virtual-latency transport built into this package
+// (the simulator) and the TCP transport in internal/wire (real
+// deployments). A transport must preserve per-link FIFO order: envelopes
+// sent with the same key arrive in send order.
+type Transport interface {
+	// Bind registers the endpoint addressed by at. deliver is invoked
+	// for every envelope — or contiguous batch of envelopes — addressed
+	// to it; it must be safe to call from any goroutine.
+	Bind(at Origin, deliver func(envs ...Envelope))
+	// Send places env on the FIFO link named key toward to. Envelopes
+	// sent with the same key never overtake each other.
+	Send(key string, to Origin, env Envelope)
+	// Close releases the transport's resources.
+	Close() error
+}
+
+// BatchSender is an optional Transport extension: SendBatch places envs
+// on a link as one atomic unit, handed to the receiver's deliver
+// callback in a single call. Distributed-mode determinism tests rely on
+// this to keep a burst of forwards within one sequencing tick.
+type BatchSender interface {
+	SendBatch(key string, to Origin, envs []Envelope)
+}
+
+// Compile-time assertions: the in-memory transport implements the
+// interface (internal/wire carries the matching assertion for TCP).
+var (
+	_ Transport   = (*memTransport)(nil)
+	_ BatchSender = (*memTransport)(nil)
+)
+
+// memTransport models point-to-point links with a fixed one-way latency
 // and FIFO ordering: messages sent on the same link never overtake each
-// other, even when their virtual send instants coincide. Each link drains
-// through its own managed goroutine, so per-link order equals send order
-// by construction (the sender enqueues synchronously inside transfer).
+// other, even when their virtual send instants coincide. Each link
+// drains through its own managed goroutine, so per-link order equals
+// send order by construction (the sender enqueues synchronously inside
+// Send).
+type memTransport struct {
+	g *Group
+
+	mu    sync.Mutex
+	binds map[Origin]func(...Envelope)
+	links map[string]*link
+}
+
+func newMemTransport(g *Group) *memTransport {
+	return &memTransport{
+		g:     g,
+		binds: map[Origin]func(...Envelope){},
+		links: map[string]*link{},
+	}
+}
+
+func (t *memTransport) Bind(at Origin, deliver func(...Envelope)) {
+	t.mu.Lock()
+	t.binds[at] = deliver
+	t.mu.Unlock()
+}
+
+func (t *memTransport) Send(key string, to Origin, env Envelope) {
+	t.SendBatch(key, to, []Envelope{env})
+}
+
+func (t *memTransport) SendBatch(key string, to Origin, envs []Envelope) {
+	lk := t.linkTo(key, to)
+	lk.mu.Lock()
+	now := t.g.cfg.Clock.Now()
+	for _, e := range envs {
+		lk.queue = append(lk.queue, timedEnv{sentAt: now, env: e})
+	}
+	start := !lk.running
+	lk.running = true
+	lk.mu.Unlock()
+	if start {
+		t.g.cfg.Clock.Go(lk.drain)
+	}
+}
+
+func (t *memTransport) Close() error { return nil }
 
 type timedEnv struct {
 	sentAt time.Duration
-	env    envelope
+	env    Envelope
 }
 
 type link struct {
-	g       *Group
-	key     string
-	deliver func(envelope)
+	t   *memTransport
+	key string
+	to  Origin
 	// order ranks this link's delivery timer among same-instant timers:
 	// derived from the link key, so simultaneous arrivals on different
 	// links are always processed in the same (arbitrary but fixed)
@@ -47,36 +122,19 @@ func fnv32(s string) uint64 {
 }
 
 // linkTo returns (creating on demand) the FIFO link identified by key.
-func (g *Group) linkTo(key string, deliver func(envelope)) *link {
-	g.linksMu.Lock()
-	defer g.linksMu.Unlock()
-	if g.links == nil {
-		g.links = map[string]*link{}
-	}
-	lk := g.links[key]
+func (t *memTransport) linkTo(key string, to Origin) *link {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	lk := t.links[key]
 	if lk == nil {
-		lk = &link{g: g, key: key, deliver: deliver, order: linkOrderBase + fnv32(key)}
-		g.links[key] = lk
+		lk = &link{t: t, key: key, to: to, order: linkOrderBase + fnv32(key)}
+		t.links[key] = lk
 	}
 	return lk
 }
 
-// transfer puts env on the named link. deliver runs after the configured
-// latency, in send order per link.
-func (g *Group) transfer(key string, deliver func(envelope), env envelope) {
-	g.stats.add(1, 0, 0)
-	lk := g.linkTo(key, deliver)
-	lk.mu.Lock()
-	lk.queue = append(lk.queue, timedEnv{sentAt: g.cfg.Clock.Now(), env: env})
-	start := !lk.running
-	lk.running = true
-	lk.mu.Unlock()
-	if start {
-		g.cfg.Clock.Go(lk.drain)
-	}
-}
-
 func (lk *link) drain() {
+	t := lk.t
 	for {
 		lk.mu.Lock()
 		if len(lk.queue) == 0 {
@@ -87,10 +145,15 @@ func (lk *link) drain() {
 		te := lk.queue[0]
 		lk.queue = lk.queue[1:]
 		lk.mu.Unlock()
-		arrival := te.sentAt + lk.g.cfg.Latency
-		if d := arrival - lk.g.cfg.Clock.Now(); d > 0 {
-			vclock.SleepOrdered(lk.g.cfg.Clock, d, "link "+lk.key, lk.order)
+		arrival := te.sentAt + t.g.cfg.Latency
+		if d := arrival - t.g.cfg.Clock.Now(); d > 0 {
+			vclock.SleepOrdered(t.g.cfg.Clock, d, "link "+lk.key, lk.order)
 		}
-		lk.deliver(te.env)
+		t.mu.Lock()
+		deliver := t.binds[lk.to]
+		t.mu.Unlock()
+		if deliver != nil {
+			deliver(te.env)
+		}
 	}
 }

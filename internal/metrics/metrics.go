@@ -63,14 +63,14 @@ func (s *Sample) Max() time.Duration {
 }
 
 // Percentile returns the p-th percentile (0 <= p <= 100) by
-// nearest-rank; 0 if empty.
+// nearest-rank; 0 if empty. A NaN p is treated as 0 (the conversion of
+// NaN to an integer rank is otherwise platform-defined).
 func (s *Sample) Percentile(p float64) time.Duration {
 	if len(s.values) == 0 {
 		return 0
 	}
-	sorted := append([]time.Duration(nil), s.values...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	if p <= 0 {
+	sorted := s.sorted()
+	if math.IsNaN(p) || p <= 0 {
 		return sorted[0]
 	}
 	if p >= 100 {
@@ -81,6 +81,45 @@ func (s *Sample) Percentile(p float64) time.Duration {
 		rank = 0
 	}
 	return sorted[rank]
+}
+
+// Quantiles returns several percentiles at once, sorting only once.
+// Entries follow Percentile's semantics (empty sample yields zeros).
+func (s *Sample) Quantiles(ps ...float64) []time.Duration {
+	out := make([]time.Duration, len(ps))
+	if len(s.values) == 0 {
+		return out
+	}
+	sorted := s.sorted()
+	for i, p := range ps {
+		switch {
+		case math.IsNaN(p) || p <= 0:
+			out[i] = sorted[0]
+		case p >= 100:
+			out[i] = sorted[len(sorted)-1]
+		default:
+			rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+			if rank < 0 {
+				rank = 0
+			}
+			out[i] = sorted[rank]
+		}
+	}
+	return out
+}
+
+// Merge adds every observation of other into s (other may be nil).
+func (s *Sample) Merge(other *Sample) {
+	if other == nil {
+		return
+	}
+	s.values = append(s.values, other.values...)
+}
+
+func (s *Sample) sorted() []time.Duration {
+	sorted := append([]time.Duration(nil), s.values...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted
 }
 
 // Stddev returns the sample standard deviation (0 if fewer than two

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -68,6 +69,56 @@ func TestPercentileWithinRangeProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestPercentileNaN(t *testing.T) {
+	s := sample(5, 1, 3)
+	if got := s.Percentile(math.NaN()); got != 1 {
+		t.Fatalf("NaN percentile %v, want the minimum", got)
+	}
+	if got := (&Sample{}).Percentile(math.NaN()); got != 0 {
+		t.Fatalf("NaN percentile of empty sample %v", got)
+	}
+}
+
+func TestOneSample(t *testing.T) {
+	s := sample(7)
+	for _, p := range []float64{0, 1, 50, 99, 100} {
+		if got := s.Percentile(p); got != 7 {
+			t.Fatalf("p%v=%v on one-observation sample", p, got)
+		}
+	}
+	if s.Mean() != 7 || s.Min() != 7 || s.Max() != 7 || s.Stddev() != 0 {
+		t.Fatal("one-observation summary stats")
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	s := &Sample{}
+	for i := 1; i <= 100; i++ {
+		s.Add(time.Duration(i))
+	}
+	qs := s.Quantiles(0, 50, 95, 100, math.NaN())
+	want := []time.Duration{1, 50, 95, 100, 1}
+	for i := range want {
+		if qs[i] != want[i] {
+			t.Fatalf("quantile %d: %v, want %v", i, qs[i], want[i])
+		}
+	}
+	empty := (&Sample{}).Quantiles(50, 95)
+	if empty[0] != 0 || empty[1] != 0 {
+		t.Fatalf("empty quantiles %v", empty)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := sample(1, 2)
+	a.Merge(sample(3))
+	a.Merge(nil)
+	a.Merge(&Sample{})
+	if a.N() != 3 || a.Max() != 3 {
+		t.Fatalf("merged n=%d max=%v", a.N(), a.Max())
 	}
 }
 

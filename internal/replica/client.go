@@ -80,6 +80,58 @@ func (c *Client) onReply(from ids.ReplicaID, p gcs.Payload) {
 	ca.parker.Unpark()
 }
 
+// Pending is an in-flight invocation started by Pipeline.
+type Pending struct {
+	c     *Client
+	req   ids.RequestID
+	ca    *call
+	start time.Duration
+}
+
+// Pipeline broadcasts a batch of invocations of the same method as one
+// atomic unit (a single wire frame on batching transports, so the
+// sequencer observes the burst contiguously) and returns handles to
+// collect the replies. Distributed determinism tests use it to make the
+// total order a burst receives reproducible across runs.
+func (c *Client) Pipeline(method string, argsList [][]lang.Value) []*Pending {
+	ps := make([]*Pending, len(argsList))
+	payloads := make([]gcs.Payload, len(argsList))
+	c.mu.Lock()
+	for i, args := range argsList {
+		c.seq++
+		req := ids.MakeRequestID(c.id, c.seq)
+		ca := &call{parker: c.clock.NewParker()}
+		c.pending[req] = ca
+		ps[i] = &Pending{c: c, req: req, ca: ca}
+		payloads[i] = Request{Req: req, Method: method, Args: args}
+	}
+	c.mu.Unlock()
+	start := c.clock.Now()
+	uids := c.ep.BroadcastBatch(payloads)
+	c.mu.Lock()
+	for i, p := range ps {
+		p.ca.uid = uids[i]
+		p.start = start
+	}
+	c.mu.Unlock()
+	return ps
+}
+
+// Wait blocks (on the clock) until the first reply for this invocation
+// arrives and returns the reply value and the client-perceived latency.
+func (p *Pending) Wait() (lang.Value, time.Duration, error) {
+	p.ca.parker.Park()
+	latency := p.c.clock.Now() - p.start
+	p.c.mu.Lock()
+	delete(p.c.pending, p.req)
+	value, errStr := p.ca.value, p.ca.err
+	p.c.mu.Unlock()
+	if errStr != "" {
+		return value, latency, errors.New(errStr)
+	}
+	return value, latency, nil
+}
+
 // Invoke performs one remote method invocation and blocks (on the clock)
 // until the first reply arrives. It returns the reply value and the
 // client-perceived latency. Call it from a managed goroutine.

@@ -1,0 +1,238 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"detmt/internal/gcs"
+	"detmt/internal/ids"
+	"detmt/internal/lang"
+	"detmt/internal/metrics"
+	"detmt/internal/replica"
+	"detmt/internal/vclock"
+	"detmt/internal/wire"
+	"detmt/internal/workload"
+)
+
+// LoadOptions parameterises one closed-loop load-generator run against a
+// running cluster (the Fig. 1 measurement protocol over real sockets).
+type LoadOptions struct {
+	// Servers maps every cluster member's replica id to its address. The
+	// load generator dials all of them: requests go to the sequencer,
+	// replies come back from every replica (first reply wins).
+	Servers map[ids.ReplicaID]string
+	// Clients is the number of concurrent closed-loop clients.
+	Clients int
+	// RequestsPerClient is how many requests each client issues.
+	RequestsPerClient int
+	// Seed drives the client-side random decisions (paper Fig. 1: the
+	// clients make all random choices and pass them as parameters).
+	Seed uint64
+	// Workload must match the cluster's configuration.
+	Workload workload.Fig1Config
+	// Pipelined makes each client submit all its requests as ONE atomic
+	// batch before collecting replies. A single pipelined client gives
+	// the whole run a reproducible total order — the property the
+	// reconnect-determinism test asserts.
+	Pipelined bool
+	// Timeout bounds the whole run in wall time (default 2 minutes).
+	Timeout time.Duration
+	// SettleTimeout bounds the post-run wait for every replica to report
+	// the expected completion count (default: remaining Timeout).
+	SettleTimeout time.Duration
+
+	Logf func(format string, args ...interface{})
+}
+
+// LoadResult is the outcome of one load run.
+type LoadResult struct {
+	Latency  *metrics.Sample // client-perceived per-request wall latency
+	Requests int
+	Errors   int
+	Elapsed  time.Duration // wall time from first request to last reply
+	// Statuses are the final per-replica control snapshots, ascending id.
+	Statuses []Status
+	// Hashes are the per-replica schedule consistency hashes, ascending
+	// id; Converged reports whether they are all equal (the determinism
+	// criterion) and every replica completed all requests.
+	Hashes    []uint64
+	Converged bool
+}
+
+// RunLoad drives one closed-loop measurement run and waits for the
+// cluster to converge (every replica reporting all requests completed).
+func RunLoad(o LoadOptions) (*LoadResult, error) {
+	if len(o.Servers) == 0 {
+		return nil, fmt.Errorf("load: no servers given")
+	}
+	if o.Clients <= 0 {
+		o.Clients = 1
+	}
+	if o.RequestsPerClient <= 0 {
+		o.RequestsPerClient = 1
+	}
+	if o.Workload.Iterations == 0 {
+		o.Workload = workload.DefaultFig1()
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 2 * time.Minute
+	}
+	deadline := time.Now().Add(o.Timeout)
+
+	tr, err := wire.NewTCP(wire.Options{Name: "load", Peers: o.Servers, Logf: o.Logf})
+	if err != nil {
+		return nil, err
+	}
+	defer tr.Close()
+
+	members := make([]ids.ReplicaID, 0, len(o.Servers))
+	for id := range o.Servers {
+		members = append(members, id)
+	}
+	clock := vclock.NewReal()
+	g := gcs.NewGroup(gcs.Config{
+		Clock:     clock,
+		Members:   members,
+		Transport: tr,
+		Local:     []ids.ReplicaID{}, // client-only process: no replicas here
+	})
+
+	res := &LoadResult{Latency: &metrics.Sample{}}
+	var mu sync.Mutex
+	start := time.Now()
+	grp := vclock.NewGroup(clock)
+	rootRNG := ids.NewRNG(o.Seed)
+	for ci := 0; ci < o.Clients; ci++ {
+		cl := replica.NewClient(clock, g, ids.ClientID(ci+1))
+		rng := rootRNG.Fork()
+		grp.Go(func() {
+			if o.Pipelined {
+				runPipelined(cl, o, rng, res, &mu)
+				return
+			}
+			for k := 0; k < o.RequestsPerClient; k++ {
+				args := workload.Fig1Args(o.Workload, rng)
+				_, lat, err := cl.Invoke(workload.MethodName, args...)
+				mu.Lock()
+				res.Requests++
+				if err != nil {
+					res.Errors++
+				} else {
+					res.Latency.Add(lat)
+				}
+				mu.Unlock()
+			}
+		})
+	}
+	invoked := make(chan struct{})
+	go func() {
+		grp.Wait()
+		close(invoked)
+	}()
+	select {
+	case <-invoked:
+	case <-time.After(time.Until(deadline)):
+		// Clients are still parked waiting for replies that will never
+		// arrive (e.g. every server unreachable). Snapshot the counters —
+		// the stuck goroutines keep the shared result until process exit.
+		mu.Lock()
+		lat := &metrics.Sample{}
+		lat.Merge(res.Latency)
+		out := &LoadResult{Latency: lat, Requests: res.Requests, Errors: res.Errors, Elapsed: time.Since(start)}
+		mu.Unlock()
+		return out, fmt.Errorf("load: requests did not complete within %v (servers unreachable or stalled)", o.Timeout)
+	}
+	res.Elapsed = time.Since(start)
+
+	// Wait for every replica to converge on the full request count, then
+	// compare their schedule hashes.
+	expected := o.Clients * o.RequestsPerClient
+	settleBy := deadline
+	if o.SettleTimeout > 0 {
+		settleBy = time.Now().Add(o.SettleTimeout)
+	}
+	for {
+		statuses, err := pollStatuses(tr, o.Servers)
+		if err == nil {
+			done := true
+			for _, st := range statuses {
+				if st.Completed < expected {
+					done = false
+				}
+			}
+			if done {
+				res.Statuses = statuses
+				break
+			}
+		}
+		if time.Now().After(settleBy) {
+			if err != nil {
+				return res, fmt.Errorf("load: cluster did not converge: %v", err)
+			}
+			res.Statuses, _ = pollStatuses(tr, o.Servers)
+			return res, fmt.Errorf("load: cluster did not reach %d completed requests within the timeout", expected)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	res.Converged = true
+	for _, st := range res.Statuses {
+		res.Hashes = append(res.Hashes, st.Hash)
+		if st.Hash != res.Statuses[0].Hash || st.Completed != res.Statuses[0].Completed {
+			res.Converged = false
+		}
+	}
+	return res, nil
+}
+
+// runPipelined issues one client's requests as a single atomic batch.
+func runPipelined(cl *replica.Client, o LoadOptions, rng *ids.RNG, res *LoadResult, mu *sync.Mutex) {
+	argsList := make([][]lang.Value, o.RequestsPerClient)
+	for k := range argsList {
+		argsList[k] = workload.Fig1Args(o.Workload, rng)
+	}
+	pend := cl.Pipeline(workload.MethodName, argsList)
+	for _, p := range pend {
+		_, lat, err := p.Wait()
+		mu.Lock()
+		res.Requests++
+		if err != nil {
+			res.Errors++
+		} else {
+			res.Latency.Add(lat)
+		}
+		mu.Unlock()
+	}
+}
+
+// pollStatuses queries every server's control endpoint.
+func pollStatuses(tr *wire.TCP, servers map[ids.ReplicaID]string) ([]Status, error) {
+	members := make([]ids.ReplicaID, 0, len(servers))
+	for id := range servers {
+		members = append(members, id)
+	}
+	sortReplicaIDs(members)
+	out := make([]Status, 0, len(members))
+	for _, id := range members {
+		b, err := tr.Control(id, []byte("status"), 5*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		var st Status
+		if err := json.Unmarshal(b, &st); err != nil {
+			return nil, fmt.Errorf("bad status from %v: %v", id, err)
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+func sortReplicaIDs(s []ids.ReplicaID) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,185 @@
+// Package server hosts one detmt replica behind the TCP transport — the
+// deployment mode that takes the system out of the simulator. Each
+// process runs its replica inside a *paced* virtual clock: the sequencer
+// process drains forwarded requests on a fixed virtual tick, stamps
+// every sequenced message with a virtual delivery deadline, and all
+// members inject messages at exactly their stamped instants. Replicas
+// therefore execute identical virtual schedules — the determinism the
+// paper's strategies need — while virtual time itself is paced against
+// the wall clock, so a cluster of real processes makes real-time
+// progress.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sort"
+	"time"
+
+	"detmt/internal/analysis"
+	"detmt/internal/gcs"
+	"detmt/internal/ids"
+	"detmt/internal/lang"
+	"detmt/internal/replica"
+	"detmt/internal/vclock"
+	"detmt/internal/wire"
+	"detmt/internal/workload"
+)
+
+// Options configures one replica server process.
+type Options struct {
+	// ID is this process's replica id (must appear in the membership).
+	ID ids.ReplicaID
+	// Listen is the TCP address to accept peer and client connections on.
+	// Listener, if non-nil, overrides it (tests bind port 0 up front).
+	Listen   string
+	Listener net.Listener
+	// Peers maps every OTHER member's replica id to its address. The
+	// membership is static: sorted(keys(Peers) + ID). The lowest member
+	// is the sequencer (and LSA leader); its process runs the stamped
+	// sequencing tick loop.
+	Peers map[ids.ReplicaID]string
+	// Scheduler selects the deterministic multithreading strategy.
+	Scheduler replica.SchedulerKind
+	// Workload parameterises the Fig. 1 benchmark object every server
+	// hosts. All members must agree on it.
+	Workload workload.Fig1Config
+	// NestedLatency is the virtual duration of the external service call
+	// (performed by the lowest live member only).
+	NestedLatency time.Duration
+	// Tick and Budget configure stamped sequencing (see gcs.Config).
+	Tick   time.Duration
+	Budget time.Duration
+
+	PDSWindow       int
+	PDSRelaxed      bool
+	CheckpointEvery int
+
+	// Logf, if set, receives transport diagnostics.
+	Logf func(format string, args ...interface{})
+}
+
+// Status is the control-protocol snapshot served to "status" queries.
+type Status struct {
+	ID        ids.ReplicaID `json:"id"`
+	Scheduler string        `json:"scheduler"`
+	Completed int           `json:"completed"`
+	Hash      uint64        `json:"hash"`
+	State     int64         `json:"state"`
+	NowVirtMs float64       `json:"now_virt_ms"`
+}
+
+// Server is one running replica process.
+type Server struct {
+	o     Options
+	clock *vclock.Virtual
+	tr    *wire.TCP
+	group *gcs.Group
+	rep   *replica.Replica
+}
+
+// New builds and starts the server: transport first (so the membership
+// can connect), then the group and replica on a paced virtual clock.
+func New(o Options) (*Server, error) {
+	if o.Scheduler == "" {
+		o.Scheduler = replica.KindMAT
+	}
+	if o.Workload.Iterations == 0 {
+		o.Workload = workload.DefaultFig1()
+	}
+	if o.NestedLatency == 0 {
+		o.NestedLatency = 12 * time.Millisecond
+	}
+	members := []ids.ReplicaID{o.ID}
+	for id := range o.Peers {
+		if id == o.ID {
+			return nil, fmt.Errorf("server: peer map contains own id %v", o.ID)
+		}
+		members = append(members, id)
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+
+	s := &Server{o: o, clock: vclock.NewVirtual()}
+	// The sequencer process leads the virtual timeline (unbounded
+	// horizon); followers advance only up to the stamps and heartbeats
+	// it publishes. Pacing must be on before the group starts its tick
+	// loop, or virtual time would sprint ahead of the wall clock.
+	s.clock.EnablePacing(o.ID == members[0])
+
+	tr, err := wire.NewTCP(wire.Options{
+		Name:      o.ID.String(),
+		Listen:    o.Listen,
+		Listener:  o.Listener,
+		Peers:     o.Peers,
+		OnControl: s.handleControl,
+		Logf:      o.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.tr = tr
+
+	s.group = gcs.NewGroup(gcs.Config{
+		Clock:     s.clock,
+		Members:   members,
+		Transport: tr,
+		Local:     []ids.ReplicaID{o.ID},
+		Tick:      o.Tick,
+		Budget:    o.Budget,
+	})
+	s.rep = replica.New(replica.Config{
+		ID:              o.ID,
+		Clock:           s.clock,
+		Group:           s.group,
+		Analysis:        analysis.MustAnalyze(lang.MustParse(workload.Fig1Source(o.Workload))),
+		Kind:            o.Scheduler,
+		PDSWindow:       o.PDSWindow,
+		PDSRelaxed:      o.PDSRelaxed,
+		NestedLatency:   o.NestedLatency,
+		LeaderID:        members[0],
+		CheckpointEvery: o.CheckpointEvery,
+	})
+	s.rep.Instance().SetField("state", int64(0))
+	return s, nil
+}
+
+// Addr returns the transport's listen address.
+func (s *Server) Addr() string { return s.tr.Addr() }
+
+// Replica exposes the hosted replica (tests).
+func (s *Server) Replica() *replica.Replica { return s.rep }
+
+// Transport exposes the TCP endpoint (tests use DropPeer for fault
+// injection).
+func (s *Server) Transport() *wire.TCP { return s.tr }
+
+// Status snapshots the server's progress.
+func (s *Server) Status() Status {
+	st := Status{
+		ID:        s.o.ID,
+		Scheduler: string(s.o.Scheduler),
+		Completed: s.rep.Completed(),
+		Hash:      s.rep.Runtime().Trace().ConsistencyHash(),
+		NowVirtMs: float64(s.clock.Now()) / float64(time.Millisecond),
+	}
+	if v, ok := s.rep.Instance().GetField("state").(int64); ok {
+		st.State = v
+	}
+	return st
+}
+
+// handleControl serves the out-of-band control protocol: any request is
+// answered with the JSON status snapshot.
+func (s *Server) handleControl(_ []byte) []byte {
+	b, err := json.Marshal(s.Status())
+	if err != nil {
+		return []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
+	}
+	return b
+}
+
+// Close shuts the group and transport down.
+func (s *Server) Close() error {
+	return s.group.Close()
+}

@@ -25,7 +25,20 @@ type Virtual struct {
 	seq        uint64
 	parkedSet  map[*vparker]struct{}
 	onDeadlock func(dump string)
+
+	// Pacing state (see EnablePacing). While paced, a future timer fires
+	// only once both the externally promised horizon and wall time have
+	// reached its deadline, and an empty system is idle, not deadlocked.
+	paced     bool
+	horizon   time.Duration
+	wallStart time.Time
+	offset    time.Duration // wallStart+offset anchors virtual zero
+	offsetSet bool
+	wallTimer *time.Timer
 }
+
+// horizonMax is the horizon of a pacing leader: effectively unbounded.
+const horizonMax = time.Duration(1) << 62
 
 // NewVirtual returns a virtual clock positioned at time zero.
 func NewVirtual() *Virtual {
@@ -39,6 +52,72 @@ func (v *Virtual) SetDeadlockHandler(h func(dump string)) {
 	v.mu.Lock()
 	v.onDeadlock = h
 	v.mu.Unlock()
+}
+
+// EnablePacing couples the clock to real time and to an external event
+// horizon, turning the discrete-event simulator into a conservative
+// real-time executor for distributed deployments: virtual time still
+// jumps between the same deterministic instants, but each jump waits
+// until (a) wall time has caught up with the target instant and (b) the
+// instant does not lie beyond the promised horizon (SetHorizon), so no
+// timer can fire before an externally stamped message that precedes it.
+//
+// A leader (the process that originates the time stamps) runs with an
+// unbounded horizon and a wall anchor fixed at the call; a follower
+// starts with horizon zero and anchors its wall offset when the first
+// horizon arrives, so late-joining processes do not stall. While paced,
+// a fully parked system with no eligible timer is idle — external input
+// may still arrive — rather than deadlocked.
+//
+// Call EnablePacing before any managed goroutines exist.
+func (v *Virtual) EnablePacing(leader bool) {
+	v.mu.Lock()
+	v.paced = true
+	v.wallStart = time.Now()
+	if leader {
+		v.horizon = horizonMax
+		v.offsetSet = true
+	}
+	v.mu.Unlock()
+}
+
+// SetHorizon raises the externally promised horizon: a guarantee that no
+// future stamped event will carry an instant at or below h. Lower or
+// equal horizons are ignored (the horizon is monotone). Safe to call
+// from unmanaged goroutines.
+func (v *Virtual) SetHorizon(h time.Duration) {
+	v.mu.Lock()
+	if !v.paced || h <= v.horizon {
+		v.mu.Unlock()
+		return
+	}
+	v.horizon = h
+	if !v.offsetSet {
+		v.offset = h - time.Since(v.wallStart)
+		v.offsetSet = true
+	}
+	v.advanceLocked()
+	v.mu.Unlock()
+}
+
+// ScheduleAt runs fn in a managed goroutine at virtual instant at (or
+// immediately if that instant has passed), ranked by order among
+// same-instant timers. The clock is prevented from advancing past at
+// from the moment ScheduleAt returns, so unmanaged goroutines (e.g.
+// network readers) can inject stamped events without racing the
+// advancement loop.
+func (v *Virtual) ScheduleAt(at time.Duration, order uint64, label string, fn func()) {
+	v.Enter()
+	go func() {
+		defer v.Exit()
+		v.mu.Lock()
+		d := at - v.now
+		v.mu.Unlock()
+		if d > 0 {
+			v.newParker(label, order).ParkTimeout(d)
+		}
+		fn()
+	}()
 }
 
 // Now returns the current virtual time.
@@ -193,10 +272,21 @@ func (v *Virtual) advanceLocked() {
 		return
 	}
 	for v.timers.Len() > 0 {
-		t := heap.Pop(&v.timers).(timer)
+		t := v.timers[0] // peek: a paced clock may not be allowed to fire yet
 		if t.gen != t.p.gen || !t.p.parked {
+			heap.Pop(&v.timers)
 			continue // stale entry: sleeper was unparked early
 		}
+		if v.paced && t.at > v.now {
+			if t.at > v.horizon {
+				return // SetHorizon re-runs the advancement
+			}
+			if wait := v.wallWaitLocked(t.at); wait > 0 {
+				v.armWallKickLocked(wait)
+				return
+			}
+		}
+		heap.Pop(&v.timers)
 		if t.at > v.now {
 			v.now = t.at
 		}
@@ -208,6 +298,9 @@ func (v *Virtual) advanceLocked() {
 		return
 	}
 	if len(v.parkedSet) > 0 {
+		if v.paced {
+			return // idle: external input may still arrive
+		}
 		dump := v.dumpLocked()
 		if v.onDeadlock != nil {
 			v.onDeadlock(dump)
@@ -216,6 +309,28 @@ func (v *Virtual) advanceLocked() {
 		panic("vclock: deadlock — all managed goroutines parked with no pending timer\n" + dump)
 	}
 	// Nothing runnable, nothing parked: the simulation simply finished.
+}
+
+// wallWaitLocked returns how much real time must pass before the paced
+// clock may jump to virtual instant at (<= 0: jump now).
+func (v *Virtual) wallWaitLocked(at time.Duration) time.Duration {
+	if !v.offsetSet {
+		return 0
+	}
+	return at - (time.Since(v.wallStart) + v.offset)
+}
+
+// armWallKickLocked re-runs the advancement after wait of real time.
+func (v *Virtual) armWallKickLocked(wait time.Duration) {
+	if v.wallTimer != nil {
+		v.wallTimer.Stop()
+	}
+	v.wallTimer = time.AfterFunc(wait, func() {
+		v.mu.Lock()
+		v.wallTimer = nil
+		v.advanceLocked()
+		v.mu.Unlock()
+	})
 }
 
 func (v *Virtual) dumpLocked() string {

@@ -1,0 +1,456 @@
+// Package wire implements the networking subsystem that takes detmt out
+// of the simulator: a length-prefixed, versioned binary codec for the
+// gcs envelope and payload types, and a TCP transport implementing
+// gcs.Transport with per-link FIFO ordering, bounded-backoff reconnect
+// and exactly-once delivery (at-least-once redelivery plus per-sender
+// sequence-number suppression).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"detmt/internal/core"
+	"detmt/internal/gcs"
+	"detmt/internal/ids"
+	"detmt/internal/lang"
+	"detmt/internal/replica"
+)
+
+// Preamble is exchanged once per connection before any frames: a magic
+// string identifying the protocol followed by the protocol version.
+// Version bumps whenever the frame or envelope encoding changes shape;
+// the golden-bytes test in codec_test.go pins the current format.
+const (
+	Magic   = "DTMT"
+	Version = uint16(1)
+)
+
+// Frame kinds.
+const (
+	frameHello        = byte(1) // process name + client origins routed here
+	frameEnvelope     = byte(2) // one gcs.Envelope
+	frameBatch        = byte(3) // several envelopes, delivered atomically
+	frameAck          = byte(4) // cumulative ack of received frame seqnos
+	frameControl      = byte(5) // out-of-band request (status queries)
+	frameControlReply = byte(6)
+)
+
+// Payload type tags.
+const (
+	tagNil         = byte(0)
+	tagRequest     = byte(1)
+	tagReply       = byte(2)
+	tagNestedReply = byte(3)
+	tagStateUpdate = byte(4)
+	tagDummy       = byte(5)
+	tagLSADecision = byte(6)
+	tagString      = byte(7) // debugging / test payloads
+)
+
+// lang.Value tags.
+const (
+	valNil     = byte(0)
+	valInt     = byte(1)
+	valBool    = byte(2)
+	valMonitor = byte(3)
+)
+
+// maxFrameLen bounds a single frame (64 MiB) so a corrupt length prefix
+// cannot trigger an unbounded allocation.
+const maxFrameLen = 64 << 20
+
+var (
+	errBadMagic   = errors.New("wire: bad connection preamble")
+	errShortFrame = errors.New("wire: truncated frame")
+)
+
+// frame is one wire transfer unit. seq is a per-sender monotone counter
+// used for duplicate suppression across reconnects; seq 0 marks frames
+// exempt from dedup (hellos, acks, control replies, reply routing).
+type frame struct {
+	kind byte
+	seq  uint64
+	body []byte
+}
+
+// ---- primitive append/read helpers ----
+
+func appendU32(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
+func appendI64(b []byte, v int64) []byte  { return appendU64(b, uint64(v)) }
+
+func appendString(b []byte, s string) []byte {
+	b = appendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = errShortFrame
+	}
+}
+
+func (r *reader) u8() byte {
+	if r.err != nil || r.off+1 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) i64() int64 { return int64(r.u64()) }
+
+func (r *reader) str() string {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.off+n > len(r.b) {
+		r.fail()
+		return ""
+	}
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+// ---- origin ----
+
+func appendOrigin(b []byte, o gcs.Origin) []byte {
+	flag := byte(0)
+	if o.IsClient {
+		flag = 1
+	}
+	b = append(b, flag)
+	b = appendI64(b, int64(o.Replica))
+	return appendI64(b, int64(o.Client))
+}
+
+func (r *reader) origin() gcs.Origin {
+	flag := r.u8()
+	rep := r.i64()
+	cl := r.i64()
+	return gcs.Origin{Replica: ids.ReplicaID(rep), Client: ids.ClientID(cl), IsClient: flag != 0}
+}
+
+// ---- lang.Value ----
+
+func appendValue(b []byte, v lang.Value) ([]byte, error) {
+	switch x := v.(type) {
+	case nil:
+		return append(b, valNil), nil
+	case int64:
+		return appendI64(append(b, valInt), x), nil
+	case bool:
+		n := int64(0)
+		if x {
+			n = 1
+		}
+		return appendI64(append(b, valBool), n), nil
+	case lang.Monitor:
+		return appendI64(append(b, valMonitor), int64(x)), nil
+	default:
+		return b, fmt.Errorf("wire: unencodable value type %T", v)
+	}
+}
+
+func (r *reader) value() lang.Value {
+	switch tag := r.u8(); tag {
+	case valNil:
+		return nil
+	case valInt:
+		return r.i64()
+	case valBool:
+		return r.i64() != 0
+	case valMonitor:
+		return lang.Monitor(r.i64())
+	default:
+		if r.err == nil {
+			r.err = fmt.Errorf("wire: unknown value tag %d", tag)
+		}
+		return nil
+	}
+}
+
+// ---- payload ----
+
+func appendPayload(b []byte, p gcs.Payload) ([]byte, error) {
+	var err error
+	switch x := p.(type) {
+	case nil:
+		return append(b, tagNil), nil
+	case replica.Request:
+		b = append(b, tagRequest)
+		b = appendU64(b, uint64(x.Req))
+		b = appendString(b, x.Method)
+		b = appendU32(b, uint32(len(x.Args)))
+		for _, a := range x.Args {
+			if b, err = appendValue(b, a); err != nil {
+				return b, err
+			}
+		}
+		return b, nil
+	case replica.Reply:
+		b = append(b, tagReply)
+		b = appendU64(b, uint64(x.Req))
+		if b, err = appendValue(b, x.Value); err != nil {
+			return b, err
+		}
+		return appendString(b, x.Err), nil
+	case replica.NestedReply:
+		b = append(b, tagNestedReply)
+		b = appendU64(b, uint64(x.Req))
+		b = appendI64(b, int64(x.N))
+		return appendValue(b, x.Value)
+	case replica.StateUpdate:
+		b = append(b, tagStateUpdate)
+		b = appendU64(b, x.UpToSeq)
+		keys := make([]string, 0, len(x.Snapshot))
+		for k := range x.Snapshot {
+			keys = append(keys, k)
+		}
+		sortStrings(keys) // deterministic bytes for identical snapshots
+		b = appendU32(b, uint32(len(keys)))
+		for _, k := range keys {
+			b = appendString(b, k)
+			if b, err = appendValue(b, x.Snapshot[k]); err != nil {
+				return b, err
+			}
+		}
+		return b, nil
+	case replica.Dummy:
+		return appendU64(append(b, tagDummy), x.Seq), nil
+	case replica.LSADecision:
+		b = append(b, tagLSADecision)
+		b = appendI64(b, int64(x.Event.Mutex))
+		return appendU64(b, uint64(x.Event.Thread)), nil
+	case string:
+		return appendString(append(b, tagString), x), nil
+	default:
+		return b, fmt.Errorf("wire: unencodable payload type %T", p)
+	}
+}
+
+func (r *reader) payload() gcs.Payload {
+	switch tag := r.u8(); tag {
+	case tagNil:
+		return nil
+	case tagRequest:
+		req := replica.Request{Req: ids.RequestID(r.u64()), Method: r.str()}
+		n := int(r.u32())
+		if r.err != nil || n > len(r.b) {
+			r.fail()
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			req.Args = append(req.Args, r.value())
+		}
+		return req
+	case tagReply:
+		return replica.Reply{Req: ids.RequestID(r.u64()), Value: r.value(), Err: r.str()}
+	case tagNestedReply:
+		return replica.NestedReply{Req: ids.RequestID(r.u64()), N: int(r.i64()), Value: r.value()}
+	case tagStateUpdate:
+		su := replica.StateUpdate{UpToSeq: r.u64(), Snapshot: map[string]lang.Value{}}
+		n := int(r.u32())
+		if r.err != nil || n > len(r.b) {
+			r.fail()
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			k := r.str()
+			su.Snapshot[k] = r.value()
+		}
+		return su
+	case tagDummy:
+		return replica.Dummy{Seq: r.u64()}
+	case tagLSADecision:
+		return replica.LSADecision{Event: core.LSAEvent{
+			Mutex:  ids.MutexID(r.i64()),
+			Thread: ids.ThreadID(r.u64()),
+		}}
+	case tagString:
+		return r.str()
+	default:
+		if r.err == nil {
+			r.err = fmt.Errorf("wire: unknown payload tag %d", tag)
+		}
+		return nil
+	}
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// ---- envelope ----
+
+// AppendEnvelope appends the binary encoding of env to b.
+func AppendEnvelope(b []byte, env gcs.Envelope) ([]byte, error) {
+	b = append(b, byte(env.Kind))
+	b = appendU64(b, env.Seq)
+	b = appendU64(b, env.UID)
+	b = appendOrigin(b, env.Origin)
+	b = appendOrigin(b, env.From)
+	b = appendOrigin(b, env.To)
+	b = appendI64(b, int64(env.Stamp))
+	return appendPayload(b, env.Payload)
+}
+
+// decodeEnvelope reads one envelope from r.
+func (r *reader) envelope() gcs.Envelope {
+	env := gcs.Envelope{
+		Kind:   gcs.EnvKind(r.u8()),
+		Seq:    r.u64(),
+		UID:    r.u64(),
+		Origin: r.origin(),
+		From:   r.origin(),
+		To:     r.origin(),
+		Stamp:  time.Duration(r.i64()),
+	}
+	env.Payload = r.payload()
+	return env
+}
+
+// DecodeEnvelope decodes a single envelope from b (as produced by
+// AppendEnvelope), returning the number of bytes consumed.
+func DecodeEnvelope(b []byte) (gcs.Envelope, int, error) {
+	r := &reader{b: b}
+	env := r.envelope()
+	if r.err != nil {
+		return gcs.Envelope{}, 0, r.err
+	}
+	return env, r.off, nil
+}
+
+// ---- frame body builders ----
+
+func helloBody(name string, origins []gcs.Origin) []byte {
+	b := appendString(nil, name)
+	b = appendU32(b, uint32(len(origins)))
+	for _, o := range origins {
+		b = appendOrigin(b, o)
+	}
+	return b
+}
+
+func parseHello(body []byte) (name string, origins []gcs.Origin, err error) {
+	r := &reader{b: body}
+	name = r.str()
+	n := int(r.u32())
+	if r.err != nil || n > len(body) {
+		return "", nil, errShortFrame
+	}
+	for i := 0; i < n; i++ {
+		origins = append(origins, r.origin())
+	}
+	return name, origins, r.err
+}
+
+func batchBody(envs []gcs.Envelope) ([]byte, error) {
+	b := appendU32(nil, uint32(len(envs)))
+	var err error
+	for _, e := range envs {
+		if b, err = AppendEnvelope(b, e); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+func parseBatch(body []byte) ([]gcs.Envelope, error) {
+	r := &reader{b: body}
+	n := int(r.u32())
+	if r.err != nil || n > len(body) {
+		return nil, errShortFrame
+	}
+	envs := make([]gcs.Envelope, 0, n)
+	for i := 0; i < n; i++ {
+		envs = append(envs, r.envelope())
+	}
+	return envs, r.err
+}
+
+// ---- framing ----
+
+// writePreamble sends the per-connection magic + version header.
+func writePreamble(w io.Writer) error {
+	b := append([]byte(Magic), 0, 0)
+	binary.BigEndian.PutUint16(b[len(Magic):], Version)
+	_, err := w.Write(b)
+	return err
+}
+
+func readPreamble(r io.Reader) error {
+	b := make([]byte, len(Magic)+2)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return err
+	}
+	if string(b[:len(Magic)]) != Magic {
+		return errBadMagic
+	}
+	if v := binary.BigEndian.Uint16(b[len(Magic):]); v != Version {
+		return fmt.Errorf("wire: protocol version %d, want %d", v, Version)
+	}
+	return nil
+}
+
+// writeFrame sends one length-prefixed frame: u32 length of the rest,
+// u8 kind, u64 seq, body.
+func writeFrame(w io.Writer, f frame) error {
+	b := appendU32(nil, uint32(1+8+len(f.body)))
+	b = append(b, f.kind)
+	b = appendU64(b, f.seq)
+	b = append(b, f.body...)
+	_, err := w.Write(b)
+	return err
+}
+
+func readFrame(r io.Reader) (frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < 9 || n > maxFrameLen {
+		return frame{}, fmt.Errorf("wire: bad frame length %d", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return frame{}, err
+	}
+	return frame{kind: b[0], seq: binary.BigEndian.Uint64(b[1:9]), body: b[9:]}, nil
+}

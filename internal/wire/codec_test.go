@@ -1,0 +1,238 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/hex"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"detmt/internal/core"
+	"detmt/internal/gcs"
+	"detmt/internal/ids"
+	"detmt/internal/lang"
+	"detmt/internal/replica"
+)
+
+func randValue(rng *rand.Rand) lang.Value {
+	switch rng.Intn(4) {
+	case 0:
+		return nil
+	case 1:
+		return rng.Int63() - rng.Int63()
+	case 2:
+		return rng.Intn(2) == 0
+	default:
+		return lang.Monitor(rng.Intn(64))
+	}
+}
+
+func randOrigin(rng *rand.Rand) gcs.Origin {
+	if rng.Intn(2) == 0 {
+		return gcs.Origin{Replica: ids.ReplicaID(rng.Intn(8))}
+	}
+	return gcs.Origin{Client: ids.ClientID(rng.Intn(8)), IsClient: true}
+}
+
+func randPayload(rng *rand.Rand) gcs.Payload {
+	switch rng.Intn(8) {
+	case 0:
+		return nil
+	case 1:
+		req := replica.Request{
+			Req:    ids.RequestID(rng.Uint64()),
+			Method: "fig1",
+		}
+		for i := rng.Intn(4); i > 0; i-- {
+			req.Args = append(req.Args, randValue(rng))
+		}
+		return req
+	case 2:
+		rep := replica.Reply{Req: ids.RequestID(rng.Uint64()), Value: randValue(rng)}
+		if rng.Intn(3) == 0 {
+			rep.Err = "unknown method"
+		}
+		return rep
+	case 3:
+		return replica.NestedReply{
+			Req:   ids.RequestID(rng.Uint64()),
+			N:     rng.Intn(10),
+			Value: randValue(rng),
+		}
+	case 4:
+		su := replica.StateUpdate{UpToSeq: rng.Uint64(), Snapshot: map[string]lang.Value{}}
+		for i := rng.Intn(4); i > 0; i-- {
+			su.Snapshot[string(rune('a'+rng.Intn(26)))] = randValue(rng)
+		}
+		return su
+	case 5:
+		return replica.Dummy{Seq: rng.Uint64()}
+	case 6:
+		return replica.LSADecision{Event: core.LSAEvent{
+			Mutex:  ids.MutexID(rng.Intn(16)),
+			Thread: ids.ThreadID(rng.Uint64()),
+		}}
+	default:
+		return "probe payload"
+	}
+}
+
+func randEnvelope(rng *rand.Rand) gcs.Envelope {
+	return gcs.Envelope{
+		Kind:    gcs.EnvKind(rng.Intn(4)),
+		Seq:     rng.Uint64(),
+		UID:     rng.Uint64(),
+		Origin:  randOrigin(rng),
+		From:    randOrigin(rng),
+		To:      randOrigin(rng),
+		Stamp:   time.Duration(rng.Int63n(int64(time.Hour))),
+		Payload: randPayload(rng),
+	}
+}
+
+// TestEnvelopeRoundTrip is a randomized property test: every envelope
+// the codec can encode decodes back to a deeply equal value, consuming
+// exactly the bytes it produced.
+func TestEnvelopeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		env := randEnvelope(rng)
+		b, err := AppendEnvelope(nil, env)
+		if err != nil {
+			t.Fatalf("iter %d: encode %+v: %v", i, env, err)
+		}
+		got, n, err := DecodeEnvelope(b)
+		if err != nil {
+			t.Fatalf("iter %d: decode: %v", i, err)
+		}
+		if n != len(b) {
+			t.Fatalf("iter %d: consumed %d of %d bytes", i, n, len(b))
+		}
+		if !reflect.DeepEqual(got, env) {
+			t.Fatalf("iter %d: round trip mismatch:\n  sent %+v\n  got  %+v", i, env, got)
+		}
+	}
+}
+
+// TestBatchRoundTrip round-trips multi-envelope batch bodies.
+func TestBatchRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		envs := make([]gcs.Envelope, 1+rng.Intn(5))
+		for j := range envs {
+			envs[j] = randEnvelope(rng)
+		}
+		body, err := batchBody(envs)
+		if err != nil {
+			t.Fatalf("iter %d: encode: %v", i, err)
+		}
+		got, err := parseBatch(body)
+		if err != nil {
+			t.Fatalf("iter %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, envs) {
+			t.Fatalf("iter %d: batch mismatch:\n  sent %+v\n  got  %+v", i, envs, got)
+		}
+	}
+}
+
+// TestTruncatedInputs checks that no prefix of a valid encoding makes
+// the decoder panic or succeed.
+func TestTruncatedInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		env := randEnvelope(rng)
+		b, err := AppendEnvelope(nil, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 0; cut < len(b); cut++ {
+			if _, _, err := DecodeEnvelope(b[:cut]); err == nil {
+				t.Fatalf("iter %d: decoding %d of %d bytes succeeded", i, cut, len(b))
+			}
+		}
+	}
+}
+
+// TestHelloRoundTrip round-trips the hello frame body.
+func TestHelloRoundTrip(t *testing.T) {
+	origins := []gcs.Origin{
+		{Client: 3, IsClient: true},
+		{Client: 9, IsClient: true},
+	}
+	name, got, err := parseHello(helloBody("load-7", origins))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "load-7" || !reflect.DeepEqual(got, origins) {
+		t.Fatalf("hello mismatch: %q %+v", name, got)
+	}
+}
+
+// TestFrameRoundTrip pushes frames through the stream framing layer.
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writePreamble(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := []frame{
+		{kind: frameHello, seq: 0, body: helloBody("R1", nil)},
+		{kind: frameEnvelope, seq: 1, body: []byte{1, 2, 3}},
+		{kind: frameAck, seq: 0, body: appendU64(nil, 17)},
+	}
+	for _, f := range want {
+		if err := writeFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := readPreamble(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range want {
+		f, err := readFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if f.kind != w.kind || f.seq != w.seq || !bytes.Equal(f.body, w.body) {
+			t.Fatalf("frame %d mismatch: %+v vs %+v", i, f, w)
+		}
+	}
+}
+
+// TestGoldenBytes pins the exact wire encoding of a representative
+// envelope (and the connection preamble) so accidental format drift
+// breaks loudly. If the format changes deliberately, bump Version and
+// regenerate the constants below.
+func TestGoldenBytes(t *testing.T) {
+	var pre bytes.Buffer
+	if err := writePreamble(&pre); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := hex.EncodeToString(pre.Bytes()), "44544d540001"; got != want {
+		t.Errorf("preamble drifted:\n  got  %s\n  want %s", got, want)
+	}
+
+	env := gcs.Envelope{
+		Kind:   gcs.EnvSequenced,
+		Seq:    7,
+		UID:    0x0102030405060708,
+		Origin: gcs.Origin{Client: 2, IsClient: true},
+		From:   gcs.Origin{Replica: 1},
+		To:     gcs.Origin{Replica: 3},
+		Stamp:  250 * time.Millisecond,
+		Payload: replica.Request{
+			Req:    ids.MakeRequestID(2, 5),
+			Method: "fig1",
+			Args:   []lang.Value{int64(4), true, lang.Monitor(1), nil},
+		},
+	}
+	b, err := AppendEnvelope(nil, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = "0100000000000000070102030405060708010000000000000000000000000000000200000000000000000100000000000000000000000000000000030000000000000000000000000ee6b28001000000020000000500000004666967310000000401000000000000000402000000000000000103000000000000000100"
+	if got := hex.EncodeToString(b); got != want {
+		t.Errorf("envelope encoding drifted:\n  got  %s\n  want %s", got, want)
+	}
+}

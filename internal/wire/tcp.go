@@ -1,0 +1,768 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"detmt/internal/gcs"
+	"detmt/internal/ids"
+)
+
+// Compile-time assertion: the TCP transport is interchangeable with the
+// in-memory one (whose assertion lives in internal/gcs).
+var (
+	_ gcs.Transport   = (*TCP)(nil)
+	_ gcs.BatchSender = (*TCP)(nil)
+)
+
+// Options configures a TCP transport endpoint.
+type Options struct {
+	// Name is the stable identity of this process ("R1", "load", ...).
+	// Receivers key duplicate-suppression state by it, so it must stay
+	// the same across reconnects and be unique within the deployment.
+	Name string
+	// Listen is the address to accept connections on ("" for client-only
+	// processes). Listener, if non-nil, overrides Listen — tests use it
+	// to bind port 0 before the peer map is assembled.
+	Listen   string
+	Listener net.Listener
+	// Peers maps replica ids to their listen addresses. A connection is
+	// dialed (and redialed) to every peer; all envelopes toward a
+	// replica travel on its single connection, which subsumes per-link
+	// FIFO ordering.
+	Peers map[ids.ReplicaID]string
+	// OnControl serves out-of-band requests (status queries) arriving
+	// from peers or clients. Called on a dedicated goroutine.
+	OnControl func(req []byte) []byte
+	// BackoffMin/BackoffMax bound the exponential reconnect backoff
+	// (defaults 25ms / 1s).
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// Dial overrides the dialer (tests).
+	Dial func(addr string) (net.Conn, error)
+	// Logf, if set, receives connection lifecycle diagnostics.
+	Logf func(format string, args ...interface{})
+}
+
+// TCP is a gcs.Transport over real sockets. Delivery guarantees:
+//
+//   - per-peer FIFO: all envelopes toward one peer share one connection;
+//   - at-least-once: unacknowledged frames are kept and replayed after a
+//     reconnect (bounded exponential backoff);
+//   - exactly-once upward: every dedup-eligible frame carries a
+//     per-sender monotone sequence number, and receivers drop seqnos
+//     they have already seen from that sender name, so redelivery is
+//     invisible above the transport (the gcs layer's origin/uid
+//     duplicate suppression remains as a second, independent layer).
+//
+// Frames sent back along inbound connections (client replies, acks,
+// control replies) are fire-and-forget: if the connection dies they are
+// dropped, which first-reply-wins client semantics tolerate.
+type TCP struct {
+	o  Options
+	ln net.Listener
+
+	mu       sync.Mutex
+	binds    map[gcs.Origin]func(...gcs.Envelope)
+	peers    map[ids.ReplicaID]*peerLink
+	routes   map[gcs.Origin]*inboundConn
+	lastSeen map[string]uint64 // highest dedup seqno delivered, per sender name
+	inbounds map[*inboundConn]struct{}
+	ctl      map[uint64]chan []byte
+	nextCtl  uint64
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+// NewTCP creates the endpoint, starts its listener (if any) and begins
+// dialing every configured peer.
+func NewTCP(o Options) (*TCP, error) {
+	if o.BackoffMin <= 0 {
+		o.BackoffMin = 25 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = time.Second
+	}
+	if o.Dial == nil {
+		o.Dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 2*time.Second)
+		}
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...interface{}) {}
+	}
+	t := &TCP{
+		o:        o,
+		ln:       o.Listener,
+		binds:    map[gcs.Origin]func(...gcs.Envelope){},
+		peers:    map[ids.ReplicaID]*peerLink{},
+		routes:   map[gcs.Origin]*inboundConn{},
+		lastSeen: map[string]uint64{},
+		inbounds: map[*inboundConn]struct{}{},
+		ctl:      map[uint64]chan []byte{},
+	}
+	if t.ln == nil && o.Listen != "" {
+		ln, err := net.Listen("tcp", o.Listen)
+		if err != nil {
+			return nil, err
+		}
+		t.ln = ln
+	}
+	if t.ln != nil {
+		t.wg.Add(1)
+		go t.acceptLoop()
+	}
+	for id, addr := range o.Peers {
+		pl := newPeerLink(t, id, addr)
+		t.peers[id] = pl
+		t.wg.Add(1)
+		go pl.run()
+	}
+	return t, nil
+}
+
+// Addr returns the listener address ("" for client-only endpoints).
+func (t *TCP) Addr() string {
+	if t.ln == nil {
+		return ""
+	}
+	return t.ln.Addr().String()
+}
+
+// Bind implements gcs.Transport. Binding a client origin re-announces
+// the local origin set to every peer so replicas can route replies here.
+func (t *TCP) Bind(at gcs.Origin, deliver func(...gcs.Envelope)) {
+	t.mu.Lock()
+	t.binds[at] = deliver
+	peers := make([]*peerLink, 0, len(t.peers))
+	for _, pl := range t.peers {
+		peers = append(peers, pl)
+	}
+	announce := at.IsClient
+	hello := t.helloFrameLocked()
+	t.mu.Unlock()
+	if announce {
+		for _, pl := range peers {
+			pl.enqueue(hello)
+		}
+	}
+}
+
+// helloFrameLocked builds a hello announcing the locally bound client
+// origins. Called with t.mu held.
+func (t *TCP) helloFrameLocked() frame {
+	var origins []gcs.Origin
+	for o := range t.binds {
+		if o.IsClient {
+			origins = append(origins, o)
+		}
+	}
+	return frame{kind: frameHello, body: helloBody(t.o.Name, origins)}
+}
+
+// Send implements gcs.Transport. The link key is unused: per-peer
+// connection FIFO subsumes per-link FIFO.
+func (t *TCP) Send(_ string, to gcs.Origin, env gcs.Envelope) {
+	t.sendEnvs(to, []gcs.Envelope{env})
+}
+
+// SendBatch implements gcs.BatchSender: envs travel in one frame and are
+// handed to the receiver's deliver callback in a single call.
+func (t *TCP) SendBatch(_ string, to gcs.Origin, envs []gcs.Envelope) {
+	t.sendEnvs(to, envs)
+}
+
+func (t *TCP) sendEnvs(to gcs.Origin, envs []gcs.Envelope) {
+	t.mu.Lock()
+	if deliver := t.binds[to]; deliver != nil {
+		t.mu.Unlock()
+		deliver(envs...) // local short-circuit (e.g. sequencer self-delivery)
+		return
+	}
+	if !to.IsClient {
+		pl := t.peers[to.Replica]
+		t.mu.Unlock()
+		if pl == nil {
+			t.o.Logf("wire: dropping envelope to unknown replica %v", to.Replica)
+			return
+		}
+		f, err := envFrame(envs)
+		if err != nil {
+			t.o.Logf("wire: %v", err)
+			return
+		}
+		pl.enqueueSeq(f)
+		return
+	}
+	ic := t.routes[to]
+	t.mu.Unlock()
+	if ic == nil {
+		t.o.Logf("wire: no route to client %v, dropping", to)
+		return
+	}
+	f, err := envFrame(envs)
+	if err != nil {
+		t.o.Logf("wire: %v", err)
+		return
+	}
+	ic.enqueue(f) // seq 0: inbound-direction frames are fire-and-forget
+}
+
+func envFrame(envs []gcs.Envelope) (frame, error) {
+	if len(envs) == 1 {
+		body, err := AppendEnvelope(nil, envs[0])
+		if err != nil {
+			return frame{}, err
+		}
+		return frame{kind: frameEnvelope, body: body}, nil
+	}
+	body, err := batchBody(envs)
+	if err != nil {
+		return frame{}, err
+	}
+	return frame{kind: frameBatch, body: body}, nil
+}
+
+// Control sends an out-of-band request to a peer and waits for the
+// reply (served by the peer's OnControl handler).
+func (t *TCP) Control(peer ids.ReplicaID, req []byte, timeout time.Duration) ([]byte, error) {
+	t.mu.Lock()
+	pl := t.peers[peer]
+	if pl == nil {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("wire: unknown peer %v", peer)
+	}
+	t.nextCtl++
+	id := t.nextCtl
+	ch := make(chan []byte, 1)
+	t.ctl[id] = ch
+	t.mu.Unlock()
+	defer func() {
+		t.mu.Lock()
+		delete(t.ctl, id)
+		t.mu.Unlock()
+	}()
+	pl.enqueueSeq(frame{kind: frameControl, body: append(appendU64(nil, id), req...)})
+	select {
+	case b := <-ch:
+		return b, nil
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("wire: control request to %v timed out", peer)
+	}
+}
+
+// DropPeer forcibly closes the current connection to a peer (test hook
+// for fault injection). The link reconnects with backoff and replays
+// unacknowledged frames.
+func (t *TCP) DropPeer(id ids.ReplicaID) {
+	t.mu.Lock()
+	pl := t.peers[id]
+	t.mu.Unlock()
+	if pl == nil {
+		return
+	}
+	pl.mu.Lock()
+	if pl.conn != nil {
+		pl.conn.Close()
+	}
+	pl.mu.Unlock()
+}
+
+// Close shuts the endpoint down: listener, dialed links, inbound
+// connections.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	peers := make([]*peerLink, 0, len(t.peers))
+	for _, pl := range t.peers {
+		peers = append(peers, pl)
+	}
+	ins := make([]*inboundConn, 0, len(t.inbounds))
+	for ic := range t.inbounds {
+		ins = append(ins, ic)
+	}
+	t.mu.Unlock()
+	if t.ln != nil {
+		t.ln.Close()
+	}
+	for _, pl := range peers {
+		pl.close()
+	}
+	for _, ic := range ins {
+		ic.close()
+	}
+	t.wg.Wait()
+	return nil
+}
+
+func (t *TCP) isClosed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.closed
+}
+
+// deliverFrame routes a received envelope/batch frame to its binding,
+// applying duplicate suppression for seqno-carrying frames. from is the
+// sender's stable name ("" if it never said hello — only possible on
+// dialed connections, where the peer id provides the name).
+func (t *TCP) deliverFrame(from string, f frame) {
+	if f.seq != 0 {
+		t.mu.Lock()
+		if f.seq <= t.lastSeen[from] {
+			t.mu.Unlock()
+			return // duplicate redelivery after a reconnect
+		}
+		t.lastSeen[from] = f.seq
+		t.mu.Unlock()
+	}
+	var envs []gcs.Envelope
+	switch f.kind {
+	case frameEnvelope:
+		env, _, err := DecodeEnvelope(f.body)
+		if err != nil {
+			t.o.Logf("wire: bad envelope from %s: %v", from, err)
+			return
+		}
+		envs = []gcs.Envelope{env}
+	case frameBatch:
+		var err error
+		envs, err = parseBatch(f.body)
+		if err != nil {
+			t.o.Logf("wire: bad batch from %s: %v", from, err)
+			return
+		}
+	default:
+		return
+	}
+	if len(envs) == 0 {
+		return
+	}
+	// All envelopes in a batch share a destination (one frame per link).
+	t.mu.Lock()
+	deliver := t.binds[envs[0].To]
+	t.mu.Unlock()
+	if deliver == nil {
+		t.o.Logf("wire: no binding for %v, dropping %d envelope(s)", envs[0].To, len(envs))
+		return
+	}
+	deliver(envs...)
+}
+
+func (t *TCP) handleControl(ic *inboundConn, f frame) {
+	if len(f.body) < 8 {
+		return
+	}
+	r := &reader{b: f.body}
+	id := r.u64()
+	req := f.body[8:]
+	handler := t.o.OnControl
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		var resp []byte
+		if handler != nil {
+			resp = handler(req)
+		}
+		ic.enqueue(frame{kind: frameControlReply, body: append(appendU64(nil, id), resp...)})
+	}()
+}
+
+func (t *TCP) dispatchControlReply(body []byte) {
+	if len(body) < 8 {
+		return
+	}
+	r := &reader{b: body}
+	id := r.u64()
+	t.mu.Lock()
+	ch := t.ctl[id]
+	t.mu.Unlock()
+	if ch != nil {
+		select {
+		case ch <- append([]byte(nil), body[8:]...):
+		default:
+		}
+	}
+}
+
+// ---- dialed peer links ----
+
+// peerLink is the dialed connection to one replica peer. Frames carrying
+// seqnos stay queued until the peer acknowledges them; on reconnect the
+// unacknowledged tail is replayed in order.
+type peerLink struct {
+	t    *TCP
+	id   ids.ReplicaID
+	addr string
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []frame // unacknowledged (plus not-yet-sent) frames, in order
+	sent    int     // frames of queue already written on the current conn
+	nextSeq uint64
+	conn    net.Conn
+	closed  bool
+}
+
+func newPeerLink(t *TCP, id ids.ReplicaID, addr string) *peerLink {
+	pl := &peerLink{t: t, id: id, addr: addr}
+	pl.cond = sync.NewCond(&pl.mu)
+	return pl
+}
+
+// enqueueSeq assigns the next dedup seqno and queues the frame.
+func (pl *peerLink) enqueueSeq(f frame) {
+	pl.mu.Lock()
+	if pl.closed {
+		pl.mu.Unlock()
+		return
+	}
+	pl.nextSeq++
+	f.seq = pl.nextSeq
+	pl.queue = append(pl.queue, f)
+	pl.cond.Broadcast()
+	pl.mu.Unlock()
+}
+
+// enqueue queues a seqno-less (idempotent) frame such as a hello.
+func (pl *peerLink) enqueue(f frame) {
+	pl.mu.Lock()
+	if pl.closed {
+		pl.mu.Unlock()
+		return
+	}
+	pl.queue = append(pl.queue, f)
+	pl.cond.Broadcast()
+	pl.mu.Unlock()
+}
+
+// ack drops acknowledged frames from the head of the queue. Only frames
+// already written on the current connection are eligible: seq-0 frames
+// (hellos) ride along once sent — reconnects re-announce them anyway —
+// but an unsent one must never be trimmed by a preceding frame's ack.
+func (pl *peerLink) ack(upTo uint64) {
+	pl.mu.Lock()
+	n := 0
+	for n < len(pl.queue) && n < pl.sent && (pl.queue[n].seq == 0 || pl.queue[n].seq <= upTo) {
+		n++
+	}
+	if n > 0 {
+		pl.queue = append([]frame(nil), pl.queue[n:]...)
+		pl.sent -= n
+		if pl.sent < 0 {
+			pl.sent = 0
+		}
+	}
+	pl.mu.Unlock()
+}
+
+func (pl *peerLink) close() {
+	pl.mu.Lock()
+	pl.closed = true
+	if pl.conn != nil {
+		pl.conn.Close()
+	}
+	pl.cond.Broadcast()
+	pl.mu.Unlock()
+}
+
+// run dials (and redials, with bounded exponential backoff) the peer,
+// replaying the unacknowledged queue after every connect.
+func (pl *peerLink) run() {
+	defer pl.t.wg.Done()
+	backoff := pl.t.o.BackoffMin
+	for {
+		if pl.isClosed() {
+			return
+		}
+		conn, err := pl.t.o.Dial(pl.addr)
+		if err != nil {
+			pl.t.o.Logf("wire: dial %v (%s): %v — retrying in %v", pl.id, pl.addr, err, backoff)
+			if !pl.sleep(backoff) {
+				return
+			}
+			backoff *= 2
+			if backoff > pl.t.o.BackoffMax {
+				backoff = pl.t.o.BackoffMax
+			}
+			continue
+		}
+		backoff = pl.t.o.BackoffMin
+		if pl.serveConn(conn) {
+			return // closed for good
+		}
+	}
+}
+
+// serveConn runs one connection lifetime; returns true when the link is
+// shut down (vs. needing a reconnect).
+func (pl *peerLink) serveConn(conn net.Conn) bool {
+	t := pl.t
+	bw := bufio.NewWriter(conn)
+	if err := writePreamble(bw); err == nil {
+		t.mu.Lock()
+		hello := t.helloFrameLocked()
+		t.mu.Unlock()
+		if err := writeFrame(bw, hello); err == nil {
+			bw.Flush()
+		}
+	}
+	pl.mu.Lock()
+	if pl.closed {
+		pl.mu.Unlock()
+		conn.Close()
+		return true
+	}
+	pl.conn = conn
+	pl.sent = 0 // replay everything unacknowledged
+	pl.mu.Unlock()
+	t.o.Logf("wire: connected to %v (%s)", pl.id, pl.addr)
+
+	// Reader: acks, control replies and (for client processes) reply
+	// envelopes flowing back along our dialed connection.
+	readerDone := make(chan struct{})
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		defer close(readerDone)
+		br := bufio.NewReader(conn)
+		if err := readPreamble(br); err != nil {
+			return
+		}
+		for {
+			f, err := readFrame(br)
+			if err != nil {
+				return
+			}
+			switch f.kind {
+			case frameAck:
+				if len(f.body) >= 8 {
+					r := &reader{b: f.body}
+					pl.ack(r.u64())
+				}
+			case frameControlReply:
+				t.dispatchControlReply(f.body)
+			case frameEnvelope, frameBatch:
+				t.deliverFrame(pl.id.String(), f)
+			}
+		}
+	}()
+
+	// Writer: stream queued frames until the connection breaks.
+	for {
+		pl.mu.Lock()
+		for pl.sent == len(pl.queue) && pl.conn == conn && !pl.closed {
+			pl.cond.Wait()
+		}
+		if pl.closed || pl.conn != conn {
+			pl.mu.Unlock()
+			break
+		}
+		f := pl.queue[pl.sent]
+		pl.sent++
+		pl.mu.Unlock()
+		if err := writeFrame(bw, f); err != nil {
+			break
+		}
+		pl.mu.Lock()
+		flush := pl.sent == len(pl.queue)
+		pl.mu.Unlock()
+		if flush {
+			if err := bw.Flush(); err != nil {
+				break
+			}
+		}
+	}
+	conn.Close()
+	<-readerDone
+	pl.mu.Lock()
+	if pl.conn == conn {
+		pl.conn = nil
+	}
+	closed := pl.closed
+	pl.mu.Unlock()
+	if !closed {
+		t.o.Logf("wire: connection to %v lost, reconnecting", pl.id)
+	}
+	return closed
+}
+
+func (pl *peerLink) isClosed() bool {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.closed
+}
+
+// sleep waits d unless the link closes first; reports whether to go on.
+func (pl *peerLink) sleep(d time.Duration) bool {
+	deadline := time.Now().Add(d)
+	for {
+		if pl.isClosed() {
+			return false
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return true
+		}
+		step := 10 * time.Millisecond
+		if remain < step {
+			step = remain
+		}
+		time.Sleep(step)
+	}
+}
+
+// ---- inbound connections ----
+
+// inboundConn is one accepted connection: envelopes and control requests
+// flow in; acks, control replies and client-bound envelopes flow out.
+type inboundConn struct {
+	t    *TCP
+	conn net.Conn
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	name   string // peer's stable name, from its hello
+	queue  []frame
+	closed bool
+}
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		ic := &inboundConn{t: t, conn: conn}
+		ic.cond = sync.NewCond(&ic.mu)
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.inbounds[ic] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(2)
+		go ic.readLoop()
+		go ic.writeLoop()
+	}
+}
+
+func (ic *inboundConn) enqueue(f frame) {
+	ic.mu.Lock()
+	if ic.closed {
+		ic.mu.Unlock()
+		return
+	}
+	ic.queue = append(ic.queue, f)
+	ic.cond.Broadcast()
+	ic.mu.Unlock()
+}
+
+func (ic *inboundConn) close() {
+	ic.mu.Lock()
+	if !ic.closed {
+		ic.closed = true
+		ic.conn.Close()
+		ic.cond.Broadcast()
+	}
+	ic.mu.Unlock()
+}
+
+func (ic *inboundConn) readLoop() {
+	t := ic.t
+	defer t.wg.Done()
+	defer ic.teardown()
+	br := bufio.NewReader(ic.conn)
+	if err := readPreamble(br); err != nil {
+		return
+	}
+	if err := writePreamble(ic.conn); err != nil {
+		return
+	}
+	for {
+		f, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		switch f.kind {
+		case frameHello:
+			name, origins, err := parseHello(f.body)
+			if err != nil {
+				return
+			}
+			ic.mu.Lock()
+			ic.name = name
+			ic.mu.Unlock()
+			t.mu.Lock()
+			for _, o := range origins {
+				t.routes[o] = ic // latest connection wins
+			}
+			t.mu.Unlock()
+		case frameEnvelope, frameBatch:
+			ic.mu.Lock()
+			name := ic.name
+			ic.mu.Unlock()
+			t.deliverFrame(name, f)
+			if f.seq != 0 {
+				ic.enqueue(frame{kind: frameAck, body: appendU64(nil, f.seq)})
+			}
+		case frameControl:
+			t.handleControl(ic, f)
+		case frameAck:
+			// Inbound-direction frames are fire-and-forget; nothing to trim.
+		}
+	}
+}
+
+func (ic *inboundConn) writeLoop() {
+	defer ic.t.wg.Done()
+	bw := bufio.NewWriter(ic.conn)
+	for {
+		ic.mu.Lock()
+		for len(ic.queue) == 0 && !ic.closed {
+			ic.cond.Wait()
+		}
+		if ic.closed {
+			ic.mu.Unlock()
+			return
+		}
+		batch := ic.queue
+		ic.queue = nil
+		ic.mu.Unlock()
+		for _, f := range batch {
+			if err := writeFrame(bw, f); err != nil {
+				ic.close()
+				return
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			ic.close()
+			return
+		}
+	}
+}
+
+// teardown unregisters the connection and any routes that still point
+// at it.
+func (ic *inboundConn) teardown() {
+	ic.close()
+	t := ic.t
+	t.mu.Lock()
+	delete(t.inbounds, ic)
+	for o, c := range t.routes {
+		if c == ic {
+			delete(t.routes, o)
+		}
+	}
+	t.mu.Unlock()
+}
