@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -21,12 +23,44 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: fig1, fig1tput, fig2, fig3, fig4, table1, wan, overhead, pds, replay, determinism, advisor, scaling, scenarios, or all")
+		"which experiment to run: fig1, fig1tput, fig2, fig3, fig4, table1, wan, overhead, pds, replay, determinism, advisor, scaling, scenarios, hotpath, or all")
 	clients := flag.String("clients", "1,2,4,8,16,32,48", "client counts for the fig1 sweep")
 	requests := flag.Int("requests", 4, "requests per client")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	jsonOut := flag.Bool("json", false, "emit results as a JSON array instead of text")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "detmt-bench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "detmt-bench: start cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "detmt-bench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "detmt-bench: write heap profile: %v\n", err)
+			}
+		}()
+	}
 
 	opts := harness.DefaultFig1Options()
 	opts.Sim.RequestsPerClient = *requests
@@ -68,6 +102,8 @@ func main() {
 		results = []harness.Result{harness.ReplicaScaling()}
 	case "scenarios":
 		results = []harness.Result{harness.Scenarios()}
+	case "hotpath":
+		results = []harness.Result{harness.HotPath()}
 	case "all":
 		results = harness.All()
 	default:

@@ -1,0 +1,103 @@
+// Command detmt-benchdiff compares two `detmt-bench -json` outputs
+// (e.g. the committed BENCH_PR*.json snapshots) metric by metric, in
+// the style of benchstat: one row per metric with the before value, the
+// after value and the relative change. Lower is better for every
+// hot-path metric, so negative deltas are improvements.
+//
+// Usage:
+//
+//	detmt-benchdiff before.json after.json
+//	scripts/bench.sh -compare before.json after.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type result struct {
+	ID      string
+	Title   string
+	Metrics map[string]float64
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: detmt-benchdiff before.json after.json")
+		os.Exit(2)
+	}
+	before, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "detmt-benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	after, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "detmt-benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+
+	keys := make([]string, 0, len(before)+len(after))
+	seen := map[string]bool{}
+	for k := range before {
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	for k := range after {
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+
+	fmt.Printf("%-48s %14s %14s %9s\n", "metric", "before", "after", "delta")
+	for _, k := range keys {
+		b, okB := before[k]
+		a, okA := after[k]
+		switch {
+		case okB && okA:
+			fmt.Printf("%-48s %14.1f %14.1f %s\n", k, b, a, delta(b, a))
+		case okB:
+			fmt.Printf("%-48s %14.1f %14s %9s\n", k, b, "-", "gone")
+		default:
+			fmt.Printf("%-48s %14s %14.1f %9s\n", k, "-", a, "new")
+		}
+	}
+}
+
+// load flattens one JSON result array into "<id>/<metric>" -> value.
+func load(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var results []result
+	if err := json.Unmarshal(data, &results); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	out := map[string]float64{}
+	for _, r := range results {
+		for k, v := range r.Metrics {
+			out[r.ID+"/"+k] = v
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no Metrics in any result (old snapshot format?)", path)
+	}
+	return out, nil
+}
+
+func delta(b, a float64) string {
+	if b == 0 {
+		if a == 0 {
+			return "        =0"
+		}
+		return "       new"
+	}
+	return fmt.Sprintf("%+8.1f%%", (a-b)/b*100)
+}

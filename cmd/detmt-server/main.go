@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -42,8 +44,21 @@ func main() {
 	checkpointEvery := flag.Int("checkpoint-every", 0, "broadcast a state checkpoint every N requests (0: never)")
 	iterations := flag.Int("iterations", 10, "Fig. 1 loop iterations per request")
 	mutexes := flag.Int("mutexes", 100, "Fig. 1 mutex set size")
+	traceRetention := flag.Int("trace-retention", 0,
+		"max trace events kept in memory (0: default bound, negative: unlimited); hashes stay exact over full history")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty: off)")
 	verbose := flag.Bool("v", false, "log transport diagnostics")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			// DefaultServeMux carries the /debug/pprof handlers via the
+			// net/http/pprof import.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("detmt-server: pprof server: %v", err)
+			}
+		}()
+	}
 
 	peerMap, err := parsePeers(*peers)
 	if err != nil {
@@ -81,6 +96,7 @@ func main() {
 		PDSWindow:       *pdsWindow,
 		PDSRelaxed:      *pdsRelaxed,
 		CheckpointEvery: *checkpointEvery,
+		TraceRetention:  *traceRetention,
 		Logf:            logf,
 	})
 	if err != nil {

@@ -246,10 +246,11 @@ func TestPumpLessOrdering(t *testing.T) {
 		{pumpEvent{at: 1, thread: t1, kind: pumpWaitTimeout, seq: 1}, pumpEvent{at: 1, thread: t1, kind: pumpWaitTimeout, seq: 2}, true},
 	}
 	for i, c := range cases {
-		if !pumpLess(c.a, c.b) {
+		a, b := c.a, c.b
+		if !pumpLess(&a, &b) {
 			t.Errorf("case %d: a should come first", i)
 		}
-		if pumpLess(c.b, c.a) {
+		if pumpLess(&b, &a) {
 			t.Errorf("case %d: ordering not antisymmetric", i)
 		}
 	}

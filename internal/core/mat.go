@@ -216,7 +216,7 @@ func (s *MAT) promote() {
 			}
 		}
 		var cand *Thread
-		for _, t := range s.rt.Threads() { // admission order
+		for _, t := range s.rt.ThreadsByAdmission() { // admission order, no snapshot copy
 			st := matOf(t)
 			if st.suspended || st.blockedP || t == s.primary {
 				continue

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"container/heap"
 	"sync"
 	"time"
 
@@ -21,6 +21,12 @@ import (
 // goroutine; its wakeup timer uses a low-priority ordered parker so that
 // same-instant thread computations always finish their (deterministic)
 // cascades first.
+//
+// The queue is a real container/heap priority queue: schedule is
+// O(log n) and delivering the next due event is a peek + O(log n) pop,
+// instead of re-sorting the whole queue per delivered event. Event
+// records are pooled, so a steady stream of timeouts and nested replies
+// recycles the same handful of allocations.
 //
 // The replication layer's nested replies arrive through totally ordered
 // group communication; it injects them via ScheduleNestedResume, which
@@ -47,7 +53,8 @@ type pump struct {
 	rt *Runtime
 
 	mu      sync.Mutex
-	events  []pumpEvent
+	queue   pumpHeap
+	free    []*pumpEvent // recycled event records
 	running bool
 	seq     uint64
 	parker  vclock.Parker
@@ -67,10 +74,18 @@ func newPump(rt *Runtime) *pump {
 // schedule enqueues an event and ensures the pump goroutine is running.
 func (p *pump) schedule(at time.Duration, ev pumpEvent) {
 	p.mu.Lock()
-	ev.at = at
+	var rec *pumpEvent
+	if k := len(p.free); k > 0 {
+		rec = p.free[k-1]
+		p.free = p.free[:k-1]
+	} else {
+		rec = new(pumpEvent)
+	}
+	*rec = ev
+	rec.at = at
 	p.seq++
-	ev.seq = p.seq
-	p.events = append(p.events, ev)
+	rec.seq = p.seq
+	heap.Push(&p.queue, rec)
 	start := !p.running
 	p.running = true
 	p.mu.Unlock()
@@ -81,7 +96,16 @@ func (p *pump) schedule(at time.Duration, ev pumpEvent) {
 	}
 }
 
-func pumpLess(a, b pumpEvent) bool {
+// release returns a processed event record to the pool, dropping its
+// pointers so pooled records do not pin threads, mutexes or replies.
+func (p *pump) release(rec *pumpEvent) {
+	*rec = pumpEvent{}
+	p.mu.Lock()
+	p.free = append(p.free, rec)
+	p.mu.Unlock()
+}
+
+func pumpLess(a, b *pumpEvent) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
@@ -92,6 +116,22 @@ func pumpLess(a, b pumpEvent) bool {
 		return a.kind < b.kind
 	}
 	return a.seq < b.seq
+}
+
+// pumpHeap is a min-heap of pending events ordered by pumpLess.
+type pumpHeap []*pumpEvent
+
+func (h pumpHeap) Len() int            { return len(h) }
+func (h pumpHeap) Less(i, j int) bool  { return pumpLess(h[i], h[j]) }
+func (h pumpHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pumpHeap) Push(x interface{}) { *h = append(*h, x.(*pumpEvent)) }
+func (h *pumpHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	rec := old[n-1]
+	old[n-1] = nil // no stale reference from the heap's backing array
+	*h = old[:n-1]
+	return rec
 }
 
 // loop processes events until the queue drains, then exits (a permanently
@@ -108,25 +148,25 @@ func (p *pump) loop() {
 	quiesced := false
 	for {
 		p.mu.Lock()
-		if len(p.events) == 0 {
+		if len(p.queue) == 0 {
 			p.running = false
 			p.mu.Unlock()
 			return
 		}
-		sort.SliceStable(p.events, func(i, j int) bool { return pumpLess(p.events[i], p.events[j]) })
-		head := p.events[0]
+		head := p.queue[0] // peek: the heap keeps the next event at the root
+		at := head.at
 		now := p.rt.clock.Now()
-		if head.at > now || !quiesced {
+		if at > now || !quiesced {
 			p.mu.Unlock()
 			// ParkTimeout(<=0) parks on an immediate timer: under the
 			// virtual clock it returns (woken=false) at quiescence
 			// without advancing time; a true result means a new event
 			// arrived and the deadline must be recomputed.
-			woken := p.parker.ParkTimeout(head.at - now)
+			woken := p.parker.ParkTimeout(at - now)
 			quiesced = !woken
 			continue
 		}
-		p.events = p.events[1:]
+		heap.Pop(&p.queue)
 		p.mu.Unlock()
 		quiesced = false // processing wakes threads; re-park before the next event
 		switch head.kind {
@@ -135,5 +175,6 @@ func (p *pump) loop() {
 		case pumpWaitTimeout:
 			p.rt.waitTimeout(head.thread, head.mutex)
 		}
+		p.release(head)
 	}
 }

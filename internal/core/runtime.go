@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 
@@ -57,10 +56,19 @@ type Runtime struct {
 
 	mu          sync.Mutex // decision lock
 	threads     map[ids.ThreadID]*Thread
+	order       []*Thread // live threads in admission order
 	mutexes     map[ids.MutexID]*Mutex
 	nextAdmit   uint64
-	pendingWake []*Thread
+	pendingWake *wakeBuf  // threads to unpark when the decision completes
+	pickScratch []*Thread // notify picked-waiters scratch (decision lock held)
 }
+
+// wakeBuf collects the threads a decision made runnable. Buffers are
+// pooled: the common decision wakes zero or one thread, and recycling
+// the slice keeps the steady-state decision path allocation-free.
+type wakeBuf struct{ ts []*Thread }
+
+var wakePool = sync.Pool{New: func() interface{} { return new(wakeBuf) }}
 
 // NewRuntime builds a runtime and attaches its scheduler.
 func NewRuntime(o Options) *Runtime {
@@ -103,7 +111,7 @@ func (rt *Runtime) Scheduler() Scheduler { return rt.sched }
 // such as unlocking an unowned mutex) releases the decision lock before
 // propagating, so the runtime stays usable for the surviving threads.
 func (rt *Runtime) enter(self *Thread, fn func()) (parkSelf bool) {
-	var wake []*Thread
+	var wake *wakeBuf
 	func() {
 		rt.mu.Lock()
 		defer func() {
@@ -114,10 +122,15 @@ func (rt *Runtime) enter(self *Thread, fn func()) (parkSelf bool) {
 		}()
 		fn()
 	}()
-	for _, w := range wake {
-		if w != self {
-			w.parker.Unpark()
+	if wake != nil {
+		for i, w := range wake.ts {
+			if w != self {
+				w.parker.Unpark()
+			}
+			wake.ts[i] = nil
 		}
+		wake.ts = wake.ts[:0]
+		wakePool.Put(wake)
 	}
 	return parkSelf
 }
@@ -155,13 +168,15 @@ func (rt *Runtime) Submit(tid ids.ThreadID, method ids.MethodID, body func(*Thre
 		ID:     tid,
 		Method: method,
 		rt:     rt,
-		held:   make(map[*Mutex]struct{}),
 		table:  lockpred.NewThreadTable(rt.static.Method(method)),
 	}
+	t.held = t.heldBuf[:0]
 	if v, ok := rt.clock.(*vclock.Virtual); ok {
 		// Ordered by thread id so that same-instant wakeups (e.g. two
-		// computations finishing together) always fire in id order.
-		t.parker = v.NewOrderedParker(fmt.Sprintf("thread %s", tid), uint64(tid))
+		// computations finishing together) always fire in id order. The
+		// numbered label avoids formatting a name on the submit path;
+		// deadlock dumps render it as "thread <id>" on demand.
+		t.parker = v.NewOrderedParkerNum("thread", uint64(tid), uint64(tid))
 	} else {
 		t.parker = rt.clock.NewParker()
 	}
@@ -172,6 +187,7 @@ func (rt *Runtime) Submit(tid ids.ThreadID, method ids.MethodID, body func(*Thre
 		t.admitIdx = rt.nextAdmit
 		rt.nextAdmit++
 		rt.threads[tid] = t
+		rt.order = append(rt.order, t)
 		rt.record(t, trace.KindAdmit, ids.NoSync, ids.NoMutex, 0)
 		t.waiting = true
 		rt.sched.Admit(t)
@@ -193,7 +209,10 @@ func (rt *Runtime) Submit(tid ids.ThreadID, method ids.MethodID, body func(*Thre
 // decision completes.
 func (rt *Runtime) wake(t *Thread) {
 	t.waiting = false
-	rt.pendingWake = append(rt.pendingWake, t)
+	if rt.pendingWake == nil {
+		rt.pendingWake = wakePool.Get().(*wakeBuf)
+	}
+	rt.pendingWake.ts = append(rt.pendingWake.ts, t)
 }
 
 // StartThread lets an admitted thread begin executing its body.
@@ -228,7 +247,7 @@ func (rt *Runtime) Grant(t *Thread, m *Mutex) {
 	}
 	m.removeWaiter(t)
 	m.owner = t
-	t.held[m] = struct{}{}
+	t.held = append(t.held, m)
 	if t.waitMutex == m {
 		m.depth = t.savedDepth
 		t.savedDepth = 0
@@ -264,13 +283,18 @@ func (rt *Runtime) predictionMaybeChanged(t *Thread) {
 // Threads returns a snapshot of live threads ordered by admission.
 // Decision lock must be held (scheduler use) — or the runtime quiescent.
 func (rt *Runtime) Threads() []*Thread {
-	out := make([]*Thread, 0, len(rt.threads))
-	for _, t := range rt.threads {
-		out = append(out, t)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].admitIdx < out[j].admitIdx })
+	out := make([]*Thread, len(rt.order))
+	copy(out, rt.order)
 	return out
 }
+
+// ThreadsByAdmission returns the live threads in admission order,
+// without copying: the returned slice is the runtime's own bookkeeping
+// and must only be read under the decision lock, never retained or
+// mutated. Schedulers use it on their per-decision scan paths (e.g.
+// MAT's promotion scan) where a snapshot copy per decision would be the
+// dominant allocation.
+func (rt *Runtime) ThreadsByAdmission() []*Thread { return rt.order }
 
 // ---- thread-facing operations ----
 
@@ -305,7 +329,7 @@ func (rt *Runtime) unlock(t *Thread, sid ids.SyncID, mid ids.MutexID) {
 			return
 		}
 		m.owner = nil
-		delete(t.held, m)
+		t.heldRemove(m)
 		t.table.OnUnlock(sid, mid)
 		rt.record(t, trace.KindLockRel, sid, mid, 0)
 		rt.sched.Release(t, m)
@@ -326,7 +350,7 @@ func (rt *Runtime) wait(t *Thread, mid ids.MutexID, timeout time.Duration) bool 
 		t.notified = false
 		m.owner = nil
 		m.depth = 0
-		delete(t.held, m)
+		t.heldRemove(m)
 		t.table.OnWaitBegin(mid)
 		m.condWaiters = append(m.condWaiters, t)
 		t.waiting = true
@@ -356,9 +380,12 @@ func (rt *Runtime) notify(t *Thread, mid ids.MutexID, all bool) {
 		if m.owner != t {
 			panic(fmt.Sprintf("core: %s notifies %s it does not own", t.ID, mid))
 		}
-		var picked []*Thread
+		// The default picks reuse a runtime-owned scratch slice (decision
+		// lock held): notify is a per-decision operation and must not
+		// allocate in steady state.
+		picked := rt.pickScratch[:0]
 		if picker, ok := rt.sched.(CondPicker); ok {
-			picked = picker.PickCondWaiters(m, all)
+			picked = append(picked, picker.PickCondWaiters(m, all)...)
 		} else if all {
 			picked = append(picked, m.condWaiters...)
 		} else if len(m.condWaiters) > 0 {
@@ -369,13 +396,15 @@ func (rt *Runtime) notify(t *Thread, mid ids.MutexID, all bool) {
 			kind = trace.KindNotifyAll
 		}
 		rt.record(t, kind, ids.NoSync, mid, int64(len(picked)))
-		for _, w := range picked {
+		for i, w := range picked {
 			if !m.removeCondWaiter(w) {
 				panic("core: CondPicker returned a thread not in the condition queue")
 			}
 			w.notified = true
 			rt.sched.WaitWake(w, m)
+			picked[i] = nil // scratch must not pin threads between notifies
 		}
+		rt.pickScratch = picked[:0]
 	})
 }
 
@@ -441,6 +470,14 @@ func (rt *Runtime) exitThread(t *Thread) {
 		}
 		t.exited = true
 		delete(rt.threads, t.ID)
+		for i, x := range rt.order {
+			if x == t {
+				n := copy(rt.order[i:], rt.order[i+1:])
+				rt.order[i+n] = nil
+				rt.order = rt.order[:i+n]
+				break
+			}
+		}
 		rt.record(t, trace.KindExit, ids.NoSync, ids.NoMutex, 0)
 		rt.sched.Exit(t)
 	})

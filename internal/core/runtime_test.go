@@ -51,11 +51,12 @@ func expectThreadPanic(t *testing.T, want string, body func(th *Thread)) {
 				// Release anything the probe still holds so the thread
 				// can exit cleanly after the recovery.
 				rt.External(func() {
-					for m := range th.held {
+					for i, m := range th.held {
 						m.owner = nil
 						m.depth = 0
-						delete(th.held, m)
+						th.held[i] = nil
 					}
+					th.held = th.held[:0]
 				})
 				g.Done()
 			}()

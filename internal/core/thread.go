@@ -26,10 +26,15 @@ type Thread struct {
 
 	waiting bool // blocked, pending a scheduler grant/resume
 
-	held       map[*Mutex]struct{} // mutexes currently owned
-	savedDepth int                 // monitor depth saved across a condition wait
-	waitMutex  *Mutex              // monitor being waited on / reacquired
-	notified   bool                // wait ended by notify (vs timeout)
+	// held lists the mutexes currently owned. Real workloads hold a
+	// handful of monitors at once, so a small slice (backed inline by
+	// heldBuf to spare the per-thread allocation) beats a map: add,
+	// remove and the len checks are all allocation-free.
+	held       []*Mutex
+	heldBuf    [4]*Mutex
+	savedDepth int    // monitor depth saved across a condition wait
+	waitMutex  *Mutex // monitor being waited on / reacquired
+	notified   bool   // wait ended by notify (vs timeout)
 
 	pendingSync ids.SyncID // syncid of the lock operation in flight
 
@@ -108,3 +113,17 @@ func (t *Thread) LoopDone(sid ids.SyncID) { t.rt.loopDone(t, sid) }
 // HoldsLocks reports whether the thread currently owns any mutex.
 // Must be called under the decision lock; exposed for schedulers.
 func (t *Thread) HoldsLocks() bool { return len(t.held) > 0 }
+
+// heldRemove drops m from the held list (order is irrelevant — only
+// membership and count are ever observed). Decision lock held.
+func (t *Thread) heldRemove(m *Mutex) {
+	for i, x := range t.held {
+		if x == m {
+			last := len(t.held) - 1
+			t.held[i] = t.held[last]
+			t.held[last] = nil
+			t.held = t.held[:last]
+			return
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"detmt/internal/core"
+	"detmt/internal/ids"
+	"detmt/internal/trace"
+	"detmt/internal/vclock"
+)
+
+// HotPath measures the constant factors of the per-decision hot path —
+// the scheduler's lock/unlock decision pair, thread admission, trace
+// appends and the O(1) hash reads — using testing.Benchmark so the same
+// numbers land in `detmt-bench -json` output (scripts/bench.sh commits
+// them as BENCH_PR*.json). Every synchronisation operation funnels
+// through the decision lock, so these constants bound the sustainable
+// request rate of a replica.
+func HotPath() Result {
+	m := map[string]float64{}
+
+	lock := testing.Benchmark(func(b *testing.B) {
+		v := vclock.NewVirtual()
+		rt := core.NewRuntime(core.Options{Clock: v, Scheduler: core.NewMAT(false)})
+		done := make(chan struct{})
+		b.ReportAllocs()
+		rt.Submit(1, 0, func(t *core.Thread) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t.Lock(ids.NoSync, 1)
+				t.Unlock(ids.NoSync, 1)
+			}
+			b.StopTimer()
+		}, func() { close(done) })
+		<-done
+	})
+	m["lock_unlock_ns_per_pair"] = float64(lock.NsPerOp())
+	m["lock_unlock_allocs_per_pair"] = float64(lock.AllocsPerOp())
+
+	submit := testing.Benchmark(func(b *testing.B) {
+		v := vclock.NewVirtual()
+		rt := core.NewRuntime(core.Options{Clock: v, Scheduler: core.NewMAT(false)})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			done := make(chan struct{})
+			rt.Submit(ids.ThreadID(i+1), 0, func(t *core.Thread) {}, func() { close(done) })
+			<-done
+		}
+	})
+	m["submit_exit_ns_per_op"] = float64(submit.NsPerOp())
+	m["submit_exit_allocs_per_op"] = float64(submit.AllocsPerOp())
+
+	record := testing.Benchmark(func(b *testing.B) {
+		tr := trace.New()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr.Record(hotPathEvent(i))
+		}
+	})
+	m["trace_record_ns_per_op"] = float64(record.NsPerOp())
+	m["trace_record_allocs_per_op"] = float64(record.AllocsPerOp())
+
+	// Hash reads against a 16k-event trace: the control-endpoint poll
+	// pattern. Both must be O(1) cached-value loads.
+	polled := trace.New()
+	for i := 0; i < 16384; i++ {
+		polled.Record(hotPathEvent(i))
+	}
+	dec := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = polled.DecisionHash()
+		}
+	})
+	m["decision_hash_ns_per_read"] = float64(dec.NsPerOp())
+	cons := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = polled.ConsistencyHash()
+		}
+	})
+	m["consistency_hash_ns_per_read"] = float64(cons.NsPerOp())
+
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString("metric                               value\n")
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%-36s %10.1f\n", k, m[k])
+	}
+	sb.WriteString("\nns_per_* on the host CPU; allocs are objects per operation.\n")
+	sb.WriteString("Hash reads are O(1) regardless of trace length (16384 events here).\n")
+	return Result{
+		ID:      "hotpath",
+		Title:   "Hot-path constant factors (decision pair, admission, trace, hashes)",
+		Text:    sb.String(),
+		Metrics: m,
+	}
+}
+
+func hotPathEvent(i int) trace.Event {
+	return trace.Event{
+		Thread: ids.ThreadID(i%7 + 1),
+		Kind:   trace.Kind(i % int(trace.KindExit+1)),
+		Sync:   ids.SyncID(i % 5),
+		Mutex:  ids.MutexID(i % 11),
+		Arg:    int64(i),
+	}
+}

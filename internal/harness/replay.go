@@ -128,5 +128,6 @@ func All() []Result {
 		Advisor(),
 		ReplicaScaling(),
 		Scenarios(),
+		HotPath(),
 	}
 }

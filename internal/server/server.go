@@ -56,9 +56,24 @@ type Options struct {
 	PDSRelaxed      bool
 	CheckpointEvery int
 
+	// TraceRetention bounds the number of scheduler trace events kept in
+	// memory; older events are dropped (the decision/consistency hashes
+	// remain exact over the full history — they are maintained
+	// incrementally at record time). 0 applies DefaultTraceRetention;
+	// negative keeps the trace unbounded. Retention does not affect the
+	// schedule itself, only how much history a status/replay query can
+	// see, so members need not agree on it.
+	TraceRetention int
+
 	// Logf, if set, receives transport diagnostics.
 	Logf func(format string, args ...interface{})
 }
+
+// DefaultTraceRetention is the trace bound applied when Options leaves
+// TraceRetention at zero: enough history for post-mortem timelines while
+// keeping a long-running server's memory flat (~64k events, rounded up
+// to whole trace chunks).
+const DefaultTraceRetention = 1 << 16
 
 // Status is the control-protocol snapshot served to "status" queries.
 type Status struct {
@@ -68,6 +83,11 @@ type Status struct {
 	Hash      uint64        `json:"hash"`
 	State     int64         `json:"state"`
 	NowVirtMs float64       `json:"now_virt_ms"`
+	// TraceRetained/TraceDropped report the bounded trace window: how
+	// many events are in memory and how many older ones were discarded.
+	// Hash stays exact over the full history either way.
+	TraceRetained int    `json:"trace_retained"`
+	TraceDropped  uint64 `json:"trace_dropped"`
 }
 
 // Server is one running replica process.
@@ -141,6 +161,13 @@ func New(o Options) (*Server, error) {
 		CheckpointEvery: o.CheckpointEvery,
 	})
 	s.rep.Instance().SetField("state", int64(0))
+	retention := o.TraceRetention
+	if retention == 0 {
+		retention = DefaultTraceRetention
+	}
+	if retention > 0 {
+		s.rep.Runtime().Trace().SetRetention(retention)
+	}
 	return s, nil
 }
 
@@ -156,12 +183,15 @@ func (s *Server) Transport() *wire.TCP { return s.tr }
 
 // Status snapshots the server's progress.
 func (s *Server) Status() Status {
+	tr := s.rep.Runtime().Trace()
 	st := Status{
-		ID:        s.o.ID,
-		Scheduler: string(s.o.Scheduler),
-		Completed: s.rep.Completed(),
-		Hash:      s.rep.Runtime().Trace().ConsistencyHash(),
-		NowVirtMs: float64(s.clock.Now()) / float64(time.Millisecond),
+		ID:            s.o.ID,
+		Scheduler:     string(s.o.Scheduler),
+		Completed:     s.rep.Completed(),
+		Hash:          tr.ConsistencyHash(),
+		NowVirtMs:     float64(s.clock.Now()) / float64(time.Millisecond),
+		TraceRetained: tr.Len(),
+		TraceDropped:  tr.Dropped(),
 	}
 	if v, ok := s.rep.Instance().GetField("state").(int64); ok {
 		st.State = v

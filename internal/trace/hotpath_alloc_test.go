@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"testing"
+)
+
+// Allocation budgets for the trace hot path. Record runs under the
+// runtime's decision lock on every scheduler decision; the hash getters
+// are polled by the control endpoint while the replica serves traffic.
+// Both must stay (amortised) allocation-free or trace overhead shows up
+// as GC pressure on every request.
+
+// TestRecordAllocBudget: steady-state Record allocates only the 1024-
+// event chunk, amortised to ~0.001 objects per call.
+func TestRecordAllocBudget(t *testing.T) {
+	tr := New()
+	for i := 0; i < 4*chunkSize; i++ {
+		tr.Record(benchEvent(i)) // warm chunks and the chain map
+	}
+	i := 4 * chunkSize
+	perOp := testing.AllocsPerRun(2*chunkSize, func() {
+		tr.Record(benchEvent(i))
+		i++
+	})
+	if perOp > 0.5 {
+		t.Fatalf("Record allocates %.3f objects/op, want ~0 amortised", perOp)
+	}
+}
+
+// TestHashReadAllocBudget: hash reads are cached-value loads — exactly
+// zero allocations regardless of trace length.
+func TestHashReadAllocBudget(t *testing.T) {
+	tr := New()
+	for i := 0; i < 16384; i++ {
+		tr.Record(benchEvent(i))
+	}
+	if n := testing.AllocsPerRun(256, func() { _ = tr.DecisionHash() }); n != 0 {
+		t.Fatalf("DecisionHash allocates %.1f objects", n)
+	}
+	if n := testing.AllocsPerRun(256, func() { _ = tr.ConsistencyHash() }); n != 0 {
+		t.Fatalf("ConsistencyHash allocates %.1f objects", n)
+	}
+}
+
+// TestBoundedRecordAllocBudget: with retention bounded, trimmed chunks
+// are recycled, so steady-state Record allocates nothing at all.
+func TestBoundedRecordAllocBudget(t *testing.T) {
+	tr := New()
+	tr.SetRetention(2 * chunkSize)
+	for i := 0; i < 8*chunkSize; i++ {
+		tr.Record(benchEvent(i)) // reach the recycle steady state
+	}
+	i := 8 * chunkSize
+	perOp := testing.AllocsPerRun(4*chunkSize, func() {
+		tr.Record(benchEvent(i))
+		i++
+	})
+	if perOp > 0.1 {
+		t.Fatalf("bounded Record allocates %.3f objects/op, want 0 (chunks recycled)", perOp)
+	}
+}

@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"testing"
+
+	"detmt/internal/ids"
+)
+
+// Hot-path microbenchmarks for the per-decision trace cost: Record is
+// called on every scheduler decision (under the decision lock), and the
+// hashes are polled by the control endpoint while the replica serves
+// traffic. Record must stay O(1) amortised and the hash reads must not
+// rescan the trace.
+
+func benchEvent(i int) Event {
+	return Event{
+		Thread: ids.ThreadID(i%7 + 1),
+		Kind:   Kind(i % int(KindExit+1)),
+		Sync:   ids.SyncID(i % 5),
+		Mutex:  ids.MutexID(i % 11),
+		Arg:    int64(i),
+	}
+}
+
+func BenchmarkHotPathTraceRecord(b *testing.B) {
+	tr := New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Record(benchEvent(i))
+	}
+}
+
+// BenchmarkHotPathDecisionHash measures a hash read against a trace of
+// 16k events — the control-endpoint poll pattern on a busy server.
+func BenchmarkHotPathDecisionHash(b *testing.B) {
+	tr := New()
+	for i := 0; i < 16384; i++ {
+		tr.Record(benchEvent(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.DecisionHash()
+	}
+}
+
+func BenchmarkHotPathConsistencyHash(b *testing.B) {
+	tr := New()
+	for i := 0; i < 16384; i++ {
+		tr.Record(benchEvent(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.ConsistencyHash()
+	}
+}
+
+// BenchmarkHotPathRecordAndPoll interleaves decisions with status polls,
+// the steady-state load of a detmt-server under a monitoring client.
+func BenchmarkHotPathRecordAndPoll(b *testing.B) {
+	tr := New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Record(benchEvent(i))
+		if i%8 == 0 {
+			_ = tr.ConsistencyHash()
+		}
+	}
+}

@@ -13,6 +13,13 @@
 //
 // Schedulers must record decision events while holding their decision
 // lock, so that the append order of the trace is the decision order.
+//
+// Storage is a segmented append log: events live in fixed-size chunks
+// that are linked, never copied, so Record is O(1) with one amortised
+// chunk allocation per chunkSize events. Both determinism hashes are
+// maintained incrementally at Record time and read in O(1); combined
+// with SetRetention this lets a long-running server keep exact
+// full-history hashes while storing only a bounded window of events.
 package trace
 
 import (
@@ -105,81 +112,207 @@ func (e Event) String() string {
 	return s
 }
 
-// Trace is an append-only, concurrency-safe event log.
+// FNV-1a parameters shared by both hashes.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// fnvStep folds one 64-bit value into h, one byte at a time (identical
+// to hashing the value's 8 little-endian bytes with FNV-1a).
+func fnvStep(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+// chainKey identifies one consistency chain: a per-mutex monitor chain
+// (thread zero) or a per-thread lifecycle chain (mutex NoMutex).
+type chainKey struct {
+	mutex  ids.MutexID
+	thread ids.ThreadID
+}
+
+// chunkSize is the number of events per storage segment. Segments are
+// linked, never copied, so a Record never moves previously stored
+// events and costs one allocation per chunkSize appends (zero in
+// bounded-retention steady state, where retired chunks are recycled).
+const chunkSize = 1024
+
+// Trace is an append-only, concurrency-safe event log with O(1)
+// incrementally maintained determinism hashes.
 type Trace struct {
 	mu     sync.Mutex
-	events []Event
+	chunks [][]Event // retained segments; the last one is the append tail
+	free   [][]Event // retired segments kept for reuse (bounded mode)
+	total  uint64    // events ever recorded
+	start  uint64    // index of the first retained event (= events dropped)
+	retain int       // max retained events (rounded up to chunks); 0: unlimited
+
+	decHash  uint64              // incremental DecisionHash state
+	chains   map[chainKey]uint64 // per-chain ConsistencyHash state
+	consHash uint64              // XOR over all chain values
 }
 
 // New returns an empty trace.
-func New() *Trace { return &Trace{} }
+func New() *Trace {
+	return &Trace{
+		decHash: fnvOffset,
+		chains:  make(map[chainKey]uint64),
+	}
+}
 
-// Record appends an event. The caller supplies the timestamp so that the
-// scheduler can stamp events with its clock while holding its decision
-// lock.
-func (t *Trace) Record(e Event) {
+// SetRetention bounds the number of retained events to roughly max
+// (rounded up to whole chunks; min one chunk). Older events are
+// discarded as new ones arrive, but both determinism hashes remain
+// exact over the full recorded history — they are folded in at Record
+// time. max <= 0 restores unlimited retention. A long-running server
+// should set a bound so its trace does not grow without limit.
+func (t *Trace) SetRetention(max int) {
 	t.mu.Lock()
-	t.events = append(t.events, e)
+	if max <= 0 {
+		t.retain = 0
+	} else {
+		t.retain = max
+		t.trimLocked()
+	}
 	t.mu.Unlock()
 }
 
-// Len returns the number of recorded events.
+// trimLocked discards whole head chunks while more than retain events
+// are stored, keeping at least the tail chunk. Retired chunks are
+// recycled through the free list so bounded steady state allocates
+// nothing.
+func (t *Trace) trimLocked() {
+	if t.retain == 0 {
+		return
+	}
+	for len(t.chunks) > 1 && int(t.total-t.start) > t.retain {
+		head := t.chunks[0]
+		t.start += uint64(len(head))
+		t.chunks = t.chunks[:copy(t.chunks, t.chunks[1:])]
+		if len(t.free) < 4 {
+			t.free = append(t.free, head[:0])
+		}
+	}
+}
+
+// Record appends an event and folds it into the incremental hashes.
+// The caller supplies the timestamp so that the scheduler can stamp
+// events with its clock while holding its decision lock.
+func (t *Trace) Record(e Event) {
+	t.mu.Lock()
+	n := len(t.chunks)
+	if n == 0 || len(t.chunks[n-1]) == cap(t.chunks[n-1]) {
+		var c []Event
+		if k := len(t.free); k > 0 {
+			c = t.free[k-1]
+			t.free = t.free[:k-1]
+		} else {
+			c = make([]Event, 0, chunkSize)
+		}
+		t.chunks = append(t.chunks, c)
+		n++
+	}
+	t.chunks[n-1] = append(t.chunks[n-1], e)
+	t.total++
+	if e.Kind.Decision() {
+		t.decHash = fnvStep(fnvStep(fnvStep(fnvStep(fnvStep(t.decHash,
+			uint64(e.Thread)), uint64(e.Kind)), uint64(int64(e.Sync))), uint64(int64(e.Mutex))), uint64(e.Arg))
+		var key chainKey
+		switch e.Kind {
+		case KindLockAcq, KindLockRel, KindWaitBegin, KindWaitEnd, KindNotify, KindNotifyAll:
+			key = chainKey{mutex: e.Mutex}
+		default: // lifecycle: admit, start, nested, exit, predicted
+			key = chainKey{mutex: ids.NoMutex, thread: e.Thread}
+		}
+		h, ok := t.chains[key]
+		if !ok {
+			h = fnvStep(fnvStep(fnvOffset, uint64(int64(key.mutex))), uint64(key.thread))
+		} else {
+			t.consHash ^= h // replace this chain's previous contribution
+		}
+		h = fnvStep(fnvStep(fnvStep(fnvStep(fnvStep(h,
+			uint64(e.Thread)), uint64(e.Kind)), uint64(int64(e.Sync))), uint64(int64(e.Mutex))), uint64(e.Arg))
+		if e.Kind == KindExit {
+			// Exit is a thread's final lifecycle event (thread ids are
+			// never reused within a runtime), so its chain value is
+			// sealed into consHash and the map entry can be evicted —
+			// the chain state stays bounded by the number of *live*
+			// threads plus the (static) mutex set, not by history.
+			delete(t.chains, key)
+		} else {
+			t.chains[key] = h
+		}
+		t.consHash ^= h
+	}
+	t.trimLocked()
+	t.mu.Unlock()
+}
+
+// Len returns the number of retained events (equal to the number of
+// recorded events unless a retention bound discarded older ones).
 func (t *Trace) Len() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return len(t.events)
+	return int(t.total - t.start)
 }
 
-// Events returns a copy of the recorded events.
+// TotalRecorded returns the number of events ever recorded, including
+// any discarded by the retention bound.
+func (t *Trace) TotalRecorded() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Dropped returns the number of events discarded by the retention bound.
+func (t *Trace) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.start
+}
+
+// Events returns a copy of the retained events.
 func (t *Trace) Events() []Event {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	out := make([]Event, len(t.events))
-	copy(out, t.events)
+	out := make([]Event, 0, int(t.total-t.start))
+	for _, c := range t.chunks {
+		out = append(out, c...)
+	}
 	return out
 }
 
-// Filter returns the events satisfying pred, in order.
+// Filter returns the retained events satisfying pred, in order. The
+// scan runs under the trace lock without first copying the whole log.
 func (t *Trace) Filter(pred func(Event) bool) []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	var out []Event
-	for _, e := range t.Events() {
-		if pred(e) {
-			out = append(out, e)
+	for _, c := range t.chunks {
+		for _, e := range c {
+			if pred(e) {
+				out = append(out, e)
+			}
 		}
 	}
 	return out
 }
 
 // DecisionHash returns an FNV-1a hash over the order-relevant fields
-// (thread, kind, syncid, mutex, arg) of all decision events. Timestamps
-// are deliberately excluded: replicas agree on the decision sequence, not
-// necessarily on wall-clock instants.
+// (thread, kind, syncid, mutex, arg) of all decision events ever
+// recorded. Timestamps are deliberately excluded: replicas agree on the
+// decision sequence, not necessarily on wall-clock instants. The value
+// is maintained incrementally at Record time, so reading it is O(1) and
+// does not stall the decision path behind a trace scan.
 func (t *Trace) DecisionHash() uint64 {
-	const (
-		offset = 14695981039346656037
-		prime  = 1099511628211
-	)
-	h := uint64(offset)
-	mix := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			h ^= v & 0xff
-			h *= prime
-			v >>= 8
-		}
-	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	for _, e := range t.events {
-		if !e.Kind.Decision() {
-			continue
-		}
-		mix(uint64(e.Thread))
-		mix(uint64(e.Kind))
-		mix(uint64(int64(e.Sync)))
-		mix(uint64(int64(e.Mutex)))
-		mix(uint64(e.Arg))
-	}
-	return h
+	return t.decHash
 }
 
 // ConsistencyHash summarises the schedule in the way replica consistency
@@ -195,58 +328,17 @@ func (t *Trace) DecisionHash() uint64 {
 // between concurrently running threads it is inherently racy even in a
 // correct deterministic scheduler, which is why DecisionHash (global
 // order) is only meaningful for single-active-thread schedulers.
+//
+// Like DecisionHash the value covers the full recorded history and is
+// maintained incrementally, so the read is O(1) regardless of trace
+// length or retention bound.
 func (t *Trace) ConsistencyHash() uint64 {
-	const (
-		offset = 14695981039346656037
-		prime  = 1099511628211
-	)
-	step := func(h, v uint64) uint64 {
-		for i := 0; i < 8; i++ {
-			h ^= v & 0xff
-			h *= prime
-			v >>= 8
-		}
-		return h
-	}
-	type chainKey struct {
-		mutex  ids.MutexID
-		thread ids.ThreadID // zero when the chain is a mutex chain
-	}
-	chains := map[chainKey]uint64{}
-	bump := func(k chainKey, e Event) {
-		h, ok := chains[k]
-		if !ok {
-			h = step(step(offset, uint64(int64(k.mutex))), uint64(k.thread))
-		}
-		h = step(h, uint64(e.Thread))
-		h = step(h, uint64(e.Kind))
-		h = step(h, uint64(int64(e.Sync)))
-		h = step(h, uint64(int64(e.Mutex)))
-		h = step(h, uint64(e.Arg))
-		chains[k] = h
-	}
 	t.mu.Lock()
-	events := t.events
-	for _, e := range events {
-		if !e.Kind.Decision() {
-			continue
-		}
-		switch e.Kind {
-		case KindLockAcq, KindLockRel, KindWaitBegin, KindWaitEnd, KindNotify, KindNotifyAll:
-			bump(chainKey{mutex: e.Mutex, thread: ids.ThreadID(0)}, e)
-		default: // lifecycle: admit, start, nested, exit, promote, predicted
-			bump(chainKey{mutex: ids.NoMutex, thread: e.Thread}, e)
-		}
-	}
-	t.mu.Unlock()
-	var out uint64
-	for _, h := range chains {
-		out ^= h
-	}
-	return out
+	defer t.mu.Unlock()
+	return t.consHash
 }
 
-// String renders the whole trace, one event per line.
+// String renders the retained events, one per line.
 func (t *Trace) String() string {
 	var b strings.Builder
 	for _, e := range t.Events() {

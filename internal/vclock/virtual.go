@@ -183,6 +183,17 @@ func (v *Virtual) NewOrderedParker(label string, order uint64) Parker {
 	return v.newParker(label, order)
 }
 
+// NewOrderedParkerNum is NewOrderedParker for the common "<label> <n>"
+// naming (one parker per thread/request). The number is stored raw and
+// only formatted if a deadlock dump is rendered, so callers on hot
+// submit paths need not build a name string per parker.
+func (v *Virtual) NewOrderedParkerNum(label string, num, order uint64) Parker {
+	p := v.newParker(label, order)
+	p.num = num
+	p.numbered = true
+	return p
+}
+
 func (v *Virtual) newParker(label string, order uint64) *vparker {
 	return &vparker{v: v, ch: make(chan struct{}, 1), label: label, order: order}
 }
@@ -191,6 +202,8 @@ type vparker struct {
 	v        *Virtual
 	ch       chan struct{}
 	label    string
+	num      uint64 // numeric label suffix, rendered lazily in dumps
+	numbered bool
 	order    uint64 // same-deadline firing rank
 	pending  bool   // an Unpark arrived while not parked
 	parked   bool   // currently parked (guarded by v.mu)
@@ -337,6 +350,9 @@ func (v *Virtual) dumpLocked() string {
 	labels := make([]string, 0, len(v.parkedSet))
 	for p := range v.parkedSet {
 		l := p.label
+		if p.numbered {
+			l = fmt.Sprintf("%s %d", p.label, p.num)
+		}
 		if l == "" {
 			l = "<unnamed>"
 		}

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"detmt/internal/core"
@@ -71,10 +72,46 @@ var (
 // frame is one wire transfer unit. seq is a per-sender monotone counter
 // used for duplicate suppression across reconnects; seq 0 marks frames
 // exempt from dedup (hellos, acks, control replies, reply routing).
+// buf is non-nil when body was drawn from bodyPool: the owner releases
+// it via releaseFrameBody once the frame can no longer be
+// (re)transmitted.
 type frame struct {
 	kind byte
 	seq  uint64
 	body []byte
+	buf  *encodeBuf
+}
+
+// encodeBuf wraps a byte slice so sync.Pool stores a stable pointer (a
+// bare slice in an interface would allocate on every Put).
+type encodeBuf struct{ b []byte }
+
+// framePool recycles writeFrame's scratch (length prefix + header +
+// body copy); the buffer never escapes the call.
+var framePool = sync.Pool{New: func() interface{} { return new(encodeBuf) }}
+
+// bodyPool recycles frame *bodies* — buffers that live from encode time
+// until the frame is acknowledged (dialed links) or written (inbound
+// links). Per-message sends draw from here instead of allocating.
+var bodyPool = sync.Pool{New: func() interface{} { return new(encodeBuf) }}
+
+// pooledBody returns an empty body buffer plus its pool wrapper; store
+// the wrapper in frame.buf so releaseFrameBody can return it.
+func pooledBody() *encodeBuf {
+	eb := bodyPool.Get().(*encodeBuf)
+	eb.b = eb.b[:0]
+	return eb
+}
+
+// releaseFrameBody returns a pooled frame body for reuse. Callers must
+// guarantee the frame is dead: dropped, or acknowledged by the peer —
+// never a frame still queued for (re)transmission.
+func releaseFrameBody(f frame) {
+	if f.buf == nil {
+		return
+	}
+	f.buf.b = f.body[:0] // keep the grown capacity for the next frame
+	bodyPool.Put(f.buf)
 }
 
 // ---- primitive append/read helpers ----
@@ -380,8 +417,8 @@ func parseHello(body []byte) (name string, origins []gcs.Origin, err error) {
 	return name, origins, r.err
 }
 
-func batchBody(envs []gcs.Envelope) ([]byte, error) {
-	b := appendU32(nil, uint32(len(envs)))
+func batchBody(b []byte, envs []gcs.Envelope) ([]byte, error) {
+	b = appendU32(b, uint32(len(envs)))
 	var err error
 	for _, e := range envs {
 		if b, err = AppendEnvelope(b, e); err != nil {
@@ -428,14 +465,23 @@ func readPreamble(r io.Reader) error {
 	return nil
 }
 
-// writeFrame sends one length-prefixed frame: u32 length of the rest,
-// u8 kind, u64 seq, body.
-func writeFrame(w io.Writer, f frame) error {
-	b := appendU32(nil, uint32(1+8+len(f.body)))
+// appendFrame appends the wire encoding of one length-prefixed frame:
+// u32 length of the rest, u8 kind, u64 seq, body.
+func appendFrame(b []byte, f frame) []byte {
+	b = appendU32(b, uint32(1+8+len(f.body)))
 	b = append(b, f.kind)
 	b = appendU64(b, f.seq)
-	b = append(b, f.body...)
+	return append(b, f.body...)
+}
+
+// writeFrame sends one frame. The scratch buffer holding the assembled
+// bytes is pooled — steady-state sends do not allocate here.
+func writeFrame(w io.Writer, f frame) error {
+	eb := framePool.Get().(*encodeBuf)
+	b := appendFrame(eb.b[:0], f)
 	_, err := w.Write(b)
+	eb.b = b
+	framePool.Put(eb)
 	return err
 }
 

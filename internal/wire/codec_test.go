@@ -123,7 +123,7 @@ func TestBatchRoundTrip(t *testing.T) {
 		for j := range envs {
 			envs[j] = randEnvelope(rng)
 		}
-		body, err := batchBody(envs)
+		body, err := batchBody(nil, envs)
 		if err != nil {
 			t.Fatalf("iter %d: encode: %v", i, err)
 		}

@@ -212,19 +212,25 @@ func (t *TCP) sendEnvs(to gcs.Origin, envs []gcs.Envelope) {
 	ic.enqueue(f) // seq 0: inbound-direction frames are fire-and-forget
 }
 
+// envFrame encodes envs into a pooled body. The frame owns its buffer:
+// whoever drops the frame (ack trim, write completion, closed link)
+// must hand it back via releaseFrameBody.
 func envFrame(envs []gcs.Envelope) (frame, error) {
+	eb := pooledBody()
 	if len(envs) == 1 {
-		body, err := AppendEnvelope(nil, envs[0])
+		body, err := AppendEnvelope(eb.b, envs[0])
 		if err != nil {
+			bodyPool.Put(eb)
 			return frame{}, err
 		}
-		return frame{kind: frameEnvelope, body: body}, nil
+		return frame{kind: frameEnvelope, body: body, buf: eb}, nil
 	}
-	body, err := batchBody(envs)
+	body, err := batchBody(eb.b, envs)
 	if err != nil {
+		bodyPool.Put(eb)
 		return frame{}, err
 	}
-	return frame{kind: frameBatch, body: body}, nil
+	return frame{kind: frameBatch, body: body, buf: eb}, nil
 }
 
 // Control sends an out-of-band request to a peer and waits for the
@@ -246,7 +252,9 @@ func (t *TCP) Control(peer ids.ReplicaID, req []byte, timeout time.Duration) ([]
 		delete(t.ctl, id)
 		t.mu.Unlock()
 	}()
-	pl.enqueueSeq(frame{kind: frameControl, body: append(appendU64(nil, id), req...)})
+	eb := pooledBody()
+	body := append(appendU64(eb.b, id), req...)
+	pl.enqueueSeq(frame{kind: frameControl, body: body, buf: eb})
 	select {
 	case b := <-ch:
 		return b, nil
@@ -371,7 +379,9 @@ func (t *TCP) handleControl(ic *inboundConn, f frame) {
 		if handler != nil {
 			resp = handler(req)
 		}
-		ic.enqueue(frame{kind: frameControlReply, body: append(appendU64(nil, id), resp...)})
+		eb := pooledBody()
+		body := append(appendU64(eb.b, id), resp...)
+		ic.enqueue(frame{kind: frameControlReply, body: body, buf: eb})
 	}()
 }
 
@@ -409,6 +419,7 @@ type peerLink struct {
 	nextSeq uint64
 	conn    net.Conn
 	closed  bool
+	wbuf    []byte // writer scratch; frames are assembled under mu (see serveConn)
 }
 
 func newPeerLink(t *TCP, id ids.ReplicaID, addr string) *peerLink {
@@ -422,6 +433,7 @@ func (pl *peerLink) enqueueSeq(f frame) {
 	pl.mu.Lock()
 	if pl.closed {
 		pl.mu.Unlock()
+		releaseFrameBody(f)
 		return
 	}
 	pl.nextSeq++
@@ -436,6 +448,7 @@ func (pl *peerLink) enqueue(f frame) {
 	pl.mu.Lock()
 	if pl.closed {
 		pl.mu.Unlock()
+		releaseFrameBody(f)
 		return
 	}
 	pl.queue = append(pl.queue, f)
@@ -454,7 +467,14 @@ func (pl *peerLink) ack(upTo uint64) {
 		n++
 	}
 	if n > 0 {
-		pl.queue = append([]frame(nil), pl.queue[n:]...)
+		for i := 0; i < n; i++ {
+			releaseFrameBody(pl.queue[i])
+		}
+		k := copy(pl.queue, pl.queue[n:])
+		for i := k; i < len(pl.queue); i++ {
+			pl.queue[i] = frame{} // drop body references in the vacated tail
+		}
+		pl.queue = pl.queue[:k]
 		pl.sent -= n
 		if pl.sent < 0 {
 			pl.sent = 0
@@ -565,10 +585,14 @@ func (pl *peerLink) serveConn(conn net.Conn) bool {
 			pl.mu.Unlock()
 			break
 		}
-		f := pl.queue[pl.sent]
+		// Assemble under the lock: from the moment pl.sent covers this
+		// frame, an ack may trim it and recycle its pooled body, so the
+		// bytes must be copied into the link-private scratch first.
+		pl.wbuf = appendFrame(pl.wbuf[:0], pl.queue[pl.sent])
+		b := pl.wbuf
 		pl.sent++
 		pl.mu.Unlock()
-		if err := writeFrame(bw, f); err != nil {
+		if _, err := bw.Write(b); err != nil {
 			break
 		}
 		pl.mu.Lock()
@@ -631,6 +655,7 @@ type inboundConn struct {
 	cond   *sync.Cond
 	name   string // peer's stable name, from its hello
 	queue  []frame
+	spare  []frame // drained batch buffer, recycled by the write loop
 	closed bool
 }
 
@@ -661,6 +686,7 @@ func (ic *inboundConn) enqueue(f frame) {
 	ic.mu.Lock()
 	if ic.closed {
 		ic.mu.Unlock()
+		releaseFrameBody(f)
 		return
 	}
 	ic.queue = append(ic.queue, f)
@@ -714,7 +740,9 @@ func (ic *inboundConn) readLoop() {
 			ic.mu.Unlock()
 			t.deliverFrame(name, f)
 			if f.seq != 0 {
-				ic.enqueue(frame{kind: frameAck, body: appendU64(nil, f.seq)})
+				eb := pooledBody()
+				body := appendU64(eb.b, f.seq)
+				ic.enqueue(frame{kind: frameAck, body: body, buf: eb})
 			}
 		case frameControl:
 			t.handleControl(ic, f)
@@ -737,14 +765,22 @@ func (ic *inboundConn) writeLoop() {
 			return
 		}
 		batch := ic.queue
-		ic.queue = nil
+		ic.queue = ic.spare[:0] // recycle last iteration's drained buffer
 		ic.mu.Unlock()
-		for _, f := range batch {
+		for i, f := range batch {
 			if err := writeFrame(bw, f); err != nil {
+				for _, g := range batch[i:] {
+					releaseFrameBody(g)
+				}
 				ic.close()
 				return
 			}
+			releaseFrameBody(f) // inbound frames are written exactly once
+			batch[i] = frame{}
 		}
+		ic.mu.Lock()
+		ic.spare = batch[:0]
+		ic.mu.Unlock()
 		if err := bw.Flush(); err != nil {
 			ic.close()
 			return

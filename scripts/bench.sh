@@ -1,0 +1,27 @@
+#!/bin/sh
+# Hot-path benchmark driver.
+#
+#   scripts/bench.sh [out.json]        run the hotpath experiment, write JSON
+#   scripts/bench.sh -micro            also run the Benchmark* microbenchmarks
+#   scripts/bench.sh -compare A B      diff the Metrics of two JSON outputs
+#
+# The JSON output is `detmt-bench -experiment hotpath -json` (an array of
+# harness results whose Metrics map carries the numbers); BENCH_PR*.json
+# files in the repo root are committed snapshots of it. The -compare mode
+# is a benchstat-style before/after table over those Metrics.
+set -eu
+cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "-compare" ]; then
+    [ $# -eq 3 ] || { echo "usage: scripts/bench.sh -compare before.json after.json" >&2; exit 2; }
+    exec go run ./cmd/detmt-benchdiff "$2" "$3"
+fi
+
+if [ "${1:-}" = "-micro" ]; then
+    exec go test -run xxx -bench 'BenchmarkHotPath' -benchmem \
+        ./internal/trace/ ./internal/core/ ./internal/wire/
+fi
+
+out="${1:-BENCH.json}"
+go run ./cmd/detmt-bench -experiment hotpath -json > "$out"
+echo "wrote $out" >&2
