@@ -1,0 +1,154 @@
+// Command detmt-chaos is the fault-injection controller for a running
+// detmt-server cluster. Servers started with -chaos expose their chaos
+// injector on the control channel; this tool sends it commands — one
+// shot (-cmd) or a seeded random plan (-plan) — and can poll replica
+// status (-status), including the recovery state and divergence
+// diagnostics the crash-recovery subsystem reports.
+//
+// Usage:
+//
+//	detmt-chaos -servers 1=127.0.0.1:7101,2=127.0.0.1:7102 -cmd sever
+//	detmt-chaos -servers ... -target 2 -cmd "delay 5ms"
+//	detmt-chaos -servers ... -plan -seed 7 -duration 30s
+//	detmt-chaos -servers ... -status
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"detmt/internal/ids"
+	"detmt/internal/wire"
+)
+
+func main() {
+	servers := flag.String("servers", "", "cluster members as id=addr,id=addr,...")
+	target := flag.Int("target", 0, "replica id to address (0: all listed servers)")
+	cmd := flag.String("cmd", "", `one-shot chaos command: sever, "block <addr>", "unblock <addr>", "delay <dur>", heal, stats`)
+	status := flag.Bool("status", false, "print each replica's status (recovery state, checkpoint age, diagnostics)")
+	plan := flag.Bool("plan", false, "drive a seeded random fault plan instead of a one-shot command")
+	seed := flag.Uint64("seed", 1, "plan seed (same seed + step count = same fault schedule)")
+	duration := flag.Duration("duration", 30*time.Second, "how long to run the plan")
+	step := flag.Duration("step", 250*time.Millisecond, "interval between plan fault decisions")
+	pSever := flag.Float64("sever", 0.2, "per-step probability of a sever on a random replica")
+	pDelay := flag.Float64("delay", 0.3, "per-step probability of a one-step read delay on a random replica")
+	delayBy := flag.Duration("delay-by", 5*time.Millisecond, "read delay applied when the delay fault fires")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request control timeout")
+	flag.Parse()
+
+	serverMap, err := parseServers(*servers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "detmt-chaos: bad -servers: %v\n", err)
+		os.Exit(2)
+	}
+	targets := make([]ids.ReplicaID, 0, len(serverMap))
+	for id := range serverMap {
+		if *target == 0 || id == ids.ReplicaID(*target) {
+			targets = append(targets, id)
+		}
+	}
+	if len(targets) == 0 {
+		fmt.Fprintf(os.Stderr, "detmt-chaos: -target %d is not in -servers\n", *target)
+		os.Exit(2)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+
+	tr, err := wire.NewTCP(wire.Options{Name: "chaos-ctl", Peers: serverMap})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "detmt-chaos: %v\n", err)
+		os.Exit(1)
+	}
+	defer tr.Close()
+
+	send := func(id ids.ReplicaID, req string) {
+		b, err := tr.Control(id, []byte(req), *timeout)
+		if err != nil {
+			fmt.Printf("%v: ERROR %v\n", id, err)
+			return
+		}
+		fmt.Printf("%v: %s\n", id, strings.TrimSpace(string(b)))
+	}
+
+	switch {
+	case *status:
+		for _, id := range targets {
+			send(id, "status")
+		}
+	case *cmd != "":
+		for _, id := range targets {
+			send(id, "chaos "+*cmd)
+		}
+	case *plan:
+		runPlan(send, targets, *seed, *duration, *step, *pSever, *pDelay, *delayBy)
+	default:
+		fmt.Fprintln(os.Stderr, "detmt-chaos: nothing to do (want -cmd, -plan, or -status)")
+		os.Exit(2)
+	}
+}
+
+// runPlan draws one fault per step from a seeded RNG and sends it to a
+// random target, healing one-step delays on the following step. All
+// injected faults are healed before returning.
+func runPlan(send func(ids.ReplicaID, string), targets []ids.ReplicaID,
+	seed uint64, duration, step time.Duration, pSever, pDelay float64, delayBy time.Duration) {
+	rng := ids.NewRNG(seed)
+	ticker := time.NewTicker(step)
+	defer ticker.Stop()
+	stopAt := time.Now().Add(duration)
+	var delayed []ids.ReplicaID
+	steps, faults := 0, 0
+	for time.Now().Before(stopAt) {
+		<-ticker.C
+		steps++
+		for _, id := range delayed {
+			send(id, "chaos delay 0s")
+		}
+		delayed = delayed[:0]
+		victim := targets[rng.Intn(len(targets))]
+		switch {
+		case rng.Bool(pSever):
+			send(victim, "chaos sever")
+			faults++
+		case rng.Bool(pDelay):
+			send(victim, fmt.Sprintf("chaos delay %s", delayBy))
+			delayed = append(delayed, victim)
+			faults++
+		}
+	}
+	for _, id := range targets {
+		send(id, "chaos heal")
+	}
+	log.Printf("detmt-chaos: plan done: %d steps, %d faults injected", steps, faults)
+}
+
+func parseServers(s string) (map[ids.ReplicaID]string, error) {
+	out := map[ids.ReplicaID]string{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("%q is not id=addr", part)
+		}
+		n, err := strconv.Atoi(kv[0])
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("%q is not a positive replica id", kv[0])
+		}
+		if _, dup := out[ids.ReplicaID(n)]; dup {
+			return nil, fmt.Errorf("replica id %d listed twice", n)
+		}
+		out[ids.ReplicaID(n)] = kv[1]
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty server list")
+	}
+	return out, nil
+}

@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"detmt/internal/chaos"
 	"detmt/internal/ids"
 	"detmt/internal/metrics"
 	"detmt/internal/server"
@@ -36,8 +37,18 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Minute, "overall run timeout")
 	iterations := flag.Int("iterations", 10, "Fig. 1 loop iterations per request (must match the servers)")
 	mutexes := flag.Int("mutexes", 100, "Fig. 1 mutex set size (must match the servers)")
+	clientBase := flag.Int("client-base", 0,
+		"client id offset (ids are base+1..base+clients); rerunning against the SAME cluster needs a disjoint range")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON instead of text")
 	verbose := flag.Bool("v", false, "log transport diagnostics")
+	chaosOn := flag.Bool("chaos", false, "run a seeded fault-injection plan against this generator's own connections")
+	chaosSeed := flag.Uint64("chaos-seed", 1, "chaos plan seed (reproducible fault schedule)")
+	chaosStep := flag.Duration("chaos-step", 100*time.Millisecond, "interval between chaos fault decisions")
+	chaosSever := flag.Float64("chaos-sever", 0.1, "per-step probability of severing every connection")
+	chaosPartition := flag.Float64("chaos-partition", 0.05, "per-step probability of partitioning one random server")
+	chaosPartitionFor := flag.Duration("chaos-partition-for", 500*time.Millisecond, "how long an injected partition lasts")
+	chaosDelay := flag.Float64("chaos-delay", 0.2, "per-step probability of delaying reads for one step")
+	chaosDelayBy := flag.Duration("chaos-delay-by", 5*time.Millisecond, "read delay applied when the delay fault fires")
 	flag.Parse()
 
 	serverMap, err := parseServers(*servers)
@@ -53,16 +64,43 @@ func main() {
 	if *verbose {
 		logf = log.Printf
 	}
-	res, err := server.RunLoad(server.LoadOptions{
+	opts := server.LoadOptions{
 		Servers:           serverMap,
 		Clients:           *clients,
 		RequestsPerClient: *requests,
 		Seed:              *seed,
 		Workload:          wl,
+		ClientBase:        *clientBase,
 		Pipelined:         *pipelined,
 		Timeout:           *timeout,
 		Logf:              logf,
-	})
+	}
+	var inj *chaos.Injector
+	if *chaosOn {
+		inj = chaos.New()
+		opts.Dial = inj.Dial(nil)
+		addrs := make([]string, 0, len(serverMap))
+		for _, a := range serverMap {
+			addrs = append(addrs, a)
+		}
+		stop := make(chan struct{})
+		defer close(stop)
+		go inj.Run(chaos.Plan{
+			Seed:         *chaosSeed,
+			Step:         *chaosStep,
+			PSever:       *chaosSever,
+			PPartition:   *chaosPartition,
+			PartitionFor: *chaosPartitionFor,
+			PDelay:       *chaosDelay,
+			DelayBy:      *chaosDelayBy,
+			Addrs:        addrs,
+		}, stop)
+	}
+	res, err := server.RunLoad(opts)
+	if inj != nil {
+		sev, blocked := inj.Stats()
+		log.Printf("detmt-load: chaos totals: severed=%d dials-blocked=%d", sev, blocked)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "detmt-load: %v\n", err)
 		os.Exit(1)

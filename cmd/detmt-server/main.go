@@ -25,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"detmt/internal/chaos"
 	"detmt/internal/ids"
 	"detmt/internal/replica"
 	"detmt/internal/server"
@@ -46,6 +47,13 @@ func main() {
 	mutexes := flag.Int("mutexes", 100, "Fig. 1 mutex set size")
 	traceRetention := flag.Int("trace-retention", 0,
 		"max trace events kept in memory (0: default bound, negative: unlimited); hashes stay exact over full history")
+	dataDir := flag.String("data", "", "directory for checkpoints and the restart-epoch counter (empty: in-memory only)")
+	recoverFlag := flag.Bool("recover", false, "rejoin the running cluster via checkpoint + tail transfer (followers only)")
+	epoch := flag.Uint64("epoch", 0, "restart epoch override (0: derive from -data, or legacy epoch-less mode without it)")
+	seqRetention := flag.Int("seq-retention", 0,
+		"sequenced envelopes retained to serve rejoiners (0: default, negative: unlimited)")
+	gossip := flag.Duration("gossip", 0, "divergence-gossip interval (0: default 250ms, negative: disabled)")
+	chaosOn := flag.Bool("chaos", false, "expose the chaos fault-injection control channel (see detmt-chaos)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty: off)")
 	verbose := flag.Bool("v", false, "log transport diagnostics")
 	flag.Parse()
@@ -84,7 +92,8 @@ func main() {
 	if *verbose {
 		logf = log.Printf
 	}
-	srv, err := server.New(server.Options{
+	var inj *chaos.Injector
+	opts := server.Options{
 		ID:              ids.ReplicaID(*id),
 		Listen:          *listen,
 		Peers:           peerMap,
@@ -97,21 +106,40 @@ func main() {
 		PDSRelaxed:      *pdsRelaxed,
 		CheckpointEvery: *checkpointEvery,
 		TraceRetention:  *traceRetention,
+		DataDir:         *dataDir,
+		Recover:         *recoverFlag,
+		Epoch:           *epoch,
+		SeqRetention:    *seqRetention,
+		GossipInterval:  *gossip,
 		Logf:            logf,
-	})
+	}
+	if *chaosOn {
+		inj = chaos.New()
+		opts.Dial = inj.Dial(nil)
+		opts.OnChaos = func(cmd string) []byte { return chaos.Handle(inj, cmd) }
+	}
+	srv, err := server.New(opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "detmt-server: %v\n", err)
 		os.Exit(1)
 	}
-	log.Printf("detmt-server: replica %d (%s) listening on %s, %d peer(s)",
-		*id, *scheduler, srv.Addr(), len(peerMap))
+	mode := "fresh"
+	if *recoverFlag {
+		mode = "recovering"
+	}
+	log.Printf("detmt-server: replica %d (%s, %s) listening on %s, %d peer(s)",
+		*id, *scheduler, mode, srv.Addr(), len(peerMap))
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	<-sigc
 	st := srv.Status()
-	log.Printf("detmt-server: shutting down: completed=%d hash=%x state=%d",
-		st.Completed, st.Hash, st.State)
+	log.Printf("detmt-server: shutting down: completed=%d hash=%x state=%d recovery=%s last-ckpt=%d",
+		st.Completed, st.Hash, st.State, st.Recovery, st.LastCheckpointSeq)
+	if inj != nil {
+		sev, blocked := inj.Stats()
+		log.Printf("detmt-server: chaos totals: severed=%d dials-blocked=%d", sev, blocked)
+	}
 	srv.Close()
 }
 

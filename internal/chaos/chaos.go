@@ -1,0 +1,247 @@
+// Package chaos injects transport-level faults into a detmt deployment
+// so the recovery subsystem can be exercised deliberately: severed
+// connections (lost in-flight frames, forcing the wire layer's
+// retransmission and dedup paths), added per-read latency, and peer
+// partitions (dials to a blocked address fail until healed). Faults are
+// driven by a seeded plan, so a chaos soak is reproducible.
+//
+// The injector sits in front of the transport's dialer (wire.Options.
+// Dial) and tracks every connection it creates. It never corrupts
+// bytes: the TCP framing assumes a clean stream, and the failure model
+// under test is crash/partition/latency, not bit flips.
+package chaos
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"detmt/internal/ids"
+)
+
+// Injector wraps a dialer with fault hooks. The zero value is not
+// usable; call New.
+type Injector struct {
+	mu      sync.Mutex
+	delay   time.Duration
+	blocked map[string]bool
+	conns   map[*conn]struct{}
+
+	// counters (Stats)
+	severed      int
+	dialsBlocked int
+}
+
+// New creates an idle injector (no faults active).
+func New() *Injector {
+	return &Injector{
+		blocked: map[string]bool{},
+		conns:   map[*conn]struct{}{},
+	}
+}
+
+// Dial wraps base (nil selects net.Dial "tcp") into a fault-injecting
+// dialer for wire.Options.Dial.
+func (i *Injector) Dial(base func(addr string) (net.Conn, error)) func(addr string) (net.Conn, error) {
+	if base == nil {
+		base = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 5*time.Second)
+		}
+	}
+	return func(addr string) (net.Conn, error) {
+		i.mu.Lock()
+		blocked := i.blocked[addr]
+		if blocked {
+			i.dialsBlocked++
+		}
+		i.mu.Unlock()
+		if blocked {
+			return nil, fmt.Errorf("chaos: %s is partitioned", addr)
+		}
+		c, err := base(addr)
+		if err != nil {
+			return nil, err
+		}
+		w := &conn{Conn: c, inj: i, addr: addr}
+		i.mu.Lock()
+		i.conns[w] = struct{}{}
+		i.mu.Unlock()
+		return w, nil
+	}
+}
+
+// SetDelay adds d of latency to every connection read (0 disables).
+func (i *Injector) SetDelay(d time.Duration) {
+	i.mu.Lock()
+	i.delay = d
+	i.mu.Unlock()
+}
+
+// Block makes future dials to addr fail and severs existing connections
+// to it — one direction of a network partition.
+func (i *Injector) Block(addr string) {
+	i.mu.Lock()
+	i.blocked[addr] = true
+	var victims []*conn
+	for c := range i.conns {
+		if c.addr == addr {
+			victims = append(victims, c)
+		}
+	}
+	i.mu.Unlock()
+	for _, c := range victims {
+		c.Close()
+	}
+}
+
+// Unblock heals the partition toward addr.
+func (i *Injector) Unblock(addr string) {
+	i.mu.Lock()
+	delete(i.blocked, addr)
+	i.mu.Unlock()
+}
+
+// HealAll removes every partition and the read delay.
+func (i *Injector) HealAll() {
+	i.mu.Lock()
+	i.blocked = map[string]bool{}
+	i.delay = 0
+	i.mu.Unlock()
+}
+
+// SeverAll force-closes every tracked connection (in-flight frames are
+// lost; the wire layer redials and retransmits). Returns how many were
+// closed.
+func (i *Injector) SeverAll() int {
+	i.mu.Lock()
+	victims := make([]*conn, 0, len(i.conns))
+	for c := range i.conns {
+		victims = append(victims, c)
+	}
+	i.severed += len(victims)
+	i.mu.Unlock()
+	for _, c := range victims {
+		c.Close()
+	}
+	return len(victims)
+}
+
+// Stats reports fault counters: connections severed and dials refused.
+func (i *Injector) Stats() (severed, dialsBlocked int) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.severed, i.dialsBlocked
+}
+
+func (i *Injector) readDelay() time.Duration {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.delay
+}
+
+func (i *Injector) forget(c *conn) {
+	i.mu.Lock()
+	delete(i.conns, c)
+	i.mu.Unlock()
+}
+
+// conn is a tracked connection applying the injector's read delay.
+type conn struct {
+	net.Conn
+	inj  *Injector
+	addr string
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+func (c *conn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if d := c.inj.readDelay(); d > 0 && n > 0 {
+		time.Sleep(d)
+	}
+	return n, err
+}
+
+func (c *conn) Close() error {
+	c.closeOnce.Do(func() {
+		c.inj.forget(c)
+		c.closeErr = c.Conn.Close()
+	})
+	return c.closeErr
+}
+
+// Plan is a seeded fault schedule executed by Run: every Step, one
+// action is drawn from the configured probabilities. Probabilities are
+// checked in order (sever, partition, delay); at most one action fires
+// per step. A partition lasts PartitionFor and is healed by the plan
+// itself.
+type Plan struct {
+	Seed uint64
+	// Step is the wall interval between fault decisions (default 100ms).
+	Step time.Duration
+	// PSever is the per-step probability of severing every connection.
+	PSever float64
+	// PPartition is the per-step probability of partitioning one random
+	// peer address for PartitionFor (default 500ms).
+	PPartition   float64
+	PartitionFor time.Duration
+	// PDelay is the per-step probability of toggling a read delay of
+	// DelayBy (default 5ms) for one step.
+	PDelay  float64
+	DelayBy time.Duration
+	// Addrs are the peer addresses eligible for partitioning.
+	Addrs []string
+}
+
+// Run executes the plan until stop is closed, then heals everything.
+// Reproducible: the same seed and step count draw the same actions.
+func (i *Injector) Run(p Plan, stop <-chan struct{}) {
+	if p.Step <= 0 {
+		p.Step = 100 * time.Millisecond
+	}
+	if p.PartitionFor <= 0 {
+		p.PartitionFor = 500 * time.Millisecond
+	}
+	if p.DelayBy <= 0 {
+		p.DelayBy = 5 * time.Millisecond
+	}
+	rng := ids.NewRNG(p.Seed)
+	ticker := time.NewTicker(p.Step)
+	defer ticker.Stop()
+	defer i.HealAll()
+	var healAt time.Time
+	var healAddr string
+	delayed := false
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now()
+		if healAddr != "" && now.After(healAt) {
+			i.Unblock(healAddr)
+			healAddr = ""
+		}
+		if delayed {
+			i.SetDelay(0)
+			delayed = false
+		}
+		switch {
+		case rng.Bool(p.PSever):
+			i.SeverAll()
+		case p.PPartition > 0 && len(p.Addrs) > 0 && rng.Bool(p.PPartition):
+			if healAddr != "" {
+				i.Unblock(healAddr) // one partition at a time
+			}
+			healAddr = p.Addrs[rng.Intn(len(p.Addrs))]
+			healAt = now.Add(p.PartitionFor)
+			i.Block(healAddr)
+		case rng.Bool(p.PDelay):
+			i.SetDelay(p.DelayBy)
+			delayed = true
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Handle interprets one operator chaos command against the injector and
+// returns a JSON reply. It is the server side of `detmt-chaos`: the
+// server exposes it through its control channel ("chaos <cmd>"), so an
+// operator can inject faults into a live cluster without restarting it.
+//
+// Commands:
+//
+//	sever            close every tracked connection
+//	block <addr>     partition the peer at addr (dials fail, conns drop)
+//	unblock <addr>   heal the partition toward addr
+//	delay <dur>      add <dur> latency to every read (delay 0 disables)
+//	heal             clear all partitions and the delay
+//	stats            report fault counters
+func Handle(i *Injector, cmd string) []byte {
+	fields := strings.Fields(cmd)
+	if len(fields) == 0 {
+		return errJSON("empty chaos command")
+	}
+	switch fields[0] {
+	case "sever":
+		n := i.SeverAll()
+		return okJSON(map[string]interface{}{"severed": n})
+	case "block", "unblock":
+		if len(fields) != 2 {
+			return errJSON(fmt.Sprintf("usage: %s <addr>", fields[0]))
+		}
+		if fields[0] == "block" {
+			i.Block(fields[1])
+		} else {
+			i.Unblock(fields[1])
+		}
+		return okJSON(map[string]interface{}{"addr": fields[1]})
+	case "delay":
+		if len(fields) != 2 {
+			return errJSON("usage: delay <duration>")
+		}
+		d, err := time.ParseDuration(fields[1])
+		if err != nil || d < 0 {
+			return errJSON(fmt.Sprintf("bad duration %q", fields[1]))
+		}
+		i.SetDelay(d)
+		return okJSON(map[string]interface{}{"delay_ms": float64(d) / float64(time.Millisecond)})
+	case "heal":
+		i.HealAll()
+		return okJSON(map[string]interface{}{"healed": true})
+	case "stats":
+		sev, blocked := i.Stats()
+		return okJSON(map[string]interface{}{"severed": sev, "dials_blocked": blocked})
+	default:
+		return errJSON(fmt.Sprintf("unknown chaos command %q", fields[0]))
+	}
+}
+
+func okJSON(m map[string]interface{}) []byte {
+	m["ok"] = true
+	b, _ := json.Marshal(m)
+	return b
+}
+
+func errJSON(msg string) []byte {
+	b, _ := json.Marshal(map[string]interface{}{"ok": false, "error": msg})
+	return b
+}

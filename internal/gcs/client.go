@@ -106,6 +106,20 @@ func (c *ClientEndpoint) Ack(uid uint64) {
 	c.mu.Unlock()
 }
 
+// SetUIDBase starts the endpoint's uid counter at base. The sequencer
+// suppresses duplicates by (client, uid) for the lifetime of the
+// cluster, so a client process restarting (or a second load-generator
+// incarnation reusing the same client ids) must begin above every uid
+// its predecessor used or its requests are swallowed as duplicates.
+// Call before the first Broadcast.
+func (c *ClientEndpoint) SetUIDBase(base uint64) {
+	c.mu.Lock()
+	if base > c.nextUID {
+		c.nextUID = base
+	}
+	c.mu.Unlock()
+}
+
 // LastUID returns the uid assigned to the most recent Broadcast.
 func (c *ClientEndpoint) LastUID() uint64 {
 	c.mu.Lock()

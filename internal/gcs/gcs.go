@@ -88,7 +88,26 @@ type Config struct {
 	// before NewGroup is called.
 	Tick   time.Duration
 	Budget time.Duration
+
+	// Recovering starts the group in recovery mode (stamped mode only):
+	// all transport traffic is buffered instead of injected, so the
+	// virtual clock cannot advance past the stamps of the sequenced tail
+	// the process is about to fetch from a donor. ResumeLive ends the
+	// mode, replaying the tail and the buffered live stream in seq order
+	// at their original stamps.
+	Recovering bool
+	// SeqRetention bounds the per-node log of delivered sequenced
+	// envelopes kept for donor-side catch-up (SequencedTail). 0 applies
+	// DefaultSeqRetention; negative retains everything.
+	SeqRetention int
 }
+
+// DefaultSeqRetention is the sequenced-log bound applied when Config
+// leaves SeqRetention at zero. A rejoining replica can replay at most
+// this many slots from a donor; a longer outage needs a checkpoint
+// newer than the donor's log start (checkpoints are taken continuously,
+// so in practice this bounds donor memory, not recoverability).
+const DefaultSeqRetention = 16384
 
 // Stats counts network traffic, for the message-overhead comparisons of
 // experiments E5/E6.
@@ -136,6 +155,10 @@ type Group struct {
 
 	fwdMu sync.Mutex
 	fwdQ  []Envelope // forwards awaiting the next sequencing tick
+
+	recMu      sync.Mutex
+	recovering bool
+	recBuf     []Envelope // transport arrivals buffered during recovery
 
 	closed chan struct{}
 }
@@ -188,6 +211,7 @@ func NewGroup(cfg Config) *Group {
 		g.tr = newMemTransport(g)
 	}
 	g.stamped = cfg.Transport != nil && g.vclk != nil
+	g.recovering = cfg.Recovering && g.stamped
 	for _, id := range members {
 		if !g.localSet[id] {
 			continue
@@ -215,6 +239,18 @@ func (g *Group) Close() error {
 }
 
 func (g *Group) isLocal(id ids.ReplicaID) bool { return g.localSet[id] }
+
+// seqRetention resolves Config.SeqRetention: 0 applies the default,
+// negative disables trimming.
+func (g *Group) seqRetention() int {
+	if g.cfg.SeqRetention == 0 {
+		return DefaultSeqRetention
+	}
+	if g.cfg.SeqRetention < 0 {
+		return 0
+	}
+	return g.cfg.SeqRetention
+}
 
 // Stats exposes the traffic counters.
 func (g *Group) Stats() *Stats { return &g.stats }
@@ -411,6 +447,19 @@ func (g *Group) inject(enqueue func(Envelope), envs ...Envelope) {
 		}
 		return
 	}
+	// Recovery mode: buffer everything. Injecting live sequenced traffic
+	// now would advance the virtual clock past the stamps of the tail we
+	// are about to fetch, executing replayed requests at the wrong virtual
+	// instants — divergence. Direct messages (LSA decisions, replies) are
+	// buffered too, not dropped: the transport already acked them, so a
+	// drop would be permanent.
+	g.recMu.Lock()
+	if g.recovering {
+		g.recBuf = append(g.recBuf, envs...)
+		g.recMu.Unlock()
+		return
+	}
+	g.recMu.Unlock()
 	var fwds []Envelope
 	for _, e := range envs {
 		switch {
@@ -430,6 +479,123 @@ func (g *Group) inject(enqueue func(Envelope), envs ...Envelope) {
 		g.fwdMu.Lock()
 		g.fwdQ = append(g.fwdQ, fwds...)
 		g.fwdMu.Unlock()
+	}
+}
+
+// BufferedSeqRange reports the sequenced envelopes buffered while the
+// group is in recovery mode: the lowest and highest slot seen and their
+// count. The recovery orchestrator uses it to decide when the fetched
+// tail is contiguous with the live stream.
+func (g *Group) BufferedSeqRange() (min, max uint64, count int) {
+	g.recMu.Lock()
+	defer g.recMu.Unlock()
+	for _, e := range g.recBuf {
+		if e.Kind != EnvSequenced {
+			continue
+		}
+		if count == 0 || e.Seq < min {
+			min = e.Seq
+		}
+		if e.Seq > max {
+			max = e.Seq
+		}
+		count++
+	}
+	return min, max, count
+}
+
+// Recovering reports whether the group is still buffering (recovery
+// mode).
+func (g *Group) Recovering() bool {
+	g.recMu.Lock()
+	defer g.recMu.Unlock()
+	return g.recovering
+}
+
+// ResumeLive ends recovery mode for the local member node: the fetched
+// sequenced tail and the live traffic buffered since startup are merged
+// (deduplicated by slot, ascending) and injected at their original
+// virtual stamps, so the replayed schedule is bit-identical to the one
+// the survivors executed. The horizon is raised to the highest stamp
+// first — that anchors the paced clock's wall offset at roughly
+// cluster-now, so the whole tail is wall-overdue and replays at full
+// speed instead of in real time.
+//
+// next is the first total-order slot the node still has to deliver
+// (checkpoint seq + 1). Tail entries and buffered slots below it are
+// discarded.
+func (g *Group) ResumeLive(next uint64, tail []Envelope) {
+	g.recMu.Lock()
+	defer g.recMu.Unlock()
+	if !g.recovering {
+		return
+	}
+	g.recovering = false
+	buf := g.recBuf
+	g.recBuf = nil
+
+	var node *Node
+	for _, n := range g.nodes {
+		node = n // recovery mode hosts exactly one local member
+	}
+	if node == nil {
+		return
+	}
+
+	var maxStamp time.Duration
+	seqs := map[uint64]Envelope{}
+	var order []uint64
+	var others []Envelope
+	classify := func(e Envelope) {
+		switch {
+		case e.Kind == EnvHorizon:
+			if e.Stamp > maxStamp {
+				maxStamp = e.Stamp
+			}
+		case e.Kind == EnvSequenced:
+			if e.Seq < next {
+				return
+			}
+			if _, dup := seqs[e.Seq]; dup {
+				return
+			}
+			seqs[e.Seq] = e
+			order = append(order, e.Seq)
+			if e.Stamp > maxStamp {
+				maxStamp = e.Stamp
+			}
+		default:
+			// Directs (LSA decisions, replies) keep their arrival order;
+			// stray forwards re-route to the sequencer via handleForward.
+			others = append(others, e)
+		}
+	}
+	for _, e := range tail {
+		classify(e)
+	}
+	for _, e := range buf {
+		classify(e)
+	}
+	sortUint64(order)
+
+	if maxStamp > 0 {
+		g.vclk.SetHorizon(maxStamp)
+	}
+	node.resumeAt(next)
+	// Ascending slot order = non-decreasing stamp order: same-stamp
+	// envelopes keep their sequencing order because ScheduleAt breaks
+	// (at, order) ties by registration sequence.
+	for _, s := range order {
+		env := seqs[s]
+		if env.Stamp > 0 {
+			env := env
+			g.vclk.ScheduleAt(env.Stamp, injectOrder, "gcs inject", func() { node.enqueue(env) })
+		} else {
+			node.enqueue(env)
+		}
+	}
+	for _, e := range others {
+		node.enqueue(e)
 	}
 }
 

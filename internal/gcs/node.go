@@ -37,6 +37,13 @@ type Node struct {
 	holdback      map[uint64]Envelope
 	sequencedSeen map[string]bool // origin/uid seen in any sequenced msg
 	highestSeen   uint64
+
+	// sequenced-log retention: the tail of delivered slots kept around so
+	// a restarted peer can catch up from a checkpoint without replaying
+	// the whole history. seqLog[i] holds slot seqLogStart+i.
+	seqLog      []Envelope
+	seqLogStart uint64
+	halted      bool
 }
 
 func newNode(g *Group, id ids.ReplicaID) *Node {
@@ -180,6 +187,10 @@ func (n *Node) enqueue(env Envelope) {
 		return
 	}
 	n.mu.Lock()
+	if n.halted {
+		n.mu.Unlock()
+		return
+	}
 	n.inbox = append(n.inbox, env)
 	start := !n.running
 	n.running = true
@@ -295,6 +306,19 @@ func (n *Node) handleSequenced(env Envelope) {
 		delete(n.holdback, n.nextDeliver)
 		n.nextDeliver++
 		ready = append(ready, e)
+		if len(n.seqLog) == 0 {
+			n.seqLogStart = e.Seq
+		}
+		n.seqLog = append(n.seqLog, e)
+	}
+	if ret := n.g.seqRetention(); ret > 0 && len(n.seqLog) > ret {
+		drop := len(n.seqLog) - ret
+		n.seqLog = append(n.seqLog[:0], n.seqLog[drop:]...)
+		stale := n.seqLog[len(n.seqLog) : len(n.seqLog)+drop]
+		for i := range stale {
+			stale[i] = Envelope{} // release payload refs
+		}
+		n.seqLogStart += uint64(drop)
 	}
 	n.mu.Unlock()
 	for _, e := range ready {
@@ -302,4 +326,76 @@ func (n *Node) handleSequenced(env Envelope) {
 			n.deliver(Message{Seq: e.Seq, Origin: e.Origin, UID: e.UID, Payload: e.Payload})
 		}
 	}
+}
+
+// SequencedTail returns up to max delivered slots starting at from, for
+// serving a restarted peer's catch-up request. ok is false when from
+// predates the retained window (the peer must fetch a newer checkpoint
+// instead); more is true when further slots beyond the returned batch
+// have already been delivered here.
+func (n *Node) SequencedTail(from uint64, max int) (envs []Envelope, more, ok bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if from >= n.nextDeliver {
+		return nil, false, true // at (or ahead of) our frontier: nothing yet
+	}
+	if len(n.seqLog) == 0 || from < n.seqLogStart {
+		return nil, false, false // trimmed away
+	}
+	i := int(from - n.seqLogStart)
+	end := len(n.seqLog)
+	if max > 0 && i+max < end {
+		end = i + max
+	}
+	envs = make([]Envelope, end-i)
+	copy(envs, n.seqLog[i:end])
+	return envs, end < len(n.seqLog), true
+}
+
+// Frontier reports the receiver's delivery state: next is the first
+// undelivered total-order slot, highest the highest slot seen in any
+// sequenced envelope (delivered or held back).
+func (n *Node) Frontier() (next, highest uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.nextDeliver, n.highestSeen
+}
+
+// Halt permanently stops the node: every subsequently enqueued envelope
+// is dropped. Divergence detection uses it to freeze a replica whose
+// schedule hash disagrees with the cluster majority, so it cannot
+// propagate a corrupted order.
+func (n *Node) Halt() {
+	n.mu.Lock()
+	n.halted = true
+	n.inbox = nil
+	n.mu.Unlock()
+}
+
+// Halted reports whether Halt was called.
+func (n *Node) Halted() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.halted
+}
+
+// resumeAt rewinds/advances the receiver to deliver slot next first,
+// discarding any held-back slots below it. Called by Group.ResumeLive
+// after a checkpoint install, before the sequenced tail is re-injected.
+func (n *Node) resumeAt(next uint64) {
+	n.mu.Lock()
+	n.nextDeliver = next
+	if next > 0 && n.highestSeen < next-1 {
+		n.highestSeen = next - 1
+	}
+	for seq := range n.holdback {
+		if seq < next {
+			delete(n.holdback, seq)
+		}
+	}
+	// The rejoiner's retained tail restarts at the resume point; it can
+	// serve as a catch-up donor for slots from here on.
+	n.seqLog = nil
+	n.seqLogStart = next
+	n.mu.Unlock()
 }

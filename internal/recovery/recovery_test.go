@@ -1,0 +1,199 @@
+package recovery
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"detmt/internal/lang"
+	"detmt/internal/trace"
+)
+
+func sampleCheckpoint() *Checkpoint {
+	return &Checkpoint{
+		Seq:       42,
+		VirtNow:   1500 * time.Millisecond,
+		Completed: 17,
+		Fields: map[string]lang.Value{
+			"state":   int64(3),
+			"flag":    true,
+			"nothing": nil,
+			"mon":     lang.Monitor(2),
+		},
+		Hashes: trace.HashState{
+			Decision:    0xdeadbeefcafe,
+			Consistency: 0x123456789abc,
+			Total:       991,
+			Chains: []trace.ChainState{
+				{Mutex: 1, Thread: 100, Hash: 7},
+				{Mutex: 2, Thread: 101, Hash: 9},
+			},
+		},
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	c := sampleCheckpoint()
+	b, err := c.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, c) {
+		t.Fatalf("round trip mismatch:\n  sent %+v\n  got  %+v", c, got)
+	}
+}
+
+func TestCheckpointEncodeDeterministic(t *testing.T) {
+	// Same logical content, maps built in different insertion orders.
+	a := sampleCheckpoint()
+	b := &Checkpoint{
+		Seq: a.Seq, VirtNow: a.VirtNow, Completed: a.Completed,
+		Fields: map[string]lang.Value{},
+		Hashes: a.Hashes,
+	}
+	for _, k := range []string{"mon", "nothing", "flag", "state"} {
+		b.Fields[k] = a.Fields[k]
+	}
+	ab, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ab, bb) {
+		t.Fatal("identical checkpoints encode to different bytes")
+	}
+}
+
+func TestCheckpointTruncationRejected(t *testing.T) {
+	b, err := sampleCheckpoint().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(b); cut++ {
+		if _, err := Decode(b[:cut]); err == nil {
+			t.Fatalf("decoding %d of %d bytes succeeded", cut, len(b))
+		}
+	}
+	if _, err := Decode(append(b, 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "r1")
+	c := sampleCheckpoint()
+	data, err := c.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Save(dir, data); err != nil {
+		t.Fatal(err)
+	}
+	got, raw, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, c) || !reflect.DeepEqual(raw, data) {
+		t.Fatal("loaded checkpoint differs")
+	}
+	if _, _, err := Load(filepath.Join(dir, "missing")); !os.IsNotExist(err) {
+		t.Fatalf("missing dir: %v", err)
+	}
+}
+
+func TestNextEpochMonotonic(t *testing.T) {
+	dir := t.TempDir()
+	var prev uint64
+	for i := 0; i < 5; i++ {
+		e, err := NextEpoch(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e <= prev {
+			t.Fatalf("epoch not monotonic: %d after %d", e, prev)
+		}
+		prev = e
+	}
+	if prev != 5 {
+		t.Fatalf("fifth epoch is %d", prev)
+	}
+}
+
+func TestManagerLatestAndPoints(t *testing.T) {
+	m := NewManager("")
+	if _, _, ok := m.Latest(); ok {
+		t.Fatal("empty manager claims a checkpoint")
+	}
+	for seq := uint64(10); seq <= 30; seq += 10 {
+		c := sampleCheckpoint()
+		c.Seq = seq
+		c.Hashes.Consistency = seq * 1000
+		if err := m.Commit(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, seq, ok := m.Latest()
+	if !ok || seq != 30 || len(data) == 0 {
+		t.Fatalf("Latest: ok=%v seq=%d", ok, seq)
+	}
+	if got, err := Decode(data); err != nil || got.Seq != 30 {
+		t.Fatalf("latest decode: %v", err)
+	}
+	pts := m.Points()
+	want := []SeqHash{{10, 10000}, {20, 20000}, {30, 30000}}
+	if !reflect.DeepEqual(pts, want) {
+		t.Fatalf("points %v", pts)
+	}
+	if m.TakenAt().IsZero() {
+		t.Fatal("TakenAt zero after Commit")
+	}
+}
+
+func TestManagerPointRingBounded(t *testing.T) {
+	m := NewManager("")
+	for seq := uint64(1); seq <= 200; seq++ {
+		c := &Checkpoint{Seq: seq, Fields: map[string]lang.Value{}}
+		c.Hashes.Consistency = seq
+		if err := m.Commit(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pts := m.Points()
+	if len(pts) != maxPoints {
+		t.Fatalf("ring holds %d points", len(pts))
+	}
+	if pts[len(pts)-1].Seq != 200 || pts[0].Seq != 200-maxPoints+1 {
+		t.Fatalf("ring window %d..%d", pts[0].Seq, pts[len(pts)-1].Seq)
+	}
+}
+
+func TestFirstMismatch(t *testing.T) {
+	a := []SeqHash{{10, 1}, {20, 2}, {30, 3}}
+	agree := []SeqHash{{20, 2}, {30, 3}, {40, 4}}
+	if _, _, ok := FirstMismatch(a, agree); ok {
+		t.Fatal("agreeing rings reported as mismatch")
+	}
+	diverged := []SeqHash{{10, 1}, {20, 999}, {30, 888}}
+	mine, theirs, ok := FirstMismatch(a, diverged)
+	if !ok || mine.Seq != 20 || mine.Hash != 2 || theirs.Hash != 999 {
+		t.Fatalf("mismatch %v %v ok=%v", mine, theirs, ok)
+	}
+	if _, _, ok := FirstMismatch(a, []SeqHash{{99, 7}}); ok {
+		t.Fatal("disjoint rings reported as mismatch")
+	}
+	if Lag(a, []SeqHash{{10, 1}}) != 20 {
+		t.Fatal("lag wrong")
+	}
+	if Lag(a, agree) != 0 {
+		t.Fatal("caught-up peer shows lag")
+	}
+}

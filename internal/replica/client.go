@@ -50,6 +50,11 @@ func NewClient(clock vclock.Clock, g *gcs.Group, id ids.ClientID) *Client {
 // ID returns the client id.
 func (c *Client) ID() ids.ClientID { return c.id }
 
+// SetUIDBase forwards to the endpoint's uid-base (see
+// gcs.ClientEndpoint.SetUIDBase): a restarted client process must number
+// its requests above its previous incarnation's.
+func (c *Client) SetUIDBase(base uint64) { c.ep.SetUIDBase(base) }
+
 // ReplyStats returns how many replies arrived in total and how many were
 // redundant (later replicas answering an already-completed request).
 func (c *Client) ReplyStats() (total, redundant int) {

@@ -71,6 +71,13 @@ type Config struct {
 	// checkpoint after every N completed requests, at the next quiescent
 	// point (passive replication; 0 disables checkpoints).
 	CheckpointEvery int
+	// CheckpointSink, when set, replaces the StateUpdate broadcast: at
+	// each checkpoint-eligible quiescent point (no request or dummy
+	// threads in flight) it is called with the last applied total-order
+	// slot. The crash-recovery subsystem uses it to capture local
+	// deterministic checkpoints — every replica calls the sink at the
+	// same slots with the same quiescent state.
+	CheckpointSink func(seq uint64)
 }
 
 // Replica is one member of a replicated object group.
@@ -199,6 +206,26 @@ func (r *Replica) Completed() int {
 	return r.completed
 }
 
+// SetRecovered seeds the replica's progress counters from an installed
+// checkpoint, before any replayed traffic is delivered: lastSeq is the
+// checkpoint's slot and completed the request count it covered. The
+// checkpoint cadence restarts from the checkpoint slot so the rejoiner
+// checkpoints at the same future slots as the survivors.
+func (r *Replica) SetRecovered(lastSeq uint64, completed int) {
+	r.mu.Lock()
+	r.lastSeq = lastSeq
+	r.completed = completed
+	r.sinceCkpt = 0
+	r.mu.Unlock()
+}
+
+// LastSeq returns the slot of the most recently delivered message.
+func (r *Replica) LastSeq() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastSeq
+}
+
 // Log returns the recorded totally ordered message log.
 func (r *Replica) Log() []LogEntry {
 	r.mu.Lock()
@@ -308,10 +335,14 @@ func (r *Replica) applyRequest(req Request) {
 			upTo = r.lastSeq
 		}
 		r.mu.Unlock()
-		if ckpt && r.node != nil {
-			// Quiescent point: no request threads in flight, so the
-			// snapshot covers every delivered message.
-			r.node.Broadcast(StateUpdate{Snapshot: r.in.Snapshot(), UpToSeq: upTo})
+		if ckpt {
+			// Quiescent point: no request or dummy threads in flight, so
+			// the snapshot covers every delivered message.
+			if r.cfg.CheckpointSink != nil {
+				r.cfg.CheckpointSink(upTo)
+			} else if r.node != nil {
+				r.node.Broadcast(StateUpdate{Snapshot: r.in.Snapshot(), UpToSeq: upTo})
+			}
 		}
 	})
 	r.mu.Lock()
@@ -343,7 +374,7 @@ func (r *Replica) applyNestedReply(nr NestedReply) {
 
 func (r *Replica) applyDummy(d Dummy) {
 	tid := ids.ThreadID(dummyThreadBase | d.Seq)
-	r.rt.Submit(tid, 0, func(th *core.Thread) {
+	th := r.rt.Submit(tid, 0, func(th *core.Thread) {
 		// The standard dummy profile: one lock acquisition on a reserved
 		// mutex, so PDS barriers complete.
 		th.Lock(ids.NoSync, DummyMutex)
@@ -353,6 +384,12 @@ func (r *Replica) applyDummy(d Dummy) {
 		delete(r.threads, tid)
 		r.mu.Unlock()
 	})
+	// Dummies count toward the quiescence check: a checkpoint taken while
+	// a dummy's lock events were mid-flight would split those events
+	// across the snapshot boundary and diverge a rejoiner's trace hash.
+	r.mu.Lock()
+	r.threads[tid] = th
+	r.mu.Unlock()
 }
 
 // onDirect handles point-to-point messages (LSA decision stream).

@@ -3,7 +3,9 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"detmt/internal/gcs"
@@ -32,6 +34,15 @@ type LoadOptions struct {
 	Seed uint64
 	// Workload must match the cluster's configuration.
 	Workload workload.Fig1Config
+	// ClientBase offsets the generated client ids: clients are
+	// ClientBase+1 .. ClientBase+Clients. Distinct load runs against the
+	// SAME cluster must use disjoint ranges — request identity (client id
+	// + per-client counter) reaches the deterministic schedule and the
+	// replicas' duplicate suppression, so a new generator incarnation is
+	// a new set of clients, not a resumption of the old ones. Runs
+	// against different clusters that should produce comparable hashes
+	// must use the SAME base (default 0).
+	ClientBase int
 	// Pipelined makes each client submit all its requests as ONE atomic
 	// batch before collecting replies. A single pipelined client gives
 	// the whole run a reproducible total order — the property the
@@ -42,6 +53,9 @@ type LoadOptions struct {
 	// SettleTimeout bounds the post-run wait for every replica to report
 	// the expected completion count (default: remaining Timeout).
 	SettleTimeout time.Duration
+	// Dial overrides the transport dialer (nil: plain TCP). The chaos
+	// injector hooks in here to fault the generator's own connections.
+	Dial func(addr string) (net.Conn, error)
 
 	Logf func(format string, args ...interface{})
 }
@@ -59,6 +73,27 @@ type LoadResult struct {
 	// criterion) and every replica completed all requests.
 	Hashes    []uint64
 	Converged bool
+}
+
+// loadEpochLast makes every load run a fresh wire incarnation: all
+// generators share the transport name "load", so without a strictly
+// increasing epoch a second run against the same cluster would be
+// swallowed by the servers' dedup state (or rejected as a stale
+// incarnation). Wall-clock based so independent generator processes
+// order correctly too.
+var loadEpochLast atomic.Uint64
+
+func nextLoadEpoch() uint64 {
+	for {
+		e := uint64(time.Now().UnixNano())
+		last := loadEpochLast.Load()
+		if e <= last {
+			e = last + 1
+		}
+		if loadEpochLast.CompareAndSwap(last, e) {
+			return e
+		}
+	}
 }
 
 // RunLoad drives one closed-loop measurement run and waits for the
@@ -81,7 +116,8 @@ func RunLoad(o LoadOptions) (*LoadResult, error) {
 	}
 	deadline := time.Now().Add(o.Timeout)
 
-	tr, err := wire.NewTCP(wire.Options{Name: "load", Peers: o.Servers, Logf: o.Logf})
+	epoch := nextLoadEpoch()
+	tr, err := wire.NewTCP(wire.Options{Name: "load", Epoch: epoch, Peers: o.Servers, Dial: o.Dial, Logf: o.Logf})
 	if err != nil {
 		return nil, err
 	}
@@ -105,7 +141,7 @@ func RunLoad(o LoadOptions) (*LoadResult, error) {
 	grp := vclock.NewGroup(clock)
 	rootRNG := ids.NewRNG(o.Seed)
 	for ci := 0; ci < o.Clients; ci++ {
-		cl := replica.NewClient(clock, g, ids.ClientID(ci+1))
+		cl := replica.NewClient(clock, g, ids.ClientID(o.ClientBase+ci+1))
 		rng := rootRNG.Fork()
 		grp.Go(func() {
 			if o.Pipelined {
@@ -156,9 +192,13 @@ func RunLoad(o LoadOptions) (*LoadResult, error) {
 	for {
 		statuses, err := pollStatuses(tr, o.Servers)
 		if err == nil {
+			// Every replica must reach the expected count AND agree on it:
+			// against a warm cluster the counters are cumulative, so a
+			// replica still applying the tail can satisfy the lower bound
+			// while lagging its peers.
 			done := true
 			for _, st := range statuses {
-				if st.Completed < expected {
+				if st.Completed < expected || st.Completed != statuses[0].Completed {
 					done = false
 				}
 			}

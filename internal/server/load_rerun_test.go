@@ -1,0 +1,38 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"detmt/internal/replica"
+)
+
+// TestSequentialLoadRuns drives two load-generator incarnations against
+// the same cluster. The second run must be treated as a fresh incarnation
+// at both layers that remember the first: the wire transport (same name
+// "load", higher epoch resets dedup) and the replicas' duplicate
+// suppression (disjoint ClientBase, since request identity is
+// client-scoped). Regression test: without either, the second run's
+// requests are silently swallowed and the run times out.
+func TestSequentialLoadRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-socket cluster test")
+	}
+	_, addrs := startClusterWith(t, 3, replica.KindMAT, func(i int, o *Options) {
+		o.CheckpointEvery = 2
+		o.Epoch = 1
+	})
+	for phase := 1; phase <= 2; phase++ {
+		res, err := RunLoad(LoadOptions{
+			Servers: addrs, Clients: 1, RequestsPerClient: 4,
+			ClientBase: phase * 10, Seed: uint64(phase),
+			Workload: testWorkload(), Timeout: 30 * time.Second,
+		})
+		if err != nil {
+			t.Fatalf("load run %d: %v", phase, err)
+		}
+		if !res.Converged {
+			t.Fatalf("load run %d did not converge: %+v", phase, res.Statuses)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"detmt/internal/gcs"
+	"detmt/internal/ids"
+	"detmt/internal/recovery"
+)
+
+// This file is the server side of the crash-recovery subsystem:
+//
+//   - captureCheckpoint runs at replica-quiescent points and commits a
+//     deterministic checkpoint (object fields + virtual instant +
+//     incremental trace-hash state + last applied slot);
+//   - runRecovery drives a restarted replica's rejoin: fetch the latest
+//     checkpoint from a donor peer, install it, fetch the sequenced tail
+//     until it meets the live (buffered) stream, then ResumeLive;
+//   - runGossip exchanges divergence points ((slot, consistency hash)
+//     pairs captured at checkpoint instants) with every peer and halts
+//     this replica when a majority of reachable peers disagree with it.
+
+// captureCheckpoint is the replica's CheckpointSink: it runs at a
+// scheduler-quiescent point (no request or dummy threads in flight), so
+// the snapshot, the trace-hash state, and seq describe one well-defined
+// prefix of the total order — every replica commits byte-identical
+// checkpoints at the same slots.
+func (s *Server) captureCheckpoint(seq uint64) {
+	c := &recovery.Checkpoint{
+		Seq:       seq,
+		VirtNow:   s.clock.Now(),
+		Completed: uint64(s.rep.Completed()),
+		Fields:    s.rep.Instance().Snapshot(),
+		Hashes:    s.rep.Runtime().Trace().ExportHashState(),
+	}
+	if err := s.mgr.Commit(c); err != nil && s.o.Logf != nil {
+		s.o.Logf("server %v: checkpoint at slot %d failed: %v", s.o.ID, seq, err)
+	}
+}
+
+const (
+	fetchTimeout  = 10 * time.Second
+	tailBatchMax  = 2048
+	gapHealRounds = 400 // ~20s of 50ms polls before restarting recovery
+)
+
+// runRecovery drives the rejoin state machine, cycling through donor
+// peers until one attempt succeeds.
+func (s *Server) runRecovery() {
+	donors := make([]ids.ReplicaID, 0, len(s.o.Peers))
+	for id := range s.o.Peers {
+		donors = append(donors, id)
+	}
+	sortReplicaIDs(donors)
+	for attempt := 0; ; attempt++ {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		donor := donors[attempt%len(donors)]
+		if s.tryRecover(donor) {
+			return
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+}
+
+// tryRecover performs one full rejoin attempt against donor. False means
+// the attempt must be retried from scratch (donor unreachable, or its
+// retention window moved past our checkpoint mid-flight).
+func (s *Server) tryRecover(donor ids.ReplicaID) bool {
+	logf := s.o.Logf
+	if logf == nil {
+		logf = func(string, ...interface{}) {}
+	}
+	data, seq, haveCkpt, err := s.tr.FetchCheckpoint(donor, fetchTimeout)
+	if err != nil {
+		logf("server %v: checkpoint fetch from %v: %v", s.o.ID, donor, err)
+		return false
+	}
+	next := uint64(1)
+	if haveCkpt {
+		c, err := recovery.Decode(data)
+		if err != nil {
+			logf("server %v: checkpoint from %v undecodable: %v", s.o.ID, donor, err)
+			return false
+		}
+		if c.Seq != seq {
+			logf("server %v: checkpoint from %v claims slot %d but encodes %d", s.o.ID, donor, seq, c.Seq)
+			return false
+		}
+		// Install: object fields, incremental trace-hash state, and the
+		// replica's progress counters. The group is still buffering, so
+		// nothing races this.
+		for k, v := range c.Fields {
+			s.rep.Instance().SetField(k, v)
+		}
+		s.rep.Runtime().Trace().SeedHashState(c.Hashes)
+		s.rep.SetRecovered(c.Seq, int(c.Completed))
+		if err := s.mgr.Commit(c); err != nil {
+			logf("server %v: persisting fetched checkpoint: %v", s.o.ID, err)
+		}
+		next = c.Seq + 1
+	}
+
+	// Fetch the sequenced tail from the checkpoint slot until it is
+	// contiguous with the live stream buffered since startup. The donor
+	// keeps delivering while we fetch, so a gap between the fetched tail
+	// and the buffer closes by polling again.
+	var tail []gcs.Envelope
+	for round := 0; ; round++ {
+		if round > gapHealRounds {
+			logf("server %v: catch-up gap to %v did not close, restarting recovery", s.o.ID, donor)
+			return false
+		}
+		from := next + uint64(len(tail))
+		envs, more, ok, err := s.tr.FetchTail(donor, from, tailBatchMax, fetchTimeout)
+		if err != nil {
+			logf("server %v: tail fetch from %v: %v", s.o.ID, donor, err)
+			return false
+		}
+		if !ok {
+			// The donor trimmed slot `from` while we were working: our
+			// checkpoint is too old. Restart with a fresh checkpoint fetch.
+			logf("server %v: donor %v no longer retains slot %d, refetching checkpoint", s.o.ID, donor, from)
+			return false
+		}
+		tail = append(tail, envs...)
+		if more {
+			continue
+		}
+		bmin, _, bcount := s.group.BufferedSeqRange()
+		if bcount == 0 || bmin <= next+uint64(len(tail)) {
+			break // tail reaches the buffered live stream (or nothing is live)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	s.group.ResumeLive(next, tail)
+	s.stateMu.Lock()
+	s.recState = "caught_up"
+	s.replayed = len(tail)
+	s.stateMu.Unlock()
+	logf("server %v: recovered from %v: checkpoint slot %d, replayed %d sequenced envelopes",
+		s.o.ID, donor, next-1, len(tail))
+	return true
+}
+
+// runGossip periodically exchanges divergence-point rings with every
+// peer. When a majority of the reachable peers disagree with this
+// replica's ring at a common slot, the replica halts itself with a
+// diagnostic naming the first divergent slot — by construction the
+// hashes were captured at deterministic quiescent instants, so any
+// mismatch is a real schedule divergence, not a timing artifact.
+func (s *Server) runGossip(interval time.Duration) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	peers := make([]ids.ReplicaID, 0, len(s.o.Peers))
+	for id := range s.o.Peers {
+		peers = append(peers, id)
+	}
+	sortReplicaIDs(peers)
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+		}
+		s.stateMu.Lock()
+		state := s.recState
+		s.stateMu.Unlock()
+		if state != "caught_up" {
+			continue // nothing to compare while recovering; stay put when halted
+		}
+		mine := s.mgr.Points()
+		if len(mine) == 0 {
+			continue
+		}
+		var polled, disagree int
+		var diag string
+		var maxLag uint64
+		for _, p := range peers {
+			b, err := s.tr.Control(p, []byte("hashes"), 2*time.Second)
+			if err != nil {
+				continue
+			}
+			var ring hashRing
+			if json.Unmarshal(b, &ring) != nil || len(ring.Points) == 0 {
+				continue
+			}
+			polled++
+			if lag := recovery.Lag(mine, ring.Points); lag > maxLag {
+				maxLag = lag
+			}
+			if lag := recovery.Lag(ring.Points, mine); lag > maxLag {
+				maxLag = lag
+			}
+			if m, theirs, bad := recovery.FirstMismatch(mine, ring.Points); bad {
+				disagree++
+				if diag == "" {
+					diag = fmt.Sprintf(
+						"schedule divergence at slot %d: local consistency hash %016x, peer %v reports %016x",
+						m.Seq, m.Hash, ring.ID, theirs.Hash)
+				}
+			}
+		}
+		s.stateMu.Lock()
+		s.gossipLag = maxLag
+		s.stateMu.Unlock()
+		if polled > 0 && disagree*2 > polled {
+			s.halt(diag)
+			return
+		}
+	}
+}
+
+// halt freezes the replica after divergence detection: the group node
+// drops all further traffic, so the diverged schedule cannot propagate,
+// and the diagnostic is served through status until the operator
+// intervenes.
+func (s *Server) halt(diag string) {
+	s.group.Node(s.o.ID).Halt()
+	s.stateMu.Lock()
+	s.recState = "halted"
+	s.diagnostic = diag
+	s.stateMu.Unlock()
+	if s.o.Logf != nil {
+		s.o.Logf("server %v: HALTED: %s", s.o.ID, diag)
+	}
+}

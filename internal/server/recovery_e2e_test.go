@@ -1,0 +1,294 @@
+package server
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"detmt/internal/chaos"
+	"detmt/internal/ids"
+	"detmt/internal/replica"
+	"detmt/internal/trace"
+)
+
+// startClusterWith boots n replica servers like startCluster, letting
+// the caller mutate each server's Options (checkpoint cadence, epochs,
+// chaos dialers, ...) before New.
+func startClusterWith(t *testing.T, n int, kind replica.SchedulerKind,
+	mut func(i int, o *Options)) ([]*Server, map[ids.ReplicaID]string) {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	addrs := map[ids.ReplicaID]string{}
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[ids.ReplicaID(i+1)] = ln.Addr().String()
+	}
+	servers := make([]*Server, n)
+	for i := 0; i < n; i++ {
+		id := ids.ReplicaID(i + 1)
+		peers := map[ids.ReplicaID]string{}
+		for pid, addr := range addrs {
+			if pid != id {
+				peers[pid] = addr
+			}
+		}
+		o := Options{
+			ID:            id,
+			Listener:      lns[i],
+			Peers:         peers,
+			Scheduler:     kind,
+			Workload:      testWorkload(),
+			NestedLatency: 2 * time.Millisecond,
+			Tick:          2 * time.Millisecond,
+			Budget:        5 * time.Millisecond,
+		}
+		if mut != nil {
+			mut(i, &o)
+		}
+		srv, err := New(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = srv
+		t.Cleanup(func() { srv.Close() })
+	}
+	return servers, addrs
+}
+
+// TestKillRestartRejoin is the headline recovery test: a 3-node MAT
+// cluster under load has one replica killed mid-run and restarted on the
+// same address. The restarted replica must fetch a checkpoint and the
+// sequenced tail from a donor, replay at the original virtual stamps,
+// and end the run with a ConsistencyHash bit-identical to the
+// survivors' — RunLoad's convergence check asserts exactly that.
+func TestKillRestartRejoin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-socket cluster test")
+	}
+	servers, addrs := startClusterWith(t, 3, replica.KindMAT, func(i int, o *Options) {
+		o.CheckpointEvery = 2
+		o.Epoch = 1
+		o.GossipInterval = 100 * time.Millisecond
+	})
+
+	type loadOut struct {
+		res *LoadResult
+		err error
+	}
+	ch := make(chan loadOut, 1)
+	go func() {
+		res, err := RunLoad(LoadOptions{
+			Servers:           addrs,
+			Clients:           2,
+			RequestsPerClient: 10,
+			Seed:              5,
+			Workload:          testWorkload(),
+			Timeout:           120 * time.Second,
+		})
+		ch <- loadOut{res, err}
+	}()
+
+	time.Sleep(120 * time.Millisecond) // let requests and checkpoints flow
+	servers[2].Close()                 // kill R3 (a follower)
+	time.Sleep(120 * time.Millisecond) // the cluster keeps running without it
+
+	ln, err := net.Listen("tcp", addrs[3])
+	if err != nil {
+		t.Fatalf("rebinding %s: %v", addrs[3], err)
+	}
+	peers := map[ids.ReplicaID]string{1: addrs[1], 2: addrs[2]}
+	restarted, err := New(Options{
+		ID:              3,
+		Listener:        ln,
+		Peers:           peers,
+		Scheduler:       replica.KindMAT,
+		Workload:        testWorkload(),
+		NestedLatency:   2 * time.Millisecond,
+		Tick:            2 * time.Millisecond,
+		Budget:          5 * time.Millisecond,
+		CheckpointEvery: 2,
+		Epoch:           2, // strictly above the first incarnation's
+		Recover:         true,
+		GossipInterval:  100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("restarting R3: %v", err)
+	}
+	defer restarted.Close()
+
+	out := <-ch
+	if out.err != nil {
+		t.Fatalf("load run with kill/restart: %v", out.err)
+	}
+	if out.res.Errors > 0 {
+		t.Fatalf("%d request errors", out.res.Errors)
+	}
+	if !out.res.Converged {
+		t.Fatalf("restarted replica did not converge to an identical hash: %+v", out.res.Statuses)
+	}
+	for _, st := range out.res.Statuses {
+		if st.Hash != out.res.Statuses[0].Hash {
+			t.Fatalf("hash mismatch after rejoin: %+v", out.res.Statuses)
+		}
+	}
+	st := restarted.Status()
+	if st.Recovery != "caught_up" {
+		t.Fatalf("restarted replica recovery state %q", st.Recovery)
+	}
+	if st.Diagnostic != "" {
+		t.Fatalf("unexpected divergence diagnostic: %s", st.Diagnostic)
+	}
+}
+
+// chaosSoak runs a load under seeded transport faults (severed
+// connections, read delays, short partitions between replicas) and
+// asserts the cluster still converges to one schedule hash once the
+// faults heal — retransmission, dedup, and stamped injection must make
+// chaos invisible to the deterministic schedule.
+func chaosSoak(t *testing.T, kind replica.SchedulerKind, seed uint64) {
+	t.Helper()
+	injs := make([]*chaos.Injector, 3)
+	var peerAddrs []string
+	servers, addrs := startClusterWith(t, 3, kind, func(i int, o *Options) {
+		injs[i] = chaos.New()
+		o.Dial = injs[i].Dial(nil)
+		o.CheckpointEvery = 2
+		o.Epoch = 1
+	})
+	_ = servers
+	for _, a := range addrs {
+		peerAddrs = append(peerAddrs, a)
+	}
+
+	stop := make(chan struct{})
+	defer close(stop)
+	for i, inj := range injs {
+		go inj.Run(chaos.Plan{
+			Seed:         seed + uint64(i),
+			Step:         25 * time.Millisecond,
+			PSever:       0.15,
+			PPartition:   0.1,
+			PartitionFor: 100 * time.Millisecond,
+			PDelay:       0.3,
+			DelayBy:      2 * time.Millisecond,
+			Addrs:        peerAddrs,
+		}, stop)
+	}
+	// Guarantee at least one sever regardless of the plan's draws.
+	go func() {
+		for k := 0; k < 3; k++ {
+			select {
+			case <-stop:
+				return
+			case <-time.After(30 * time.Millisecond):
+			}
+			for _, inj := range injs {
+				inj.SeverAll()
+			}
+		}
+	}()
+
+	res, err := RunLoad(LoadOptions{
+		Servers:           addrs,
+		Clients:           2,
+		RequestsPerClient: 6,
+		Seed:              seed,
+		Workload:          testWorkload(),
+		Timeout:           120 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("%s chaos soak: %v", kind, err)
+	}
+	if res.Errors > 0 {
+		t.Fatalf("%s chaos soak: %d request errors", kind, res.Errors)
+	}
+	if !res.Converged {
+		t.Fatalf("%s chaos soak did not converge: %+v", kind, res.Statuses)
+	}
+	var severed int
+	for _, inj := range injs {
+		s, _ := inj.Stats()
+		severed += s
+	}
+	if severed == 0 {
+		t.Fatal("chaos plan injected no faults — the soak tested nothing")
+	}
+}
+
+func TestChaosSoakMAT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-socket chaos test")
+	}
+	chaosSoak(t, replica.KindMAT, 11)
+}
+
+func TestChaosSoakLSA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-socket chaos test")
+	}
+	chaosSoak(t, replica.KindLSA, 23)
+}
+
+// TestDivergenceHalts injects a bogus scheduler decision into one
+// replica's trace mid-run. Its next checkpoint carries a consistency
+// hash the other two replicas disagree with; the gossip round must then
+// halt the diverged replica (majority rule) with a diagnostic naming
+// the divergent slot, while the agreeing majority keeps running.
+func TestDivergenceHalts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-socket cluster test")
+	}
+	servers, addrs := startClusterWith(t, 3, replica.KindMAT, func(i int, o *Options) {
+		o.CheckpointEvery = 2
+		o.Epoch = 1
+		o.GossipInterval = 50 * time.Millisecond
+	})
+
+	// Phase 1: a clean prefix so every ring has agreeing points.
+	res, err := RunLoad(LoadOptions{
+		Servers: addrs, Clients: 1, RequestsPerClient: 4,
+		Seed: 9, Workload: testWorkload(), Timeout: 60 * time.Second,
+	})
+	if err != nil || !res.Converged {
+		t.Fatalf("clean phase: err=%v converged=%v", err, res != nil && res.Converged)
+	}
+
+	// Corrupt R3's schedule: a decision event the others never made.
+	// Acquire+exit seals a chain, so the divergence lands in the sealed
+	// consistency accumulator that checkpoints capture.
+	tr := servers[2].Replica().Runtime().Trace()
+	tr.Record(trace.Event{Thread: 0x7fffffff, Kind: trace.KindLockAcq, Mutex: 999, Sync: ids.NoSync})
+	tr.Record(trace.Event{Thread: 0x7fffffff, Kind: trace.KindExit, Mutex: ids.NoMutex, Sync: ids.NoSync})
+
+	// Phase 2: more load (as a fresh client incarnation — disjoint
+	// ClientBase), so fresh checkpoints gossip the divergence. R3 halts
+	// mid-phase, so this run cannot converge — ignore its error.
+	go RunLoad(LoadOptions{
+		Servers: addrs, Clients: 1, RequestsPerClient: 8, ClientBase: 10,
+		Seed: 10, Workload: testWorkload(), Timeout: 30 * time.Second,
+	})
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := servers[2].Status()
+		if st.Recovery == "halted" {
+			if st.Diagnostic == "" {
+				t.Fatal("halted without a diagnostic")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("diverged replica did not halt; status %+v", st)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	for i := 0; i < 2; i++ {
+		if st := servers[i].Status(); st.Recovery != "caught_up" {
+			t.Fatalf("healthy replica %v entered state %q (diag %q)", st.ID, st.Recovery, st.Diagnostic)
+		}
+	}
+}

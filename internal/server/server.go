@@ -15,12 +15,15 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"strings"
+	"sync"
 	"time"
 
 	"detmt/internal/analysis"
 	"detmt/internal/gcs"
 	"detmt/internal/ids"
 	"detmt/internal/lang"
+	"detmt/internal/recovery"
 	"detmt/internal/replica"
 	"detmt/internal/vclock"
 	"detmt/internal/wire"
@@ -65,9 +68,43 @@ type Options struct {
 	// see, so members need not agree on it.
 	TraceRetention int
 
+	// SeqRetention bounds the sequenced-log tail retained for serving a
+	// rejoining peer's catch-up (see gcs.Config.SeqRetention).
+	SeqRetention int
+
+	// DataDir persists checkpoints and the restart-epoch counter for
+	// crash recovery. "" keeps checkpoints in memory only (the process
+	// can still act as a catch-up donor, but cannot bump its own epoch
+	// across restarts — pass Epoch explicitly then).
+	DataDir string
+	// Epoch is this incarnation's restart epoch for the transport
+	// handshake. 0 with a DataDir derives the next epoch from the
+	// persisted counter; 0 without one disables epoch semantics.
+	Epoch uint64
+	// Recover starts the server in recovery mode: live traffic is
+	// buffered while the latest checkpoint and the sequenced tail are
+	// fetched from a peer, replayed at their original virtual stamps,
+	// and only then does the replica go live — with a trace hash
+	// bit-identical to the survivors'. Requires a running peer.
+	Recover bool
+	// GossipInterval is the period of the consistency-hash gossip used
+	// for divergence detection (0 applies DefaultGossipInterval;
+	// negative disables gossip).
+	GossipInterval time.Duration
+
+	// Dial overrides the transport dialer (chaos fault injection).
+	Dial func(addr string) (net.Conn, error)
+	// OnChaos, if set, serves "chaos <cmd>" control requests (the fault
+	// injection hooks wired up by cmd/detmt-server).
+	OnChaos func(cmd string) []byte
+
 	// Logf, if set, receives transport diagnostics.
 	Logf func(format string, args ...interface{})
 }
+
+// DefaultGossipInterval is the divergence-gossip period applied when
+// Options leaves GossipInterval at zero.
+const DefaultGossipInterval = 250 * time.Millisecond
 
 // DefaultTraceRetention is the trace bound applied when Options leaves
 // TraceRetention at zero: enough history for post-mortem timelines while
@@ -88,6 +125,23 @@ type Status struct {
 	// Hash stays exact over the full history either way.
 	TraceRetained int    `json:"trace_retained"`
 	TraceDropped  uint64 `json:"trace_dropped"`
+	// Recovery is the crash-recovery state: "recovering" while the
+	// replica is installing a checkpoint and replaying the sequenced
+	// tail, "caught_up" once live, "halted" after divergence detection
+	// froze it.
+	Recovery string `json:"recovery"`
+	// LastCheckpointSeq/CheckpointAgeMs describe the latest local
+	// deterministic checkpoint (0 / negative age when none was taken).
+	LastCheckpointSeq uint64  `json:"last_checkpoint_seq"`
+	CheckpointAgeMs   float64 `json:"checkpoint_age_ms"`
+	// GossipLagSeqs is the largest slot distance between this replica's
+	// divergence-point ring and any peer's, as of the last gossip round.
+	GossipLagSeqs uint64 `json:"gossip_lag_seqs"`
+	// ReplayedTail counts the sequenced envelopes replayed during
+	// recovery (0 unless the server was started with Recover).
+	ReplayedTail int `json:"replayed_tail"`
+	// Diagnostic carries the divergence diff after a halt.
+	Diagnostic string `json:"diagnostic,omitempty"`
 }
 
 // Server is one running replica process.
@@ -97,6 +151,17 @@ type Server struct {
 	tr    *wire.TCP
 	group *gcs.Group
 	rep   *replica.Replica
+	mgr   *recovery.Manager
+
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	stateMu    sync.Mutex
+	ready      bool // group/replica fully constructed (callback guard)
+	recState   string
+	replayed   int
+	gossipLag  uint64
+	diagnostic string
 }
 
 // New builds and starts the server: transport first (so the membership
@@ -120,7 +185,27 @@ func New(o Options) (*Server, error) {
 	}
 	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
 
-	s := &Server{o: o, clock: vclock.NewVirtual()}
+	if o.Recover && o.ID == members[0] {
+		return nil, fmt.Errorf("server: the sequencer (%v) cannot rejoin via recovery", o.ID)
+	}
+	if o.Epoch == 0 && o.DataDir != "" {
+		epoch, err := recovery.NextEpoch(o.DataDir)
+		if err != nil {
+			return nil, fmt.Errorf("server: epoch counter: %v", err)
+		}
+		o.Epoch = epoch
+	}
+
+	s := &Server{
+		o:        o,
+		clock:    vclock.NewVirtual(),
+		mgr:      recovery.NewManager(o.DataDir),
+		stop:     make(chan struct{}),
+		recState: "caught_up",
+	}
+	if o.Recover {
+		s.recState = "recovering"
+	}
 	// The sequencer process leads the virtual timeline (unbounded
 	// horizon); followers advance only up to the stamps and heartbeats
 	// it publishes. Pacing must be on before the group starts its tick
@@ -128,12 +213,16 @@ func New(o Options) (*Server, error) {
 	s.clock.EnablePacing(o.ID == members[0])
 
 	tr, err := wire.NewTCP(wire.Options{
-		Name:      o.ID.String(),
-		Listen:    o.Listen,
-		Listener:  o.Listener,
-		Peers:     o.Peers,
-		OnControl: s.handleControl,
-		Logf:      o.Logf,
+		Name:         o.ID.String(),
+		Listen:       o.Listen,
+		Listener:     o.Listener,
+		Peers:        o.Peers,
+		Epoch:        o.Epoch,
+		OnControl:    s.handleControl,
+		OnCheckpoint: s.mgr.Latest,
+		OnCatchUp:    s.serveCatchUp,
+		Dial:         o.Dial,
+		Logf:         o.Logf,
 	})
 	if err != nil {
 		return nil, err
@@ -141,12 +230,14 @@ func New(o Options) (*Server, error) {
 	s.tr = tr
 
 	s.group = gcs.NewGroup(gcs.Config{
-		Clock:     s.clock,
-		Members:   members,
-		Transport: tr,
-		Local:     []ids.ReplicaID{o.ID},
-		Tick:      o.Tick,
-		Budget:    o.Budget,
+		Clock:        s.clock,
+		Members:      members,
+		Transport:    tr,
+		Local:        []ids.ReplicaID{o.ID},
+		Tick:         o.Tick,
+		Budget:       o.Budget,
+		Recovering:   o.Recover,
+		SeqRetention: o.SeqRetention,
 	})
 	s.rep = replica.New(replica.Config{
 		ID:              o.ID,
@@ -159,6 +250,7 @@ func New(o Options) (*Server, error) {
 		NestedLatency:   o.NestedLatency,
 		LeaderID:        members[0],
 		CheckpointEvery: o.CheckpointEvery,
+		CheckpointSink:  s.captureCheckpoint,
 	})
 	s.rep.Instance().SetField("state", int64(0))
 	retention := o.TraceRetention
@@ -168,7 +260,33 @@ func New(o Options) (*Server, error) {
 	if retention > 0 {
 		s.rep.Runtime().Trace().SetRetention(retention)
 	}
+	s.stateMu.Lock()
+	s.ready = true
+	s.stateMu.Unlock()
+
+	if o.Recover {
+		go s.runRecovery()
+	}
+	gossip := o.GossipInterval
+	if gossip == 0 {
+		gossip = DefaultGossipInterval
+	}
+	if gossip > 0 && len(o.Peers) > 0 {
+		go s.runGossip(gossip)
+	}
 	return s, nil
+}
+
+// serveCatchUp is the donor side of the catch-up protocol: it hands a
+// rejoining peer the retained sequenced tail from its node.
+func (s *Server) serveCatchUp(fromSeq uint64, max int) (envs []gcs.Envelope, more, ok bool) {
+	s.stateMu.Lock()
+	ready := s.ready
+	s.stateMu.Unlock()
+	if !ready {
+		return nil, false, false
+	}
+	return s.group.Node(s.o.ID).SequencedTail(fromSeq, max)
 }
 
 // Addr returns the transport's listen address.
@@ -184,6 +302,7 @@ func (s *Server) Transport() *wire.TCP { return s.tr }
 // Status snapshots the server's progress.
 func (s *Server) Status() Status {
 	tr := s.rep.Runtime().Trace()
+	s.stateMu.Lock()
 	st := Status{
 		ID:            s.o.ID,
 		Scheduler:     string(s.o.Scheduler),
@@ -192,6 +311,17 @@ func (s *Server) Status() Status {
 		NowVirtMs:     float64(s.clock.Now()) / float64(time.Millisecond),
 		TraceRetained: tr.Len(),
 		TraceDropped:  tr.Dropped(),
+		Recovery:      s.recState,
+		GossipLagSeqs: s.gossipLag,
+		ReplayedTail:  s.replayed,
+		Diagnostic:    s.diagnostic,
+	}
+	s.stateMu.Unlock()
+	if c := s.mgr.LatestCheckpoint(); c != nil {
+		st.LastCheckpointSeq = c.Seq
+		st.CheckpointAgeMs = float64(time.Since(s.mgr.TakenAt())) / float64(time.Millisecond)
+	} else {
+		st.CheckpointAgeMs = -1
 	}
 	if v, ok := s.rep.Instance().GetField("state").(int64); ok {
 		st.State = v
@@ -199,17 +329,51 @@ func (s *Server) Status() Status {
 	return st
 }
 
-// handleControl serves the out-of-band control protocol: any request is
-// answered with the JSON status snapshot.
-func (s *Server) handleControl(_ []byte) []byte {
-	b, err := json.Marshal(s.Status())
-	if err != nil {
-		return []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
-	}
-	return b
+// hashRing is the "hashes" control reply: the replica's divergence-point
+// ring (ascending slots).
+type hashRing struct {
+	ID     ids.ReplicaID      `json:"id"`
+	Points []recovery.SeqHash `json:"points"`
 }
+
+// handleControl serves the out-of-band control protocol: "hashes"
+// returns the divergence-point ring, "chaos <cmd>" routes to the fault
+// injector, anything else (canonically "status") gets the JSON status
+// snapshot.
+func (s *Server) handleControl(req []byte) []byte {
+	s.stateMu.Lock()
+	ready := s.ready
+	s.stateMu.Unlock()
+	if !ready {
+		return []byte(`{"error":"starting"}`)
+	}
+	cmd := string(req)
+	switch {
+	case cmd == "hashes":
+		b, err := json.Marshal(hashRing{ID: s.o.ID, Points: s.mgr.Points()})
+		if err != nil {
+			return []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
+		}
+		return b
+	case strings.HasPrefix(cmd, "chaos "):
+		if s.o.OnChaos == nil {
+			return []byte(`{"error":"chaos not enabled"}`)
+		}
+		return s.o.OnChaos(strings.TrimPrefix(cmd, "chaos "))
+	default:
+		b, err := json.Marshal(s.Status())
+		if err != nil {
+			return []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
+		}
+		return b
+	}
+}
+
+// Checkpoints exposes the recovery manager (tests, bench harness).
+func (s *Server) Checkpoints() *recovery.Manager { return s.mgr }
 
 // Close shuts the group and transport down.
 func (s *Server) Close() error {
+	s.stopOnce.Do(func() { close(s.stop) })
 	return s.group.Close()
 }

@@ -24,6 +24,7 @@ package trace
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -336,6 +337,74 @@ func (t *Trace) ConsistencyHash() uint64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.consHash
+}
+
+// ChainState is one live consistency chain in an exported HashState:
+// either a per-mutex monitor chain (Thread zero) or a per-thread
+// lifecycle chain (Mutex = ids.NoMutex).
+type ChainState struct {
+	Mutex  ids.MutexID
+	Thread ids.ThreadID
+	Hash   uint64
+}
+
+// HashState is a portable snapshot of the incremental hash state taken
+// at a quiescent sequence point. A checkpoint carries it so that a
+// rejoining replica can seed a fresh trace and, after replaying the
+// sequenced tail, arrive at hashes bit-identical to replicas that lived
+// through the whole history. Consistency is carried explicitly (not
+// recomputed from Chains) because exited threads' chains are sealed
+// into it and no longer enumerable.
+type HashState struct {
+	Decision    uint64
+	Consistency uint64
+	Total       uint64 // events recorded when the snapshot was taken
+	Chains      []ChainState
+}
+
+// ExportHashState snapshots the incremental hash state. Chains are
+// sorted (mutex, thread) so the encoding of a checkpoint is
+// deterministic across replicas. Export only at a quiescent point (no
+// scheduler decisions in flight), or the snapshot is torn.
+func (t *Trace) ExportHashState() HashState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := HashState{
+		Decision:    t.decHash,
+		Consistency: t.consHash,
+		Total:       t.total,
+		Chains:      make([]ChainState, 0, len(t.chains)),
+	}
+	for k, h := range t.chains {
+		s.Chains = append(s.Chains, ChainState{Mutex: k.mutex, Thread: k.thread, Hash: h})
+	}
+	sort.Slice(s.Chains, func(i, j int) bool {
+		a, b := s.Chains[i], s.Chains[j]
+		if a.Mutex != b.Mutex {
+			return a.Mutex < b.Mutex
+		}
+		return a.Thread < b.Thread
+	})
+	return s
+}
+
+// SeedHashState primes a fresh trace with a previously exported state:
+// subsequent Records continue the exact hash chains, as if the first
+// s.Total events had been recorded here and then dropped by retention
+// (Len() starts at 0, Dropped() at s.Total). Any retained events are
+// discarded.
+func (t *Trace) SeedHashState(s HashState) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.chunks = nil
+	t.total = s.Total
+	t.start = s.Total
+	t.decHash = s.Decision
+	t.consHash = s.Consistency
+	t.chains = make(map[chainKey]uint64, len(s.Chains))
+	for _, c := range s.Chains {
+		t.chains[chainKey{mutex: c.Mutex, thread: c.Thread}] = c.Hash
+	}
 }
 
 // String renders the retained events, one per line.

@@ -27,17 +27,26 @@ import (
 // the golden-bytes test in codec_test.go pins the current format.
 const (
 	Magic   = "DTMT"
-	Version = uint16(1)
+	Version = uint16(2) // v2: hello carries a restart epoch; recovery frames 7–11
 )
 
 // Frame kinds.
 const (
-	frameHello        = byte(1) // process name + client origins routed here
+	frameHello        = byte(1) // process name + restart epoch + client origins routed here
 	frameEnvelope     = byte(2) // one gcs.Envelope
 	frameBatch        = byte(3) // several envelopes, delivered atomically
 	frameAck          = byte(4) // cumulative ack of received frame seqnos
 	frameControl      = byte(5) // out-of-band request (status queries)
 	frameControlReply = byte(6)
+	// Recovery: state transfer for a rejoining replica. Requests travel on
+	// the dialed link (retransmitted until acked); responses ride back on
+	// the inbound connection and are correlated by request id — a lost
+	// response surfaces as a requester timeout + retry, like Control.
+	frameCkptReq      = byte(7)  // u64 req id
+	frameCkptChunk    = byte(8)  // u64 req id, raw checkpoint bytes
+	frameCkptDone     = byte(9)  // u64 req id, u8 ok, u64 seq, u64 len, u64 fnv
+	frameCatchUpReq   = byte(10) // u64 req id, u64 fromSeq, u32 max
+	frameCatchUpEntry = byte(11) // u64 req id, u8 flags, u32 n, n×envelope
 )
 
 // Payload type tags.
@@ -395,8 +404,13 @@ func DecodeEnvelope(b []byte) (gcs.Envelope, int, error) {
 
 // ---- frame body builders ----
 
-func helloBody(name string, origins []gcs.Origin) []byte {
+// helloBody encodes the per-connection greeting. epoch is the sender's
+// restart incarnation: receivers reset the sender's dedup state when it
+// grows and reject connections carrying an older one (0 opts out of
+// epoch semantics entirely, for processes that never restart in place).
+func helloBody(name string, epoch uint64, origins []gcs.Origin) []byte {
 	b := appendString(nil, name)
+	b = appendU64(b, epoch)
 	b = appendU32(b, uint32(len(origins)))
 	for _, o := range origins {
 		b = appendOrigin(b, o)
@@ -404,17 +418,18 @@ func helloBody(name string, origins []gcs.Origin) []byte {
 	return b
 }
 
-func parseHello(body []byte) (name string, origins []gcs.Origin, err error) {
+func parseHello(body []byte) (name string, epoch uint64, origins []gcs.Origin, err error) {
 	r := &reader{b: body}
 	name = r.str()
+	epoch = r.u64()
 	n := int(r.u32())
 	if r.err != nil || n > len(body) {
-		return "", nil, errShortFrame
+		return "", 0, nil, errShortFrame
 	}
 	for i := 0; i < n; i++ {
 		origins = append(origins, r.origin())
 	}
-	return name, origins, r.err
+	return name, epoch, origins, r.err
 }
 
 func batchBody(b []byte, envs []gcs.Envelope) ([]byte, error) {
@@ -439,6 +454,87 @@ func parseBatch(body []byte) ([]gcs.Envelope, error) {
 		envs = append(envs, r.envelope())
 	}
 	return envs, r.err
+}
+
+// ---- recovery frame bodies ----
+
+// catch-up entry flags.
+const (
+	catchUpOK   = byte(1) // donor could serve fromSeq (no retention gap)
+	catchUpMore = byte(2) // donor had more entries than max
+)
+
+func ckptReqBody(id uint64) []byte { return appendU64(nil, id) }
+
+func ckptDoneBody(id uint64, ok bool, seq uint64, length int, sum uint64) []byte {
+	okb := byte(0)
+	if ok {
+		okb = 1
+	}
+	b := appendU64(nil, id)
+	b = append(b, okb)
+	b = appendU64(b, seq)
+	b = appendU64(b, uint64(length))
+	return appendU64(b, sum)
+}
+
+func parseCkptDone(body []byte) (id uint64, ok bool, seq uint64, length int, sum uint64, err error) {
+	r := &reader{b: body}
+	id = r.u64()
+	okb := r.u8()
+	seq = r.u64()
+	length = int(r.u64())
+	sum = r.u64()
+	return id, okb != 0, seq, length, sum, r.err
+}
+
+func catchUpReqBody(id, fromSeq uint64, max int) []byte {
+	b := appendU64(nil, id)
+	b = appendU64(b, fromSeq)
+	return appendU32(b, uint32(max))
+}
+
+func parseCatchUpReq(body []byte) (id, fromSeq uint64, max int, err error) {
+	r := &reader{b: body}
+	id = r.u64()
+	fromSeq = r.u64()
+	max = int(r.u32())
+	return id, fromSeq, max, r.err
+}
+
+func catchUpEntryBody(id uint64, ok, more bool, envs []gcs.Envelope) ([]byte, error) {
+	flags := byte(0)
+	if ok {
+		flags |= catchUpOK
+	}
+	if more {
+		flags |= catchUpMore
+	}
+	b := appendU64(nil, id)
+	b = append(b, flags)
+	return batchBody(b, envs)
+}
+
+func parseCatchUpEntry(body []byte) (id uint64, ok, more bool, envs []gcs.Envelope, err error) {
+	r := &reader{b: body}
+	id = r.u64()
+	flags := r.u8()
+	if r.err != nil {
+		return 0, false, false, nil, r.err
+	}
+	envs, err = parseBatch(body[r.off:])
+	return id, flags&catchUpOK != 0, flags&catchUpMore != 0, envs, err
+}
+
+// fnvSum64 hashes a byte slice (FNV-1a); checkpoint transfers carry it
+// so a reassembled chunk stream is integrity-checked before use.
+func fnvSum64(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
 }
 
 // ---- framing ----

@@ -161,12 +161,12 @@ func TestHelloRoundTrip(t *testing.T) {
 		{Client: 3, IsClient: true},
 		{Client: 9, IsClient: true},
 	}
-	name, got, err := parseHello(helloBody("load-7", origins))
+	name, epoch, got, err := parseHello(helloBody("load-7", 42, origins))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if name != "load-7" || !reflect.DeepEqual(got, origins) {
-		t.Fatalf("hello mismatch: %q %+v", name, got)
+	if name != "load-7" || epoch != 42 || !reflect.DeepEqual(got, origins) {
+		t.Fatalf("hello mismatch: %q epoch=%d %+v", name, epoch, got)
 	}
 }
 
@@ -177,7 +177,7 @@ func TestFrameRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := []frame{
-		{kind: frameHello, seq: 0, body: helloBody("R1", nil)},
+		{kind: frameHello, seq: 0, body: helloBody("R1", 1, nil)},
 		{kind: frameEnvelope, seq: 1, body: []byte{1, 2, 3}},
 		{kind: frameAck, seq: 0, body: appendU64(nil, 17)},
 	}
@@ -209,7 +209,8 @@ func TestGoldenBytes(t *testing.T) {
 	if err := writePreamble(&pre); err != nil {
 		t.Fatal(err)
 	}
-	if got, want := hex.EncodeToString(pre.Bytes()), "44544d540001"; got != want {
+	// v2: hello gained the restart epoch and recovery frames 7–11 joined.
+	if got, want := hex.EncodeToString(pre.Bytes()), "44544d540002"; got != want {
 		t.Errorf("preamble drifted:\n  got  %s\n  want %s", got, want)
 	}
 

@@ -34,9 +34,37 @@ type Options struct {
 	// replica travel on its single connection, which subsumes per-link
 	// FIFO ordering.
 	Peers map[ids.ReplicaID]string
+	// Epoch is this process's restart incarnation, announced in every
+	// hello. Receivers reset their per-sender dedup state when a higher
+	// epoch appears under the same Name and reject connections (and
+	// frames) from older ones, so a restarted replica's fresh seqno space
+	// is accepted while a stale incarnation lingering behind a partition
+	// cannot inject frames. 0 disables epoch semantics for this sender
+	// (legacy behavior: dedup state keyed by Name persists forever).
+	Epoch uint64
 	// OnControl serves out-of-band requests (status queries) arriving
 	// from peers or clients. Called on a dedicated goroutine.
 	OnControl func(req []byte) []byte
+	// OnCheckpoint serves checkpoint state-transfer requests from
+	// rejoining peers: the latest locally persisted checkpoint (encoded)
+	// plus the sequence number it covers. ok=false means no checkpoint
+	// exists yet (the requester then replays from the start of the
+	// donor's sequenced log). Called on a dedicated goroutine.
+	OnCheckpoint func() (data []byte, seq uint64, ok bool)
+	// OnCatchUp serves sequenced-tail requests: up to max retained
+	// sequenced envelopes starting at fromSeq, in seq order. more means
+	// additional retained entries exist past the returned ones; ok=false
+	// means fromSeq has already been discarded by the donor's retention
+	// bound (the requester must fetch a newer checkpoint). Called on a
+	// dedicated goroutine.
+	OnCatchUp func(fromSeq uint64, max int) (envs []gcs.Envelope, more, ok bool)
+	// MaxUnacked bounds the per-peer retransmission queue: frames not yet
+	// acknowledged by a down peer accumulate until this many are queued,
+	// then the oldest are dropped (counted, logged once per outage). A
+	// peer that was down long enough to lose frames this way has a gap in
+	// its stream and must rejoin via recovery. 0 applies
+	// DefaultMaxUnacked; negative keeps the queue unbounded.
+	MaxUnacked int
 	// BackoffMin/BackoffMax bound the exponential reconnect backoff
 	// (defaults 25ms / 1s).
 	BackoffMin time.Duration
@@ -58,9 +86,14 @@ type Options struct {
 //     invisible above the transport (the gcs layer's origin/uid
 //     duplicate suppression remains as a second, independent layer).
 //
-// Frames sent back along inbound connections (client replies, acks,
-// control replies) are fire-and-forget: if the connection dies they are
-// dropped, which first-reply-wins client semantics tolerate.
+// Frames sent back along inbound connections (acks, control replies)
+// are fire-and-forget: if the connection dies they are dropped. Client
+// replies get one extra safety net: the last clientReplayBuf envelopes
+// per client origin are kept in a ring and replayed whenever that
+// origin's route reattaches on a new connection, so a generator whose
+// every connection was severed at once (chaos SeverAll) still sees its
+// replies after reconnecting. Clients dedup replies by request id, so
+// redelivered entries are invisible.
 type TCP struct {
 	o  Options
 	ln net.Listener
@@ -69,14 +102,43 @@ type TCP struct {
 	binds    map[gcs.Origin]func(...gcs.Envelope)
 	peers    map[ids.ReplicaID]*peerLink
 	routes   map[gcs.Origin]*inboundConn
-	lastSeen map[string]uint64 // highest dedup seqno delivered, per sender name
+	replay   map[gcs.Origin][]gcs.Envelope // recent client-bound envelopes, replayed on route change
+	owner    map[gcs.Origin]string         // sender name that announced each origin (replay-ring GC)
+	lastSeen map[string]uint64             // highest dedup seqno delivered, per sender name
+	epochs   map[string]uint64             // highest restart epoch seen, per sender name
 	inbounds map[*inboundConn]struct{}
 	ctl      map[uint64]chan []byte
+	fetches  map[uint64]*fetchState
 	nextCtl  uint64
 	closed   bool
 
 	wg sync.WaitGroup
 }
+
+// fetchState accumulates one in-flight checkpoint or catch-up fetch.
+type fetchState struct {
+	data []byte // checkpoint chunks assembled so far
+	done chan fetchResult
+}
+
+type fetchResult struct {
+	data []byte // checkpoint bytes (checkpoint fetches)
+	seq  uint64
+	envs []gcs.Envelope // tail entries (catch-up fetches)
+	more bool
+	ok   bool
+	err  error
+}
+
+// DefaultMaxUnacked is the retransmission-queue bound applied when
+// Options leaves MaxUnacked at zero. At typical sequenced-traffic rates
+// this absorbs outages of several minutes before frames are shed.
+const DefaultMaxUnacked = 32768
+
+// clientReplayBuf bounds the per-client-origin reply replay ring: far
+// more than any closed-loop client can have outstanding, small enough
+// that a long-lived server's memory stays flat.
+const clientReplayBuf = 256
 
 // NewTCP creates the endpoint, starts its listener (if any) and begins
 // dialing every configured peer.
@@ -95,15 +157,22 @@ func NewTCP(o Options) (*TCP, error) {
 	if o.Logf == nil {
 		o.Logf = func(string, ...interface{}) {}
 	}
+	if o.MaxUnacked == 0 {
+		o.MaxUnacked = DefaultMaxUnacked
+	}
 	t := &TCP{
 		o:        o,
 		ln:       o.Listener,
 		binds:    map[gcs.Origin]func(...gcs.Envelope){},
 		peers:    map[ids.ReplicaID]*peerLink{},
 		routes:   map[gcs.Origin]*inboundConn{},
+		replay:   map[gcs.Origin][]gcs.Envelope{},
+		owner:    map[gcs.Origin]string{},
 		lastSeen: map[string]uint64{},
+		epochs:   map[string]uint64{},
 		inbounds: map[*inboundConn]struct{}{},
 		ctl:      map[uint64]chan []byte{},
+		fetches:  map[uint64]*fetchState{},
 	}
 	if t.ln == nil && o.Listen != "" {
 		ln, err := net.Listen("tcp", o.Listen)
@@ -161,7 +230,7 @@ func (t *TCP) helloFrameLocked() frame {
 			origins = append(origins, o)
 		}
 	}
-	return frame{kind: frameHello, body: helloBody(t.o.Name, origins)}
+	return frame{kind: frameHello, body: helloBody(t.o.Name, t.o.Epoch, origins)}
 }
 
 // Send implements gcs.Transport. The link key is unused: per-peer
@@ -198,10 +267,18 @@ func (t *TCP) sendEnvs(to gcs.Origin, envs []gcs.Envelope) {
 		pl.enqueueSeq(f)
 		return
 	}
+	// Record the envelopes in the origin's replay ring first: even with
+	// no live route (or one about to die) they will be redelivered when
+	// the client's next connection announces this origin.
+	ring := append(t.replay[to], envs...)
+	if len(ring) > clientReplayBuf {
+		ring = append(ring[:0], ring[len(ring)-clientReplayBuf:]...)
+	}
+	t.replay[to] = ring
 	ic := t.routes[to]
 	t.mu.Unlock()
 	if ic == nil {
-		t.o.Logf("wire: no route to client %v, dropping", to)
+		t.o.Logf("wire: no route to client %v yet, buffered for replay", to)
 		return
 	}
 	f, err := envFrame(envs)
@@ -209,7 +286,7 @@ func (t *TCP) sendEnvs(to gcs.Origin, envs []gcs.Envelope) {
 		t.o.Logf("wire: %v", err)
 		return
 	}
-	ic.enqueue(f) // seq 0: inbound-direction frames are fire-and-forget
+	ic.enqueue(f) // seq 0: loss is covered by the replay ring, not acks
 }
 
 // envFrame encodes envs into a pooled body. The frame owns its buffer:
@@ -263,6 +340,170 @@ func (t *TCP) Control(peer ids.ReplicaID, req []byte, timeout time.Duration) ([]
 	}
 }
 
+// FetchCheckpoint asks a donor peer for its latest persisted checkpoint
+// (served by the peer's OnCheckpoint handler, chunked over the wire and
+// integrity-checked on reassembly). ok=false means the donor has no
+// checkpoint yet.
+func (t *TCP) FetchCheckpoint(peer ids.ReplicaID, timeout time.Duration) (data []byte, seq uint64, ok bool, err error) {
+	fs, id, pl, err := t.newFetch(peer)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	defer t.endFetch(id)
+	pl.enqueueSeq(frame{kind: frameCkptReq, body: ckptReqBody(id)})
+	select {
+	case res := <-fs.done:
+		return res.data, res.seq, res.ok, res.err
+	case <-time.After(timeout):
+		return nil, 0, false, fmt.Errorf("wire: checkpoint fetch from %v timed out", peer)
+	}
+}
+
+// FetchTail asks a donor peer for up to max retained sequenced envelopes
+// starting at fromSeq (served by the peer's OnCatchUp handler). more
+// means the donor has further retained entries past the returned ones;
+// ok=false means fromSeq is older than the donor's retention window.
+func (t *TCP) FetchTail(peer ids.ReplicaID, fromSeq uint64, max int, timeout time.Duration) (envs []gcs.Envelope, more, ok bool, err error) {
+	fs, id, pl, err := t.newFetch(peer)
+	if err != nil {
+		return nil, false, false, err
+	}
+	defer t.endFetch(id)
+	pl.enqueueSeq(frame{kind: frameCatchUpReq, body: catchUpReqBody(id, fromSeq, max)})
+	select {
+	case res := <-fs.done:
+		return res.envs, res.more, res.ok, res.err
+	case <-time.After(timeout):
+		return nil, false, false, fmt.Errorf("wire: catch-up fetch from %v timed out", peer)
+	}
+}
+
+func (t *TCP) newFetch(peer ids.ReplicaID) (*fetchState, uint64, *peerLink, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pl := t.peers[peer]
+	if pl == nil {
+		return nil, 0, nil, fmt.Errorf("wire: unknown peer %v", peer)
+	}
+	t.nextCtl++
+	id := t.nextCtl
+	fs := &fetchState{done: make(chan fetchResult, 1)}
+	t.fetches[id] = fs
+	return fs, id, pl, nil
+}
+
+func (t *TCP) endFetch(id uint64) {
+	t.mu.Lock()
+	delete(t.fetches, id)
+	t.mu.Unlock()
+}
+
+// dispatchFetch routes checkpoint chunks / completions and catch-up
+// entries arriving on a dialed link back to the waiting fetch.
+func (t *TCP) dispatchFetch(f frame) {
+	if len(f.body) < 8 {
+		return
+	}
+	id := (&reader{b: f.body}).u64()
+	t.mu.Lock()
+	fs := t.fetches[id]
+	t.mu.Unlock()
+	if fs == nil {
+		return // fetch abandoned (timeout) or stale retry
+	}
+	var res fetchResult
+	switch f.kind {
+	case frameCkptChunk:
+		t.mu.Lock()
+		fs.data = append(fs.data, f.body[8:]...)
+		t.mu.Unlock()
+		return
+	case frameCkptDone:
+		_, ok, seq, length, sum, err := parseCkptDone(f.body)
+		t.mu.Lock()
+		data := fs.data
+		fs.data = nil
+		t.mu.Unlock()
+		res = fetchResult{data: data, seq: seq, ok: ok, err: err}
+		if err == nil && ok && (len(data) != length || fnvSum64(data) != sum) {
+			res = fetchResult{err: fmt.Errorf("wire: checkpoint transfer corrupt (%d/%d bytes)", len(data), length)}
+		}
+	case frameCatchUpEntry:
+		_, ok, more, envs, err := parseCatchUpEntry(f.body)
+		res = fetchResult{envs: envs, more: more, ok: ok, err: err}
+	default:
+		return
+	}
+	select {
+	case fs.done <- res:
+	default:
+	}
+}
+
+// ckptChunkSize bounds one checkpoint chunk frame so a large snapshot
+// interleaves with (never stalls behind) regular inbound-link traffic.
+const ckptChunkSize = 64 << 10
+
+// handleCkptReq serves a checkpoint state transfer on the inbound
+// connection the request arrived on.
+func (t *TCP) handleCkptReq(ic *inboundConn, f frame) {
+	if len(f.body) < 8 {
+		return
+	}
+	id := (&reader{b: f.body}).u64()
+	handler := t.o.OnCheckpoint
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		var (
+			data []byte
+			seq  uint64
+			ok   bool
+		)
+		if handler != nil {
+			data, seq, ok = handler()
+		}
+		for off := 0; off < len(data); off += ckptChunkSize {
+			end := off + ckptChunkSize
+			if end > len(data) {
+				end = len(data)
+			}
+			eb := pooledBody()
+			body := append(appendU64(eb.b, id), data[off:end]...)
+			ic.enqueue(frame{kind: frameCkptChunk, body: body, buf: eb})
+		}
+		ic.enqueue(frame{kind: frameCkptDone, body: ckptDoneBody(id, ok, seq, len(data), fnvSum64(data))})
+	}()
+}
+
+// handleCatchUpReq serves a sequenced-tail request on the inbound
+// connection it arrived on.
+func (t *TCP) handleCatchUpReq(ic *inboundConn, f frame) {
+	id, fromSeq, max, err := parseCatchUpReq(f.body)
+	if err != nil {
+		return
+	}
+	handler := t.o.OnCatchUp
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		var (
+			envs []gcs.Envelope
+			more bool
+			ok   bool
+		)
+		if handler != nil {
+			envs, more, ok = handler(fromSeq, max)
+		}
+		body, err := catchUpEntryBody(id, ok, more, envs)
+		if err != nil {
+			t.o.Logf("wire: encoding catch-up reply: %v", err)
+			body, _ = catchUpEntryBody(id, false, false, nil)
+		}
+		ic.enqueue(frame{kind: frameCatchUpEntry, body: body})
+	}()
+}
+
 // DropPeer forcibly closes the current connection to a peer (test hook
 // for fault injection). The link reconnects with backoff and replays
 // unacknowledged frames.
@@ -278,6 +519,24 @@ func (t *TCP) DropPeer(id ids.ReplicaID) {
 		pl.conn.Close()
 	}
 	pl.mu.Unlock()
+}
+
+// RetransmitDropped returns the total number of frames shed by the
+// MaxUnacked retransmission bound across all peer links.
+func (t *TCP) RetransmitDropped() uint64 {
+	t.mu.Lock()
+	peers := make([]*peerLink, 0, len(t.peers))
+	for _, pl := range t.peers {
+		peers = append(peers, pl)
+	}
+	t.mu.Unlock()
+	var n uint64
+	for _, pl := range peers {
+		pl.mu.Lock()
+		n += pl.dropped
+		pl.mu.Unlock()
+	}
+	return n
 }
 
 // Close shuts the endpoint down: listener, dialed links, inbound
@@ -320,15 +579,26 @@ func (t *TCP) isClosed() bool {
 // deliverFrame routes a received envelope/batch frame to its binding,
 // applying duplicate suppression for seqno-carrying frames. from is the
 // sender's stable name ("" if it never said hello — only possible on
-// dialed connections, where the peer id provides the name).
-func (t *TCP) deliverFrame(from string, f frame) {
-	if f.seq != 0 {
+// dialed connections, where the peer id provides the name). fromEpoch is
+// the epoch the sender's connection announced (0: unenforced); the
+// return value is false when the frame came from a stale incarnation and
+// the connection should be torn down.
+func (t *TCP) deliverFrame(from string, fromEpoch uint64, f frame) bool {
+	if fromEpoch != 0 || f.seq != 0 {
 		t.mu.Lock()
-		if f.seq <= t.lastSeen[from] {
+		if fromEpoch != 0 && fromEpoch < t.epochs[from] {
 			t.mu.Unlock()
-			return // duplicate redelivery after a reconnect
+			t.o.Logf("wire: dropping frame from stale incarnation of %s (epoch %d < %d)",
+				from, fromEpoch, t.epochs[from])
+			return false
 		}
-		t.lastSeen[from] = f.seq
+		if f.seq != 0 {
+			if f.seq <= t.lastSeen[from] {
+				t.mu.Unlock()
+				return true // duplicate redelivery after a reconnect
+			}
+			t.lastSeen[from] = f.seq
+		}
 		t.mu.Unlock()
 	}
 	var envs []gcs.Envelope
@@ -337,7 +607,7 @@ func (t *TCP) deliverFrame(from string, f frame) {
 		env, _, err := DecodeEnvelope(f.body)
 		if err != nil {
 			t.o.Logf("wire: bad envelope from %s: %v", from, err)
-			return
+			return true
 		}
 		envs = []gcs.Envelope{env}
 	case frameBatch:
@@ -345,13 +615,13 @@ func (t *TCP) deliverFrame(from string, f frame) {
 		envs, err = parseBatch(f.body)
 		if err != nil {
 			t.o.Logf("wire: bad batch from %s: %v", from, err)
-			return
+			return true
 		}
 	default:
-		return
+		return true
 	}
 	if len(envs) == 0 {
-		return
+		return true
 	}
 	// All envelopes in a batch share a destination (one frame per link).
 	t.mu.Lock()
@@ -359,9 +629,10 @@ func (t *TCP) deliverFrame(from string, f frame) {
 	t.mu.Unlock()
 	if deliver == nil {
 		t.o.Logf("wire: no binding for %v, dropping %d envelope(s)", envs[0].To, len(envs))
-		return
+		return true
 	}
 	deliver(envs...)
+	return true
 }
 
 func (t *TCP) handleControl(ic *inboundConn, f frame) {
@@ -416,6 +687,7 @@ type peerLink struct {
 	cond    *sync.Cond
 	queue   []frame // unacknowledged (plus not-yet-sent) frames, in order
 	sent    int     // frames of queue already written on the current conn
+	dropped uint64  // frames shed by the MaxUnacked bound (peer down too long)
 	nextSeq uint64
 	conn    net.Conn
 	closed  bool
@@ -428,7 +700,12 @@ func newPeerLink(t *TCP, id ids.ReplicaID, addr string) *peerLink {
 	return pl
 }
 
-// enqueueSeq assigns the next dedup seqno and queues the frame.
+// enqueueSeq assigns the next dedup seqno and queues the frame,
+// enforcing the retransmission bound: when a down peer has left more
+// than MaxUnacked frames unacknowledged, the oldest are shed (with an
+// error logged and a counter kept) instead of growing without limit.
+// The receiver then has a hole in its stream and must rejoin via
+// recovery; until it does, its gcs holdback queue simply stalls.
 func (pl *peerLink) enqueueSeq(f frame) {
 	pl.mu.Lock()
 	if pl.closed {
@@ -439,6 +716,32 @@ func (pl *peerLink) enqueueSeq(f frame) {
 	pl.nextSeq++
 	f.seq = pl.nextSeq
 	pl.queue = append(pl.queue, f)
+	if max := pl.t.o.MaxUnacked; max > 0 && len(pl.queue) > max {
+		n := len(pl.queue) - max
+		for i := 0; i < n; i++ {
+			releaseFrameBody(pl.queue[i])
+		}
+		k := copy(pl.queue, pl.queue[n:])
+		for i := k; i < len(pl.queue); i++ {
+			pl.queue[i] = frame{}
+		}
+		pl.queue = pl.queue[:k]
+		if n > pl.sent {
+			pl.sent = 0
+		} else {
+			pl.sent -= n
+		}
+		first := pl.dropped == 0
+		pl.dropped += uint64(n)
+		total := pl.dropped
+		pl.mu.Unlock()
+		if first || total%1024 == 0 {
+			pl.t.o.Logf("wire: ERROR: retransmission buffer for %v full (%d frames), shedding oldest — peer must rejoin via recovery (%d shed so far)",
+				pl.id, max, total)
+		}
+		pl.cond.Broadcast() // Broadcast outside mu is fine for sync.Cond
+		return
+	}
 	pl.cond.Broadcast()
 	pl.mu.Unlock()
 }
@@ -552,6 +855,18 @@ func (pl *peerLink) serveConn(conn net.Conn) bool {
 	go func() {
 		defer t.wg.Done()
 		defer close(readerDone)
+		// When the read side dies the connection is gone: wake the writer
+		// (it may be parked on an empty queue and would otherwise only
+		// notice on its next outbound frame) so the link redials promptly.
+		defer func() {
+			pl.mu.Lock()
+			if pl.conn == conn {
+				pl.conn = nil
+			}
+			pl.cond.Broadcast()
+			pl.mu.Unlock()
+			conn.Close()
+		}()
 		br := bufio.NewReader(conn)
 		if err := readPreamble(br); err != nil {
 			return
@@ -569,8 +884,10 @@ func (pl *peerLink) serveConn(conn net.Conn) bool {
 				}
 			case frameControlReply:
 				t.dispatchControlReply(f.body)
+			case frameCkptChunk, frameCkptDone, frameCatchUpEntry:
+				t.dispatchFetch(f)
 			case frameEnvelope, frameBatch:
-				t.deliverFrame(pl.id.String(), f)
+				t.deliverFrame(pl.id.String(), 0, f)
 			}
 		}
 	}()
@@ -654,6 +971,7 @@ type inboundConn struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	name   string // peer's stable name, from its hello
+	epoch  uint64 // peer's restart epoch, from its hello (0: unenforced)
 	queue  []frame
 	spare  []frame // drained batch buffer, recycled by the write loop
 	closed bool
@@ -722,23 +1040,64 @@ func (ic *inboundConn) readLoop() {
 		}
 		switch f.kind {
 		case frameHello:
-			name, origins, err := parseHello(f.body)
+			name, epoch, origins, err := parseHello(f.body)
 			if err != nil {
 				return
 			}
-			ic.mu.Lock()
-			ic.name = name
-			ic.mu.Unlock()
 			t.mu.Lock()
+			if epoch != 0 {
+				cur := t.epochs[name]
+				if epoch < cur {
+					t.mu.Unlock()
+					t.o.Logf("wire: rejecting stale incarnation of %s (epoch %d < %d)", name, epoch, cur)
+					return
+				}
+				if epoch > cur {
+					// New incarnation: its seqno space restarts at 1, so the
+					// dedup watermark from the previous life must go, or every
+					// frame the restarted peer sends would be suppressed. The
+					// previous life's client origins are gone for good, so
+					// their replay rings go too.
+					t.epochs[name] = epoch
+					delete(t.lastSeen, name)
+					for o, own := range t.owner {
+						if own == name {
+							delete(t.replay, o)
+							delete(t.owner, o)
+						}
+					}
+				}
+			}
+			var replayed []gcs.Envelope
 			for _, o := range origins {
+				if t.routes[o] != ic && len(t.replay[o]) > 0 {
+					// The origin reattached on a new connection: anything sent
+					// toward it recently may have died with the old one, so
+					// redeliver the ring (receivers dedup by request id).
+					replayed = append(replayed, t.replay[o]...)
+				}
 				t.routes[o] = ic // latest connection wins
+				if o.IsClient {
+					t.owner[o] = name
+				}
 			}
 			t.mu.Unlock()
+			if len(replayed) > 0 {
+				if g, err := envFrame(replayed); err == nil {
+					ic.enqueue(g)
+				}
+			}
+			ic.mu.Lock()
+			ic.name = name
+			ic.epoch = epoch
+			ic.mu.Unlock()
 		case frameEnvelope, frameBatch:
 			ic.mu.Lock()
-			name := ic.name
+			name, epoch := ic.name, ic.epoch
 			ic.mu.Unlock()
-			t.deliverFrame(name, f)
+			if !t.deliverFrame(name, epoch, f) {
+				return // stale incarnation: drop the connection
+			}
 			if f.seq != 0 {
 				eb := pooledBody()
 				body := appendU64(eb.b, f.seq)
@@ -746,6 +1105,10 @@ func (ic *inboundConn) readLoop() {
 			}
 		case frameControl:
 			t.handleControl(ic, f)
+		case frameCkptReq:
+			t.handleCkptReq(ic, f)
+		case frameCatchUpReq:
+			t.handleCatchUpReq(ic, f)
 		case frameAck:
 			// Inbound-direction frames are fire-and-forget; nothing to trim.
 		}

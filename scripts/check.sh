@@ -1,8 +1,15 @@
 #!/bin/sh
 # The full verification gate, for environments without make:
 # build + vet + race-enabled tests (same as `make check`).
+#
+#   scripts/check.sh          full gate (includes real-socket cluster tests)
+#   scripts/check.sh -short   what CI runs: skips the loopback-TCP tests
 set -eu
 cd "$(dirname "$0")/.."
+short=""
+if [ "${1:-}" = "-short" ]; then
+	short="-short"
+fi
 go build ./...
 go vet ./...
-go test -race ./...
+go test -race $short ./...
