@@ -9,11 +9,13 @@
 //
 //	detmt-chaos -servers 1=127.0.0.1:7101,2=127.0.0.1:7102 -cmd sever
 //	detmt-chaos -servers ... -target 2 -cmd "delay 5ms"
+//	detmt-chaos -servers ... -target-role sequencer -cmd sever
 //	detmt-chaos -servers ... -plan -seed 7 -duration 30s
 //	detmt-chaos -servers ... -status
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -30,6 +32,7 @@ import (
 func main() {
 	servers := flag.String("servers", "", "cluster members as id=addr,id=addr,...")
 	target := flag.Int("target", 0, "replica id to address (0: all listed servers)")
+	targetRole := flag.String("target-role", "", `resolve the target by role instead of id: "sequencer" polls status and targets the current view's sequencer`)
 	cmd := flag.String("cmd", "", `one-shot chaos command: sever, "block <addr>", "unblock <addr>", "delay <dur>", heal, stats`)
 	status := flag.Bool("status", false, "print each replica's status (recovery state, checkpoint age, diagnostics)")
 	plan := flag.Bool("plan", false, "drive a seeded random fault plan instead of a one-shot command")
@@ -47,6 +50,31 @@ func main() {
 		fmt.Fprintf(os.Stderr, "detmt-chaos: bad -servers: %v\n", err)
 		os.Exit(2)
 	}
+	tr, err := wire.NewTCP(wire.Options{Name: "chaos-ctl", Peers: serverMap})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "detmt-chaos: %v\n", err)
+		os.Exit(1)
+	}
+	defer tr.Close()
+
+	if *targetRole != "" {
+		if *targetRole != "sequencer" {
+			fmt.Fprintf(os.Stderr, "detmt-chaos: unknown -target-role %q (supported: sequencer)\n", *targetRole)
+			os.Exit(2)
+		}
+		if *target != 0 {
+			fmt.Fprintln(os.Stderr, "detmt-chaos: -target and -target-role are mutually exclusive")
+			os.Exit(2)
+		}
+		seq, err := resolveSequencer(tr, serverMap, *timeout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "detmt-chaos: resolving sequencer: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("target-role sequencer resolved to %v\n", seq)
+		*target = int(seq)
+	}
+
 	targets := make([]ids.ReplicaID, 0, len(serverMap))
 	for id := range serverMap {
 		if *target == 0 || id == ids.ReplicaID(*target) {
@@ -58,13 +86,6 @@ func main() {
 		os.Exit(2)
 	}
 	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
-
-	tr, err := wire.NewTCP(wire.Options{Name: "chaos-ctl", Peers: serverMap})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "detmt-chaos: %v\n", err)
-		os.Exit(1)
-	}
-	defer tr.Close()
 
 	send := func(id ids.ReplicaID, req string) {
 		b, err := tr.Control(id, []byte(req), *timeout)
@@ -125,6 +146,41 @@ func runPlan(send func(ids.ReplicaID, string), targets []ids.ReplicaID,
 		send(id, "chaos heal")
 	}
 	log.Printf("detmt-chaos: plan done: %d steps, %d faults injected", steps, faults)
+}
+
+// resolveSequencer polls every listed server's status and returns the
+// sequencer of the highest view any of them reports. Unreachable servers
+// are skipped (the sequencer may be the replica someone just killed);
+// at least one must answer.
+func resolveSequencer(tr *wire.TCP, serverMap map[ids.ReplicaID]string, timeout time.Duration) (ids.ReplicaID, error) {
+	var (
+		best     ids.ReplicaID
+		bestView uint64
+		answered bool
+	)
+	for id := range serverMap {
+		b, err := tr.Control(id, []byte("status"), timeout)
+		if err != nil {
+			continue
+		}
+		var st struct {
+			View      uint64        `json:"view"`
+			Sequencer ids.ReplicaID `json:"sequencer"`
+		}
+		if json.Unmarshal(b, &st) != nil || st.Sequencer <= 0 {
+			continue
+		}
+		if !answered || st.View > bestView {
+			best, bestView, answered = st.Sequencer, st.View, true
+		}
+	}
+	if !answered {
+		return 0, fmt.Errorf("no server reported a sequencer")
+	}
+	if _, ok := serverMap[best]; !ok {
+		return 0, fmt.Errorf("reported sequencer %v is not in -servers", best)
+	}
+	return best, nil
 }
 
 func parseServers(s string) (map[ids.ReplicaID]string, error) {

@@ -1,8 +1,11 @@
 // Command detmt-server hosts one detmt replica over real TCP — the
 // deployment mode that takes the system out of the simulator. Start one
 // process per member with the full (static) membership; the lowest
-// replica id acts as the sequencer and runs the stamped sequencing tick
-// loop that keeps every member's virtual schedule identical.
+// replica id starts as the sequencer and runs the stamped sequencing
+// tick loop that keeps every member's virtual schedule identical. If
+// the sequencer dies, the survivors elect the lowest live id into the
+// next sequencing view; a killed replica — sequencer included — rejoins
+// with -recover.
 //
 // Usage (3-replica loopback cluster):
 //
@@ -48,7 +51,7 @@ func main() {
 	traceRetention := flag.Int("trace-retention", 0,
 		"max trace events kept in memory (0: default bound, negative: unlimited); hashes stay exact over full history")
 	dataDir := flag.String("data", "", "directory for checkpoints and the restart-epoch counter (empty: in-memory only)")
-	recoverFlag := flag.Bool("recover", false, "rejoin the running cluster via checkpoint + tail transfer (followers only)")
+	recoverFlag := flag.Bool("recover", false, "rejoin the running cluster via checkpoint + tail transfer (any role, including a deposed sequencer)")
 	epoch := flag.Uint64("epoch", 0, "restart epoch override (0: derive from -data, or legacy epoch-less mode without it)")
 	seqRetention := flag.Int("seq-retention", 0,
 		"sequenced envelopes retained to serve rejoiners (0: default, negative: unlimited)")
@@ -134,8 +137,8 @@ func main() {
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	<-sigc
 	st := srv.Status()
-	log.Printf("detmt-server: shutting down: completed=%d hash=%x state=%d recovery=%s last-ckpt=%d",
-		st.Completed, st.Hash, st.State, st.Recovery, st.LastCheckpointSeq)
+	log.Printf("detmt-server: shutting down: completed=%d hash=%x state=%d recovery=%s last-ckpt=%d view=%d seq=%v",
+		st.Completed, st.Hash, st.State, st.Recovery, st.LastCheckpointSeq, st.View, st.Sequencer)
 	if inj != nil {
 		sev, blocked := inj.Stats()
 		log.Printf("detmt-server: chaos totals: severed=%d dials-blocked=%d", sev, blocked)

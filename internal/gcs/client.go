@@ -46,37 +46,41 @@ func (c *ClientEndpoint) SetOnReply(fn func(from ids.ReplicaID, p Payload)) { c.
 // the uid assigned to it. The client's per-endpoint uid provides the
 // duplicate suppression the paper requires ("a unique message identifier
 // for each client request"); pass it to Ack once the request completed.
-func (c *ClientEndpoint) Broadcast(p Payload) uint64 {
+// When every member is crash-detected the send fails with
+// ErrNoSequencer: the request will never be ordered, so the caller must
+// not wait for a reply.
+func (c *ClientEndpoint) Broadcast(p Payload) (uint64, error) {
 	c.g.stats.add(0, 1, 0)
 	c.mu.Lock()
 	c.nextUID++
 	uid := c.nextUID
 	c.pending[uid] = p
 	c.mu.Unlock()
-	c.send(Envelope{
+	err := c.send(Envelope{
 		Kind:    EnvForward,
 		Origin:  Origin{Client: c.id, IsClient: true},
 		UID:     uid,
 		Payload: p,
 	})
-	return uid
+	return uid, err
 }
 
-func (c *ClientEndpoint) send(env Envelope) {
+func (c *ClientEndpoint) send(env Envelope) error {
 	seq := c.g.sequencer()
 	if seq < 0 {
-		return
+		return ErrNoSequencer
 	}
 	c.g.transfer(fmt.Sprintf("%v>%v", env.Origin, seq), Origin{Replica: seq}, env)
+	return nil
 }
 
 // BroadcastBatch submits several payloads as one atomic wire batch: on a
 // batching transport the sequencer observes them contiguously, within a
 // single sequencing tick, which distributed-mode determinism tests rely
 // on. It returns the uids assigned to the payloads, in order.
-func (c *ClientEndpoint) BroadcastBatch(ps []Payload) []uint64 {
+func (c *ClientEndpoint) BroadcastBatch(ps []Payload) ([]uint64, error) {
 	if len(ps) == 0 {
-		return nil
+		return nil, nil
 	}
 	c.g.stats.add(0, len(ps), 0)
 	uids := make([]uint64, len(ps))
@@ -92,10 +96,10 @@ func (c *ClientEndpoint) BroadcastBatch(ps []Payload) []uint64 {
 	c.mu.Unlock()
 	seq := c.g.sequencer()
 	if seq < 0 {
-		return uids
+		return uids, ErrNoSequencer
 	}
 	c.g.transferBatch(fmt.Sprintf("%v>%v", origin, seq), Origin{Replica: seq}, envs)
-	return uids
+	return uids, nil
 }
 
 // Ack tells the endpoint that the request with the given uid completed,
@@ -142,7 +146,8 @@ func (c *ClientEndpoint) retransmitPending() {
 	c.mu.Unlock()
 	sortUint64(uids)
 	for _, uid := range uids {
-		c.send(Envelope{
+		// A failed send keeps the uid pending for the next view change.
+		_ = c.send(Envelope{
 			Kind:    EnvForward,
 			Origin:  Origin{Client: c.id, IsClient: true},
 			UID:     uid,

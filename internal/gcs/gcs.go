@@ -21,6 +21,7 @@
 package gcs
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -33,6 +34,11 @@ import (
 // Payload is an application-level message body (defined by the
 // replication layer).
 type Payload interface{}
+
+// ErrNoSequencer reports that a broadcast could not be submitted because
+// every group member is crash-detected: there is nobody left to assign a
+// total-order slot, so the send fails cleanly instead of misrouting.
+var ErrNoSequencer = errors.New("gcs: no live sequencer")
 
 // Message is a totally ordered delivery.
 type Message struct {
@@ -89,6 +95,13 @@ type Config struct {
 	Tick   time.Duration
 	Budget time.Duration
 
+	// FetchGap, when set (stamped mode), fetches up to max sequenced
+	// slots starting at from that this process missed, from the donor
+	// member. The sequencer-takeover path uses it to heal the candidate
+	// before it assumes the new view; the server wires it to the wire
+	// transport's catch-up fetch. Called from an unmanaged goroutine.
+	FetchGap func(donor ids.ReplicaID, from uint64, max int) []Envelope
+
 	// Recovering starts the group in recovery mode (stamped mode only):
 	// all transport traffic is buffered instead of injected, so the
 	// virtual clock cannot advance past the stamps of the sequenced tail
@@ -100,6 +113,11 @@ type Config struct {
 	// envelopes kept for donor-side catch-up (SequencedTail). 0 applies
 	// DefaultSeqRetention; negative retains everything.
 	SeqRetention int
+
+	// Logf, when set, receives view-change and failure-detection events
+	// (elections are rare and operator-relevant; nothing on the per-
+	// message hot path logs).
+	Logf func(format string, args ...interface{})
 }
 
 // DefaultSeqRetention is the sequenced-log bound applied when Config
@@ -153,6 +171,24 @@ type Group struct {
 	crashedAt map[ids.ReplicaID]time.Duration
 	isClosed  bool
 
+	// Sequencing view: a monotone number bumped on every takeover, with
+	// the member currently assigning total-order slots. Every stamped
+	// envelope carries the view; receivers drop traffic from older views
+	// and adopt newer ones (viewstamped-replication style).
+	view         uint64
+	seqID        ids.ReplicaID
+	maxStamp     time.Duration              // highest stamp/horizon observed
+	stampFloor   time.Duration              // new-view stamps must exceed this
+	viewAcks     map[ids.ReplicaID]Envelope // view-sync replies being collected
+	viewAckFor   uint64                     // ... for this proposed view
+	onViewChange []func(view uint64, seq ids.ReplicaID)
+	takingOver   bool
+
+	// Wall-clock failure detection (stamped mode): the monitor marks the
+	// sequencer crashed when no stamped traffic arrived for DetectTimeout.
+	trafficMu      sync.Mutex
+	lastSeqTraffic time.Time
+
 	fwdMu sync.Mutex
 	fwdQ  []Envelope // forwards awaiting the next sequencing tick
 
@@ -205,6 +241,22 @@ func NewGroup(cfg Config) *Group {
 			g.allLocal = false
 		}
 	}
+	if g.cfg.Logf == nil {
+		g.cfg.Logf = func(string, ...interface{}) {}
+	} else {
+		// Prefix events with the hosted member so multi-process logs
+		// interleave readably.
+		self := "client"
+		if len(local) == 1 {
+			self = local[0].String()
+		} else if len(local) > 1 {
+			self = fmt.Sprintf("%v", local)
+		}
+		inner := g.cfg.Logf
+		g.cfg.Logf = func(format string, args ...interface{}) {
+			inner("["+self+"] "+format, args...)
+		}
+	}
 	g.vclk, _ = cfg.Clock.(*vclock.Virtual)
 	g.tr = cfg.Transport
 	if g.tr == nil {
@@ -212,6 +264,8 @@ func NewGroup(cfg Config) *Group {
 	}
 	g.stamped = cfg.Transport != nil && g.vclk != nil
 	g.recovering = cfg.Recovering && g.stamped
+	g.seqID = members[0]
+	g.lastSeqTraffic = time.Now()
 	for _, id := range members {
 		if !g.localSet[id] {
 			continue
@@ -220,11 +274,38 @@ func NewGroup(cfg Config) *Group {
 		g.nodes[id] = n
 		g.tr.Bind(Origin{Replica: id}, func(envs ...Envelope) { g.inject(n.enqueue, envs...) })
 	}
-	if g.stamped && g.localSet[members[0]] {
+	if g.stamped && len(g.nodes) > 0 {
+		// Every member-hosting process runs the tick loop; its body is a
+		// no-op until this process hosts the current sequencer, so the
+		// loop survives takeovers without being restarted.
 		cfg.Clock.Go(g.runTicks)
+		go g.runMonitor()
 	}
 	return g
 }
+
+// SetOnViewChange registers a callback invoked (from an unmanaged
+// goroutine) after every view adoption. The replication layer uses it to
+// move the nested-invocation performer role. Register before traffic
+// flows; callbacks accumulate so every locally hosted replica can
+// observe the change.
+func (g *Group) SetOnViewChange(fn func(view uint64, seq ids.ReplicaID)) {
+	g.mu.Lock()
+	g.onViewChange = append(g.onViewChange, fn)
+	g.mu.Unlock()
+}
+
+// CurrentView returns the sequencing view number and the member
+// currently assigning slots in it.
+func (g *Group) CurrentView() (uint64, ids.ReplicaID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.view, g.seqID
+}
+
+// Distributed reports whether the group runs in stamped (real-transport)
+// mode rather than the in-memory simulator.
+func (g *Group) Distributed() bool { return g.stamped }
 
 // Close stops the sequencing tick loop (if any) and closes the
 // transport. Simulated groups never need it.
@@ -291,6 +372,11 @@ func (g *Group) sequencer() ids.ReplicaID {
 	now := g.cfg.Clock.Now()
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	if g.stamped {
+		// Distributed mode: the view state machine is authoritative (the
+		// wall-clock monitor and view-sync already encode detection).
+		return g.seqID
+	}
 	for _, id := range g.cfg.Members {
 		if at, dead := g.crashedAt[id]; dead && now >= at+g.cfg.DetectTimeout {
 			continue // failure already detected: skip
@@ -299,6 +385,11 @@ func (g *Group) sequencer() ids.ReplicaID {
 	}
 	return -1
 }
+
+// CurrentSequencer exposes the sender-visible sequencer (may be -1 when
+// every member is crash-detected). The replication layer uses it to pick
+// the nested-invocation performer in distributed mode.
+func (g *Group) CurrentSequencer() ids.ReplicaID { return g.sequencer() }
 
 // actualSequencerLocked ignores detection delay (internal liveness view).
 func (g *Group) actualSequencerLocked() ids.ReplicaID {
@@ -354,27 +445,444 @@ func (g *Group) Crash(id ids.ReplicaID) bool {
 	}
 	g.mu.Unlock()
 
+	_ = clients
 	if !wasSequencer || newSeq < 0 {
 		return true
 	}
-	// Failure detection and retransmission after the timeout.
-	for _, n := range g.nodes {
-		if n.id == id {
-			continue
+	// Failure detection after the timeout: survivors adopt the next view
+	// (recomputing the lowest live member at that instant, so cascading
+	// crashes during the window resolve to the right sequencer) and
+	// retransmit their unsequenced forwards.
+	g.cfg.Clock.Go(func() {
+		g.cfg.Clock.Sleep(g.cfg.DetectTimeout)
+		g.detectFailover()
+	})
+	return true
+}
+
+// detectFailover recomputes the sequencer from current liveness and, if
+// it moved, adopts the next view. The simulator schedules it one
+// DetectTimeout after a sequencer crash; the distributed wall-clock
+// monitor reaches the same state machine through leadTakeover.
+func (g *Group) detectFailover() {
+	g.mu.Lock()
+	s := g.actualSequencerLocked()
+	if s < 0 || s == g.seqID {
+		g.mu.Unlock()
+		return
+	}
+	v := g.view + 1
+	g.mu.Unlock()
+	g.adoptView(v, s)
+}
+
+// adoptView installs view v with sequencer s, marks every member below s
+// as crash-detected, retransmits unsequenced forwards from local nodes
+// and clients, and fires the view-change callback. Stale or duplicate
+// views are ignored (returns false).
+func (g *Group) adoptView(v uint64, s ids.ReplicaID) bool {
+	g.mu.Lock()
+	if v <= g.view {
+		g.mu.Unlock()
+		return false
+	}
+	g.view = v
+	g.seqID = s
+	now := g.cfg.Clock.Now()
+	for _, id := range g.cfg.Members {
+		if id < s && !g.crashed[id] {
+			g.crashed[id] = true
+			// Back-date so the sender-visible scan skips it immediately.
+			g.crashedAt[id] = now - g.cfg.DetectTimeout
 		}
-		n := n
-		g.cfg.Clock.Go(func() {
-			g.cfg.Clock.Sleep(g.cfg.DetectTimeout)
-			n.retransmitPending()
-		})
+	}
+	var nodes []*Node
+	for _, n := range g.nodes {
+		if !g.crashed[n.id] {
+			nodes = append(nodes, n)
+		}
+	}
+	clients := make([]*ClientEndpoint, 0, len(g.clients))
+	for _, c := range g.clients {
+		clients = append(clients, c)
+	}
+	cbs := make([]func(uint64, ids.ReplicaID), len(g.onViewChange))
+	copy(cbs, g.onViewChange)
+	g.mu.Unlock()
+	g.cfg.Logf("gcs: adopted view %d, sequencer %v", v, s)
+	g.touchSeqTraffic()
+	for _, n := range nodes {
+		n.retransmitPending()
 	}
 	for _, c := range clients {
-		c := c
-		g.cfg.Clock.Go(func() {
-			g.cfg.Clock.Sleep(g.cfg.DetectTimeout)
-			c.retransmitPending()
-		})
+		c.retransmitPending()
 	}
+	for _, cb := range cbs {
+		cb(v, s)
+	}
+	return true
+}
+
+// AdoptView installs an externally learned view (public entry for
+// processes that receive no heartbeats — the load generator polls the
+// members' Status and feeds view changes here so its clients re-route
+// pending requests to the new sequencer).
+func (g *Group) AdoptView(view uint64, seq ids.ReplicaID) { g.adoptView(view, seq) }
+
+// SeedView installs the view a rejoining replica learned from its
+// recovery donor before live traffic is replayed: members below the
+// current sequencer are marked crash-detected (excluding locally hosted
+// ones — the rejoining old sequencer itself stays alive as a follower).
+func (g *Group) SeedView(view uint64, seq ids.ReplicaID) {
+	g.mu.Lock()
+	if view > g.view || (view == g.view && seq > g.seqID) {
+		g.view = view
+		g.seqID = seq
+		now := g.cfg.Clock.Now()
+		for _, id := range g.cfg.Members {
+			if id < seq && !g.crashed[id] && !g.localSet[id] {
+				g.crashed[id] = true
+				g.crashedAt[id] = now - g.cfg.DetectTimeout
+			}
+		}
+	}
+	g.mu.Unlock()
+	g.touchSeqTraffic()
+}
+
+// Revive unmarks a crash-detected member after it reconnected (the
+// transport reports its hello). Without it the sequencer would exclude
+// the rejoined member from sequenced multicasts forever.
+func (g *Group) Revive(id ids.ReplicaID) {
+	g.mu.Lock()
+	was := g.crashed[id]
+	delete(g.crashed, id)
+	delete(g.crashedAt, id)
+	g.mu.Unlock()
+	if was {
+		g.cfg.Logf("gcs: member %v revived", id)
+	}
+}
+
+// touchSeqTraffic resets the wall-clock staleness window used by the
+// failure monitor.
+func (g *Group) touchSeqTraffic() {
+	g.trafficMu.Lock()
+	g.lastSeqTraffic = time.Now()
+	g.trafficMu.Unlock()
+}
+
+// seqTrafficAge returns the wall time since the last sequencer sign of
+// life.
+func (g *Group) seqTrafficAge() time.Duration {
+	g.trafficMu.Lock()
+	defer g.trafficMu.Unlock()
+	return time.Since(g.lastSeqTraffic)
+}
+
+// runMonitor is the distributed failure detector: a wall-clock loop
+// (stamped processes host real goroutines freely — only managed ones
+// obey the virtual clock) that watches for sequencer silence. Heartbeats
+// arrive every Tick, so DetectTimeout without any stamped traffic means
+// the sequencer (or the candidate expected to replace it) is gone; the
+// lowest live member then leads a takeover, everyone else widens the
+// window and waits for the new view to announce itself.
+func (g *Group) runMonitor() {
+	interval := g.cfg.DetectTimeout / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-g.closed:
+			return
+		case <-ticker.C:
+		}
+		if g.Recovering() {
+			g.touchSeqTraffic()
+			continue
+		}
+		g.mu.Lock()
+		seq := g.seqID
+		hostingSeq := g.localSet[seq]
+		busy := g.takingOver
+		g.mu.Unlock()
+		if hostingSeq || busy {
+			g.touchSeqTraffic()
+			continue
+		}
+		if g.seqTrafficAge() < g.cfg.DetectTimeout {
+			continue
+		}
+		// The sequencer is silent: declare it crashed and line up behind
+		// the lowest live member. If that is us, run the takeover; if
+		// not, restart the window so the candidate gets its own
+		// DetectTimeout to announce the new view before we cascade past
+		// it.
+		g.mu.Lock()
+		if !g.crashed[seq] {
+			g.crashed[seq] = true
+			g.crashedAt[seq] = g.cfg.Clock.Now() - g.cfg.DetectTimeout
+		}
+		cand := g.actualSequencerLocked()
+		lead := cand >= 0 && g.localSet[cand]
+		if lead {
+			g.takingOver = true
+		}
+		curView := g.view
+		g.mu.Unlock()
+		g.cfg.Logf("gcs: sequencer %v silent for %v (view %d): candidate %v (lead=%v)",
+			seq, g.cfg.DetectTimeout, curView, cand, lead)
+		g.touchSeqTraffic()
+		if lead {
+			g.leadTakeover(cand)
+			g.mu.Lock()
+			g.takingOver = false
+			g.mu.Unlock()
+		}
+	}
+}
+
+// leadTakeover promotes the local member self to sequencer of the next
+// view. One round of view-sync collects every live peer's delivery
+// frontier and highest promised stamp; slot assignment resumes above the
+// highest slot any survivor saw (so the total order cannot fork) and new
+// stamps start above every previously published horizon (so no
+// follower's clock has passed them). Survivors that missed the dead
+// sequencer's final multicasts are healed from the best frontier before
+// the new view's traffic reaches them — per-link FIFO then guarantees
+// they observe the missing slots first.
+func (g *Group) leadTakeover(self ids.ReplicaID) {
+	g.mu.Lock()
+	v := g.view + 1
+	deposed := g.seqID
+	g.viewAcks = map[ids.ReplicaID]Envelope{}
+	g.viewAckFor = v
+	var peers, required []ids.ReplicaID
+	for _, id := range g.cfg.Members {
+		if g.localSet[id] {
+			continue
+		}
+		// Probe every remote member — including those believed crashed.
+		// A falsely-accused sequencer (our inbound link went quiet, not
+		// the sequencer itself) answers with an objection and the
+		// takeover aborts instead of forking the order. Only members
+		// still believed live gate the wait, so a genuinely dead peer
+		// costs nothing.
+		peers = append(peers, id)
+		if !g.crashed[id] {
+			required = append(required, id)
+		}
+	}
+	g.mu.Unlock()
+	for _, id := range peers {
+		g.transfer(fmt.Sprintf("vr%v>%v", self, id), Origin{Replica: id},
+			Envelope{Kind: EnvViewReq, View: v, From: Origin{Replica: self}})
+	}
+	deadline := time.Now().Add(g.cfg.DetectTimeout)
+	for {
+		g.mu.Lock()
+		got := 0
+		for _, id := range required {
+			if _, ok := g.viewAcks[id]; ok {
+				got++
+			}
+		}
+		objected := viewObjection(g.viewAcks)
+		g.mu.Unlock()
+		if objected || got >= len(required) || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	n := g.nodes[self]
+	next, maxSeen := n.Frontier()
+	g.mu.Lock()
+	maxStamp := g.maxStamp
+	acks := g.viewAcks
+	g.viewAcks = nil
+	g.mu.Unlock()
+
+	// Abort on objection: some peer (possibly the accused sequencer
+	// itself) still observes live traffic from the current view. Our own
+	// silence was a link or timing artifact — revive the sequencer and
+	// give the detector a fresh window rather than splitting the order.
+	if viewObjection(acks) {
+		g.cfg.Logf("gcs: %v aborting view-%d takeover: a peer still observes sequencer %v alive",
+			self, v, deposed)
+		g.Revive(deposed)
+		g.touchSeqTraffic()
+		return
+	}
+	// Quorum: this process plus the acks must cover a majority of the
+	// membership. A candidate that heard from nobody cannot tell "they
+	// all died" from "my inbound links are down" — and in the latter case
+	// assigning slots would fork the order the silent majority still
+	// extends. (Consequence: a 2-member group cannot fail over, and a
+	// lone survivor stalls until a peer rejoins — safety over liveness.)
+	if len(g.nodes)+len(acks) < len(g.cfg.Members)/2+1 {
+		g.cfg.Logf("gcs: %v aborting view-%d takeover: %d acks is short of a majority of %d",
+			self, v, len(acks), len(g.cfg.Members))
+		g.Revive(deposed)
+		g.touchSeqTraffic()
+		return
+	}
+
+	bestDonor, bestFrontier := ids.ReplicaID(-1), maxSeen
+	for id, a := range acks {
+		if a.Seq > maxSeen {
+			maxSeen = a.Seq
+		}
+		if a.Stamp > maxStamp {
+			maxStamp = a.Stamp
+		}
+		if a.Seq > bestFrontier {
+			bestFrontier, bestDonor = a.Seq, id
+		}
+	}
+
+	// Self-heal: fetch slots we missed from the most advanced survivor
+	// and inject them through the normal stamped path *before* opening
+	// the horizon — their stamps lie above our current horizon, so they
+	// replay at their original virtual instants.
+	if bestDonor >= 0 && next <= maxSeen && g.cfg.FetchGap != nil {
+		if envs := g.cfg.FetchGap(bestDonor, next, int(maxSeen-next)+1); len(envs) > 0 {
+			g.inject(n.enqueue, envs...)
+		}
+	}
+
+	// Heal lagging peers from our own sequenced log: every survivor holds
+	// a FIFO prefix of the dead sequencer's stream, so re-multicasting
+	// our tail (original stamps, pre-takeover view) ahead of the first
+	// new-view heartbeat closes their gaps in order.
+	for id, a := range acks {
+		peerNext := a.UID // acks carry the peer's frontier in UID
+		if peerNext > maxSeen {
+			continue
+		}
+		envs, _, ok := n.SequencedTail(peerNext, int(maxSeen-peerNext)+1)
+		if !ok {
+			continue
+		}
+		for _, e := range envs {
+			g.transfer(fmt.Sprintf("seq%v>%v", self, id), Origin{Replica: id}, e)
+		}
+	}
+
+	n.raiseHighestSeen(maxSeen)
+	g.mu.Lock()
+	if f := maxStamp + g.cfg.Budget; f > g.stampFloor {
+		g.stampFloor = f
+	}
+	g.mu.Unlock()
+	g.vclk.PromoteLeader()
+	g.cfg.Logf("gcs: %v taking over as view-%d sequencer: %d/%d acks, resume past slot %d, stamp floor %v",
+		self, v, len(acks), len(peers), maxSeen, maxStamp+g.cfg.Budget)
+	g.adoptView(v, self)
+}
+
+// handleViewReq answers a takeover candidate's view-sync probe with this
+// process's delivery frontier (UID), highest slot seen (Seq) and highest
+// promised stamp (Stamp). Handled outside the virtual clock: the clock
+// may be stalled at the dead sequencer's last horizon.
+//
+// When this process still observes the current view alive — it hosts the
+// accused sequencer itself, saw its traffic within DetectTimeout, or
+// already sits in a view at least as new as the proposal — the ack
+// carries an objection (Origin set to the responder, see viewObjection)
+// and the candidate aborts: its silence was a link artifact, and a
+// takeover that excluded a live sequencer would fork the total order.
+func (g *Group) handleViewReq(e Envelope) {
+	age := g.seqTrafficAge()
+	g.mu.Lock()
+	var self ids.ReplicaID = -1
+	var n *Node
+	for id, node := range g.nodes {
+		if self < 0 || id < self {
+			self, n = id, node
+		}
+	}
+	maxStamp := g.maxStamp
+	object := e.View <= g.view ||
+		g.localSet[g.seqID] ||
+		(age < g.cfg.DetectTimeout && !g.crashed[g.seqID])
+	g.mu.Unlock()
+	if n == nil {
+		return
+	}
+	ack := Envelope{
+		Kind: EnvViewAck,
+		View: e.View,
+		From: Origin{Replica: self},
+	}
+	if object {
+		ack.Origin = Origin{Replica: self}
+		g.transfer(fmt.Sprintf("va%v>%v", self, e.From.Replica), e.From, ack)
+		return
+	}
+	// A takeover is in progress: give the candidate its window.
+	g.touchSeqTraffic()
+	next, highest := n.Frontier()
+	ack.Seq, ack.UID, ack.Stamp = highest, next, maxStamp
+	g.transfer(fmt.Sprintf("va%v>%v", self, e.From.Replica), e.From, ack)
+}
+
+// viewObjection reports whether any view-sync ack objects to the
+// takeover: an objecting responder sets the otherwise-unused Origin
+// field to its own (non-zero) replica id.
+func viewObjection(acks map[ids.ReplicaID]Envelope) bool {
+	for _, a := range acks {
+		if a.Origin.Replica != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (g *Group) handleViewAck(e Envelope) {
+	g.mu.Lock()
+	if g.viewAcks != nil && e.View == g.viewAckFor {
+		g.viewAcks[e.From.Replica] = e
+	}
+	g.mu.Unlock()
+}
+
+// observeView filters a stamped envelope against the view state: traffic
+// from older views is dropped (a deposed sequencer's zombie multicasts
+// must not fork the order), newer views are adopted on the spot.
+func (g *Group) observeView(e Envelope) bool {
+	g.mu.Lock()
+	cur := g.view
+	g.mu.Unlock()
+	if e.View < cur {
+		// Stale-view traffic from a live member means it missed the view
+		// change — typically a sequencer that stalled through its own
+		// deposition and whose objection lost the race. It was marked
+		// crashed at detection, which excludes it from the new view's
+		// horizon multicasts, so without this revive it would never learn
+		// the new view and the group would split permanently. Drop the
+		// frame, revive the sender: the next horizon announces the view
+		// and the straggler stands down into it.
+		if id := e.From.Replica; id > 0 && !e.From.IsClient {
+			g.Revive(id)
+		}
+		return false
+	}
+	if e.View > cur {
+		from := e.From.Replica
+		if !g.adoptView(e.View, from) {
+			g.mu.Lock()
+			cur = g.view
+			g.mu.Unlock()
+			if e.View < cur {
+				return false
+			}
+		}
+	}
+	g.touchSeqTraffic()
 	return true
 }
 
@@ -386,6 +894,8 @@ const (
 	EnvSequenced                // sequenced multicast (to all members)
 	EnvDirect                   // application point-to-point
 	EnvHorizon                  // time-horizon heartbeat (stamped mode)
+	EnvViewReq                  // takeover view-sync probe (candidate → survivors)
+	EnvViewAck                  // view-sync reply: frontier + highest stamp seen
 )
 
 // Envelope is the transport-level unit of transfer. The wire codec in
@@ -393,6 +903,7 @@ const (
 type Envelope struct {
 	Kind   EnvKind
 	Seq    uint64 // total-order slot (sequenced envelopes)
+	View   uint64 // sequencing view the envelope was produced in
 	Origin Origin // broadcast originator
 	UID    uint64 // per-origin unique id (duplicate suppression)
 	From   Origin // transport-level sender (direct messages)
@@ -447,29 +958,53 @@ func (g *Group) inject(enqueue func(Envelope), envs ...Envelope) {
 		}
 		return
 	}
-	// Recovery mode: buffer everything. Injecting live sequenced traffic
-	// now would advance the virtual clock past the stamps of the tail we
-	// are about to fetch, executing replayed requests at the wrong virtual
-	// instants — divergence. Direct messages (LSA decisions, replies) are
-	// buffered too, not dropped: the transport already acked them, so a
-	// drop would be permanent.
-	g.recMu.Lock()
-	if g.recovering {
-		g.recBuf = append(g.recBuf, envs...)
-		g.recMu.Unlock()
-		return
-	}
-	g.recMu.Unlock()
 	var fwds []Envelope
 	for _, e := range envs {
+		// View-sync runs outside both the virtual clock (which may be
+		// stalled at the dead sequencer's last horizon) and recovery
+		// buffering (a recovering donor can still report its frontier).
+		switch e.Kind {
+		case EnvViewReq:
+			g.handleViewReq(e)
+			continue
+		case EnvViewAck:
+			g.handleViewAck(e)
+			continue
+		}
+		// Recovery mode: buffer everything else. Injecting live sequenced
+		// traffic now would advance the virtual clock past the stamps of
+		// the tail we are about to fetch, executing replayed requests at
+		// the wrong virtual instants — divergence. Direct messages (LSA
+		// decisions, replies) are buffered too, not dropped: the transport
+		// already acked them, so a drop would be permanent.
+		g.recMu.Lock()
+		if g.recovering {
+			g.recBuf = append(g.recBuf, e)
+			g.recMu.Unlock()
+			continue
+		}
+		g.recMu.Unlock()
 		switch {
 		case e.Kind == EnvHorizon:
+			if !g.observeView(e) {
+				continue // deposed sequencer's zombie heartbeat
+			}
+			g.noteStamp(e.Stamp)
 			g.vclk.SetHorizon(e.Stamp)
 		case e.Kind == EnvForward:
 			fwds = append(fwds, e)
 		case e.Kind == EnvSequenced && e.Stamp > 0:
+			if !g.observeView(e) {
+				continue // stale view: the order moved on without this slot
+			}
 			env := e
-			g.vclk.ScheduleAt(env.Stamp, injectOrder, "gcs inject", func() { enqueue(env) })
+			g.noteStamp(env.Stamp)
+			// Rank same-stamp injections by slot: a tick batch shares one
+			// stamp, and ScheduleAt's goroutines park in racy real-time
+			// order — without the slot rank, same-instant delivery order
+			// (and with it admission-order-sensitive schedulers like PDS)
+			// would differ across replicas.
+			g.vclk.ScheduleAt(env.Stamp, injectOrder+env.Seq, "gcs inject", func() { enqueue(env) })
 			g.vclk.SetHorizon(env.Stamp)
 		default:
 			enqueue(e)
@@ -480,6 +1015,17 @@ func (g *Group) inject(enqueue func(Envelope), envs ...Envelope) {
 		g.fwdQ = append(g.fwdQ, fwds...)
 		g.fwdMu.Unlock()
 	}
+}
+
+// noteStamp records the highest stamp/horizon this process has observed;
+// view-sync reports it so a new sequencer's stamps start above every
+// instant any survivor's clock may already have reached.
+func (g *Group) noteStamp(st time.Duration) {
+	g.mu.Lock()
+	if st > g.maxStamp {
+		g.maxStamp = st
+	}
+	g.mu.Unlock()
 }
 
 // BufferedSeqRange reports the sequenced envelopes buffered while the
@@ -579,17 +1125,18 @@ func (g *Group) ResumeLive(next uint64, tail []Envelope) {
 	sortUint64(order)
 
 	if maxStamp > 0 {
+		g.noteStamp(maxStamp)
 		g.vclk.SetHorizon(maxStamp)
 	}
 	node.resumeAt(next)
-	// Ascending slot order = non-decreasing stamp order: same-stamp
-	// envelopes keep their sequencing order because ScheduleAt breaks
-	// (at, order) ties by registration sequence.
+	// Ascending slot order, with the slot as the same-instant rank:
+	// same-stamp envelopes must deliver in sequencing order even though
+	// ScheduleAt's goroutines park in racy real-time order.
 	for _, s := range order {
 		env := seqs[s]
 		if env.Stamp > 0 {
 			env := env
-			g.vclk.ScheduleAt(env.Stamp, injectOrder, "gcs inject", func() { node.enqueue(env) })
+			g.vclk.ScheduleAt(env.Stamp, injectOrder+env.Seq, "gcs inject", func() { node.enqueue(env) })
 		} else {
 			node.enqueue(env)
 		}
@@ -599,16 +1146,18 @@ func (g *Group) ResumeLive(next uint64, tail []Envelope) {
 	}
 }
 
-// runTicks is the stamped-mode sequencing loop, run only by the process
-// hosting the sequencer (the lowest member). Each tick it assigns total-
-// order slots to the forwards accumulated since the previous tick,
-// stamping them with a shared virtual delivery deadline, and multicasts
-// a horizon heartbeat so follower clocks keep flowing through idle
+// runTicks is the stamped-mode sequencing loop, run by every member-
+// hosting process: its body is a no-op unless this process currently
+// hosts the sequencer, so a takeover activates it without restarting
+// anything. Each tick assigns total-order slots to the forwards
+// accumulated since the previous tick, stamping them with a shared
+// virtual delivery deadline, and multicasts a horizon heartbeat (with
+// the current view) so follower clocks keep flowing through idle
 // periods. Tick instants are exact virtual multiples of Config.Tick, so
-// the stamps a given forward sequence receives are reproducible.
+// the stamps a given forward sequence receives are reproducible; after a
+// takeover the stamp floor keeps new deadlines above every horizon the
+// previous sequencer published.
 func (g *Group) runTicks() {
-	seqID := g.cfg.Members[0]
-	n := g.nodes[seqID]
 	for {
 		vclock.SleepOrdered(g.cfg.Clock, g.cfg.Tick, "gcs tick", tickOrder)
 		select {
@@ -616,20 +1165,33 @@ func (g *Group) runTicks() {
 			return
 		default:
 		}
+		if g.Recovering() {
+			continue
+		}
+		g.mu.Lock()
+		seqID, view, floor := g.seqID, g.view, g.stampFloor
+		n := g.nodes[seqID]
+		g.mu.Unlock()
+		if n == nil {
+			continue // not hosting the sequencer (yet)
+		}
 		g.fwdMu.Lock()
 		batch := g.fwdQ
 		g.fwdQ = nil
 		g.fwdMu.Unlock()
 		deadline := g.cfg.Clock.Now() + g.cfg.Budget
+		if deadline < floor {
+			deadline = floor
+		}
 		for _, env := range batch {
 			n.sequence(env, deadline)
 		}
 		for _, id := range g.cfg.Members {
-			if g.isLocal(id) {
+			if g.isLocal(id) || !g.alive(id) {
 				continue
 			}
 			g.transfer(fmt.Sprintf("hz%v>%v", seqID, id), Origin{Replica: id},
-				Envelope{Kind: EnvHorizon, Stamp: deadline})
+				Envelope{Kind: EnvHorizon, View: view, From: Origin{Replica: seqID}, Stamp: deadline})
 		}
 	}
 }

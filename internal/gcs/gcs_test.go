@@ -265,6 +265,39 @@ func TestClientRetransmissionAfterTakeover(t *testing.T) {
 	}
 }
 
+// TestBroadcastAllCrashedErrNoSequencer pins the whole-group-down
+// contract: once every member is crash-detected there is no sequencer to
+// route to, and both node and client submission paths must fail fast
+// with ErrNoSequencer instead of silently dropping (or misrouting) the
+// request.
+func TestBroadcastAllCrashedErrNoSequencer(t *testing.T) {
+	tg := newTestGroup(t)
+	c := tg.g.NewClientEndpoint(5)
+	tg.drive(t, func() {
+		tg.g.Crash(1)
+		tg.g.Crash(2)
+		tg.g.Crash(3)
+		// Senders keep routing to a dead member until failure detection
+		// lands (in-flight requests are realistically lost); only after
+		// DetectTimeout is the whole-group outage visible to them.
+		tg.v.Sleep(30 * time.Millisecond)
+		if _, err := c.Broadcast("into the void"); err != ErrNoSequencer {
+			t.Errorf("client Broadcast with all members crashed: err=%v, want ErrNoSequencer", err)
+		}
+		if _, err := c.BroadcastBatch([]Payload{"a", "b"}); err != ErrNoSequencer {
+			t.Errorf("client BroadcastBatch with all members crashed: err=%v, want ErrNoSequencer", err)
+		}
+		if err := tg.g.Node(2).Broadcast("also lost"); err != ErrNoSequencer {
+			t.Errorf("node Broadcast with all members crashed: err=%v, want ErrNoSequencer", err)
+		}
+	})
+	for _, id := range []ids.ReplicaID{1, 2, 3} {
+		if n := len(tg.deliveries(id)); n != 0 {
+			t.Fatalf("node %v delivered %d messages after whole-group crash", id, n)
+		}
+	}
+}
+
 func TestStatsCounting(t *testing.T) {
 	tg := newTestGroup(t)
 	tg.drive(t, func() {

@@ -83,9 +83,11 @@ func origKey(o Origin, uid uint64) string {
 
 // Broadcast submits p for total ordering. Delivery happens on every live
 // member (including this one) once the sequencer has assigned a slot.
-func (n *Node) Broadcast(p Payload) {
+// It fails with ErrNoSequencer when every member is crash-detected —
+// callers must not assume delivery will ever happen then.
+func (n *Node) Broadcast(p Payload) error {
 	if !n.g.alive(n.id) {
-		return
+		return ErrNoSequencer
 	}
 	n.g.stats.add(0, 1, 0)
 	n.mu.Lock()
@@ -99,13 +101,13 @@ func (n *Node) Broadcast(p Payload) {
 		UID:     uid,
 		Payload: p,
 	}
-	n.sendToSequencer(env)
+	return n.sendToSequencer(env)
 }
 
-func (n *Node) sendToSequencer(env Envelope) {
+func (n *Node) sendToSequencer(env Envelope) error {
 	seq := n.g.sequencer()
 	if seq < 0 {
-		return // nobody left alive
+		return ErrNoSequencer // nobody left alive: do not misroute
 	}
 	key := fmt.Sprintf("%v>%v", env.Origin, seq)
 	if !env.Origin.IsClient && env.Origin.Replica != n.id {
@@ -113,6 +115,7 @@ func (n *Node) sendToSequencer(env Envelope) {
 		key = fmt.Sprintf("fwd%v>%v", n.id, seq)
 	}
 	n.g.transfer(key, Origin{Replica: seq}, env)
+	return nil
 }
 
 // SendDirect sends p to another member outside the total order (FIFO per
@@ -163,13 +166,27 @@ func (n *Node) retransmitPending() {
 	n.mu.Unlock()
 	sortUint64(uids)
 	for _, uid := range uids {
-		n.sendToSequencer(Envelope{
+		// A failed send (no live sequencer) keeps the uid pending; the
+		// next view change retries it.
+		_ = n.sendToSequencer(Envelope{
 			Kind:    EnvForward,
 			Origin:  Origin{Replica: n.id},
 			UID:     uid,
 			Payload: payloads[uid],
 		})
 	}
+}
+
+// raiseHighestSeen lifts the slot watermark that the next sequencing
+// assignment resumes above — the takeover view-sync feeds it the highest
+// slot any survivor has seen, so the new sequencer cannot reuse a slot
+// number the old one already published.
+func (n *Node) raiseHighestSeen(v uint64) {
+	n.mu.Lock()
+	if v > n.highestSeen {
+		n.highestSeen = v
+	}
+	n.mu.Unlock()
 }
 
 func sortUint64(s []uint64) {
@@ -270,9 +287,14 @@ func (n *Node) sequence(env Envelope, stamp time.Duration) {
 	n.nextAssign++
 	n.mu.Unlock()
 
+	n.g.mu.Lock()
+	view := n.g.view
+	n.g.mu.Unlock()
 	out := env
 	out.Kind = EnvSequenced
 	out.Seq = seq
+	out.View = view
+	out.From = Origin{Replica: n.id}
 	out.Stamp = stamp
 	for _, id := range n.g.Members() {
 		if !n.g.alive(id) {

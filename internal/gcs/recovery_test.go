@@ -220,6 +220,47 @@ func TestRecoveryBuffersThenReplays(t *testing.T) {
 	}
 }
 
+// TestStaleViewFrameRevivesStraggler pins the split-healing rule: a
+// member still emitting frames of an older view (a sequencer that
+// stalled through its own deposition — alive, but crash-marked by the
+// election) must be revived by that traffic. Crash-marked members are
+// excluded from the new view's horizon multicasts, so without the
+// revive the straggler never learns the new view and the group splits
+// permanently.
+func TestStaleViewFrameRevivesStraggler(t *testing.T) {
+	v := vclock.NewVirtual()
+	v.EnablePacing(false)
+	tr := &nullTransport{}
+	g := NewGroup(Config{
+		Clock:     v,
+		Members:   []ids.ReplicaID{1, 2, 3},
+		Local:     []ids.ReplicaID{2},
+		Transport: tr,
+	})
+	defer g.Close()
+	me := Origin{Replica: 2}
+
+	// Member 2 took over view 1; the election crash-marked member 1.
+	g.AdoptView(1, 2)
+	if g.Crash(1) {
+		t.Fatal("view adoption should have crash-marked member 1 already")
+	}
+
+	// A view-0 heartbeat from member 1 arrives: it is alive after all,
+	// just stuck in the old view. The frame must be dropped AND member 1
+	// revived so horizon multicasts resume reaching it.
+	tr.deliverTo(me, Envelope{
+		Kind:  EnvHorizon,
+		View:  0,
+		From:  Origin{Replica: 1},
+		To:    me,
+		Stamp: 5 * time.Millisecond,
+	})
+	if !g.Crash(1) {
+		t.Fatal("stale-view frame from a live member did not revive it")
+	}
+}
+
 // TestClientUIDBase: a restarted client process must number its requests
 // above every uid its previous incarnation used (the sequencer's dedup
 // is per (client, uid) for the cluster's lifetime).
@@ -228,12 +269,12 @@ func TestClientUIDBase(t *testing.T) {
 	c := tg.g.NewClientEndpoint(7)
 	c.SetUIDBase(1000)
 	var uid uint64
-	tg.drive(t, func() { uid = c.Broadcast("req") })
+	tg.drive(t, func() { uid, _ = c.Broadcast("req") })
 	if uid != 1001 {
 		t.Fatalf("uid %d, want 1001", uid)
 	}
 	c.SetUIDBase(500) // never moves backwards
-	tg.drive(t, func() { uid = c.Broadcast("req2") })
+	tg.drive(t, func() { uid, _ = c.Broadcast("req2") })
 	if uid != 1002 {
 		t.Fatalf("uid %d, want 1002", uid)
 	}

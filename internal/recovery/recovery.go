@@ -38,6 +38,25 @@ type Checkpoint struct {
 	Completed uint64        // client requests completed so far
 	Fields    map[string]lang.Value
 	Hashes    trace.HashState
+	// LSAFed is the LSA decision watermark at the quiescent point: the
+	// index of the last leader scheduling decision consumed (on the
+	// leader, emitted). Quiescence means every emitted decision has been
+	// consumed, so all members checkpoint the same value. Zero for
+	// non-LSA schedulers.
+	LSAFed uint64
+	// LSADecs carries leader decisions pending at capture time. At a
+	// checkpoint-eligible quiescent point the set is empty by
+	// construction; the field exists so the codec stays complete if a
+	// future capture site relaxes the quiescence requirement.
+	LSADecs []LSADecRecord
+}
+
+// LSADecRecord is one LSA leader scheduling decision as persisted in a
+// checkpoint (mirrors replica.LSADecision without importing it).
+type LSADecRecord struct {
+	Index  uint64
+	Mutex  ids.MutexID
+	Thread ids.ThreadID
 }
 
 // Codec: a self-contained deterministic binary format (magic, version,
@@ -46,7 +65,9 @@ type Checkpoint struct {
 // checkpoints persist to disk and must stay decodable across wire
 // version bumps.
 const (
-	ckptVersion = uint16(1)
+	// v2 appended the LSA decision watermark and pending-decision list;
+	// v1 checkpoints (no LSA section) still decode.
+	ckptVersion = uint16(2)
 
 	valNil     = byte(0)
 	valInt     = byte(1)
@@ -95,6 +116,13 @@ func (c *Checkpoint) Encode() ([]byte, error) {
 		b = binary.BigEndian.AppendUint64(b, uint64(ch.Thread))
 		b = binary.BigEndian.AppendUint64(b, ch.Hash)
 	}
+	b = binary.BigEndian.AppendUint64(b, c.LSAFed)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(c.LSADecs)))
+	for _, d := range c.LSADecs {
+		b = binary.BigEndian.AppendUint64(b, d.Index)
+		b = binary.BigEndian.AppendUint64(b, uint64(int64(d.Mutex)))
+		b = binary.BigEndian.AppendUint64(b, uint64(d.Thread))
+	}
 	return b, nil
 }
 
@@ -106,8 +134,9 @@ func Decode(b []byte) (*Checkpoint, error) {
 	if r.err == nil && magic != ckptMagic {
 		return nil, errBadMagic
 	}
-	if v := r.u16(); r.err == nil && v != ckptVersion {
-		return nil, fmt.Errorf("%w: %d", errBadVersion, v)
+	ver := r.u16()
+	if r.err == nil && (ver < 1 || ver > ckptVersion) {
+		return nil, fmt.Errorf("%w: %d", errBadVersion, ver)
 	}
 	c := &Checkpoint{
 		Seq:       r.u64(),
@@ -140,6 +169,20 @@ func Decode(b []byte) (*Checkpoint, error) {
 			Thread: ids.ThreadID(r.u64()),
 			Hash:   r.u64(),
 		})
+	}
+	if ver >= 2 {
+		c.LSAFed = r.u64()
+		nd := int(r.u32())
+		if r.err != nil || nd > len(b) {
+			return nil, errTruncated
+		}
+		for i := 0; i < nd; i++ {
+			c.LSADecs = append(c.LSADecs, LSADecRecord{
+				Index:  r.u64(),
+				Mutex:  ids.MutexID(int64(r.u64())),
+				Thread: ids.ThreadID(r.u64()),
+			})
+		}
 	}
 	if r.err != nil {
 		return nil, r.err

@@ -112,13 +112,25 @@ func (c *Client) Pipeline(method string, argsList [][]lang.Value) []*Pending {
 	}
 	c.mu.Unlock()
 	start := c.clock.Now()
-	uids := c.ep.BroadcastBatch(payloads)
+	uids, err := c.ep.BroadcastBatch(payloads)
 	c.mu.Lock()
 	for i, p := range ps {
 		p.ca.uid = uids[i]
 		p.start = start
+		if err != nil {
+			// Every member is crash-detected: the batch will never be
+			// ordered, so fail the calls instead of parking forever.
+			p.ca.done = true
+			p.ca.err = err.Error()
+		}
 	}
 	c.mu.Unlock()
+	if err != nil {
+		for _, p := range ps {
+			c.ep.Ack(p.ca.uid)
+			p.ca.parker.Unpark()
+		}
+	}
 	return ps
 }
 
@@ -149,7 +161,18 @@ func (c *Client) Invoke(method string, args ...lang.Value) (lang.Value, time.Dur
 	c.mu.Unlock()
 
 	start := c.clock.Now()
-	uid := c.ep.Broadcast(Request{Req: req, Method: method, Args: args})
+	uid, err := c.ep.Broadcast(Request{Req: req, Method: method, Args: args})
+	if err != nil {
+		// No live sequencer: fail fast rather than park forever, and
+		// drop the uid from the endpoint's retransmit set so a later
+		// view change does not resurrect a request the caller already
+		// saw fail.
+		c.ep.Ack(uid)
+		c.mu.Lock()
+		delete(c.pending, req)
+		c.mu.Unlock()
+		return nil, 0, err
+	}
 	c.mu.Lock()
 	ca.uid = uid
 	c.mu.Unlock()

@@ -59,7 +59,12 @@ type Dummy struct {
 }
 
 // LSADecision carries one leader scheduling decision to the followers.
+// Index is the leader's emission counter (1-based): followers feed
+// decisions to their scheduler strictly in index order, which makes the
+// stream idempotent under retransmission and lets a rejoining follower
+// resume from its checkpointed watermark (see Replica.SeedDecisions).
 type LSADecision struct {
+	Index uint64
 	Event core.LSAEvent
 }
 

@@ -2,6 +2,7 @@ package replica
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -92,6 +93,7 @@ type Replica struct {
 	threads     map[ids.ThreadID]*core.Thread
 	nestedCount map[ids.ThreadID]int
 	waitingNest map[nestedKey]*core.Thread
+	nestArgs    map[nestedKey]lang.Value
 	stashedNest map[nestedKey]lang.Value
 	log         []LogEntry
 	completed   int
@@ -100,6 +102,16 @@ type Replica struct {
 	checkpoint  *StateUpdate
 
 	follower *core.LSAFollower // non-nil on LSA followers
+
+	// LSA decision bookkeeping. The leader numbers every emitted decision
+	// and retains a bounded log so a rejoining follower can fetch the
+	// range it missed; followers track the watermark of the last decision
+	// fed to their scheduler and stash out-of-order arrivals.
+	decMu    sync.Mutex
+	decIndex uint64                   // leader: last emitted index
+	decLog   []LSADecision            // leader: retained tail, ascending Index
+	decSeen  uint64                   // follower: last index fed
+	decStash map[uint64]core.LSAEvent // follower: arrived ahead of the watermark
 
 	dummyStop chan struct{}
 }
@@ -136,7 +148,9 @@ func New(cfg Config) *Replica {
 		threads:     map[ids.ThreadID]*core.Thread{},
 		nestedCount: map[ids.ThreadID]int{},
 		waitingNest: map[nestedKey]*core.Thread{},
+		nestArgs:    map[nestedKey]lang.Value{},
 		stashedNest: map[nestedKey]lang.Value{},
+		decStash:    map[uint64]core.LSAEvent{},
 	}
 	sched := r.buildScheduler()
 	r.rt = core.NewRuntime(core.Options{
@@ -150,6 +164,9 @@ func New(cfg Config) *Replica {
 		r.node = cfg.Group.Node(cfg.ID)
 		r.node.SetDeliver(r.onDeliver)
 		r.node.SetDirect(r.onDirect)
+		if cfg.Group.Distributed() {
+			cfg.Group.SetOnViewChange(r.onViewChange)
+		}
 	}
 	return r
 }
@@ -171,9 +188,18 @@ func (r *Replica) buildScheduler() core.Scheduler {
 	case KindLSA:
 		if r.cfg.ID == r.cfg.LeaderID {
 			return core.NewLSALeader(func(e core.LSAEvent) {
+				r.decMu.Lock()
+				r.decIndex++
+				d := LSADecision{Index: r.decIndex, Event: e}
+				r.decLog = append(r.decLog, d)
+				if len(r.decLog) > decLogRetention {
+					drop := len(r.decLog) - decLogRetention
+					r.decLog = append([]LSADecision(nil), r.decLog[drop:]...)
+				}
+				r.decMu.Unlock()
 				for _, m := range r.cfg.Group.Members() {
 					if m != r.cfg.ID {
-						r.node.SendDirect(m, LSADecision{Event: e})
+						r.node.SendDirect(m, d)
 					}
 				}
 			})
@@ -362,6 +388,7 @@ func (r *Replica) applyNestedReply(nr NestedReply) {
 	r.mu.Lock()
 	if th, ok := r.waitingNest[key]; ok {
 		delete(r.waitingNest, key)
+		delete(r.nestArgs, key)
 		r.mu.Unlock()
 		r.rt.ScheduleNestedResume(th, nr.Value)
 		return
@@ -392,11 +419,103 @@ func (r *Replica) applyDummy(d Dummy) {
 	r.mu.Unlock()
 }
 
-// onDirect handles point-to-point messages (LSA decision stream).
+// decLogRetention bounds the leader's retained decision tail; a
+// follower whose watermark fell further behind cannot rejoin by
+// decision replay (it would need a newer checkpoint).
+const decLogRetention = 65536
+
+// onDirect handles point-to-point messages (LSA decision stream). The
+// index watermark makes the stream idempotent: duplicates (a fetched
+// range overlapping the live stream during rejoin) are dropped, and
+// arrivals ahead of the watermark are stashed until the gap fills.
 func (r *Replica) onDirect(from gcs.Origin, p gcs.Payload) {
-	if d, ok := p.(LSADecision); ok && r.follower != nil {
-		r.rt.External(func() { r.follower.Feed(d.Event) })
+	d, ok := p.(LSADecision)
+	if !ok || r.follower == nil {
+		return
 	}
+	r.feedDecision(d)
+}
+
+func (r *Replica) feedDecision(d LSADecision) {
+	r.decMu.Lock()
+	if d.Index <= r.decSeen {
+		r.decMu.Unlock()
+		return // already fed (duplicate from a fetch/stream overlap)
+	}
+	if d.Index != r.decSeen+1 {
+		r.decStash[d.Index] = d.Event
+		r.decMu.Unlock()
+		return
+	}
+	events := []core.LSAEvent{d.Event}
+	r.decSeen = d.Index
+	for {
+		e, ok := r.decStash[r.decSeen+1]
+		if !ok {
+			break
+		}
+		delete(r.decStash, r.decSeen+1)
+		r.decSeen++
+		events = append(events, e)
+	}
+	r.decMu.Unlock()
+	r.rt.External(func() {
+		for _, e := range events {
+			r.follower.Feed(e)
+		}
+	})
+}
+
+// LSAFed returns the replica's decision watermark: on a follower the
+// index of the last decision fed to its scheduler, on the leader the
+// last emitted index. At a checkpoint-eligible quiescent point every
+// emitted decision has been consumed, so all members report the same
+// value — which keeps checkpoints byte-identical across the group.
+func (r *Replica) LSAFed() uint64 {
+	r.decMu.Lock()
+	defer r.decMu.Unlock()
+	if r.follower != nil {
+		return r.decSeen
+	}
+	return r.decIndex
+}
+
+// SeedDecisions installs a rejoining follower's checkpointed watermark
+// and feeds it the decisions fetched from the leader. Call after the
+// checkpoint is installed and before live traffic resumes.
+func (r *Replica) SeedDecisions(fed uint64, decs []LSADecision) {
+	r.decMu.Lock()
+	r.decSeen = fed
+	r.decIndex = fed
+	r.decMu.Unlock()
+	if r.follower == nil {
+		return
+	}
+	for _, d := range decs {
+		r.feedDecision(d)
+	}
+}
+
+// DecisionTail returns the retained leader decisions with Index >=
+// fromIdx (at most max), whether more remain past them, and whether
+// fromIdx is still inside the retained window. Donors serve rejoining
+// followers with it.
+func (r *Replica) DecisionTail(fromIdx uint64, max int) (decs []LSADecision, more, ok bool) {
+	r.decMu.Lock()
+	defer r.decMu.Unlock()
+	if fromIdx > r.decIndex {
+		return nil, false, true // caller is already caught up
+	}
+	if len(r.decLog) == 0 || fromIdx < r.decLog[0].Index {
+		return nil, false, false // aged out of the retained window
+	}
+	start := int(fromIdx - r.decLog[0].Index)
+	end := len(r.decLog)
+	if max > 0 && start+max < end {
+		end = start + max
+	}
+	decs = append([]LSADecision(nil), r.decLog[start:end]...)
+	return decs, end < len(r.decLog), true
 }
 
 // onNested is the core NestedHandler: it implements the paper's
@@ -405,6 +524,10 @@ func (r *Replica) onDirect(from gcs.Origin, p gcs.Payload) {
 // total order; everyone resumes on delivery.
 func (r *Replica) onNested(rt *core.Runtime, th *core.Thread, arg interface{}) {
 	tid := th.ID
+	var value lang.Value
+	if v, ok := arg.(lang.Value); ok {
+		value = v
+	}
 	r.mu.Lock()
 	r.nestedCount[tid]++
 	n := r.nestedCount[tid]
@@ -416,13 +539,13 @@ func (r *Replica) onNested(rt *core.Runtime, th *core.Thread, arg interface{}) {
 		return
 	}
 	r.waitingNest[key] = th
+	// Remember the argument so a survivor promoted to performer by a
+	// view change can re-run the call if the original performer died
+	// before broadcasting the reply.
+	r.nestArgs[key] = value
 	r.mu.Unlock()
 
 	if r.isPerformer() {
-		var value lang.Value
-		if v, ok := arg.(lang.Value); ok {
-			value = v
-		}
 		reply := r.cfg.Service(value)
 		// The external call itself; the thread-id rank keeps two calls
 		// finishing at the same instant in a deterministic broadcast
@@ -433,9 +556,11 @@ func (r *Replica) onNested(rt *core.Runtime, th *core.Thread, arg interface{}) {
 	}
 }
 
-// isPerformer reports whether this replica performs external calls: the
-// lowest-id member of the group. For LSA the leader performs them (it is
-// ahead of the followers anyway).
+// isPerformer reports whether this replica performs external calls. For
+// LSA the leader performs them (it is ahead of the followers anyway).
+// On the real cluster the performer is the current sequencer — the role
+// the view-change protocol moves on failure — while the simulator keeps
+// the paper's lowest-live-member rule.
 func (r *Replica) isPerformer() bool {
 	if r.cfg.Group == nil {
 		return false // detached replay: nested replies come from the log
@@ -443,8 +568,48 @@ func (r *Replica) isPerformer() bool {
 	if r.cfg.Kind == KindLSA {
 		return r.cfg.ID == r.cfg.LeaderID
 	}
+	if r.cfg.Group.Distributed() {
+		return r.cfg.ID == r.cfg.Group.CurrentSequencer()
+	}
 	live := r.cfg.Group.LiveMembers()
 	return len(live) > 0 && r.cfg.ID == live[0]
+}
+
+// onViewChange runs after the group adopts a new sequencing view. If
+// this replica just became the performer it re-runs any nested calls
+// still waiting for a reply: the old performer may have crashed between
+// executing the external call and broadcasting the result, which would
+// otherwise stall those threads on every replica forever. Re-performed
+// replies travel the total order like originals; a duplicate (the old
+// performer's broadcast did make it out) lands in stashedNest under a
+// key that is never reused, so it is inert.
+func (r *Replica) onViewChange(view uint64, seq ids.ReplicaID) {
+	if r.cfg.ID != seq {
+		return
+	}
+	r.mu.Lock()
+	type pend struct {
+		key nestedKey
+		arg lang.Value
+	}
+	ps := make([]pend, 0, len(r.waitingNest))
+	for k := range r.waitingNest {
+		ps = append(ps, pend{k, r.nestArgs[k]})
+	}
+	r.mu.Unlock()
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].key.req != ps[j].key.req {
+			return ps[i].key.req < ps[j].key.req
+		}
+		return ps[i].key.n < ps[j].key.n
+	})
+	for _, p := range ps {
+		reply := r.cfg.Service(p.arg)
+		// No SleepOrdered here: this runs on an unmanaged goroutine
+		// during takeover, and the latency was already paid (or lost)
+		// by the dead performer.
+		_ = r.node.Broadcast(NestedReply{Req: p.key.req, N: p.key.n, Value: reply})
+	}
 }
 
 // StartDummyPump makes this replica broadcast Dummy requests every

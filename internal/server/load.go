@@ -1,11 +1,15 @@
 package server
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"net"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"detmt/internal/gcs"
@@ -48,6 +52,13 @@ type LoadOptions struct {
 	// the whole run a reproducible total order — the property the
 	// reconnect-determinism test asserts.
 	Pipelined bool
+	// EpochDir persists the generator's wire-epoch counter. Every run
+	// shares the transport name "load", so each one must present a
+	// strictly higher restart epoch than any other run against the same
+	// cluster — a wall-clock epoch alone lets two runs started within
+	// the same clock tick collide (one gets swallowed as a stale
+	// incarnation). "" uses a shared directory under the OS temp dir.
+	EpochDir string
 	// Timeout bounds the whole run in wall time (default 2 minutes).
 	Timeout time.Duration
 	// SettleTimeout bounds the post-run wait for every replica to report
@@ -75,25 +86,61 @@ type LoadResult struct {
 	Converged bool
 }
 
-// loadEpochLast makes every load run a fresh wire incarnation: all
-// generators share the transport name "load", so without a strictly
-// increasing epoch a second run against the same cluster would be
-// swallowed by the servers' dedup state (or rejected as a stale
-// incarnation). Wall-clock based so independent generator processes
-// order correctly too.
+// loadEpochLast floors the epoch within one process: even if the
+// persisted counter is unavailable, two RunLoad calls from the same
+// process never reuse an epoch.
 var loadEpochLast atomic.Uint64
 
-func nextLoadEpoch() uint64 {
-	for {
-		e := uint64(time.Now().UnixNano())
-		last := loadEpochLast.Load()
-		if e <= last {
-			e = last + 1
+// nextLoadEpoch returns a strictly increasing wire epoch for transport
+// name `name`: all generators share that name, so without a strictly
+// increasing epoch a second run against the same cluster would be
+// swallowed by the servers' dedup state (or rejected as a stale
+// incarnation). The counter is persisted under dir and bumped under an
+// exclusive file lock, so concurrent or rapid-fire generator processes
+// started within the same clock tick cannot collide; the wall clock
+// only serves as a floor (it keeps epochs increasing across deletion of
+// dir, e.g. a temp-dir wipe between boots).
+func nextLoadEpoch(dir, name string) uint64 {
+	bump := func(e uint64) uint64 {
+		if w := uint64(time.Now().UnixNano()); e < w {
+			e = w
 		}
-		if loadEpochLast.CompareAndSwap(last, e) {
-			return e
+		for {
+			last := loadEpochLast.Load()
+			if e <= last {
+				e = last + 1
+			}
+			if loadEpochLast.CompareAndSwap(last, e) {
+				return e
+			}
 		}
 	}
+	if dir == "" {
+		dir = filepath.Join(os.TempDir(), "detmt-load")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return bump(0) // fall back to wall clock + in-process floor
+	}
+	f, err := os.OpenFile(filepath.Join(dir, "epoch-"+name), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return bump(0)
+	}
+	defer f.Close()
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+		return bump(0)
+	}
+	defer syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	var cur uint64
+	buf := make([]byte, 8)
+	if n, _ := f.ReadAt(buf, 0); n == 8 {
+		cur = binary.BigEndian.Uint64(buf)
+	}
+	next := bump(cur)
+	binary.BigEndian.PutUint64(buf, next)
+	if _, err := f.WriteAt(buf, 0); err == nil {
+		f.Sync()
+	}
+	return next
 }
 
 // RunLoad drives one closed-loop measurement run and waits for the
@@ -116,7 +163,7 @@ func RunLoad(o LoadOptions) (*LoadResult, error) {
 	}
 	deadline := time.Now().Add(o.Timeout)
 
-	epoch := nextLoadEpoch()
+	epoch := nextLoadEpoch(o.EpochDir, "load")
 	tr, err := wire.NewTCP(wire.Options{Name: "load", Epoch: epoch, Peers: o.Servers, Dial: o.Dial, Logf: o.Logf})
 	if err != nil {
 		return nil, err
@@ -133,7 +180,51 @@ func RunLoad(o LoadOptions) (*LoadResult, error) {
 		Members:   members,
 		Transport: tr,
 		Local:     []ids.ReplicaID{}, // client-only process: no replicas here
+		Logf:      o.Logf,
 	})
+
+	// The generator process hosts no replicas, so it receives no stamped
+	// heartbeats and cannot detect a sequencer takeover on its own. Poll
+	// the members' status instead and install any newer view — AdoptView
+	// re-routes and retransmits every pending request to the new
+	// sequencer, so in-flight invocations survive the failover.
+	stopPoll := make(chan struct{})
+	defer close(stopPoll)
+	go func() {
+		ticker := time.NewTicker(100 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stopPoll:
+				return
+			case <-ticker.C:
+			}
+			// Poll concurrently: a dead member's control timeout must not
+			// delay learning the new view from the survivors.
+			var wg sync.WaitGroup
+			for id := range o.Servers {
+				wg.Add(1)
+				go func(id ids.ReplicaID) {
+					defer wg.Done()
+					b, err := tr.Control(id, []byte("status"), time.Second)
+					if err != nil {
+						return
+					}
+					var st Status
+					if json.Unmarshal(b, &st) != nil {
+						return
+					}
+					if v, _ := g.CurrentView(); st.View > v {
+						if o.Logf != nil {
+							o.Logf("load: adopting view %d (sequencer %v) from %v", st.View, st.Sequencer, id)
+						}
+						g.AdoptView(st.View, st.Sequencer)
+					}
+				}(id)
+			}
+			wg.Wait()
+		}
+	}()
 
 	res := &LoadResult{Latency: &metrics.Sample{}}
 	var mu sync.Mutex

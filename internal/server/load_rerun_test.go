@@ -1,11 +1,52 @@
 package server
 
 import (
+	"sync"
 	"testing"
 	"time"
 
 	"detmt/internal/replica"
 )
+
+// TestLoadEpochNoCollision pins the wire-epoch allocator's contract:
+// epochs for the same transport name must be strictly increasing even
+// when many generators start within the same wall-clock tick. A
+// wall-clock-only epoch collides under exactly this race, and the loser
+// is swallowed by the servers as a stale incarnation.
+func TestLoadEpochNoCollision(t *testing.T) {
+	dir := t.TempDir()
+	const n = 64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	seen := map[uint64]bool{}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e := nextLoadEpoch(dir, "load")
+			mu.Lock()
+			defer mu.Unlock()
+			if seen[e] {
+				t.Errorf("epoch %d allocated twice", e)
+			}
+			seen[e] = true
+		}()
+	}
+	wg.Wait()
+	if len(seen) != n {
+		t.Fatalf("%d distinct epochs for %d allocations", len(seen), n)
+	}
+	// A later allocation (fresh tick) still lands above all earlier ones.
+	max := uint64(0)
+	for e := range seen {
+		if e > max {
+			max = e
+		}
+	}
+	if e := nextLoadEpoch(dir, "load"); e <= max {
+		t.Fatalf("follow-up epoch %d not above previous max %d", e, max)
+	}
+}
 
 // TestSequentialLoadRuns drives two load-generator incarnations against
 // the same cluster. The second run must be treated as a fresh incarnation

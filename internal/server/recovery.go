@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"time"
 
+	"detmt/internal/core"
 	"detmt/internal/gcs"
 	"detmt/internal/ids"
 	"detmt/internal/recovery"
+	"detmt/internal/replica"
 )
 
 // This file is the server side of the crash-recovery subsystem:
@@ -34,6 +36,10 @@ func (s *Server) captureCheckpoint(seq uint64) {
 		Completed: uint64(s.rep.Completed()),
 		Fields:    s.rep.Instance().Snapshot(),
 		Hashes:    s.rep.Runtime().Trace().ExportHashState(),
+		// At this quiescent point every emitted LSA decision has been
+		// consumed, so the watermark is the same on every member (and 0
+		// for non-LSA schedulers).
+		LSAFed: s.rep.LSAFed(),
 	}
 	if err := s.mgr.Commit(c); err != nil && s.o.Logf != nil {
 		s.o.Logf("server %v: checkpoint at slot %d failed: %v", s.o.ID, seq, err)
@@ -76,12 +82,29 @@ func (s *Server) tryRecover(donor ids.ReplicaID) bool {
 	if logf == nil {
 		logf = func(string, ...interface{}) {}
 	}
+	// Learn the donor's sequencing view first: a rejoining process — in
+	// particular the cluster's original sequencer — must know who
+	// sequences the current view before any traffic is replayed, or its
+	// tick loop could conclude it still holds the role and fork the
+	// order.
+	var donorStatus Status
+	if b, err := s.tr.Control(donor, []byte("status"), fetchTimeout); err != nil {
+		logf("server %v: status fetch from %v: %v", s.o.ID, donor, err)
+		return false
+	} else if err := json.Unmarshal(b, &donorStatus); err != nil {
+		logf("server %v: status from %v undecodable: %v", s.o.ID, donor, err)
+		return false
+	}
+	s.group.SeedView(donorStatus.View, donorStatus.Sequencer)
+
 	data, seq, haveCkpt, err := s.tr.FetchCheckpoint(donor, fetchTimeout)
 	if err != nil {
 		logf("server %v: checkpoint fetch from %v: %v", s.o.ID, donor, err)
 		return false
 	}
 	next := uint64(1)
+	lsaFed := uint64(0)
+	var lsaDecs []replica.LSADecision
 	if haveCkpt {
 		c, err := recovery.Decode(data)
 		if err != nil {
@@ -104,6 +127,46 @@ func (s *Server) tryRecover(donor ids.ReplicaID) bool {
 			logf("server %v: persisting fetched checkpoint: %v", s.o.ID, err)
 		}
 		next = c.Seq + 1
+		lsaFed = c.LSAFed
+		for _, d := range c.LSADecs {
+			lsaDecs = append(lsaDecs, replica.LSADecision{
+				Index: d.Index,
+				Event: core.LSAEvent{Mutex: d.Mutex, Thread: d.Thread},
+			})
+		}
+	}
+
+	// An LSA follower additionally needs the leader's scheduling
+	// decisions issued since the checkpoint: its scheduler replays the
+	// tail under exactly the decision stream the survivors followed, so
+	// the rejoined trace hash matches theirs bit for bit.
+	if s.o.Scheduler == replica.KindLSA && !s.rep.IsLSALeader() {
+		leader := s.o.ID
+		for id := range s.o.Peers {
+			if id < leader {
+				leader = id
+			}
+		}
+		for from := lsaFed + uint64(len(lsaDecs)) + 1; ; {
+			decs, more, ok, err := s.tr.FetchDecisions(leader, from, tailBatchMax, fetchTimeout)
+			if err != nil {
+				logf("server %v: decision fetch from %v: %v", s.o.ID, leader, err)
+				return false
+			}
+			if !ok {
+				// The leader's retained window moved past our watermark:
+				// restart with a fresher checkpoint.
+				logf("server %v: leader %v no longer retains decision %d, refetching checkpoint", s.o.ID, leader, from)
+				return false
+			}
+			lsaDecs = append(lsaDecs, decs...)
+			if !more {
+				break
+			}
+			from += uint64(len(decs))
+		}
+		s.rep.SeedDecisions(lsaFed, lsaDecs)
+		logf("server %v: seeded %d LSA decisions past watermark %d", s.o.ID, len(lsaDecs), lsaFed)
 	}
 
 	// Fetch the sequenced tail from the checkpoint slot until it is

@@ -149,7 +149,7 @@ func TestKillRestartRejoin(t *testing.T) {
 // asserts the cluster still converges to one schedule hash once the
 // faults heal — retransmission, dedup, and stamped injection must make
 // chaos invisible to the deterministic schedule.
-func chaosSoak(t *testing.T, kind replica.SchedulerKind, seed uint64) {
+func chaosSoak(t *testing.T, kind replica.SchedulerKind, seed uint64, mut func(i int, o *Options)) {
 	t.Helper()
 	injs := make([]*chaos.Injector, 3)
 	var peerAddrs []string
@@ -158,6 +158,9 @@ func chaosSoak(t *testing.T, kind replica.SchedulerKind, seed uint64) {
 		o.Dial = injs[i].Dial(nil)
 		o.CheckpointEvery = 2
 		o.Epoch = 1
+		if mut != nil {
+			mut(i, o)
+		}
 	})
 	_ = servers
 	for _, a := range addrs {
@@ -223,14 +226,33 @@ func TestChaosSoakMAT(t *testing.T) {
 	if testing.Short() {
 		t.Skip("real-socket chaos test")
 	}
-	chaosSoak(t, replica.KindMAT, 11)
+	chaosSoak(t, replica.KindMAT, 11, nil)
 }
 
 func TestChaosSoakLSA(t *testing.T) {
 	if testing.Short() {
 		t.Skip("real-socket chaos test")
 	}
-	chaosSoak(t, replica.KindLSA, 23)
+	chaosSoak(t, replica.KindLSA, 23, nil)
+}
+
+func TestChaosSoakPDS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-socket chaos test")
+	}
+	// Relaxed PDS: the strict variant's full-pool barrier deadlocks when
+	// the request mix leaves threads parked across quantum boundaries.
+	chaosSoak(t, replica.KindPDS, 31, func(i int, o *Options) {
+		o.PDSWindow = 4
+		o.PDSRelaxed = true
+	})
+}
+
+func TestChaosSoakSAT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-socket chaos test")
+	}
+	chaosSoak(t, replica.KindSAT, 47, nil)
 }
 
 // TestDivergenceHalts injects a bogus scheduler decision into one

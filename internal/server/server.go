@@ -92,6 +92,12 @@ type Options struct {
 	// negative disables gossip).
 	GossipInterval time.Duration
 
+	// OriginIdleExpiry bounds how long the transport retains the
+	// reply-replay ring of a disconnected client origin (see
+	// wire.Options.OriginIdleExpiry). 0 applies DefaultOriginIdleExpiry;
+	// negative disables expiry.
+	OriginIdleExpiry time.Duration
+
 	// Dial overrides the transport dialer (chaos fault injection).
 	Dial func(addr string) (net.Conn, error)
 	// OnChaos, if set, serves "chaos <cmd>" control requests (the fault
@@ -106,6 +112,13 @@ type Options struct {
 // Options leaves GossipInterval at zero.
 const DefaultGossipInterval = 250 * time.Millisecond
 
+// DefaultOriginIdleExpiry is the reply-replay retention for
+// disconnected client origins applied when Options leaves
+// OriginIdleExpiry at zero: long enough for any realistic client
+// reconnect, short enough that churning one-shot load generators do not
+// grow the server's memory without bound.
+const DefaultOriginIdleExpiry = 10 * time.Minute
+
 // DefaultTraceRetention is the trace bound applied when Options leaves
 // TraceRetention at zero: enough history for post-mortem timelines while
 // keeping a long-running server's memory flat (~64k events, rounded up
@@ -116,6 +129,11 @@ const DefaultTraceRetention = 1 << 16
 type Status struct {
 	ID        ids.ReplicaID `json:"id"`
 	Scheduler string        `json:"scheduler"`
+	// View/Sequencer identify the sequencing view this member is in and
+	// which replica sequences it (the view number increments at every
+	// takeover).
+	View      uint64        `json:"view"`
+	Sequencer ids.ReplicaID `json:"sequencer"`
 	Completed int           `json:"completed"`
 	Hash      uint64        `json:"hash"`
 	State     int64         `json:"state"`
@@ -185,9 +203,6 @@ func New(o Options) (*Server, error) {
 	}
 	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
 
-	if o.Recover && o.ID == members[0] {
-		return nil, fmt.Errorf("server: the sequencer (%v) cannot rejoin via recovery", o.ID)
-	}
 	if o.Epoch == 0 && o.DataDir != "" {
 		epoch, err := recovery.NextEpoch(o.DataDir)
 		if err != nil {
@@ -209,9 +224,24 @@ func New(o Options) (*Server, error) {
 	// The sequencer process leads the virtual timeline (unbounded
 	// horizon); followers advance only up to the stamps and heartbeats
 	// it publishes. Pacing must be on before the group starts its tick
-	// loop, or virtual time would sprint ahead of the wall clock.
-	s.clock.EnablePacing(o.ID == members[0])
+	// loop, or virtual time would sprint ahead of the wall clock. A
+	// recovering process always starts as a paced follower — even the
+	// cluster's original sequencer rejoins under whoever sequences the
+	// current view (PromoteLeader reopens the horizon if a later
+	// takeover elects this process).
+	s.clock.EnablePacing(o.ID == members[0] && !o.Recover)
 
+	idByName := make(map[string]ids.ReplicaID, len(o.Peers))
+	for id := range o.Peers {
+		idByName[id.String()] = id
+	}
+	expiry := o.OriginIdleExpiry
+	if expiry == 0 {
+		expiry = DefaultOriginIdleExpiry
+	}
+	if expiry < 0 {
+		expiry = 0
+	}
 	tr, err := wire.NewTCP(wire.Options{
 		Name:         o.ID.String(),
 		Listen:       o.Listen,
@@ -221,8 +251,22 @@ func New(o Options) (*Server, error) {
 		OnControl:    s.handleControl,
 		OnCheckpoint: s.mgr.Latest,
 		OnCatchUp:    s.serveCatchUp,
-		Dial:         o.Dial,
-		Logf:         o.Logf,
+		OnDecisions:  s.serveDecisions,
+		OnPeerUp: func(name string) {
+			id, ok := idByName[name]
+			if !ok {
+				return
+			}
+			s.stateMu.Lock()
+			ready := s.ready
+			s.stateMu.Unlock()
+			if ready {
+				s.group.Revive(id)
+			}
+		},
+		OriginIdleExpiry: expiry,
+		Dial:             o.Dial,
+		Logf:             o.Logf,
 	})
 	if err != nil {
 		return nil, err
@@ -238,6 +282,14 @@ func New(o Options) (*Server, error) {
 		Budget:       o.Budget,
 		Recovering:   o.Recover,
 		SeqRetention: o.SeqRetention,
+		Logf:         o.Logf,
+		FetchGap: func(donor ids.ReplicaID, from uint64, max int) []gcs.Envelope {
+			envs, _, _, err := tr.FetchTail(donor, from, max, fetchTimeout)
+			if err != nil {
+				return nil
+			}
+			return envs
+		},
 	})
 	s.rep = replica.New(replica.Config{
 		ID:              o.ID,
@@ -289,6 +341,18 @@ func (s *Server) serveCatchUp(fromSeq uint64, max int) (envs []gcs.Envelope, mor
 	return s.group.Node(s.o.ID).SequencedTail(fromSeq, max)
 }
 
+// serveDecisions is the donor side of the LSA decision-fetch protocol:
+// the leader hands a rejoining follower the retained decision tail.
+func (s *Server) serveDecisions(fromIdx uint64, max int) (decs []replica.LSADecision, more, ok bool) {
+	s.stateMu.Lock()
+	ready := s.ready
+	s.stateMu.Unlock()
+	if !ready {
+		return nil, false, false
+	}
+	return s.rep.DecisionTail(fromIdx, max)
+}
+
 // Addr returns the transport's listen address.
 func (s *Server) Addr() string { return s.tr.Addr() }
 
@@ -317,6 +381,7 @@ func (s *Server) Status() Status {
 		Diagnostic:    s.diagnostic,
 	}
 	s.stateMu.Unlock()
+	st.View, st.Sequencer = s.group.CurrentView()
 	if c := s.mgr.LatestCheckpoint(); c != nil {
 		st.LastCheckpointSeq = c.Seq
 		st.CheckpointAgeMs = float64(time.Since(s.mgr.TakenAt())) / float64(time.Millisecond)

@@ -81,6 +81,25 @@ func (v *Virtual) EnablePacing(leader bool) {
 	v.mu.Unlock()
 }
 
+// PromoteLeader turns a paced follower into the pacing leader at
+// runtime (sequencer takeover): the horizon opens fully, so timers run
+// at wall pace from here on. The wall offset anchored while following
+// is kept, preserving the virtual-to-wall mapping; a follower that
+// never received a horizon anchors at its current instant. Safe to
+// call from unmanaged goroutines.
+func (v *Virtual) PromoteLeader() {
+	v.mu.Lock()
+	if v.paced && v.horizon < horizonMax {
+		v.horizon = horizonMax
+		if !v.offsetSet {
+			v.offset = v.now - time.Since(v.wallStart)
+			v.offsetSet = true
+		}
+		v.advanceLocked()
+	}
+	v.mu.Unlock()
+}
+
 // SetHorizon raises the externally promised horizon: a guarantee that no
 // future stamped event will carry an instant at or below h. Lower or
 // equal horizons are ignored (the horizon is monotone). Safe to call

@@ -27,7 +27,7 @@ import (
 // the golden-bytes test in codec_test.go pins the current format.
 const (
 	Magic   = "DTMT"
-	Version = uint16(2) // v2: hello carries a restart epoch; recovery frames 7–11
+	Version = uint16(3) // v3: envelopes carry the sequencing view; LSA decisions carry an index; decision-fetch frames 12–13
 )
 
 // Frame kinds.
@@ -47,6 +47,10 @@ const (
 	frameCkptDone     = byte(9)  // u64 req id, u8 ok, u64 seq, u64 len, u64 fnv
 	frameCatchUpReq   = byte(10) // u64 req id, u64 fromSeq, u32 max
 	frameCatchUpEntry = byte(11) // u64 req id, u8 flags, u32 n, n×envelope
+	// LSA decision-log transfer for a rejoining follower (v3): the leader
+	// serves its retained scheduling-decision log from a given index.
+	frameDecReq   = byte(12) // u64 req id, u64 fromIdx, u32 max
+	frameDecEntry = byte(13) // u64 req id, u8 flags, u32 n, n×(u64 index, i64 mutex, u64 thread)
 )
 
 // Payload type tags.
@@ -297,6 +301,7 @@ func appendPayload(b []byte, p gcs.Payload) ([]byte, error) {
 		return appendU64(append(b, tagDummy), x.Seq), nil
 	case replica.LSADecision:
 		b = append(b, tagLSADecision)
+		b = appendU64(b, x.Index)
 		b = appendI64(b, int64(x.Event.Mutex))
 		return appendU64(b, uint64(x.Event.Thread)), nil
 	case string:
@@ -340,7 +345,7 @@ func (r *reader) payload() gcs.Payload {
 	case tagDummy:
 		return replica.Dummy{Seq: r.u64()}
 	case tagLSADecision:
-		return replica.LSADecision{Event: core.LSAEvent{
+		return replica.LSADecision{Index: r.u64(), Event: core.LSAEvent{
 			Mutex:  ids.MutexID(r.i64()),
 			Thread: ids.ThreadID(r.u64()),
 		}}
@@ -368,6 +373,7 @@ func sortStrings(s []string) {
 func AppendEnvelope(b []byte, env gcs.Envelope) ([]byte, error) {
 	b = append(b, byte(env.Kind))
 	b = appendU64(b, env.Seq)
+	b = appendU64(b, env.View)
 	b = appendU64(b, env.UID)
 	b = appendOrigin(b, env.Origin)
 	b = appendOrigin(b, env.From)
@@ -381,6 +387,7 @@ func (r *reader) envelope() gcs.Envelope {
 	env := gcs.Envelope{
 		Kind:   gcs.EnvKind(r.u8()),
 		Seq:    r.u64(),
+		View:   r.u64(),
 		UID:    r.u64(),
 		Origin: r.origin(),
 		From:   r.origin(),
@@ -524,6 +531,59 @@ func parseCatchUpEntry(body []byte) (id uint64, ok, more bool, envs []gcs.Envelo
 	}
 	envs, err = parseBatch(body[r.off:])
 	return id, flags&catchUpOK != 0, flags&catchUpMore != 0, envs, err
+}
+
+// ---- LSA decision-log frame bodies ----
+
+func decReqBody(id, fromIdx uint64, max int) []byte {
+	b := appendU64(nil, id)
+	b = appendU64(b, fromIdx)
+	return appendU32(b, uint32(max))
+}
+
+func parseDecReq(body []byte) (id, fromIdx uint64, max int, err error) {
+	r := &reader{b: body}
+	id = r.u64()
+	fromIdx = r.u64()
+	max = int(r.u32())
+	return id, fromIdx, max, r.err
+}
+
+func decEntryBody(id uint64, ok, more bool, decs []replica.LSADecision) []byte {
+	flags := byte(0)
+	if ok {
+		flags |= catchUpOK
+	}
+	if more {
+		flags |= catchUpMore
+	}
+	b := appendU64(nil, id)
+	b = append(b, flags)
+	b = appendU32(b, uint32(len(decs)))
+	for _, d := range decs {
+		b = appendU64(b, d.Index)
+		b = appendI64(b, int64(d.Event.Mutex))
+		b = appendU64(b, uint64(d.Event.Thread))
+	}
+	return b
+}
+
+func parseDecEntry(body []byte) (id uint64, ok, more bool, decs []replica.LSADecision, err error) {
+	r := &reader{b: body}
+	id = r.u64()
+	flags := r.u8()
+	n := int(r.u32())
+	if r.err != nil || n > len(body) {
+		return 0, false, false, nil, errShortFrame
+	}
+	decs = make([]replica.LSADecision, 0, n)
+	for i := 0; i < n; i++ {
+		decs = append(decs, replica.LSADecision{
+			Index: r.u64(),
+			Event: core.LSAEvent{Mutex: ids.MutexID(r.i64()), Thread: ids.ThreadID(r.u64())},
+		})
+	}
+	return id, flags&catchUpOK != 0, flags&catchUpMore != 0, decs, r.err
 }
 
 // fnvSum64 hashes a byte slice (FNV-1a); checkpoint transfers carry it

@@ -69,7 +69,7 @@ func randPayload(rng *rand.Rand) gcs.Payload {
 	case 5:
 		return replica.Dummy{Seq: rng.Uint64()}
 	case 6:
-		return replica.LSADecision{Event: core.LSAEvent{
+		return replica.LSADecision{Index: rng.Uint64(), Event: core.LSAEvent{
 			Mutex:  ids.MutexID(rng.Intn(16)),
 			Thread: ids.ThreadID(rng.Uint64()),
 		}}
@@ -82,6 +82,7 @@ func randEnvelope(rng *rand.Rand) gcs.Envelope {
 	return gcs.Envelope{
 		Kind:    gcs.EnvKind(rng.Intn(4)),
 		Seq:     rng.Uint64(),
+		View:    rng.Uint64(),
 		UID:     rng.Uint64(),
 		Origin:  randOrigin(rng),
 		From:    randOrigin(rng),
@@ -209,14 +210,16 @@ func TestGoldenBytes(t *testing.T) {
 	if err := writePreamble(&pre); err != nil {
 		t.Fatal(err)
 	}
-	// v2: hello gained the restart epoch and recovery frames 7–11 joined.
-	if got, want := hex.EncodeToString(pre.Bytes()), "44544d540002"; got != want {
+	// v3: envelopes carry the sequencing view, LSA decisions an index,
+	// and decision-fetch frames 12–13 joined.
+	if got, want := hex.EncodeToString(pre.Bytes()), "44544d540003"; got != want {
 		t.Errorf("preamble drifted:\n  got  %s\n  want %s", got, want)
 	}
 
 	env := gcs.Envelope{
 		Kind:   gcs.EnvSequenced,
 		Seq:    7,
+		View:   9,
 		UID:    0x0102030405060708,
 		Origin: gcs.Origin{Client: 2, IsClient: true},
 		From:   gcs.Origin{Replica: 1},
@@ -232,7 +235,7 @@ func TestGoldenBytes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	const want = "0100000000000000070102030405060708010000000000000000000000000000000200000000000000000100000000000000000000000000000000030000000000000000000000000ee6b28001000000020000000500000004666967310000000401000000000000000402000000000000000103000000000000000100"
+	const want = "01000000000000000700000000000000090102030405060708010000000000000000000000000000000200000000000000000100000000000000000000000000000000030000000000000000000000000ee6b28001000000020000000500000004666967310000000401000000000000000402000000000000000103000000000000000100"
 	if got := hex.EncodeToString(b); got != want {
 		t.Errorf("envelope encoding drifted:\n  got  %s\n  want %s", got, want)
 	}

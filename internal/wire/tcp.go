@@ -9,6 +9,7 @@ import (
 
 	"detmt/internal/gcs"
 	"detmt/internal/ids"
+	"detmt/internal/replica"
 )
 
 // Compile-time assertion: the TCP transport is interchangeable with the
@@ -58,6 +59,23 @@ type Options struct {
 	// bound (the requester must fetch a newer checkpoint). Called on a
 	// dedicated goroutine.
 	OnCatchUp func(fromSeq uint64, max int) (envs []gcs.Envelope, more, ok bool)
+	// OnDecisions serves LSA scheduling-decision-log requests from a
+	// rejoining follower: up to max retained decisions starting at index
+	// fromIdx (1-based), in emission order. Semantics of more/ok mirror
+	// OnCatchUp. Only the LSA leader installs it. Called on a dedicated
+	// goroutine.
+	OnDecisions func(fromIdx uint64, max int) (decs []replica.LSADecision, more, ok bool)
+	// OnPeerUp is invoked (on the reader goroutine, after the hello is
+	// processed) whenever an inbound connection announces a peer name.
+	// The server layer uses it to revive crash-detected members when they
+	// reconnect, so the sequencer's multicast includes them again.
+	OnPeerUp func(name string)
+	// OriginIdleExpiry, when positive, garbage-collects the reply-replay
+	// ring and routing state of client origins that have had no live
+	// route for this long — origins whose process disconnected forever
+	// (e.g. a chaos-killed load generator) would otherwise leak their
+	// rings until an epoch bump, which may never come.
+	OriginIdleExpiry time.Duration
 	// MaxUnacked bounds the per-peer retransmission queue: frames not yet
 	// acknowledged by a down peer accumulate until this many are queued,
 	// then the oldest are dropped (counted, logged once per outage). A
@@ -104,6 +122,7 @@ type TCP struct {
 	routes   map[gcs.Origin]*inboundConn
 	replay   map[gcs.Origin][]gcs.Envelope // recent client-bound envelopes, replayed on route change
 	owner    map[gcs.Origin]string         // sender name that announced each origin (replay-ring GC)
+	orphaned map[gcs.Origin]time.Time      // origins whose route died, awaiting reattach or expiry
 	lastSeen map[string]uint64             // highest dedup seqno delivered, per sender name
 	epochs   map[string]uint64             // highest restart epoch seen, per sender name
 	inbounds map[*inboundConn]struct{}
@@ -124,7 +143,8 @@ type fetchState struct {
 type fetchResult struct {
 	data []byte // checkpoint bytes (checkpoint fetches)
 	seq  uint64
-	envs []gcs.Envelope // tail entries (catch-up fetches)
+	envs []gcs.Envelope        // tail entries (catch-up fetches)
+	decs []replica.LSADecision // decision-log entries (decision fetches)
 	more bool
 	ok   bool
 	err  error
@@ -170,6 +190,7 @@ func NewTCP(o Options) (*TCP, error) {
 		owner:    map[gcs.Origin]string{},
 		lastSeen: map[string]uint64{},
 		epochs:   map[string]uint64{},
+		orphaned: map[gcs.Origin]time.Time{},
 		inbounds: map[*inboundConn]struct{}{},
 		ctl:      map[uint64]chan []byte{},
 		fetches:  map[uint64]*fetchState{},
@@ -191,7 +212,60 @@ func NewTCP(o Options) (*TCP, error) {
 		t.wg.Add(1)
 		go pl.run()
 	}
+	if o.OriginIdleExpiry > 0 {
+		t.wg.Add(1)
+		go t.originJanitor()
+	}
 	return t, nil
+}
+
+// originJanitor periodically expires client origins that lost their
+// route and never reattached (see Options.OriginIdleExpiry).
+func (t *TCP) originJanitor() {
+	defer t.wg.Done()
+	interval := t.o.OriginIdleExpiry / 4
+	if interval > 100*time.Millisecond {
+		interval = 100 * time.Millisecond // bounded so Close never waits long
+	}
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for range ticker.C {
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			return
+		}
+		for o, since := range t.orphaned {
+			if t.routes[o] != nil {
+				delete(t.orphaned, o) // reattached; nothing to expire
+				continue
+			}
+			if time.Since(since) >= t.o.OriginIdleExpiry {
+				delete(t.replay, o)
+				delete(t.owner, o)
+				delete(t.orphaned, o)
+				t.o.Logf("wire: expired idle client origin %v", o)
+			}
+		}
+		t.mu.Unlock()
+	}
+}
+
+// idleOrigins reports how many disconnected client origins still hold
+// replay/routing state (tests and diagnostics).
+func (t *TCP) idleOrigins() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for o := range t.replay {
+		if t.routes[o] == nil {
+			n++
+		}
+	}
+	return n
 }
 
 // Addr returns the listener address ("" for client-only endpoints).
@@ -378,6 +452,24 @@ func (t *TCP) FetchTail(peer ids.ReplicaID, fromSeq uint64, max int, timeout tim
 	}
 }
 
+// FetchDecisions asks the LSA leader for up to max retained scheduling
+// decisions starting at index fromIdx (served by the peer's OnDecisions
+// handler). Semantics mirror FetchTail.
+func (t *TCP) FetchDecisions(peer ids.ReplicaID, fromIdx uint64, max int, timeout time.Duration) (decs []replica.LSADecision, more, ok bool, err error) {
+	fs, id, pl, err := t.newFetch(peer)
+	if err != nil {
+		return nil, false, false, err
+	}
+	defer t.endFetch(id)
+	pl.enqueueSeq(frame{kind: frameDecReq, body: decReqBody(id, fromIdx, max)})
+	select {
+	case res := <-fs.done:
+		return res.decs, res.more, res.ok, res.err
+	case <-time.After(timeout):
+		return nil, false, false, fmt.Errorf("wire: decision fetch from %v timed out", peer)
+	}
+}
+
 func (t *TCP) newFetch(peer ids.ReplicaID) (*fetchState, uint64, *peerLink, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -431,6 +523,9 @@ func (t *TCP) dispatchFetch(f frame) {
 	case frameCatchUpEntry:
 		_, ok, more, envs, err := parseCatchUpEntry(f.body)
 		res = fetchResult{envs: envs, more: more, ok: ok, err: err}
+	case frameDecEntry:
+		_, ok, more, decs, err := parseDecEntry(f.body)
+		res = fetchResult{decs: decs, more: more, ok: ok, err: err}
 	default:
 		return
 	}
@@ -501,6 +596,29 @@ func (t *TCP) handleCatchUpReq(ic *inboundConn, f frame) {
 			body, _ = catchUpEntryBody(id, false, false, nil)
 		}
 		ic.enqueue(frame{kind: frameCatchUpEntry, body: body})
+	}()
+}
+
+// handleDecReq serves an LSA decision-log request on the inbound
+// connection it arrived on.
+func (t *TCP) handleDecReq(ic *inboundConn, f frame) {
+	id, fromIdx, max, err := parseDecReq(f.body)
+	if err != nil {
+		return
+	}
+	handler := t.o.OnDecisions
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		var (
+			decs []replica.LSADecision
+			more bool
+			ok   bool
+		)
+		if handler != nil {
+			decs, more, ok = handler(fromIdx, max)
+		}
+		ic.enqueue(frame{kind: frameDecEntry, body: decEntryBody(id, ok, more, decs)})
 	}()
 }
 
@@ -691,6 +809,7 @@ type peerLink struct {
 	nextSeq uint64
 	conn    net.Conn
 	closed  bool
+	kicked  bool   // cut the current reconnect backoff short
 	wbuf    []byte // writer scratch; frames are assembled under mu (see serveConn)
 }
 
@@ -884,7 +1003,7 @@ func (pl *peerLink) serveConn(conn net.Conn) bool {
 				}
 			case frameControlReply:
 				t.dispatchControlReply(f.body)
-			case frameCkptChunk, frameCkptDone, frameCatchUpEntry:
+			case frameCkptChunk, frameCkptDone, frameCatchUpEntry, frameDecEntry:
 				t.dispatchFetch(f)
 			case frameEnvelope, frameBatch:
 				t.deliverFrame(pl.id.String(), 0, f)
@@ -941,12 +1060,28 @@ func (pl *peerLink) isClosed() bool {
 	return pl.closed
 }
 
-// sleep waits d unless the link closes first; reports whether to go on.
+// kick cuts any reconnect backoff short: the peer announced itself on an
+// inbound connection, so a dial attempt will succeed right now.
+func (pl *peerLink) kick() {
+	pl.mu.Lock()
+	pl.kicked = true
+	pl.mu.Unlock()
+}
+
+// sleep waits d unless the link closes (reports false) or is kicked
+// (reports true early); reports whether to go on.
 func (pl *peerLink) sleep(d time.Duration) bool {
 	deadline := time.Now().Add(d)
 	for {
-		if pl.isClosed() {
+		pl.mu.Lock()
+		closed, kicked := pl.closed, pl.kicked
+		pl.kicked = false
+		pl.mu.Unlock()
+		if closed {
 			return false
+		}
+		if kicked {
+			return true
 		}
 		remain := time.Until(deadline)
 		if remain <= 0 {
@@ -1077,6 +1212,7 @@ func (ic *inboundConn) readLoop() {
 					replayed = append(replayed, t.replay[o]...)
 				}
 				t.routes[o] = ic // latest connection wins
+				delete(t.orphaned, o)
 				if o.IsClient {
 					t.owner[o] = name
 				}
@@ -1091,6 +1227,20 @@ func (ic *inboundConn) readLoop() {
 			ic.name = name
 			ic.epoch = epoch
 			ic.mu.Unlock()
+			// The peer is demonstrably up: if our own dialed link to it is
+			// sitting in reconnect backoff (it just restarted), retry now —
+			// a restarted sequencer's heartbeats must resume before the
+			// failure detector on this side misreads the silence.
+			t.mu.Lock()
+			for id, pl := range t.peers {
+				if id.String() == name {
+					pl.kick()
+				}
+			}
+			t.mu.Unlock()
+			if t.o.OnPeerUp != nil {
+				t.o.OnPeerUp(name)
+			}
 		case frameEnvelope, frameBatch:
 			ic.mu.Lock()
 			name, epoch := ic.name, ic.epoch
@@ -1109,6 +1259,8 @@ func (ic *inboundConn) readLoop() {
 			t.handleCkptReq(ic, f)
 		case frameCatchUpReq:
 			t.handleCatchUpReq(ic, f)
+		case frameDecReq:
+			t.handleDecReq(ic, f)
 		case frameAck:
 			// Inbound-direction frames are fire-and-forget; nothing to trim.
 		}
@@ -1161,6 +1313,12 @@ func (ic *inboundConn) teardown() {
 	for o, c := range t.routes {
 		if c == ic {
 			delete(t.routes, o)
+			if o.IsClient && t.orphaned != nil {
+				// Start the idle clock on this client's replay ring: if no
+				// connection re-announces the origin before OriginIdleExpiry,
+				// the janitor reclaims it.
+				t.orphaned[o] = time.Now()
+			}
 		}
 	}
 	t.mu.Unlock()

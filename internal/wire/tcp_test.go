@@ -189,6 +189,86 @@ func TestTCPClientReplyRouting(t *testing.T) {
 	}
 }
 
+// TestTCPOriginIdleExpiry pins the reply-ring GC: a client origin whose
+// process disconnects and never returns must have its replay ring and
+// routing state expired after OriginIdleExpiry — otherwise every
+// generator incarnation leaks a ring on the server for the lifetime of
+// the process. A reconnect before the deadline must cancel the expiry.
+func TestTCPOriginIdleExpiry(t *testing.T) {
+	ln := listenerFor(t)
+	srv, err := NewTCP(Options{
+		Name:             "S",
+		Listener:         ln,
+		OriginIdleExpiry: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var reqs sink
+	srv.Bind(gcs.Origin{Replica: 1}, reqs.deliver)
+
+	dialClient := func(name string, epoch uint64, client ids.ClientID) *TCP {
+		cli, err := NewTCP(Options{
+			Name:       name,
+			Epoch:      epoch,
+			Peers:      map[ids.ReplicaID]string{1: ln.Addr().String()},
+			BackoffMin: time.Millisecond,
+			BackoffMax: 5 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cli.Bind(gcs.Origin{Client: client, IsClient: true}, func(...gcs.Envelope) {})
+		return cli
+	}
+
+	// Client announces its origin, receives a reply (populating the
+	// server-side replay ring), then disconnects for good.
+	cli := dialClient("C", 1, 7)
+	to := gcs.Origin{Replica: 1}
+	cli.Send("k", to, gcs.Envelope{UID: 1, To: to, Payload: "req"})
+	waitFor(t, "request", func() bool { return len(reqs.snapshot()) == 1 })
+	clientOrigin := gcs.Origin{Client: 7, IsClient: true}
+	srv.Send("r", clientOrigin, gcs.Envelope{UID: 9, To: clientOrigin, Payload: "reply"})
+	waitFor(t, "replay ring populated", func() bool {
+		srv.mu.Lock()
+		defer srv.mu.Unlock()
+		return len(srv.replay[clientOrigin]) > 0
+	})
+	cli.Close()
+
+	waitFor(t, "orphaned origin", func() bool { return srv.idleOrigins() == 1 })
+	waitFor(t, "idle origin expired", func() bool { return srv.idleOrigins() == 0 })
+	srv.mu.Lock()
+	_, ring := srv.replay[clientOrigin]
+	_, own := srv.owner[clientOrigin]
+	srv.mu.Unlock()
+	if ring || own {
+		t.Fatalf("expired origin still holds state: ring=%v owner=%v", ring, own)
+	}
+
+	// A second incarnation that reattaches in time must NOT be expired:
+	// its hello cancels the orphan mark.
+	cli2 := dialClient("C", 2, 7)
+	defer cli2.Close()
+	cli2.Send("k", to, gcs.Envelope{UID: 1, To: to, Payload: "req2"})
+	waitFor(t, "request 2", func() bool { return len(reqs.snapshot()) == 2 })
+	srv.Send("r", clientOrigin, gcs.Envelope{UID: 10, To: clientOrigin, Payload: "reply2"})
+	waitFor(t, "replay ring repopulated", func() bool {
+		srv.mu.Lock()
+		defer srv.mu.Unlock()
+		return len(srv.replay[clientOrigin]) > 0
+	})
+	time.Sleep(300 * time.Millisecond) // well past the expiry window
+	srv.mu.Lock()
+	_, ring = srv.replay[clientOrigin]
+	srv.mu.Unlock()
+	if !ring {
+		t.Fatal("connected origin's replay ring was expired")
+	}
+}
+
 // TestTCPControl round-trips an out-of-band control request.
 func TestTCPControl(t *testing.T) {
 	ln := listenerFor(t)

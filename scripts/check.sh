@@ -12,4 +12,11 @@ if [ "${1:-}" = "-short" ]; then
 fi
 go build ./...
 go vet ./...
+# staticcheck is optional locally (it is not vendored and the gate must
+# not install anything); CI installs and runs it unconditionally.
+if command -v staticcheck >/dev/null 2>&1; then
+	staticcheck ./...
+else
+	echo "check.sh: staticcheck not installed, skipping (CI runs it)" >&2
+fi
 go test -race $short ./...
