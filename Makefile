@@ -3,10 +3,11 @@ GO ?= go
 .PHONY: check build vet test test-short bench bins clean
 
 # The full verification gate: everything CI (and reviewers) should run.
+# -shuffle=on randomises test order to flush hidden inter-test state.
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 build:
 	$(GO) build ./...

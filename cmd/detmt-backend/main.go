@@ -1,0 +1,70 @@
+// Command detmt-backend is a standalone external-service stub for the
+// nested-invocation boundary: a real TCP process the performing replica
+// calls into, with an idempotency cache (performer failover and retries
+// cannot double-apply side effects), a pluggable fault switchboard
+// driven by detmt-chaos, and a control channel reporting call counters.
+//
+// The service logic is the benchmark's: echo the argument back (or
+// apply -add). What matters is not the computation but the failure
+// surface — kill this process, delay it, make it error, and the cluster
+// must still agree bit-for-bit.
+//
+// Usage:
+//
+//	detmt-backend -listen 127.0.0.1:7200 &
+//	detmt-server -id 1 ... -backend 127.0.0.1:7200 &
+//	detmt-chaos -target backend -backend 127.0.0.1:7200 -cmd "error-rate 0.2"
+//	detmt-chaos -target backend -backend 127.0.0.1:7200 -status
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"detmt/internal/backend"
+	"detmt/internal/chaos"
+	"detmt/internal/lang"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7200", "TCP address to serve backend invocations on")
+	add := flag.Int64("add", 0, "service logic: reply with argument + this (0: echo)")
+	cacheSize := flag.Int("cache", 4096, "idempotency cache size (outcomes memoised by call key)")
+	seed := flag.Uint64("seed", 1, "fault-injection RNG seed (reproducible chaos soaks)")
+	verbose := flag.Bool("v", false, "log connection diagnostics")
+	flag.Parse()
+
+	logf := func(string, ...interface{}) {}
+	if *verbose {
+		logf = log.Printf
+	}
+	faults := chaos.NewFaults(*seed)
+	delta := *add
+	srv, err := backend.NewServer(backend.ServerOptions{
+		Listen: *listen,
+		Handler: func(_ string, arg lang.Value) (lang.Value, error) {
+			if n, ok := arg.(int64); ok && delta != 0 {
+				return n + delta, nil
+			}
+			return arg, nil
+		},
+		Faults:    faults,
+		CacheSize: *cacheSize,
+		Logf:      logf,
+	})
+	if err != nil {
+		log.Fatalf("detmt-backend: %v", err)
+	}
+	log.Printf("detmt-backend: serving on %s (cache %d, seed %d)", srv.Addr(), *cacheSize, *seed)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	<-sigc
+	st := srv.Stats()
+	log.Printf("detmt-backend: shutting down: applies=%v replays=%v cached=%v faults=%v",
+		st["applies"], st["replays"], st["cached_keys"], st["faults"])
+	srv.Close()
+}

@@ -12,6 +12,13 @@
 //	detmt-chaos -servers ... -target-role sequencer -cmd sever
 //	detmt-chaos -servers ... -plan -seed 7 -duration 30s
 //	detmt-chaos -servers ... -status
+//
+// With -target backend it drives a detmt-backend process instead — the
+// external-service side of the nested-invocation boundary:
+//
+//	detmt-chaos -target backend -backend 127.0.0.1:7200 -cmd "error-rate 0.2"
+//	detmt-chaos -target backend -backend 127.0.0.1:7200 -cmd down
+//	detmt-chaos -target backend -backend 127.0.0.1:7200 -status
 package main
 
 import (
@@ -25,13 +32,15 @@ import (
 	"strings"
 	"time"
 
+	"detmt/internal/backend"
 	"detmt/internal/ids"
 	"detmt/internal/wire"
 )
 
 func main() {
 	servers := flag.String("servers", "", "cluster members as id=addr,id=addr,...")
-	target := flag.Int("target", 0, "replica id to address (0: all listed servers)")
+	targetFlag := flag.String("target", "0", `replica id to address (0: all listed servers), or "backend" to drive a detmt-backend process (see -backend)`)
+	backendAddr := flag.String("backend", "", `detmt-backend address used with -target backend`)
 	targetRole := flag.String("target-role", "", `resolve the target by role instead of id: "sequencer" polls status and targets the current view's sequencer`)
 	cmd := flag.String("cmd", "", `one-shot chaos command: sever, "block <addr>", "unblock <addr>", "delay <dur>", heal, stats`)
 	status := flag.Bool("status", false, "print each replica's status (recovery state, checkpoint age, diagnostics)")
@@ -44,6 +53,18 @@ func main() {
 	delayBy := flag.Duration("delay-by", 5*time.Millisecond, "read delay applied when the delay fault fires")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request control timeout")
 	flag.Parse()
+
+	if *targetFlag == "backend" {
+		runBackendTarget(*backendAddr, *cmd, *status, *timeout)
+		return
+	}
+	target := new(int)
+	if n, err := strconv.Atoi(*targetFlag); err == nil && n >= 0 {
+		*target = n
+	} else {
+		fmt.Fprintf(os.Stderr, "detmt-chaos: bad -target %q (want a replica id or \"backend\")\n", *targetFlag)
+		os.Exit(2)
+	}
 
 	serverMap, err := parseServers(*servers)
 	if err != nil {
@@ -111,6 +132,33 @@ func main() {
 		fmt.Fprintln(os.Stderr, "detmt-chaos: nothing to do (want -cmd, -plan, or -status)")
 		os.Exit(2)
 	}
+}
+
+// runBackendTarget drives a detmt-backend process over its own control
+// channel: -status prints the raw server stats JSON (call counters,
+// idempotency cache, fault knobs), -cmd routes a fault command
+// (error-rate/delay/down/up/heal/stats) to its chaos switchboard.
+func runBackendTarget(addr, cmd string, status bool, timeout time.Duration) {
+	if addr == "" {
+		fmt.Fprintln(os.Stderr, `detmt-chaos: -target backend needs -backend <addr>`)
+		os.Exit(2)
+	}
+	req := ""
+	switch {
+	case status:
+		req = "status"
+	case cmd != "":
+		req = "chaos " + cmd
+	default:
+		fmt.Fprintln(os.Stderr, "detmt-chaos: nothing to do (want -cmd or -status)")
+		os.Exit(2)
+	}
+	b, err := backend.Control(addr, req, timeout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "detmt-chaos: backend %s: %v\n", addr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("backend %s: %s\n", addr, strings.TrimSpace(string(b)))
 }
 
 // runPlan draws one fault per step from a seeded RNG and sends it to a

@@ -41,6 +41,13 @@ func main() {
 	peers := flag.String("peers", "", "other members as id=addr,id=addr,... (static membership)")
 	scheduler := flag.String("scheduler", "MAT", "scheduler kind: SEQ, SAT, LSA, PDS, MAT, MAT+LLA, or PMAT")
 	nested := flag.Duration("nested", 12*time.Millisecond, "virtual duration of the nested external call")
+	backendAddr := flag.String("backend", "", "address of a detmt-backend process serving nested invocations (empty: in-process echo)")
+	nestedTimeout := flag.Duration("nested-timeout", 0, "per-attempt deadline against the backend (0: 2s)")
+	nestedRetries := flag.Int("nested-retries", 0, "backend retries after a failed attempt (0: 2, negative: none)")
+	nestedBackoff := flag.Duration("nested-backoff", 0, "initial retry backoff, doubling capped at 500ms (0: 25ms)")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive backend failures that trip the circuit breaker (0: 5, negative: never)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "open-breaker cooldown before probing the backend again (0: 2s)")
+	catchNested := flag.Bool("catch-nested", false, "workload catches failed nested calls (iserr) instead of aborting the request")
 	tick := flag.Duration("tick", 2*time.Millisecond, "sequencing tick interval (virtual = wall)")
 	budget := flag.Duration("budget", 5*time.Millisecond, "delivery-deadline budget per sequenced message")
 	pdsWindow := flag.Int("pds-window", 4, "PDS pool size")
@@ -90,6 +97,7 @@ func main() {
 	wl := workload.DefaultFig1()
 	wl.Iterations = *iterations
 	wl.Mutexes = *mutexes
+	wl.CatchNested = *catchNested
 
 	logf := func(string, ...interface{}) {}
 	if *verbose {
@@ -97,24 +105,30 @@ func main() {
 	}
 	var inj *chaos.Injector
 	opts := server.Options{
-		ID:              ids.ReplicaID(*id),
-		Listen:          *listen,
-		Peers:           peerMap,
-		Scheduler:       kind,
-		Workload:        wl,
-		NestedLatency:   *nested,
-		Tick:            *tick,
-		Budget:          *budget,
-		PDSWindow:       *pdsWindow,
-		PDSRelaxed:      *pdsRelaxed,
-		CheckpointEvery: *checkpointEvery,
-		TraceRetention:  *traceRetention,
-		DataDir:         *dataDir,
-		Recover:         *recoverFlag,
-		Epoch:           *epoch,
-		SeqRetention:    *seqRetention,
-		GossipInterval:  *gossip,
-		Logf:            logf,
+		ID:               ids.ReplicaID(*id),
+		Listen:           *listen,
+		Peers:            peerMap,
+		Scheduler:        kind,
+		Workload:         wl,
+		NestedLatency:    *nested,
+		Backend:          *backendAddr,
+		NestedTimeout:    *nestedTimeout,
+		NestedRetries:    *nestedRetries,
+		NestedBackoff:    *nestedBackoff,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		Tick:             *tick,
+		Budget:           *budget,
+		PDSWindow:        *pdsWindow,
+		PDSRelaxed:       *pdsRelaxed,
+		CheckpointEvery:  *checkpointEvery,
+		TraceRetention:   *traceRetention,
+		DataDir:          *dataDir,
+		Recover:          *recoverFlag,
+		Epoch:            *epoch,
+		SeqRetention:     *seqRetention,
+		GossipInterval:   *gossip,
+		Logf:             logf,
 	}
 	if *chaosOn {
 		inj = chaos.New()
@@ -139,6 +153,11 @@ func main() {
 	st := srv.Status()
 	log.Printf("detmt-server: shutting down: completed=%d hash=%x state=%d recovery=%s last-ckpt=%d view=%d seq=%v",
 		st.Completed, st.Hash, st.State, st.Recovery, st.LastCheckpointSeq, st.View, st.Sequencer)
+	if *backendAddr != "" {
+		n := st.Nested
+		log.Printf("detmt-server: backend totals: performed=%d retries=%d app-errors=%d timeouts=%d fast-fails=%d re-performed=%d breaker=%s trips=%d",
+			n.Performed, n.Retries, n.AppErrors, n.Timeouts, n.FastFails, n.RePerformed, n.BreakerState, n.BreakerTrips)
+	}
 	if inj != nil {
 		sev, blocked := inj.Stats()
 		log.Printf("detmt-server: chaos totals: severed=%d dials-blocked=%d", sev, blocked)

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"detmt/internal/analysis"
+	"detmt/internal/backend"
 	"detmt/internal/gcs"
 	"detmt/internal/ids"
 	"detmt/internal/lang"
@@ -83,7 +84,9 @@ type Options struct {
 	// NestedLatency is the duration of the external service behind
 	// nested invocations (default 12ms).
 	NestedLatency time.Duration
-	// Service computes nested-invocation replies (default: echo).
+	// Service computes nested-invocation replies (default: echo). It is
+	// wrapped into an in-process external backend; deployments plug a
+	// real one via the replica configuration instead.
 	Service func(arg Value) Value
 	// PDSWindow and PDSRelaxed tune the PDS strategy.
 	PDSWindow  int
@@ -151,6 +154,13 @@ func NewCluster(opts Options) (*Cluster, error) {
 		Members: c.members,
 		Latency: opts.NetLatency,
 	})
+	var be backend.ExternalBackend
+	if opts.Service != nil {
+		svc := opts.Service
+		be = backend.NewInProcess(func(_ string, arg lang.Value) (lang.Value, error) {
+			return svc(arg), nil
+		}, nil)
+	}
 	for _, id := range c.members {
 		c.replicas[id] = replica.New(replica.Config{
 			ID:            id,
@@ -161,7 +171,7 @@ func NewCluster(opts Options) (*Cluster, error) {
 			PDSWindow:     opts.PDSWindow,
 			PDSRelaxed:    opts.PDSRelaxed,
 			NestedLatency: opts.NestedLatency,
-			Service:       opts.Service,
+			Backend:       be,
 		})
 	}
 	return c, nil

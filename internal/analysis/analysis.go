@@ -147,10 +147,15 @@ func validate(obj *lang.Object) error {
 		collectCalls(m.Body, &calls)
 		graph[m.Name] = calls
 		for _, c := range calls {
-			callees[c] = true
 			if obj.Lookup(c) == nil {
+				// Builtins (e.g. iserr) are interpreter-provided pure
+				// functions, not methods: nothing to validate or visit.
+				if lang.IsBuiltin(c) {
+					continue
+				}
 				return fmt.Errorf("analysis: %s calls unknown method %q", m.Name, c)
 			}
+			callees[c] = true
 		}
 	}
 	for name := range callees {

@@ -1,0 +1,132 @@
+// Package backend is the external-service boundary of the replicated
+// system: the one edge where the deterministic world meets a
+// nondeterministic outside service. The paper's nested-invocation rule
+// (Sect. 2) lets exactly one replica — the performer — run the external
+// call and spread the reply through the total order; this package
+// supplies what that rule needs to survive contact with a real service:
+//
+//   - ExternalBackend: the pluggable call interface (in-process for
+//     simulations, TCP for deployments against a detmt-backend process)
+//   - Policy: per-call deadlines with capped exponential backoff retries
+//   - Breaker: a circuit breaker that fails calls fast once the backend
+//     is evidently down (the performer's verdict still travels the total
+//     order, so graceful degradation stays deterministic)
+//   - idempotency keys: every call carries a key stable across performer
+//     failover, and the TCP server memoises outcomes by key, so a new
+//     performer re-running a call after a crash cannot double-apply its
+//     side effects
+//
+// Failure taxonomy: a call either succeeds, fails with an application
+// error (AppError — the service itself answered "no"; deterministic,
+// never retried), or fails with a transport error (ErrTimeout /
+// ErrUnavailable — the answer is unknown; retryable under the
+// idempotency key).
+package backend
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"detmt/internal/chaos"
+	"detmt/internal/lang"
+)
+
+// ExternalBackend performs nested invocations for the performing
+// replica. key is the call's idempotency key — stable across performer
+// failover and re-perform, so a backend that memoises by key applies
+// each logical call's side effects at most once. timeout bounds one
+// attempt (backends without real I/O may ignore it).
+type ExternalBackend interface {
+	Invoke(key string, arg lang.Value, timeout time.Duration) (lang.Value, error)
+	Close() error
+}
+
+// Blocking reports whether b performs real blocking I/O. The replica
+// detaches a blocking call from the virtual clock (the call runs in wall
+// time, not virtual time); non-blocking backends must stay attached —
+// in the non-paced simulator a detached goroutine would let the clock
+// declare a false deadlock.
+func Blocking(b ExternalBackend) bool {
+	type blocker interface{ Blocking() bool }
+	bb, ok := b.(blocker)
+	return ok && bb.Blocking()
+}
+
+// Transport-level failures: the call's outcome is unknown, so the
+// caller may retry under the same idempotency key.
+var (
+	// ErrTimeout marks a call that exceeded its per-attempt deadline.
+	ErrTimeout = errors.New("backend: call timed out")
+	// ErrUnavailable marks a call that could not reach the backend at
+	// all (dial failure, dropped connection).
+	ErrUnavailable = errors.New("backend: unavailable")
+)
+
+// AppError is a deterministic application-level failure: the backend
+// answered, and the answer is an error. It is never retried — the
+// service already decided.
+type AppError string
+
+// Error implements error.
+func (e AppError) Error() string { return string(e) }
+
+// Retryable reports whether err is worth retrying under the same
+// idempotency key: transport failures are, application errors are not.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var app AppError
+	return !errors.As(err, &app)
+}
+
+// InProcess is an in-process backend for simulations and tests: a
+// handler function plus an optional chaos fault switchboard. It never
+// blocks (faults are decided synchronously), so it is safe under the
+// non-paced simulator clock.
+type InProcess struct {
+	fn     func(key string, arg lang.Value) (lang.Value, error)
+	faults *chaos.Faults
+	calls  atomic.Uint64
+}
+
+// NewInProcess wraps fn (nil: echo the argument) into a backend.
+// faults, when non-nil, injects errors and outages: a dropped call
+// surfaces as ErrTimeout, an injected failure as an AppError.
+func NewInProcess(fn func(key string, arg lang.Value) (lang.Value, error), faults *chaos.Faults) *InProcess {
+	if fn == nil {
+		fn = func(_ string, arg lang.Value) (lang.Value, error) { return arg, nil }
+	}
+	return &InProcess{fn: fn, faults: faults}
+}
+
+// Echo returns the default backend: an in-process echo service, the
+// infallible stand-in simulations used before backends were pluggable.
+func Echo() *InProcess { return NewInProcess(nil, nil) }
+
+// Invoke implements ExternalBackend. The timeout is not enforced (there
+// is no I/O to bound); a "down" fault stands in for it by failing with
+// ErrTimeout immediately.
+func (b *InProcess) Invoke(key string, arg lang.Value, _ time.Duration) (lang.Value, error) {
+	b.calls.Add(1)
+	if b.faults != nil {
+		// The injected delay is ignored in-process: wall-sleeping here
+		// would stall the virtual clock. A swallowed call is what the
+		// caller's deadline would have turned into a timeout.
+		_, drop, fail := b.faults.Decide()
+		if drop {
+			return nil, ErrTimeout
+		}
+		if fail {
+			return nil, AppError("injected backend error")
+		}
+	}
+	return b.fn(key, arg)
+}
+
+// Calls reports how many invocations reached this backend (tests).
+func (b *InProcess) Calls() uint64 { return b.calls.Load() }
+
+// Close implements ExternalBackend (no resources to release).
+func (b *InProcess) Close() error { return nil }

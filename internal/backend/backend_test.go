@@ -1,0 +1,408 @@
+package backend
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"detmt/internal/chaos"
+	"detmt/internal/lang"
+)
+
+func TestInProcessEcho(t *testing.T) {
+	b := Echo()
+	v, err := b.Invoke("k1", int64(41), time.Second)
+	if err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	if v != int64(41) {
+		t.Fatalf("echo returned %v, want 41", v)
+	}
+	if b.Calls() != 1 {
+		t.Fatalf("Calls = %d, want 1", b.Calls())
+	}
+}
+
+func TestInProcessFaults(t *testing.T) {
+	f := chaos.NewFaults(7)
+	b := NewInProcess(nil, f)
+
+	f.SetDown(true)
+	if _, err := b.Invoke("k", int64(1), time.Second); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("down backend returned %v, want ErrTimeout", err)
+	}
+	f.SetDown(false)
+
+	f.SetErrorRate(1)
+	_, err := b.Invoke("k", int64(1), time.Second)
+	var app AppError
+	if !errors.As(err, &app) {
+		t.Fatalf("error-rate 1 returned %v, want AppError", err)
+	}
+	if Retryable(err) {
+		t.Fatal("AppError must not be retryable")
+	}
+
+	f.HealAll()
+	if _, err := b.Invoke("k", int64(1), time.Second); err != nil {
+		t.Fatalf("healed backend failed: %v", err)
+	}
+}
+
+func TestRetryable(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{AppError("no"), false},
+		{fmt.Errorf("wrapped: %w", AppError("no")), false},
+		{ErrTimeout, true},
+		{ErrUnavailable, true},
+		{fmt.Errorf("wrapped: %w", ErrTimeout), true},
+		{errors.New("mystery"), true},
+	}
+	for _, c := range cases {
+		if got := Retryable(c.err); got != c.want {
+			t.Errorf("Retryable(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+// flaky is a backend scripted to fail its first n calls.
+type flaky struct {
+	mu    sync.Mutex
+	fails int
+	calls int
+	err   error
+}
+
+func (f *flaky) Invoke(key string, arg lang.Value, _ time.Duration) (lang.Value, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	if f.calls <= f.fails {
+		return nil, f.err
+	}
+	return arg, nil
+}
+
+func (f *flaky) Close() error { return nil }
+
+func TestPolicyRetriesTransportErrors(t *testing.T) {
+	var slept []time.Duration
+	p := Policy{Retries: 3, Backoff: 10 * time.Millisecond, BackoffCap: 15 * time.Millisecond,
+		Sleep: func(d time.Duration) { slept = append(slept, d) }}
+	b := &flaky{fails: 2, err: ErrTimeout}
+	v, attempts, err := p.Do(b, "k", int64(5))
+	if err != nil || v != int64(5) {
+		t.Fatalf("Do = (%v, %v), want (5, nil)", v, err)
+	}
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", attempts)
+	}
+	want := []time.Duration{10 * time.Millisecond, 15 * time.Millisecond}
+	if len(slept) != len(want) || slept[0] != want[0] || slept[1] != want[1] {
+		t.Fatalf("backoffs = %v, want %v (doubling capped at 15ms)", slept, want)
+	}
+}
+
+func TestPolicyDoesNotRetryAppErrors(t *testing.T) {
+	p := Policy{Retries: 5, Sleep: func(time.Duration) {}}
+	b := &flaky{fails: 100, err: AppError("declined")}
+	_, attempts, err := p.Do(b, "k", int64(5))
+	var app AppError
+	if !errors.As(err, &app) {
+		t.Fatalf("err = %v, want AppError", err)
+	}
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (app errors are decided)", attempts)
+	}
+}
+
+func TestPolicyExhaustsRetries(t *testing.T) {
+	p := Policy{Retries: 2, Sleep: func(time.Duration) {}}
+	b := &flaky{fails: 100, err: ErrUnavailable}
+	_, attempts, err := p.Do(b, "k", int64(5))
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3 (1 + 2 retries)", attempts)
+	}
+}
+
+func TestBreakerTripAndRecover(t *testing.T) {
+	b := NewBreaker(3, 30*time.Millisecond)
+	if !b.Allow() || b.State() != "closed" {
+		t.Fatal("new breaker must be closed and allowing")
+	}
+	b.Failure()
+	b.Failure()
+	if b.State() != "closed" {
+		t.Fatal("breaker tripped before threshold")
+	}
+	b.Failure()
+	if b.State() != "open" || b.Allow() {
+		t.Fatalf("breaker state = %s after 3 failures, want open and refusing", b.State())
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("Trips = %d, want 1", b.Trips())
+	}
+
+	time.Sleep(40 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed: probe must be admitted")
+	}
+	if b.State() != "half_open" {
+		t.Fatalf("state = %s, want half_open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("only one probe may fly at a time")
+	}
+	b.Success()
+	if b.State() != "closed" || !b.Allow() {
+		t.Fatal("successful probe must close the breaker")
+	}
+
+	// A failed probe re-opens immediately.
+	b.Failure()
+	b.Failure()
+	b.Failure()
+	time.Sleep(40 * time.Millisecond)
+	b.Allow() // probe
+	b.Failure()
+	if b.State() != "open" {
+		t.Fatalf("state = %s after failed probe, want open", b.State())
+	}
+	if b.Trips() != 3 {
+		t.Fatalf("Trips = %d, want 3", b.Trips())
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b := NewBreaker(3, time.Second)
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != "closed" {
+		t.Fatal("success must reset the failure streak")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	values := []lang.Value{nil, int64(-42), int64(1 << 40), true, false,
+		lang.Monitor(7), lang.ErrValue("boom")}
+	for _, v := range values {
+		body, err := invokeBody("key-9", v)
+		if err != nil {
+			t.Fatalf("invokeBody(%v): %v", v, err)
+		}
+		key, arg, err := parseInvoke(body)
+		if err != nil || key != "key-9" {
+			t.Fatalf("parseInvoke: key=%q err=%v", key, err)
+		}
+		if arg != v {
+			t.Fatalf("value %v round-tripped to %v", v, arg)
+		}
+		rb, err := resultBody(v, "")
+		if err != nil {
+			t.Fatalf("resultBody(%v): %v", v, err)
+		}
+		rv, errStr, err := parseResult(rb)
+		if err != nil || errStr != "" || rv != v {
+			t.Fatalf("parseResult(%v) = (%v, %q, %v)", v, rv, errStr, err)
+		}
+	}
+	rb, _ := resultBody(nil, "declined")
+	_, errStr, err := parseResult(rb)
+	if err != nil || errStr != "declined" {
+		t.Fatalf("error result round-trip: %q, %v", errStr, err)
+	}
+}
+
+func newTestServer(t *testing.T, o ServerOptions) *Server {
+	t.Helper()
+	s, err := NewServer(o)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	s := newTestServer(t, ServerOptions{
+		Handler: func(_ string, arg lang.Value) (lang.Value, error) {
+			n, _ := arg.(int64)
+			return n * 2, nil
+		},
+	})
+	c := NewClient(ClientOptions{Addr: s.Addr()})
+	defer c.Close()
+
+	if !Blocking(c) {
+		t.Fatal("TCP client must report Blocking")
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int64) {
+			defer wg.Done()
+			v, err := c.Invoke(fmt.Sprintf("k%d", i), i, 2*time.Second)
+			if err != nil {
+				t.Errorf("Invoke k%d: %v", i, err)
+				return
+			}
+			if v != i*2 {
+				t.Errorf("k%d = %v, want %d", i, v, i*2)
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+	if got := s.Applies(); got != 8 {
+		t.Fatalf("Applies = %d, want 8", got)
+	}
+}
+
+func TestTCPIdempotencyReplay(t *testing.T) {
+	s := newTestServer(t, ServerOptions{
+		Handler: func(_ string, arg lang.Value) (lang.Value, error) {
+			n, _ := arg.(int64)
+			if n < 0 {
+				return nil, errors.New("negative")
+			}
+			return n + 1, nil
+		},
+	})
+	c := NewClient(ClientOptions{Addr: s.Addr()})
+	defer c.Close()
+
+	for i := 0; i < 3; i++ {
+		v, err := c.Invoke("same-key", int64(10), time.Second)
+		if err != nil || v != int64(11) {
+			t.Fatalf("replay %d: (%v, %v)", i, v, err)
+		}
+	}
+	if s.Applies() != 1 {
+		t.Fatalf("Applies = %d, want 1 (replays must not re-run the handler)", s.Applies())
+	}
+
+	// Errors are decided outcomes: cached and replayed too.
+	for i := 0; i < 2; i++ {
+		_, err := c.Invoke("err-key", int64(-1), time.Second)
+		var app AppError
+		if !errors.As(err, &app) || app.Error() != "negative" {
+			t.Fatalf("error replay %d: %v", i, err)
+		}
+	}
+	if s.Applies() != 2 {
+		t.Fatalf("Applies = %d, want 2", s.Applies())
+	}
+
+	// Replays are served even while the backend is dropping new calls.
+	f := chaos.NewFaults(1)
+	s.o.Faults = f
+	f.SetDown(true)
+	v, err := c.Invoke("same-key", int64(10), 200*time.Millisecond)
+	if err != nil || v != int64(11) {
+		t.Fatalf("replay under faults: (%v, %v)", v, err)
+	}
+	if _, err := c.Invoke("new-key", int64(1), 100*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("new call on a down backend: %v, want ErrTimeout", err)
+	}
+}
+
+func TestTCPServerDownAndReconnect(t *testing.T) {
+	s := newTestServer(t, ServerOptions{})
+	addr := s.Addr()
+	c := NewClient(ClientOptions{Addr: addr})
+	defer c.Close()
+
+	if _, err := c.Invoke("k1", int64(1), time.Second); err != nil {
+		t.Fatalf("first call: %v", err)
+	}
+	s.Close()
+	_, err := c.Invoke("k2", int64(2), 500*time.Millisecond)
+	if err == nil || !Retryable(err) {
+		t.Fatalf("call against a dead server: %v, want a retryable transport error", err)
+	}
+
+	// A new server on the same port: the client redials on demand.
+	ln, lerr := net.Listen("tcp", addr)
+	if lerr != nil {
+		t.Skipf("port %s not immediately reusable: %v", addr, lerr)
+	}
+	s2 := newTestServer(t, ServerOptions{Listener: ln})
+	_ = s2
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := c.Invoke("k3", int64(3), 500*time.Millisecond); err == nil {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("client never reconnected: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestTCPControlAndChaos(t *testing.T) {
+	f := chaos.NewFaults(3)
+	s := newTestServer(t, ServerOptions{Faults: f})
+
+	reply, err := Control(s.Addr(), "status", time.Second)
+	if err != nil {
+		t.Fatalf("Control status: %v", err)
+	}
+	if !strings.Contains(string(reply), `"ok":true`) {
+		t.Fatalf("status reply: %s", reply)
+	}
+
+	reply, err = Control(s.Addr(), "chaos error-rate 1", time.Second)
+	if err != nil || !strings.Contains(string(reply), `"ok":true`) {
+		t.Fatalf("chaos command: %s, %v", reply, err)
+	}
+	c := NewClient(ClientOptions{Addr: s.Addr()})
+	defer c.Close()
+	_, err = c.Invoke("k", int64(1), time.Second)
+	var app AppError
+	if !errors.As(err, &app) {
+		t.Fatalf("after error-rate 1: %v, want AppError", err)
+	}
+
+	if reply, err = Control(s.Addr(), "chaos heal", time.Second); err != nil ||
+		!strings.Contains(string(reply), `"ok":true`) {
+		t.Fatalf("chaos heal: %s, %v", reply, err)
+	}
+	if v, err := c.Invoke("k2", int64(5), time.Second); err != nil || v != int64(5) {
+		t.Fatalf("after heal: (%v, %v)", v, err)
+	}
+
+	if reply, _ = Control(s.Addr(), "bogus", time.Second); !strings.Contains(string(reply), `"ok":false`) {
+		t.Fatalf("bogus command must fail: %s", reply)
+	}
+}
+
+func TestTCPCacheEviction(t *testing.T) {
+	s := newTestServer(t, ServerOptions{CacheSize: 2})
+	c := NewClient(ClientOptions{Addr: s.Addr()})
+	defer c.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := c.Invoke(fmt.Sprintf("k%d", i), int64(i), time.Second); err != nil {
+			t.Fatalf("k%d: %v", i, err)
+		}
+	}
+	// k0 and k1 were evicted; re-invoking k0 re-runs the handler.
+	if _, err := c.Invoke("k0", int64(0), time.Second); err != nil {
+		t.Fatalf("k0 again: %v", err)
+	}
+	if s.Applies() != 5 {
+		t.Fatalf("Applies = %d, want 5 (evicted key re-applied)", s.Applies())
+	}
+}

@@ -1,0 +1,114 @@
+package backend
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker states.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// Breaker is a circuit breaker over the external-service boundary.
+// Consecutive transport failures trip it open; while open, calls are
+// refused immediately (Allow returns false) so nested invocations fail
+// fast instead of each paying the full deadline-and-retry budget against
+// a dead backend. After a cooldown one probe call is let through
+// (half-open): success closes the breaker, failure re-opens it.
+//
+// Determinism: only the performing replica consults the breaker, and it
+// broadcasts the resulting outcome (fast-fail included) through the
+// total order — so the breaker's wall-clock cooldown never forks the
+// replicas, exactly like the external call's own nondeterminism.
+type Breaker struct {
+	threshold int           // consecutive failures that trip it (<=0: never trips)
+	cooldown  time.Duration // open duration before the half-open probe
+
+	mu       sync.Mutex
+	state    int
+	fails    int
+	openedAt time.Time
+	trips    uint64
+}
+
+// NewBreaker builds a breaker tripping after threshold consecutive
+// failures (<=0 disables tripping) and probing after cooldown.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if cooldown <= 0 {
+		cooldown = 2 * time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// Allow reports whether a call may proceed now. In the open state it
+// returns false until the cooldown elapses, then admits exactly one
+// probe (half-open).
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if time.Since(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		return true // the probe
+	default: // half-open: one probe is already in flight
+		return false
+	}
+}
+
+// Success reports a completed call: the breaker closes and the failure
+// streak resets.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	b.state = breakerClosed
+	b.fails = 0
+	b.mu.Unlock()
+}
+
+// Failure reports a failed call. In the closed state it counts toward
+// the trip threshold; a failed half-open probe re-opens immediately.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+		b.trips++
+	case breakerClosed:
+		b.fails++
+		if b.threshold > 0 && b.fails >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = time.Now()
+			b.trips++
+		}
+	}
+}
+
+// State names the current state: "closed", "open", or "half_open".
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half_open"
+	default:
+		return "closed"
+	}
+}
+
+// Trips reports how many times the breaker has opened.
+func (b *Breaker) Trips() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

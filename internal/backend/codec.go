@@ -1,0 +1,242 @@
+package backend
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"detmt/internal/lang"
+)
+
+// The backend protocol is deliberately independent of internal/wire (the
+// replica transport): a backend is an *external* service, typically not
+// even a detmt process, so its protocol must not drag the replication
+// envelope along. Framing: a per-connection preamble (magic + version),
+// then length-prefixed frames of u32 length, u8 kind, u64 correlation
+// id, body.
+const (
+	bkMagic   = "DTBK"
+	bkVersion = uint16(1)
+
+	// frame kinds
+	bkInvoke       = byte(1) // string key, value arg
+	bkResult       = byte(2) // u8 status (0 ok, 1 error), value, string err
+	bkControl      = byte(3) // string command ("status", "chaos <cmd>")
+	bkControlReply = byte(4) // raw bytes (JSON)
+
+	// result statuses
+	bkOK  = byte(0)
+	bkErr = byte(1)
+
+	// value tags (mirrors the lang.Value domain)
+	bkValNil     = byte(0)
+	bkValInt     = byte(1)
+	bkValBool    = byte(2)
+	bkValMonitor = byte(3)
+	bkValErr     = byte(4)
+
+	// maxBkFrame bounds one frame (16 MiB) against corrupt prefixes.
+	maxBkFrame = 16 << 20
+)
+
+var (
+	errBkMagic = errors.New("backend: bad connection preamble")
+	errBkShort = errors.New("backend: truncated frame")
+)
+
+type bkFrame struct {
+	kind byte
+	id   uint64
+	body []byte
+}
+
+func bkAppendU32(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
+func bkAppendU64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
+
+func bkAppendString(b []byte, s string) []byte {
+	b = bkAppendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+func bkAppendValue(b []byte, v lang.Value) ([]byte, error) {
+	switch x := v.(type) {
+	case nil:
+		return append(b, bkValNil), nil
+	case int64:
+		return bkAppendU64(append(b, bkValInt), uint64(x)), nil
+	case bool:
+		n := uint64(0)
+		if x {
+			n = 1
+		}
+		return bkAppendU64(append(b, bkValBool), n), nil
+	case lang.Monitor:
+		return bkAppendU64(append(b, bkValMonitor), uint64(int64(x))), nil
+	case lang.ErrValue:
+		return bkAppendString(append(b, bkValErr), string(x)), nil
+	default:
+		return b, fmt.Errorf("backend: unencodable value type %T", v)
+	}
+}
+
+type bkReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *bkReader) fail() {
+	if r.err == nil {
+		r.err = errBkShort
+	}
+}
+
+func (r *bkReader) u8() byte {
+	if r.err != nil || r.off+1 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *bkReader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *bkReader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *bkReader) str() string {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.off+n > len(r.b) {
+		r.fail()
+		return ""
+	}
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+func (r *bkReader) value() lang.Value {
+	switch tag := r.u8(); tag {
+	case bkValNil:
+		return nil
+	case bkValInt:
+		return int64(r.u64())
+	case bkValBool:
+		return r.u64() != 0
+	case bkValMonitor:
+		return lang.Monitor(int64(r.u64()))
+	case bkValErr:
+		return lang.ErrValue(r.str())
+	default:
+		if r.err == nil {
+			r.err = fmt.Errorf("backend: unknown value tag %d", tag)
+		}
+		return nil
+	}
+}
+
+// ---- frame bodies ----
+
+func invokeBody(key string, arg lang.Value) ([]byte, error) {
+	b := bkAppendString(nil, key)
+	return bkAppendValue(b, arg)
+}
+
+func parseInvoke(body []byte) (key string, arg lang.Value, err error) {
+	r := &bkReader{b: body}
+	key = r.str()
+	arg = r.value()
+	return key, arg, r.err
+}
+
+func resultBody(v lang.Value, errStr string) ([]byte, error) {
+	status := bkOK
+	if errStr != "" {
+		status = bkErr
+	}
+	b, err := bkAppendValue([]byte{status}, v)
+	if err != nil {
+		return nil, err
+	}
+	return bkAppendString(b, errStr), nil
+}
+
+func parseResult(body []byte) (v lang.Value, errStr string, err error) {
+	r := &bkReader{b: body}
+	status := r.u8()
+	v = r.value()
+	errStr = r.str()
+	if r.err != nil {
+		return nil, "", r.err
+	}
+	if status == bkOK {
+		errStr = ""
+	}
+	return v, errStr, nil
+}
+
+// ---- framing ----
+
+func bkWritePreamble(w io.Writer) error {
+	b := append([]byte(bkMagic), 0, 0)
+	binary.BigEndian.PutUint16(b[len(bkMagic):], bkVersion)
+	_, err := w.Write(b)
+	return err
+}
+
+func bkReadPreamble(r io.Reader) error {
+	b := make([]byte, len(bkMagic)+2)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return err
+	}
+	if string(b[:len(bkMagic)]) != bkMagic {
+		return errBkMagic
+	}
+	if v := binary.BigEndian.Uint16(b[len(bkMagic):]); v != bkVersion {
+		return fmt.Errorf("backend: protocol version %d, want %d", v, bkVersion)
+	}
+	return nil
+}
+
+func bkWriteFrame(w io.Writer, f bkFrame) error {
+	b := bkAppendU32(nil, uint32(1+8+len(f.body)))
+	b = append(b, f.kind)
+	b = bkAppendU64(b, f.id)
+	b = append(b, f.body...)
+	_, err := w.Write(b)
+	return err
+}
+
+func bkReadFrame(r io.Reader) (bkFrame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return bkFrame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < 9 || n > maxBkFrame {
+		return bkFrame{}, fmt.Errorf("backend: bad frame length %d", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return bkFrame{}, err
+	}
+	return bkFrame{kind: b[0], id: binary.BigEndian.Uint64(b[1:9]), body: b[9:]}, nil
+}

@@ -1,0 +1,69 @@
+package backend
+
+import (
+	"time"
+
+	"detmt/internal/lang"
+)
+
+// Policy is the retry discipline for one external call: a per-attempt
+// deadline plus capped exponential backoff between attempts. Retries are
+// safe because every attempt reuses the call's idempotency key — a
+// timed-out attempt whose side effects did land is answered from the
+// backend's key cache on the retry, not re-applied.
+type Policy struct {
+	// Timeout bounds one attempt (default 2s).
+	Timeout time.Duration
+	// Retries is how many extra attempts follow a failed first one
+	// (default 2; negative disables retries).
+	Retries int
+	// Backoff is the wait before the first retry, doubling per attempt
+	// (default 25ms) up to BackoffCap (default 500ms).
+	Backoff    time.Duration
+	BackoffCap time.Duration
+	// Sleep replaces time.Sleep between attempts (tests).
+	Sleep func(time.Duration)
+}
+
+// Do invokes b under the policy. It returns the reply, how many attempts
+// ran, and the final error. Application errors (AppError) are
+// deterministic answers and end the loop immediately; only transport
+// failures (timeout, unreachable) are retried.
+func (p Policy) Do(b ExternalBackend, key string, arg lang.Value) (lang.Value, int, error) {
+	timeout := p.Timeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	retries := p.Retries
+	if retries == 0 {
+		retries = 2
+	}
+	if retries < 0 {
+		retries = 0
+	}
+	backoff := p.Backoff
+	if backoff <= 0 {
+		backoff = 25 * time.Millisecond
+	}
+	ceil := p.BackoffCap
+	if ceil <= 0 {
+		ceil = 500 * time.Millisecond
+	}
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+
+	attempts := 0
+	for {
+		attempts++
+		v, err := b.Invoke(key, arg, timeout)
+		if err == nil || !Retryable(err) || attempts > retries {
+			return v, attempts, err
+		}
+		sleep(backoff)
+		if backoff *= 2; backoff > ceil {
+			backoff = ceil
+		}
+	}
+}

@@ -1,0 +1,312 @@
+package backend
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"detmt/internal/chaos"
+	"detmt/internal/lang"
+)
+
+// ServerOptions configures a backend stub server (detmt-backend).
+type ServerOptions struct {
+	// Listen is the address to bind ("" picks a free port on localhost).
+	Listen string
+	// Listener, when non-nil, is used instead of binding Listen.
+	Listener net.Listener
+	// Handler is the service logic (nil: echo the argument).
+	Handler func(key string, arg lang.Value) (lang.Value, error)
+	// Faults, when non-nil, injects delays, errors, and outages; the
+	// server's control channel exposes it to detmt-chaos.
+	Faults *chaos.Faults
+	// CacheSize bounds the idempotency cache (default 4096 outcomes).
+	CacheSize int
+	// Logf receives connection diagnostics.
+	Logf func(format string, args ...interface{})
+}
+
+// cachedOutcome is one memoised call result: replays of the same
+// idempotency key (performer retries, failover re-performs) get this
+// back instead of re-running the handler.
+type cachedOutcome struct {
+	value  lang.Value
+	errStr string
+}
+
+// Server is the detmt-backend stub: a TCP service speaking the backend
+// protocol, with handler logic, an idempotency cache keyed by the
+// caller's per-call keys, and a chaos fault switchboard. It exists so
+// the external-service boundary can be exercised for real — killed,
+// delayed, made to error — while the replicas must still agree.
+type Server struct {
+	o  ServerOptions
+	ln net.Listener
+
+	mu      sync.Mutex
+	cache   map[string]cachedOutcome
+	order   []string // FIFO eviction order for cache
+	applies uint64   // handler executions (first-time keys only)
+	replays uint64   // calls answered from the idempotency cache
+	closed  bool
+	conns   map[net.Conn]bool
+	wg      sync.WaitGroup
+}
+
+// NewServer binds and starts serving; Close shuts it down.
+func NewServer(o ServerOptions) (*Server, error) {
+	if o.Handler == nil {
+		o.Handler = func(_ string, arg lang.Value) (lang.Value, error) { return arg, nil }
+	}
+	if o.CacheSize <= 0 {
+		o.CacheSize = 4096
+	}
+	ln := o.Listener
+	if ln == nil {
+		addr := o.Listen
+		if addr == "" {
+			addr = "127.0.0.1:0"
+		}
+		var err error
+		ln, err = net.Listen("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+	}
+	s := &Server{
+		o:     o,
+		ln:    ln,
+		cache: map[string]cachedOutcome{},
+		conns: map[net.Conn]bool{},
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr reports the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Applies reports how many calls executed the handler (replays served
+// from the idempotency cache are excluded) — the number e2e tests
+// compare against logical call counts to prove at-most-once side
+// effects across performer failover.
+func (s *Server) Applies() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applies
+}
+
+// Stats reports server counters (and fault counters when faults are
+// wired).
+func (s *Server) Stats() map[string]interface{} {
+	s.mu.Lock()
+	m := map[string]interface{}{
+		"applies":     s.applies,
+		"replays":     s.replays,
+		"cached_keys": len(s.cache),
+		"addr":        s.ln.Addr().String(),
+	}
+	s.mu.Unlock()
+	if s.o.Faults != nil {
+		m["faults"] = s.o.Faults.Stats()
+	}
+	return m
+}
+
+// Close stops accepting, closes live connections, and waits for the
+// serving goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.o.Logf != nil {
+		s.o.Logf(format, args...)
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	conn.Close()
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer s.dropConn(conn)
+	if err := bkReadPreamble(conn); err != nil {
+		s.logf("backend-server: %v from %s", err, conn.RemoteAddr())
+		return
+	}
+	if err := bkWritePreamble(conn); err != nil {
+		return
+	}
+	// Invocations run in per-call goroutines (the performer's threads
+	// call concurrently over one connection); writeMu serialises their
+	// response frames.
+	var writeMu sync.Mutex
+	var calls sync.WaitGroup
+	defer calls.Wait()
+	for {
+		f, err := bkReadFrame(conn)
+		if err != nil {
+			return
+		}
+		switch f.kind {
+		case bkInvoke:
+			calls.Add(1)
+			go func(f bkFrame) {
+				defer calls.Done()
+				s.handleInvoke(conn, &writeMu, f)
+			}(f)
+		case bkControl:
+			reply := s.handleControl(string(f.body))
+			writeMu.Lock()
+			err := bkWriteFrame(conn, bkFrame{kind: bkControlReply, id: f.id, body: reply})
+			writeMu.Unlock()
+			if err != nil {
+				return
+			}
+		default:
+			s.logf("backend-server: unknown frame kind %d", f.kind)
+			return
+		}
+	}
+}
+
+func (s *Server) handleInvoke(conn net.Conn, writeMu *sync.Mutex, f bkFrame) {
+	key, arg, err := parseInvoke(f.body)
+	if err != nil {
+		s.reply(conn, writeMu, f.id, nil, fmt.Sprintf("bad invoke frame: %v", err))
+		return
+	}
+
+	// Idempotency first: a replayed key gets its memoised outcome back
+	// even while faults rage — the original call already happened, and
+	// answering anything else would let a performer retry (or a failover
+	// re-perform) double-apply or fork the outcome.
+	s.mu.Lock()
+	if out, ok := s.cache[key]; ok {
+		s.replays++
+		s.mu.Unlock()
+		s.reply(conn, writeMu, f.id, out.value, out.errStr)
+		return
+	}
+	s.mu.Unlock()
+
+	if s.o.Faults != nil {
+		delay, drop, fail := s.o.Faults.Decide()
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		if drop {
+			return // swallowed: the caller's deadline turns this into a timeout
+		}
+		if fail {
+			s.store(key, nil, "injected backend error")
+			s.reply(conn, writeMu, f.id, nil, "injected backend error")
+			return
+		}
+	}
+
+	v, herr := s.o.Handler(key, arg)
+	errStr := ""
+	if herr != nil {
+		errStr = herr.Error()
+		v = nil
+	}
+	s.store(key, v, errStr)
+	s.reply(conn, writeMu, f.id, v, errStr)
+}
+
+// store memoises an outcome under its idempotency key, evicting the
+// oldest entries FIFO past CacheSize. Errors are cached too: "the
+// service said no" is as much a decided outcome as a value.
+func (s *Server) store(key string, v lang.Value, errStr string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.cache[key]; !ok {
+		s.order = append(s.order, key)
+		s.applies++
+	}
+	s.cache[key] = cachedOutcome{value: v, errStr: errStr}
+	for len(s.order) > s.o.CacheSize {
+		old := s.order[0]
+		s.order = s.order[1:]
+		delete(s.cache, old)
+	}
+}
+
+func (s *Server) reply(conn net.Conn, writeMu *sync.Mutex, id uint64, v lang.Value, errStr string) {
+	body, err := resultBody(v, errStr)
+	if err != nil {
+		body, _ = resultBody(nil, fmt.Sprintf("unencodable result: %v", err))
+	}
+	writeMu.Lock()
+	defer writeMu.Unlock()
+	if err := bkWriteFrame(conn, bkFrame{kind: bkResult, id: id, body: body}); err != nil {
+		s.logf("backend-server: write to %s: %v", conn.RemoteAddr(), err)
+	}
+}
+
+// handleControl answers an out-of-band operator command with JSON.
+func (s *Server) handleControl(cmd string) []byte {
+	cmd = strings.TrimSpace(cmd)
+	switch {
+	case cmd == "status" || cmd == "stats":
+		b, err := json.Marshal(map[string]interface{}{"ok": true, "stats": s.Stats()})
+		if err != nil {
+			return []byte(`{"ok":false,"error":"marshal failure"}`)
+		}
+		return b
+	case strings.HasPrefix(cmd, "chaos "):
+		if s.o.Faults == nil {
+			return []byte(`{"ok":false,"error":"no fault injection wired (-seed it at startup)"}`)
+		}
+		return chaos.HandleFaults(s.o.Faults, strings.TrimPrefix(cmd, "chaos "))
+	default:
+		b, _ := json.Marshal(map[string]interface{}{"ok": false, "error": fmt.Sprintf("unknown control command %q", cmd)})
+		return b
+	}
+}

@@ -1,0 +1,243 @@
+package backend
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"detmt/internal/lang"
+)
+
+// ClientOptions configures a TCP backend client.
+type ClientOptions struct {
+	// Addr is the detmt-backend server address.
+	Addr string
+	// Dial overrides the dialer (chaos fault injection hooks in here,
+	// so a replica can be partitioned from its backend).
+	Dial func(addr string) (net.Conn, error)
+	// Logf receives connection diagnostics.
+	Logf func(format string, args ...interface{})
+}
+
+// Client is the real-TCP ExternalBackend: one multiplexed connection to
+// a detmt-backend process, correlation ids for concurrent in-flight
+// calls, per-call deadlines, and redial-on-demand after a connection
+// loss. It reports Blocking() == true, so the replica detaches calls
+// from the virtual clock.
+type Client struct {
+	o ClientOptions
+
+	mu      sync.Mutex
+	conn    net.Conn
+	gen     uint64 // connection generation; stale readers stand down
+	nextID  uint64
+	waiters map[uint64]chan callResult
+	closed  bool
+}
+
+type callResult struct {
+	value  lang.Value
+	errStr string
+	err    error // transport-level failure
+}
+
+// NewClient builds a client; the connection is dialed lazily on the
+// first call (and re-dialed after any loss).
+func NewClient(o ClientOptions) *Client {
+	if o.Dial == nil {
+		o.Dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 5*time.Second)
+		}
+	}
+	return &Client{o: o, waiters: map[uint64]chan callResult{}}
+}
+
+// Blocking marks the client as real blocking I/O (see Blocking).
+func (c *Client) Blocking() bool { return true }
+
+func (c *Client) logf(format string, args ...interface{}) {
+	if c.o.Logf != nil {
+		c.o.Logf(format, args...)
+	}
+}
+
+// ensureConn returns the live connection, dialing if needed.
+func (c *Client) ensureConn() (net.Conn, uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, 0, fmt.Errorf("%w: client closed", ErrUnavailable)
+	}
+	if c.conn != nil {
+		return c.conn, c.gen, nil
+	}
+	conn, err := c.o.Dial(c.o.Addr)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: dial %s: %v", ErrUnavailable, c.o.Addr, err)
+	}
+	if err := bkWritePreamble(conn); err != nil {
+		conn.Close()
+		return nil, 0, fmt.Errorf("%w: preamble: %v", ErrUnavailable, err)
+	}
+	// The server echoes the preamble back; validate it on the reader
+	// goroutine so the dial path stays non-blocking past the write.
+	c.conn = conn
+	c.gen++
+	gen := c.gen
+	go c.readLoop(conn, gen)
+	c.logf("backend: connected to %s", c.o.Addr)
+	return conn, gen, nil
+}
+
+// teardown discards the connection of generation gen (if still current)
+// and fails every waiter: their calls' outcomes are unknown.
+func (c *Client) teardown(gen uint64, cause error) {
+	c.mu.Lock()
+	if gen != c.gen || c.conn == nil {
+		c.mu.Unlock()
+		return
+	}
+	conn := c.conn
+	c.conn = nil
+	waiters := c.waiters
+	c.waiters = map[uint64]chan callResult{}
+	c.mu.Unlock()
+	conn.Close()
+	for _, ch := range waiters {
+		ch <- callResult{err: fmt.Errorf("%w: connection lost: %v", ErrUnavailable, cause)}
+	}
+}
+
+func (c *Client) readLoop(conn net.Conn, gen uint64) {
+	if err := bkReadPreamble(conn); err != nil {
+		c.teardown(gen, err)
+		return
+	}
+	for {
+		f, err := bkReadFrame(conn)
+		if err != nil {
+			c.teardown(gen, err)
+			return
+		}
+		switch f.kind {
+		case bkResult:
+			v, errStr, perr := parseResult(f.body)
+			c.mu.Lock()
+			ch := c.waiters[f.id]
+			delete(c.waiters, f.id)
+			c.mu.Unlock()
+			if ch == nil {
+				continue // the call already timed out; late answer is dropped
+			}
+			if perr != nil {
+				ch <- callResult{err: fmt.Errorf("%w: bad result frame: %v", ErrUnavailable, perr)}
+				continue
+			}
+			ch <- callResult{value: v, errStr: errStr}
+		case bkControlReply:
+			c.mu.Lock()
+			ch := c.waiters[f.id]
+			delete(c.waiters, f.id)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- callResult{value: lang.ErrValue(string(f.body))}
+			}
+		}
+	}
+}
+
+// roundTrip sends one frame and waits for its correlated answer.
+func (c *Client) roundTrip(kind byte, body []byte, timeout time.Duration) (callResult, error) {
+	conn, gen, err := c.ensureConn()
+	if err != nil {
+		return callResult{}, err
+	}
+	ch := make(chan callResult, 1)
+	c.mu.Lock()
+	c.nextID++
+	id := c.nextID
+	c.waiters[id] = ch
+	err = bkWriteFrame(conn, bkFrame{kind: kind, id: id, body: body})
+	c.mu.Unlock()
+	if err != nil {
+		c.teardown(gen, err)
+		// teardown delivered an ErrUnavailable to ch (or the waiter map
+		// was already swapped); normalise to a direct error.
+		select {
+		case <-ch:
+		default:
+		}
+		return callResult{}, fmt.Errorf("%w: write: %v", ErrUnavailable, err)
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			return callResult{}, res.err
+		}
+		return res, nil
+	case <-timer.C:
+		c.mu.Lock()
+		delete(c.waiters, id)
+		c.mu.Unlock()
+		return callResult{}, fmt.Errorf("%w after %v", ErrTimeout, timeout)
+	}
+}
+
+// Invoke implements ExternalBackend over the live connection.
+func (c *Client) Invoke(key string, arg lang.Value, timeout time.Duration) (lang.Value, error) {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	body, err := invokeBody(key, arg)
+	if err != nil {
+		return nil, AppError(err.Error()) // unencodable argument: deterministic
+	}
+	res, err := c.roundTrip(bkInvoke, body, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if res.errStr != "" {
+		return nil, AppError(res.errStr)
+	}
+	return res.value, nil
+}
+
+// Control sends one out-of-band command ("status", "chaos <cmd>") and
+// returns the raw JSON reply.
+func (c *Client) Control(cmd string, timeout time.Duration) ([]byte, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	res, err := c.roundTrip(bkControl, []byte(cmd), timeout)
+	if err != nil {
+		return nil, err
+	}
+	reply, _ := res.value.(lang.ErrValue) // raw bytes smuggled as a string value
+	return []byte(string(reply)), nil
+}
+
+// Close tears the connection down; in-flight calls fail with
+// ErrUnavailable.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	gen := c.gen
+	c.mu.Unlock()
+	c.teardown(gen, fmt.Errorf("client closed"))
+	return nil
+}
+
+// Control dials addr once, issues one control command, and closes — the
+// one-shot path used by detmt-chaos -target backend.
+func Control(addr, cmd string, timeout time.Duration) ([]byte, error) {
+	c := NewClient(ClientOptions{Addr: addr})
+	defer c.Close()
+	return c.Control(cmd, timeout)
+}

@@ -1,0 +1,165 @@
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"detmt/internal/ids"
+)
+
+// Faults is the fault switchboard for an external-service backend (the
+// detmt-backend stub server). Where Injector faults the *transport*
+// between replicas, Faults models the ways a real backend misbehaves as
+// seen by the performing replica:
+//
+//   - error rate: a fraction of calls fail with an application error
+//   - delay: every call takes extra wall time (drive the caller past its
+//     per-call deadline to inject timeouts)
+//   - down: calls are swallowed without a response (a hung service; the
+//     caller's deadline converts this into a timeout, and repeated
+//     timeouts trip its circuit breaker)
+//
+// Decisions are drawn from a seeded RNG so a chaos soak is reproducible.
+type Faults struct {
+	mu      sync.Mutex
+	rng     *ids.RNG
+	errRate float64
+	delay   time.Duration
+	down    bool
+
+	// counters (Stats)
+	calls    uint64
+	injected uint64 // calls answered with an injected error
+	dropped  uint64 // calls swallowed while down
+	delayed  uint64 // calls that served the injected delay
+}
+
+// NewFaults creates an idle fault switchboard (no faults active).
+func NewFaults(seed uint64) *Faults {
+	return &Faults{rng: ids.NewRNG(seed)}
+}
+
+// SetErrorRate makes each call fail with probability p (0 disables).
+func (f *Faults) SetErrorRate(p float64) {
+	f.mu.Lock()
+	f.errRate = p
+	f.mu.Unlock()
+}
+
+// SetDelay adds d of latency to every call (0 disables).
+func (f *Faults) SetDelay(d time.Duration) {
+	f.mu.Lock()
+	f.delay = d
+	f.mu.Unlock()
+}
+
+// SetDown makes the backend swallow calls without answering (a hung
+// service) until SetDown(false) or HealAll.
+func (f *Faults) SetDown(down bool) {
+	f.mu.Lock()
+	f.down = down
+	f.mu.Unlock()
+}
+
+// HealAll clears every fault.
+func (f *Faults) HealAll() {
+	f.mu.Lock()
+	f.errRate = 0
+	f.delay = 0
+	f.down = false
+	f.mu.Unlock()
+}
+
+// Decide draws the fate of one call: how long to stall it, whether to
+// swallow it entirely, and whether to answer with an injected error.
+func (f *Faults) Decide() (delay time.Duration, drop, fail bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	delay = f.delay
+	if delay > 0 {
+		f.delayed++
+	}
+	if f.down {
+		f.dropped++
+		return delay, true, false
+	}
+	if f.errRate > 0 && f.rng.Bool(f.errRate) {
+		f.injected++
+		return delay, false, true
+	}
+	return delay, false, false
+}
+
+// Stats reports the fault counters and current knob settings.
+func (f *Faults) Stats() map[string]interface{} {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return map[string]interface{}{
+		"calls":      f.calls,
+		"injected":   f.injected,
+		"dropped":    f.dropped,
+		"delayed":    f.delayed,
+		"error_rate": f.errRate,
+		"delay_ms":   float64(f.delay) / float64(time.Millisecond),
+		"down":       f.down,
+	}
+}
+
+// HandleFaults interprets one operator chaos command against a backend
+// fault switchboard and returns a JSON reply — the backend-side
+// counterpart of Handle, exposed by detmt-backend's control channel and
+// driven by `detmt-chaos -target backend`.
+//
+// Commands:
+//
+//	error-rate <p>   fail each call with probability p (error-rate 0 disables)
+//	delay <dur>      stall every call by <dur> (delay 0 disables)
+//	down             swallow calls without answering (callers time out)
+//	up               resume answering calls
+//	heal             clear all faults
+//	stats            report fault counters and knob settings
+func HandleFaults(f *Faults, cmd string) []byte {
+	fields := strings.Fields(cmd)
+	if len(fields) == 0 {
+		return errJSON("empty chaos command")
+	}
+	switch fields[0] {
+	case "error-rate":
+		if len(fields) != 2 {
+			return errJSON("usage: error-rate <probability>")
+		}
+		p, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || p < 0 || p > 1 {
+			return errJSON(fmt.Sprintf("bad probability %q", fields[1]))
+		}
+		f.SetErrorRate(p)
+		return okJSON(map[string]interface{}{"error_rate": p})
+	case "delay":
+		if len(fields) != 2 {
+			return errJSON("usage: delay <duration>")
+		}
+		d, err := time.ParseDuration(fields[1])
+		if err != nil || d < 0 {
+			return errJSON(fmt.Sprintf("bad duration %q", fields[1]))
+		}
+		f.SetDelay(d)
+		return okJSON(map[string]interface{}{"delay_ms": float64(d) / float64(time.Millisecond)})
+	case "down":
+		f.SetDown(true)
+		return okJSON(map[string]interface{}{"down": true})
+	case "up":
+		f.SetDown(false)
+		return okJSON(map[string]interface{}{"down": false})
+	case "heal":
+		f.HealAll()
+		return okJSON(map[string]interface{}{"healed": true})
+	case "stats":
+		return okJSON(f.Stats())
+	default:
+		return errJSON(fmt.Sprintf("unknown backend chaos command %q", fields[0]))
+	}
+}

@@ -9,13 +9,32 @@ import (
 	"detmt/internal/ids"
 )
 
-// Value is a runtime value of the mini language: int64, bool, Monitor, or
-// nil (null).
+// Value is a runtime value of the mini language: int64, bool, Monitor,
+// ErrValue, or nil (null).
 type Value interface{}
 
 // Monitor is a reference to a runtime monitor (mutex + condition
 // variable).
 type Monitor ids.MutexID
+
+// ErrValue is a first-class error value: the deterministic in-language
+// representation of a failed nested invocation. The performing replica
+// turns a backend error or timeout into an ErrValue and spreads it
+// through the total order, so every replica observes the same failure.
+// Programs bind it with `var r = nested(x);` and test it with the
+// `iserr(r)` builtin; a statement-form `nested(x);` that receives an
+// ErrValue aborts the method with that error instead (there is no name
+// to bind the failure to, and silently dropping it would hide a
+// half-completed external call).
+type ErrValue string
+
+// Error makes ErrValue usable as a Go error as well.
+func (e ErrValue) Error() string { return string(e) }
+
+// IsBuiltin reports whether name is a built-in function of the language
+// rather than a method of the object. Builtins are only consulted when
+// the object does not define a method of the same name.
+func IsBuiltin(name string) bool { return name == "iserr" }
 
 // Instance is one replica's live copy of an object: its field values and
 // its monitor identities. All replicas construct instances from the same
@@ -302,6 +321,14 @@ func (it *interp) stmt(s Stmt, steps *int) error {
 		reply := it.th.Nested(arg)
 		if n.Result != "" {
 			it.locals[n.Result] = reply
+			return nil
+		}
+		if ev, ok := reply.(ErrValue); ok {
+			// Statement form discards the reply, so a failed external
+			// call has nowhere to land: abort the method with the error
+			// (deterministically — every replica resumed with the same
+			// ErrValue from the total order).
+			return fmt.Errorf("lang: nested invocation failed: %s", string(ev))
 		}
 		return nil
 	case *RawLock:
@@ -365,6 +392,9 @@ func (it *interp) assign(target Expr, v Value, steps *int) error {
 func (it *interp) call(c *CallExpr, steps *int) (Value, error) {
 	callee := it.in.Obj.Lookup(c.Name)
 	if callee == nil {
+		if IsBuiltin(c.Name) {
+			return it.builtin(c, steps)
+		}
 		return nil, fmt.Errorf("lang: call to unknown method %q", c.Name)
 	}
 	args := make([]Value, len(c.Args))
@@ -376,6 +406,25 @@ func (it *interp) call(c *CallExpr, steps *int) (Value, error) {
 		args[i] = v
 	}
 	return it.in.exec(it.th, callee, args, steps)
+}
+
+// builtin evaluates a built-in function call (object methods of the same
+// name shadow builtins; see call).
+func (it *interp) builtin(c *CallExpr, steps *int) (Value, error) {
+	switch c.Name {
+	case "iserr":
+		if len(c.Args) != 1 {
+			return nil, fmt.Errorf("lang: iserr expects 1 argument, got %d", len(c.Args))
+		}
+		v, err := it.eval(c.Args[0], steps)
+		if err != nil {
+			return nil, err
+		}
+		_, isErr := v.(ErrValue)
+		return isErr, nil
+	default:
+		return nil, fmt.Errorf("lang: unknown builtin %q", c.Name)
+	}
 }
 
 func (it *interp) eval(e Expr, steps *int) (Value, error) {
@@ -509,6 +558,9 @@ func valueEqual(l, r Value) bool {
 		return ok && lv == rv
 	case bool:
 		rv, ok := r.(bool)
+		return ok && lv == rv
+	case ErrValue:
+		rv, ok := r.(ErrValue)
 		return ok && lv == rv
 	default:
 		return false

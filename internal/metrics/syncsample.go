@@ -1,0 +1,54 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// SyncSample is a mutex-guarded Sample for call sites that record from
+// concurrent goroutines (Sample itself is deliberately unsynchronised —
+// the bench harness owns its samples from one goroutine). The replica's
+// nested-invocation latency metric records from scheduler-managed
+// goroutines and is read by the server's status endpoint, so it needs
+// the lock.
+type SyncSample struct {
+	mu sync.Mutex
+	s  Sample
+}
+
+// Add records one observation.
+func (s *SyncSample) Add(d time.Duration) {
+	s.mu.Lock()
+	s.s.Add(d)
+	s.mu.Unlock()
+}
+
+// N returns the number of observations.
+func (s *SyncSample) N() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.s.N()
+}
+
+// Mean returns the arithmetic mean (0 if empty).
+func (s *SyncSample) Mean() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.s.Mean()
+}
+
+// Quantiles returns several percentiles at once (see Sample.Quantiles).
+func (s *SyncSample) Quantiles(ps ...float64) []time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.s.Quantiles(ps...)
+}
+
+// Snapshot copies the observations into a plain Sample the caller owns.
+func (s *SyncSample) Snapshot() *Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := &Sample{}
+	out.Merge(&s.s)
+	return out
+}

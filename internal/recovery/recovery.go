@@ -73,6 +73,7 @@ const (
 	valInt     = byte(1)
 	valBool    = byte(2)
 	valMonitor = byte(3)
+	valErr     = byte(4) // string payload: a stored first-class error value
 )
 
 var ckptMagic = [4]byte{'D', 'M', 'C', 'K'}
@@ -212,6 +213,8 @@ func appendValue(b []byte, v lang.Value) ([]byte, error) {
 		return binary.BigEndian.AppendUint64(append(b, valBool), n), nil
 	case lang.Monitor:
 		return binary.BigEndian.AppendUint64(append(b, valMonitor), uint64(int64(x))), nil
+	case lang.ErrValue:
+		return appendString(append(b, valErr), string(x)), nil
 	default:
 		return nil, fmt.Errorf("recovery: unencodable field value type %T", v)
 	}
@@ -259,6 +262,13 @@ func (r *reader) value() (lang.Value, error) {
 	}
 	if tag == valNil {
 		return nil, nil // nil has no payload word
+	}
+	if tag == valErr {
+		s := r.str()
+		if r.err != nil {
+			return nil, r.err
+		}
+		return lang.ErrValue(s), nil
 	}
 	n := r.u64()
 	if r.err != nil {

@@ -26,15 +26,45 @@ type Reply struct {
 	Err   string
 }
 
-// NestedReply carries the result of a nested invocation performed by the
-// designated replica, broadcast in total order so every replica resumes
-// the suspended thread with the same value (paper Sect. 2: "we allow
+// NestedStatus classifies how a nested invocation ended on the
+// performing replica.
+type NestedStatus uint8
+
+const (
+	// NestedOK: the external call returned a value.
+	NestedOK NestedStatus = iota
+	// NestedErr: the backend answered with an application error — a
+	// decided outcome, as final as a value.
+	NestedErr
+	// NestedTimeout: the call's retry budget ran out against a dead or
+	// unreachable backend (or the circuit breaker refused it outright).
+	NestedTimeout
+)
+
+// NestedOutcome carries the outcome of a nested invocation performed by
+// the designated replica, broadcast in total order so every replica
+// resumes the suspended thread identically (paper Sect. 2: "we allow
 // only one replica to do the call. The same replica spreads the reply to
-// all other replicas").
-type NestedReply struct {
-	Req   ids.RequestID // the thread that issued the nested call
-	N     int           // per-thread nested call counter
-	Value lang.Value
+// all other replicas"). Unlike its predecessor NestedReply it carries
+// *every* outcome, not just success: an external backend that errors or
+// times out must not stall suspended threads on all replicas — the
+// performer's verdict travels the total order and the failure becomes a
+// deterministic, catchable value.
+type NestedOutcome struct {
+	Req    ids.RequestID // the thread that issued the nested call
+	N      int           // per-thread nested call counter
+	Status NestedStatus
+	Value  lang.Value // valid when Status == NestedOK
+	Err    string     // human-readable cause when Status != NestedOK
+}
+
+// ResumeValue is what the suspended thread resumes with: the reply on
+// success, a first-class error value (catchable via iserr) otherwise.
+func (o NestedOutcome) ResumeValue() lang.Value {
+	if o.Status == NestedOK {
+		return o.Value
+	}
+	return lang.ErrValue(o.Err)
 }
 
 // StateUpdate is a primary checkpoint for passive replication: the

@@ -1,16 +1,20 @@
 package replica
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"detmt/internal/analysis"
+	"detmt/internal/backend"
 	"detmt/internal/core"
 	"detmt/internal/gcs"
 	"detmt/internal/ids"
 	"detmt/internal/lang"
+	"detmt/internal/metrics"
 	"detmt/internal/vclock"
 )
 
@@ -61,11 +65,30 @@ type Config struct {
 	// relaxed mode lets a round open with whatever the pool holds).
 	PDSRelaxed bool
 	// NestedLatency is the simulated duration of the external service
-	// called by nested invocations.
+	// called by nested invocations (simulator backends only; a blocking
+	// backend's latency is whatever the wire delivers).
 	NestedLatency time.Duration
-	// Service computes the nested invocation reply from its argument on
-	// the performing replica. Defaults to echoing the argument.
-	Service func(arg lang.Value) lang.Value
+	// Backend performs nested invocations on the performing replica.
+	// Defaults to an in-process echo (backend.Echo). Only the performer
+	// ever invokes it; every other replica learns the outcome from the
+	// total order.
+	Backend backend.ExternalBackend
+	// NestedTimeout bounds one backend attempt (0: 2s).
+	NestedTimeout time.Duration
+	// NestedRetries is how many retries follow a failed attempt
+	// (0: 2; negative disables retries).
+	NestedRetries int
+	// NestedBackoff is the initial retry backoff (0: 25ms, doubling,
+	// capped at 500ms).
+	NestedBackoff time.Duration
+	// BreakerThreshold is how many consecutive transport failures trip
+	// the nested-call circuit breaker (0: 5; negative: never trips).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker refuses calls before
+	// probing the backend again (0: 2s).
+	BreakerCooldown time.Duration
+	// Logf receives operational diagnostics (nil discards them).
+	Logf func(format string, args ...interface{})
 	// LeaderID is the LSA leader (defaults to the lowest member).
 	LeaderID ids.ReplicaID
 	// CheckpointEvery makes an active primary broadcast a StateUpdate
@@ -103,6 +126,17 @@ type Replica struct {
 
 	follower *core.LSAFollower // non-nil on LSA followers
 
+	// External-service boundary (performer side).
+	breaker   *backend.Breaker
+	policy    backend.Policy
+	nestedLat metrics.SyncSample // wall latency of performed calls
+	performed atomic.Uint64      // outcomes this replica broadcast
+	retries   atomic.Uint64      // extra backend attempts beyond the first
+	appErrs   atomic.Uint64      // NestedErr outcomes
+	timeouts  atomic.Uint64      // NestedTimeout outcomes (budget exhausted)
+	fastFails atomic.Uint64      // calls refused by the open breaker
+	rePerform atomic.Uint64      // calls re-run after performer takeover
+
 	// LSA decision bookkeeping. The leader numbers every emitted decision
 	// and retains a bounded log so a rejoining follower can fetch the
 	// range it missed; followers track the watermark of the last decision
@@ -136,8 +170,8 @@ func New(cfg Config) *Replica {
 	if cfg.PDSWindow <= 0 {
 		cfg.PDSWindow = 4
 	}
-	if cfg.Service == nil {
-		cfg.Service = func(arg lang.Value) lang.Value { return arg }
+	if cfg.Backend == nil {
+		cfg.Backend = backend.Echo()
 	}
 	if cfg.LeaderID == 0 && cfg.Group != nil {
 		cfg.LeaderID = cfg.Group.Members()[0]
@@ -152,6 +186,16 @@ func New(cfg Config) *Replica {
 		stashedNest: map[nestedKey]lang.Value{},
 		decStash:    map[uint64]core.LSAEvent{},
 	}
+	threshold := cfg.BreakerThreshold
+	if threshold == 0 {
+		threshold = 5
+	}
+	r.breaker = backend.NewBreaker(threshold, cfg.BreakerCooldown)
+	r.policy = backend.Policy{
+		Timeout: cfg.NestedTimeout,
+		Retries: cfg.NestedRetries,
+		Backoff: cfg.NestedBackoff,
+	}
 	sched := r.buildScheduler()
 	r.rt = core.NewRuntime(core.Options{
 		Clock:     cfg.Clock,
@@ -164,9 +208,12 @@ func New(cfg Config) *Replica {
 		r.node = cfg.Group.Node(cfg.ID)
 		r.node.SetDeliver(r.onDeliver)
 		r.node.SetDirect(r.onDirect)
-		if cfg.Group.Distributed() {
-			cfg.Group.SetOnViewChange(r.onViewChange)
-		}
+		// Every deployment mode fails the performer role over: the
+		// distributed cluster moves it with the sequencer, and the
+		// simulator's lowest-live-member rule moves it when a crash is
+		// detected — either way the promoted replica must re-perform
+		// the nested calls the dead performer left pending.
+		cfg.Group.SetOnViewChange(r.onViewChange)
 	}
 	return r
 }
@@ -319,8 +366,8 @@ func (r *Replica) apply(m gcs.Message) {
 	switch p := m.Payload.(type) {
 	case Request:
 		r.applyRequest(p)
-	case NestedReply:
-		r.applyNestedReply(p)
+	case NestedOutcome:
+		r.applyNestedOutcome(p)
 	case Dummy:
 		r.applyDummy(p)
 	}
@@ -383,19 +430,26 @@ func (r *Replica) reply(req Request, v lang.Value, errStr string) {
 	r.node.SendToClient(req.Req.Client(), Reply{Req: req.Req, Value: v, Err: errStr})
 }
 
-func (r *Replica) applyNestedReply(nr NestedReply) {
-	key := nestedKey{nr.Req, nr.N}
+// applyNestedOutcome resumes the thread suspended on a nested call with
+// the performer's verdict — a value, an application error, or a timeout;
+// the last two resume as a first-class ErrValue the program can catch.
+// Duplicate outcomes (a deposed performer's broadcast racing the new
+// performer's re-perform) land under a key that is never reused, so the
+// stash entry is inert.
+func (r *Replica) applyNestedOutcome(no NestedOutcome) {
+	key := nestedKey{no.Req, no.N}
+	v := no.ResumeValue()
 	r.mu.Lock()
 	if th, ok := r.waitingNest[key]; ok {
 		delete(r.waitingNest, key)
 		delete(r.nestArgs, key)
 		r.mu.Unlock()
-		r.rt.ScheduleNestedResume(th, nr.Value)
+		r.rt.ScheduleNestedResume(th, v)
 		return
 	}
-	// The reply arrived before this replica's thread reached the call
+	// The outcome arrived before this replica's thread reached the call
 	// (replicas progress at different speeds): stash it.
-	r.stashedNest[key] = nr.Value
+	r.stashedNest[key] = v
 	r.mu.Unlock()
 }
 
@@ -520,7 +574,7 @@ func (r *Replica) DecisionTail(fromIdx uint64, max int) (decs []LSADecision, mor
 
 // onNested is the core NestedHandler: it implements the paper's
 // one-replica-performs rule. The designated performer (lowest live
-// member) runs the external call and broadcasts the reply through the
+// member) runs the external call and broadcasts the outcome through the
 // total order; everyone resumes on delivery.
 func (r *Replica) onNested(rt *core.Runtime, th *core.Thread, arg interface{}) {
 	tid := th.ID
@@ -541,19 +595,160 @@ func (r *Replica) onNested(rt *core.Runtime, th *core.Thread, arg interface{}) {
 	r.waitingNest[key] = th
 	// Remember the argument so a survivor promoted to performer by a
 	// view change can re-run the call if the original performer died
-	// before broadcasting the reply.
+	// before broadcasting the outcome.
 	r.nestArgs[key] = value
 	r.mu.Unlock()
 
 	if r.isPerformer() {
-		reply := r.cfg.Service(value)
-		// The external call itself; the thread-id rank keeps two calls
-		// finishing at the same instant in a deterministic broadcast
-		// order (their total-order slots must not depend on a race).
-		vclock.SleepOrdered(r.cfg.Clock, r.cfg.NestedLatency,
-			fmt.Sprintf("nested %s", tid), uint64(tid))
-		r.node.Broadcast(NestedReply{Req: ids.RequestID(tid), N: n, Value: reply})
+		r.perform(key, value, true)
 	}
+}
+
+// idemKey is a nested call's idempotency key. It is derived solely from
+// the request id and the per-thread call counter — never from the
+// performing replica — so a new performer re-running the call after a
+// failover presents the same key, and a memoising backend answers with
+// the original outcome instead of applying the side effects twice.
+func idemKey(key nestedKey) string {
+	return fmt.Sprintf("nested:%d:%d", uint64(key.req), key.n)
+}
+
+// perform runs one external call against the configured backend and
+// broadcasts the outcome. managed marks the caller as a
+// scheduler-managed goroutine (the onNested path); the view-change
+// re-perform path runs unmanaged. On a managed goroutine a blocking
+// backend is detached from the virtual clock for the call's duration —
+// real I/O must not hold virtual time hostage — and the simulated
+// NestedLatency is paid with a deterministic broadcast rank.
+func (r *Replica) perform(key nestedKey, arg lang.Value, managed bool) {
+	out := NestedOutcome{Req: key.req, N: key.n}
+	blocking := backend.Blocking(r.cfg.Backend)
+	if !r.breaker.Allow() {
+		// Fail fast: the backend is evidently down, and paying the full
+		// deadline-and-retry budget per call would stall every nested
+		// invocation behind a dead service. The fast-fail travels the
+		// total order like any outcome, so it is just as deterministic.
+		r.fastFails.Add(1)
+		out.Status = NestedTimeout
+		out.Err = "backend circuit open: failing fast"
+	} else {
+		pol := r.policy
+		if !blocking {
+			// No real I/O to wait out; a wall-clock backoff would stall
+			// the virtual clock under the simulator.
+			pol.Sleep = func(time.Duration) {}
+		}
+		start := time.Now()
+		if managed && blocking {
+			r.cfg.Clock.Exit()
+		}
+		v, attempts, err := pol.Do(r.cfg.Backend, idemKey(key), arg)
+		if managed && blocking {
+			r.cfg.Clock.Enter()
+		}
+		r.nestedLat.Add(time.Since(start))
+		if attempts > 1 {
+			r.retries.Add(uint64(attempts - 1))
+		}
+		switch {
+		case err == nil:
+			r.breaker.Success()
+			out.Status = NestedOK
+			out.Value = v
+		case !backend.Retryable(err):
+			// The backend answered, and the answer is an error: the
+			// service is alive, so this is a decided outcome, not
+			// breaker food.
+			r.breaker.Success()
+			r.appErrs.Add(1)
+			out.Status = NestedErr
+			out.Err = err.Error()
+		default:
+			r.breaker.Failure()
+			r.timeouts.Add(1)
+			out.Status = NestedTimeout
+			out.Err = err.Error()
+		}
+	}
+	if managed {
+		// The simulated external latency; the request-id rank keeps two
+		// calls finishing at the same instant in a deterministic
+		// broadcast order (their total-order slots must not depend on a
+		// race).
+		vclock.SleepOrdered(r.cfg.Clock, r.cfg.NestedLatency,
+			fmt.Sprintf("nested %d", uint64(key.req)), uint64(key.req))
+	}
+	r.performed.Add(1)
+	r.broadcastOutcome(key, out)
+}
+
+// broadcastOutcome spreads the performer's verdict through the total
+// order, retrying around sequencer elections: during a view change
+// Broadcast fails with gcs.ErrNoSequencer, and silently dropping the
+// outcome would stall the suspended thread on every replica until some
+// later view change re-performs the call. Retries stop once the outcome
+// is no longer this replica's to deliver — the key resolved (someone
+// else's broadcast landed) or this replica was deposed (the next
+// performer re-performs under the same idempotency key).
+func (r *Replica) broadcastOutcome(key nestedKey, out NestedOutcome) {
+	backoff := 5 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		err := r.node.Broadcast(out)
+		if err == nil {
+			return
+		}
+		if !errors.Is(err, gcs.ErrNoSequencer) || attempt >= 8 {
+			r.logf("replica %d: nested outcome %d/%d dropped: %v",
+				r.cfg.ID, uint64(key.req), key.n, err)
+			return
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > 200*time.Millisecond {
+			backoff = 200 * time.Millisecond
+		}
+		r.mu.Lock()
+		_, waiting := r.waitingNest[key]
+		r.mu.Unlock()
+		if !waiting || !r.isPerformer() {
+			return
+		}
+	}
+}
+
+// NestedMetrics is a snapshot of the external-service boundary counters.
+// Most accumulate only on the performing replica; elsewhere they stay
+// zero.
+type NestedMetrics struct {
+	Performed     uint64  `json:"performed"`     // outcomes broadcast by this replica
+	Retries       uint64  `json:"retries"`       // backend attempts beyond the first
+	AppErrors     uint64  `json:"app_errors"`    // NestedErr outcomes
+	Timeouts      uint64  `json:"timeouts"`      // NestedTimeout outcomes (budget exhausted)
+	FastFails     uint64  `json:"fast_fails"`    // calls refused by the open breaker
+	RePerformed   uint64  `json:"re_performed"`  // calls re-run after performer takeover
+	BreakerState  string  `json:"breaker_state"` // "closed" | "open" | "half_open"
+	BreakerTrips  uint64  `json:"breaker_trips"` // times the breaker opened
+	LatencyMeanMs float64 `json:"latency_mean_ms"`
+	LatencyP99Ms  float64 `json:"latency_p99_ms"`
+}
+
+// NestedMetrics reports the external-service boundary counters.
+func (r *Replica) NestedMetrics() NestedMetrics {
+	m := NestedMetrics{
+		Performed:    r.performed.Load(),
+		Retries:      r.retries.Load(),
+		AppErrors:    r.appErrs.Load(),
+		Timeouts:     r.timeouts.Load(),
+		FastFails:    r.fastFails.Load(),
+		RePerformed:  r.rePerform.Load(),
+		BreakerState: r.breaker.State(),
+		BreakerTrips: r.breaker.Trips(),
+	}
+	if r.nestedLat.N() > 0 {
+		qs := r.nestedLat.Quantiles(0.99)
+		m.LatencyMeanMs = float64(r.nestedLat.Mean()) / float64(time.Millisecond)
+		m.LatencyP99Ms = float64(qs[0]) / float64(time.Millisecond)
+	}
+	return m
 }
 
 // isPerformer reports whether this replica performs external calls. For
@@ -577,12 +772,15 @@ func (r *Replica) isPerformer() bool {
 
 // onViewChange runs after the group adopts a new sequencing view. If
 // this replica just became the performer it re-runs any nested calls
-// still waiting for a reply: the old performer may have crashed between
-// executing the external call and broadcasting the result, which would
-// otherwise stall those threads on every replica forever. Re-performed
-// replies travel the total order like originals; a duplicate (the old
-// performer's broadcast did make it out) lands in stashedNest under a
-// key that is never reused, so it is inert.
+// still waiting for an outcome: the old performer may have crashed
+// between executing the external call and broadcasting the result,
+// which would otherwise stall those threads on every replica forever.
+// Re-performed calls present the original idempotency keys, so a
+// memoising backend answers with the already-applied outcomes rather
+// than re-running side effects; the resulting outcomes travel the total
+// order like originals, and a duplicate (the old performer's broadcast
+// did make it out) lands in stashedNest under a key that is never
+// reused, so it is inert.
 func (r *Replica) onViewChange(view uint64, seq ids.ReplicaID) {
 	if r.cfg.ID != seq {
 		return
@@ -604,11 +802,11 @@ func (r *Replica) onViewChange(view uint64, seq ids.ReplicaID) {
 		return ps[i].key.n < ps[j].key.n
 	})
 	for _, p := range ps {
-		reply := r.cfg.Service(p.arg)
-		// No SleepOrdered here: this runs on an unmanaged goroutine
-		// during takeover, and the latency was already paid (or lost)
-		// by the dead performer.
-		_ = r.node.Broadcast(NestedReply{Req: p.key.req, N: p.key.n, Value: reply})
+		// Unmanaged path: no virtual-clock detach or SleepOrdered — this
+		// runs on a takeover goroutine, and the simulated latency was
+		// already paid (or lost) by the dead performer.
+		r.rePerform.Add(1)
+		r.perform(p.key, p.arg, false)
 	}
 }
 
@@ -638,9 +836,23 @@ func (r *Replica) StartDummyPump(interval time.Duration) {
 			default:
 			}
 			seq++
-			r.node.Broadcast(Dummy{Seq: seq})
+			if err := r.node.Broadcast(Dummy{Seq: seq}); err != nil {
+				// A sequencer election is in flight: the rejected dummy
+				// never entered the total order, so reuse its number on
+				// the next tick instead of leaving a hole.
+				seq--
+				if !errors.Is(err, gcs.ErrNoSequencer) {
+					r.logf("replica %d: dummy pump: %v", r.cfg.ID, err)
+				}
+			}
 		}
 	})
+}
+
+func (r *Replica) logf(format string, args ...interface{}) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
 }
 
 // StopDummyPump stops the dummy generator.

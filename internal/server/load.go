@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"os"
@@ -241,7 +242,7 @@ func RunLoad(o LoadOptions) (*LoadResult, error) {
 			}
 			for k := 0; k < o.RequestsPerClient; k++ {
 				args := workload.Fig1Args(o.Workload, rng)
-				_, lat, err := cl.Invoke(workload.MethodName, args...)
+				_, lat, err := invokeWithRetry(cl, o, deadline, args)
 				mu.Lock()
 				res.Requests++
 				if err != nil {
@@ -316,6 +317,31 @@ func RunLoad(o LoadOptions) (*LoadResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// invokeWithRetry retries an invocation that failed fast on
+// gcs.ErrNoSequencer — a sequencer election in flight. The failed
+// request never entered the total order (Invoke acks and forgets it),
+// so the retry is a brand-new request, not a duplicate; counting the
+// election window as a client-visible error would make every failover
+// smear errors over a load run that actually survived it. Backoff is
+// capped, and the run deadline bounds the whole loop.
+func invokeWithRetry(cl *replica.Client, o LoadOptions, deadline time.Time,
+	args []lang.Value) (lang.Value, time.Duration, error) {
+	backoff := 25 * time.Millisecond
+	for {
+		v, lat, err := cl.Invoke(workload.MethodName, args...)
+		if err == nil || !errors.Is(err, gcs.ErrNoSequencer) || time.Now().After(deadline) {
+			return v, lat, err
+		}
+		if o.Logf != nil {
+			o.Logf("load: no sequencer (election in flight), retrying in %v", backoff)
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > time.Second {
+			backoff = time.Second
+		}
+	}
 }
 
 // runPipelined issues one client's requests as a single atomic batch.

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"detmt/internal/analysis"
+	"detmt/internal/backend"
 	"detmt/internal/gcs"
 	"detmt/internal/ids"
 	"detmt/internal/lang"
@@ -51,6 +52,21 @@ type Options struct {
 	// NestedLatency is the virtual duration of the external service call
 	// (performed by the lowest live member only).
 	NestedLatency time.Duration
+	// Backend is the address of a detmt-backend process serving nested
+	// invocations over TCP. "" keeps the in-process echo backend. Only
+	// the performer dials it; its failures surface as deterministic
+	// nested-call outcomes, never as divergence.
+	Backend string
+	// NestedTimeout/NestedRetries/NestedBackoff tune the per-call
+	// deadline and retry policy against the backend (zero values apply
+	// the replica defaults: 2s, 2 retries, 25ms doubling backoff).
+	NestedTimeout time.Duration
+	NestedRetries int
+	NestedBackoff time.Duration
+	// BreakerThreshold/BreakerCooldown tune the nested-call circuit
+	// breaker (defaults: 5 consecutive transport failures, 2s cooldown).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
 	// Tick and Budget configure stamped sequencing (see gcs.Config).
 	Tick   time.Duration
 	Budget time.Duration
@@ -158,18 +174,23 @@ type Status struct {
 	// ReplayedTail counts the sequenced envelopes replayed during
 	// recovery (0 unless the server was started with Recover).
 	ReplayedTail int `json:"replayed_tail"`
+	// Nested reports the external-service boundary: performed outcomes,
+	// retries, error/timeout/fast-fail counts, re-performs after a
+	// takeover, circuit-breaker state, and call latency.
+	Nested replica.NestedMetrics `json:"nested"`
 	// Diagnostic carries the divergence diff after a halt.
 	Diagnostic string `json:"diagnostic,omitempty"`
 }
 
 // Server is one running replica process.
 type Server struct {
-	o     Options
-	clock *vclock.Virtual
-	tr    *wire.TCP
-	group *gcs.Group
-	rep   *replica.Replica
-	mgr   *recovery.Manager
+	o       Options
+	clock   *vclock.Virtual
+	tr      *wire.TCP
+	group   *gcs.Group
+	rep     *replica.Replica
+	mgr     *recovery.Manager
+	backend backend.ExternalBackend // non-nil when Options.Backend is set
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -291,20 +312,37 @@ func New(o Options) (*Server, error) {
 			return envs
 		},
 	})
+	if o.Backend != "" {
+		s.backend = backend.NewClient(backend.ClientOptions{
+			Addr: o.Backend,
+			Dial: o.Dial, // chaos injection can sever the backend link too
+			Logf: o.Logf,
+		})
+	}
 	s.rep = replica.New(replica.Config{
-		ID:              o.ID,
-		Clock:           s.clock,
-		Group:           s.group,
-		Analysis:        analysis.MustAnalyze(lang.MustParse(workload.Fig1Source(o.Workload))),
-		Kind:            o.Scheduler,
-		PDSWindow:       o.PDSWindow,
-		PDSRelaxed:      o.PDSRelaxed,
-		NestedLatency:   o.NestedLatency,
-		LeaderID:        members[0],
-		CheckpointEvery: o.CheckpointEvery,
-		CheckpointSink:  s.captureCheckpoint,
+		ID:               o.ID,
+		Clock:            s.clock,
+		Group:            s.group,
+		Analysis:         analysis.MustAnalyze(lang.MustParse(workload.Fig1Source(o.Workload))),
+		Kind:             o.Scheduler,
+		PDSWindow:        o.PDSWindow,
+		PDSRelaxed:       o.PDSRelaxed,
+		NestedLatency:    o.NestedLatency,
+		Backend:          s.backend, // nil keeps the in-process echo
+		NestedTimeout:    o.NestedTimeout,
+		NestedRetries:    o.NestedRetries,
+		NestedBackoff:    o.NestedBackoff,
+		BreakerThreshold: o.BreakerThreshold,
+		BreakerCooldown:  o.BreakerCooldown,
+		Logf:             o.Logf,
+		LeaderID:         members[0],
+		CheckpointEvery:  o.CheckpointEvery,
+		CheckpointSink:   s.captureCheckpoint,
 	})
 	s.rep.Instance().SetField("state", int64(0))
+	if o.Workload.CatchNested {
+		s.rep.Instance().SetField("faults", int64(0))
+	}
 	retention := o.TraceRetention
 	if retention == 0 {
 		retention = DefaultTraceRetention
@@ -379,6 +417,7 @@ func (s *Server) Status() Status {
 		GossipLagSeqs: s.gossipLag,
 		ReplayedTail:  s.replayed,
 		Diagnostic:    s.diagnostic,
+		Nested:        s.rep.NestedMetrics(),
 	}
 	s.stateMu.Unlock()
 	st.View, st.Sequencer = s.group.CurrentView()
@@ -437,8 +476,12 @@ func (s *Server) handleControl(req []byte) []byte {
 // Checkpoints exposes the recovery manager (tests, bench harness).
 func (s *Server) Checkpoints() *recovery.Manager { return s.mgr }
 
-// Close shuts the group and transport down.
+// Close shuts the group, transport, and backend link down.
 func (s *Server) Close() error {
 	s.stopOnce.Do(func() { close(s.stop) })
-	return s.group.Close()
+	err := s.group.Close()
+	if s.backend != nil {
+		s.backend.Close()
+	}
+	return err
 }

@@ -27,7 +27,7 @@ import (
 // the golden-bytes test in codec_test.go pins the current format.
 const (
 	Magic   = "DTMT"
-	Version = uint16(3) // v3: envelopes carry the sequencing view; LSA decisions carry an index; decision-fetch frames 12–13
+	Version = uint16(4) // v4: NestedReply became NestedOutcome (status + error string); lang.ErrValue value tag
 )
 
 // Frame kinds.
@@ -55,14 +55,14 @@ const (
 
 // Payload type tags.
 const (
-	tagNil         = byte(0)
-	tagRequest     = byte(1)
-	tagReply       = byte(2)
-	tagNestedReply = byte(3)
-	tagStateUpdate = byte(4)
-	tagDummy       = byte(5)
-	tagLSADecision = byte(6)
-	tagString      = byte(7) // debugging / test payloads
+	tagNil           = byte(0)
+	tagRequest       = byte(1)
+	tagReply         = byte(2)
+	tagNestedOutcome = byte(3)
+	tagStateUpdate   = byte(4)
+	tagDummy         = byte(5)
+	tagLSADecision   = byte(6)
+	tagString        = byte(7) // debugging / test payloads
 )
 
 // lang.Value tags.
@@ -71,6 +71,7 @@ const (
 	valInt     = byte(1)
 	valBool    = byte(2)
 	valMonitor = byte(3)
+	valErr     = byte(4)
 )
 
 // maxFrameLen bounds a single frame (64 MiB) so a corrupt length prefix
@@ -228,6 +229,8 @@ func appendValue(b []byte, v lang.Value) ([]byte, error) {
 		return appendI64(append(b, valBool), n), nil
 	case lang.Monitor:
 		return appendI64(append(b, valMonitor), int64(x)), nil
+	case lang.ErrValue:
+		return appendString(append(b, valErr), string(x)), nil
 	default:
 		return b, fmt.Errorf("wire: unencodable value type %T", v)
 	}
@@ -243,6 +246,8 @@ func (r *reader) value() lang.Value {
 		return r.i64() != 0
 	case valMonitor:
 		return lang.Monitor(r.i64())
+	case valErr:
+		return lang.ErrValue(r.str())
 	default:
 		if r.err == nil {
 			r.err = fmt.Errorf("wire: unknown value tag %d", tag)
@@ -276,11 +281,15 @@ func appendPayload(b []byte, p gcs.Payload) ([]byte, error) {
 			return b, err
 		}
 		return appendString(b, x.Err), nil
-	case replica.NestedReply:
-		b = append(b, tagNestedReply)
+	case replica.NestedOutcome:
+		b = append(b, tagNestedOutcome)
 		b = appendU64(b, uint64(x.Req))
 		b = appendI64(b, int64(x.N))
-		return appendValue(b, x.Value)
+		b = append(b, byte(x.Status))
+		if b, err = appendValue(b, x.Value); err != nil {
+			return b, err
+		}
+		return appendString(b, x.Err), nil
 	case replica.StateUpdate:
 		b = append(b, tagStateUpdate)
 		b = appendU64(b, x.UpToSeq)
@@ -328,8 +337,14 @@ func (r *reader) payload() gcs.Payload {
 		return req
 	case tagReply:
 		return replica.Reply{Req: ids.RequestID(r.u64()), Value: r.value(), Err: r.str()}
-	case tagNestedReply:
-		return replica.NestedReply{Req: ids.RequestID(r.u64()), N: int(r.i64()), Value: r.value()}
+	case tagNestedOutcome:
+		return replica.NestedOutcome{
+			Req:    ids.RequestID(r.u64()),
+			N:      int(r.i64()),
+			Status: replica.NestedStatus(r.u8()),
+			Value:  r.value(),
+			Err:    r.str(),
+		}
 	case tagStateUpdate:
 		su := replica.StateUpdate{UpToSeq: r.u64(), Snapshot: map[string]lang.Value{}}
 		n := int(r.u32())

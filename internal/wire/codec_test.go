@@ -16,13 +16,15 @@ import (
 )
 
 func randValue(rng *rand.Rand) lang.Value {
-	switch rng.Intn(4) {
+	switch rng.Intn(5) {
 	case 0:
 		return nil
 	case 1:
 		return rng.Int63() - rng.Int63()
 	case 2:
 		return rng.Intn(2) == 0
+	case 3:
+		return lang.ErrValue("backend: call timed out")
 	default:
 		return lang.Monitor(rng.Intn(64))
 	}
@@ -55,11 +57,17 @@ func randPayload(rng *rand.Rand) gcs.Payload {
 		}
 		return rep
 	case 3:
-		return replica.NestedReply{
-			Req:   ids.RequestID(rng.Uint64()),
-			N:     rng.Intn(10),
-			Value: randValue(rng),
+		no := replica.NestedOutcome{
+			Req:    ids.RequestID(rng.Uint64()),
+			N:      rng.Intn(10),
+			Status: replica.NestedStatus(rng.Intn(3)),
 		}
+		if no.Status == replica.NestedOK {
+			no.Value = randValue(rng)
+		} else {
+			no.Err = "backend: unavailable"
+		}
+		return no
 	case 4:
 		su := replica.StateUpdate{UpToSeq: rng.Uint64(), Snapshot: map[string]lang.Value{}}
 		for i := rng.Intn(4); i > 0; i-- {
@@ -210,9 +218,9 @@ func TestGoldenBytes(t *testing.T) {
 	if err := writePreamble(&pre); err != nil {
 		t.Fatal(err)
 	}
-	// v3: envelopes carry the sequencing view, LSA decisions an index,
-	// and decision-fetch frames 12–13 joined.
-	if got, want := hex.EncodeToString(pre.Bytes()), "44544d540003"; got != want {
+	// v4: NestedReply became NestedOutcome (status byte + error string)
+	// and values gained the ErrValue tag.
+	if got, want := hex.EncodeToString(pre.Bytes()), "44544d540004"; got != want {
 		t.Errorf("preamble drifted:\n  got  %s\n  want %s", got, want)
 	}
 

@@ -39,6 +39,13 @@ type Fig1Config struct {
 	// copies the index through a mutable field first, producing the
 	// spontaneous parameters of the original benchmark.
 	Announceable bool
+	// CatchNested binds each nested invocation's outcome and catches
+	// failures with iserr instead of letting a failed call abort the
+	// method: a failure increments the faults field under cells[0]. Runs
+	// against a faulty external backend then complete with zero
+	// client-visible errors and deterministic state — the graceful
+	// degradation the external-service boundary promises.
+	CatchNested bool
 }
 
 // DefaultFig1 returns the paper's parameters.
@@ -78,7 +85,11 @@ func Fig1Source(cfg Fig1Config) string {
 	fmt.Fprintf(&b, "object Fig1 {\n")
 	fmt.Fprintf(&b, "    monitor cells[%d];\n", cfg.Mutexes)
 	b.WriteString("    field state;\n")
-	b.WriteString("    field spont;\n\n")
+	b.WriteString("    field spont;\n")
+	if cfg.CatchNested {
+		b.WriteString("    field faults;\n")
+	}
+	b.WriteString("\n")
 
 	params := make([]string, cfg.Iterations)
 	for i := range params {
@@ -90,7 +101,18 @@ func Fig1Source(cfg Fig1Config) string {
 		d := params[i]
 		m := cfg.Mutexes
 		fmt.Fprintf(&b, "        if (%s / %d %% 2 == 1) {\n", d, m)
-		fmt.Fprintf(&b, "            nested(%s);\n", d)
+		if cfg.CatchNested {
+			// Bind the outcome and catch failures: a failed external call
+			// becomes a counted fault, not an aborted request.
+			fmt.Fprintf(&b, "            var r%d = nested(%s);\n", i, d)
+			fmt.Fprintf(&b, "            if (iserr(r%d)) {\n", i)
+			b.WriteString("                sync (cells[0]) {\n")
+			b.WriteString("                    faults = faults + 1;\n")
+			b.WriteString("                }\n")
+			b.WriteString("            }\n")
+		} else {
+			fmt.Fprintf(&b, "            nested(%s);\n", d)
+		}
 		b.WriteString("        }\n")
 		fmt.Fprintf(&b, "        if (%s / %d %% 2 == 1) {\n", d, 2*m)
 		fmt.Fprintf(&b, "            compute(%dus);\n", us)

@@ -1,0 +1,21 @@
+package workload
+
+import (
+	"testing"
+
+	"detmt/internal/analysis"
+	"detmt/internal/lang"
+)
+
+func TestCatchNestedSourceAnalyzes(t *testing.T) {
+	cfg := DefaultFig1()
+	cfg.CatchNested = true
+	src := Fig1Source(cfg)
+	obj, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	if _, err := analysis.Analyze(obj); err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+}

@@ -19,4 +19,6 @@ if command -v staticcheck >/dev/null 2>&1; then
 else
 	echo "check.sh: staticcheck not installed, skipping (CI runs it)" >&2
 fi
-go test -race $short ./...
+# -shuffle=on randomises test order to flush hidden inter-test state
+# (go prints the seed on failure for reproduction with -shuffle=SEED).
+go test -race -shuffle=on $short ./...
