@@ -23,7 +23,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: fig1, fig1tput, fig2, fig3, fig4, table1, wan, overhead, pds, replay, determinism, advisor, scaling, scenarios, hotpath, recovery (real sockets, not in 'all'), or all")
+		"which experiment to run: fig1, fig1tput, fig2, fig3, fig4, table1, wan, overhead, pds, replay, determinism, advisor, scaling, scenarios, hotpath, earlysched, recovery (real sockets, not in 'all'), or all")
 	clients := flag.String("clients", "1,2,4,8,16,32,48", "client counts for the fig1 sweep")
 	requests := flag.Int("requests", 4, "requests per client")
 	seed := flag.Uint64("seed", 1, "workload seed")
@@ -104,6 +104,8 @@ func main() {
 		results = []harness.Result{harness.Scenarios()}
 	case "hotpath":
 		results = []harness.Result{harness.HotPath()}
+	case "earlysched":
+		results = []harness.Result{harness.EarlySched(harness.DefaultEarlySchedOptions())}
 	case "recovery":
 		results = []harness.Result{harness.Recovery()}
 	case "all":

@@ -37,6 +37,10 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Minute, "overall run timeout")
 	iterations := flag.Int("iterations", 10, "Fig. 1 loop iterations per request (must match the servers)")
 	mutexes := flag.Int("mutexes", 100, "Fig. 1 mutex set size (must match the servers)")
+	families := flag.Int("families", 0,
+		"drive the family-partitioned workload with this many families (0: Fig. 1; must match the servers' -families)")
+	conflict := flag.Float64("conflict", 0, "family workload: cross-family request probability (must match the servers)")
+	hotSkew := flag.Float64("hot-skew", 0, "family workload: hot-key skew (must match the servers)")
 	clientBase := flag.Int("client-base", 0,
 		"client id offset (ids are base+1..base+clients); rerunning against the SAME cluster needs a disjoint range")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON instead of text")
@@ -59,6 +63,14 @@ func main() {
 	wl := workload.DefaultFig1()
 	wl.Iterations = *iterations
 	wl.Mutexes = *mutexes
+	var fam *workload.FamilyConfig
+	if *families > 0 {
+		f := workload.DefaultFamilies()
+		f.Families = *families
+		f.PGlobal = *conflict
+		f.HotSkew = *hotSkew
+		fam = &f
+	}
 
 	logf := func(string, ...interface{}) {}
 	if *verbose {
@@ -70,6 +82,7 @@ func main() {
 		RequestsPerClient: *requests,
 		Seed:              *seed,
 		Workload:          wl,
+		Families:          fam,
 		ClientBase:        *clientBase,
 		Pipelined:         *pipelined,
 		Timeout:           *timeout,

@@ -55,6 +55,15 @@ func main() {
 	checkpointEvery := flag.Int("checkpoint-every", 0, "broadcast a state checkpoint every N requests (0: never)")
 	iterations := flag.Int("iterations", 10, "Fig. 1 loop iterations per request")
 	mutexes := flag.Int("mutexes", 100, "Fig. 1 mutex set size")
+	earlySched := flag.Bool("early-sched", false,
+		"conflict-class early scheduling: sequencer stamps conflict classes, replica runs class-parallel lanes (MAT, MAT+LLA or PDS)")
+	lanes := flag.Int("lanes", 4, "early-scheduling classifier lane count")
+	families := flag.Int("families", 0,
+		"host the family-partitioned low-conflict workload with this many disjoint families instead of Fig. 1 (0: Fig. 1; all members and detmt-load must agree)")
+	conflict := flag.Float64("conflict", 0,
+		"family workload: probability a request crosses all families (escalates to the global class)")
+	hotSkew := flag.Float64("hot-skew", 0,
+		"family workload: hot-key skew towards each family's first monitor (0: uniform)")
 	traceRetention := flag.Int("trace-retention", 0,
 		"max trace events kept in memory (0: default bound, negative: unlimited); hashes stay exact over full history")
 	dataDir := flag.String("data", "", "directory for checkpoints and the restart-epoch counter (empty: in-memory only)")
@@ -98,6 +107,14 @@ func main() {
 	wl.Iterations = *iterations
 	wl.Mutexes = *mutexes
 	wl.CatchNested = *catchNested
+	var fam *workload.FamilyConfig
+	if *families > 0 {
+		f := workload.DefaultFamilies()
+		f.Families = *families
+		f.PGlobal = *conflict
+		f.HotSkew = *hotSkew
+		fam = &f
+	}
 
 	logf := func(string, ...interface{}) {}
 	if *verbose {
@@ -122,6 +139,9 @@ func main() {
 		PDSWindow:        *pdsWindow,
 		PDSRelaxed:       *pdsRelaxed,
 		CheckpointEvery:  *checkpointEvery,
+		Families:         fam,
+		EarlySched:       *earlySched,
+		Lanes:            *lanes,
 		TraceRetention:   *traceRetention,
 		DataDir:          *dataDir,
 		Recover:          *recoverFlag,
@@ -153,6 +173,10 @@ func main() {
 	st := srv.Status()
 	log.Printf("detmt-server: shutting down: completed=%d hash=%x state=%d recovery=%s last-ckpt=%d view=%d seq=%v",
 		st.Completed, st.Hash, st.State, st.Recovery, st.LastCheckpointSeq, st.View, st.Sequencer)
+	if c := st.Classes; c != nil {
+		log.Printf("detmt-server: earlysched totals: active_classes=%d escalations=%d merge_stalls=%d parallel=%d serial=%d parallel_ratio=%.2f",
+			c.ActiveClasses, c.Escalations, c.MergeStalls, c.ParallelCommits, c.SerialCommits, c.ParallelRatio)
+	}
 	if *backendAddr != "" {
 		n := st.Nested
 		log.Printf("detmt-server: backend totals: performed=%d retries=%d app-errors=%d timeouts=%d fast-fails=%d re-performed=%d breaker=%s trips=%d",

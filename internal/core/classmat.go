@@ -1,0 +1,319 @@
+package core
+
+import "sort"
+
+// ClassMAT is the class-aware variant of MAT (conflict-class early
+// scheduling, package earlysched): every conflict class runs its own MAT
+// lane — an independent primary slot with the usual age-based succession
+// — so provably non-conflicting requests overlap their computations and
+// critical sections across lanes, while requests within one class stay in
+// the serial-MAT order.
+//
+// The *merge barrier* reconciles the lanes with the global class 0, whose
+// requests may lock anything:
+//
+//   - a non-global lane only promotes threads admitted before the oldest
+//     live global-class thread (pre-barrier work drains, post-barrier
+//     work waits);
+//   - the global lane only promotes a thread when no older non-global
+//     thread is still live (every lane has drained up to it).
+//
+// Under last-lock analysis a thread whose bookkeeping table proves it
+// will never lock again stops barring either side — the lane handover of
+// Fig. 2(b), applied across classes.
+//
+// Determinism: every decision still happens under the runtime's decision
+// lock at deterministic virtual instants, lanes are scanned in sorted
+// class order, and each lane's succession is age-based — so the schedule
+// is a pure function of the stamped admission order and classes. For
+// suspension-free workloads the per-mutex grant order provably equals
+// serial MAT's (requests grouped by thread in admission order restricted
+// to each mutex's lockers), which is what the hash-equivalence tests in
+// package replica pin down.
+type ClassMAT struct {
+	rt *Runtime
+
+	// UseLastLock enables the last-lock optimisation (Sect. 4.1) inside
+	// every lane and across the merge barrier.
+	UseLastLock bool
+
+	lanes    map[uint32]*matLane
+	laneKeys []uint32 // sorted; lanes are always swept in this order
+
+	escalations     uint64
+	mergeStalls     uint64
+	parallelCommits uint64
+	serialCommits   uint64
+}
+
+type matLane struct {
+	primary *Thread
+	// blockedPrimaries: threads that blocked on a mutex while primary of
+	// this lane, FIFO by suspension time (see MAT).
+	blockedPrimaries []*Thread
+}
+
+// NewClassMAT returns a class-aware MAT scheduler.
+func NewClassMAT(withLastLock bool) *ClassMAT {
+	return &ClassMAT{UseLastLock: withLastLock, lanes: map[uint32]*matLane{}}
+}
+
+// Name implements Scheduler.
+func (s *ClassMAT) Name() string {
+	if s.UseLastLock {
+		return "MAT+LLA+CLS"
+	}
+	return "MAT+CLS"
+}
+
+// Attach implements Scheduler.
+func (s *ClassMAT) Attach(rt *Runtime) { s.rt = rt }
+
+// ClassStats implements ClassScheduler. Decision lock held.
+func (s *ClassMAT) ClassStats() ClassStats {
+	return ClassStats{
+		ActiveClasses:   activeClasses(s.rt),
+		Escalations:     s.escalations,
+		MergeStalls:     s.mergeStalls,
+		ParallelCommits: s.parallelCommits,
+		SerialCommits:   s.serialCommits,
+	}
+}
+
+func (s *ClassMAT) lane(c uint32) *matLane {
+	l := s.lanes[c]
+	if l == nil {
+		l = &matLane{}
+		s.lanes[c] = l
+		s.laneKeys = append(s.laneKeys, c)
+		sort.Slice(s.laneKeys, func(i, j int) bool { return s.laneKeys[i] < s.laneKeys[j] })
+	}
+	return l
+}
+
+// Admit starts the thread immediately (all lanes are multiple-active).
+func (s *ClassMAT) Admit(t *Thread) {
+	matOf(t)
+	if t.Class() == 0 {
+		s.escalations++
+	}
+	s.lane(t.Class()) // materialise the lane
+	s.rt.StartThread(t)
+	s.promoteAll()
+}
+
+// Acquire grants to the lane's primary if the mutex is free; a blocked
+// lane primary steps aside exactly like MAT's. Secondaries block until
+// their lane promotes them.
+func (s *ClassMAT) Acquire(t *Thread, m *Mutex) {
+	st := matOf(t)
+	st.need = m
+	l := s.lane(t.Class())
+	if l.primary == t {
+		if m.Free() {
+			st.need = nil
+			s.rt.Grant(t, m)
+			return
+		}
+		l.primary = nil
+		st.blockedP = true
+		l.blockedPrimaries = append(l.blockedPrimaries, t)
+	}
+	s.promoteAll()
+}
+
+// Release re-examines every lane: the released mutex may unblock this
+// lane or the global lane, and under last-lock analysis the releaser may
+// have stopped barring the merge barrier.
+func (s *ClassMAT) Release(t *Thread, m *Mutex) {
+	if s.UseLastLock && t.Table().AllLocksDone() {
+		s.demote(t)
+	}
+	s.promoteAll()
+}
+
+// WaitPark suspends the thread and frees its lane's primary slot. The
+// suspended thread keeps barring the merge barrier — it may still lock
+// after resuming.
+func (s *ClassMAT) WaitPark(t *Thread, m *Mutex) {
+	matOf(t).suspended = true
+	s.demote(t)
+	s.promoteAll()
+}
+
+// WaitWake turns the notified thread into a blocked secondary of its
+// lane, needing its monitor back.
+func (s *ClassMAT) WaitWake(t *Thread, m *Mutex) {
+	st := matOf(t)
+	st.suspended = false
+	st.need = m
+	s.promoteAll()
+}
+
+// NestedBegin suspends the thread for the duration of the call.
+func (s *ClassMAT) NestedBegin(t *Thread) {
+	matOf(t).suspended = true
+	s.demote(t)
+	s.promoteAll()
+}
+
+// NestedResume lets the thread continue immediately — as a secondary of
+// its lane.
+func (s *ClassMAT) NestedResume(t *Thread) {
+	matOf(t).suspended = false
+	s.rt.ResumeNested(t)
+	s.promoteAll()
+}
+
+// Exit frees the lane slot and re-examines every lane: an exit is what
+// clears the merge barrier.
+func (s *ClassMAT) Exit(t *Thread) {
+	s.demote(t)
+	st := matOf(t)
+	if st.blockedP {
+		s.removeBlockedPrimary(t)
+	}
+	if t.Class() == 0 {
+		s.serialCommits++
+	} else {
+		s.parallelCommits++
+	}
+	s.promoteAll()
+}
+
+// PredictionChanged applies the last-lock optimisation: a thread proven
+// done with locking hands its lane over and stops barring the barrier.
+func (s *ClassMAT) PredictionChanged(t *Thread) {
+	if !s.UseLastLock {
+		return
+	}
+	l := s.lane(t.Class())
+	if l.primary == t && t.Table().AllLocksDone() {
+		l.primary = nil
+	}
+	s.promoteAll()
+}
+
+func (s *ClassMAT) demote(t *Thread) {
+	l := s.lane(t.Class())
+	if l.primary == t {
+		l.primary = nil
+	}
+}
+
+func (s *ClassMAT) removeBlockedPrimary(t *Thread) {
+	matOf(t).blockedP = false
+	l := s.lane(t.Class())
+	for i, u := range l.blockedPrimaries {
+		if u == t {
+			l.blockedPrimaries = append(l.blockedPrimaries[:i], l.blockedPrimaries[i+1:]...)
+			return
+		}
+	}
+}
+
+// promoteAll fills free primary slots lane by lane, in sorted class
+// order. Lane decisions are independent — distinct classes have disjoint
+// footprints, and the global lane only runs when the others have drained
+// — so the sweep order cannot change any grant, only make it.
+func (s *ClassMAT) promoteAll() {
+	for _, c := range s.laneKeys {
+		s.promoteLane(c)
+	}
+}
+
+// neverLocksAgain reports whether last-lock analysis proves t can never
+// request a lock again: such a thread neither bars the merge barrier nor
+// reclaims a primary slot (Fig. 2(b)).
+func (s *ClassMAT) neverLocksAgain(t *Thread) bool {
+	return s.UseLastLock && matOf(t).need == nil && t.Table().AllLocksDone()
+}
+
+// promoteLane fills lane c's primary slot:
+//
+//  1. a blocked former primary of the lane whose mutex is now free
+//     resumes with its lock granted (it predates every live global
+//     thread by construction, so the barrier cannot bar it);
+//  2. otherwise the oldest alive, unsuspended thread of the class that
+//     the merge barrier admits becomes primary — blocked-on-held-mutex
+//     candidates join the blocked primaries and the scan cascades.
+func (s *ClassMAT) promoteLane(c uint32) {
+	l := s.lane(c)
+	for l.primary == nil {
+		for i, t := range l.blockedPrimaries {
+			m := matOf(t).need
+			if m.Free() {
+				l.blockedPrimaries = append(l.blockedPrimaries[:i], l.blockedPrimaries[i+1:]...)
+				st := matOf(t)
+				st.blockedP = false
+				st.need = nil
+				s.setPrimary(l, t)
+				s.rt.Grant(t, m)
+				return
+			}
+		}
+		var cand *Thread
+		threads := s.rt.ThreadsByAdmission() // admission order, no snapshot copy
+		for i, t := range threads {
+			st := matOf(t)
+			tc := t.Class()
+			if s.neverLocksAgain(t) {
+				continue
+			}
+			// Merge barrier: a live global thread fences every younger
+			// thread out of the non-global lanes, and a live non-global
+			// thread fences every younger thread out of the global lane.
+			if (c != 0 && tc == 0) || (c == 0 && tc != 0) {
+				if s.laneStalledBehind(c, threads[i+1:]) {
+					s.mergeStalls++
+				}
+				break
+			}
+			if tc != c {
+				continue // another lane's thread
+			}
+			if st.suspended || st.blockedP || t == l.primary {
+				continue
+			}
+			cand = t
+			break
+		}
+		if cand == nil {
+			return
+		}
+		st := matOf(cand)
+		if st.need == nil {
+			s.setPrimary(l, cand)
+			return
+		}
+		if st.need.Free() {
+			m := st.need
+			st.need = nil
+			s.setPrimary(l, cand)
+			s.rt.Grant(cand, m)
+			return
+		}
+		// Its mutex is held by a suspended thread of the same lane: it
+		// becomes a blocked primary and the scan cascades.
+		st.blockedP = true
+		l.blockedPrimaries = append(l.blockedPrimaries, cand)
+	}
+}
+
+// laneStalledBehind reports whether the tail of the admission order
+// (past the barrier thread) still holds a runnable candidate for lane c —
+// i.e. whether this barrier break is an actual stall.
+func (s *ClassMAT) laneStalledBehind(c uint32, tail []*Thread) bool {
+	for _, t := range tail {
+		st := matOf(t)
+		if t.Class() == c && !st.suspended && !st.blockedP && !s.neverLocksAgain(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *ClassMAT) setPrimary(l *matLane, t *Thread) {
+	l.primary = t
+	s.rt.RecordPromote(t)
+}

@@ -1,0 +1,54 @@
+package core
+
+// ClassStats are the admission counters of a class-aware scheduler
+// (ClassMAT, ClassPDS). Snapshots must be taken under the decision lock
+// (Runtime.External); the replication layer surfaces them in the server
+// Status and shutdown logs.
+type ClassStats struct {
+	// ActiveClasses is the number of distinct conflict classes among the
+	// currently live threads (the instantaneous lane occupancy).
+	ActiveClasses int
+	// Escalations counts admissions to the conservative global class 0 —
+	// requests the classifier could not bound, each of which serialises
+	// the lanes through the merge barrier.
+	Escalations uint64
+	// MergeStalls counts promotion/grant scans in which a runnable thread
+	// was held back by the merge barrier (a live request of another
+	// classes' side of the barrier). It is an event count, not a thread
+	// count: one barred thread stalls once per scheduling decision it
+	// sits through.
+	MergeStalls uint64
+	// ParallelCommits counts completed requests that ran in a non-global
+	// lane; SerialCommits counts completed global-class requests.
+	ParallelCommits uint64
+	SerialCommits   uint64
+}
+
+// ParallelRatio is the fraction of completed requests that committed
+// through a concurrent lane (0 when nothing completed yet).
+func (s ClassStats) ParallelRatio() float64 {
+	total := s.ParallelCommits + s.SerialCommits
+	if total == 0 {
+		return 0
+	}
+	return float64(s.ParallelCommits) / float64(total)
+}
+
+// ClassScheduler is implemented by schedulers that admit per conflict
+// class and expose admission counters.
+type ClassScheduler interface {
+	Scheduler
+	// ClassStats snapshots the admission counters. Decision lock held
+	// (use Runtime.External from outside the scheduler).
+	ClassStats() ClassStats
+}
+
+// activeClasses counts distinct classes among live threads. Decision
+// lock held.
+func activeClasses(rt *Runtime) int {
+	seen := map[uint32]bool{}
+	for _, t := range rt.ThreadsByAdmission() {
+		seen[t.Class()] = true
+	}
+	return len(seen)
+}

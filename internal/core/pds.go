@@ -62,6 +62,10 @@ type pdsState struct {
 	phase    pdsPhase
 	need     *Mutex
 	eligible bool // arrival belongs to the currently open round
+	// started marks that the thread has begun executing (joined a lane
+	// pool at least once). Only ClassPDS sets it: threads still queued in
+	// waitingStart must not bar the merge-barrier gate — see gateAdmits.
+	started bool
 }
 
 func pdsOf(t *Thread) *pdsState {

@@ -162,12 +162,21 @@ func (rt *Runtime) MutexAt(mid ids.MutexID) *Mutex {
 // Submit admits a new request thread, in total order: callers must invoke
 // Submit in the agreed request order on every replica. body runs once the
 // scheduler starts the thread; done (optional) runs after the thread
-// exited.
+// exited. The thread lands in the conservative global conflict class.
 func (rt *Runtime) Submit(tid ids.ThreadID, method ids.MethodID, body func(*Thread), done func()) *Thread {
+	return rt.SubmitClassed(tid, method, 0, body, done)
+}
+
+// SubmitClassed is Submit with an explicit conflict class (package
+// earlysched): class-aware schedulers dispatch threads of distinct
+// non-zero classes to concurrent lanes, class 0 is the global class that
+// serialises against everything. Class-oblivious schedulers ignore it.
+func (rt *Runtime) SubmitClassed(tid ids.ThreadID, method ids.MethodID, class uint32, body func(*Thread), done func()) *Thread {
 	t := &Thread{
 		ID:     tid,
 		Method: method,
 		rt:     rt,
+		class:  class,
 		table:  lockpred.NewThreadTable(rt.static.Method(method)),
 	}
 	t.held = t.heldBuf[:0]

@@ -23,6 +23,7 @@ type Thread struct {
 	// All fields below are guarded by the runtime's decision lock.
 
 	admitIdx uint64 // position in the total admission order
+	class    uint32 // conflict class stamped by the sequencer (0 = global)
 
 	waiting bool // blocked, pending a scheduler grant/resume
 
@@ -53,6 +54,11 @@ type Thread struct {
 // Scheduler implementations use it as the deterministic "age" of a thread
 // ("the oldest secondary becomes primary").
 func (t *Thread) AdmitIndex() uint64 { return t.admitIdx }
+
+// Class returns the conflict class the sequencer stamped on this thread's
+// request (package earlysched). Class 0 is the conservative global class;
+// threads submitted through plain Submit are always global.
+func (t *Thread) Class() uint32 { return t.class }
 
 // Table returns the thread's prediction bookkeeping table (nil if its
 // method was not analysed).

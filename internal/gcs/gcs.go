@@ -42,9 +42,14 @@ var ErrNoSequencer = errors.New("gcs: no live sequencer")
 
 // Message is a totally ordered delivery.
 type Message struct {
-	Seq     uint64 // position in the total order (1-based)
-	Origin  Origin
-	UID     uint64 // per-origin unique id (duplicate suppression)
+	Seq    uint64 // position in the total order (1-based)
+	Origin Origin
+	UID    uint64 // per-origin unique id (duplicate suppression)
+	// Class is the conflict class the sequencer stamped on the payload
+	// via Config.Classify (0 = conservative global class). Class-aware
+	// replica schedulers use it for early scheduling; everyone else can
+	// ignore it.
+	Class   uint32
 	Payload Payload
 }
 
@@ -113,6 +118,16 @@ type Config struct {
 	// envelopes kept for donor-side catch-up (SequencedTail). 0 applies
 	// DefaultSeqRetention; negative retains everything.
 	SeqRetention int
+
+	// Classify, when set, runs at the sequencer against every payload
+	// being assigned a total-order slot and returns its conflict class
+	// (package earlysched); the class is stamped into the sequenced
+	// envelope and delivered in Message.Class on every member. nil (or a
+	// return of 0) means the conservative global class. Classify must be
+	// a pure function of the payload: every member that could become
+	// sequencer must stamp identically, or a takeover would change the
+	// classes mid-stream.
+	Classify func(Payload) uint32
 
 	// Logf, when set, receives view-change and failure-detection events
 	// (elections are rare and operator-relevant; nothing on the per-
@@ -913,7 +928,11 @@ type Envelope struct {
 	// envelope into their virtual timeline at exactly this instant. On
 	// an EnvHorizon heartbeat it is a promise that no later sequenced
 	// envelope will carry a smaller stamp.
-	Stamp   time.Duration
+	Stamp time.Duration
+	// Class is the conflict class assigned by the sequencer's
+	// Config.Classify when the slot was assigned (sequenced envelopes
+	// only; 0 = global class). Wire protocol v5 carries it.
+	Class   uint32
 	Payload Payload
 }
 

@@ -296,6 +296,11 @@ func (n *Node) sequence(env Envelope, stamp time.Duration) {
 	out.View = view
 	out.From = Origin{Replica: n.id}
 	out.Stamp = stamp
+	if n.g.cfg.Classify != nil {
+		// Conflict-class early scheduling: classify once, at sequencing
+		// time, so every member admits the request under the same class.
+		out.Class = n.g.cfg.Classify(env.Payload)
+	}
 	for _, id := range n.g.Members() {
 		if !n.g.alive(id) {
 			continue
@@ -345,7 +350,7 @@ func (n *Node) handleSequenced(env Envelope) {
 	n.mu.Unlock()
 	for _, e := range ready {
 		if n.deliver != nil {
-			n.deliver(Message{Seq: e.Seq, Origin: e.Origin, UID: e.UID, Payload: e.Payload})
+			n.deliver(Message{Seq: e.Seq, Origin: e.Origin, UID: e.UID, Class: e.Class, Payload: e.Payload})
 		}
 	}
 }

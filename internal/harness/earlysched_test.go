@@ -1,0 +1,225 @@
+package harness
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"detmt/internal/replica"
+	"detmt/internal/workload"
+)
+
+// famSim builds the baseline cluster options for the family workload:
+// suspension-free (no nested invocations, no wait/notify in the family
+// methods), which is the shape whose class-parallel schedule is provably
+// bit-identical to serial admission.
+func famSim(kind replica.SchedulerKind, conflict float64) SimOptions {
+	sim := DefaultSim()
+	sim.Kind = kind
+	sim.Clients = 8
+	sim.RequestsPerClient = 3
+	sim.NestedLatency = 0
+	fam := workload.DefaultFamilies()
+	fam.PGlobal = conflict
+	sim.Families = &fam
+	return sim
+}
+
+func hashesAgree(t *testing.T, label string, rs ...*SimResult) uint64 {
+	t.Helper()
+	if len(rs) == 0 || len(rs[0].Hashes) == 0 {
+		t.Fatalf("%s: no hashes", label)
+	}
+	ref := rs[0].Hashes[0]
+	for i, r := range rs {
+		for j, h := range r.Hashes {
+			if h != ref {
+				t.Fatalf("%s: run %d replica %d hash %#x != %#x", label, i, j, h, ref)
+			}
+		}
+	}
+	return ref
+}
+
+// TestEarlySchedHashEquivalence pins the tentpole determinism claim:
+// over one totally ordered request stream, class-parallel admission
+// produces a schedule consistency hash bit-identical to serial
+// admission, for every scheduler kind that supports it and every
+// conflict rate of the matrix — all parallelism, no divergence.
+//
+// The comparison fixes the total order by replaying a recorded log, in
+// both directions: a serial replay of a class-parallel cluster's log,
+// and a class-parallel replay of a serial (but class-stamped) cluster's
+// log. Two *live* runs are not comparable — closed-loop clients submit
+// request k+1 only after reply k, so the admission mode's timing feeds
+// back into the sequencer's input order.
+//
+// PDS runs with a per-lane window of 1 (the W>1 round structure
+// legitimately differs between one mixed pool and per-class pools; see
+// DESIGN.md).
+func TestEarlySchedHashEquivalence(t *testing.T) {
+	kinds := []struct {
+		kind   replica.SchedulerKind
+		window int
+	}{
+		{replica.KindMAT, 0},
+		{replica.KindMATLLA, 0},
+		{replica.KindPDS, 1},
+	}
+	conflicts := []float64{0, 0.25, 0.75, 1}
+	for _, k := range kinds {
+		for _, c := range conflicts {
+			name := fmt.Sprintf("%s/conflict=%.0f%%", k.kind, c*100)
+			t.Run(name, func(t *testing.T) {
+				sim := famSim(k.kind, c)
+				if k.window > 0 {
+					sim.PDSWindow = k.window
+					sim.PDSRelaxed = true
+				}
+				sim.Lanes = 4
+
+				// Direction 1: class-parallel cluster, serial replay.
+				laneSim := sim
+				laneSim.EarlySched = true
+				lanes := RunSim(laneSim)
+				if lanes.Requests == 0 || len(lanes.Log) == 0 {
+					t.Fatalf("degenerate lanes run: %d requests, %d log entries", lanes.Requests, len(lanes.Log))
+				}
+				liveLanes := hashesAgree(t, name+"/lanes", lanes)
+				serialHash, serialState := replayFamilies(laneSim, false, lanes.Log)
+				if serialHash != liveLanes {
+					t.Errorf("serial replay of the class-parallel log diverged: %#x != live %#x", serialHash, liveLanes)
+				}
+				if !reflect.DeepEqual(serialState, lanes.Snapshot) {
+					t.Errorf("serial replay state %v != live %v", serialState, lanes.Snapshot)
+				}
+
+				// Direction 2: serial cluster (classes stamped but unused),
+				// class-parallel replay.
+				serSim := sim
+				serSim.StampClasses = true
+				serial := RunSim(serSim)
+				liveSerial := hashesAgree(t, name+"/serial", serial)
+				laneHash, laneState := replayFamilies(serSim, true, serial.Log)
+				if laneHash != liveSerial {
+					t.Errorf("class-parallel replay of the serial log diverged: %#x != live %#x", laneHash, liveSerial)
+				}
+				if !reflect.DeepEqual(laneState, serial.Snapshot) {
+					t.Errorf("class-parallel replay state %v != live %v", laneState, serial.Snapshot)
+				}
+
+				// The two live runs see different total orders, so their
+				// hashes are incomparable — but the request multiset is
+				// seed-determined, so the commutative state total is not.
+				if serial.Requests != lanes.Requests {
+					t.Errorf("request counts differ: serial %d, lanes %d", serial.Requests, lanes.Requests)
+				}
+				if serial.StateTotal != lanes.StateTotal {
+					t.Errorf("state totals differ: serial %d, lanes %d", serial.StateTotal, lanes.StateTotal)
+				}
+			})
+		}
+	}
+}
+
+// TestEarlySchedPDSWindowedDeterminism covers the PDS configuration the
+// equivalence matrix excludes: W=4 per-lane pools are not serial-
+// equivalent, but they must still be deterministic — every replica of
+// one cluster bit-identical, and two identically seeded clusters too.
+func TestEarlySchedPDSWindowedDeterminism(t *testing.T) {
+	sim := famSim(replica.KindPDS, 0.25)
+	sim.PDSWindow = 4
+	sim.EarlySched = true
+	sim.Lanes = 4
+	a := RunSim(sim)
+	b := RunSim(sim)
+	if a.Requests == 0 || a.Requests != b.Requests {
+		t.Fatalf("request counts differ: %d vs %d", a.Requests, b.Requests)
+	}
+	hashesAgree(t, "PDS W=4 lanes", a, b)
+	if a.StateTotal != b.StateTotal {
+		t.Fatalf("state totals differ: %d vs %d", a.StateTotal, b.StateTotal)
+	}
+}
+
+// TestEarlySchedSpeedup asserts the headline performance claim: at 0%
+// conflict the 4-lane class-parallel MAT cluster completes the family
+// workload at least 3x faster than serial admission, and at 100%
+// conflict it degrades gracefully to roughly serial throughput.
+func TestEarlySchedSpeedup(t *testing.T) {
+	o := DefaultEarlySchedOptions()
+	serial0 := EarlySchedCell(o, 0, false)
+	lanes0 := EarlySchedCell(o, 0, true)
+	if serial0.Makespan <= 0 || lanes0.Makespan <= 0 {
+		t.Fatalf("degenerate makespans: %v, %v", serial0.Makespan, lanes0.Makespan)
+	}
+	speedup := serial0.Makespan.Seconds() / lanes0.Makespan.Seconds()
+	if speedup < 3 {
+		t.Errorf("0%% conflict speedup %.2fx, want >= 3x (serial %v, lanes %v)",
+			speedup, serial0.Makespan, lanes0.Makespan)
+	}
+	if cs := lanes0.ClassStats; cs == nil {
+		t.Errorf("class-parallel run reported no ClassStats")
+	} else {
+		if cs.Escalations != 0 {
+			t.Errorf("0%% conflict run escalated %d requests to the global class", cs.Escalations)
+		}
+		if cs.ParallelRatio() < 1 {
+			t.Errorf("0%% conflict parallel-commit ratio %.2f, want 1.0", cs.ParallelRatio())
+		}
+	}
+
+	serial100 := EarlySchedCell(o, 100, false)
+	lanes100 := EarlySchedCell(o, 100, true)
+	slow := lanes100.Makespan.Seconds() / serial100.Makespan.Seconds()
+	if slow > 1.25 {
+		t.Errorf("100%% conflict class-parallel overhead %.2fx serial, want <= 1.25x", slow)
+	}
+	if cs := lanes100.ClassStats; cs != nil && cs.ParallelCommits != 0 {
+		t.Errorf("100%% conflict run committed %d requests through parallel lanes", cs.ParallelCommits)
+	}
+}
+
+// TestEarlySchedChaosSoak severs a replica mid-lane — while class-
+// parallel lanes are actively committing — and asserts the survivors'
+// consistency hashes stay bit-identical across schedulers and conflict
+// rates. Skipped with -short.
+func TestEarlySchedChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak")
+	}
+	kinds := []replica.SchedulerKind{replica.KindMAT, replica.KindMATLLA}
+	for _, kind := range kinds {
+		for _, c := range []float64{0, 0.25, 0.75} {
+			for seed := uint64(1); seed <= 3; seed++ {
+				name := fmt.Sprintf("%s/conflict=%.0f%%/seed=%d", kind, c*100, seed)
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					sim := famSim(kind, c)
+					sim.Seed = seed
+					sim.EarlySched = true
+					sim.Lanes = 4
+					// Crash the sequencer after client 1's warmup: requests
+					// are still in flight in the other clients' lanes, so
+					// the cut lands mid-lane.
+					sim.CrashAfterWarmup = true
+					r := RunSim(sim)
+					if len(r.Hashes) < 2 {
+						t.Fatalf("want >= 2 replicas, got %d", len(r.Hashes))
+					}
+					// Replica 1 is the severed sequencer: its trace stops
+					// early, so only the survivors must agree.
+					surv := r.Hashes[1:]
+					for _, h := range surv[1:] {
+						if h != surv[0] {
+							t.Fatalf("survivors diverged: %#x vs %#x", h, surv[0])
+						}
+					}
+					if r.TakeoverLatency <= 0 {
+						t.Fatalf("post-crash request never completed")
+					}
+				})
+			}
+		}
+	}
+}

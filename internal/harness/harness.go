@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"detmt/internal/analysis"
+	"detmt/internal/core"
+	"detmt/internal/earlysched"
 	"detmt/internal/gcs"
 	"detmt/internal/ids"
 	"detmt/internal/lang"
@@ -50,6 +52,24 @@ type SimOptions struct {
 	// requests per client 1 (0: never). Used by the takeover experiment.
 	CrashAfterWarmup bool
 	DetectTimeout    time.Duration
+
+	// Families switches the cluster to the family-partitioned workload
+	// (workload.FamiliesSource) instead of Fig. 1 — the low-conflict
+	// variant whose per-family lock footprints the earlysched classifier
+	// can prove disjoint.
+	Families *workload.FamilyConfig
+	// EarlySched enables conflict-class early scheduling: the sequencer
+	// stamps each request with its conflict class (earlysched.Classifier
+	// over Lanes lanes) and replicas run the class-aware scheduler
+	// variant. Only MAT, MAT+LLA and PDS support it.
+	EarlySched bool
+	// StampClasses stamps conflict classes at the sequencer without
+	// switching the replicas to class-aware admission (implied by
+	// EarlySched). A serial run of a class-stamped log is the baseline
+	// the replay-equivalence tests re-admit through class-parallel lanes.
+	StampClasses bool
+	// Lanes is the classifier's lane count (0: 4).
+	Lanes int
 }
 
 // DefaultSim returns the baseline parameters: 3 replicas on a 500µs LAN,
@@ -89,6 +109,17 @@ type SimResult struct {
 	BookkeepingEvents int
 	// Trace is replica 1's full scheduler trace (timelines, JSON export).
 	Trace *trace.Trace
+	// ClassStats are the survivor replica's class-aware admission
+	// counters (nil unless the run used a class-aware scheduler).
+	ClassStats *core.ClassStats
+	// Log is the survivor replica's recorded message log. Any classes the
+	// sequencer stamped ride along in each entry, so the log can be
+	// replayed under either admission discipline (replica.ReplayDetached)
+	// to compare serial and class-parallel schedules over the exact same
+	// total order.
+	Log []replica.LogEntry
+	// Snapshot is the survivor replica's final object state.
+	Snapshot map[string]lang.Value
 }
 
 var analysisCache sync.Map // source -> *analysis.Result
@@ -109,7 +140,11 @@ func RunSim(o SimOptions) *SimResult {
 	if o.Replicas <= 0 {
 		o.Replicas = 3
 	}
-	res := analyzed(workload.Fig1Source(o.Workload))
+	src := workload.Fig1Source(o.Workload)
+	if o.Families != nil {
+		src = workload.FamiliesSource(*o.Families)
+	}
+	res := analyzed(src)
 	v := vclock.NewVirtual()
 	if o.Kind == replica.KindPDS || o.CrashAfterWarmup {
 		// Leftover dummy threads legitimately starve at the last PDS
@@ -121,12 +156,29 @@ func RunSim(o SimOptions) *SimResult {
 	for i := range members {
 		members[i] = ids.ReplicaID(i + 1)
 	}
-	g := gcs.NewGroup(gcs.Config{
+	gcfg := gcs.Config{
 		Clock:         v,
 		Members:       members,
 		Latency:       o.NetLatency,
 		DetectTimeout: o.DetectTimeout,
-	})
+	}
+	if o.EarlySched || o.StampClasses {
+		lanes := o.Lanes
+		if lanes <= 0 {
+			lanes = 4
+		}
+		cls := earlysched.New(res, lanes)
+		gcfg.Classify = func(p gcs.Payload) uint32 {
+			switch x := p.(type) {
+			case replica.Request:
+				return cls.Classify(x.Method, x.Args)
+			case replica.Dummy:
+				return cls.DummyClass()
+			}
+			return 0
+		}
+	}
+	g := gcs.NewGroup(gcfg)
 	reps := make([]*replica.Replica, 0, o.Replicas)
 	for _, id := range members {
 		reps = append(reps, replica.New(replica.Config{
@@ -137,9 +189,18 @@ func RunSim(o SimOptions) *SimResult {
 			Kind:          o.Kind,
 			PDSWindow:     o.PDSWindow,
 			PDSRelaxed:    o.PDSRelaxed,
+			EarlySched:    o.EarlySched,
 			NestedLatency: o.NestedLatency,
 		}))
-		reps[len(reps)-1].Instance().SetField("state", int64(0))
+		rep := reps[len(reps)-1]
+		if o.Families != nil {
+			for f := 0; f < o.Families.Families; f++ {
+				rep.Instance().SetField(fmt.Sprintf("state%d", f), int64(0))
+			}
+			rep.Instance().SetField("gstate", int64(0))
+		} else {
+			rep.Instance().SetField("state", int64(0))
+		}
 	}
 
 	out := &SimResult{Latency: &metrics.Sample{}}
@@ -152,14 +213,20 @@ func RunSim(o SimOptions) *SimResult {
 		}
 		rootRNG := ids.NewRNG(o.Seed)
 		grp := vclock.NewGroup(v)
+		draw := func(rng *ids.RNG) (string, []lang.Value) {
+			if o.Families != nil {
+				return workload.FamilyArgs(*o.Families, rng)
+			}
+			return workload.MethodName, workload.Fig1Args(o.Workload, rng)
+		}
 		for ci := 0; ci < o.Clients; ci++ {
 			cl := replica.NewClient(v, g, ids.ClientID(ci+1))
 			rng := rootRNG.Fork()
 			first := ci == 0
 			grp.Go(func() {
 				for k := 0; k < o.RequestsPerClient; k++ {
-					args := workload.Fig1Args(o.Workload, rng)
-					_, lat, err := cl.Invoke(workload.MethodName, args...)
+					method, args := draw(rng)
+					_, lat, err := cl.Invoke(method, args...)
 					if err != nil {
 						panic(fmt.Sprintf("harness: invoke failed: %v", err))
 					}
@@ -170,8 +237,8 @@ func RunSim(o SimOptions) *SimResult {
 				}
 				if first && o.CrashAfterWarmup {
 					g.Crash(members[0])
-					args := workload.Fig1Args(o.Workload, rng)
-					_, lat, err := cl.Invoke(workload.MethodName, args...)
+					method, args := draw(rng)
+					_, lat, err := cl.Invoke(method, args...)
 					if err != nil {
 						panic(fmt.Sprintf("harness: post-crash invoke failed: %v", err))
 					}
@@ -199,9 +266,23 @@ func RunSim(o SimOptions) *SimResult {
 
 	out.Transfers, out.Broadcasts, out.Directs = g.Stats().Snapshot()
 	survivor := reps[len(reps)-1]
-	if st, ok := survivor.Instance().GetField("state").(int64); ok {
+	if o.Families != nil {
+		for f := 0; f < o.Families.Families; f++ {
+			if st, ok := survivor.Instance().GetField(fmt.Sprintf("state%d", f)).(int64); ok {
+				out.StateTotal += st
+			}
+		}
+		if st, ok := survivor.Instance().GetField("gstate").(int64); ok {
+			out.StateTotal += st
+		}
+	} else if st, ok := survivor.Instance().GetField("state").(int64); ok {
 		out.StateTotal = st
 	}
+	if cs, ok := survivor.ClassMetrics(); ok {
+		out.ClassStats = &cs
+	}
+	out.Log = survivor.Log()
+	out.Snapshot = survivor.Instance().Snapshot()
 	for _, r := range reps {
 		out.Hashes = append(out.Hashes, r.Runtime().Trace().ConsistencyHash())
 	}

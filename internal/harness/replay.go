@@ -129,5 +129,6 @@ func All() []Result {
 		ReplicaScaling(),
 		Scenarios(),
 		HotPath(),
+		EarlySched(DefaultEarlySchedOptions()),
 	}
 }

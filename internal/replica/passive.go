@@ -22,18 +22,29 @@ import (
 // replayed (the leader's decision stream is not part of the total order);
 // use a deterministic scheduler kind.
 func Replay(clock vclock.Clock, res *analysis.Result, kind SchedulerKind, pdsWindow int, log []LogEntry) *Replica {
-	if kind == KindLSA {
-		panic("replica: LSA logs are not replayable without the decision stream")
-	}
-	r := New(Config{
-		ID:        1,
-		Clock:     clock,
-		Group:     nil, // detached: no network, replies discarded
+	return ReplayDetached(clock, Config{
 		Analysis:  res,
 		Kind:      kind,
-		Role:      RoleActive,
 		PDSWindow: pdsWindow,
-	})
+	}, log)
+}
+
+// ReplayDetached is Replay with full Config control, for replay modes the
+// positional arguments cannot express — most importantly re-admitting a
+// log under a different admission discipline: the recorded Message.Class
+// of every entry rides along, so a log captured from a class-parallel
+// cluster replays on a serial replica (and vice versa), which is how the
+// hash-equivalence tests compare the two schedules over an identical
+// total order. ID, Clock, Group and Role are overridden.
+func ReplayDetached(clock vclock.Clock, cfg Config, log []LogEntry) *Replica {
+	if cfg.Kind == KindLSA {
+		panic("replica: LSA logs are not replayable without the decision stream")
+	}
+	cfg.ID = 1
+	cfg.Clock = clock
+	cfg.Group = nil // detached: no network, replies discarded
+	cfg.Role = RoleActive
+	r := New(cfg)
 	clock.Go(func() { feedLog(clock, r, log) })
 	return r
 }

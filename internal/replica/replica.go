@@ -64,6 +64,14 @@ type Config struct {
 	// published algorithm waits for W requests and needs dummy traffic;
 	// relaxed mode lets a round open with whatever the pool holds).
 	PDSRelaxed bool
+	// EarlySched selects the class-aware admission variant of the
+	// scheduler (conflict-class early scheduling): requests dispatch into
+	// per-class scheduler lanes keyed by the conflict class the sequencer
+	// stamped on each message (gcs.Message.Class). Supported for MAT,
+	// MAT+LLA and PDS; other kinds panic in New. The group's
+	// Config.Classify must be wired to an earlysched.Classifier, or every
+	// request lands in the serial global class.
+	EarlySched bool
 	// NestedLatency is the simulated duration of the external service
 	// called by nested invocations (simulator backends only; a blocking
 	// backend's latency is whatever the wire delivers).
@@ -106,10 +114,11 @@ type Config struct {
 
 // Replica is one member of a replicated object group.
 type Replica struct {
-	cfg  Config
-	rt   *core.Runtime
-	in   *lang.Instance
-	node *gcs.Node
+	cfg   Config
+	rt    *core.Runtime
+	in    *lang.Instance
+	node  *gcs.Node
+	sched core.Scheduler
 
 	mu          sync.Mutex
 	seenReqs    map[ids.RequestID]bool
@@ -197,6 +206,7 @@ func New(cfg Config) *Replica {
 		Backoff: cfg.NestedBackoff,
 	}
 	sched := r.buildScheduler()
+	r.sched = sched
 	r.rt = core.NewRuntime(core.Options{
 		Clock:     cfg.Clock,
 		Scheduler: sched,
@@ -219,6 +229,18 @@ func New(cfg Config) *Replica {
 }
 
 func (r *Replica) buildScheduler() core.Scheduler {
+	if r.cfg.EarlySched {
+		switch r.cfg.Kind {
+		case KindMAT:
+			return core.NewClassMAT(false)
+		case KindMATLLA:
+			return core.NewClassMAT(true)
+		case KindPDS:
+			return core.NewClassPDS(r.cfg.PDSWindow)
+		default:
+			panic(fmt.Sprintf("replica: early scheduling is not supported for %q (use MAT, MAT+LLA or PDS)", r.cfg.Kind))
+		}
+	}
 	switch r.cfg.Kind {
 	case KindSEQ:
 		return core.NewSEQ()
@@ -365,15 +387,15 @@ func (r *Replica) FailoverData() (snapshot map[string]lang.Value, tail []LogEntr
 func (r *Replica) apply(m gcs.Message) {
 	switch p := m.Payload.(type) {
 	case Request:
-		r.applyRequest(p)
+		r.applyRequest(p, m.Class)
 	case NestedOutcome:
 		r.applyNestedOutcome(p)
 	case Dummy:
-		r.applyDummy(p)
+		r.applyDummy(p, m.Class)
 	}
 }
 
-func (r *Replica) applyRequest(req Request) {
+func (r *Replica) applyRequest(req Request, class uint32) {
 	r.mu.Lock()
 	if r.seenReqs[req.Req] {
 		r.mu.Unlock()
@@ -388,7 +410,7 @@ func (r *Replica) applyRequest(req Request) {
 		return
 	}
 	tid := ids.ThreadID(req.Req)
-	th := r.rt.Submit(tid, method.ID, func(th *core.Thread) {
+	th := r.rt.SubmitClassed(tid, method.ID, class, func(th *core.Thread) {
 		v, err := r.in.Exec(th, req.Method, req.Args)
 		errStr := ""
 		if err != nil {
@@ -453,9 +475,9 @@ func (r *Replica) applyNestedOutcome(no NestedOutcome) {
 	r.mu.Unlock()
 }
 
-func (r *Replica) applyDummy(d Dummy) {
+func (r *Replica) applyDummy(d Dummy, class uint32) {
 	tid := ids.ThreadID(dummyThreadBase | d.Seq)
-	th := r.rt.Submit(tid, 0, func(th *core.Thread) {
+	th := r.rt.SubmitClassed(tid, 0, class, func(th *core.Thread) {
 		// The standard dummy profile: one lock acquisition on a reserved
 		// mutex, so PDS barriers complete.
 		th.Lock(ids.NoSync, DummyMutex)
@@ -749,6 +771,19 @@ func (r *Replica) NestedMetrics() NestedMetrics {
 		m.LatencyP99Ms = float64(qs[0]) / float64(time.Millisecond)
 	}
 	return m
+}
+
+// ClassMetrics snapshots the class-aware admission counters (conflict-
+// class early scheduling). ok is false when the replica does not run a
+// class-aware scheduler. The snapshot is taken under the runtime's
+// decision lock, so it is consistent with a quiescent instant.
+func (r *Replica) ClassMetrics() (stats core.ClassStats, ok bool) {
+	cs, isClass := r.sched.(core.ClassScheduler)
+	if !isClass {
+		return core.ClassStats{}, false
+	}
+	r.rt.External(func() { stats = cs.ClassStats() })
+	return stats, true
 }
 
 // isPerformer reports whether this replica performs external calls. For

@@ -39,6 +39,10 @@ type LoadOptions struct {
 	Seed uint64
 	// Workload must match the cluster's configuration.
 	Workload workload.Fig1Config
+	// Families switches the generated requests to the family-partitioned
+	// workload (must match the servers' Options.Families). Incompatible
+	// with Pipelined, which batches one method.
+	Families *workload.FamilyConfig
 	// ClientBase offsets the generated client ids: clients are
 	// ClientBase+1 .. ClientBase+Clients. Distinct load runs against the
 	// SAME cluster must use disjoint ranges — request identity (client id
@@ -162,6 +166,9 @@ func RunLoad(o LoadOptions) (*LoadResult, error) {
 	if o.Timeout <= 0 {
 		o.Timeout = 2 * time.Minute
 	}
+	if o.Families != nil && o.Pipelined {
+		return nil, fmt.Errorf("load: -pipelined batches a single method and cannot drive the family workload")
+	}
 	deadline := time.Now().Add(o.Timeout)
 
 	epoch := nextLoadEpoch(o.EpochDir, "load")
@@ -241,8 +248,11 @@ func RunLoad(o LoadOptions) (*LoadResult, error) {
 				return
 			}
 			for k := 0; k < o.RequestsPerClient; k++ {
-				args := workload.Fig1Args(o.Workload, rng)
-				_, lat, err := invokeWithRetry(cl, o, deadline, args)
+				method, args := workload.MethodName, workload.Fig1Args(o.Workload, rng)
+				if o.Families != nil {
+					method, args = workload.FamilyArgs(*o.Families, rng)
+				}
+				_, lat, err := invokeWithRetry(cl, o, deadline, method, args)
 				mu.Lock()
 				res.Requests++
 				if err != nil {
@@ -327,10 +337,10 @@ func RunLoad(o LoadOptions) (*LoadResult, error) {
 // smear errors over a load run that actually survived it. Backoff is
 // capped, and the run deadline bounds the whole loop.
 func invokeWithRetry(cl *replica.Client, o LoadOptions, deadline time.Time,
-	args []lang.Value) (lang.Value, time.Duration, error) {
+	method string, args []lang.Value) (lang.Value, time.Duration, error) {
 	backoff := 25 * time.Millisecond
 	for {
-		v, lat, err := cl.Invoke(workload.MethodName, args...)
+		v, lat, err := cl.Invoke(method, args...)
 		if err == nil || !errors.Is(err, gcs.ErrNoSequencer) || time.Now().After(deadline) {
 			return v, lat, err
 		}

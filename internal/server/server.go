@@ -21,6 +21,7 @@ import (
 
 	"detmt/internal/analysis"
 	"detmt/internal/backend"
+	"detmt/internal/earlysched"
 	"detmt/internal/gcs"
 	"detmt/internal/ids"
 	"detmt/internal/lang"
@@ -74,6 +75,18 @@ type Options struct {
 	PDSWindow       int
 	PDSRelaxed      bool
 	CheckpointEvery int
+
+	// Families switches the hosted object to the family-partitioned
+	// low-conflict workload (workload.FamiliesSource) instead of Fig. 1.
+	// All members and the load generator must agree on it.
+	Families *workload.FamilyConfig
+	// EarlySched enables conflict-class early scheduling: the sequencing
+	// process stamps every request's conflict class into the envelope
+	// (wire v5) and the replica admits distinct classes through
+	// concurrent scheduler lanes. Only MAT, MAT+LLA and PDS support it.
+	EarlySched bool
+	// Lanes is the classifier's lane count (0: 4).
+	Lanes int
 
 	// TraceRetention bounds the number of scheduler trace events kept in
 	// memory; older events are dropped (the decision/consistency hashes
@@ -178,8 +191,28 @@ type Status struct {
 	// retries, error/timeout/fast-fail counts, re-performs after a
 	// takeover, circuit-breaker state, and call latency.
 	Nested replica.NestedMetrics `json:"nested"`
+	// Classes reports the class-aware admission counters (nil unless the
+	// server runs with EarlySched).
+	Classes *ClassStatus `json:"classes,omitempty"`
 	// Diagnostic carries the divergence diff after a halt.
 	Diagnostic string `json:"diagnostic,omitempty"`
+}
+
+// ClassStatus is the early-scheduling slice of Status: how the
+// class-aware admission split the request stream across lanes.
+type ClassStatus struct {
+	// ActiveClasses counts the distinct conflict classes currently live.
+	ActiveClasses int `json:"active_classes"`
+	// Escalations counts requests stamped with the conservative global
+	// class (serialised against everything via the merge barrier).
+	Escalations uint64 `json:"escalations"`
+	// MergeStalls counts grants deferred by the merge barrier.
+	MergeStalls uint64 `json:"merge_stalls"`
+	// ParallelCommits/SerialCommits split completed requests by whether
+	// they ran in a non-global lane; ParallelRatio is their ratio.
+	ParallelCommits uint64  `json:"parallel_commits"`
+	SerialCommits   uint64  `json:"serial_commits"`
+	ParallelRatio   float64 `json:"parallel_commit_ratio"`
 }
 
 // Server is one running replica process.
@@ -212,6 +245,18 @@ func New(o Options) (*Server, error) {
 	if o.Workload.Iterations == 0 {
 		o.Workload = workload.DefaultFig1()
 	}
+	if o.EarlySched {
+		switch o.Scheduler {
+		case replica.KindMAT, replica.KindMATLLA, replica.KindPDS:
+		default:
+			return nil, fmt.Errorf("server: early scheduling needs MAT, MAT+LLA or PDS, not %s", o.Scheduler)
+		}
+	}
+	src := workload.Fig1Source(o.Workload)
+	if o.Families != nil {
+		src = workload.FamiliesSource(*o.Families)
+	}
+	res := analysis.MustAnalyze(lang.MustParse(src))
 	if o.NestedLatency == 0 {
 		o.NestedLatency = 12 * time.Millisecond
 	}
@@ -294,7 +339,7 @@ func New(o Options) (*Server, error) {
 	}
 	s.tr = tr
 
-	s.group = gcs.NewGroup(gcs.Config{
+	gcfg := gcs.Config{
 		Clock:        s.clock,
 		Members:      members,
 		Transport:    tr,
@@ -311,7 +356,30 @@ func New(o Options) (*Server, error) {
 			}
 			return envs
 		},
-	})
+	}
+	if o.EarlySched {
+		lanes := o.Lanes
+		if lanes <= 0 {
+			lanes = 4
+		}
+		// Classify is pure and built from the shared workload source, so
+		// whichever member sequences the current view stamps identical
+		// classes.
+		cls := earlysched.New(res, lanes)
+		gcfg.Classify = func(p gcs.Payload) uint32 {
+			switch x := p.(type) {
+			case replica.Request:
+				return cls.Classify(x.Method, x.Args)
+			case replica.Dummy:
+				return cls.DummyClass()
+			}
+			return 0
+		}
+		if o.Logf != nil {
+			o.Logf("earlysched: %s", cls.Describe())
+		}
+	}
+	s.group = gcs.NewGroup(gcfg)
 	if o.Backend != "" {
 		s.backend = backend.NewClient(backend.ClientOptions{
 			Addr: o.Backend,
@@ -323,10 +391,11 @@ func New(o Options) (*Server, error) {
 		ID:               o.ID,
 		Clock:            s.clock,
 		Group:            s.group,
-		Analysis:         analysis.MustAnalyze(lang.MustParse(workload.Fig1Source(o.Workload))),
+		Analysis:         res,
 		Kind:             o.Scheduler,
 		PDSWindow:        o.PDSWindow,
 		PDSRelaxed:       o.PDSRelaxed,
+		EarlySched:       o.EarlySched,
 		NestedLatency:    o.NestedLatency,
 		Backend:          s.backend, // nil keeps the in-process echo
 		NestedTimeout:    o.NestedTimeout,
@@ -339,9 +408,16 @@ func New(o Options) (*Server, error) {
 		CheckpointEvery:  o.CheckpointEvery,
 		CheckpointSink:   s.captureCheckpoint,
 	})
-	s.rep.Instance().SetField("state", int64(0))
-	if o.Workload.CatchNested {
-		s.rep.Instance().SetField("faults", int64(0))
+	if o.Families != nil {
+		for f := 0; f < o.Families.Families; f++ {
+			s.rep.Instance().SetField(fmt.Sprintf("state%d", f), int64(0))
+		}
+		s.rep.Instance().SetField("gstate", int64(0))
+	} else {
+		s.rep.Instance().SetField("state", int64(0))
+		if o.Workload.CatchNested {
+			s.rep.Instance().SetField("faults", int64(0))
+		}
 	}
 	retention := o.TraceRetention
 	if retention == 0 {
@@ -427,10 +503,37 @@ func (s *Server) Status() Status {
 	} else {
 		st.CheckpointAgeMs = -1
 	}
-	if v, ok := s.rep.Instance().GetField("state").(int64); ok {
+	if s.o.Families != nil {
+		for f := 0; f < s.o.Families.Families; f++ {
+			if v, ok := s.rep.Instance().GetField(fmt.Sprintf("state%d", f)).(int64); ok {
+				st.State += v
+			}
+		}
+		if v, ok := s.rep.Instance().GetField("gstate").(int64); ok {
+			st.State += v
+		}
+	} else if v, ok := s.rep.Instance().GetField("state").(int64); ok {
 		st.State = v
 	}
+	st.Classes = s.classStatus()
 	return st
+}
+
+// classStatus snapshots the class-aware admission counters (nil when
+// the scheduler is not class-aware).
+func (s *Server) classStatus() *ClassStatus {
+	cs, ok := s.rep.ClassMetrics()
+	if !ok {
+		return nil
+	}
+	return &ClassStatus{
+		ActiveClasses:   cs.ActiveClasses,
+		Escalations:     cs.Escalations,
+		MergeStalls:     cs.MergeStalls,
+		ParallelCommits: cs.ParallelCommits,
+		SerialCommits:   cs.SerialCommits,
+		ParallelRatio:   cs.ParallelRatio(),
+	}
 }
 
 // hashRing is the "hashes" control reply: the replica's divergence-point
@@ -476,9 +579,17 @@ func (s *Server) handleControl(req []byte) []byte {
 // Checkpoints exposes the recovery manager (tests, bench harness).
 func (s *Server) Checkpoints() *recovery.Manager { return s.mgr }
 
-// Close shuts the group, transport, and backend link down.
+// Close shuts the group, transport, and backend link down. A server
+// running class-aware admission logs its lane counters on the way out,
+// so a shutdown transcript records how much of the stream ran parallel.
 func (s *Server) Close() error {
 	s.stopOnce.Do(func() { close(s.stop) })
+	if s.o.Logf != nil {
+		if cs := s.classStatus(); cs != nil {
+			s.o.Logf("earlysched: shutdown: active_classes=%d escalations=%d merge_stalls=%d parallel=%d serial=%d parallel_ratio=%.2f",
+				cs.ActiveClasses, cs.Escalations, cs.MergeStalls, cs.ParallelCommits, cs.SerialCommits, cs.ParallelRatio)
+		}
+	}
 	err := s.group.Close()
 	if s.backend != nil {
 		s.backend.Close()

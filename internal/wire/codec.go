@@ -27,7 +27,7 @@ import (
 // the golden-bytes test in codec_test.go pins the current format.
 const (
 	Magic   = "DTMT"
-	Version = uint16(4) // v4: NestedReply became NestedOutcome (status + error string); lang.ErrValue value tag
+	Version = uint16(5) // v5: envelopes carry the sequencer-stamped conflict class (earlysched)
 )
 
 // Frame kinds.
@@ -394,6 +394,7 @@ func AppendEnvelope(b []byte, env gcs.Envelope) ([]byte, error) {
 	b = appendOrigin(b, env.From)
 	b = appendOrigin(b, env.To)
 	b = appendI64(b, int64(env.Stamp))
+	b = appendU32(b, env.Class)
 	return appendPayload(b, env.Payload)
 }
 
@@ -409,6 +410,7 @@ func (r *reader) envelope() gcs.Envelope {
 		To:     r.origin(),
 		Stamp:  time.Duration(r.i64()),
 	}
+	env.Class = r.u32()
 	env.Payload = r.payload()
 	return env
 }

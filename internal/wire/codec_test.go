@@ -96,6 +96,7 @@ func randEnvelope(rng *rand.Rand) gcs.Envelope {
 		From:    randOrigin(rng),
 		To:      randOrigin(rng),
 		Stamp:   time.Duration(rng.Int63n(int64(time.Hour))),
+		Class:   rng.Uint32(),
 		Payload: randPayload(rng),
 	}
 }
@@ -218,9 +219,8 @@ func TestGoldenBytes(t *testing.T) {
 	if err := writePreamble(&pre); err != nil {
 		t.Fatal(err)
 	}
-	// v4: NestedReply became NestedOutcome (status byte + error string)
-	// and values gained the ErrValue tag.
-	if got, want := hex.EncodeToString(pre.Bytes()), "44544d540004"; got != want {
+	// v5: envelopes carry the sequencer-stamped conflict class.
+	if got, want := hex.EncodeToString(pre.Bytes()), "44544d540005"; got != want {
 		t.Errorf("preamble drifted:\n  got  %s\n  want %s", got, want)
 	}
 
@@ -233,6 +233,7 @@ func TestGoldenBytes(t *testing.T) {
 		From:   gcs.Origin{Replica: 1},
 		To:     gcs.Origin{Replica: 3},
 		Stamp:  250 * time.Millisecond,
+		Class:  3,
 		Payload: replica.Request{
 			Req:    ids.MakeRequestID(2, 5),
 			Method: "fig1",
@@ -243,7 +244,7 @@ func TestGoldenBytes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	const want = "01000000000000000700000000000000090102030405060708010000000000000000000000000000000200000000000000000100000000000000000000000000000000030000000000000000000000000ee6b28001000000020000000500000004666967310000000401000000000000000402000000000000000103000000000000000100"
+	const want = "01000000000000000700000000000000090102030405060708010000000000000000000000000000000200000000000000000100000000000000000000000000000000030000000000000000000000000ee6b2800000000301000000020000000500000004666967310000000401000000000000000402000000000000000103000000000000000100"
 	if got := hex.EncodeToString(b); got != want {
 		t.Errorf("envelope encoding drifted:\n  got  %s\n  want %s", got, want)
 	}

@@ -1,0 +1,179 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"detmt/internal/ids"
+	"detmt/internal/lang"
+)
+
+// FamilyConfig parameterises the low-conflict variant of the Fig. 1
+// benchmark: the mutex set is split into disjoint *families*, each with
+// its own start method and its own state field, so static lock prediction
+// can prove requests of different families independent (package
+// earlysched assigns them distinct conflict classes). Two dials shape the
+// contention:
+//
+//   - PGlobal is the conflict rate: the probability that a request calls
+//     the cross-family method, whose lock index ranges over the whole
+//     array — unclassifiable, hence the conservative global class.
+//   - HotSkew is the hot-key skew: the probability that a family request
+//     targets family 0 instead of a uniformly drawn family, concentrating
+//     load on one scheduler lane.
+type FamilyConfig struct {
+	Families   int           // number of disjoint lock families (≥1)
+	PerFamily  int           // monitors per family (≥1)
+	Iterations int           // loop iterations per request
+	PNested    float64       // probability of a nested invocation per iteration
+	PCompute   float64       // probability of a local computation per iteration
+	ComputeDur time.Duration // local computation duration
+	PGlobal    float64       // conflict dial: cross-family request probability
+	HotSkew    float64       // hot-key dial: extra weight on family 0
+}
+
+// DefaultFamilies returns a 4-family split of the paper's Fig. 1 setup
+// with no nested invocations (the no-suspension shape whose class-
+// parallel execution is provably hash-identical to serial admission).
+func DefaultFamilies() FamilyConfig {
+	return FamilyConfig{
+		Families:   4,
+		PerFamily:  25,
+		Iterations: 10,
+		PCompute:   0.5,
+		ComputeDur: 1500 * time.Microsecond,
+	}
+}
+
+// Mutexes is the total monitor count.
+func (cfg FamilyConfig) Mutexes() int { return cfg.Families * cfg.PerFamily }
+
+// FamilyMethod names the start method of one family.
+func FamilyMethod(f int) string { return fmt.Sprintf("work%d", f) }
+
+// GlobalMethod is the cross-family start method (the conflict dial).
+const GlobalMethod = "workAll"
+
+// FamiliesSource generates the benchmark object: one method per family
+// locking only its family's slice of the array, plus the global method
+// locking anywhere.
+//
+// The family index expression is the double-mod idiom
+// "((d % P) + P) % P + BASE": the first mod confines the value, the +P/%P
+// pair pins the interval analysis to [0,P) even though d itself is
+// unbounded, and BASE shifts it into the family's slice — so the
+// predicted footprints of different families provably never overlap. The
+// global method's plain "d % M" spans the whole array, which is exactly
+// what escalates it to the global class.
+func FamiliesSource(cfg FamilyConfig) string {
+	if cfg.Families < 1 || cfg.PerFamily < 1 || cfg.Iterations < 1 {
+		panic("workload: FamilyConfig needs Families, PerFamily, Iterations >= 1")
+	}
+	p := cfg.PerFamily
+	total := cfg.Mutexes()
+	us := int64(cfg.ComputeDur / time.Microsecond)
+
+	params := make([]string, cfg.Iterations)
+	for i := range params {
+		params[i] = fmt.Sprintf("d%d", i)
+	}
+	plist := strings.Join(params, ", ")
+
+	var b strings.Builder
+	b.WriteString("object Families {\n")
+	fmt.Fprintf(&b, "    monitor cells[%d];\n", total)
+	for f := 0; f < cfg.Families; f++ {
+		fmt.Fprintf(&b, "    field state%d;\n", f)
+	}
+	b.WriteString("    field gstate;\n\n")
+
+	iteration := func(d string, mod int, baseOff int, stateField string) {
+		fmt.Fprintf(&b, "        if (%s / %d %% 2 == 1) {\n", d, mod)
+		fmt.Fprintf(&b, "            nested(%s);\n", d)
+		b.WriteString("        }\n")
+		fmt.Fprintf(&b, "        if (%s / %d %% 2 == 1) {\n", d, 2*mod)
+		fmt.Fprintf(&b, "            compute(%dus);\n", us)
+		b.WriteString("        }\n")
+		if baseOff > 0 {
+			fmt.Fprintf(&b, "        sync (cells[((%s %% %d) + %d) %% %d + %d]) {\n", d, mod, mod, mod, baseOff)
+		} else {
+			fmt.Fprintf(&b, "        sync (cells[((%s %% %d) + %d) %% %d]) {\n", d, mod, mod, mod)
+		}
+		fmt.Fprintf(&b, "            %s = %s + 1;\n", stateField, stateField)
+		b.WriteString("        }\n")
+	}
+
+	for f := 0; f < cfg.Families; f++ {
+		fmt.Fprintf(&b, "    method %s(%s) {\n", FamilyMethod(f), plist)
+		for i := 0; i < cfg.Iterations; i++ {
+			iteration(params[i], p, f*p, fmt.Sprintf("state%d", f))
+		}
+		b.WriteString("    }\n\n")
+	}
+
+	// The cross-family method: the same per-iteration structure, but the
+	// lock index spans the whole array and the state field is shared.
+	fmt.Fprintf(&b, "    method %s(%s) {\n", GlobalMethod, plist)
+	for i := 0; i < cfg.Iterations; i++ {
+		d := params[i]
+		fmt.Fprintf(&b, "        if (%s / %d %% 2 == 1) {\n", d, total)
+		fmt.Fprintf(&b, "            nested(%s);\n", d)
+		b.WriteString("        }\n")
+		fmt.Fprintf(&b, "        if (%s / %d %% 2 == 1) {\n", d, 2*total)
+		fmt.Fprintf(&b, "            compute(%dus);\n", us)
+		b.WriteString("        }\n")
+		fmt.Fprintf(&b, "        sync (cells[%s %% %d]) {\n", d, total)
+		b.WriteString("            gstate = gstate + 1;\n")
+		b.WriteString("        }\n")
+	}
+	b.WriteString("    }\n\n")
+
+	// Reference reader (family 0's slice, like fig1's readState).
+	b.WriteString("    method readTotal() {\n")
+	b.WriteString("        var v = 0;\n")
+	b.WriteString("        sync (cells[0]) {\n")
+	b.WriteString("            v = gstate;\n")
+	b.WriteString("        }\n")
+	b.WriteString("        return v;\n")
+	b.WriteString("    }\n")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// FamilyArgs draws one request: the method (global with probability
+// PGlobal, else a family — family 0 with probability HotSkew, else
+// uniform) and its per-iteration decision parameters.
+func FamilyArgs(cfg FamilyConfig, rng *ids.RNG) (string, []lang.Value) {
+	if rng.Bool(cfg.PGlobal) {
+		total := cfg.Mutexes()
+		args := make([]lang.Value, cfg.Iterations)
+		for i := range args {
+			d := int64(rng.Intn(total))
+			if rng.Bool(cfg.PNested) {
+				d += int64(total)
+			}
+			if rng.Bool(cfg.PCompute) {
+				d += int64(2 * total)
+			}
+			args[i] = d
+		}
+		return GlobalMethod, args
+	}
+	f := 0
+	if !rng.Bool(cfg.HotSkew) {
+		f = rng.Intn(cfg.Families)
+	}
+	args := make([]lang.Value, cfg.Iterations)
+	for i := range args {
+		d := int64(rng.Intn(cfg.PerFamily))
+		if rng.Bool(cfg.PNested) {
+			d += int64(cfg.PerFamily)
+		}
+		if rng.Bool(cfg.PCompute) {
+			d += int64(2 * cfg.PerFamily)
+		}
+		args[i] = d
+	}
+	return FamilyMethod(f), args
+}

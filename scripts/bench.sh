@@ -2,6 +2,7 @@
 # Hot-path benchmark driver.
 #
 #   scripts/bench.sh [out.json]        run the hotpath experiment, write JSON
+#   scripts/bench.sh -earlysched [out] run the earlysched experiment instead
 #   scripts/bench.sh -micro            also run the Benchmark* microbenchmarks
 #   scripts/bench.sh -compare A B      diff the Metrics of two JSON outputs
 #
@@ -15,6 +16,13 @@ cd "$(dirname "$0")/.."
 if [ "${1:-}" = "-compare" ]; then
     [ $# -eq 3 ] || { echo "usage: scripts/bench.sh -compare before.json after.json" >&2; exit 2; }
     exec go run ./cmd/detmt-benchdiff "$2" "$3"
+fi
+
+if [ "${1:-}" = "-earlysched" ]; then
+    out="${2:-BENCH_EARLYSCHED.json}"
+    go run ./cmd/detmt-bench -experiment earlysched -json > "$out"
+    echo "wrote $out" >&2
+    exit 0
 fi
 
 if [ "${1:-}" = "-micro" ]; then

@@ -21,4 +21,7 @@ else
 fi
 # -shuffle=on randomises test order to flush hidden inter-test state
 # (go prints the seed on failure for reproduction with -shuffle=SEED).
+# The full (non-short) gate includes the class-parallel chaos soaks:
+# harness TestEarlySchedChaosSoak and the real-socket
+# TestClusterEarlySchedChaos in internal/server.
 go test -race -shuffle=on $short ./...
