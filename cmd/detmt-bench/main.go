@@ -17,16 +17,21 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"detmt/internal/harness"
 )
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: fig1, fig1tput, fig2, fig3, fig4, table1, wan, overhead, pds, replay, determinism, advisor, scaling, scenarios, hotpath, earlysched, recovery (real sockets, not in 'all'), or all")
+		"which experiment to run: fig1, fig1tput, fig2, fig3, fig4, table1, wan, overhead, pds, replay, determinism, advisor, scaling, scenarios, hotpath, earlysched, recovery, openloop, ceiling (real sockets, not in 'all'), or all")
 	clients := flag.String("clients", "1,2,4,8,16,32,48", "client counts for the fig1 sweep")
 	requests := flag.Int("requests", 4, "requests per client")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	duration := flag.Duration("duration", 0,
+		"openloop/ceiling: measured window per run (0: experiment default 1.5s)")
+	warmup := flag.Duration("warmup", 0,
+		"openloop/ceiling: warmup before each measured window (0: experiment default 300ms)")
 	jsonOut := flag.Bool("json", false, "emit results as a JSON array instead of text")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -72,47 +77,12 @@ func main() {
 		opts.Clients = cs
 	}
 
+	// Comma-separated experiment lists run in order and concatenate
+	// their results into one array (e.g. -experiment openloop,ceiling
+	// for the committed throughput snapshot).
 	var results []harness.Result
-	switch *experiment {
-	case "fig1":
-		results = []harness.Result{harness.Fig1(opts)}
-	case "fig1tput":
-		results = []harness.Result{harness.Fig1Throughput(opts)}
-	case "fig2":
-		results = []harness.Result{harness.Fig2()}
-	case "fig3":
-		results = []harness.Result{harness.Fig3()}
-	case "fig4":
-		results = []harness.Result{harness.Fig4()}
-	case "table1":
-		results = []harness.Result{harness.Comparison()}
-	case "wan":
-		results = []harness.Result{harness.WanSweep()}
-	case "overhead":
-		results = []harness.Result{harness.PredictionOverhead()}
-	case "pds":
-		results = []harness.Result{harness.PDSDummies()}
-	case "replay":
-		results = []harness.Result{harness.Replay()}
-	case "determinism":
-		results = []harness.Result{harness.Determinism()}
-	case "advisor":
-		results = []harness.Result{harness.Advisor()}
-	case "scaling":
-		results = []harness.Result{harness.ReplicaScaling()}
-	case "scenarios":
-		results = []harness.Result{harness.Scenarios()}
-	case "hotpath":
-		results = []harness.Result{harness.HotPath()}
-	case "earlysched":
-		results = []harness.Result{harness.EarlySched(harness.DefaultEarlySchedOptions())}
-	case "recovery":
-		results = []harness.Result{harness.Recovery()}
-	case "all":
-		results = harness.All()
-	default:
-		fmt.Fprintf(os.Stderr, "detmt-bench: unknown experiment %q\n", *experiment)
-		os.Exit(2)
+	for _, name := range strings.Split(*experiment, ",") {
+		results = append(results, runExperiment(strings.TrimSpace(name), opts, *duration, *warmup)...)
 	}
 
 	if *jsonOut {
@@ -126,6 +96,59 @@ func main() {
 	}
 	for _, r := range results {
 		fmt.Printf("==== %s: %s ====\n\n%s\n", r.ID, r.Title, r.Text)
+	}
+}
+
+func runExperiment(name string, opts harness.Fig1Options, duration, warmup time.Duration) []harness.Result {
+	switch name {
+	case "fig1":
+		return []harness.Result{harness.Fig1(opts)}
+	case "fig1tput":
+		return []harness.Result{harness.Fig1Throughput(opts)}
+	case "fig2":
+		return []harness.Result{harness.Fig2()}
+	case "fig3":
+		return []harness.Result{harness.Fig3()}
+	case "fig4":
+		return []harness.Result{harness.Fig4()}
+	case "table1":
+		return []harness.Result{harness.Comparison()}
+	case "wan":
+		return []harness.Result{harness.WanSweep()}
+	case "overhead":
+		return []harness.Result{harness.PredictionOverhead()}
+	case "pds":
+		return []harness.Result{harness.PDSDummies()}
+	case "replay":
+		return []harness.Result{harness.Replay()}
+	case "determinism":
+		return []harness.Result{harness.Determinism()}
+	case "advisor":
+		return []harness.Result{harness.Advisor()}
+	case "scaling":
+		return []harness.Result{harness.ReplicaScaling()}
+	case "scenarios":
+		return []harness.Result{harness.Scenarios()}
+	case "hotpath":
+		return []harness.Result{harness.HotPath()}
+	case "earlysched":
+		return []harness.Result{harness.EarlySched(harness.DefaultEarlySchedOptions())}
+	case "recovery":
+		return []harness.Result{harness.Recovery()}
+	case "openloop":
+		oo := harness.DefaultOpenLoopOptions()
+		oo.Duration, oo.Warmup = duration, warmup
+		return []harness.Result{harness.OpenLoop(oo)}
+	case "ceiling":
+		oo := harness.DefaultOpenLoopOptions()
+		oo.Duration, oo.Warmup = duration, warmup
+		return []harness.Result{harness.Ceiling(oo)}
+	case "all":
+		return harness.All()
+	default:
+		fmt.Fprintf(os.Stderr, "detmt-bench: unknown experiment %q\n", name)
+		os.Exit(2)
+		return nil
 	}
 }
 

@@ -4,14 +4,23 @@
 // after value and the relative change. Lower is better for every
 // hot-path metric, so negative deltas are improvements.
 //
+// With -gate it acts as a regression gate instead: the named metric —
+// higher is better, e.g. the sequencer throughput ceiling — must not
+// drop more than -max-drop percent from the baseline (first file) to
+// the current run (second file), or the process exits non-zero. A key
+// missing from either file also fails: a gate that silently passes
+// because the metric vanished is no gate.
+//
 // Usage:
 //
 //	detmt-benchdiff before.json after.json
+//	detmt-benchdiff -gate ceiling/ceiling_rps -max-drop 10 BENCH_PR7.json current.json
 //	scripts/bench.sh -compare before.json after.json
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"sort"
@@ -24,19 +33,26 @@ type result struct {
 }
 
 func main() {
-	if len(os.Args) != 3 {
-		fmt.Fprintln(os.Stderr, "usage: detmt-benchdiff before.json after.json")
+	gate := flag.String("gate", "", "gate mode: '<id>/<metric>' that must not regress (higher is better)")
+	maxDrop := flag.Float64("max-drop", 10, "gate mode: maximum tolerated drop in percent")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: detmt-benchdiff [-gate id/metric -max-drop pct] before.json after.json")
 		os.Exit(2)
 	}
-	before, err := load(os.Args[1])
+	before, err := load(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "detmt-benchdiff: %v\n", err)
 		os.Exit(1)
 	}
-	after, err := load(os.Args[2])
+	after, err := load(flag.Arg(1))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "detmt-benchdiff: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *gate != "" {
+		os.Exit(runGate(before, after, *gate, *maxDrop))
 	}
 
 	keys := make([]string, 0, len(before)+len(after))
@@ -68,6 +84,30 @@ func main() {
 			fmt.Printf("%-48s %14s %14.1f %9s\n", k, "-", a, "new")
 		}
 	}
+}
+
+// runGate checks one higher-is-better metric against the tolerated drop
+// and returns the process exit code.
+func runGate(before, after map[string]float64, key string, maxDrop float64) int {
+	b, okB := before[key]
+	a, okA := after[key]
+	if !okB || !okA {
+		fmt.Fprintf(os.Stderr, "detmt-benchdiff: gate %s: metric missing (baseline: %v, current: %v)\n", key, okB, okA)
+		return 1
+	}
+	if b <= 0 {
+		fmt.Fprintf(os.Stderr, "detmt-benchdiff: gate %s: non-positive baseline %.1f\n", key, b)
+		return 1
+	}
+	drop := (b - a) / b * 100
+	if drop > maxDrop {
+		fmt.Fprintf(os.Stderr, "detmt-benchdiff: gate %s REGRESSED: baseline %.1f -> current %.1f (%.1f%% drop > %.1f%% tolerated)\n",
+			key, b, a, drop, maxDrop)
+		return 1
+	}
+	fmt.Printf("gate %s OK: baseline %.1f -> current %.1f (%+.1f%%, tolerance %.1f%%)\n",
+		key, b, a, (a-b)/b*100, maxDrop)
+	return 0
 }
 
 // load flattens one JSON result array into "<id>/<metric>" -> value.

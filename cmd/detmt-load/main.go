@@ -35,6 +35,14 @@ func main() {
 	seed := flag.Uint64("seed", 1, "client-side decision seed")
 	pipelined := flag.Bool("pipelined", false, "submit each client's requests as one atomic batch")
 	timeout := flag.Duration("timeout", 2*time.Minute, "overall run timeout")
+	rate := flag.Float64("rate", 0,
+		"open-loop mode: offered arrival rate in req/s decoupled from responses (0: closed loop); -clients sizes the submit pool")
+	duration := flag.Duration("duration", 5*time.Second, "open loop: measured window")
+	warmup := flag.Duration("warmup", time.Second, "open loop: warmup before the measured window (completions discarded)")
+	poisson := flag.Bool("poisson", false, "open loop: Poisson (exponential) inter-arrival times instead of fixed")
+	slo := flag.Duration("slo", 0, "open loop: p99 intent-latency budget for the SLO verdict (0: none)")
+	batchSubmit := flag.Bool("batch-submit", false, "open loop: coalesce due arrivals into one atomic wire frame per pump wakeup")
+	maxInFlight := flag.Int("max-inflight", 0, "open loop: outstanding-request cap; arrivals beyond it are shed (0: 4096)")
 	iterations := flag.Int("iterations", 10, "Fig. 1 loop iterations per request (must match the servers)")
 	mutexes := flag.Int("mutexes", 100, "Fig. 1 mutex set size (must match the servers)")
 	families := flag.Int("families", 0,
@@ -109,6 +117,27 @@ func main() {
 			Addrs:        addrs,
 		}, stop)
 	}
+	if *rate > 0 {
+		runOpenLoop(server.OpenLoadOptions{
+			Servers:     serverMap,
+			Rate:        *rate,
+			Duration:    *duration,
+			Warmup:      *warmup,
+			Poisson:     *poisson,
+			Clients:     *clients,
+			MaxInFlight: *maxInFlight,
+			BatchSubmit: *batchSubmit,
+			SLO:         *slo,
+			Seed:        *seed,
+			Workload:    wl,
+			Families:    fam,
+			ClientBase:  *clientBase,
+			Dial:        opts.Dial,
+			Logf:        logf,
+		}, *jsonOut, inj)
+		return
+	}
+
 	res, err := server.RunLoad(opts)
 	if inj != nil {
 		sev, blocked := inj.Stats()
@@ -124,6 +153,8 @@ func main() {
 		out := struct {
 			Requests  int             `json:"requests"`
 			Errors    int             `json:"errors"`
+			Retries   int             `json:"retries"`
+			Timeouts  int             `json:"timeouts"`
 			ElapsedMs float64         `json:"elapsed_ms"`
 			MeanMs    float64         `json:"latency_mean_ms"`
 			P50Ms     float64         `json:"latency_p50_ms"`
@@ -135,6 +166,8 @@ func main() {
 		}{
 			Requests:  res.Requests,
 			Errors:    res.Errors,
+			Retries:   res.Retries,
+			Timeouts:  res.Timeouts,
 			ElapsedMs: ms(res.Elapsed),
 			MeanMs:    ms(res.Latency.Mean()),
 			P50Ms:     ms(qs[0]),
@@ -152,6 +185,7 @@ func main() {
 		}
 	} else {
 		fmt.Printf("requests  %d (%d errors) in %s wall\n", res.Requests, res.Errors, res.Elapsed.Round(time.Millisecond))
+		fmt.Printf("errors    no-sequencer retries %d, timeouts %d\n", res.Retries, res.Timeouts)
 		fmt.Printf("latency   mean %s ms  p50 %s ms  p95 %s ms  max %s ms\n",
 			metrics.Ms(res.Latency.Mean()), metrics.Ms(qs[0]),
 			metrics.Ms(qs[1]), metrics.Ms(res.Latency.Max()))
@@ -159,6 +193,97 @@ func main() {
 			fmt.Printf("replica %v  scheduler=%s completed=%d state=%d hash=%016x\n",
 				st.ID, st.Scheduler, st.Completed, st.State, st.Hash)
 		}
+	}
+	if !res.Converged {
+		fmt.Fprintln(os.Stderr, "detmt-load: DIVERGED — replica consistency hashes differ")
+		os.Exit(1)
+	}
+}
+
+// runOpenLoop drives the open-loop mode and prints its summary. Fatal
+// conditions (divergence, run error) exit non-zero; a missed SLO alone
+// does not — the ceiling search treads over the SLO on purpose.
+func runOpenLoop(o server.OpenLoadOptions, jsonOut bool, inj *chaos.Injector) {
+	res, err := server.RunOpenLoad(o)
+	if inj != nil {
+		sev, blocked := inj.Stats()
+		log.Printf("detmt-load: chaos totals: severed=%d dials-blocked=%d", sev, blocked)
+	}
+	if res == nil {
+		fmt.Fprintf(os.Stderr, "detmt-load: %v\n", err)
+		os.Exit(1)
+	}
+	iq := res.Intent.Quantiles(50, 99, 99.9)
+	sq := res.Service.Quantiles(50, 99)
+	if jsonOut {
+		out := struct {
+			OfferedRPS  float64         `json:"offered_rps"`
+			AchievedRPS float64         `json:"achieved_rps"`
+			Sent        int             `json:"sent"`
+			Measured    int             `json:"measured"`
+			Shed        int             `json:"shed"`
+			Timeouts    int             `json:"timeouts"`
+			NoSeqErr    int             `json:"no_sequencer_errors"`
+			Errors      int             `json:"errors"`
+			IntentP50Ms float64         `json:"intent_p50_ms"`
+			IntentP99Ms float64         `json:"intent_p99_ms"`
+			IntentP999  float64         `json:"intent_p999_ms"`
+			IntentMaxMs float64         `json:"intent_max_ms"`
+			SvcP50Ms    float64         `json:"service_p50_ms"`
+			SvcP99Ms    float64         `json:"service_p99_ms"`
+			SLOMet      bool            `json:"slo_met"`
+			Converged   bool            `json:"converged"`
+			Hashes      []uint64        `json:"hashes"`
+			Statuses    []server.Status `json:"statuses"`
+		}{
+			OfferedRPS:  res.Offered,
+			AchievedRPS: res.Achieved,
+			Sent:        res.Sent,
+			Measured:    res.Measured,
+			Shed:        res.Shed,
+			Timeouts:    res.Timeouts,
+			NoSeqErr:    res.NoSeqErr,
+			Errors:      res.Errors,
+			IntentP50Ms: ms(iq[0]),
+			IntentP99Ms: ms(iq[1]),
+			IntentP999:  ms(iq[2]),
+			IntentMaxMs: ms(res.Intent.Max()),
+			SvcP50Ms:    ms(sq[0]),
+			SvcP99Ms:    ms(sq[1]),
+			SLOMet:      res.SLOMet,
+			Converged:   res.Converged,
+			Hashes:      res.Hashes,
+			Statuses:    res.Statuses,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "detmt-load: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Printf("offered   %.0f req/s  achieved %.0f req/s  (%d sent, %d measured)\n",
+			res.Offered, res.Achieved, res.Sent, res.Measured)
+		fmt.Printf("errors    shed %d, timeouts %d, no-sequencer %d, other %d\n",
+			res.Shed, res.Timeouts, res.NoSeqErr, res.Errors)
+		fmt.Printf("intent    p50 %s ms  p99 %s ms  p99.9 %s ms  max %s ms  (coordinated-omission corrected)\n",
+			metrics.Ms(iq[0]), metrics.Ms(iq[1]), metrics.Ms(iq[2]), metrics.Ms(res.Intent.Max()))
+		fmt.Printf("service   p50 %s ms  p99 %s ms\n", metrics.Ms(sq[0]), metrics.Ms(sq[1]))
+		if o.SLO > 0 {
+			verdict := "MET"
+			if !res.SLOMet {
+				verdict = "MISSED"
+			}
+			fmt.Printf("slo       p99 budget %v: %s\n", o.SLO, verdict)
+		}
+		for _, st := range res.Statuses {
+			fmt.Printf("replica %v  scheduler=%s completed=%d state=%d hash=%016x\n",
+				st.ID, st.Scheduler, st.Completed, st.State, st.Hash)
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "detmt-load: %v\n", err)
+		os.Exit(1)
 	}
 	if !res.Converged {
 		fmt.Fprintln(os.Stderr, "detmt-load: DIVERGED — replica consistency hashes differ")

@@ -50,6 +50,15 @@ func main() {
 	catchNested := flag.Bool("catch-nested", false, "workload catches failed nested calls (iserr) instead of aborting the request")
 	tick := flag.Duration("tick", 2*time.Millisecond, "sequencing tick interval (virtual = wall)")
 	budget := flag.Duration("budget", 5*time.Millisecond, "delivery-deadline budget per sequenced message")
+	adaptiveTick := flag.Bool("adaptive-tick", false,
+		"load-responsive tick sizing: drain early when the forward queue crosses -batch-threshold, stretch toward -max-tick when idle")
+	minTick := flag.Duration("min-tick", 0, "adaptive tick floor (0: tick/4)")
+	maxTick := flag.Duration("max-tick", 0, "adaptive idle-tick ceiling (0: 4*tick)")
+	batchThreshold := flag.Int("batch-threshold", 0, "queued forwards that trigger an early adaptive drain (0: 64)")
+	noGroupCommit := flag.Bool("no-group-commit", false,
+		"disable group commit: one wire frame per sequenced envelope instead of one per tick (measurement baseline)")
+	pipelineDepth := flag.Int("pipeline-depth", 0,
+		"per-sender decode pipeline depth decoupling frame decode from apply (0: default 512, negative: inline decode)")
 	pdsWindow := flag.Int("pds-window", 4, "PDS pool size")
 	pdsRelaxed := flag.Bool("pds-relaxed", false, "relax the PDS full-pool barrier")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "broadcast a state checkpoint every N requests (0: never)")
@@ -136,6 +145,12 @@ func main() {
 		BreakerCooldown:  *breakerCooldown,
 		Tick:             *tick,
 		Budget:           *budget,
+		AdaptiveTick:     *adaptiveTick,
+		MinTick:          *minTick,
+		MaxTick:          *maxTick,
+		BatchThreshold:   *batchThreshold,
+		NoGroupCommit:    *noGroupCommit,
+		PipelineDepth:    *pipelineDepth,
 		PDSWindow:        *pdsWindow,
 		PDSRelaxed:       *pdsRelaxed,
 		CheckpointEvery:  *checkpointEvery,

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"detmt/internal/ids"
@@ -99,6 +100,38 @@ type Config struct {
 	// before NewGroup is called.
 	Tick   time.Duration
 	Budget time.Duration
+
+	// AdaptiveTick replaces the fixed Tick drain with a load-responsive
+	// policy: the sequencer drains immediately when the forward queue
+	// reaches BatchThreshold (bounding queueing delay under burst load),
+	// shrinks the tick to MinTick while saturated (amortising stamping
+	// over large batches), and stretches it toward MaxTick when idle
+	// (fewer empty heartbeat multicasts; the first arrival into an empty
+	// queue wakes a stretched tick immediately, so idle stretching never
+	// taxes latency). Stamps stay monotone and only
+	// the sequencer runs the policy — followers obey the stamps — so the
+	// schedule every replica executes is unchanged for a given arrival
+	// order; what changes is how arrivals map to ticks, which is already
+	// timing-dependent under the fixed tick. Off by default: fixed ticks
+	// keep stamp instants at exact Tick multiples, which some
+	// reproducibility harnesses rely on.
+	AdaptiveTick bool
+	// MinTick is the smallest adaptive tick (default Tick/4, floored at
+	// 100µs). MaxTick is the largest (default 4*Tick, capped at
+	// DetectTimeout/4 so horizon heartbeats keep the failure detector
+	// quiet). BatchThreshold is the queue depth that triggers an
+	// immediate drain (default 64).
+	MinTick        time.Duration
+	MaxTick        time.Duration
+	BatchThreshold int
+
+	// NoGroupCommit disables coalescing a tick's sequenced multicasts
+	// (and the trailing horizon) into one multi-envelope frame per
+	// member, reverting to one frame per envelope. Group commit is
+	// order- and stamp-transparent — a tick's envelopes already share
+	// one stamp and deliver in slot order — so this exists only for
+	// before/after measurement and debugging.
+	NoGroupCommit bool
 
 	// FetchGap, when set (stamped mode), fetches up to max sequenced
 	// slots starting at from that this process missed, from the donor
@@ -204,8 +237,11 @@ type Group struct {
 	trafficMu      sync.Mutex
 	lastSeqTraffic time.Time
 
-	fwdMu sync.Mutex
-	fwdQ  []Envelope // forwards awaiting the next sequencing tick
+	fwdMu      sync.Mutex
+	fwdQ       []Envelope    // forwards awaiting the next sequencing tick
+	tickParker vclock.Parker // wakes runTicks early (adaptive mode); set once by runTicks
+	tickKick   atomic.Bool   // an early wake is pending (dedupes Unpark calls per tick)
+	tickCur    atomic.Int64  // current adaptive park duration (ns); runTicks writes, forwards read
 
 	recMu      sync.Mutex
 	recovering bool
@@ -230,6 +266,29 @@ func NewGroup(cfg Config) *Group {
 	}
 	if cfg.Budget <= 0 {
 		cfg.Budget = 5 * time.Millisecond
+	}
+	if cfg.BatchThreshold <= 0 {
+		cfg.BatchThreshold = 64
+	}
+	if cfg.AdaptiveTick {
+		if cfg.MinTick <= 0 {
+			cfg.MinTick = cfg.Tick / 4
+		}
+		if cfg.MinTick < 100*time.Microsecond {
+			cfg.MinTick = 100 * time.Microsecond
+		}
+		if cfg.MinTick > cfg.Tick {
+			cfg.MinTick = cfg.Tick
+		}
+		if cfg.MaxTick <= 0 {
+			cfg.MaxTick = 4 * cfg.Tick
+		}
+		if cfg.MaxTick > cfg.DetectTimeout/4 {
+			cfg.MaxTick = cfg.DetectTimeout / 4
+		}
+		if cfg.MaxTick < cfg.Tick {
+			cfg.MaxTick = cfg.Tick
+		}
 	}
 	members := append([]ids.ReplicaID(nil), cfg.Members...)
 	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
@@ -1032,8 +1091,33 @@ func (g *Group) inject(enqueue func(Envelope), envs ...Envelope) {
 	if len(fwds) > 0 {
 		g.fwdMu.Lock()
 		g.fwdQ = append(g.fwdQ, fwds...)
+		qlen := len(g.fwdQ)
+		parker := g.tickParker
 		g.fwdMu.Unlock()
+		// Adaptive mode: a queue that crossed the batch threshold drains
+		// now instead of waiting out the tick, and an arrival into an
+		// EMPTY queue while the tick is idle-stretched past the base Tick
+		// drains immediately too — otherwise a lone low-rate request
+		// would sit out a stretched park and adaptive would be slower
+		// than the fixed tick exactly where it should be faster. The CAS
+		// dedupes wakeups (one per tick; runTicks re-arms it), and the
+		// hosting check runs only on a crossing so the per-forward hot
+		// path stays a queue append.
+		kick := qlen >= g.cfg.BatchThreshold ||
+			(qlen == len(fwds) && time.Duration(g.tickCur.Load()) > g.cfg.Tick)
+		if g.cfg.AdaptiveTick && parker != nil && kick &&
+			g.tickKick.CompareAndSwap(false, true) && g.hostsSequencer() {
+			parker.Unpark()
+		}
 	}
+}
+
+// hostsSequencer reports whether this process hosts the current
+// sequencer (i.e. its tick loop is the one assigning slots).
+func (g *Group) hostsSequencer() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.localSet[g.seqID]
 }
 
 // noteStamp records the highest stamp/horizon this process has observed;
@@ -1172,13 +1256,29 @@ func (g *Group) ResumeLive(next uint64, tail []Envelope) {
 // accumulated since the previous tick, stamping them with a shared
 // virtual delivery deadline, and multicasts a horizon heartbeat (with
 // the current view) so follower clocks keep flowing through idle
-// periods. Tick instants are exact virtual multiples of Config.Tick, so
-// the stamps a given forward sequence receives are reproducible; after a
-// takeover the stamp floor keeps new deadlines above every horizon the
-// previous sequencer published.
+// periods. With the fixed tick (AdaptiveTick off) tick instants are
+// exact virtual multiples of Config.Tick, so the stamps a given forward
+// sequence receives are reproducible; adaptive mode trades that for a
+// load-responsive drain (see Config.AdaptiveTick) without touching the
+// slot order or stamp monotonicity. After a takeover the stamp floor
+// keeps new deadlines above every horizon the previous sequencer
+// published.
+//
+// Group commit (the default): a tick's sequenced envelopes — which all
+// share one stamp and deliver in slot order — travel as a single
+// multi-envelope frame per member, with the horizon heartbeat riding in
+// the same frame, so one syscall and one frame header carry the whole
+// tick's decisions. Config.NoGroupCommit reverts to per-envelope frames.
 func (g *Group) runTicks() {
+	parker := g.vclk.NewOrderedParker("gcs tick", tickOrder)
+	g.fwdMu.Lock()
+	g.tickParker = parker
+	g.fwdMu.Unlock()
+	tick := g.cfg.Tick
 	for {
-		vclock.SleepOrdered(g.cfg.Clock, g.cfg.Tick, "gcs tick", tickOrder)
+		g.tickCur.Store(int64(tick))
+		parker.ParkTimeout(tick)
+		g.tickKick.Store(false)
 		select {
 		case <-g.closed:
 			return
@@ -1192,6 +1292,7 @@ func (g *Group) runTicks() {
 		n := g.nodes[seqID]
 		g.mu.Unlock()
 		if n == nil {
+			tick = g.nextTick(tick, 0)
 			continue // not hosting the sequencer (yet)
 		}
 		g.fwdMu.Lock()
@@ -1202,15 +1303,68 @@ func (g *Group) runTicks() {
 		if deadline < floor {
 			deadline = floor
 		}
-		for _, env := range batch {
-			n.sequence(env, deadline)
+		if g.cfg.NoGroupCommit {
+			for _, env := range batch {
+				n.sequence(env, deadline)
+			}
+			for _, id := range g.cfg.Members {
+				if g.isLocal(id) || !g.alive(id) {
+					continue
+				}
+				g.transfer(fmt.Sprintf("hz%v>%v", seqID, id), Origin{Replica: id},
+					Envelope{Kind: EnvHorizon, View: view, From: Origin{Replica: seqID}, Stamp: deadline})
+			}
+			tick = g.nextTick(tick, len(batch))
+			continue
 		}
+		seqEnvs := n.sequenceBatch(batch, deadline, view)
+		hz := Envelope{Kind: EnvHorizon, View: view, From: Origin{Replica: seqID}, Stamp: deadline}
 		for _, id := range g.cfg.Members {
-			if g.isLocal(id) || !g.alive(id) {
+			if !g.alive(id) {
 				continue
 			}
-			g.transfer(fmt.Sprintf("hz%v>%v", seqID, id), Origin{Replica: id},
-				Envelope{Kind: EnvHorizon, View: view, From: Origin{Replica: seqID}, Stamp: deadline})
+			if g.isLocal(id) {
+				// Self-delivery: no horizon needed (the sequenced stamps
+				// raise the local horizon on injection, matching the
+				// per-envelope path).
+				if len(seqEnvs) > 0 {
+					g.transferBatch(fmt.Sprintf("seq%v>%v", seqID, id), Origin{Replica: id},
+						append([]Envelope(nil), seqEnvs...))
+				}
+				continue
+			}
+			// transferBatch stamps To in place, so each member gets its own
+			// copy of the envelope slice.
+			msgs := make([]Envelope, 0, len(seqEnvs)+1)
+			msgs = append(msgs, seqEnvs...)
+			msgs = append(msgs, hz)
+			g.transferBatch(fmt.Sprintf("seq%v>%v", seqID, id), Origin{Replica: id}, msgs)
 		}
+		tick = g.nextTick(tick, len(batch))
+	}
+}
+
+// nextTick applies the adaptive sizing policy given how many forwards
+// the finished tick drained: a threshold-sized batch means saturation
+// (drain fast), a non-empty drain holds the nominal tick, and idle
+// ticks stretch geometrically toward MaxTick.
+func (g *Group) nextTick(cur time.Duration, drained int) time.Duration {
+	if !g.cfg.AdaptiveTick {
+		return g.cfg.Tick
+	}
+	switch {
+	case drained >= g.cfg.BatchThreshold:
+		return g.cfg.MinTick
+	case drained > 0:
+		return g.cfg.Tick
+	default:
+		next := cur * 2
+		if next > g.cfg.MaxTick {
+			next = g.cfg.MaxTick
+		}
+		if next < g.cfg.Tick {
+			next = g.cfg.Tick
+		}
+		return next
 	}
 }

@@ -30,12 +30,12 @@ type Node struct {
 
 	// sequencer state
 	nextAssign uint64
-	assigned   map[string]bool // origin/uid already sequenced by me
+	assigned   map[origUID]bool // origin/uid already sequenced by me
 
 	// receiver state
 	nextDeliver   uint64
 	holdback      map[uint64]Envelope
-	sequencedSeen map[string]bool // origin/uid seen in any sequenced msg
+	sequencedSeen map[origUID]bool // origin/uid seen in any sequenced msg
 	highestSeen   uint64
 
 	// sequenced-log retention: the tail of delivered slots kept around so
@@ -51,9 +51,9 @@ func newNode(g *Group, id ids.ReplicaID) *Node {
 		g:             g,
 		id:            id,
 		pending:       map[uint64]Payload{},
-		assigned:      map[string]bool{},
+		assigned:      map[origUID]bool{},
 		holdback:      map[uint64]Envelope{},
-		sequencedSeen: map[string]bool{},
+		sequencedSeen: map[origUID]bool{},
 		nextDeliver:   1,
 	}
 	if v, ok := g.cfg.Clock.(*vclock.Virtual); ok {
@@ -77,8 +77,17 @@ func (n *Node) SetDeliver(fn func(Message)) { n.deliver = fn }
 // SetDirect installs the point-to-point handler.
 func (n *Node) SetDirect(fn func(from Origin, p Payload)) { n.direct = fn }
 
-func origKey(o Origin, uid uint64) string {
-	return fmt.Sprintf("%s/%d", o, uid)
+// origUID is the duplicate-suppression key for a broadcast: its origin
+// plus the per-origin uid. A comparable struct rather than a formatted
+// string — dedup lookups run once per request on the sequencing hot
+// path, and the fmt.Sprintf key was its dominant allocation.
+type origUID struct {
+	o   Origin
+	uid uint64
+}
+
+func origKey(o Origin, uid uint64) origUID {
+	return origUID{o: o, uid: uid}
 }
 
 // Broadcast submits p for total ordering. Delivery happens on every live
@@ -307,6 +316,48 @@ func (n *Node) sequence(env Envelope, stamp time.Duration) {
 		}
 		n.g.transfer(fmt.Sprintf("seq%v>%v", n.id, id), Origin{Replica: id}, out)
 	}
+}
+
+// sequenceBatch is the group-commit form of sequence: it assigns
+// consecutive total-order slots to every non-duplicate envelope in envs
+// under one lock acquisition and returns the sequenced envelopes (slot
+// order, shared stamp, To unset) for the caller to fan out — one
+// multi-envelope frame per member instead of members×envelopes frames.
+// The slot assignment, dedup, and classification are exactly sequence's.
+func (n *Node) sequenceBatch(envs []Envelope, stamp time.Duration, view uint64) []Envelope {
+	if len(envs) == 0 {
+		return nil
+	}
+	out := make([]Envelope, 0, len(envs))
+	n.mu.Lock()
+	for _, env := range envs {
+		key := origKey(env.Origin, env.UID)
+		if n.assigned[key] || n.sequencedSeen[key] {
+			continue // duplicate (retransmission)
+		}
+		n.assigned[key] = true
+		if n.nextAssign <= n.highestSeen {
+			n.nextAssign = n.highestSeen + 1
+		}
+		if n.nextAssign == 0 {
+			n.nextAssign = 1
+		}
+		o := env
+		o.Kind = EnvSequenced
+		o.Seq = n.nextAssign
+		n.nextAssign++
+		o.View = view
+		o.From = Origin{Replica: n.id}
+		o.Stamp = stamp
+		out = append(out, o)
+	}
+	n.mu.Unlock()
+	if n.g.cfg.Classify != nil {
+		for i := range out {
+			out[i].Class = n.g.cfg.Classify(out[i].Payload)
+		}
+	}
+	return out
 }
 
 func (n *Node) handleSequenced(env Envelope) {

@@ -115,7 +115,7 @@ func TestOriginKeyDistinguishesClientsAndReplicas(t *testing.T) {
 	r := origKey(Origin{Replica: 3}, 7)
 	c := origKey(Origin{Client: 3, IsClient: true}, 7)
 	if r == c {
-		t.Fatalf("replica and client keys collide: %q", r)
+		t.Fatalf("replica and client keys collide: %v", r)
 	}
 }
 

@@ -1,0 +1,213 @@
+package metrics
+
+import (
+	"math/bits"
+	"time"
+)
+
+// Histogram is an HDR-style log-bucketed latency histogram: constant
+// memory regardless of sample count, ~3 % relative error per recorded
+// value, O(buckets) quantile queries. It exists for open-loop load runs
+// where Sample's per-observation slice (one append per request at tens
+// of thousands of req/s) would dominate the generator's own cost.
+//
+// Layout: the first octave is linear (values 0..2^histSubBits-1 map to
+// their own bucket); every later octave splits a power-of-two range
+// into 2^histSubBits sub-buckets. Values beyond the trackable range go
+// to a dedicated overflow bucket and report as the exact recorded Max.
+// The zero value is ready to use.
+type Histogram struct {
+	counts   []uint64 // lazily allocated, histBuckets long
+	n        uint64
+	overflow uint64 // samples beyond the trackable range (also in n)
+	sum      int64  // nanoseconds; for Mean
+	min, max time.Duration
+}
+
+const (
+	histSubBits = 5 // 32 sub-buckets per octave: <= ~3% relative error
+	histSubCnt  = 1 << histSubBits
+	// Octave count caps the trackable range at 2^(histSubBits+histOctaves-1)
+	// ns ~ 4.9 hours; anything beyond lands in the overflow bucket.
+	histOctaves = 40
+	histBuckets = histOctaves * histSubCnt
+)
+
+// histIndex maps a non-negative nanosecond value to its bucket, or -1
+// for overflow.
+func histIndex(v int64) int {
+	if v < histSubCnt {
+		return int(v)
+	}
+	k := bits.Len64(uint64(v)) - 1 // position of the most significant bit
+	octave := k - histSubBits + 1
+	if octave >= histOctaves {
+		return -1
+	}
+	sub := int(v>>(k-histSubBits)) - histSubCnt
+	return octave*histSubCnt + sub
+}
+
+// histValue returns the representative (midpoint) value of a bucket.
+func histValue(idx int) int64 {
+	if idx < histSubCnt {
+		return int64(idx)
+	}
+	octave := idx / histSubCnt
+	sub := idx % histSubCnt
+	shift := uint(octave - 1)
+	low := int64(histSubCnt+sub) << shift
+	return low + (int64(1)<<shift)/2
+}
+
+// Add records one observation. Negative durations clamp to zero.
+func (h *Histogram) Add(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	if h.n == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.n++
+	h.sum += int64(d)
+	idx := histIndex(int64(d))
+	if idx < 0 {
+		h.overflow++
+		return
+	}
+	if h.counts == nil {
+		h.counts = make([]uint64, histBuckets)
+	}
+	h.counts[idx]++
+}
+
+// N returns the number of recorded observations.
+func (h *Histogram) N() uint64 { return h.n }
+
+// Overflows returns how many observations exceeded the trackable range.
+func (h *Histogram) Overflows() uint64 { return h.overflow }
+
+// Min returns the exact smallest observation (0 if empty).
+func (h *Histogram) Min() time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the exact largest observation (0 if empty).
+func (h *Histogram) Max() time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Mean returns the exact arithmetic mean (0 if empty).
+func (h *Histogram) Mean() time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / int64(h.n))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) by
+// nearest-rank over buckets; bucket midpoints bound the error at ~3 %.
+// p <= 0 returns the exact Min, p >= 100 the exact Max, and ranks that
+// fall among overflowed samples also return the exact Max.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	return h.Quantiles(p)[0]
+}
+
+// Quantiles returns several percentiles at once with one bucket walk.
+// Entries follow Percentile's semantics (empty histogram yields zeros).
+// The ps must be given in ascending order; out-of-order entries fall
+// back to an individual walk.
+func (h *Histogram) Quantiles(ps ...float64) []time.Duration {
+	out := make([]time.Duration, len(ps))
+	if h.n == 0 {
+		return out
+	}
+	prev := -1.0
+	ascending := true
+	for _, p := range ps {
+		if p != p || p < prev { // NaN or descending
+			ascending = false
+			break
+		}
+		prev = p
+	}
+	if !ascending {
+		for i, p := range ps {
+			out[i] = h.Quantiles(p)[0]
+		}
+		return out
+	}
+	// Invariant across the walk: cum is the total count of buckets
+	// [0, idx); ranks are nondecreasing, so idx only moves forward.
+	var cum uint64
+	idx := 0
+	for i, p := range ps {
+		switch {
+		case p <= 0:
+			out[i] = h.Min()
+			continue
+		case p >= 100:
+			out[i] = h.Max()
+			continue
+		}
+		// Nearest-rank: the smallest bucket whose cumulative count
+		// reaches ceil(p/100 * n).
+		rank := uint64(p / 100 * float64(h.n))
+		if float64(rank) < p/100*float64(h.n) {
+			rank++
+		}
+		if rank < 1 {
+			rank = 1
+		}
+		for idx < len(h.counts) && cum+h.counts[idx] < rank {
+			cum += h.counts[idx]
+			idx++
+		}
+		if idx >= len(h.counts) {
+			out[i] = h.Max() // rank falls among overflow samples
+			continue
+		}
+		v := time.Duration(histValue(idx))
+		if v > h.max {
+			v = h.max
+		}
+		if v < h.min {
+			v = h.min
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Merge adds every observation of other into h (other may be nil).
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.n == 0 {
+		return
+	}
+	if h.n == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.n += other.n
+	h.sum += other.sum
+	h.overflow += other.overflow
+	if other.counts != nil {
+		if h.counts == nil {
+			h.counts = make([]uint64, histBuckets)
+		}
+		for i, c := range other.counts {
+			h.counts[i] += c
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// closeTo reports whether got is within tol (relative) of want.
+func closeTo(got, want time.Duration, tol float64) bool {
+	if want == 0 {
+		return got == 0
+	}
+	diff := math.Abs(float64(got) - float64(want))
+	return diff <= tol*float64(want)
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.N() != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatalf("empty histogram not all-zero: n=%d min=%v max=%v mean=%v",
+			h.N(), h.Min(), h.Max(), h.Mean())
+	}
+	qs := h.Quantiles(0, 50, 99, 100)
+	for i, q := range qs {
+		if q != 0 {
+			t.Fatalf("empty histogram quantile %d = %v, want 0", i, q)
+		}
+	}
+	if h.Percentile(99) != 0 {
+		t.Fatalf("empty Percentile(99) = %v, want 0", h.Percentile(99))
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	v := 1357 * time.Microsecond
+	h.Add(v)
+	if h.N() != 1 {
+		t.Fatalf("N = %d, want 1", h.N())
+	}
+	if h.Min() != v || h.Max() != v || h.Mean() != v {
+		t.Fatalf("min/max/mean = %v/%v/%v, want all %v", h.Min(), h.Max(), h.Mean(), v)
+	}
+	// Exact at the extremes, within the bucket resolution in between.
+	if got := h.Percentile(0); got != v {
+		t.Fatalf("p0 = %v, want exact %v", got, v)
+	}
+	if got := h.Percentile(100); got != v {
+		t.Fatalf("p100 = %v, want exact %v", got, v)
+	}
+	for _, p := range []float64{1, 50, 99, 99.9} {
+		if got := h.Percentile(p); !closeTo(got, v, 0.04) {
+			t.Fatalf("p%.1f = %v, want within 4%% of %v", p, got, v)
+		}
+	}
+}
+
+func TestHistogramQuantilesAccuracy(t *testing.T) {
+	var h Histogram
+	// 1..1000 ms, uniform: p50 ~ 500ms, p99 ~ 990ms.
+	for i := 1; i <= 1000; i++ {
+		h.Add(time.Duration(i) * time.Millisecond)
+	}
+	qs := h.Quantiles(50, 90, 99, 100)
+	wants := []time.Duration{500 * time.Millisecond, 900 * time.Millisecond,
+		990 * time.Millisecond, 1000 * time.Millisecond}
+	for i, want := range wants {
+		if !closeTo(qs[i], want, 0.04) {
+			t.Fatalf("quantile %d = %v, want within 4%% of %v", i, qs[i], want)
+		}
+	}
+	// Unordered percentile lists must still come back correct.
+	rev := h.Quantiles(99, 50)
+	if !closeTo(rev[0], wants[2], 0.04) || !closeTo(rev[1], wants[0], 0.04) {
+		t.Fatalf("descending quantiles = %v, want ~[%v %v]", rev, wants[2], wants[0])
+	}
+}
+
+func TestHistogramMergeDisjointRanges(t *testing.T) {
+	var low, high Histogram
+	// low: 1000 samples in [1ms, 2ms); high: 1000 samples in [1s, 2s).
+	for i := 0; i < 1000; i++ {
+		low.Add(time.Millisecond + time.Duration(i)*time.Microsecond)
+		high.Add(time.Second + time.Duration(i)*time.Millisecond)
+	}
+	merged := low // copy
+	merged.Merge(&high)
+	if merged.N() != 2000 {
+		t.Fatalf("merged N = %d, want 2000", merged.N())
+	}
+	if merged.Min() != low.Min() || merged.Max() != high.Max() {
+		t.Fatalf("merged min/max = %v/%v, want %v/%v",
+			merged.Min(), merged.Max(), low.Min(), high.Max())
+	}
+	// Below the midpoint everything comes from the low range, above it
+	// from the high range.
+	if p25 := merged.Percentile(25); !closeTo(p25, low.Percentile(50), 0.08) {
+		t.Fatalf("merged p25 = %v, want ~low p50 %v", p25, low.Percentile(50))
+	}
+	if p75 := merged.Percentile(75); !closeTo(p75, high.Percentile(50), 0.08) {
+		t.Fatalf("merged p75 = %v, want ~high p50 %v", p75, high.Percentile(50))
+	}
+	// Merging nil or empty is a no-op.
+	before := merged.N()
+	merged.Merge(nil)
+	merged.Merge(&Histogram{})
+	if merged.N() != before {
+		t.Fatalf("nil/empty merge changed N: %d -> %d", before, merged.N())
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	var h Histogram
+	huge := 6 * time.Hour // beyond the ~4.9h trackable range
+	h.Add(time.Millisecond)
+	h.Add(huge)
+	if h.Overflows() != 1 {
+		t.Fatalf("Overflows = %d, want 1", h.Overflows())
+	}
+	if h.N() != 2 {
+		t.Fatalf("N = %d, want 2 (overflow still counts)", h.N())
+	}
+	if h.Max() != huge {
+		t.Fatalf("Max = %v, want exact %v", h.Max(), huge)
+	}
+	// A rank that lands among overflowed samples reports the exact max.
+	if got := h.Percentile(99); got != huge {
+		t.Fatalf("p99 = %v, want exact overflow max %v", got, huge)
+	}
+	if got := h.Percentile(40); !closeTo(got, time.Millisecond, 0.04) {
+		t.Fatalf("p40 = %v, want ~1ms", got)
+	}
+	// Overflow counts survive a merge.
+	var other Histogram
+	other.Add(12 * time.Hour)
+	h.Merge(&other)
+	if h.Overflows() != 2 || h.Max() != 12*time.Hour {
+		t.Fatalf("after merge: overflows=%d max=%v, want 2/%v", h.Overflows(), h.Max(), 12*time.Hour)
+	}
+}
+
+func TestHistogramBucketIndexRoundTrip(t *testing.T) {
+	// Every value must land in a bucket whose representative is within
+	// the advertised ~3% relative error (exact for the linear octave).
+	for _, v := range []int64{0, 1, 31, 32, 33, 63, 64, 100, 1023, 1 << 20,
+		int64(time.Second), int64(time.Minute), int64(4 * time.Hour)} {
+		idx := histIndex(v)
+		if idx < 0 {
+			t.Fatalf("histIndex(%d) overflowed unexpectedly", v)
+		}
+		rep := histValue(idx)
+		if v < histSubCnt {
+			if rep != v {
+				t.Fatalf("linear octave: histValue(histIndex(%d)) = %d", v, rep)
+			}
+			continue
+		}
+		if diff := math.Abs(float64(rep - v)); diff > 0.033*float64(v) {
+			t.Fatalf("value %d -> bucket rep %d: error %.1f%%", v, rep, 100*diff/float64(v))
+		}
+	}
+}

@@ -134,6 +134,51 @@ func (c *Client) Pipeline(method string, argsList [][]lang.Value) []*Pending {
 	return ps
 }
 
+// Call names one invocation for InvokeBatch.
+type Call struct {
+	Method string
+	Args   []lang.Value
+}
+
+// InvokeBatch broadcasts several (possibly heterogeneous) invocations
+// as one atomic unit — a single wire frame on batching transports — and
+// returns handles to collect the replies. It is Pipeline with per-call
+// methods: the open-loop load generator's submit pump uses it to
+// coalesce a flush window's arrivals into one client→sequencer frame.
+func (c *Client) InvokeBatch(calls []Call) []*Pending {
+	ps := make([]*Pending, len(calls))
+	payloads := make([]gcs.Payload, len(calls))
+	c.mu.Lock()
+	for i, cl := range calls {
+		c.seq++
+		req := ids.MakeRequestID(c.id, c.seq)
+		ca := &call{parker: c.clock.NewParker()}
+		c.pending[req] = ca
+		ps[i] = &Pending{c: c, req: req, ca: ca}
+		payloads[i] = Request{Req: req, Method: cl.Method, Args: cl.Args}
+	}
+	c.mu.Unlock()
+	start := c.clock.Now()
+	uids, err := c.ep.BroadcastBatch(payloads)
+	c.mu.Lock()
+	for i, p := range ps {
+		p.ca.uid = uids[i]
+		p.start = start
+		if err != nil {
+			p.ca.done = true
+			p.ca.err = err.Error()
+		}
+	}
+	c.mu.Unlock()
+	if err != nil {
+		for _, p := range ps {
+			c.ep.Ack(p.ca.uid)
+			p.ca.parker.Unpark()
+		}
+	}
+	return ps
+}
+
 // Wait blocks (on the clock) until the first reply for this invocation
 // arrives and returns the reply value and the client-perceived latency.
 func (p *Pending) Wait() (lang.Value, time.Duration, error) {

@@ -81,6 +81,13 @@ type LoadResult struct {
 	Latency  *metrics.Sample // client-perceived per-request wall latency
 	Requests int
 	Errors   int
+	// Retries counts fast-fail ErrNoSequencer submissions that were
+	// retried during an election window — invisible in the latency
+	// sample (the retry's latency restarts), so reported explicitly.
+	Retries int
+	// Timeouts counts requests still unanswered when the run deadline
+	// expired (only non-zero on a timed-out run).
+	Timeouts int
 	Elapsed  time.Duration // wall time from first request to last reply
 	// Statuses are the final per-replica control snapshots, ascending id.
 	Statuses []Status
@@ -196,43 +203,8 @@ func RunLoad(o LoadOptions) (*LoadResult, error) {
 	// the members' status instead and install any newer view — AdoptView
 	// re-routes and retransmits every pending request to the new
 	// sequencer, so in-flight invocations survive the failover.
-	stopPoll := make(chan struct{})
-	defer close(stopPoll)
-	go func() {
-		ticker := time.NewTicker(100 * time.Millisecond)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-stopPoll:
-				return
-			case <-ticker.C:
-			}
-			// Poll concurrently: a dead member's control timeout must not
-			// delay learning the new view from the survivors.
-			var wg sync.WaitGroup
-			for id := range o.Servers {
-				wg.Add(1)
-				go func(id ids.ReplicaID) {
-					defer wg.Done()
-					b, err := tr.Control(id, []byte("status"), time.Second)
-					if err != nil {
-						return
-					}
-					var st Status
-					if json.Unmarshal(b, &st) != nil {
-						return
-					}
-					if v, _ := g.CurrentView(); st.View > v {
-						if o.Logf != nil {
-							o.Logf("load: adopting view %d (sequencer %v) from %v", st.View, st.Sequencer, id)
-						}
-						g.AdoptView(st.View, st.Sequencer)
-					}
-				}(id)
-			}
-			wg.Wait()
-		}
-	}()
+	stopPoll := startViewPoller(tr, g, o.Servers, o.Logf)
+	defer stopPoll()
 
 	res := &LoadResult{Latency: &metrics.Sample{}}
 	var mu sync.Mutex
@@ -252,9 +224,10 @@ func RunLoad(o LoadOptions) (*LoadResult, error) {
 				if o.Families != nil {
 					method, args = workload.FamilyArgs(*o.Families, rng)
 				}
-				_, lat, err := invokeWithRetry(cl, o, deadline, method, args)
+				_, lat, retries, err := invokeWithRetry(cl, o, deadline, method, args)
 				mu.Lock()
 				res.Requests++
+				res.Retries += retries
 				if err != nil {
 					res.Errors++
 				} else {
@@ -278,7 +251,12 @@ func RunLoad(o LoadOptions) (*LoadResult, error) {
 		mu.Lock()
 		lat := &metrics.Sample{}
 		lat.Merge(res.Latency)
-		out := &LoadResult{Latency: lat, Requests: res.Requests, Errors: res.Errors, Elapsed: time.Since(start)}
+		out := &LoadResult{
+			Latency: lat, Requests: res.Requests, Errors: res.Errors,
+			Retries:  res.Retries,
+			Timeouts: o.Clients*o.RequestsPerClient - res.Requests,
+			Elapsed:  time.Since(start),
+		}
 		mu.Unlock()
 		return out, fmt.Errorf("load: requests did not complete within %v (servers unreachable or stalled)", o.Timeout)
 	}
@@ -335,15 +313,19 @@ func RunLoad(o LoadOptions) (*LoadResult, error) {
 // so the retry is a brand-new request, not a duplicate; counting the
 // election window as a client-visible error would make every failover
 // smear errors over a load run that actually survived it. Backoff is
-// capped, and the run deadline bounds the whole loop.
+// capped, and the run deadline bounds the whole loop. The retry count
+// is returned so the summary can report how often the election window
+// was hit instead of folding it silently into the latency sample.
 func invokeWithRetry(cl *replica.Client, o LoadOptions, deadline time.Time,
-	method string, args []lang.Value) (lang.Value, time.Duration, error) {
+	method string, args []lang.Value) (lang.Value, time.Duration, int, error) {
 	backoff := 25 * time.Millisecond
+	retries := 0
 	for {
 		v, lat, err := cl.Invoke(method, args...)
 		if err == nil || !errors.Is(err, gcs.ErrNoSequencer) || time.Now().After(deadline) {
-			return v, lat, err
+			return v, lat, retries, err
 		}
+		retries++
 		if o.Logf != nil {
 			o.Logf("load: no sequencer (election in flight), retrying in %v", backoff)
 		}

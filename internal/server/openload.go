@@ -1,0 +1,457 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"detmt/internal/gcs"
+	"detmt/internal/ids"
+	"detmt/internal/metrics"
+	"detmt/internal/replica"
+	"detmt/internal/vclock"
+	"detmt/internal/wire"
+	"detmt/internal/workload"
+)
+
+// OpenLoadOptions parameterises one open-loop, rate-targeted load run.
+// Unlike the closed-loop generator (RunLoad), arrivals follow a schedule
+// that is independent of response times: a slow cluster does not slow
+// the offered rate down, it builds queue — which is the only way to find
+// the throughput ceiling without coordinated omission hiding it.
+type OpenLoadOptions struct {
+	// Servers maps every cluster member's replica id to its address.
+	Servers map[ids.ReplicaID]string
+	// Rate is the offered arrival rate in requests per second (required).
+	Rate float64
+	// Duration is the measured window (default 5s). Only completions
+	// whose scheduled intent time falls inside the window are recorded.
+	Duration time.Duration
+	// Warmup precedes the measured window (default 1s): arrivals are
+	// offered but their completions are discarded, so connection setup
+	// and first-touch allocation do not pollute the histogram.
+	Warmup time.Duration
+	// Poisson draws exponential inter-arrival times (mean 1/Rate)
+	// instead of a fixed interval. Seeded, so the schedule reproduces.
+	Poisson bool
+	// Clients is the size of the submitting client pool (default 16).
+	// Requests round-robin across the pool so no single per-client
+	// sequence number stream serialises the offered load.
+	Clients int
+	// MaxInFlight caps outstanding requests (default 4096). Arrivals
+	// beyond the cap are shed and counted, not queued client-side:
+	// unbounded client queues would turn an overloaded run into an
+	// unbounded-memory run and report meaningless latencies.
+	MaxInFlight int
+	// BatchSubmit coalesces every arrival that is due at a pump wakeup
+	// into one atomic wire frame (Client.InvokeBatch). Under high rates
+	// this is the client-side half of group commit.
+	BatchSubmit bool
+	// SLO is the p99 budget on intent-to-response latency used for the
+	// SLOMet verdict and the ceiling search (0: no verdict).
+	SLO time.Duration
+	// Seed drives workload argument generation and the Poisson schedule.
+	Seed uint64
+	// Workload must match the cluster's configuration.
+	Workload workload.Fig1Config
+	// Families switches generation to the family-partitioned workload.
+	Families *workload.FamilyConfig
+	// ClientBase offsets the pool's client ids (see LoadOptions).
+	ClientBase int
+	// EpochDir persists the generator's wire-epoch counter (see
+	// LoadOptions.EpochDir).
+	EpochDir string
+	// SettleTimeout bounds the post-run drain and convergence wait
+	// (default 30s). In-flight requests still unanswered at the drain
+	// deadline are counted as Timeouts.
+	SettleTimeout time.Duration
+	// Dial overrides the transport dialer (nil: plain TCP).
+	Dial func(addr string) (net.Conn, error)
+
+	Logf func(format string, args ...interface{})
+}
+
+// OpenLoadResult is the outcome of one open-loop run.
+type OpenLoadResult struct {
+	Offered  float64 // requested arrival rate (req/s)
+	Achieved float64 // measured-window completions / Duration (req/s)
+	Sent     int     // requests actually submitted (whole run)
+	Measured int     // completions with intent inside the window
+	Shed     int     // arrivals dropped at the MaxInFlight cap
+	Timeouts int     // submitted but unanswered at the drain deadline
+	NoSeqErr int     // submissions failed fast on gcs.ErrNoSequencer
+	Errors   int     // other per-request errors
+	// Intent is the coordinated-omission-corrected latency: reply time
+	// minus the request's scheduled intent time. Queueing delay caused
+	// by a saturated cluster shows up here.
+	Intent *metrics.Histogram
+	// Service is reply time minus actual send time — what a closed-loop
+	// client would have reported.
+	Service *metrics.Histogram
+	Elapsed time.Duration
+	// SLOMet reports whether Intent's p99 stayed within SLO (true when
+	// no SLO was set).
+	SLOMet bool
+	// Statuses/Hashes/Converged: per-replica snapshots after the run,
+	// and whether all replicas completed every submitted request with
+	// identical schedule hashes (the determinism criterion under load).
+	Statuses  []Status
+	Hashes    []uint64
+	Converged bool
+}
+
+// RunOpenLoad drives one open-loop measurement run and waits for the
+// cluster to drain and converge.
+func RunOpenLoad(o OpenLoadOptions) (*OpenLoadResult, error) {
+	if len(o.Servers) == 0 {
+		return nil, fmt.Errorf("openload: no servers given")
+	}
+	if o.Rate <= 0 {
+		return nil, fmt.Errorf("openload: rate must be positive (got %v)", o.Rate)
+	}
+	if o.Duration <= 0 {
+		o.Duration = 5 * time.Second
+	}
+	if o.Warmup < 0 {
+		o.Warmup = 0
+	} else if o.Warmup == 0 {
+		o.Warmup = time.Second
+	}
+	if o.Clients <= 0 {
+		o.Clients = 16
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 4096
+	}
+	if o.SettleTimeout <= 0 {
+		o.SettleTimeout = 30 * time.Second
+	}
+	if o.Workload.Iterations == 0 {
+		o.Workload = workload.DefaultFig1()
+	}
+
+	epoch := nextLoadEpoch(o.EpochDir, "load")
+	tr, err := wire.NewTCP(wire.Options{Name: "load", Epoch: epoch, Peers: o.Servers, Dial: o.Dial, Logf: o.Logf})
+	if err != nil {
+		return nil, err
+	}
+	defer tr.Close()
+
+	members := make([]ids.ReplicaID, 0, len(o.Servers))
+	for id := range o.Servers {
+		members = append(members, id)
+	}
+	clock := vclock.NewReal()
+	g := gcs.NewGroup(gcs.Config{
+		Clock:     clock,
+		Members:   members,
+		Transport: tr,
+		Local:     []ids.ReplicaID{},
+		Logf:      o.Logf,
+	})
+	stopPoll := startViewPoller(tr, g, o.Servers, o.Logf)
+	defer stopPoll()
+
+	// The replicas' completion counters are cumulative, so a warm
+	// cluster starts above zero: capture the base before offering load.
+	base := 0
+	if sts, err := pollStatuses(tr, o.Servers); err == nil {
+		for _, st := range sts {
+			if st.Completed > base {
+				base = st.Completed
+			}
+		}
+	}
+
+	pool := make([]*replica.Client, o.Clients)
+	for i := range pool {
+		pool[i] = replica.NewClient(clock, g, ids.ClientID(o.ClientBase+i+1))
+	}
+
+	res := &OpenLoadResult{
+		Offered: o.Rate,
+		Intent:  &metrics.Histogram{},
+		Service: &metrics.Histogram{},
+	}
+	var (
+		mu       sync.Mutex
+		inFlight atomic.Int64
+		sent     atomic.Int64
+		done     atomic.Int64
+		failed   atomic.Int64 // submissions that will never be ordered
+	)
+	rng := ids.NewRNG(o.Seed)
+	arrRNG := rng.Fork()
+
+	start := clock.Now()
+	measureStart := start + o.Warmup
+	end := measureStart + o.Duration
+
+	// waiter collects one reply off-schedule: the pump never blocks on
+	// responses, which is the whole point of an open loop.
+	waiter := func(p *replica.Pending, intent time.Duration) {
+		_, svcLat, err := p.Wait()
+		replyAt := clock.Now()
+		inFlight.Add(-1)
+		done.Add(1)
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			failed.Add(1)
+			if strings.Contains(err.Error(), gcs.ErrNoSequencer.Error()) {
+				res.NoSeqErr++
+			} else {
+				res.Errors++
+			}
+			return
+		}
+		if intent >= measureStart && intent < end {
+			res.Measured++
+			res.Service.Add(svcLat)
+			res.Intent.Add(replyAt - intent)
+		}
+	}
+
+	// nextGap returns the schedule's next inter-arrival time.
+	interval := time.Duration(float64(time.Second) / o.Rate)
+	nextGap := func() time.Duration {
+		if !o.Poisson {
+			return interval
+		}
+		// Exponential with mean `interval`; clamp the (measure-zero)
+		// log(0) draw.
+		u := arrRNG.Float64()
+		if u <= 0 {
+			u = math.SmallestNonzeroFloat64
+		}
+		return time.Duration(-math.Log(u) * float64(interval))
+	}
+	genCall := func() replica.Call {
+		method, args := workload.MethodName, workload.Fig1Args(o.Workload, rng)
+		if o.Families != nil {
+			method, args = workload.FamilyArgs(*o.Families, rng)
+		}
+		return replica.Call{Method: method, Args: args}
+	}
+
+	// The pump: walk the intent schedule, sleeping ahead of the next
+	// arrival and submitting everything that is due on each wakeup. A
+	// burst cap bounds single-frame size in batch mode.
+	const burstCap = 256
+	poolIdx := 0
+	intent := start
+	for intent < end {
+		if gap := intent - clock.Now(); gap > 0 {
+			time.Sleep(gap)
+		}
+		// Collect all arrivals that are due now.
+		due := []time.Duration{intent}
+		intent += nextGap()
+		now := clock.Now()
+		for len(due) < burstCap && intent < end && intent <= now {
+			due = append(due, intent)
+			intent += nextGap()
+		}
+		if int(inFlight.Load())+len(due) > o.MaxInFlight {
+			mu.Lock()
+			res.Shed += len(due)
+			mu.Unlock()
+			continue
+		}
+		if o.BatchSubmit {
+			calls := make([]replica.Call, len(due))
+			for i := range calls {
+				calls[i] = genCall()
+			}
+			cl := pool[poolIdx%len(pool)]
+			poolIdx++
+			inFlight.Add(int64(len(due)))
+			sent.Add(int64(len(due)))
+			for i, p := range cl.InvokeBatch(calls) {
+				go waiter(p, due[i])
+			}
+		} else {
+			for _, it := range due {
+				cl := pool[poolIdx%len(pool)]
+				poolIdx++
+				inFlight.Add(1)
+				sent.Add(1)
+				ps := cl.InvokeBatch([]replica.Call{genCall()})
+				go waiter(ps[0], it)
+			}
+		}
+	}
+
+	// Drain: wait for every submitted request to resolve, bounded by the
+	// settle timeout. Stragglers become Timeouts; their goroutines keep
+	// the shared histograms alive until process exit but can no longer
+	// record (the window closed).
+	drainBy := time.Now().Add(o.SettleTimeout)
+	for done.Load() < sent.Load() && time.Now().Before(drainBy) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	res.Sent = int(sent.Load())
+	res.Timeouts = int(sent.Load() - done.Load())
+	res.Elapsed = clock.Now() - start
+	res.Achieved = float64(res.Measured) / o.Duration.Seconds()
+	res.SLOMet = o.SLO <= 0 || res.Intent.Percentile(99) <= o.SLO
+	mu.Unlock()
+
+	// Convergence: every replica must account for every request that
+	// entered the order (shed and failed submissions never did).
+	expected := base + res.Sent - int(failed.Load()) - res.Timeouts
+	for {
+		statuses, err := pollStatuses(tr, o.Servers)
+		if err == nil {
+			ok := true
+			for _, st := range statuses {
+				if st.Completed < expected || st.Completed != statuses[0].Completed {
+					ok = false
+				}
+			}
+			if ok {
+				res.Statuses = statuses
+				break
+			}
+		}
+		if time.Now().After(drainBy) {
+			res.Statuses, _ = pollStatuses(tr, o.Servers)
+			return res, fmt.Errorf("openload: cluster did not reach %d completed requests within the settle timeout", expected)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	res.Converged = true
+	for _, st := range res.Statuses {
+		res.Hashes = append(res.Hashes, st.Hash)
+		if st.Hash != res.Statuses[0].Hash || st.Completed != res.Statuses[0].Completed {
+			res.Converged = false
+		}
+	}
+	return res, nil
+}
+
+// startViewPoller watches the members' status endpoints and installs any
+// newer view into the client-only group (a process hosting no replicas
+// receives no stamped heartbeats, so it cannot observe a takeover on its
+// own). Returns a stop function.
+func startViewPoller(tr *wire.TCP, g *gcs.Group, servers map[ids.ReplicaID]string,
+	logf func(string, ...interface{})) func() {
+	stop := make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(100 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+			}
+			var wg sync.WaitGroup
+			for id := range servers {
+				wg.Add(1)
+				go func(id ids.ReplicaID) {
+					defer wg.Done()
+					b, err := tr.Control(id, []byte("status"), time.Second)
+					if err != nil {
+						return
+					}
+					var st Status
+					if json.Unmarshal(b, &st) != nil {
+						return
+					}
+					if v, _ := g.CurrentView(); st.View > v {
+						if logf != nil {
+							logf("openload: adopting view %d (sequencer %v) from %v", st.View, st.Sequencer, id)
+						}
+						g.AdoptView(st.View, st.Sequencer)
+					}
+				}(id)
+			}
+			wg.Wait()
+		}
+	}()
+	return func() { close(stop) }
+}
+
+// CeilingStep records one rung of the ceiling search.
+type CeilingStep struct {
+	Offered   float64
+	Achieved  float64
+	P50       time.Duration
+	P99       time.Duration
+	Shed      int
+	Timeouts  int
+	Sustained bool // achieved kept up with offered and the SLO held
+}
+
+// CeilingResult is the outcome of FindCeiling: the rate ladder walked
+// and the highest offered rate the cluster sustained within the SLO.
+type CeilingResult struct {
+	Steps   []CeilingStep
+	Ceiling float64
+}
+
+// FindCeiling walks the offered rate geometrically (times growth per
+// step, default 2) from startRate until the cluster stops keeping up —
+// p99 intent latency blows the SLO budget, or achieved throughput falls
+// below 90% of offered — or maxSteps runs out. Each step uses a fresh
+// client-id range: replica-side duplicate suppression keys on (client,
+// counter), so reusing ids across runs would suppress requests.
+func FindCeiling(o OpenLoadOptions, startRate, growth float64, maxSteps int) (*CeilingResult, error) {
+	if startRate <= 0 {
+		startRate = 100
+	}
+	if growth <= 1 {
+		growth = 2
+	}
+	if maxSteps <= 0 {
+		maxSteps = 8
+	}
+	if o.SLO <= 0 {
+		o.SLO = 100 * time.Millisecond
+	}
+	res := &CeilingResult{}
+	rate := startRate
+	clients := o.Clients
+	if clients <= 0 {
+		clients = 16
+	}
+	for step := 0; step < maxSteps; step++ {
+		ro := o
+		ro.Rate = rate
+		ro.ClientBase = o.ClientBase + step*clients
+		if o.Logf != nil {
+			o.Logf("ceiling: step %d offered %.0f req/s", step, rate)
+		}
+		r, err := RunOpenLoad(ro)
+		if r == nil {
+			return res, err
+		}
+		st := CeilingStep{
+			Offered:  r.Offered,
+			Achieved: r.Achieved,
+			P50:      r.Intent.Percentile(50),
+			P99:      r.Intent.Percentile(99),
+			Shed:     r.Shed,
+			Timeouts: r.Timeouts,
+		}
+		st.Sustained = err == nil && r.SLOMet && r.Achieved >= 0.9*r.Offered && r.Timeouts == 0
+		res.Steps = append(res.Steps, st)
+		if o.Logf != nil {
+			o.Logf("ceiling: step %d achieved %.0f req/s p99=%v sustained=%v",
+				step, st.Achieved, st.P99, st.Sustained)
+		}
+		if !st.Sustained {
+			break
+		}
+		res.Ceiling = st.Achieved
+		rate *= growth
+	}
+	return res, nil
+}

@@ -72,6 +72,22 @@ type Options struct {
 	Tick   time.Duration
 	Budget time.Duration
 
+	// AdaptiveTick enables the load-responsive sequencing drain (see
+	// gcs.Config.AdaptiveTick): immediate drain past BatchThreshold
+	// queued forwards, MinTick while saturated, stretch toward MaxTick
+	// when idle. Zero-valued MinTick/MaxTick/BatchThreshold take the gcs
+	// defaults.
+	AdaptiveTick   bool
+	MinTick        time.Duration
+	MaxTick        time.Duration
+	BatchThreshold int
+	// NoGroupCommit reverts the sequencer's tick fan-out to one frame
+	// per envelope (see gcs.Config.NoGroupCommit; measurement only).
+	NoGroupCommit bool
+	// PipelineDepth bounds the transport's per-sender decode pipeline
+	// (see wire.Options.PipelineDepth; negative disables pipelining).
+	PipelineDepth int
+
 	PDSWindow       int
 	PDSRelaxed      bool
 	CheckpointEvery int
@@ -331,6 +347,7 @@ func New(o Options) (*Server, error) {
 			}
 		},
 		OriginIdleExpiry: expiry,
+		PipelineDepth:    o.PipelineDepth,
 		Dial:             o.Dial,
 		Logf:             o.Logf,
 	})
@@ -340,15 +357,20 @@ func New(o Options) (*Server, error) {
 	s.tr = tr
 
 	gcfg := gcs.Config{
-		Clock:        s.clock,
-		Members:      members,
-		Transport:    tr,
-		Local:        []ids.ReplicaID{o.ID},
-		Tick:         o.Tick,
-		Budget:       o.Budget,
-		Recovering:   o.Recover,
-		SeqRetention: o.SeqRetention,
-		Logf:         o.Logf,
+		Clock:          s.clock,
+		Members:        members,
+		Transport:      tr,
+		Local:          []ids.ReplicaID{o.ID},
+		Tick:           o.Tick,
+		Budget:         o.Budget,
+		AdaptiveTick:   o.AdaptiveTick,
+		MinTick:        o.MinTick,
+		MaxTick:        o.MaxTick,
+		BatchThreshold: o.BatchThreshold,
+		NoGroupCommit:  o.NoGroupCommit,
+		Recovering:     o.Recover,
+		SeqRetention:   o.SeqRetention,
+		Logf:           o.Logf,
 		FetchGap: func(donor ids.ReplicaID, from uint64, max int) []gcs.Envelope {
 			envs, _, _, err := tr.FetchTail(donor, from, max, fetchTimeout)
 			if err != nil {

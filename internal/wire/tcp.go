@@ -76,6 +76,16 @@ type Options struct {
 	// (e.g. a chaos-killed load generator) would otherwise leak their
 	// rings until an epoch bump, which may never come.
 	OriginIdleExpiry time.Duration
+	// PipelineDepth bounds the per-sender decode pipeline: received
+	// envelope/batch frames are handed to a single per-sender worker
+	// that dedups, decodes and delivers them in arrival order, so the
+	// socket reader is already pulling the next frame off the wire while
+	// the previous one is being applied. Acks are still sent only after
+	// delivery, preserving the acked-implies-delivered replay invariant
+	// across reconnects. 0 applies DefaultPipelineDepth; negative
+	// disables pipelining (frames decode inline on the reader goroutine,
+	// the pre-pipelining behavior, kept for before/after measurement).
+	PipelineDepth int
 	// MaxUnacked bounds the per-peer retransmission queue: frames not yet
 	// acknowledged by a down peer accumulate until this many are queued,
 	// then the oldest are dropped (counted, logged once per outage). A
@@ -125,6 +135,7 @@ type TCP struct {
 	orphaned map[gcs.Origin]time.Time      // origins whose route died, awaiting reattach or expiry
 	lastSeen map[string]uint64             // highest dedup seqno delivered, per sender name
 	epochs   map[string]uint64             // highest restart epoch seen, per sender name
+	pipes    map[string]*decodePipe        // per-sender-name decode pipelines
 	inbounds map[*inboundConn]struct{}
 	ctl      map[uint64]chan []byte
 	fetches  map[uint64]*fetchState
@@ -160,6 +171,13 @@ const DefaultMaxUnacked = 32768
 // that a long-lived server's memory stays flat.
 const clientReplayBuf = 256
 
+// DefaultPipelineDepth is the per-sender decode-pipeline bound applied
+// when Options leaves PipelineDepth at zero: deep enough that a tick's
+// worth of group-committed frames never stalls the socket reader,
+// bounded so a slow replica exerts backpressure instead of buffering
+// without limit.
+const DefaultPipelineDepth = 512
+
 // NewTCP creates the endpoint, starts its listener (if any) and begins
 // dialing every configured peer.
 func NewTCP(o Options) (*TCP, error) {
@@ -180,6 +198,9 @@ func NewTCP(o Options) (*TCP, error) {
 	if o.MaxUnacked == 0 {
 		o.MaxUnacked = DefaultMaxUnacked
 	}
+	if o.PipelineDepth == 0 {
+		o.PipelineDepth = DefaultPipelineDepth
+	}
 	t := &TCP{
 		o:        o,
 		ln:       o.Listener,
@@ -190,6 +211,7 @@ func NewTCP(o Options) (*TCP, error) {
 		owner:    map[gcs.Origin]string{},
 		lastSeen: map[string]uint64{},
 		epochs:   map[string]uint64{},
+		pipes:    map[string]*decodePipe{},
 		orphaned: map[gcs.Origin]time.Time{},
 		inbounds: map[*inboundConn]struct{}{},
 		ctl:      map[uint64]chan []byte{},
@@ -674,6 +696,10 @@ func (t *TCP) Close() error {
 	for ic := range t.inbounds {
 		ins = append(ins, ic)
 	}
+	pipes := make([]*decodePipe, 0, len(t.pipes))
+	for _, p := range t.pipes {
+		pipes = append(pipes, p)
+	}
 	t.mu.Unlock()
 	if t.ln != nil {
 		t.ln.Close()
@@ -684,6 +710,9 @@ func (t *TCP) Close() error {
 	for _, ic := range ins {
 		ic.close()
 	}
+	for _, p := range pipes {
+		p.close()
+	}
 	t.wg.Wait()
 	return nil
 }
@@ -692,6 +721,120 @@ func (t *TCP) isClosed() bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.closed
+}
+
+// ---- per-sender decode pipeline ----
+
+// pipedFrame is one received envelope/batch frame queued for decoding:
+// the frame (its body is a fresh per-frame allocation from readFrame,
+// safe to hand across goroutines), the sender identity captured at read
+// time, and the connection to ack on (nil for dialed-link frames, whose
+// deliveries carry no seqno).
+type pipedFrame struct {
+	f     frame
+	name  string
+	epoch uint64
+	ic    *inboundConn
+}
+
+// decodePipe serializes decode+deliver for all frames from one sender
+// name while the socket readers run ahead. A single worker per name
+// preserves the per-sender FIFO that the dedup watermark and the gcs
+// holdback queue rely on; the bounded queue turns a slow replica into
+// reader backpressure instead of unbounded buffering. Acks are enqueued
+// by the worker after delivery, so an acked frame is always a delivered
+// frame — the reconnect replay path depends on that.
+type decodePipe struct {
+	t       *TCP
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []pipedFrame
+	running bool
+	closed  bool
+}
+
+// pipelined reports whether the decode pipeline is enabled.
+func (t *TCP) pipelined() bool { return t.o.PipelineDepth > 0 }
+
+// pipe returns (creating on first use) the sender's decode pipeline.
+func (t *TCP) pipe(name string) *decodePipe {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := t.pipes[name]
+	if p == nil {
+		p = &decodePipe{t: t}
+		p.cond = sync.NewCond(&p.mu)
+		if t.closed {
+			p.closed = true
+		}
+		t.pipes[name] = p
+	}
+	return p
+}
+
+// push queues a frame for the pipeline worker, blocking (backpressure
+// on the socket reader) while the pipe is at PipelineDepth.
+func (p *decodePipe) push(pf pipedFrame) {
+	p.mu.Lock()
+	for len(p.queue) >= p.t.o.PipelineDepth && !p.closed {
+		p.cond.Wait()
+	}
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.queue = append(p.queue, pf)
+	start := !p.running
+	p.running = true
+	p.mu.Unlock()
+	if start {
+		p.t.wg.Add(1)
+		go p.drain()
+	}
+}
+
+// drain is the pipeline worker: one frame at a time, in arrival order,
+// exiting when the queue runs dry (push restarts it).
+func (p *decodePipe) drain() {
+	defer p.t.wg.Done()
+	for {
+		p.mu.Lock()
+		if len(p.queue) == 0 || p.closed {
+			p.running = false
+			p.mu.Unlock()
+			return
+		}
+		pf := p.queue[0]
+		p.queue[0] = pipedFrame{}
+		p.queue = p.queue[1:]
+		if len(p.queue) == 0 {
+			p.queue = nil // let the backing array go once a burst drains
+		}
+		p.cond.Broadcast() // a reader may be blocked on the depth bound
+		p.mu.Unlock()
+		if !p.t.deliverFrame(pf.name, pf.epoch, pf.f) {
+			// Stale incarnation: tear the connection down (the reader then
+			// exits); frames already queued behind this one are dropped by
+			// the same epoch check inside deliverFrame.
+			if pf.ic != nil {
+				pf.ic.close()
+			}
+			continue
+		}
+		if pf.f.seq != 0 && pf.ic != nil {
+			eb := pooledBody()
+			body := appendU64(eb.b, pf.f.seq)
+			pf.ic.enqueue(frame{kind: frameAck, body: body, buf: eb})
+		}
+	}
+}
+
+func (p *decodePipe) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.queue = nil
+	p.cond.Broadcast()
+	p.mu.Unlock()
 }
 
 // deliverFrame routes a received envelope/batch frame to its binding,
@@ -812,6 +955,12 @@ type peerLink struct {
 	kicked  bool   // cut the current reconnect backoff short
 	wbuf    []byte // writer scratch; frames are assembled under mu (see serveConn)
 }
+
+// writeCoalesceBytes bounds how many queued frames the dialed-link
+// writer copies into its scratch per lock acquisition: large enough to
+// drain a tick's worth of traffic in one write, small enough that the
+// scratch buffer and the lock hold time stay bounded.
+const writeCoalesceBytes = 64 << 10
 
 func newPeerLink(t *TCP, id ids.ReplicaID, addr string) *peerLink {
 	pl := &peerLink{t: t, id: id, addr: addr}
@@ -1006,7 +1155,12 @@ func (pl *peerLink) serveConn(conn net.Conn) bool {
 			case frameCkptChunk, frameCkptDone, frameCatchUpEntry, frameDecEntry:
 				t.dispatchFetch(f)
 			case frameEnvelope, frameBatch:
-				t.deliverFrame(pl.id.String(), 0, f)
+				name := pl.id.String()
+				if t.pipelined() {
+					t.pipe(name).push(pipedFrame{f: f, name: name})
+				} else {
+					t.deliverFrame(name, 0, f)
+				}
 			}
 		}
 	}()
@@ -1021,12 +1175,18 @@ func (pl *peerLink) serveConn(conn net.Conn) bool {
 			pl.mu.Unlock()
 			break
 		}
-		// Assemble under the lock: from the moment pl.sent covers this
+		// Assemble under the lock: from the moment pl.sent covers a
 		// frame, an ack may trim it and recycle its pooled body, so the
 		// bytes must be copied into the link-private scratch first.
-		pl.wbuf = appendFrame(pl.wbuf[:0], pl.queue[pl.sent])
+		// Coalesce everything queued (up to a bound) into one write: a
+		// saturated link then pays one syscall per wad of frames rather
+		// than one per frame.
+		pl.wbuf = pl.wbuf[:0]
+		for pl.sent < len(pl.queue) && len(pl.wbuf) < writeCoalesceBytes {
+			pl.wbuf = appendFrame(pl.wbuf, pl.queue[pl.sent])
+			pl.sent++
+		}
 		b := pl.wbuf
-		pl.sent++
 		pl.mu.Unlock()
 		if _, err := bw.Write(b); err != nil {
 			break
@@ -1245,6 +1405,12 @@ func (ic *inboundConn) readLoop() {
 			ic.mu.Lock()
 			name, epoch := ic.name, ic.epoch
 			ic.mu.Unlock()
+			if t.pipelined() {
+				// Hand off to the per-sender decode worker and go read the
+				// next frame; the worker acks after delivery.
+				t.pipe(name).push(pipedFrame{f: f, name: name, epoch: epoch, ic: ic})
+				continue
+			}
 			if !t.deliverFrame(name, epoch, f) {
 				return // stale incarnation: drop the connection
 			}

@@ -3,6 +3,10 @@
 #
 #   scripts/bench.sh [out.json]        run the hotpath experiment, write JSON
 #   scripts/bench.sh -earlysched [out] run the earlysched experiment instead
+#   scripts/bench.sh -openloop [out]   open-loop throughput matrix (E15, real sockets)
+#   scripts/bench.sh -ceiling [out]    sequencer ceiling search only (real sockets)
+#   scripts/bench.sh -gate [baseline]  rerun the ceiling and fail on a >10% drop
+#                                      vs the committed baseline (default BENCH_PR7.json)
 #   scripts/bench.sh -micro            also run the Benchmark* microbenchmarks
 #   scripts/bench.sh -compare A B      diff the Metrics of two JSON outputs
 #
@@ -23,6 +27,29 @@ if [ "${1:-}" = "-earlysched" ]; then
     go run ./cmd/detmt-bench -experiment earlysched -json > "$out"
     echo "wrote $out" >&2
     exit 0
+fi
+
+if [ "${1:-}" = "-openloop" ]; then
+    out="${2:-BENCH_PR7.json}"
+    go run ./cmd/detmt-bench -experiment openloop,ceiling -json > "$out"
+    echo "wrote $out" >&2
+    exit 0
+fi
+
+if [ "${1:-}" = "-ceiling" ]; then
+    out="${2:-BENCH_CEILING.json}"
+    go run ./cmd/detmt-bench -experiment ceiling -json > "$out"
+    echo "wrote $out" >&2
+    exit 0
+fi
+
+if [ "${1:-}" = "-gate" ]; then
+    baseline="${2:-BENCH_PR7.json}"
+    [ -f "$baseline" ] || { echo "bench.sh: baseline $baseline not found" >&2; exit 1; }
+    tmp="$(mktemp)"
+    trap 'rm -f "$tmp"' EXIT
+    go run ./cmd/detmt-bench -experiment ceiling -json > "$tmp"
+    exec go run ./cmd/detmt-benchdiff -gate ceiling/ceiling_rps -max-drop 10 "$baseline" "$tmp"
 fi
 
 if [ "${1:-}" = "-micro" ]; then

@@ -4,11 +4,19 @@
 #
 #   scripts/check.sh          full gate (includes real-socket cluster tests)
 #   scripts/check.sh -short   what CI runs: skips the loopback-TCP tests
+#   scripts/check.sh -bench   full gate + the sequencer-throughput regression
+#                             gate (reruns the ceiling search and fails on a
+#                             >10% drop vs the committed BENCH_PR7.json; wall
+#                             timing-sensitive, so not part of the default run)
 set -eu
 cd "$(dirname "$0")/.."
 short=""
+bench=""
 if [ "${1:-}" = "-short" ]; then
 	short="-short"
+fi
+if [ "${1:-}" = "-bench" ]; then
+	bench="yes"
 fi
 go build ./...
 go vet ./...
@@ -25,3 +33,6 @@ fi
 # harness TestEarlySchedChaosSoak and the real-socket
 # TestClusterEarlySchedChaos in internal/server.
 go test -race -shuffle=on $short ./...
+if [ -n "$bench" ]; then
+	scripts/bench.sh -gate BENCH_PR7.json
+fi
