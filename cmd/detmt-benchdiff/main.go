@@ -4,17 +4,20 @@
 // after value and the relative change. Lower is better for every
 // hot-path metric, so negative deltas are improvements.
 //
-// With -gate it acts as a regression gate instead: the named metric —
-// higher is better, e.g. the sequencer throughput ceiling — must not
-// drop more than -max-drop percent from the baseline (first file) to
-// the current run (second file), or the process exits non-zero. A key
-// missing from either file also fails: a gate that silently passes
+// With -gate it acts as a regression gate instead: each named metric —
+// higher is better, e.g. the sequencer throughput ceiling or the
+// sharded aggregate ceiling — must not drop more than -max-drop percent
+// from the baseline (first file) to the current run (second file), or
+// the process exits non-zero. Several metrics gate in one invocation as
+// a comma-separated list; every key is checked even after one fails. A
+// key missing from either file also fails: a gate that silently passes
 // because the metric vanished is no gate.
 //
 // Usage:
 //
 //	detmt-benchdiff before.json after.json
 //	detmt-benchdiff -gate ceiling/ceiling_rps -max-drop 10 BENCH_PR7.json current.json
+//	detmt-benchdiff -gate ceiling/ceiling_rps,sharded_ceiling/aggregate_ceiling_rps BENCH_PR8.json current.json
 //	scripts/bench.sh -compare before.json after.json
 package main
 
@@ -24,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 )
 
 type result struct {
@@ -33,7 +37,7 @@ type result struct {
 }
 
 func main() {
-	gate := flag.String("gate", "", "gate mode: '<id>/<metric>' that must not regress (higher is better)")
+	gate := flag.String("gate", "", "gate mode: comma-separated '<id>/<metric>' keys that must not regress (higher is better)")
 	maxDrop := flag.Float64("max-drop", 10, "gate mode: maximum tolerated drop in percent")
 	flag.Parse()
 	if flag.NArg() != 2 {
@@ -52,7 +56,17 @@ func main() {
 	}
 
 	if *gate != "" {
-		os.Exit(runGate(before, after, *gate, *maxDrop))
+		code := 0
+		for _, key := range strings.Split(*gate, ",") {
+			key = strings.TrimSpace(key)
+			if key == "" {
+				continue
+			}
+			if c := runGate(before, after, key, *maxDrop); c != 0 {
+				code = c
+			}
+		}
+		os.Exit(code)
 	}
 
 	keys := make([]string, 0, len(before)+len(after))

@@ -34,6 +34,7 @@ import (
 
 	"detmt/internal/backend"
 	"detmt/internal/ids"
+	"detmt/internal/shard"
 	"detmt/internal/wire"
 )
 
@@ -52,6 +53,8 @@ func main() {
 	pDelay := flag.Float64("delay", 0.3, "per-step probability of a one-step read delay on a random replica")
 	delayBy := flag.Duration("delay-by", 5*time.Millisecond, "read delay applied when the delay fault fires")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request control timeout")
+	shardFlag := flag.Int("shard", -1,
+		"address shard k of a multi-tenant deployment: -servers lists BASE addresses and each is offset to base port + k (negative: addresses are literal)")
 	flag.Parse()
 
 	if *targetFlag == "backend" {
@@ -70,6 +73,16 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "detmt-chaos: bad -servers: %v\n", err)
 		os.Exit(2)
+	}
+	if *shardFlag >= 0 {
+		for id, base := range serverMap {
+			addr, err := shard.OffsetAddr(base, *shardFlag)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "detmt-chaos: -shard %d: %v\n", *shardFlag, err)
+				os.Exit(2)
+			}
+			serverMap[id] = addr
+		}
 	}
 	tr, err := wire.NewTCP(wire.Options{Name: "chaos-ctl", Peers: serverMap})
 	if err != nil {

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"strconv"
 	"strings"
@@ -51,6 +52,8 @@ func main() {
 	hotSkew := flag.Float64("hot-skew", 0, "family workload: hot-key skew (must match the servers)")
 	clientBase := flag.Int("client-base", 0,
 		"client id offset (ids are base+1..base+clients); rerunning against the SAME cluster needs a disjoint range")
+	shardsOn := flag.Bool("shards", false,
+		"sharded mode: fetch the ring from -servers (any tenant port of each member), route every request by key, and report per-shard counts and the imbalance ratio")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON instead of text")
 	verbose := flag.Bool("v", false, "log transport diagnostics")
 	chaosOn := flag.Bool("chaos", false, "run a seeded fault-injection plan against this generator's own connections")
@@ -116,6 +119,31 @@ func main() {
 			DelayBy:      *chaosDelayBy,
 			Addrs:        addrs,
 		}, stop)
+	}
+	if *shardsOn {
+		if fam != nil {
+			fmt.Fprintln(os.Stderr, "detmt-load: -families is not supported in sharded mode")
+			os.Exit(2)
+		}
+		runSharded(serverMap, shardedParams{
+			clients:     *clients,
+			requests:    *requests,
+			seed:        *seed,
+			workload:    wl,
+			clientBase:  *clientBase,
+			timeout:     *timeout,
+			rate:        *rate,
+			duration:    *duration,
+			warmup:      *warmup,
+			poisson:     *poisson,
+			slo:         *slo,
+			batchSubmit: *batchSubmit,
+			maxInFlight: *maxInFlight,
+			jsonOut:     *jsonOut,
+			dial:        opts.Dial,
+			logf:        logf,
+		})
+		return
 	}
 	if *rate > 0 {
 		runOpenLoop(server.OpenLoadOptions{
@@ -287,6 +315,230 @@ func runOpenLoop(o server.OpenLoadOptions, jsonOut bool, inj *chaos.Injector) {
 	}
 	if !res.Converged {
 		fmt.Fprintln(os.Stderr, "detmt-load: DIVERGED — replica consistency hashes differ")
+		os.Exit(1)
+	}
+}
+
+// shardedParams carries the flag values the sharded mode consumes.
+type shardedParams struct {
+	clients     int
+	requests    int
+	seed        uint64
+	workload    workload.Fig1Config
+	clientBase  int
+	timeout     time.Duration
+	rate        float64
+	duration    time.Duration
+	warmup      time.Duration
+	poisson     bool
+	slo         time.Duration
+	batchSubmit bool
+	maxInFlight int
+	jsonOut     bool
+	dial        func(addr string) (net.Conn, error)
+	logf        func(format string, args ...interface{})
+}
+
+// shardLine is the per-shard slice of the sharded JSON summary.
+type shardLine struct {
+	Shard       int             `json:"shard"`
+	Routed      uint64          `json:"routed"`
+	AchievedRPS float64         `json:"achieved_rps,omitempty"`
+	Converged   bool            `json:"converged"`
+	Hashes      []uint64        `json:"hashes"`
+	Statuses    []server.Status `json:"statuses"`
+}
+
+func shardLines(sums []server.ShardSummary) []shardLine {
+	out := make([]shardLine, 0, len(sums))
+	for _, s := range sums {
+		out = append(out, shardLine{
+			Shard:       s.Shard,
+			Routed:      s.Routed,
+			AchievedRPS: s.Achieved,
+			Converged:   s.Converged,
+			Hashes:      s.Hashes,
+			Statuses:    s.Statuses,
+		})
+	}
+	return out
+}
+
+func printShardSummaries(sums []server.ShardSummary, imbalance float64) {
+	for _, s := range sums {
+		extra := ""
+		if s.Achieved > 0 {
+			extra = fmt.Sprintf("  achieved %.0f req/s", s.Achieved)
+		}
+		fmt.Printf("shard g%d  routed %d%s  converged=%v\n", s.Shard, s.Routed, extra, s.Converged)
+		for _, st := range s.Statuses {
+			fmt.Printf("  replica %v  completed=%d state=%d hash=%016x\n",
+				st.ID, st.Completed, st.State, st.Hash)
+		}
+	}
+	fmt.Printf("imbalance %.3f (max/mean routed per shard; 1.000 = perfectly even)\n", imbalance)
+}
+
+// runSharded fetches and verifies the ring, then drives the closed- or
+// open-loop sharded driver against it.
+func runSharded(serverMap map[ids.ReplicaID]string, p shardedParams) {
+	addrs := make([]string, 0, len(serverMap))
+	for _, a := range serverMap {
+		addrs = append(addrs, a)
+	}
+	ring, err := server.FetchRing(addrs, 10*time.Second, p.dial, p.logf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "detmt-load: %v\n", err)
+		os.Exit(1)
+	}
+	ringHash, _ := ring.Hash()
+	log.Printf("detmt-load: ring %016x with %d shard(s), verified across %d member(s)",
+		ringHash, len(ring.Groups), len(addrs))
+
+	if p.rate > 0 {
+		res, err := server.RunShardedOpenLoad(server.ShardedOpenLoadOptions{
+			Ring:        ring,
+			Rate:        p.rate,
+			Duration:    p.duration,
+			Warmup:      p.warmup,
+			Poisson:     p.poisson,
+			Clients:     p.clients,
+			MaxInFlight: p.maxInFlight,
+			BatchSubmit: p.batchSubmit,
+			SLO:         p.slo,
+			Seed:        p.seed,
+			Workload:    p.workload,
+			ClientBase:  p.clientBase,
+			Dial:        p.dial,
+			Logf:        p.logf,
+		})
+		if res == nil {
+			fmt.Fprintf(os.Stderr, "detmt-load: %v\n", err)
+			os.Exit(1)
+		}
+		iq := res.Intent.Quantiles(50, 99)
+		if p.jsonOut {
+			out := struct {
+				OfferedRPS  float64     `json:"offered_rps"`
+				AchievedRPS float64     `json:"achieved_rps"`
+				Sent        int         `json:"sent"`
+				Measured    int         `json:"measured"`
+				Shed        int         `json:"shed"`
+				Timeouts    int         `json:"timeouts"`
+				Errors      int         `json:"errors"`
+				IntentP50Ms float64     `json:"intent_p50_ms"`
+				IntentP99Ms float64     `json:"intent_p99_ms"`
+				SLOMet      bool        `json:"slo_met"`
+				Imbalance   float64     `json:"imbalance"`
+				Converged   bool        `json:"converged"`
+				PerShard    []shardLine `json:"per_shard"`
+			}{
+				OfferedRPS:  res.Offered,
+				AchievedRPS: res.Achieved,
+				Sent:        res.Sent,
+				Measured:    res.Measured,
+				Shed:        res.Shed,
+				Timeouts:    res.Timeouts,
+				Errors:      res.Errors + res.NoSeqErr,
+				IntentP50Ms: ms(iq[0]),
+				IntentP99Ms: ms(iq[1]),
+				SLOMet:      res.SLOMet,
+				Imbalance:   res.Imbalance,
+				Converged:   res.Converged,
+				PerShard:    shardLines(res.PerShard),
+			}
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if eerr := enc.Encode(out); eerr != nil {
+				fmt.Fprintf(os.Stderr, "detmt-load: %v\n", eerr)
+				os.Exit(1)
+			}
+		} else {
+			fmt.Printf("offered   %.0f req/s aggregate  achieved %.0f req/s  (%d sent, %d measured)\n",
+				res.Offered, res.Achieved, res.Sent, res.Measured)
+			fmt.Printf("errors    shed %d, timeouts %d, no-sequencer %d, other %d\n",
+				res.Shed, res.Timeouts, res.NoSeqErr, res.Errors)
+			fmt.Printf("intent    p50 %s ms  p99 %s ms  (coordinated-omission corrected)\n",
+				metrics.Ms(iq[0]), metrics.Ms(iq[1]))
+			if p.slo > 0 {
+				verdict := "MET"
+				if !res.SLOMet {
+					verdict = "MISSED"
+				}
+				fmt.Printf("slo       p99 budget %v: %s\n", p.slo, verdict)
+			}
+			printShardSummaries(res.PerShard, res.Imbalance)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "detmt-load: %v\n", err)
+			os.Exit(1)
+		}
+		if !res.Converged {
+			fmt.Fprintln(os.Stderr, "detmt-load: DIVERGED — a shard's replica hashes differ")
+			os.Exit(1)
+		}
+		return
+	}
+
+	res, err := server.RunShardedLoad(server.ShardedLoadOptions{
+		Ring:              ring,
+		Clients:           p.clients,
+		RequestsPerClient: p.requests,
+		Seed:              p.seed,
+		Workload:          p.workload,
+		ClientBase:        p.clientBase,
+		Timeout:           p.timeout,
+		Dial:              p.dial,
+		Logf:              p.logf,
+	})
+	if res == nil {
+		fmt.Fprintf(os.Stderr, "detmt-load: %v\n", err)
+		os.Exit(1)
+	}
+	qs := res.Latency.Quantiles(50, 95)
+	if p.jsonOut {
+		out := struct {
+			Requests  int         `json:"requests"`
+			Errors    int         `json:"errors"`
+			Retries   int         `json:"retries"`
+			ElapsedMs float64     `json:"elapsed_ms"`
+			MeanMs    float64     `json:"latency_mean_ms"`
+			P50Ms     float64     `json:"latency_p50_ms"`
+			P95Ms     float64     `json:"latency_p95_ms"`
+			Imbalance float64     `json:"imbalance"`
+			Converged bool        `json:"converged"`
+			PerShard  []shardLine `json:"per_shard"`
+		}{
+			Requests:  res.Requests,
+			Errors:    res.Errors,
+			Retries:   res.Retries,
+			ElapsedMs: ms(res.Elapsed),
+			MeanMs:    ms(res.Latency.Mean()),
+			P50Ms:     ms(qs[0]),
+			P95Ms:     ms(qs[1]),
+			Imbalance: res.Imbalance,
+			Converged: res.Converged,
+			PerShard:  shardLines(res.PerShard),
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if eerr := enc.Encode(out); eerr != nil {
+			fmt.Fprintf(os.Stderr, "detmt-load: %v\n", eerr)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Printf("requests  %d (%d errors) in %s wall\n",
+			res.Requests, res.Errors, res.Elapsed.Round(time.Millisecond))
+		fmt.Printf("latency   mean %s ms  p50 %s ms  p95 %s ms\n",
+			metrics.Ms(res.Latency.Mean()), metrics.Ms(qs[0]), metrics.Ms(qs[1]))
+		printShardSummaries(res.PerShard, res.Imbalance)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "detmt-load: %v\n", err)
+		os.Exit(1)
+	}
+	if !res.Converged {
+		fmt.Fprintln(os.Stderr, "detmt-load: DIVERGED — a shard's replica hashes differ")
 		os.Exit(1)
 	}
 }

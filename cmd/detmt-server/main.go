@@ -13,6 +13,17 @@
 //	detmt-server -id 2 -listen 127.0.0.1:7102 -peers 1=127.0.0.1:7101,3=127.0.0.1:7103 &
 //	detmt-server -id 3 -listen 127.0.0.1:7103 -peers 1=127.0.0.1:7101,2=127.0.0.1:7102 &
 //	detmt-load -servers 1=127.0.0.1:7101,2=127.0.0.1:7102,3=127.0.0.1:7103 -clients 4 -requests 8
+//
+// Sharded mode (-shards N) hosts one tenant replica per shard in this
+// process: -listen becomes the BASE address (shard k listens at base
+// port + k), every member derives the same consistent-hash ring from
+// the base addresses, and -xshard additionally routes nested calls into
+// the next shard through per-shard gateways (hosted by the lowest
+// member at base port + N + k). A single process is a whole sharded
+// cluster:
+//
+//	detmt-server -shards 4 -xshard -listen 127.0.0.1:7200 &
+//	detmt-load -shards -servers 1=127.0.0.1:7200 -clients 4 -requests 8
 package main
 
 import (
@@ -81,6 +92,12 @@ func main() {
 	seqRetention := flag.Int("seq-retention", 0,
 		"sequenced envelopes retained to serve rejoiners (0: default, negative: unlimited)")
 	gossip := flag.Duration("gossip", 0, "divergence-gossip interval (0: default 250ms, negative: disabled)")
+	shards := flag.Int("shards", 0,
+		"host one tenant replica per shard in this process (-listen is the BASE address: shard k listens at base port + k; 0: single-group mode)")
+	xshard := flag.Bool("xshard", false,
+		"route nested calls into the NEXT shard through per-shard gateways on the lowest member (requires -shards; excludes -backend)")
+	ringSeed := flag.Uint64("ring-seed", 0, "consistent-hash ring seed (must agree across members)")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per shard on the ring (0: default)")
 	chaosOn := flag.Bool("chaos", false, "expose the chaos fault-injection control channel (see detmt-chaos)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty: off)")
 	verbose := flag.Bool("v", false, "log transport diagnostics")
@@ -170,14 +187,56 @@ func main() {
 		opts.Dial = inj.Dial(nil)
 		opts.OnChaos = func(cmd string) []byte { return chaos.Handle(inj, cmd) }
 	}
+	mode := "fresh"
+	if *recoverFlag {
+		mode = "recovering"
+	}
+
+	// Sharded mode: one tenant replica per shard in this process, ports
+	// derived from the base address (see server.MultiOptions).
+	if *shards > 0 {
+		multi, err := server.NewMulti(server.MultiOptions{
+			Template: opts,
+			Shards:   *shards,
+			RingSeed: *ringSeed,
+			VNodes:   *vnodes,
+			XShard:   *xshard,
+			EpochDir: *dataDir,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "detmt-server: %v\n", err)
+			os.Exit(1)
+		}
+		ringHash, _ := multi.Ring().Hash()
+		log.Printf("detmt-server: member %d (%s, %s) hosting %d shard(s) from base %s, ring %016x, xshard=%v",
+			*id, *scheduler, mode, multi.Tenants(), *listen, ringHash, *xshard)
+
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		<-sigc
+		for _, st := range multi.Status().Shards {
+			log.Printf("detmt-server: shard %s shutting down: completed=%d hash=%x state=%d view=%d seq=%v",
+				st.Shard, st.Completed, st.Hash, st.State, st.View, st.Sequencer)
+		}
+		for k := 0; k < multi.Tenants(); k++ {
+			if gw := multi.Gateway(k); gw != nil {
+				stats := gw.Backend().Stats()
+				log.Printf("detmt-server: gateway %s totals: applies=%v replays=%v by-prefix=%v",
+					"g"+strconv.Itoa(k), stats["applies"], stats["replays"], stats["applies_by_prefix"])
+			}
+		}
+		multi.Close()
+		return
+	}
+	if *xshard {
+		fmt.Fprintln(os.Stderr, "detmt-server: -xshard requires -shards")
+		os.Exit(2)
+	}
+
 	srv, err := server.New(opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "detmt-server: %v\n", err)
 		os.Exit(1)
-	}
-	mode := "fresh"
-	if *recoverFlag {
-		mode = "recovering"
 	}
 	log.Printf("detmt-server: replica %d (%s, %s) listening on %s, %d peer(s)",
 		*id, *scheduler, mode, srv.Addr(), len(peerMap))

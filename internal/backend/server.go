@@ -51,9 +51,14 @@ type Server struct {
 	order   []string // FIFO eviction order for cache
 	applies uint64   // handler executions (first-time keys only)
 	replays uint64   // calls answered from the idempotency cache
-	closed  bool
-	conns   map[net.Conn]bool
-	wg      sync.WaitGroup
+	// appliesByPrefix splits applies by the key's namespace (the text
+	// before the trailing ":<req>:<call>" pair — "nested", "shard:g0",
+	// ...), so a gateway shared by several source shards shows who is
+	// calling.
+	appliesByPrefix map[string]uint64
+	closed          bool
+	conns           map[net.Conn]bool
+	wg              sync.WaitGroup
 }
 
 // NewServer binds and starts serving; Close shuts it down.
@@ -77,10 +82,11 @@ func NewServer(o ServerOptions) (*Server, error) {
 		}
 	}
 	s := &Server{
-		o:     o,
-		ln:    ln,
-		cache: map[string]cachedOutcome{},
-		conns: map[net.Conn]bool{},
+		o:               o,
+		ln:              ln,
+		cache:           map[string]cachedOutcome{},
+		appliesByPrefix: map[string]uint64{},
+		conns:           map[net.Conn]bool{},
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -100,15 +106,46 @@ func (s *Server) Applies() uint64 {
 	return s.applies
 }
 
+// AppliesByPrefix reports handler executions split by key namespace
+// (see appliesByPrefix).
+func (s *Server) AppliesByPrefix() map[string]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]uint64, len(s.appliesByPrefix))
+	for k, v := range s.appliesByPrefix {
+		out[k] = v
+	}
+	return out
+}
+
+// keyPrefix extracts a key's namespace: everything before the trailing
+// ":<req>:<call>" pair, or the whole key when it has fewer segments.
+func keyPrefix(key string) string {
+	end := len(key)
+	for drop := 0; drop < 2; drop++ {
+		i := strings.LastIndexByte(key[:end], ':')
+		if i < 0 {
+			return key
+		}
+		end = i
+	}
+	return key[:end]
+}
+
 // Stats reports server counters (and fault counters when faults are
 // wired).
 func (s *Server) Stats() map[string]interface{} {
 	s.mu.Lock()
+	byPrefix := make(map[string]uint64, len(s.appliesByPrefix))
+	for k, v := range s.appliesByPrefix {
+		byPrefix[k] = v
+	}
 	m := map[string]interface{}{
-		"applies":     s.applies,
-		"replays":     s.replays,
-		"cached_keys": len(s.cache),
-		"addr":        s.ln.Addr().String(),
+		"applies":           s.applies,
+		"replays":           s.replays,
+		"applies_by_prefix": byPrefix,
+		"cached_keys":       len(s.cache),
+		"addr":              s.ln.Addr().String(),
 	}
 	s.mu.Unlock()
 	if s.o.Faults != nil {
@@ -269,6 +306,7 @@ func (s *Server) store(key string, v lang.Value, errStr string) {
 	if _, ok := s.cache[key]; !ok {
 		s.order = append(s.order, key)
 		s.applies++
+		s.appliesByPrefix[keyPrefix(key)]++
 	}
 	s.cache[key] = cachedOutcome{value: v, errStr: errStr}
 	for len(s.order) > s.o.CacheSize {

@@ -72,6 +72,15 @@ func (o Origin) String() string {
 type Config struct {
 	Clock   vclock.Clock
 	Members []ids.ReplicaID
+	// Group names the replication group this endpoint belongs to in a
+	// sharded deployment ("g0", "g1", ...; "" for single-group). It is
+	// the group's identity, not behavior: member ids, views, and seqno
+	// spaces of distinct groups are independent, and the tag shows up in
+	// log prefixes and server status so interleaved multi-tenant output
+	// stays attributable. The matching wire-transport Group tag (which
+	// DOES enforce isolation at handshake) is set separately by the
+	// process that builds the transport.
+	Group string
 	// Latency is the one-way transfer time between any two endpoints
 	// (including a node's messages to itself, for symmetry). Only the
 	// in-memory transport uses it.
@@ -209,7 +218,6 @@ type Group struct {
 	tr       Transport
 	vclk     *vclock.Virtual // non-nil when Clock is a Virtual
 	stamped  bool            // stamped sequencing active (see Config.Tick)
-	allLocal bool
 
 	mu        sync.Mutex
 	nodes     map[ids.ReplicaID]*Node
@@ -309,22 +317,19 @@ func NewGroup(cfg Config) *Group {
 	for _, id := range local {
 		g.localSet[id] = true
 	}
-	g.allLocal = true
-	for _, id := range members {
-		if !g.localSet[id] {
-			g.allLocal = false
-		}
-	}
 	if g.cfg.Logf == nil {
 		g.cfg.Logf = func(string, ...interface{}) {}
 	} else {
-		// Prefix events with the hosted member so multi-process logs
-		// interleave readably.
+		// Prefix events with the hosted member (and group, when sharded)
+		// so multi-process and multi-tenant logs interleave readably.
 		self := "client"
 		if len(local) == 1 {
 			self = local[0].String()
 		} else if len(local) > 1 {
 			self = fmt.Sprintf("%v", local)
+		}
+		if cfg.Group != "" {
+			self = cfg.Group + "/" + self
 		}
 		inner := g.cfg.Logf
 		g.cfg.Logf = func(format string, args ...interface{}) {
@@ -423,6 +428,10 @@ func (g *Group) Node(id ids.ReplicaID) *Node {
 func (g *Group) Members() []ids.ReplicaID {
 	return append([]ids.ReplicaID(nil), g.cfg.Members...)
 }
+
+// GroupTag returns the shard identity this group was configured with
+// ("" in single-group deployments).
+func (g *Group) GroupTag() string { return g.cfg.Group }
 
 // NewClientEndpoint registers a client endpoint.
 func (g *Group) NewClientEndpoint(id ids.ClientID) *ClientEndpoint {

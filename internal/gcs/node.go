@@ -143,8 +143,12 @@ func (n *Node) SendToClient(to ids.ClientID, p Payload) {
 	if !n.g.alive(n.id) {
 		return
 	}
-	if n.g.allLocal {
-		// Simulator semantics: replies to unregistered clients vanish.
+	if n.g.cfg.Transport == nil {
+		// Simulator semantics (in-memory transport): replies to
+		// unregistered clients vanish — there is nowhere to route them.
+		// A real transport must NOT take this path even when one process
+		// hosts every member (a single-member group, a multi-tenant
+		// shard): its clients live behind the wire, not in g.clients.
 		n.g.mu.Lock()
 		c := n.g.clients[to]
 		n.g.mu.Unlock()

@@ -219,7 +219,7 @@ func TestRePerformOrdering(t *testing.T) {
 	r.mu.Lock()
 	pending := make(map[string]bool, parked)
 	for k := range r.waitingNest {
-		pending[idemKey(k)] = true
+		pending[r.idemKey(k)] = true
 	}
 	r.mu.Unlock()
 

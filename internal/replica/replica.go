@@ -110,6 +110,12 @@ type Config struct {
 	// deterministic checkpoints — every replica calls the sink at the
 	// same slots with the same quiescent state.
 	CheckpointSink func(seq uint64)
+	// IdemPrefix namespaces the idempotency keys presented to the
+	// backend ("" means "nested", the single-group default). A sharded
+	// deployment sets it to "shard:<group>" so one gateway's memoisation
+	// cache can serve several source shards without key collisions:
+	// request ids are only unique within a group's total order.
+	IdemPrefix string
 }
 
 // Replica is one member of a replicated object group.
@@ -630,9 +636,16 @@ func (r *Replica) onNested(rt *core.Runtime, th *core.Thread, arg interface{}) {
 // the request id and the per-thread call counter — never from the
 // performing replica — so a new performer re-running the call after a
 // failover presents the same key, and a memoising backend answers with
-// the original outcome instead of applying the side effects twice.
-func idemKey(key nestedKey) string {
-	return fmt.Sprintf("nested:%d:%d", uint64(key.req), key.n)
+// the original outcome instead of applying the side effects twice. The
+// prefix defaults to "nested"; sharded deployments override it per
+// source group (Config.IdemPrefix) so keys stay unique across shards
+// sharing one gateway cache.
+func (r *Replica) idemKey(key nestedKey) string {
+	prefix := r.cfg.IdemPrefix
+	if prefix == "" {
+		prefix = "nested"
+	}
+	return fmt.Sprintf("%s:%d:%d", prefix, uint64(key.req), key.n)
 }
 
 // perform runs one external call against the configured backend and
@@ -664,7 +677,7 @@ func (r *Replica) perform(key nestedKey, arg lang.Value, managed bool) {
 		if managed && blocking {
 			r.cfg.Clock.Exit()
 		}
-		v, attempts, err := pol.Do(r.cfg.Backend, idemKey(key), arg)
+		v, attempts, err := pol.Do(r.cfg.Backend, r.idemKey(key), arg)
 		if managed && blocking {
 			r.cfg.Clock.Enter()
 		}

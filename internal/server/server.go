@@ -36,6 +36,26 @@ import (
 type Options struct {
 	// ID is this process's replica id (must appear in the membership).
 	ID ids.ReplicaID
+	// Group tags this replica with its shard ("g0", "g1", ...) in a
+	// sharded deployment. The tag travels in every wire hello — peers
+	// and clients of a different group are rejected at handshake — and
+	// shows up in Status and log prefixes. "" for single-group clusters.
+	Group string
+	// RingBlob is the serialized shard-ring config (shard.Encode) this
+	// process serves to "ring" control queries, so routers can fetch the
+	// topology from any member and verify every member agrees. nil for
+	// single-group clusters.
+	RingBlob []byte
+	// OnShards, when set, serves "shards" control queries with a
+	// combined multi-tenant status document (the MultiServer installs
+	// it on every hosted tenant, so any shard's port answers for the
+	// whole process).
+	OnShards func() []byte
+	// IdemPrefix namespaces the idempotency keys of nested calls
+	// presented to the backend (see replica.Config.IdemPrefix; "" means
+	// "nested"). Sharded deployments use "shard:<group>" so one gateway
+	// cache serves many source shards without key collisions.
+	IdemPrefix string
 	// Listen is the TCP address to accept peer and client connections on.
 	// Listener, if non-nil, overrides it (tests bind port 0 up front).
 	Listen   string
@@ -174,6 +194,9 @@ const DefaultTraceRetention = 1 << 16
 type Status struct {
 	ID        ids.ReplicaID `json:"id"`
 	Scheduler string        `json:"scheduler"`
+	// Shard is the replica's group tag in a sharded deployment (empty
+	// for single-group clusters).
+	Shard string `json:"shard,omitempty"`
 	// View/Sequencer identify the sequencing view this member is in and
 	// which replica sequences it (the view number increments at every
 	// takeover).
@@ -326,6 +349,7 @@ func New(o Options) (*Server, error) {
 	}
 	tr, err := wire.NewTCP(wire.Options{
 		Name:         o.ID.String(),
+		Group:        o.Group,
 		Listen:       o.Listen,
 		Listener:     o.Listener,
 		Peers:        o.Peers,
@@ -358,6 +382,7 @@ func New(o Options) (*Server, error) {
 
 	gcfg := gcs.Config{
 		Clock:          s.clock,
+		Group:          o.Group,
 		Members:        members,
 		Transport:      tr,
 		Local:          []ids.ReplicaID{o.ID},
@@ -429,6 +454,7 @@ func New(o Options) (*Server, error) {
 		LeaderID:         members[0],
 		CheckpointEvery:  o.CheckpointEvery,
 		CheckpointSink:   s.captureCheckpoint,
+		IdemPrefix:       o.IdemPrefix,
 	})
 	if o.Families != nil {
 		for f := 0; f < o.Families.Families; f++ {
@@ -506,6 +532,7 @@ func (s *Server) Status() Status {
 	st := Status{
 		ID:            s.o.ID,
 		Scheduler:     string(s.o.Scheduler),
+		Shard:         s.o.Group,
 		Completed:     s.rep.Completed(),
 		Hash:          tr.ConsistencyHash(),
 		NowVirtMs:     float64(s.clock.Now()) / float64(time.Millisecond),
@@ -565,10 +592,22 @@ type hashRing struct {
 	Points []recovery.SeqHash `json:"points"`
 }
 
+// marshalControl renders a control-protocol reply, folding a marshal
+// failure into the protocol's `{"error":...}` shape so every handler
+// arm shares one error path.
+func marshalControl(v interface{}) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
+	}
+	return b
+}
+
 // handleControl serves the out-of-band control protocol: "hashes"
 // returns the divergence-point ring, "chaos <cmd>" routes to the fault
-// injector, anything else (canonically "status") gets the JSON status
-// snapshot.
+// injector, "ring" serves the shard-ring config blob, "shards" the
+// combined multi-tenant status, and anything else (canonically
+// "status") gets the JSON status snapshot.
 func (s *Server) handleControl(req []byte) []byte {
 	s.stateMu.Lock()
 	ready := s.ready
@@ -579,22 +618,26 @@ func (s *Server) handleControl(req []byte) []byte {
 	cmd := string(req)
 	switch {
 	case cmd == "hashes":
-		b, err := json.Marshal(hashRing{ID: s.o.ID, Points: s.mgr.Points()})
-		if err != nil {
-			return []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
+		return marshalControl(hashRing{ID: s.o.ID, Points: s.mgr.Points()})
+	case cmd == "ring":
+		if len(s.o.RingBlob) == 0 {
+			return []byte(`{"error":"not sharded"}`)
 		}
-		return b
+		// Raw blob, not JSON: the shard codec's own header carries the
+		// format version and agreement hash.
+		return append([]byte(nil), s.o.RingBlob...)
+	case cmd == "shards":
+		if s.o.OnShards == nil {
+			return []byte(`{"error":"not sharded"}`)
+		}
+		return s.o.OnShards()
 	case strings.HasPrefix(cmd, "chaos "):
 		if s.o.OnChaos == nil {
 			return []byte(`{"error":"chaos not enabled"}`)
 		}
 		return s.o.OnChaos(strings.TrimPrefix(cmd, "chaos "))
 	default:
-		b, err := json.Marshal(s.Status())
-		if err != nil {
-			return []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
-		}
-		return b
+		return marshalControl(s.Status())
 	}
 }
 

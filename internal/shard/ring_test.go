@@ -1,0 +1,361 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"detmt/internal/ids"
+)
+
+func testConfig(groups int) RingConfig {
+	cfg := RingConfig{Version: 1, Seed: 0x5eed, VNodes: 64}
+	for k := 0; k < groups; k++ {
+		cfg.Groups = append(cfg.Groups, GroupConfig{
+			ID: k,
+			Members: map[ids.ReplicaID]string{
+				1: fmt.Sprintf("127.0.0.1:%d", 9000+k),
+				2: fmt.Sprintf("127.0.0.1:%d", 9100+k),
+				3: fmt.Sprintf("127.0.0.1:%d", 9200+k),
+			},
+			Backend: fmt.Sprintf("127.0.0.1:%d", 9300+k),
+		})
+	}
+	return cfg
+}
+
+// Same seed + member set must produce the identical key→group mapping
+// no matter how the config was assembled (fresh construction, shuffled
+// group order, or a decode of the serialized form) — this is what lets
+// independent router processes agree without a routing authority.
+func TestRingDeterministicAcrossConstructions(t *testing.T) {
+	cfg := testConfig(5)
+
+	r1, err := NewRing(cfg)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+
+	// Shuffled group order: normalize must cancel it out.
+	shuffled := cfg
+	shuffled.Groups = append([]GroupConfig(nil), cfg.Groups...)
+	rand.New(rand.NewSource(7)).Shuffle(len(shuffled.Groups), func(i, j int) {
+		shuffled.Groups[i], shuffled.Groups[j] = shuffled.Groups[j], shuffled.Groups[i]
+	})
+	r2, err := NewRing(shuffled)
+	if err != nil {
+		t.Fatalf("NewRing(shuffled): %v", err)
+	}
+
+	// Serialize/decode round trip — the cross-process path.
+	blob, err := Encode(cfg)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	decoded, err := Decode(blob)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	r3, err := NewRing(decoded)
+	if err != nil {
+		t.Fatalf("NewRing(decoded): %v", err)
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20000; i++ {
+		key := rng.Uint64()
+		a, b, c := r1.Route(key), r2.Route(key), r3.Route(key)
+		if a != b || a != c {
+			t.Fatalf("key %#x routed to %d/%d/%d across constructions", key, a, b, c)
+		}
+	}
+}
+
+// Different seeds must produce different rings (otherwise the seed is
+// decorative and operators can't re-balance by reseeding).
+func TestRingSeedMatters(t *testing.T) {
+	cfg1 := testConfig(8)
+	cfg2 := testConfig(8)
+	cfg2.Seed = cfg1.Seed + 1
+	r1, err := NewRing(cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 10000; i++ {
+		key := rng.Uint64()
+		if r1.Route(key) != r2.Route(key) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatalf("reseeding did not move any of 10000 keys")
+	}
+}
+
+// Property: adding one group to an N-group ring remaps at most
+// (1/(N+1) + eps) of a sampled keyspace — the consistent-hashing
+// contract. Keys that do move must move TO the new group (consistent
+// hashing never shuffles keys between surviving groups).
+func TestRingAddGroupRemapBound(t *testing.T) {
+	const samples = 50000
+	rng := rand.New(rand.NewSource(123))
+	keys := make([]uint64, samples)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	for _, n := range []int{3, 4, 8, 16} {
+		before, err := NewRing(testConfig(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, err := NewRing(testConfig(n + 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for _, key := range keys {
+			a, b := before.Route(key), after.Route(key)
+			if a == b {
+				continue
+			}
+			moved++
+			if got := after.Config().Groups[b].ID; got != n {
+				t.Fatalf("n=%d: key %#x moved from group %d to surviving group %d (want new group %d)",
+					n, key, a, got, n)
+			}
+		}
+		frac := float64(moved) / float64(samples)
+		// Expected share is 1/(n+1); eps covers vnode placement variance
+		// and sampling noise.
+		bound := 1.0/float64(n+1) + 0.05
+		if frac > bound {
+			t.Fatalf("n=%d: adding a group remapped %.4f of keyspace, bound %.4f", n, frac, bound)
+		}
+		if moved == 0 {
+			t.Fatalf("n=%d: adding a group remapped nothing", n)
+		}
+	}
+}
+
+// The ring must spread a uniform keyspace roughly evenly: max/mean
+// share within a loose factor at the default vnode count.
+func TestRingBalance(t *testing.T) {
+	r, err := NewRing(RingConfig{Version: 1, Seed: 77, Groups: testConfig(8).Groups})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]uint64, r.Groups())
+	rng := rand.New(rand.NewSource(5))
+	const samples = 100000
+	for i := 0; i < samples; i++ {
+		counts[r.Route(rng.Uint64())]++
+	}
+	ratio := ImbalanceRatio(counts)
+	if ratio > 1.5 {
+		t.Fatalf("imbalance ratio %.3f > 1.5 over %d samples: %v", ratio, samples, counts)
+	}
+}
+
+func TestRingCodecRoundTrip(t *testing.T) {
+	cfg := testConfig(4)
+	blob, err := Encode(cfg)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(blob)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Version != cfg.Version || got.Seed != cfg.Seed || got.VNodes != cfg.VNodes {
+		t.Fatalf("header fields mangled: got %+v", got)
+	}
+	if len(got.Groups) != len(cfg.Groups) {
+		t.Fatalf("got %d groups, want %d", len(got.Groups), len(cfg.Groups))
+	}
+	for i, g := range got.Groups {
+		want := cfg.Groups[i]
+		if g.ID != want.ID || g.Backend != want.Backend {
+			t.Fatalf("group %d mangled: got %+v want %+v", i, g, want)
+		}
+		if len(g.Members) != len(want.Members) {
+			t.Fatalf("group %d: got %d members, want %d", i, len(g.Members), len(want.Members))
+		}
+		for id, addr := range want.Members {
+			if g.Members[id] != addr {
+				t.Fatalf("group %d member %d: got %q want %q", i, id, g.Members[id], addr)
+			}
+		}
+	}
+	// Re-encode must be byte-identical — canonical form.
+	blob2, err := Encode(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != string(blob2) {
+		t.Fatalf("re-encode not canonical")
+	}
+}
+
+func TestRingDecodeRejectsCorruption(t *testing.T) {
+	blob, err := Encode(testConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one body byte: hash check must fire.
+	bad := append([]byte(nil), blob...)
+	bad[len(bad)-1] ^= 0xff
+	if _, err := Decode(bad); err == nil {
+		t.Fatalf("decode accepted a corrupted body")
+	}
+	// Wrong magic.
+	bad = append([]byte(nil), blob...)
+	bad[0] = 'X'
+	if _, err := Decode(bad); err == nil {
+		t.Fatalf("decode accepted bad magic")
+	}
+	// Wrong format.
+	bad = append([]byte(nil), blob...)
+	bad[5] = 99
+	if _, err := Decode(bad); err == nil {
+		t.Fatalf("decode accepted unknown format")
+	}
+	// Truncation at every prefix length must error, not panic.
+	for i := 0; i < len(blob); i++ {
+		if _, err := Decode(blob[:i]); err == nil {
+			t.Fatalf("decode accepted a %d-byte truncation", i)
+		}
+	}
+}
+
+func TestVerifyAgreement(t *testing.T) {
+	cfg := testConfig(4)
+	blob, err := Encode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := VerifyAgreement(map[string][]byte{"a": blob, "b": blob, "c": blob})
+	if err != nil {
+		t.Fatalf("VerifyAgreement(identical): %v", err)
+	}
+	if got.Seed != cfg.Seed {
+		t.Fatalf("wrong config returned")
+	}
+
+	other := cfg
+	other.Seed++
+	blob2, err := Encode(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyAgreement(map[string][]byte{"a": blob, "b": blob2}); err == nil {
+		t.Fatalf("VerifyAgreement accepted disagreeing rings")
+	}
+	if _, err := VerifyAgreement(nil); err == nil {
+		t.Fatalf("VerifyAgreement accepted empty input")
+	}
+}
+
+func TestSymmetricConfig(t *testing.T) {
+	bases := map[ids.ReplicaID]string{
+		1: "127.0.0.1:9000",
+		2: "127.0.0.1:9100",
+		3: "127.0.0.1:9200",
+	}
+	cfg, err := SymmetricConfig(1, 42, 0, 4, bases, true)
+	if err != nil {
+		t.Fatalf("SymmetricConfig: %v", err)
+	}
+	if len(cfg.Groups) != 4 {
+		t.Fatalf("got %d groups", len(cfg.Groups))
+	}
+	for k, g := range cfg.Groups {
+		if g.ID != k {
+			t.Fatalf("group %d has id %d", k, g.ID)
+		}
+		if got := g.Members[2]; got != fmt.Sprintf("127.0.0.1:%d", 9100+k) {
+			t.Fatalf("shard %d member 2 addr %q", k, got)
+		}
+		// Gateway lives on the lowest member, past the shard listeners.
+		if got, want := g.Backend, fmt.Sprintf("127.0.0.1:%d", 9004+k); got != want {
+			t.Fatalf("shard %d backend %q, want %q", k, got, want)
+		}
+	}
+	// No xshard: backends empty.
+	cfg2, err := SymmetricConfig(1, 42, 0, 2, bases, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range cfg2.Groups {
+		if g.Backend != "" {
+			t.Fatalf("unexpected backend %q", g.Backend)
+		}
+	}
+	// Both sides derive identical configs.
+	h1, err := cfg.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := SymmetricConfig(1, 42, 0, 4, bases, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := again.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("symmetric derivation not stable: %x vs %x", h1, h2)
+	}
+}
+
+func TestOffsetAddr(t *testing.T) {
+	got, err := OffsetAddr("127.0.0.1:9000", 3)
+	if err != nil || got != "127.0.0.1:9003" {
+		t.Fatalf("OffsetAddr = %q, %v", got, err)
+	}
+	if _, err := OffsetAddr("nonsense", 1); err == nil {
+		t.Fatalf("accepted bad address")
+	}
+	if _, err := OffsetAddr("127.0.0.1:65535", 1); err == nil {
+		t.Fatalf("accepted out-of-range port")
+	}
+}
+
+func TestRouterCountsAndImbalance(t *testing.T) {
+	r, err := NewRing(testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	router := NewRouter(r)
+	if router.Imbalance() != 0 {
+		t.Fatalf("imbalance before traffic should be 0")
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 8000; i++ {
+		router.Route(rng.Uint64())
+	}
+	counts := router.Counts()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total != 8000 {
+		t.Fatalf("counts sum %d, want 8000", total)
+	}
+	if imb := router.Imbalance(); imb < 1.0 || imb > 1.6 {
+		t.Fatalf("imbalance %.3f outside sanity band", imb)
+	}
+	// Router and bare ring agree key-by-key.
+	for i := 0; i < 1000; i++ {
+		key := rng.Uint64()
+		if router.Route(key) != r.Route(key) {
+			t.Fatalf("router disagrees with ring")
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package shard
+
+import "sync/atomic"
+
+// Router is the client-side fan-out policy: it wraps a compiled Ring
+// and keeps per-shard routing counters so load drivers can report how
+// evenly the keyspace actually landed (a skewed ring shows up as a high
+// Imbalance, not as a mystery p99). Routing itself is pure — two
+// routers over the same config always pick the same group for a key —
+// the counters are only observability.
+type Router struct {
+	ring   *Ring
+	counts []atomic.Uint64
+}
+
+// NewRouter wraps a compiled ring.
+func NewRouter(r *Ring) *Router {
+	return &Router{ring: r, counts: make([]atomic.Uint64, r.Groups())}
+}
+
+// Ring returns the underlying ring.
+func (r *Router) Ring() *Ring { return r.ring }
+
+// Route maps a key to its group index and records the pick.
+func (r *Router) Route(key uint64) int {
+	idx := r.ring.Route(key)
+	r.counts[idx].Add(1)
+	return idx
+}
+
+// Counts returns a snapshot of per-shard routed-request counts, indexed
+// like Config().Groups.
+func (r *Router) Counts() []uint64 {
+	out := make([]uint64, len(r.counts))
+	for i := range r.counts {
+		out[i] = r.counts[i].Load()
+	}
+	return out
+}
+
+// Imbalance is the shard-imbalance ratio max/mean over routed counts:
+// 1.0 is a perfectly even ring, 2.0 means the hottest shard saw twice
+// the mean. Returns 0 before any request has been routed.
+func (r *Router) Imbalance() float64 {
+	return ImbalanceRatio(r.Counts())
+}
+
+// ImbalanceRatio computes max/mean over a set of per-shard counts (0 if
+// the total is zero). Shared by the router and by load summaries that
+// aggregate counts from elsewhere.
+func ImbalanceRatio(counts []uint64) float64 {
+	if len(counts) == 0 {
+		return 0
+	}
+	var total, max uint64
+	for _, c := range counts {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(counts))
+	return float64(max) / mean
+}

@@ -27,7 +27,7 @@ import (
 // the golden-bytes test in codec_test.go pins the current format.
 const (
 	Magic   = "DTMT"
-	Version = uint16(5) // v5: envelopes carry the sequencer-stamped conflict class (earlysched)
+	Version = uint16(6) // v6: hellos carry the sender's shard group tag (sharded scale-out)
 )
 
 // Frame kinds.
@@ -432,28 +432,32 @@ func DecodeEnvelope(b []byte) (gcs.Envelope, int, error) {
 // restart incarnation: receivers reset the sender's dedup state when it
 // grows and reject connections carrying an older one (0 opts out of
 // epoch semantics entirely, for processes that never restart in place).
-func helloBody(name string, epoch uint64, origins []gcs.Origin) []byte {
+// group (v6) tags the sender's shard: receivers belonging to a
+// different group refuse the connection so two shards' total orders can
+// never splice.
+func helloBody(name string, epoch uint64, origins []gcs.Origin, group string) []byte {
 	b := appendString(nil, name)
 	b = appendU64(b, epoch)
 	b = appendU32(b, uint32(len(origins)))
 	for _, o := range origins {
 		b = appendOrigin(b, o)
 	}
-	return b
+	return appendString(b, group)
 }
 
-func parseHello(body []byte) (name string, epoch uint64, origins []gcs.Origin, err error) {
+func parseHello(body []byte) (name string, epoch uint64, origins []gcs.Origin, group string, err error) {
 	r := &reader{b: body}
 	name = r.str()
 	epoch = r.u64()
 	n := int(r.u32())
 	if r.err != nil || n > len(body) {
-		return "", 0, nil, errShortFrame
+		return "", 0, nil, "", errShortFrame
 	}
 	for i := 0; i < n; i++ {
 		origins = append(origins, r.origin())
 	}
-	return name, epoch, origins, r.err
+	group = r.str()
+	return name, epoch, origins, group, r.err
 }
 
 func batchBody(b []byte, envs []gcs.Envelope) ([]byte, error) {

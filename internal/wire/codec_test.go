@@ -171,12 +171,17 @@ func TestHelloRoundTrip(t *testing.T) {
 		{Client: 3, IsClient: true},
 		{Client: 9, IsClient: true},
 	}
-	name, epoch, got, err := parseHello(helloBody("load-7", 42, origins))
+	name, epoch, got, group, err := parseHello(helloBody("load-7", 42, origins, "g2"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if name != "load-7" || epoch != 42 || !reflect.DeepEqual(got, origins) {
-		t.Fatalf("hello mismatch: %q epoch=%d %+v", name, epoch, got)
+	if name != "load-7" || epoch != 42 || group != "g2" || !reflect.DeepEqual(got, origins) {
+		t.Fatalf("hello mismatch: %q epoch=%d group=%q %+v", name, epoch, group, got)
+	}
+	// Ungrouped hello (single-group deployments) round-trips too.
+	_, _, _, group, err = parseHello(helloBody("R1", 1, nil, ""))
+	if err != nil || group != "" {
+		t.Fatalf("ungrouped hello: group=%q err=%v", group, err)
 	}
 }
 
@@ -187,7 +192,7 @@ func TestFrameRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := []frame{
-		{kind: frameHello, seq: 0, body: helloBody("R1", 1, nil)},
+		{kind: frameHello, seq: 0, body: helloBody("R1", 1, nil, "")},
 		{kind: frameEnvelope, seq: 1, body: []byte{1, 2, 3}},
 		{kind: frameAck, seq: 0, body: appendU64(nil, 17)},
 	}
@@ -219,8 +224,8 @@ func TestGoldenBytes(t *testing.T) {
 	if err := writePreamble(&pre); err != nil {
 		t.Fatal(err)
 	}
-	// v5: envelopes carry the sequencer-stamped conflict class.
-	if got, want := hex.EncodeToString(pre.Bytes()), "44544d540005"; got != want {
+	// v6: hellos carry the sender's shard group tag.
+	if got, want := hex.EncodeToString(pre.Bytes()), "44544d540006"; got != want {
 		t.Errorf("preamble drifted:\n  got  %s\n  want %s", got, want)
 	}
 

@@ -25,6 +25,15 @@ type Options struct {
 	// Receivers key duplicate-suppression state by it, so it must stay
 	// the same across reconnects and be unique within the deployment.
 	Name string
+	// Group tags this transport with the replication group (shard) it
+	// belongs to, announced in every hello. A receiver whose own Group
+	// differs drops the connection at handshake — in a sharded
+	// deployment every shard runs an independent total order, and a
+	// misrouted connection (port arithmetic gone wrong, stale ring
+	// config) must fail loudly rather than splice two orders together.
+	// "" opts out: single-group deployments and their clients never
+	// check.
+	Group string
 	// Listen is the address to accept connections on ("" for client-only
 	// processes). Listener, if non-nil, overrides Listen — tests use it
 	// to bind port 0 before the peer map is assembled.
@@ -326,7 +335,7 @@ func (t *TCP) helloFrameLocked() frame {
 			origins = append(origins, o)
 		}
 	}
-	return frame{kind: frameHello, body: helloBody(t.o.Name, t.o.Epoch, origins)}
+	return frame{kind: frameHello, body: helloBody(t.o.Name, t.o.Epoch, origins, t.o.Group)}
 }
 
 // Send implements gcs.Transport. The link key is unused: per-peer
@@ -1335,8 +1344,15 @@ func (ic *inboundConn) readLoop() {
 		}
 		switch f.kind {
 		case frameHello:
-			name, epoch, origins, err := parseHello(f.body)
+			name, epoch, origins, group, err := parseHello(f.body)
 			if err != nil {
+				return
+			}
+			if group != "" && t.o.Group != "" && group != t.o.Group {
+				// A shard's total order is its own: a connection from a
+				// different group is a routing bug (bad ring config, port
+				// arithmetic), and accepting it would splice two orders.
+				t.o.Logf("wire: rejecting %s from group %q (this is group %q)", name, group, t.o.Group)
 				return
 			}
 			t.mu.Lock()

@@ -298,3 +298,58 @@ func TestTCPControl(t *testing.T) {
 		t.Fatalf("control reply %q", resp)
 	}
 }
+
+// TestTCPGroupMismatchRejected checks the v6 shard-isolation rule: a
+// transport tagged with one group cannot deliver into a receiver tagged
+// with another (the hello is refused at handshake), while a same-group
+// sender works and untagged legacy senders are still accepted.
+func TestTCPGroupMismatchRejected(t *testing.T) {
+	ln := listenerFor(t)
+	srv, err := NewTCP(Options{Name: "B", Group: "g0", Listener: ln})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var s sink
+	srv.Bind(gcs.Origin{Replica: 2}, s.deliver)
+
+	to := gcs.Origin{Replica: 2}
+
+	wrong, err := NewTCP(Options{
+		Name:       "A",
+		Group:      "g1",
+		Peers:      map[ids.ReplicaID]string{2: ln.Addr().String()},
+		BackoffMin: time.Millisecond,
+		BackoffMax: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wrong.Close()
+	wrong.Send("k", to, gcs.Envelope{UID: 99, To: to, Payload: "x"})
+	time.Sleep(200 * time.Millisecond) // several redial cycles
+	if got := s.snapshot(); len(got) != 0 {
+		t.Fatalf("cross-group envelope delivered: %v", got)
+	}
+
+	right, err := NewTCP(Options{Name: "C", Group: "g0",
+		Peers: map[ids.ReplicaID]string{2: ln.Addr().String()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer right.Close()
+	right.Send("k", to, gcs.Envelope{UID: 1, To: to, Payload: "x"})
+	waitFor(t, "same-group envelope", func() bool { return len(s.snapshot()) >= 1 })
+	if got := s.snapshot(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("unexpected delivery set %v", got)
+	}
+
+	legacy, err := NewTCP(Options{Name: "L",
+		Peers: map[ids.ReplicaID]string{2: ln.Addr().String()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer legacy.Close()
+	legacy.Send("k", to, gcs.Envelope{UID: 2, To: to, Payload: "x"})
+	waitFor(t, "untagged envelope", func() bool { return len(s.snapshot()) >= 2 })
+}

@@ -5,8 +5,13 @@
 #   scripts/bench.sh -earlysched [out] run the earlysched experiment instead
 #   scripts/bench.sh -openloop [out]   open-loop throughput matrix (E15, real sockets)
 #   scripts/bench.sh -ceiling [out]    sequencer ceiling search only (real sockets)
-#   scripts/bench.sh -gate [baseline]  rerun the ceiling and fail on a >10% drop
-#                                      vs the committed baseline (default BENCH_PR7.json)
+#   scripts/bench.sh -shards [out]     sharded aggregate-ceiling ladder (E16,
+#                                      1/2/4-shard multi-tenant processes)
+#   scripts/bench.sh -gate [baseline]  rerun the single-group ceiling and the
+#                                      sharded aggregate ceiling; fail on a >10%
+#                                      drop vs the committed baseline (default
+#                                      BENCH_PR8.json; a baseline without the
+#                                      sharded metric gates only the ceiling)
 #   scripts/bench.sh -micro            also run the Benchmark* microbenchmarks
 #   scripts/bench.sh -compare A B      diff the Metrics of two JSON outputs
 #
@@ -30,7 +35,9 @@ if [ "${1:-}" = "-earlysched" ]; then
 fi
 
 if [ "${1:-}" = "-openloop" ]; then
-    out="${2:-BENCH_PR7.json}"
+    # The committed BENCH_PR8.json snapshot is this plus the sharded
+    # ladder: detmt-bench -experiment openloop,ceiling,sharded.
+    out="${2:-BENCH_OPENLOOP.json}"
     go run ./cmd/detmt-bench -experiment openloop,ceiling -json > "$out"
     echo "wrote $out" >&2
     exit 0
@@ -43,13 +50,29 @@ if [ "${1:-}" = "-ceiling" ]; then
     exit 0
 fi
 
+if [ "${1:-}" = "-shards" ]; then
+    out="${2:-BENCH_SHARDED.json}"
+    go run ./cmd/detmt-bench -experiment sharded -json > "$out"
+    echo "wrote $out" >&2
+    exit 0
+fi
+
 if [ "${1:-}" = "-gate" ]; then
-    baseline="${2:-BENCH_PR7.json}"
+    baseline="${2:-BENCH_PR8.json}"
     [ -f "$baseline" ] || { echo "bench.sh: baseline $baseline not found" >&2; exit 1; }
     tmp="$(mktemp)"
     trap 'rm -f "$tmp"' EXIT
-    go run ./cmd/detmt-bench -experiment ceiling -json > "$tmp"
-    exec go run ./cmd/detmt-benchdiff -gate ceiling/ceiling_rps -max-drop 10 "$baseline" "$tmp"
+    # Only gate metrics the baseline actually carries: older snapshots
+    # predate the sharded experiment, and a gate on a missing key fails
+    # by design.
+    keys="ceiling/ceiling_rps"
+    experiments="ceiling"
+    if grep -q aggregate_ceiling_rps "$baseline"; then
+        keys="$keys,sharded_ceiling/aggregate_ceiling_rps"
+        experiments="$experiments,sharded"
+    fi
+    go run ./cmd/detmt-bench -experiment "$experiments" -json > "$tmp"
+    exec go run ./cmd/detmt-benchdiff -gate "$keys" -max-drop 10 "$baseline" "$tmp"
 fi
 
 if [ "${1:-}" = "-micro" ]; then

@@ -2,11 +2,14 @@
 # The full verification gate, for environments without make:
 # build + vet + race-enabled tests (same as `make check`).
 #
-#   scripts/check.sh          full gate (includes real-socket cluster tests)
+#   scripts/check.sh          full gate (includes real-socket cluster tests
+#                             and the sharded-binary smoke)
 #   scripts/check.sh -short   what CI runs: skips the loopback-TCP tests
-#   scripts/check.sh -bench   full gate + the sequencer-throughput regression
-#                             gate (reruns the ceiling search and fails on a
-#                             >10% drop vs the committed BENCH_PR7.json; wall
+#                             and the sharded-binary smoke
+#   scripts/check.sh -bench   full gate + the throughput regression gates
+#                             (reruns the single-group ceiling search and the
+#                             sharded aggregate ceiling and fails on a >10%
+#                             drop vs the committed BENCH_PR8.json; wall
 #                             timing-sensitive, so not part of the default run)
 set -eu
 cd "$(dirname "$0")/.."
@@ -33,6 +36,30 @@ fi
 # harness TestEarlySchedChaosSoak and the real-socket
 # TestClusterEarlySchedChaos in internal/server.
 go test -race -shuffle=on $short ./...
+if [ -z "$short" ]; then
+	# Sharded binary smoke: the Go tests exercise the library; this drives
+	# the shipped binaries end to end the way the README walkthrough does —
+	# one 2-shard multi-tenant server with cross-shard nested calls, one
+	# ring-routed load generator, fail on divergence or request errors.
+	echo "check.sh: sharded binary smoke (detmt-server -shards 2 -xshard + detmt-load -shards)" >&2
+	tmpdir="$(mktemp -d)"
+	go build -o "$tmpdir/detmt-server" ./cmd/detmt-server
+	go build -o "$tmpdir/detmt-load" ./cmd/detmt-load
+	"$tmpdir/detmt-server" -id 1 -listen 127.0.0.1:7461 -shards 2 -xshard \
+		-data "$tmpdir/epochs" >"$tmpdir/server.log" 2>&1 &
+	srv=$!
+	trap 'kill "$srv" 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
+	sleep 1
+	if ! "$tmpdir/detmt-load" -shards -servers 1=127.0.0.1:7461 -clients 2 -requests 5; then
+		echo "check.sh: sharded smoke FAILED; server log:" >&2
+		cat "$tmpdir/server.log" >&2
+		exit 1
+	fi
+	kill "$srv" 2>/dev/null || true
+	wait "$srv" 2>/dev/null || true
+	rm -rf "$tmpdir"
+	trap - EXIT
+fi
 if [ -n "$bench" ]; then
-	scripts/bench.sh -gate BENCH_PR7.json
+	scripts/bench.sh -gate BENCH_PR8.json
 fi
