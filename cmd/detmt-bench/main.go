@@ -24,7 +24,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: fig1, fig1tput, fig2, fig3, fig4, table1, wan, overhead, pds, replay, determinism, advisor, scaling, scenarios, hotpath, earlysched, recovery, openloop, ceiling, sharded (real sockets, not in 'all'), or all")
+		"which experiment to run: fig1, fig1tput, fig2, fig3, fig4, table1, wan, overhead, pds, replay, determinism, advisor, scaling, scenarios, hotpath, earlysched, recovery, openloop, ceiling, sharded, kvfacade (real sockets, not in 'all'), or all")
 	clients := flag.String("clients", "1,2,4,8,16,32,48", "client counts for the fig1 sweep")
 	requests := flag.Int("requests", 4, "requests per client")
 	seed := flag.Uint64("seed", 1, "workload seed")
@@ -147,6 +147,10 @@ func runExperiment(name string, opts harness.Fig1Options, duration, warmup time.
 		so := harness.DefaultShardedOptions()
 		so.Duration, so.Warmup = duration, warmup
 		return []harness.Result{harness.Sharded(so)}
+	case "kvfacade":
+		ko := harness.DefaultKVFacadeOptions()
+		ko.Duration, ko.Warmup = duration, warmup
+		return []harness.Result{harness.KVFacade(ko)}
 	case "all":
 		return harness.All()
 	default:

@@ -1,0 +1,102 @@
+// Command detmt-gateway serves plain HTTP over a sharded detmt
+// deployment hosting the replicated KV object (detmt-server -kv): a
+// stateless facade that fetches and verifies the consistent-hash ring,
+// routes every key to its shard, and multiplexes HTTP clients onto
+// pooled deterministic client identities. Idempotency tokens (?token=)
+// map onto the object's deterministic token space, so a retried PUT
+// applies exactly once — the dedup lives in the replicated state
+// machine, not in this process, which therefore owns nothing worth
+// losing.
+//
+// Usage (against a 2-shard single-process cluster):
+//
+//	detmt-server -shards 2 -kv -listen 127.0.0.1:7300 &
+//	detmt-gateway -listen 127.0.0.1:8080 -servers 127.0.0.1:7300
+//	curl -X PUT -d '{"value":7}' 'http://127.0.0.1:8080/kv/42?token=r1'
+//	curl http://127.0.0.1:8080/kv/42
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"detmt/internal/kvapi"
+	"detmt/internal/server"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8080", "HTTP address to serve the facade on")
+	servers := flag.String("servers", "", "comma-separated member addresses (any tenant port of each process)")
+	clients := flag.Int("clients", 16, "pooled client identities per shard")
+	clientBase := flag.Int("client-base", 0,
+		fmt.Sprintf("client id offset (0: default %d); two gateways on one cluster need disjoint ranges", kvapi.ClientBase))
+	retryDeadline := flag.Duration("retry-deadline", 30*time.Second,
+		"per-request deadline including no-sequencer retries across view changes")
+	fetchTimeout := flag.Duration("fetch-timeout", 5*time.Second, "ring-fetch timeout per member")
+	epochDir := flag.String("epochs", "", "directory persisting wire-epoch counters (empty: shared temp dir)")
+	verbose := flag.Bool("v", false, "log transport diagnostics")
+	flag.Parse()
+
+	var addrs []string
+	for _, a := range strings.Split(*servers, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		fmt.Fprintln(os.Stderr, "detmt-gateway: -servers is required")
+		os.Exit(2)
+	}
+	logf := func(string, ...interface{}) {}
+	if *verbose {
+		logf = log.Printf
+	}
+
+	ring, err := server.FetchRing(addrs, *fetchTimeout, nil, logf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "detmt-gateway: %v\n", err)
+		os.Exit(1)
+	}
+	ringHash, _ := ring.Hash()
+	gw, err := kvapi.New(kvapi.Options{
+		Ring:          ring,
+		Clients:       *clients,
+		ClientBase:    *clientBase,
+		RetryDeadline: *retryDeadline,
+		EpochDir:      *epochDir,
+		Logf:          logf,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "detmt-gateway: %v\n", err)
+		os.Exit(1)
+	}
+
+	srv := &http.Server{Addr: *listen, Handler: gw}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("detmt-gateway: serving %d shard(s), ring %016x, on http://%s",
+		gw.Clients().Shards(), ringHash, *listen)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-sigc:
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		srv.Shutdown(ctx)
+		cancel()
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "detmt-gateway: %v\n", err)
+		gw.Close()
+		os.Exit(1)
+	}
+	gw.Close()
+	log.Printf("detmt-gateway: shut down cleanly")
+}

@@ -24,6 +24,8 @@ import (
 
 	"detmt/internal/chaos"
 	"detmt/internal/ids"
+	"detmt/internal/kvapi"
+	"detmt/internal/lang"
 	"detmt/internal/metrics"
 	"detmt/internal/server"
 	"detmt/internal/workload"
@@ -54,6 +56,12 @@ func main() {
 		"client id offset (ids are base+1..base+clients); rerunning against the SAME cluster needs a disjoint range")
 	shardsOn := flag.Bool("shards", false,
 		"sharded mode: fetch the ring from -servers (any tenant port of each member), route every request by key, and report per-shard counts and the imbalance ratio")
+	httpURL := flag.String("http", "",
+		"httpload mode: drive a detmt-gateway facade at this base URL (e.g. http://127.0.0.1:8080) instead of the TCP protocol; closed loop, or open loop with -rate")
+	kvOn := flag.Bool("kv", false,
+		"sharded mode: drive the replicated KV object (servers started with -kv) instead of Fig. 1")
+	keys := flag.Int("keys", 1024, "KV key-space size (-http and -kv modes)")
+	pGet := flag.Float64("pget", 0.5, "KV read fraction (-http and -kv modes)")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON instead of text")
 	verbose := flag.Bool("v", false, "log transport diagnostics")
 	chaosOn := flag.Bool("chaos", false, "run a seeded fault-injection plan against this generator's own connections")
@@ -66,9 +74,36 @@ func main() {
 	chaosDelayBy := flag.Duration("chaos-delay-by", 5*time.Millisecond, "read delay applied when the delay fault fires")
 	flag.Parse()
 
+	logfEarly := func(string, ...interface{}) {}
+	if *verbose {
+		logfEarly = log.Printf
+	}
+	if *httpURL != "" {
+		runHTTP(*httpURL, httpParams{
+			clients:     *clients,
+			requests:    *requests,
+			seed:        *seed,
+			keys:        *keys,
+			pGet:        *pGet,
+			rate:        *rate,
+			duration:    *duration,
+			warmup:      *warmup,
+			poisson:     *poisson,
+			slo:         *slo,
+			maxInFlight: *maxInFlight,
+			jsonOut:     *jsonOut,
+			logf:        logfEarly,
+		})
+		return
+	}
+
 	serverMap, err := parseServers(*servers)
 	if err != nil || len(serverMap) == 0 {
 		fmt.Fprintf(os.Stderr, "detmt-load: bad -servers: %v\n", err)
+		os.Exit(2)
+	}
+	if *kvOn && !*shardsOn {
+		fmt.Fprintln(os.Stderr, "detmt-load: -kv requires -shards (or use -http against a gateway)")
 		os.Exit(2)
 	}
 	wl := workload.DefaultFig1()
@@ -125,11 +160,19 @@ func main() {
 			fmt.Fprintln(os.Stderr, "detmt-load: -families is not supported in sharded mode")
 			os.Exit(2)
 		}
+		var gen func(*ids.RNG) (uint64, string, []lang.Value)
+		if *kvOn {
+			nkeys, frac := *keys, *pGet
+			gen = func(rng *ids.RNG) (uint64, string, []lang.Value) {
+				return workload.KVRequest(rng, nkeys, frac)
+			}
+		}
 		runSharded(serverMap, shardedParams{
 			clients:     *clients,
 			requests:    *requests,
 			seed:        *seed,
 			workload:    wl,
+			gen:         gen,
 			clientBase:  *clientBase,
 			timeout:     *timeout,
 			rate:        *rate,
@@ -325,6 +368,7 @@ type shardedParams struct {
 	requests    int
 	seed        uint64
 	workload    workload.Fig1Config
+	gen         func(*ids.RNG) (uint64, string, []lang.Value)
 	clientBase  int
 	timeout     time.Duration
 	rate        float64
@@ -408,6 +452,7 @@ func runSharded(serverMap map[ids.ReplicaID]string, p shardedParams) {
 			SLO:         p.slo,
 			Seed:        p.seed,
 			Workload:    p.workload,
+			Gen:         p.gen,
 			ClientBase:  p.clientBase,
 			Dial:        p.dial,
 			Logf:        p.logf,
@@ -486,6 +531,7 @@ func runSharded(serverMap map[ids.ReplicaID]string, p shardedParams) {
 		RequestsPerClient: p.requests,
 		Seed:              p.seed,
 		Workload:          p.workload,
+		Gen:               p.gen,
 		ClientBase:        p.clientBase,
 		Timeout:           p.timeout,
 		Dial:              p.dial,
@@ -539,6 +585,125 @@ func runSharded(serverMap map[ids.ReplicaID]string, p shardedParams) {
 	}
 	if !res.Converged {
 		fmt.Fprintln(os.Stderr, "detmt-load: DIVERGED — a shard's replica hashes differ")
+		os.Exit(1)
+	}
+}
+
+// httpParams carries the flag values the httpload mode consumes.
+type httpParams struct {
+	clients     int
+	requests    int
+	seed        uint64
+	keys        int
+	pGet        float64
+	rate        float64
+	duration    time.Duration
+	warmup      time.Duration
+	poisson     bool
+	slo         time.Duration
+	maxInFlight int
+	jsonOut     bool
+	logf        func(format string, args ...interface{})
+}
+
+// runHTTP drives a detmt-gateway facade: closed-loop by default, open
+// loop when -rate is set.
+func runHTTP(url string, p httpParams) {
+	if p.rate > 0 {
+		res, err := kvapi.RunHTTPOpenLoad(kvapi.HTTPOpenLoadOptions{
+			URL:         url,
+			Rate:        p.rate,
+			Duration:    p.duration,
+			Warmup:      p.warmup,
+			Poisson:     p.poisson,
+			MaxInFlight: p.maxInFlight,
+			SLO:         p.slo,
+			Keys:        p.keys,
+			PGet:        p.pGet,
+			Seed:        p.seed,
+			Logf:        p.logf,
+		})
+		if res == nil {
+			fmt.Fprintf(os.Stderr, "detmt-load: %v\n", err)
+			os.Exit(1)
+		}
+		iq := res.Intent.Quantiles(50, 99)
+		if p.jsonOut {
+			out := struct {
+				OfferedRPS  float64 `json:"offered_rps"`
+				AchievedRPS float64 `json:"achieved_rps"`
+				Sent        int     `json:"sent"`
+				Measured    int     `json:"measured"`
+				Shed        int     `json:"shed"`
+				Errors      int     `json:"errors"`
+				IntentP50Ms float64 `json:"intent_p50_ms"`
+				IntentP99Ms float64 `json:"intent_p99_ms"`
+				SLOMet      bool    `json:"slo_met"`
+			}{res.Offered, res.Achieved, res.Sent, res.Measured, res.Shed,
+				res.Errors, ms(iq[0]), ms(iq[1]), res.SLOMet}
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if eerr := enc.Encode(out); eerr != nil {
+				fmt.Fprintf(os.Stderr, "detmt-load: %v\n", eerr)
+				os.Exit(1)
+			}
+		} else {
+			fmt.Printf("offered   %.0f req/s  achieved %.0f req/s  (%d sent, %d measured)\n",
+				res.Offered, res.Achieved, res.Sent, res.Measured)
+			fmt.Printf("errors    shed %d, other %d\n", res.Shed, res.Errors)
+			fmt.Printf("intent    p50 %s ms  p99 %s ms  (coordinated-omission corrected)\n",
+				metrics.Ms(iq[0]), metrics.Ms(iq[1]))
+			if p.slo > 0 {
+				verdict := "MET"
+				if !res.SLOMet {
+					verdict = "MISSED"
+				}
+				fmt.Printf("slo       p99 budget %v: %s\n", p.slo, verdict)
+			}
+		}
+		if res.Errors > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	res, err := kvapi.RunHTTPLoad(kvapi.HTTPLoadOptions{
+		URL:               url,
+		Clients:           p.clients,
+		RequestsPerClient: p.requests,
+		Keys:              p.keys,
+		PGet:              p.pGet,
+		Seed:              p.seed,
+		Logf:              p.logf,
+	})
+	if res == nil {
+		fmt.Fprintf(os.Stderr, "detmt-load: %v\n", err)
+		os.Exit(1)
+	}
+	qs := res.Latency.Quantiles(50, 95)
+	if p.jsonOut {
+		out := struct {
+			Requests  int     `json:"requests"`
+			Errors    int     `json:"errors"`
+			ElapsedMs float64 `json:"elapsed_ms"`
+			MeanMs    float64 `json:"latency_mean_ms"`
+			P50Ms     float64 `json:"latency_p50_ms"`
+			P95Ms     float64 `json:"latency_p95_ms"`
+		}{res.Requests, res.Errors, ms(res.Elapsed),
+			ms(res.Latency.Mean()), ms(qs[0]), ms(qs[1])}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if eerr := enc.Encode(out); eerr != nil {
+			fmt.Fprintf(os.Stderr, "detmt-load: %v\n", eerr)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Printf("requests  %d (%d errors) in %s wall\n",
+			res.Requests, res.Errors, res.Elapsed.Round(time.Millisecond))
+		fmt.Printf("latency   mean %s ms  p50 %s ms  p95 %s ms\n",
+			metrics.Ms(res.Latency.Mean()), metrics.Ms(qs[0]), metrics.Ms(qs[1]))
+	}
+	if res.Errors > 0 {
 		os.Exit(1)
 	}
 }

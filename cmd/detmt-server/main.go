@@ -80,6 +80,9 @@ func main() {
 	lanes := flag.Int("lanes", 4, "early-scheduling classifier lane count")
 	families := flag.Int("families", 0,
 		"host the family-partitioned low-conflict workload with this many disjoint families instead of Fig. 1 (0: Fig. 1; all members and detmt-load must agree)")
+	kvFlag := flag.Bool("kv", false,
+		"host the replicated key-value object instead of Fig. 1 (serve it with detmt-gateway; excludes -families and -xshard)")
+	kvBuckets := flag.Int("kv-buckets", 0, "KV lock-bucket count (0: default; all members must agree)")
 	conflict := flag.Float64("conflict", 0,
 		"family workload: probability a request crosses all families (escalates to the global class)")
 	hotSkew := flag.Float64("hot-skew", 0,
@@ -141,6 +144,14 @@ func main() {
 		f.HotSkew = *hotSkew
 		fam = &f
 	}
+	var kv *workload.KVConfig
+	if *kvFlag {
+		k := workload.DefaultKV()
+		if *kvBuckets > 0 {
+			k.Buckets = *kvBuckets
+		}
+		kv = &k
+	}
 
 	logf := func(string, ...interface{}) {}
 	if *verbose {
@@ -172,6 +183,7 @@ func main() {
 		PDSRelaxed:       *pdsRelaxed,
 		CheckpointEvery:  *checkpointEvery,
 		Families:         fam,
+		KV:               kv,
 		EarlySched:       *earlySched,
 		Lanes:            *lanes,
 		TraceRetention:   *traceRetention,

@@ -61,6 +61,11 @@ var (
 	// ErrUnavailable marks a call that could not reach the backend at
 	// all (dial failure, dropped connection).
 	ErrUnavailable = errors.New("backend: unavailable")
+	// ErrClosed marks a call issued through (or in flight on) a client
+	// that was deliberately closed on THIS side — a shutdown artefact,
+	// not evidence about the backend. It is not retryable (the client is
+	// gone) and callers must not count it against the breaker.
+	ErrClosed = errors.New("backend: client closed")
 )
 
 // AppError is a deterministic application-level failure: the backend
@@ -72,9 +77,11 @@ type AppError string
 func (e AppError) Error() string { return string(e) }
 
 // Retryable reports whether err is worth retrying under the same
-// idempotency key: transport failures are, application errors are not.
+// idempotency key: transport failures are; application errors and
+// closed-client errors are not (the service decided, or the client side
+// is shutting down).
 func Retryable(err error) bool {
-	if err == nil {
+	if err == nil || errors.Is(err, ErrClosed) {
 		return false
 	}
 	var app AppError

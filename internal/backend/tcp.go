@@ -67,7 +67,7 @@ func (c *Client) ensureConn() (net.Conn, uint64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
-		return nil, 0, fmt.Errorf("%w: client closed", ErrUnavailable)
+		return nil, 0, fmt.Errorf("%w: no new calls", ErrClosed)
 	}
 	if c.conn != nil {
 		return c.conn, c.gen, nil
@@ -91,9 +91,15 @@ func (c *Client) ensureConn() (net.Conn, uint64, error) {
 }
 
 // teardown discards the connection of generation gen (if still current)
-// and fails every waiter: their calls' outcomes are unknown.
+// and fails every waiter: their calls' outcomes are unknown. Waiters of
+// a connection lost because WE closed the client get ErrClosed (shutdown
+// artefact, not breaker evidence) rather than ErrUnavailable.
 func (c *Client) teardown(gen uint64, cause error) {
 	c.mu.Lock()
+	base := ErrUnavailable
+	if c.closed {
+		base = ErrClosed
+	}
 	if gen != c.gen || c.conn == nil {
 		c.mu.Unlock()
 		return
@@ -105,7 +111,7 @@ func (c *Client) teardown(gen uint64, cause error) {
 	c.mu.Unlock()
 	conn.Close()
 	for _, ch := range waiters {
-		ch <- callResult{err: fmt.Errorf("%w: connection lost: %v", ErrUnavailable, cause)}
+		ch <- callResult{err: fmt.Errorf("%w: connection lost: %v", base, cause)}
 	}
 }
 
@@ -219,8 +225,8 @@ func (c *Client) Control(cmd string, timeout time.Duration) ([]byte, error) {
 	return []byte(string(reply)), nil
 }
 
-// Close tears the connection down; in-flight calls fail with
-// ErrUnavailable.
+// Close tears the connection down; in-flight calls fail with ErrClosed
+// (this side chose to stop — not evidence against the backend).
 func (c *Client) Close() error {
 	c.mu.Lock()
 	if c.closed {

@@ -1,0 +1,290 @@
+// Package kvapi is the HTTP/KV facade over the replicated object: a
+// stateless front end that turns plain HTTP verbs into deterministic
+// method invocations on a sharded KV deployment (servers started with
+// -kv). The facade owns no state worth losing — keys route through the
+// same consistent-hash ring as any other client, idempotency lives in
+// the replicated object itself (?token=), and a crashed gateway is
+// replaced by starting a new one against the same cluster.
+//
+// Surface:
+//
+//	GET    /kv/<key>            -> {"key":K,"value":V}   (404 when absent)
+//	PUT    /kv/<key>?token=T    <- {"value":V}
+//	                            -> {"key":K,"value":V,"prev":P}
+//	DELETE /kv/<key>?token=T    -> {"key":K,"prev":P}
+//	GET    /healthz  /ringz  /metricsz
+//
+// Writes have swap semantics: "prev" is the value the write replaced
+// (null when the key was absent). A retried tokenized write replays the
+// SAME prev — the observable form of exactly-once.
+package kvapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"detmt/internal/lang"
+	"detmt/internal/metrics"
+	"detmt/internal/server"
+	"detmt/internal/shard"
+	"detmt/internal/workload"
+)
+
+// ClientBase is the default client-id offset for a facade gateway's
+// pooled identities — disjoint from the load generators (base 0) and
+// the cross-shard nested-call gateways (server.GatewayClientBase).
+const ClientBase = 1 << 21
+
+// Options configures a Gateway.
+type Options struct {
+	// Ring is the verified topology (server.FetchRing).
+	Ring shard.RingConfig
+	// Clients is the pooled client-identity count per shard (default
+	// 16). HTTP requests multiplex onto the pool round-robin; each
+	// identity is concurrency-safe, so the pool bounds sequencer-side
+	// client state, not parallelism.
+	Clients int
+	// ClientBase offsets the pooled identities (default ClientBase).
+	// Two gateways against the same cluster must use disjoint ranges.
+	ClientBase int
+	// RetryDeadline bounds one HTTP request end to end, including
+	// no-sequencer retries across a view change (default 30s).
+	RetryDeadline time.Duration
+	// EpochDir persists the wire-epoch counters ("": shared temp dir).
+	EpochDir string
+	Dial     func(addr string) (net.Conn, error)
+	Logf     func(format string, args ...interface{})
+}
+
+// Gateway is the stateless HTTP front end. It implements http.Handler;
+// serve it with an http.Server and Close it after Shutdown.
+type Gateway struct {
+	o  Options
+	sc *server.ShardClients
+
+	slot     atomic.Uint64 // round-robin over the per-shard pools
+	start    time.Time
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	retries  atomic.Uint64
+	byVerb   [3]atomic.Uint64 // GET, PUT, DELETE
+
+	histMu sync.Mutex
+	hist   metrics.Histogram
+}
+
+// New dials every shard of the ring and returns the facade.
+func New(o Options) (*Gateway, error) {
+	if o.Clients <= 0 {
+		o.Clients = 16
+	}
+	if o.ClientBase == 0 {
+		o.ClientBase = ClientBase
+	}
+	if o.RetryDeadline <= 0 {
+		o.RetryDeadline = 30 * time.Second
+	}
+	sc, err := server.DialShards(o.Ring, server.ShardClientOptions{
+		Clients:    o.Clients,
+		ClientBase: o.ClientBase,
+		EpochDir:   o.EpochDir,
+		Dial:       o.Dial,
+		Logf:       o.Logf,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("kvapi: %v", err)
+	}
+	return &Gateway{o: o, sc: sc, start: time.Now()}, nil
+}
+
+// Clients exposes the underlying shard clients (tests).
+func (g *Gateway) Clients() *server.ShardClients { return g.sc }
+
+// Close tears the shard client stacks down.
+func (g *Gateway) Close() { g.sc.Close() }
+
+// HashToken maps a free-form idempotency token onto the deterministic
+// token space [1, workload.KVMaxToken). "" means no token (0): the
+// write applies unconditionally.
+func HashToken(tok string) int64 {
+	if tok == "" {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write([]byte(tok))
+	return int64(h.Sum64()%uint64(workload.KVMaxToken-1)) + 1
+}
+
+// ServeHTTP implements http.Handler.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case strings.HasPrefix(r.URL.Path, "/kv/"):
+		g.serveKV(w, r)
+	case r.URL.Path == "/healthz":
+		g.serveHealth(w, r)
+	case r.URL.Path == "/ringz":
+		g.serveRing(w, r)
+	case r.URL.Path == "/metricsz":
+		g.serveMetrics(w, r)
+	default:
+		httpError(w, http.StatusNotFound, "unknown path %q", r.URL.Path)
+	}
+}
+
+// putBody is the PUT request document.
+type putBody struct {
+	Value *int64 `json:"value"`
+}
+
+// kvReply is every /kv response document; absent fields are omitted.
+type kvReply struct {
+	Key   int64  `json:"key"`
+	Value *int64 `json:"value,omitempty"`
+	Prev  *int64 `json:"prev"`
+	Error string `json:"error,omitempty"`
+}
+
+func (g *Gateway) serveKV(w http.ResponseWriter, r *http.Request) {
+	key, err := strconv.ParseInt(strings.TrimPrefix(r.URL.Path, "/kv/"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "key must be a decimal integer: %v", err)
+		return
+	}
+	token := HashToken(r.URL.Query().Get("token"))
+
+	var method string
+	var args []lang.Value
+	var verb int
+	var written *int64
+	switch r.Method {
+	case http.MethodGet:
+		verb, method, args = 0, workload.KVGet, []lang.Value{key}
+	case http.MethodPut, http.MethodPost:
+		var body putBody
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			httpError(w, http.StatusBadRequest, "body must be {\"value\":N}: %v", err)
+			return
+		}
+		if body.Value == nil {
+			httpError(w, http.StatusBadRequest, "body must carry a \"value\"")
+			return
+		}
+		written = body.Value
+		verb, method, args = 1, workload.KVPut, []lang.Value{key, *body.Value, token}
+	case http.MethodDelete:
+		verb, method, args = 2, workload.KVDel, []lang.Value{key, token}
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "method %s not supported on /kv/", r.Method)
+		return
+	}
+
+	g.requests.Add(1)
+	g.byVerb[verb].Add(1)
+	slot := int(g.slot.Add(1))
+	begin := time.Now()
+	v, _, retries, err := g.sc.Invoke(slot, workload.KVRouteKey(key),
+		begin.Add(g.o.RetryDeadline), method, args)
+	g.retries.Add(uint64(retries))
+	g.histMu.Lock()
+	g.hist.Add(time.Since(begin))
+	g.histMu.Unlock()
+	if err != nil {
+		g.errors.Add(1)
+		httpError(w, http.StatusServiceUnavailable, "invoke failed: %v", err)
+		return
+	}
+	res, ok := asInt(v)
+	if v != nil && !ok {
+		g.errors.Add(1)
+		httpError(w, http.StatusInternalServerError, "unexpected reply type %T", v)
+		return
+	}
+
+	reply := kvReply{Key: key}
+	status := http.StatusOK
+	switch verb {
+	case 0: // GET: v is the value, 404 when absent
+		if v == nil {
+			status = http.StatusNotFound
+			reply.Error = "not found"
+		} else {
+			reply.Value = &res
+		}
+	case 1: // PUT: echo the written value, report the swapped-out prev
+		reply.Value = written
+	case 2: // DELETE: report the removed value as prev
+	}
+	if verb != 0 && v != nil {
+		reply.Prev = &res
+	}
+	writeJSON(w, status, reply)
+}
+
+func (g *Gateway) serveHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":   "ok",
+		"shards":   g.sc.Shards(),
+		"uptime_s": time.Since(g.start).Seconds(),
+	})
+}
+
+func (g *Gateway) serveRing(w http.ResponseWriter, _ *http.Request) {
+	ring := g.sc.Ring()
+	h, err := ring.Hash()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "ring hash: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"hash":   fmt.Sprintf("%016x", h),
+		"config": ring,
+	})
+}
+
+func (g *Gateway) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	counts := g.sc.Counts()
+	g.histMu.Lock()
+	lat := map[string]float64{
+		"mean": ms(g.hist.Mean()),
+		"p50":  ms(g.hist.Percentile(50)),
+		"p90":  ms(g.hist.Percentile(90)),
+		"p99":  ms(g.hist.Percentile(99)),
+		"max":  ms(g.hist.Max()),
+	}
+	g.histMu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"uptime_s":   time.Since(g.start).Seconds(),
+		"requests":   g.requests.Load(),
+		"errors":     g.errors.Load(),
+		"retries":    g.retries.Load(),
+		"by_verb":    map[string]uint64{"get": g.byVerb[0].Load(), "put": g.byVerb[1].Load(), "delete": g.byVerb[2].Load()},
+		"per_shard":  counts,
+		"imbalance":  shard.ImbalanceRatio(counts),
+		"latency_ms": lat,
+	})
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func asInt(v lang.Value) (int64, bool) {
+	n, ok := v.(int64)
+	return n, ok
+}
+
+func writeJSON(w http.ResponseWriter, status int, doc interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(doc)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

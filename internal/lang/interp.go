@@ -34,7 +34,13 @@ func (e ErrValue) Error() string { return string(e) }
 // IsBuiltin reports whether name is a built-in function of the language
 // rather than a method of the object. Builtins are only consulted when
 // the object does not define a method of the same name.
-func IsBuiltin(name string) bool { return name == "iserr" }
+func IsBuiltin(name string) bool {
+	switch name {
+	case "iserr", "mapget", "mapput", "mapdel":
+		return true
+	}
+	return false
+}
 
 // Instance is one replica's live copy of an object: its field values and
 // its monitor identities. All replicas construct instances from the same
@@ -422,9 +428,70 @@ func (it *interp) builtin(c *CallExpr, steps *int) (Value, error) {
 		}
 		_, isErr := v.(ErrValue)
 		return isErr, nil
+	case "mapget":
+		ns, key, err := it.mapKey(c, steps)
+		if err != nil {
+			return nil, err
+		}
+		it.in.mu.Lock()
+		v := it.in.fields[mapFieldKey(ns, key)]
+		it.in.mu.Unlock()
+		return v, nil
+	case "mapput":
+		if len(c.Args) != 3 {
+			return nil, fmt.Errorf("lang: mapput expects 3 arguments, got %d", len(c.Args))
+		}
+		ns, key, err := it.mapKey(c, steps)
+		if err != nil {
+			return nil, err
+		}
+		v, err := it.eval(c.Args[2], steps)
+		if err != nil {
+			return nil, err
+		}
+		if _, bad := v.(Monitor); bad {
+			return nil, fmt.Errorf("lang: mapput cannot store a monitor reference")
+		}
+		it.in.mu.Lock()
+		it.in.fields[mapFieldKey(ns, key)] = v
+		it.in.mu.Unlock()
+		return nil, nil
+	case "mapdel":
+		ns, key, err := it.mapKey(c, steps)
+		if err != nil {
+			return nil, err
+		}
+		it.in.mu.Lock()
+		delete(it.in.fields, mapFieldKey(ns, key))
+		it.in.mu.Unlock()
+		return nil, nil
 	default:
 		return nil, fmt.Errorf("lang: unknown builtin %q", c.Name)
 	}
+}
+
+// mapFieldKey names the dynamic plain-field slot backing one entry of the
+// builtin key/value map. The ':' keeps generated keys disjoint from any
+// declarable identifier, so Snapshot/recovery cover map entries exactly
+// like declared fields.
+func mapFieldKey(ns, key int64) string { return fmt.Sprintf("kv%d:%d", ns, key) }
+
+// mapKey evaluates the leading (namespace, key) argument pair shared by
+// the map builtins. mapget/mapdel take exactly those two; mapput's third
+// argument is handled by the caller.
+func (it *interp) mapKey(c *CallExpr, steps *int) (int64, int64, error) {
+	if c.Name != "mapput" && len(c.Args) != 2 {
+		return 0, 0, fmt.Errorf("lang: %s expects 2 arguments, got %d", c.Name, len(c.Args))
+	}
+	ns, err := it.evalInt(c.Args[0], steps)
+	if err != nil {
+		return 0, 0, err
+	}
+	key, err := it.evalInt(c.Args[1], steps)
+	if err != nil {
+		return 0, 0, err
+	}
+	return ns, key, nil
 }
 
 func (it *interp) eval(e Expr, steps *int) (Value, error) {

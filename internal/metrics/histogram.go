@@ -188,16 +188,24 @@ func (h *Histogram) Quantiles(ps ...float64) []time.Duration {
 	return out
 }
 
-// Merge adds every observation of other into h (other may be nil).
+// Merge adds every observation of other into h (other may be nil or
+// empty; an empty other leaves h untouched).
 func (h *Histogram) Merge(other *Histogram) {
 	if other == nil || other.n == 0 {
 		return
 	}
-	if h.n == 0 || other.min < h.min {
-		h.min = other.min
-	}
-	if other.max > h.max {
-		h.max = other.max
+	if h.n == 0 {
+		// Adopt other's extrema wholesale: comparing against h's
+		// zero-valued (or stale) min/max could leave max < min when
+		// other's samples all sit below h's zero max.
+		h.min, h.max = other.min, other.max
+	} else {
+		if other.min < h.min {
+			h.min = other.min
+		}
+		if other.max > h.max {
+			h.max = other.max
+		}
 	}
 	h.n += other.n
 	h.sum += other.sum

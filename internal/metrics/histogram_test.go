@@ -110,6 +110,66 @@ func TestHistogramMergeDisjointRanges(t *testing.T) {
 	}
 }
 
+func TestHistogramMergeEdgeCases(t *testing.T) {
+	full := func() *Histogram {
+		var h Histogram
+		h.Add(3 * time.Millisecond)
+		h.Add(9 * time.Millisecond)
+		return &h
+	}
+	cases := []struct {
+		name     string
+		dst, src *Histogram
+		wantN    uint64
+		wantMin  time.Duration
+		wantMax  time.Duration
+	}{
+		{"empty+empty", &Histogram{}, &Histogram{}, 0, 0, 0},
+		{"empty+nil", &Histogram{}, nil, 0, 0, 0},
+		{"empty+full", &Histogram{}, full(), 2, 3 * time.Millisecond, 9 * time.Millisecond},
+		{"full+empty", full(), &Histogram{}, 2, 3 * time.Millisecond, 9 * time.Millisecond},
+		{"full+full", full(), full(), 4, 3 * time.Millisecond, 9 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.dst.Merge(tc.src)
+			if tc.dst.N() != tc.wantN {
+				t.Fatalf("N = %d, want %d", tc.dst.N(), tc.wantN)
+			}
+			if tc.dst.Min() != tc.wantMin || tc.dst.Max() != tc.wantMax {
+				t.Fatalf("min/max = %v/%v, want %v/%v",
+					tc.dst.Min(), tc.dst.Max(), tc.wantMin, tc.wantMax)
+			}
+			if tc.dst.Max() < tc.dst.Min() {
+				t.Fatalf("max %v < min %v", tc.dst.Max(), tc.dst.Min())
+			}
+			if tc.wantN > 0 {
+				// Quantiles over the merged set must stay inside [min, max].
+				for i, q := range tc.dst.Quantiles(0, 50, 100) {
+					if q < tc.wantMin || q > tc.wantMax {
+						t.Fatalf("quantile %d = %v outside [%v, %v]", i, q, tc.wantMin, tc.wantMax)
+					}
+				}
+			}
+		})
+	}
+	// Regression: a destination whose samples all exceed the source's must
+	// not keep a stale zero-valued min after the source is adopted; and an
+	// empty destination must adopt BOTH extrema, not just min.
+	var dst Histogram
+	var src Histogram
+	src.Add(2 * time.Millisecond)
+	src.Add(5 * time.Millisecond)
+	dst.Merge(&src)
+	if dst.Min() != 2*time.Millisecond || dst.Max() != 5*time.Millisecond {
+		t.Fatalf("empty dst adopted min/max = %v/%v, want 2ms/5ms", dst.Min(), dst.Max())
+	}
+	// Mean/sum carry over exactly through empty->full adoption.
+	if dst.Mean() != 3500*time.Microsecond {
+		t.Fatalf("merged mean = %v, want 3.5ms", dst.Mean())
+	}
+}
+
 func TestHistogramOverflowBucket(t *testing.T) {
 	var h Histogram
 	huge := 6 * time.Hour // beyond the ~4.9h trackable range

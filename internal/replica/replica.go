@@ -690,6 +690,13 @@ func (r *Replica) perform(key nestedKey, arg lang.Value, managed bool) {
 			r.breaker.Success()
 			out.Status = NestedOK
 			out.Value = v
+		case errors.Is(err, backend.ErrClosed):
+			// Our own side closed the backend client (shutdown): the call's
+			// outcome is unknown but the error says nothing about the
+			// backend. Keep it out of the breaker and the timeout totals —
+			// a clean shutdown must not read like a flapping service.
+			out.Status = NestedTimeout
+			out.Err = err.Error()
 		case !backend.Retryable(err):
 			// The backend answered, and the answer is an error: the
 			// service is alive, so this is a decided outcome, not

@@ -80,6 +80,11 @@ func NewMulti(o MultiOptions) (*MultiServer, error) {
 	if o.XShard && t.Backend != "" {
 		return nil, fmt.Errorf("multi: XShard replaces Template.Backend; set one or the other")
 	}
+	if o.XShard && t.KV != nil {
+		// The cross-shard gateways drive the Fig. 1 method into their
+		// target shard; the KV object does not host it.
+		return nil, fmt.Errorf("multi: XShard gateways drive the Fig. 1 workload; incompatible with KV")
+	}
 	version := o.RingVersion
 	if version == 0 {
 		version = 1
@@ -204,19 +209,29 @@ func (m *MultiServer) shardsJSON() []byte {
 	return marshalControl(m.Status())
 }
 
-// Close shuts every tenant and gateway down, returning the first error.
+// Close shuts the process down in dependency order, returning the first
+// error. Cross-shard traffic must stop BEFORE any target shard tears
+// down, or in-flight nested calls during shutdown would count spurious
+// breaker trips and timeouts into the shutdown totals: first detach
+// every tenant's backend client (new performs fail fast with
+// backend.ErrClosed), then drain the gateways (their backend servers
+// wait out in-flight handlers, whose target shards are all still alive),
+// and only then close the tenants.
 func (m *MultiServer) Close() error {
 	var first error
 	for _, s := range m.tenants {
-		if err := s.Close(); err != nil && first == nil {
-			first = err
-		}
+		s.DetachBackend()
 	}
 	for _, gw := range m.gateways {
 		if gw == nil {
 			continue
 		}
 		if err := gw.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, s := range m.tenants {
+		if err := s.Close(); err != nil && first == nil {
 			first = err
 		}
 	}

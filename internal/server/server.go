@@ -116,6 +116,10 @@ type Options struct {
 	// low-conflict workload (workload.FamiliesSource) instead of Fig. 1.
 	// All members and the load generator must agree on it.
 	Families *workload.FamilyConfig
+	// KV switches the hosted object to the bucketed key/value store that
+	// backs the HTTP facade (workload.KVSource). Mutually exclusive with
+	// Families; all members and every front end must agree on it.
+	KV *workload.KVConfig
 	// EarlySched enables conflict-class early scheduling: the sequencing
 	// process stamps every request's conflict class into the envelope
 	// (wire v5) and the replica admits distinct classes through
@@ -291,9 +295,15 @@ func New(o Options) (*Server, error) {
 			return nil, fmt.Errorf("server: early scheduling needs MAT, MAT+LLA or PDS, not %s", o.Scheduler)
 		}
 	}
+	if o.Families != nil && o.KV != nil {
+		return nil, fmt.Errorf("server: Families and KV workloads are mutually exclusive")
+	}
 	src := workload.Fig1Source(o.Workload)
-	if o.Families != nil {
+	switch {
+	case o.Families != nil:
 		src = workload.FamiliesSource(*o.Families)
+	case o.KV != nil:
+		src = workload.KVSource(*o.KV)
 	}
 	res := analysis.MustAnalyze(lang.MustParse(src))
 	if o.NestedLatency == 0 {
@@ -456,12 +466,17 @@ func New(o Options) (*Server, error) {
 		CheckpointSink:   s.captureCheckpoint,
 		IdemPrefix:       o.IdemPrefix,
 	})
-	if o.Families != nil {
+	switch {
+	case o.Families != nil:
 		for f := 0; f < o.Families.Families; f++ {
 			s.rep.Instance().SetField(fmt.Sprintf("state%d", f), int64(0))
 		}
 		s.rep.Instance().SetField("gstate", int64(0))
-	} else {
+	case o.KV != nil:
+		// KVSource declares only `state`; NewInstance zeroed it already
+		// and map entries materialise on first write.
+		s.rep.Instance().SetField("state", int64(0))
+	default:
 		s.rep.Instance().SetField("state", int64(0))
 		if o.Workload.CatchNested {
 			s.rep.Instance().SetField("faults", int64(0))
@@ -644,9 +659,25 @@ func (s *Server) handleControl(req []byte) []byte {
 // Checkpoints exposes the recovery manager (tests, bench harness).
 func (s *Server) Checkpoints() *recovery.Manager { return s.mgr }
 
-// Close shuts the group, transport, and backend link down. A server
-// running class-aware admission logs its lane counters on the way out,
-// so a shutdown transcript records how much of the stream ran parallel.
+// DetachBackend closes this server's nested-call backend link ahead of
+// the rest of the shutdown sequence. Any nested call still in flight (or
+// performed after the detach) fails with backend.ErrClosed, which the
+// replica accounts as a shutdown artefact — no breaker trips, no timeout
+// counts. Multi-tenant shutdown uses this to quiesce all cross-shard
+// traffic BEFORE any target shard tears down. Safe to call more than
+// once and concurrently with Close (the backend client is idempotent).
+func (s *Server) DetachBackend() {
+	if s.backend != nil {
+		s.backend.Close()
+	}
+}
+
+// Close shuts the backend link, the group, and the transport down — in
+// that order, so in-flight nested calls fail fast with backend.ErrClosed
+// instead of burning real-time timeouts against a vanishing peer. A
+// server running class-aware admission logs its lane counters on the way
+// out, so a shutdown transcript records how much of the stream ran
+// parallel.
 func (s *Server) Close() error {
 	s.stopOnce.Do(func() { close(s.stop) })
 	if s.o.Logf != nil {
@@ -655,9 +686,6 @@ func (s *Server) Close() error {
 				cs.ActiveClasses, cs.Escalations, cs.MergeStalls, cs.ParallelCommits, cs.SerialCommits, cs.ParallelRatio)
 		}
 	}
-	err := s.group.Close()
-	if s.backend != nil {
-		s.backend.Close()
-	}
-	return err
+	s.DetachBackend()
+	return s.group.Close()
 }

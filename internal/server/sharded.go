@@ -11,6 +11,7 @@ import (
 
 	"detmt/internal/gcs"
 	"detmt/internal/ids"
+	"detmt/internal/lang"
 	"detmt/internal/metrics"
 	"detmt/internal/replica"
 	"detmt/internal/shard"
@@ -21,9 +22,13 @@ import (
 
 // FetchRing fetches the serialized ring config from every given member
 // address (any shard's port of each process works — every tenant serves
-// the same blob), verifies they all agree, and returns the decoded
-// config. This is how a router joins a sharded deployment: ask, verify,
-// route — never assume.
+// the same blob), verifies the reachable ones agree, and returns the
+// decoded config. This is how a router joins a sharded deployment: ask,
+// verify, route — never assume. Unreachable members are tolerated (a
+// process mid-restart must not block a gateway from starting): the fetch
+// fails only when NO member answers, or when two answering members serve
+// different rings — disagreement means the deployment itself is
+// inconsistent and no routing decision is safe.
 func FetchRing(addrs []string, timeout time.Duration,
 	dial func(addr string) (net.Conn, error),
 	logf func(string, ...interface{})) (shard.RingConfig, error) {
@@ -35,28 +40,60 @@ func FetchRing(addrs []string, timeout time.Duration,
 	}
 	// One throwaway client transport per address: the blobs come over
 	// the control channel, so we only need connectivity, not identity.
+	// Fetches run concurrently so a dead member costs one timeout, not
+	// one timeout per dead member.
 	epoch := nextLoadEpoch("", "ringfetch")
-	blobs := make(map[string][]byte, len(addrs))
+	type fetched struct {
+		blob []byte
+		err  error
+	}
+	results := make([]fetched, len(addrs))
+	var wg sync.WaitGroup
 	for i, addr := range addrs {
-		tr, err := wire.NewTCP(wire.Options{
-			Name:  fmt.Sprintf("ringfetch-%d", i),
-			Epoch: epoch,
-			Peers: map[ids.ReplicaID]string{1: addr},
-			Dial:  dial,
-			Logf:  logf,
-		})
-		if err != nil {
-			return shard.RingConfig{}, err
+		i, addr := i, addr
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr, err := wire.NewTCP(wire.Options{
+				Name:  fmt.Sprintf("ringfetch-%d", i),
+				Epoch: epoch,
+				Peers: map[ids.ReplicaID]string{1: addr},
+				Dial:  dial,
+				Logf:  logf,
+			})
+			if err != nil {
+				results[i].err = fmt.Errorf("fetch from %s: %v", addr, err)
+				return
+			}
+			b, err := tr.Control(1, []byte("ring"), timeout)
+			tr.Close()
+			if err != nil {
+				results[i].err = fmt.Errorf("fetch from %s: %v", addr, err)
+				return
+			}
+			if len(b) > 0 && b[0] == '{' {
+				results[i].err = fmt.Errorf("%s answered %s (not a sharded server?)", addr, b)
+				return
+			}
+			results[i].blob = b
+		}()
+	}
+	wg.Wait()
+	blobs := make(map[string][]byte, len(addrs))
+	var unreachable []string
+	for i, addr := range addrs {
+		if results[i].err != nil {
+			unreachable = append(unreachable, results[i].err.Error())
+			if logf != nil {
+				logf("ring: tolerating unreachable member: %v", results[i].err)
+			}
+			continue
 		}
-		b, err := tr.Control(1, []byte("ring"), timeout)
-		tr.Close()
-		if err != nil {
-			return shard.RingConfig{}, fmt.Errorf("ring: fetch from %s: %v", addr, err)
-		}
-		if len(b) > 0 && b[0] == '{' {
-			return shard.RingConfig{}, fmt.Errorf("ring: %s answered %s (not a sharded server?)", addr, b)
-		}
-		blobs[addr] = b
+		blobs[addr] = results[i].blob
+	}
+	if len(blobs) == 0 {
+		return shard.RingConfig{}, fmt.Errorf("ring: no member reachable: %s",
+			strings.Join(unreachable, "; "))
 	}
 	return shard.VerifyAgreement(blobs)
 }
@@ -188,12 +225,29 @@ type ShardedLoadOptions struct {
 	RequestsPerClient int
 	Seed              uint64
 	Workload          workload.Fig1Config
-	ClientBase        int
-	EpochDir          string
-	Timeout           time.Duration
-	SettleTimeout     time.Duration
-	Dial              func(addr string) (net.Conn, error)
-	Logf              func(format string, args ...interface{})
+	// Gen overrides the per-request draw: it returns one request's
+	// routing key plus its method invocation (nil: the Fig. 1 workload
+	// under a uniformly random key). Lets alternative workloads — the KV
+	// facade's key-addressed gets and puts — ride the same driver.
+	Gen           func(rng *ids.RNG) (key uint64, method string, args []lang.Value)
+	ClientBase    int
+	EpochDir      string
+	Timeout       time.Duration
+	SettleTimeout time.Duration
+	Dial          func(addr string) (net.Conn, error)
+	Logf          func(format string, args ...interface{})
+}
+
+// requestGen resolves the per-request draw: gen if given, else the
+// Fig. 1 workload under a uniformly random routing key.
+func requestGen(gen func(*ids.RNG) (uint64, string, []lang.Value),
+	wl workload.Fig1Config) func(*ids.RNG) (uint64, string, []lang.Value) {
+	if gen != nil {
+		return gen
+	}
+	return func(rng *ids.RNG) (uint64, string, []lang.Value) {
+		return rng.Uint64(), workload.MethodName, workload.Fig1Args(wl, rng)
+	}
 }
 
 // ShardedLoadResult is the outcome of one closed-loop sharded run.
@@ -257,6 +311,7 @@ func RunShardedLoad(o ShardedLoadOptions) (*ShardedLoadResult, error) {
 	var mu sync.Mutex
 	failed := make([]atomic.Int64, len(cfg.Groups))
 	lo := LoadOptions{Timeout: o.Timeout, Logf: o.Logf} // invokeWithRetry reads only Logf
+	gen := requestGen(o.Gen, o.Workload)
 	start := time.Now()
 	wg := sync.WaitGroup{}
 	rootRNG := ids.NewRNG(o.Seed)
@@ -267,10 +322,10 @@ func RunShardedLoad(o ShardedLoadOptions) (*ShardedLoadResult, error) {
 		go func() {
 			defer wg.Done()
 			for r := 0; r < o.RequestsPerClient; r++ {
-				k := router.Route(rng.Uint64()) // the routing key draw
-				args := workload.Fig1Args(o.Workload, rng)
+				key, method, args := gen(rng)
+				k := router.Route(key) // the routing key draw
 				cl := stacks[k].pool[ci]
-				_, lat, retries, err := invokeWithRetry(cl, lo, deadline, workload.MethodName, args)
+				_, lat, retries, err := invokeWithRetry(cl, lo, deadline, method, args)
 				mu.Lock()
 				res.Requests++
 				res.Retries += retries
@@ -339,10 +394,12 @@ type ShardedOpenLoadOptions struct {
 	MaxInFlight int
 	// BatchSubmit coalesces the arrivals due at one pump wakeup into
 	// one atomic frame PER SHARD.
-	BatchSubmit   bool
-	SLO           time.Duration
-	Seed          uint64
-	Workload      workload.Fig1Config
+	BatchSubmit bool
+	SLO         time.Duration
+	Seed        uint64
+	Workload    workload.Fig1Config
+	// Gen overrides the per-arrival draw (see ShardedLoadOptions.Gen).
+	Gen           func(rng *ids.RNG) (key uint64, method string, args []lang.Value)
 	ClientBase    int
 	EpochDir      string
 	SettleTimeout time.Duration
@@ -443,6 +500,7 @@ func RunShardedOpenLoad(o ShardedOpenLoadOptions) (*ShardedOpenLoadResult, error
 	sentBy := make([]atomic.Int64, nshards)
 	failedBy := make([]atomic.Int64, nshards)
 
+	gen := requestGen(o.Gen, o.Workload)
 	rng := ids.NewRNG(o.Seed)
 	arrRNG := rng.Fork()
 	clock := vclock.NewReal()
@@ -512,12 +570,10 @@ func RunShardedOpenLoad(o ShardedOpenLoadOptions) (*ShardedOpenLoadResult, error
 		byShard := make(map[int][]time.Duration, nshards)
 		callsBy := make(map[int][]replica.Call, nshards)
 		for _, it := range due {
-			k := router.Route(rng.Uint64())
+			key, method, args := gen(rng)
+			k := router.Route(key)
 			byShard[k] = append(byShard[k], it)
-			callsBy[k] = append(callsBy[k], replica.Call{
-				Method: workload.MethodName,
-				Args:   workload.Fig1Args(o.Workload, rng),
-			})
+			callsBy[k] = append(callsBy[k], replica.Call{Method: method, Args: args})
 		}
 		poolIdx++
 		for k, intents := range byShard {

@@ -1,0 +1,116 @@
+package wire
+
+import (
+	"encoding/hex"
+	"testing"
+	"time"
+
+	"detmt/internal/gcs"
+	"detmt/internal/ids"
+)
+
+// TestGoldenHelloFrames pins the exact v6 hello encoding — the frame
+// every connection opens with, and the one carrying the shard group
+// tag. Sharded deployments depend on both shapes staying put: tagged
+// hellos isolate shards from each other, and the empty-group form is
+// what ring fetchers and single-group deployments send, which receivers
+// of any group must keep accepting. If the format changes deliberately,
+// bump Version and regenerate.
+func TestGoldenHelloFrames(t *testing.T) {
+	cases := []struct {
+		name    string
+		body    []byte
+		want    string
+		group   string
+		origins int
+	}{
+		{
+			name: "tagged",
+			body: helloBody("m1-g1", 3, []gcs.Origin{{Client: 7, IsClient: true}}, "g1"),
+			want: "000000056d312d67310000000000000003" +
+				"000000010100000000000000000000000000000007000000026731",
+			group:   "g1",
+			origins: 1,
+		},
+		{
+			// The exact greeting a ring fetcher sends: no epoch, no
+			// origins, empty group. Tagged receivers accept it.
+			name:  "untagged",
+			body:  helloBody("ringfetch-1", 0, nil, ""),
+			want:  "0000000b72696e6766657463682d3100000000000000000000000000000000",
+			group: "",
+		},
+	}
+	for _, c := range cases {
+		if got := hex.EncodeToString(c.body); got != c.want {
+			t.Errorf("%s hello drifted:\n  got  %s\n  want %s", c.name, got, c.want)
+		}
+		name, _, origins, group, err := parseHello(c.body)
+		if err != nil {
+			t.Fatalf("%s hello does not parse: %v", c.name, err)
+		}
+		if group != c.group || len(origins) != c.origins {
+			t.Errorf("%s hello round-trip: name=%q group=%q origins=%d", c.name, name, group, len(origins))
+		}
+	}
+}
+
+// TestTCPGroupHandshakeDirections completes the group-tag handshake
+// matrix (TestTCPGroupMismatchRejected covers untagged→tagged accept
+// and g1→g0 reject): the reverse mismatch direction also rejects, and a
+// tagged sender into an untagged receiver is accepted — rejection
+// requires BOTH sides to carry a (different) tag. Ring fetchers and
+// pre-v6 single-group tooling dial with an empty group, so loosening
+// either empty-group direction would strand them.
+func TestTCPGroupHandshakeDirections(t *testing.T) {
+	to := gcs.Origin{Replica: 2}
+
+	// g0 sender → g1 receiver: rejected (mirror of the existing test).
+	ln := listenerFor(t)
+	srv, err := NewTCP(Options{Name: "B", Group: "g1", Listener: ln})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var s sink
+	srv.Bind(to, s.deliver)
+
+	wrong, err := NewTCP(Options{
+		Name:       "A",
+		Group:      "g0",
+		Peers:      map[ids.ReplicaID]string{2: ln.Addr().String()},
+		BackoffMin: time.Millisecond,
+		BackoffMax: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wrong.Close()
+	wrong.Send("k", to, gcs.Envelope{UID: 99, To: to, Payload: "x"})
+	time.Sleep(200 * time.Millisecond) // several redial cycles
+	if got := s.snapshot(); len(got) != 0 {
+		t.Fatalf("cross-group envelope delivered into g1: %v", got)
+	}
+
+	// tagged sender → untagged receiver: accepted (backward compat).
+	ln2 := listenerFor(t)
+	plain, err := NewTCP(Options{Name: "P", Listener: ln2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	var s2 sink
+	plain.Bind(to, s2.deliver)
+
+	tagged, err := NewTCP(Options{Name: "T", Group: "g0",
+		Peers: map[ids.ReplicaID]string{2: ln2.Addr().String()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tagged.Close()
+	tagged.Send("k", to, gcs.Envelope{UID: 5, To: to, Payload: "x"})
+	waitFor(t, "tagged→untagged envelope", func() bool { return len(s2.snapshot()) >= 1 })
+	if got := s2.snapshot(); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("unexpected delivery set %v", got)
+	}
+}

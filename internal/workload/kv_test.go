@@ -1,0 +1,228 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"detmt/internal/analysis"
+	"detmt/internal/core"
+	"detmt/internal/earlysched"
+	"detmt/internal/ids"
+	"detmt/internal/lang"
+	"detmt/internal/vclock"
+)
+
+func TestKVSourceParsesAndAnalyses(t *testing.T) {
+	src := KVSource(DefaultKV())
+	obj, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	res, err := analysis.Analyze(obj)
+	if err != nil {
+		t.Fatalf("analyse: %v", err)
+	}
+	for _, m := range []string{KVGet, KVPut, KVDel} {
+		rep := res.Report(m)
+		if rep == nil || len(rep.Syncs) != 1 {
+			t.Fatalf("%s: want exactly one sync site, got %+v", m, rep)
+		}
+		if !rep.Syncs[0].Announceable {
+			t.Fatalf("%s: bucket lock must be announceable", m)
+		}
+	}
+}
+
+// The whole point of the bucketed store: operations on distinct buckets
+// classify into distinct conflict classes (concurrent lanes), operations
+// on the same bucket — across ALL methods — share one class, and the
+// class comes from the request's concrete key (per-request dynamic
+// classification).
+func TestKVClassification(t *testing.T) {
+	cfg := KVConfig{Buckets: 8}
+	res := analysis.MustAnalyze(lang.MustParse(KVSource(cfg)))
+	cls := earlysched.New(res, cfg.Buckets) // enough lanes: no folding
+	for _, m := range []string{KVGet, KVPut, KVDel} {
+		if reason := cls.GlobalReason(m); reason != "" {
+			t.Fatalf("%s escalated to global class: %s", m, reason)
+		}
+	}
+	args := func(m string, k int64) []lang.Value {
+		switch m {
+		case KVGet:
+			return []lang.Value{k}
+		case KVDel:
+			return []lang.Value{k, int64(0)}
+		default:
+			return []lang.Value{k, int64(1), int64(0)}
+		}
+	}
+	// Same bucket, any method -> same class.
+	base := cls.Classify(KVGet, args(KVGet, 3))
+	if base == earlysched.GlobalClass {
+		t.Fatal("kvget classified global")
+	}
+	for _, m := range []string{KVPut, KVDel} {
+		if got := cls.Classify(m, args(m, 3)); got != base {
+			t.Fatalf("%s(k=3) class %d != kvget(k=3) class %d", m, got, base)
+		}
+	}
+	if got := cls.Classify(KVPut, args(KVPut, 3+8)); got != base {
+		t.Fatalf("keys congruent mod B must share a class: %d vs %d", got, base)
+	}
+	// Distinct buckets -> distinct classes (B lanes, so no folding).
+	seen := map[uint32]int64{}
+	for k := int64(0); k < int64(cfg.Buckets); k++ {
+		c := cls.Classify(KVPut, args(KVPut, k))
+		if c == earlysched.GlobalClass {
+			t.Fatalf("kvput(k=%d) classified global", k)
+		}
+		if prev, dup := seen[c]; dup {
+			t.Fatalf("buckets %d and %d share class %d", prev, k, c)
+		}
+		seen[c] = k
+	}
+	// Negative keys stay in range and match their double-mod bucket.
+	if got := cls.Classify(KVGet, args(KVGet, -5)); got != cls.Classify(KVGet, args(KVGet, KVBucket(cfg, -5))) {
+		t.Fatal("negative key classified differently from its bucket")
+	}
+}
+
+// kvExec runs KV methods on a SEQ-scheduled runtime under a virtual
+// clock and returns the method's value.
+func kvExec(t *testing.T, cfg KVConfig, calls func(exec func(method string, args ...lang.Value) lang.Value)) {
+	t.Helper()
+	obj := lang.MustParse(KVSource(cfg))
+	v := vclock.NewVirtual()
+	rt := core.NewRuntime(core.Options{Clock: v, Scheduler: core.NewSEQ(), NestedDelay: time.Millisecond})
+	in := lang.NewInstance(obj, 0)
+	done := make(chan struct{})
+	var tid uint64
+	v.Go(func() {
+		defer close(done)
+		g := vclock.NewGroup(v)
+		exec := func(method string, args ...lang.Value) lang.Value {
+			tid++
+			var result lang.Value
+			var execErr error
+			g.Add(1)
+			rt.Submit(ids.ThreadID(tid), obj.Lookup(method).ID, func(th *core.Thread) {
+				result, execErr = in.Exec(th, method, args)
+			}, g.Done)
+			g.Wait()
+			if execErr != nil {
+				t.Errorf("exec %s%v: %v", method, args, execErr)
+			}
+			return result
+		}
+		calls(exec)
+	})
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("kv exec timed out")
+	}
+}
+
+func TestKVSemantics(t *testing.T) {
+	kvExec(t, KVConfig{Buckets: 4}, func(exec func(string, ...lang.Value) lang.Value) {
+		// Absent key reads null; put returns the previous value (swap).
+		if got := exec(KVGet, int64(10)); got != nil {
+			t.Errorf("get absent = %v", got)
+		}
+		if got := exec(KVPut, int64(10), int64(100), int64(0)); got != nil {
+			t.Errorf("first put prev = %v, want null", got)
+		}
+		if got := exec(KVPut, int64(10), int64(200), int64(0)); got != int64(100) {
+			t.Errorf("second put prev = %v, want 100", got)
+		}
+		if got := exec(KVGet, int64(10)); got != int64(200) {
+			t.Errorf("get = %v, want 200", got)
+		}
+		// Delete returns the removed value.
+		if got := exec(KVDel, int64(10), int64(0)); got != int64(200) {
+			t.Errorf("del prev = %v, want 200", got)
+		}
+		if got := exec(KVGet, int64(10)); got != nil {
+			t.Errorf("get after del = %v", got)
+		}
+	})
+}
+
+func TestKVTokenExactlyOnce(t *testing.T) {
+	kvExec(t, KVConfig{Buckets: 4}, func(exec func(string, ...lang.Value) lang.Value) {
+		exec(KVPut, int64(5), int64(1), int64(0))
+		// Tokenized put applies once; the retry replays the recorded
+		// previous value instead of swapping again.
+		tok := int64(77)
+		if got := exec(KVPut, int64(5), int64(2), tok); got != int64(1) {
+			t.Errorf("tokenized put prev = %v, want 1", got)
+		}
+		if got := exec(KVPut, int64(5), int64(2), tok); got != int64(1) {
+			t.Errorf("retried put prev = %v, want replayed 1 (double-applied?)", got)
+		}
+		if got := exec(KVGet, int64(5)); got != int64(2) {
+			t.Errorf("value after retry = %v, want 2", got)
+		}
+		// A token whose first apply replaced NOTHING replays null.
+		tok2 := int64(88)
+		if got := exec(KVPut, int64(6), int64(9), tok2); got != nil {
+			t.Errorf("fresh-key tokenized put prev = %v", got)
+		}
+		if got := exec(KVPut, int64(6), int64(9), tok2); got != nil {
+			t.Errorf("fresh-key retry prev = %v, want null", got)
+		}
+		if got := exec(KVGet, int64(6)); got != int64(9) {
+			t.Errorf("value = %v, want 9", got)
+		}
+		// Tokenized delete dedups the same way.
+		tok3 := int64(99)
+		if got := exec(KVDel, int64(5), tok3); got != int64(2) {
+			t.Errorf("tokenized del prev = %v, want 2", got)
+		}
+		if got := exec(KVDel, int64(5), tok3); got != int64(2) {
+			t.Errorf("retried del prev = %v, want replayed 2", got)
+		}
+		// Distinct tokens on the same key/bucket never collide.
+		if got := exec(KVPut, int64(5), int64(3), int64(77+4)); got != nil {
+			t.Errorf("distinct token collided with token record: prev = %v", got)
+		}
+	})
+}
+
+func TestKVRequestGen(t *testing.T) {
+	rng := ids.NewRNG(3)
+	gets, puts := 0, 0
+	for i := 0; i < 2000; i++ {
+		route, method, args := KVRequest(rng, 128, 0.5)
+		switch method {
+		case KVGet:
+			gets++
+			if len(args) != 1 {
+				t.Fatalf("kvget args %v", args)
+			}
+		case KVPut:
+			puts++
+			if len(args) != 3 {
+				t.Fatalf("kvput args %v", args)
+			}
+			tok := args[2].(int64)
+			if tok <= 0 || tok >= KVMaxToken {
+				t.Fatalf("token %d out of range", tok)
+			}
+		default:
+			t.Fatalf("unexpected method %q", method)
+		}
+		k := args[0].(int64)
+		if k < 0 || k >= 128 {
+			t.Fatalf("key %d out of range", k)
+		}
+		// Same key must always route identically.
+		r2, _, _ := KVRequest(ids.NewRNG(uint64(i)), 1, 0) // key 0
+		_ = r2
+		_ = route
+	}
+	if gets < 800 || puts < 800 {
+		t.Fatalf("mix off: %d gets, %d puts", gets, puts)
+	}
+}

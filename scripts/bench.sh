@@ -7,11 +7,14 @@
 #   scripts/bench.sh -ceiling [out]    sequencer ceiling search only (real sockets)
 #   scripts/bench.sh -shards [out]     sharded aggregate-ceiling ladder (E16,
 #                                      1/2/4-shard multi-tenant processes)
-#   scripts/bench.sh -gate [baseline]  rerun the single-group ceiling and the
-#                                      sharded aggregate ceiling; fail on a >10%
-#                                      drop vs the committed baseline (default
-#                                      BENCH_PR8.json; a baseline without the
-#                                      sharded metric gates only the ceiling)
+#   scripts/bench.sh -http [out]       HTTP facade overhead (E17: gateway vs
+#                                      direct ceiling over the KV object)
+#   scripts/bench.sh -gate [baseline]  rerun the single-group ceiling, the
+#                                      sharded aggregate ceiling and the facade
+#                                      ceilings; fail on a >10% drop vs the
+#                                      committed baseline (default
+#                                      BENCH_PR9.json; metrics the baseline
+#                                      does not carry are not gated)
 #   scripts/bench.sh -micro            also run the Benchmark* microbenchmarks
 #   scripts/bench.sh -compare A B      diff the Metrics of two JSON outputs
 #
@@ -35,8 +38,9 @@ if [ "${1:-}" = "-earlysched" ]; then
 fi
 
 if [ "${1:-}" = "-openloop" ]; then
-    # The committed BENCH_PR8.json snapshot is this plus the sharded
-    # ladder: detmt-bench -experiment openloop,ceiling,sharded.
+    # The committed BENCH_PR9.json snapshot is this plus the sharded
+    # ladder and the HTTP facade comparison:
+    # detmt-bench -experiment openloop,ceiling,sharded,kvfacade.
     out="${2:-BENCH_OPENLOOP.json}"
     go run ./cmd/detmt-bench -experiment openloop,ceiling -json > "$out"
     echo "wrote $out" >&2
@@ -57,19 +61,30 @@ if [ "${1:-}" = "-shards" ]; then
     exit 0
 fi
 
+if [ "${1:-}" = "-http" ]; then
+    out="${2:-BENCH_KVFACADE.json}"
+    go run ./cmd/detmt-bench -experiment kvfacade -json > "$out"
+    echo "wrote $out" >&2
+    exit 0
+fi
+
 if [ "${1:-}" = "-gate" ]; then
-    baseline="${2:-BENCH_PR8.json}"
+    baseline="${2:-BENCH_PR9.json}"
     [ -f "$baseline" ] || { echo "bench.sh: baseline $baseline not found" >&2; exit 1; }
     tmp="$(mktemp)"
     trap 'rm -f "$tmp"' EXIT
     # Only gate metrics the baseline actually carries: older snapshots
-    # predate the sharded experiment, and a gate on a missing key fails
-    # by design.
+    # predate the sharded and facade experiments, and a gate on a
+    # missing key fails by design.
     keys="ceiling/ceiling_rps"
     experiments="ceiling"
     if grep -q aggregate_ceiling_rps "$baseline"; then
         keys="$keys,sharded_ceiling/aggregate_ceiling_rps"
         experiments="$experiments,sharded"
+    fi
+    if grep -q gateway_ceiling_rps "$baseline"; then
+        keys="$keys,kv_facade/direct_ceiling_rps,kv_facade/gateway_ceiling_rps"
+        experiments="$experiments,kvfacade"
     fi
     go run ./cmd/detmt-bench -experiment "$experiments" -json > "$tmp"
     exec go run ./cmd/detmt-benchdiff -gate "$keys" -max-drop 10 "$baseline" "$tmp"

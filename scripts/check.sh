@@ -7,10 +7,11 @@
 #   scripts/check.sh -short   what CI runs: skips the loopback-TCP tests
 #                             and the sharded-binary smoke
 #   scripts/check.sh -bench   full gate + the throughput regression gates
-#                             (reruns the single-group ceiling search and the
-#                             sharded aggregate ceiling and fails on a >10%
-#                             drop vs the committed BENCH_PR8.json; wall
-#                             timing-sensitive, so not part of the default run)
+#                             (reruns the single-group ceiling search, the
+#                             sharded aggregate ceiling and the HTTP facade
+#                             ceilings and fails on a >10% drop vs the
+#                             committed BENCH_PR9.json; wall timing-sensitive,
+#                             so not part of the default run)
 set -eu
 cd "$(dirname "$0")/.."
 short=""
@@ -59,7 +60,41 @@ if [ -z "$short" ]; then
 	wait "$srv" 2>/dev/null || true
 	rm -rf "$tmpdir"
 	trap - EXIT
+	# Gateway smoke: boot a 2-shard KV cluster, front it with
+	# detmt-gateway, and drive one tokenized PUT/GET round-trip plus the
+	# health endpoint over plain HTTP — the README walkthrough, scripted.
+	echo "check.sh: gateway smoke (detmt-server -shards 2 -kv + detmt-gateway)" >&2
+	tmpdir="$(mktemp -d)"
+	go build -o "$tmpdir/detmt-server" ./cmd/detmt-server
+	go build -o "$tmpdir/detmt-gateway" ./cmd/detmt-gateway
+	"$tmpdir/detmt-server" -id 1 -listen 127.0.0.1:7471 -shards 2 -kv \
+		-data "$tmpdir/epochs" >"$tmpdir/server.log" 2>&1 &
+	srv=$!
+	"$tmpdir/detmt-gateway" -listen 127.0.0.1:7479 -servers 127.0.0.1:7471 \
+		>"$tmpdir/gateway.log" 2>&1 &
+	gwp=$!
+	trap 'kill "$srv" "$gwp" 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
+	ok=""
+	for i in $(seq 1 40); do
+		if curl -fsS http://127.0.0.1:7479/healthz >/dev/null 2>&1; then
+			ok=yes
+			break
+		fi
+		sleep 0.25
+	done
+	put="$(curl -fsS -X PUT -d '{"value":41}' 'http://127.0.0.1:7479/kv/7?token=smoke' 2>/dev/null || true)"
+	got="$(curl -fsS http://127.0.0.1:7479/kv/7 2>/dev/null || true)"
+	if [ -z "$ok" ] || [ "${got#*\"value\":41}" = "$got" ]; then
+		echo "check.sh: gateway smoke FAILED (healthz=$ok put=$put get=$got); logs:" >&2
+		cat "$tmpdir/server.log" "$tmpdir/gateway.log" >&2
+		exit 1
+	fi
+	echo "check.sh: gateway smoke OK ($got)" >&2
+	kill "$srv" "$gwp" 2>/dev/null || true
+	wait "$srv" "$gwp" 2>/dev/null || true
+	rm -rf "$tmpdir"
+	trap - EXIT
 fi
 if [ -n "$bench" ]; then
-	scripts/bench.sh -gate BENCH_PR8.json
+	scripts/bench.sh -gate BENCH_PR9.json
 fi
