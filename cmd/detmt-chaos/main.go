@@ -13,6 +13,15 @@
 //	detmt-chaos -servers ... -plan -seed 7 -duration 30s
 //	detmt-chaos -servers ... -status
 //
+// It is also the membership controller: -member proposes runtime
+// reconfiguration (the change rides the total order and activates on
+// every replica at the same slot) or prints the agreed configuration:
+//
+//	detmt-chaos -servers ... -member "add 4=127.0.0.1:7104"
+//	detmt-chaos -servers ... -member "remove 1"
+//	detmt-chaos -servers ... -member "replace 2 5=127.0.0.1:7105"
+//	detmt-chaos -servers ... -member status
+//
 // With -target backend it drives a detmt-backend process instead — the
 // external-service side of the nested-invocation boundary:
 //
@@ -34,6 +43,7 @@ import (
 
 	"detmt/internal/backend"
 	"detmt/internal/ids"
+	"detmt/internal/member"
 	"detmt/internal/shard"
 	"detmt/internal/wire"
 )
@@ -44,6 +54,8 @@ func main() {
 	backendAddr := flag.String("backend", "", `detmt-backend address used with -target backend`)
 	targetRole := flag.String("target-role", "", `resolve the target by role instead of id: "sequencer" polls status and targets the current view's sequencer`)
 	cmd := flag.String("cmd", "", `one-shot chaos command: sever, "block <addr>", "unblock <addr>", "delay <dur>", heal, stats`)
+	memberCmd := flag.String("member", "",
+		`membership verb: "add <id>=<addr>", "remove <id>", "replace <old> <new>=<addr>", or "status" (proposals ride the total order and activate on every replica at the same slot)`)
 	status := flag.Bool("status", false, "print each replica's status (recovery state, checkpoint age, diagnostics)")
 	plan := flag.Bool("plan", false, "drive a seeded random fault plan instead of a one-shot command")
 	seed := flag.Uint64("seed", 1, "plan seed (same seed + step count = same fault schedule)")
@@ -131,6 +143,8 @@ func main() {
 	}
 
 	switch {
+	case *memberCmd != "":
+		runMemberVerb(send, targets, *memberCmd)
 	case *status:
 		for _, id := range targets {
 			send(id, "status")
@@ -142,9 +156,86 @@ func main() {
 	case *plan:
 		runPlan(send, targets, *seed, *duration, *step, *pSever, *pDelay, *delayBy)
 	default:
-		fmt.Fprintln(os.Stderr, "detmt-chaos: nothing to do (want -cmd, -plan, or -status)")
+		fmt.Fprintln(os.Stderr, "detmt-chaos: nothing to do (want -cmd, -member, -plan, or -status)")
 		os.Exit(2)
 	}
+}
+
+// runMemberVerb parses one membership verb and routes it: "status"
+// prints every target's membership snapshot (epoch, config hash, voters,
+// learners, pending changes); the mutating verbs are proposed through
+// the FIRST target only — the proposal rides the total order, so one
+// entry point reconfigures the whole cluster.
+func runMemberVerb(send func(ids.ReplicaID, string), targets []ids.ReplicaID, verb string) {
+	fields := strings.Fields(verb)
+	if len(fields) == 0 {
+		fmt.Fprintln(os.Stderr, `detmt-chaos: empty -member verb`)
+		os.Exit(2)
+	}
+	if fields[0] == "status" {
+		for _, id := range targets {
+			send(id, "members")
+		}
+		return
+	}
+	var ch member.Change
+	bad := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "detmt-chaos: -member: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	switch fields[0] {
+	case "add":
+		if len(fields) != 2 {
+			bad(`want "add <id>=<addr>"`)
+		}
+		id, addr, err := parseIDAddr(fields[1])
+		if err != nil {
+			bad("%v", err)
+		}
+		ch = member.Change{Kind: member.Add, ID: id, Addr: addr}
+	case "remove":
+		if len(fields) != 2 {
+			bad(`want "remove <id>"`)
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n <= 0 {
+			bad("%q is not a positive replica id", fields[1])
+		}
+		ch = member.Change{Kind: member.Remove, ID: ids.ReplicaID(n)}
+	case "replace":
+		if len(fields) != 3 {
+			bad(`want "replace <old> <new>=<addr>"`)
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n <= 0 {
+			bad("%q is not a positive replica id", fields[1])
+		}
+		id, addr, err := parseIDAddr(fields[2])
+		if err != nil {
+			bad("%v", err)
+		}
+		ch = member.Change{Kind: member.Replace, ID: ids.ReplicaID(n), NewID: id, Addr: addr}
+	default:
+		bad("unknown verb %q (want add, remove, replace, or status)", fields[0])
+	}
+	blob, err := json.Marshal(ch)
+	if err != nil {
+		bad("%v", err)
+	}
+	send(targets[0], "memberchange "+string(blob))
+}
+
+// parseIDAddr splits one "<id>=<addr>" operand.
+func parseIDAddr(s string) (ids.ReplicaID, string, error) {
+	kv := strings.SplitN(s, "=", 2)
+	if len(kv) != 2 || kv[1] == "" {
+		return 0, "", fmt.Errorf("%q is not <id>=<addr>", s)
+	}
+	n, err := strconv.Atoi(kv[0])
+	if err != nil || n <= 0 {
+		return 0, "", fmt.Errorf("%q is not a positive replica id", kv[0])
+	}
+	return ids.ReplicaID(n), kv[1], nil
 }
 
 // runBackendTarget drives a detmt-backend process over its own control

@@ -1,11 +1,14 @@
 // Command detmt-server hosts one detmt replica over real TCP — the
 // deployment mode that takes the system out of the simulator. Start one
-// process per member with the full (static) membership; the lowest
-// replica id starts as the sequencer and runs the stamped sequencing
-// tick loop that keeps every member's virtual schedule identical. If
-// the sequencer dies, the survivors elect the lowest live id into the
-// next sequencing view; a killed replica — sequencer included — rejoins
-// with -recover.
+// process per member with the boot membership; the lowest replica id
+// starts as the sequencer and runs the stamped sequencing tick loop
+// that keeps every member's virtual schedule identical. If the
+// sequencer dies, the survivors elect the lowest live id into the next
+// sequencing view; a killed replica — sequencer included — rejoins with
+// -recover. The membership itself can change at runtime: -join grows a
+// live cluster by one member (catch up as a learner, flip to voter at
+// an agreed slot), and `detmt-chaos -member "remove <id>"` (or
+// add/replace) reconfigures it from outside.
 //
 // Usage (3-replica loopback cluster):
 //
@@ -41,6 +44,7 @@ import (
 
 	"detmt/internal/chaos"
 	"detmt/internal/ids"
+	"detmt/internal/member"
 	"detmt/internal/replica"
 	"detmt/internal/server"
 	"detmt/internal/workload"
@@ -91,10 +95,14 @@ func main() {
 		"max trace events kept in memory (0: default bound, negative: unlimited); hashes stay exact over full history")
 	dataDir := flag.String("data", "", "directory for checkpoints and the restart-epoch counter (empty: in-memory only)")
 	recoverFlag := flag.Bool("recover", false, "rejoin the running cluster via checkpoint + tail transfer (any role, including a deposed sequencer)")
+	join := flag.String("join", "",
+		"join a LIVE cluster as a NEW member: fetch the membership from this address, start as a catch-up learner, and propose our own AddReplica through the total order (excludes -peers and -shards)")
 	epoch := flag.Uint64("epoch", 0, "restart epoch override (0: derive from -data, or legacy epoch-less mode without it)")
 	seqRetention := flag.Int("seq-retention", 0,
 		"sequenced envelopes retained to serve rejoiners (0: default, negative: unlimited)")
 	gossip := flag.Duration("gossip", 0, "divergence-gossip interval (0: default 250ms, negative: disabled)")
+	detectTimeout := flag.Duration("detect-timeout", 0,
+		"sequencer-silence window of the failure detector (0: default 50ms); raise on flaky links so short partitions never depose a live sequencer")
 	shards := flag.Int("shards", 0,
 		"host one tenant replica per shard in this process (-listen is the BASE address: shard k listens at base port + k; 0: single-group mode)")
 	xshard := flag.Bool("xshard", false,
@@ -120,6 +128,26 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "detmt-server: bad -peers: %v\n", err)
 		os.Exit(2)
+	}
+	if *join != "" {
+		if *peers != "" || *shards > 0 {
+			fmt.Fprintln(os.Stderr, "detmt-server: -join excludes -peers and -shards (the live cluster IS the membership)")
+			os.Exit(2)
+		}
+		// Discover the current voters from the live cluster; they become
+		// this learner's boot peer set.
+		snap, err := server.FetchMembership(*join, 5*time.Second, nil, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "detmt-server: -join %s: %v\n", *join, err)
+			os.Exit(1)
+		}
+		for _, m := range snap.Voters {
+			if m.ID == ids.ReplicaID(*id) {
+				fmt.Fprintf(os.Stderr, "detmt-server: -join: id %d is already a voter at %s (use -recover to rejoin)\n", *id, *join)
+				os.Exit(2)
+			}
+			peerMap[m.ID] = m.Addr
+		}
 	}
 	kind := replica.SchedulerKind(*scheduler)
 	known := false
@@ -189,8 +217,10 @@ func main() {
 		TraceRetention:   *traceRetention,
 		DataDir:          *dataDir,
 		Recover:          *recoverFlag,
+		Learner:          *join != "",
 		Epoch:            *epoch,
 		SeqRetention:     *seqRetention,
+		DetectTimeout:    *detectTimeout,
 		GossipInterval:   *gossip,
 		Logf:             logf,
 	}
@@ -229,6 +259,10 @@ func main() {
 		for _, st := range multi.Status().Shards {
 			log.Printf("detmt-server: shard %s shutting down: completed=%d hash=%x state=%d view=%d seq=%v",
 				st.Shard, st.Completed, st.Hash, st.State, st.View, st.Sequencer)
+			if m := st.Membership; m != nil {
+				log.Printf("detmt-server: shard %s membership: epoch=%d config=%s voters=%d learners=%d pending=%d",
+					st.Shard, m.Epoch, m.Hash, len(m.Voters), len(m.Learners), len(m.Pending))
+			}
 		}
 		for k := 0; k < multi.Tenants(); k++ {
 			if gw := multi.Gateway(k); gw != nil {
@@ -250,6 +284,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "detmt-server: %v\n", err)
 		os.Exit(1)
 	}
+	if *join != "" {
+		mode = "joining"
+		// Propose our own AddReplica through a live member: it rides the
+		// total order, every voter starts fanning out to us as a learner,
+		// and we flip to voter at the activation slot. A rejected proposal
+		// (e.g. a restart racing its own earlier Add) is not fatal —
+		// recovery adopts whatever membership the cluster agreed on.
+		ch := member.Change{Kind: member.Add, ID: ids.ReplicaID(*id), Addr: srv.Addr()}
+		if err := server.ProposeChangeAt(*join, ch, 10*time.Second, nil, nil); err != nil {
+			log.Printf("detmt-server: join proposal: %v (continuing as learner)", err)
+		}
+	}
 	log.Printf("detmt-server: replica %d (%s, %s) listening on %s, %d peer(s)",
 		*id, *scheduler, mode, srv.Addr(), len(peerMap))
 
@@ -259,6 +305,10 @@ func main() {
 	st := srv.Status()
 	log.Printf("detmt-server: shutting down: completed=%d hash=%x state=%d recovery=%s last-ckpt=%d view=%d seq=%v",
 		st.Completed, st.Hash, st.State, st.Recovery, st.LastCheckpointSeq, st.View, st.Sequencer)
+	if m := st.Membership; m != nil {
+		log.Printf("detmt-server: membership: epoch=%d config=%s voters=%d learners=%d pending=%d",
+			m.Epoch, m.Hash, len(m.Voters), len(m.Learners), len(m.Pending))
+	}
 	if c := st.Classes; c != nil {
 		log.Printf("detmt-server: earlysched totals: active_classes=%d escalations=%d merge_stalls=%d parallel=%d serial=%d parallel_ratio=%.2f",
 			c.ActiveClasses, c.Escalations, c.MergeStalls, c.ParallelCommits, c.SerialCommits, c.ParallelRatio)

@@ -97,6 +97,14 @@ type Config struct {
 	// members are local (the simulator); an empty non-nil slice means
 	// none are (a client-only process such as a load generator).
 	Local []ids.ReplicaID
+	// Learners lists members that receive sequenced traffic and horizon
+	// multicasts but carry no quorum weight and cannot be elected — the
+	// state a joining replica occupies between its AddReplica change
+	// being delivered and that change's activation slot. A joining
+	// process lists itself here (and in Local) while its id is absent
+	// from Members; established processes learn of learners at runtime
+	// via AddLearner.
+	Learners []ids.ReplicaID
 	// Tick and Budget configure stamped sequencing, active when a
 	// non-nil Transport is combined with a Virtual clock: the sequencer
 	// drains forwarded broadcasts every Tick and stamps each sequenced
@@ -213,11 +221,11 @@ func (s *Stats) Snapshot() (transfers, broadcasts, directs int) {
 // each process hosts a Group with one local member (or none, for pure
 // client processes), wired together by a shared Transport implementation.
 type Group struct {
-	cfg      Config
-	stats    Stats
-	tr       Transport
-	vclk     *vclock.Virtual // non-nil when Clock is a Virtual
-	stamped  bool            // stamped sequencing active (see Config.Tick)
+	cfg     Config
+	stats   Stats
+	tr      Transport
+	vclk    *vclock.Virtual // non-nil when Clock is a Virtual
+	stamped bool            // stamped sequencing active (see Config.Tick)
 
 	mu        sync.Mutex
 	nodes     map[ids.ReplicaID]*Node
@@ -226,6 +234,17 @@ type Group struct {
 	crashed   map[ids.ReplicaID]bool
 	crashedAt map[ids.ReplicaID]time.Duration
 	isClosed  bool
+
+	// Dynamic membership (epoch-based reconfiguration): members is the
+	// current voter set, mutated only by ApplyMembership at activation
+	// slots of the total order; learners receive the full sequenced
+	// fan-out but carry no quorum weight. memberEpoch gates stale
+	// applications; pairOrdered records that the current 2-voter set
+	// resulted from an ordered removal (see takeoverQuorumMet).
+	members     []ids.ReplicaID
+	learners    map[ids.ReplicaID]bool
+	memberEpoch uint64
+	pairOrdered bool
 
 	// Sequencing view: a monotone number bumped on every takeover, with
 	// the member currently assigning total-order slots. Every stamped
@@ -254,6 +273,13 @@ type Group struct {
 	recMu      sync.Mutex
 	recovering bool
 	recBuf     []Envelope // transport arrivals buffered during recovery
+
+	// gapWedged marks a delivery gap whose slots' stamps the local
+	// virtual clock has already passed: in-band healing would execute
+	// them at the wrong instants (divergence), so only a full recovery
+	// restart can fix it. Cleared on a view change (the takeover heal
+	// may close the hole from the outside).
+	gapWedged bool
 
 	closed chan struct{}
 }
@@ -312,10 +338,17 @@ func NewGroup(cfg Config) *Group {
 		clients:   map[ids.ClientID]*ClientEndpoint{},
 		crashed:   map[ids.ReplicaID]bool{},
 		crashedAt: map[ids.ReplicaID]time.Duration{},
+		members:   members,
+		learners:  map[ids.ReplicaID]bool{},
 		closed:    make(chan struct{}),
 	}
 	for _, id := range local {
 		g.localSet[id] = true
+	}
+	for _, id := range cfg.Learners {
+		if !containsID(members, id) {
+			g.learners[id] = true
+		}
 	}
 	if g.cfg.Logf == nil {
 		g.cfg.Logf = func(string, ...interface{}) {}
@@ -345,10 +378,10 @@ func NewGroup(cfg Config) *Group {
 	g.recovering = cfg.Recovering && g.stamped
 	g.seqID = members[0]
 	g.lastSeqTraffic = time.Now()
-	for _, id := range members {
-		if !g.localSet[id] {
-			continue
-		}
+	// Host a node for every local id — including a local learner whose id
+	// is not (yet) in the voter set: a joining process participates in
+	// delivery from the moment the cluster starts fanning out to it.
+	for _, id := range local {
 		n := newNode(g, id)
 		g.nodes[id] = n
 		g.tr.Bind(Origin{Replica: id}, func(envs ...Envelope) { g.inject(n.enqueue, envs...) })
@@ -424,9 +457,138 @@ func (g *Group) Node(id ids.ReplicaID) *Node {
 	return n
 }
 
-// Members returns the configured member ids in ascending order.
+// Members returns the current voter ids in ascending order. The list
+// starts as Config.Members and changes only at membership activation
+// slots (ApplyMembership).
 func (g *Group) Members() []ids.ReplicaID {
-	return append([]ids.ReplicaID(nil), g.cfg.Members...)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]ids.ReplicaID(nil), g.members...)
+}
+
+// Learners returns the current learner ids in ascending order.
+func (g *Group) Learners() []ids.ReplicaID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]ids.ReplicaID, 0, len(g.learners))
+	for id := range g.learners {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Recipients returns everyone the sequencer fans out to: voters plus
+// learners, ascending. Learners see the full stream so they are
+// bit-identical with the voters by their activation slot.
+func (g *Group) Recipients() []ids.ReplicaID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := append([]ids.ReplicaID(nil), g.members...)
+	if len(g.learners) > 0 {
+		for id := range g.learners {
+			out = append(out, id)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	}
+	return out
+}
+
+// MembershipEpoch returns the epoch of the last applied configuration
+// (0 until the first runtime change activates).
+func (g *Group) MembershipEpoch() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.memberEpoch
+}
+
+// AddLearner registers a joining member: it starts receiving sequenced
+// traffic and horizon multicasts like a voter but carries no quorum
+// weight and cannot be elected. The activation slot's ApplyMembership
+// promotes it. Idempotent; a no-op for an existing voter.
+func (g *Group) AddLearner(id ids.ReplicaID) {
+	g.mu.Lock()
+	already := g.learners[id] || containsID(g.members, id)
+	if !already {
+		g.learners[id] = true
+	}
+	// A learner may carry a stale crash mark (e.g. an id reused after an
+	// earlier removal); clear it so fan-out reaches it.
+	delete(g.crashed, id)
+	delete(g.crashedAt, id)
+	g.mu.Unlock()
+	if !already {
+		g.cfg.Logf("gcs: member %v added as learner", id)
+	}
+}
+
+// ApplyMembership installs the voter set of a membership configuration
+// that reached its activation slot. Every replica calls it at the same
+// slot with the same arguments (the config rode the total order), so
+// voter sets never diverge. ordered marks a deliberate (in-order)
+// change as opposed to a seeded snapshot; it feeds the pairOrdered
+// election exception. Stale epochs are ignored (returns false).
+//
+// A sequencer that is removed by the new config marks itself crashed
+// and falls silent; survivors mark it crashed too (back-dated, no
+// detection window for senders) and the lowest remaining voter then
+// announces the next view through the normal objection-guarded
+// takeover once the silence is observed.
+func (g *Group) ApplyMembership(epoch uint64, voters []ids.ReplicaID, ordered bool) bool {
+	vs := append([]ids.ReplicaID(nil), voters...)
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	g.mu.Lock()
+	if epoch <= g.memberEpoch || len(vs) == 0 {
+		g.mu.Unlock()
+		return false
+	}
+	old := g.members
+	g.memberEpoch = epoch
+	g.members = vs
+	g.pairOrdered = ordered && len(vs) == 2
+	now := g.cfg.Clock.Now()
+	var removed []ids.ReplicaID
+	for _, id := range old {
+		if !containsID(vs, id) {
+			removed = append(removed, id)
+		}
+	}
+	for _, id := range vs {
+		if g.learners[id] {
+			delete(g.learners, id)
+			// A promoted learner is by definition caught up (it delivered
+			// this very activation slot); make sure no stale crash mark
+			// hides it from the fan-out or the election scan.
+			delete(g.crashed, id)
+			delete(g.crashedAt, id)
+		}
+	}
+	for _, id := range removed {
+		delete(g.learners, id)
+		if !g.crashed[id] {
+			g.crashed[id] = true
+			g.crashedAt[id] = now - g.cfg.DetectTimeout
+		}
+	}
+	seqRemoved := !containsID(vs, g.seqID)
+	g.mu.Unlock()
+	g.cfg.Logf("gcs: membership epoch %d active: voters %v (removed %v)", epoch, vs, removed)
+	if seqRemoved {
+		// The sequencer left by configuration: restart the silence window
+		// so the takeover candidate gets a full DetectTimeout after the
+		// deposed sequencer's final multicast.
+		g.touchSeqTraffic()
+	}
+	return true
+}
+
+func containsID(s []ids.ReplicaID, id ids.ReplicaID) bool {
+	for _, x := range s {
+		if x == id {
+			return true
+		}
+	}
+	return false
 }
 
 // GroupTag returns the shard identity this group was configured with
@@ -460,7 +622,7 @@ func (g *Group) sequencer() ids.ReplicaID {
 		// wall-clock monitor and view-sync already encode detection).
 		return g.seqID
 	}
-	for _, id := range g.cfg.Members {
+	for _, id := range g.members {
 		if at, dead := g.crashedAt[id]; dead && now >= at+g.cfg.DetectTimeout {
 			continue // failure already detected: skip
 		}
@@ -476,7 +638,7 @@ func (g *Group) CurrentSequencer() ids.ReplicaID { return g.sequencer() }
 
 // actualSequencerLocked ignores detection delay (internal liveness view).
 func (g *Group) actualSequencerLocked() ids.ReplicaID {
-	for _, id := range g.cfg.Members {
+	for _, id := range g.members {
 		if !g.crashed[id] {
 			return id
 		}
@@ -500,7 +662,7 @@ func (g *Group) LiveMembers() []ids.ReplicaID {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	var out []ids.ReplicaID
-	for _, id := range g.cfg.Members {
+	for _, id := range g.members {
 		if !g.crashed[id] {
 			out = append(out, id)
 		}
@@ -571,8 +733,9 @@ func (g *Group) adoptView(v uint64, s ids.ReplicaID) bool {
 	}
 	g.view = v
 	g.seqID = s
+	g.gapWedged = false // the new view's takeover heal may close the hole
 	now := g.cfg.Clock.Now()
-	for _, id := range g.cfg.Members {
+	for _, id := range g.members {
 		if id < s && !g.crashed[id] {
 			g.crashed[id] = true
 			// Back-date so the sender-visible scan skips it immediately.
@@ -622,7 +785,7 @@ func (g *Group) SeedView(view uint64, seq ids.ReplicaID) {
 		g.view = view
 		g.seqID = seq
 		now := g.cfg.Clock.Now()
-		for _, id := range g.cfg.Members {
+		for _, id := range g.members {
 			if id < seq && !g.crashed[id] && !g.localSet[id] {
 				g.crashed[id] = true
 				g.crashedAt[id] = now - g.cfg.DetectTimeout
@@ -677,6 +840,8 @@ func (g *Group) runMonitor() {
 	}
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
+	var gapNext uint64     // frontier last seen stuck below highestSeen
+	var gapSince time.Time // when it was first seen stuck there
 	for {
 		select {
 		case <-g.closed:
@@ -696,6 +861,7 @@ func (g *Group) runMonitor() {
 			g.touchSeqTraffic()
 			continue
 		}
+		g.healDeliveryGap(&gapNext, &gapSince)
 		if g.seqTrafficAge() < g.cfg.DetectTimeout {
 			continue
 		}
@@ -728,6 +894,88 @@ func (g *Group) runMonitor() {
 	}
 }
 
+// healDeliveryGap closes a follower's delivery hole outside a takeover.
+// A member partitioned across a view change holds slots ABOVE a gap the
+// takeover heal never closed (it was unreachable when the new sequencer
+// collected frontiers), so its frontier wedges below highestSeen forever
+// while the cluster moves on. When the frontier sits still below
+// highestSeen for a full detect window — ordinary in-flight slots clear
+// within a tick — the monitor fetches the missing range from a live
+// peer and injects it through the stamped path, exactly like the
+// takeover self-heal. gapNext/gapSince persist across monitor ticks to
+// carry the stall detection.
+func (g *Group) healDeliveryGap(gapNext *uint64, gapSince *time.Time) {
+	if g.cfg.FetchGap == nil || !g.stamped {
+		return
+	}
+	g.mu.Lock()
+	wedged := g.gapWedged
+	var self ids.ReplicaID = -1
+	var n *Node
+	for id, node := range g.nodes {
+		if self < 0 || id < self {
+			self, n = id, node
+		}
+	}
+	seq := g.seqID
+	var donors []ids.ReplicaID
+	for _, id := range g.members {
+		if id != self && !g.crashed[id] && !g.localSet[id] {
+			donors = append(donors, id)
+		}
+	}
+	g.mu.Unlock()
+	if wedged {
+		return
+	}
+	if n == nil || len(donors) == 0 {
+		return
+	}
+	next, highest := n.Frontier()
+	if highest < next {
+		*gapNext = 0
+		return
+	}
+	if next != *gapNext {
+		*gapNext, *gapSince = next, time.Now()
+		return
+	}
+	if time.Since(*gapSince) < g.cfg.DetectTimeout {
+		return
+	}
+	// Prefer the sequencer: its retention window is authoritative. A
+	// trimmed range comes back empty and the replica stays wedged — that
+	// is the pre-existing "restart with -recover" case, now logged.
+	donor := donors[0]
+	for _, id := range donors {
+		if id == seq {
+			donor = id
+			break
+		}
+	}
+	envs := g.cfg.FetchGap(donor, next, int(highest-next)+1)
+	switch {
+	case len(envs) > 0 && envs[0].Stamp > 0 && envs[0].Stamp <= g.vclk.Now():
+		// The local clock already passed the missing slots' stamps (a
+		// long partition, typically across a view change): injecting now
+		// would execute them at the wrong virtual instants — divergence.
+		// Only a full recovery restart replays them correctly.
+		g.mu.Lock()
+		g.gapWedged = true
+		g.mu.Unlock()
+		g.cfg.Logf("gcs: %v delivery gap [%d..%d] predates the local virtual clock (stamp %v <= now %v); "+
+			"in-band heal unsafe, restart with -recover", self, next, highest, envs[0].Stamp, g.vclk.Now())
+	case len(envs) > 0:
+		g.cfg.Logf("gcs: %v healing delivery gap [%d..%d]: fetched %d slots from %v",
+			self, next, highest, len(envs), donor)
+		g.inject(n.enqueue, envs...)
+	default:
+		g.cfg.Logf("gcs: %v delivery gap [%d..%d] not healable from %v (trimmed?); restart with -recover",
+			self, next, highest, donor)
+	}
+	*gapSince = time.Now() // re-arm: retry after another full window
+}
+
 // leadTakeover promotes the local member self to sequencer of the next
 // view. One round of view-sync collects every live peer's delivery
 // frontier and highest promised stamp; slot assignment resumes above the
@@ -744,7 +992,7 @@ func (g *Group) leadTakeover(self ids.ReplicaID) {
 	g.viewAcks = map[ids.ReplicaID]Envelope{}
 	g.viewAckFor = v
 	var peers, required []ids.ReplicaID
-	for _, id := range g.cfg.Members {
+	for _, id := range g.members {
 		if g.localSet[id] {
 			continue
 		}
@@ -800,15 +1048,22 @@ func (g *Group) leadTakeover(self ids.ReplicaID) {
 		g.touchSeqTraffic()
 		return
 	}
-	// Quorum: this process plus the acks must cover a majority of the
-	// membership. A candidate that heard from nobody cannot tell "they
-	// all died" from "my inbound links are down" — and in the latter case
-	// assigning slots would fork the order the silent majority still
-	// extends. (Consequence: a 2-member group cannot fail over, and a
-	// lone survivor stalls until a peer rejoins — safety over liveness.)
-	if len(g.nodes)+len(acks) < len(g.cfg.Members)/2+1 {
+	// Quorum over the voter set active now (learners and removed members
+	// carry no weight); see takeoverQuorumMet for the rule and the
+	// ordered-pair exception.
+	g.mu.Lock()
+	localVoters := 0
+	for id := range g.nodes {
+		if containsID(g.members, id) && !g.crashed[id] {
+			localVoters++
+		}
+	}
+	voterCount := len(g.members)
+	pairOrdered := g.pairOrdered
+	g.mu.Unlock()
+	if !takeoverQuorumMet(localVoters, len(acks), voterCount, pairOrdered) {
 		g.cfg.Logf("gcs: %v aborting view-%d takeover: %d acks is short of a majority of %d",
-			self, v, len(acks), len(g.cfg.Members))
+			self, v, len(acks), voterCount)
 		g.Revive(deposed)
 		g.touchSeqTraffic()
 		return
@@ -867,6 +1122,29 @@ func (g *Group) leadTakeover(self ids.ReplicaID) {
 	g.adoptView(v, self)
 }
 
+// takeoverQuorumMet decides whether a takeover candidate may install a
+// new view: its local live voters plus the collected acks must cover a
+// majority of the configured voter set. A candidate that heard from
+// nobody cannot tell "they all died" from "my inbound links are down" —
+// and in the latter case assigning slots would fork the order the
+// silent majority still extends.
+//
+// The one exception is a 2-voter remainder produced by an ordered
+// removal (pairOrdered): the survivor may elect alone. The config
+// itself was majority-agreed in the total order before the set shrank,
+// the objection probe still runs first (a reachable peer that observes
+// the old view alive aborts the takeover), and the operator who shrank
+// the cluster to two deliberately traded partition tolerance for
+// availability. A static 2-member group, or one whose peer merely
+// crash-detected out of a larger config, keeps the stall — safety over
+// liveness.
+func takeoverQuorumMet(localVoters, acks, voters int, pairOrdered bool) bool {
+	if localVoters+acks >= voters/2+1 {
+		return true
+	}
+	return pairOrdered && voters == 2 && localVoters >= 1
+}
+
 // handleViewReq answers a takeover candidate's view-sync probe with this
 // process's delivery frontier (UID), highest slot seen (Seq) and highest
 // promised stamp (Stamp). Handled outside the virtual clock: the clock
@@ -880,6 +1158,12 @@ func (g *Group) leadTakeover(self ids.ReplicaID) {
 // takeover that excluded a live sequencer would fork the total order.
 func (g *Group) handleViewReq(e Envelope) {
 	age := g.seqTrafficAge()
+	// A recovering process has no live observation of the sequencer: its
+	// traffic is buffered unseen and the monitor self-touches seqTraffic
+	// to keep it from leading takeovers. Letting it object would wedge
+	// the cluster — its own catch-up needs the very election it vetoes —
+	// so it only acks (still countable toward the candidate's quorum).
+	recovering := g.Recovering()
 	g.mu.Lock()
 	var self ids.ReplicaID = -1
 	var n *Node
@@ -890,8 +1174,9 @@ func (g *Group) handleViewReq(e Envelope) {
 	}
 	maxStamp := g.maxStamp
 	object := e.View <= g.view ||
-		g.localSet[g.seqID] ||
-		(age < g.cfg.DetectTimeout && !g.crashed[g.seqID])
+		(!recovering &&
+			(g.localSet[g.seqID] ||
+				(age < g.cfg.DetectTimeout && !g.crashed[g.seqID])))
 	g.mu.Unlock()
 	if n == nil {
 		return
@@ -1299,6 +1584,13 @@ func (g *Group) runTicks() {
 		g.mu.Lock()
 		seqID, view, floor := g.seqID, g.view, g.stampFloor
 		n := g.nodes[seqID]
+		if n != nil && g.crashed[seqID] {
+			// An ordered removal took this process's member out of the
+			// voter set while it was the sequencer: fall silent so the
+			// survivors' failure detector hands the role to the lowest
+			// remaining voter.
+			n = nil
+		}
 		g.mu.Unlock()
 		if n == nil {
 			tick = g.nextTick(tick, 0)
@@ -1316,7 +1608,7 @@ func (g *Group) runTicks() {
 			for _, env := range batch {
 				n.sequence(env, deadline)
 			}
-			for _, id := range g.cfg.Members {
+			for _, id := range g.Recipients() {
 				if g.isLocal(id) || !g.alive(id) {
 					continue
 				}
@@ -1328,7 +1620,7 @@ func (g *Group) runTicks() {
 		}
 		seqEnvs := n.sequenceBatch(batch, deadline, view)
 		hz := Envelope{Kind: EnvHorizon, View: view, From: Origin{Replica: seqID}, Stamp: deadline}
-		for _, id := range g.cfg.Members {
+		for _, id := range g.Recipients() {
 			if !g.alive(id) {
 				continue
 			}

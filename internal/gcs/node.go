@@ -314,7 +314,7 @@ func (n *Node) sequence(env Envelope, stamp time.Duration) {
 		// time, so every member admits the request under the same class.
 		out.Class = n.g.cfg.Classify(env.Payload)
 	}
-	for _, id := range n.g.Members() {
+	for _, id := range n.g.Recipients() {
 		if !n.g.alive(id) {
 			continue
 		}

@@ -1,0 +1,284 @@
+package member
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"detmt/internal/ids"
+)
+
+// DefaultActivationLag is the slot distance between a change's delivery
+// and its activation. The gap gives every voter time to open a link to
+// a joiner and gives the joiner's catch-up a stable target; the
+// proposer broadcasts Pad fillers after each change so the activation
+// slot is always reached even on an idle cluster.
+const DefaultActivationLag = 8
+
+// Pending is a staged change: delivered and agreed in the total order,
+// waiting for its activation slot.
+type Pending struct {
+	Change       Change `json:"change"`
+	ProposedSlot uint64 `json:"proposed_slot"`
+	ActivateSlot uint64 `json:"activate_slot"`
+	// Next is the configuration that activates (epoch, voter set).
+	Next Config `json:"next"`
+}
+
+// Snapshot is the JSON membership document served by the "members"
+// control verb and embedded in Status. A joining process seeds its
+// tracker from a donor's snapshot, then replays any later changes from
+// the tail — LastSlot records how far the donor had delivered when the
+// snapshot was cut, so replayed duplicates are detected and skipped.
+type Snapshot struct {
+	Epoch    uint64    `json:"epoch"`
+	Slot     uint64    `json:"slot"`
+	Hash     string    `json:"hash"`
+	Voters   []Member  `json:"voters"`
+	Learners []Member  `json:"learners,omitempty"`
+	Pending  []Pending `json:"pending,omitempty"`
+	LastSlot uint64    `json:"last_slot"`
+}
+
+// Tracker is one replica's slot-indexed view of the membership: the
+// history of activated configurations plus the chain of staged changes
+// still waiting for their activation slots. All mutations happen on
+// the deterministic delivery path (Stage at a change's delivery slot,
+// Advance at every delivered slot), so trackers on different replicas
+// never disagree.
+type Tracker struct {
+	mu      sync.Mutex
+	lag     uint64
+	history []Config  // ascending Slot; history[len-1] is active
+	pending []Pending // ascending ActivateSlot
+	last    uint64    // highest slot passed to Advance
+
+	// nextActivate caches the lowest pending ActivateSlot (^0 when no
+	// change is staged) so the per-delivery Advance check is one atomic
+	// load on the hot path.
+	nextActivate atomic.Uint64
+}
+
+// NewTracker starts a tracker from an initial (epoch-0 or snapshotted)
+// configuration. lag 0 selects DefaultActivationLag.
+func NewTracker(initial Config, lag uint64) *Tracker {
+	if lag == 0 {
+		lag = DefaultActivationLag
+	}
+	t := &Tracker{lag: lag, history: []Config{initial.Clone()}}
+	t.nextActivate.Store(^uint64(0))
+	return t
+}
+
+// NewTrackerFromSnapshot rebuilds a tracker from a donor's snapshot:
+// the active config plus every still-pending change, exactly as the
+// donor saw them.
+func NewTrackerFromSnapshot(snap Snapshot, lag uint64) *Tracker {
+	active := Config{Epoch: snap.Epoch, Slot: snap.Slot, Members: append([]Member(nil), snap.Voters...)}
+	t := NewTracker(active, lag)
+	t.mu.Lock()
+	for _, p := range snap.Pending {
+		p.Next = p.Next.Clone()
+		t.pending = append(t.pending, p)
+	}
+	t.last = snap.LastSlot
+	t.refreshNextLocked()
+	t.mu.Unlock()
+	return t
+}
+
+// Lag returns the activation lag in slots (the number of Pad fillers a
+// proposer must broadcast after a change).
+func (t *Tracker) Lag() uint64 {
+	return t.lag
+}
+
+// Reseed replaces the tracker's state with a donor's snapshot. A
+// joining replica calls it mid-recovery, after fetching the donor's
+// checkpoint: every change the donor saw up to snap.LastSlot is then
+// reflected here, and replayed duplicates from the tail fail Stage and
+// are dropped.
+func (t *Tracker) Reseed(snap Snapshot) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.history = []Config{{Epoch: snap.Epoch, Slot: snap.Slot, Members: append([]Member(nil), snap.Voters...)}}
+	t.pending = nil
+	for _, p := range snap.Pending {
+		p.Next = p.Next.Clone()
+		t.pending = append(t.pending, p)
+	}
+	if snap.LastSlot > t.last {
+		t.last = snap.LastSlot
+	}
+	t.refreshNextLocked()
+}
+
+func (t *Tracker) refreshNextLocked() {
+	if len(t.pending) == 0 {
+		t.nextActivate.Store(^uint64(0))
+		return
+	}
+	t.nextActivate.Store(t.pending[0].ActivateSlot)
+}
+
+// latestLocked is the config the next staged change applies to: the
+// tail of the pending chain, or the active config when nothing is
+// staged.
+func (t *Tracker) latestLocked() Config {
+	if n := len(t.pending); n > 0 {
+		return t.pending[n-1].Next
+	}
+	return t.history[len(t.history)-1]
+}
+
+// Validate dry-runs ch against the latest (active + pending) config,
+// returning the error a Stage at the next slot would produce. Proposal
+// paths use it to reject impossible changes before broadcasting.
+func (t *Tracker) Validate(ch Change) error {
+	if ch.Kind == Pad {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, err := t.latestLocked().Apply(ch, t.last+1)
+	return err
+}
+
+// Stage records a change delivered at slot: it chains onto the latest
+// staged config and activates at slot+lag. Pad changes and changes
+// already reflected (replayed from a snapshot-covered prefix) stage as
+// no-ops with an error the caller may log and drop. Every replica
+// calls Stage with identical (ch, slot) pairs, so the resulting
+// pending chains — and therefore all future configs — are identical.
+func (t *Tracker) Stage(ch Change, slot uint64) (Pending, error) {
+	if ch.Kind == Pad {
+		return Pending{}, fmt.Errorf("member: pad change is filler, nothing to stage")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	next, err := t.latestLocked().Apply(ch, slot+t.lag)
+	if err != nil {
+		return Pending{}, err
+	}
+	p := Pending{Change: ch, ProposedSlot: slot, ActivateSlot: slot + t.lag, Next: next}
+	t.pending = append(t.pending, p)
+	t.refreshNextLocked()
+	return p, nil
+}
+
+// Advance moves the tracker to slot, returning the configurations that
+// activate at or before it (oldest first). The caller applies each to
+// the group. The atomic fast path makes the common no-pending case one
+// load per delivered slot.
+func (t *Tracker) Advance(slot uint64) []Config {
+	if slot < t.nextActivate.Load() {
+		t.mu.Lock()
+		if slot > t.last {
+			t.last = slot
+		}
+		t.mu.Unlock()
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if slot > t.last {
+		t.last = slot
+	}
+	var out []Config
+	for len(t.pending) > 0 && t.pending[0].ActivateSlot <= slot {
+		t.history = append(t.history, t.pending[0].Next)
+		out = append(out, t.pending[0].Next)
+		t.pending = t.pending[1:]
+	}
+	t.refreshNextLocked()
+	return out
+}
+
+// Active returns the currently active configuration.
+func (t *Tracker) Active() Config {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.history[len(t.history)-1].Clone()
+}
+
+// At returns the configuration active at slot: the newest history
+// entry whose activation slot is <= slot.
+func (t *Tracker) At(slot uint64) Config {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := len(t.history) - 1; i >= 0; i-- {
+		if t.history[i].Slot <= slot {
+			return t.history[i].Clone()
+		}
+	}
+	return t.history[0].Clone()
+}
+
+// Pending returns the staged-but-not-yet-active changes, oldest first.
+func (t *Tracker) Pending() []Pending {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Pending, len(t.pending))
+	for i, p := range t.pending {
+		p.Next = p.Next.Clone()
+		out[i] = p
+	}
+	return out
+}
+
+// Learners returns the members introduced by pending changes — the
+// joiners riding outside the voter set until activation.
+func (t *Tracker) Learners() []Member {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Member
+	for _, p := range t.pending {
+		out = append(out, p.Change.Joins()...)
+	}
+	return out
+}
+
+// AddrOf resolves id's address across the active config, pending
+// joiners, and older history (a just-removed member's address is still
+// resolvable for draining replies).
+func (t *Tracker) AddrOf(id ids.ReplicaID) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if a := t.history[len(t.history)-1].Addr(id); a != "" {
+		return a
+	}
+	for _, p := range t.pending {
+		for _, m := range p.Change.Joins() {
+			if m.ID == id {
+				return m.Addr
+			}
+		}
+	}
+	for i := len(t.history) - 2; i >= 0; i-- {
+		if a := t.history[i].Addr(id); a != "" {
+			return a
+		}
+	}
+	return ""
+}
+
+// Snapshot captures the tracker for the "members" control verb and for
+// seeding a joiner.
+func (t *Tracker) Snapshot() Snapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	active := t.history[len(t.history)-1]
+	s := Snapshot{
+		Epoch:    active.Epoch,
+		Slot:     active.Slot,
+		Hash:     fmt.Sprintf("%016x", active.Hash()),
+		Voters:   append([]Member(nil), active.Members...),
+		LastSlot: t.last,
+	}
+	for _, p := range t.pending {
+		p.Next = p.Next.Clone()
+		s.Pending = append(s.Pending, p)
+		s.Learners = append(s.Learners, p.Change.Joins()...)
+	}
+	return s
+}

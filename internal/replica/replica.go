@@ -14,6 +14,7 @@ import (
 	"detmt/internal/gcs"
 	"detmt/internal/ids"
 	"detmt/internal/lang"
+	"detmt/internal/member"
 	"detmt/internal/metrics"
 	"detmt/internal/vclock"
 )
@@ -116,6 +117,17 @@ type Config struct {
 	// cache can serve several source shards without key collisions:
 	// request ids are only unique within a group's total order.
 	IdemPrefix string
+	// OnSlot, when set, is called with every delivered total-order slot
+	// before the payload is handled. It runs on the deterministic
+	// delivery path (live and replayed alike), which is what lets the
+	// membership tracker activate configuration changes at the same
+	// slot on every replica.
+	OnSlot func(seq uint64)
+	// OnConfigChange, when set, receives membership changes delivered
+	// through the total order (wire v7 ConfigChange payloads) together
+	// with their delivery slot. Like OnSlot it runs on the
+	// deterministic delivery path.
+	OnConfigChange func(seq uint64, ch member.Change)
 }
 
 // Replica is one member of a replicated object group.
@@ -340,6 +352,18 @@ func (r *Replica) onDeliver(m gcs.Message) {
 	r.log = append(r.log, LogEntry{At: r.cfg.Clock.Now(), Msg: m})
 	r.lastSeq = m.Seq
 	r.mu.Unlock()
+	if r.cfg.OnSlot != nil {
+		r.cfg.OnSlot(m.Seq)
+	}
+	if ch, ok := m.Payload.(member.Change); ok {
+		// Membership changes are meta-traffic: they never reach the
+		// scheduler or the object, so they perturb neither the thread
+		// interleaving nor the consistency hash.
+		if r.cfg.OnConfigChange != nil && ch.Kind != member.Pad {
+			r.cfg.OnConfigChange(m.Seq, ch)
+		}
+		return
+	}
 	if su, ok := m.Payload.(StateUpdate); ok {
 		r.applyCheckpoint(su)
 		return

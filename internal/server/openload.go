@@ -12,6 +12,7 @@ import (
 
 	"detmt/internal/gcs"
 	"detmt/internal/ids"
+	"detmt/internal/member"
 	"detmt/internal/metrics"
 	"detmt/internal/replica"
 	"detmt/internal/vclock"
@@ -337,23 +338,39 @@ func RunOpenLoad(o OpenLoadOptions) (*OpenLoadResult, error) {
 }
 
 // startViewPoller watches the members' status endpoints and installs any
-// newer view into the client-only group (a process hosting no replicas
-// receives no stamped heartbeats, so it cannot observe a takeover on its
-// own). Returns a stop function.
+// newer view — and any newer membership epoch — into the client-only
+// group (a process hosting no replicas receives no stamped heartbeats,
+// so it cannot observe a takeover or a reconfiguration on its own). The
+// boot server list is just the first hop: reported joiners get transport
+// links and enter the polled set, so a client survives every original
+// member being replaced. Returns a stop function.
 func startViewPoller(tr *wire.TCP, g *gcs.Group, servers map[ids.ReplicaID]string,
 	logf func(string, ...interface{})) func() {
+	// Private copy: callers keep using their map for result polling; the
+	// poller's grows with the cluster.
+	known := make(map[ids.ReplicaID]string, len(servers))
+	for id, a := range servers {
+		known[id] = a
+	}
 	stop := make(chan struct{})
 	go func() {
 		ticker := time.NewTicker(100 * time.Millisecond)
 		defer ticker.Stop()
+		var mu sync.Mutex // guards known across the per-member goroutines
 		for {
 			select {
 			case <-stop:
 				return
 			case <-ticker.C:
 			}
+			mu.Lock()
+			polled := make([]ids.ReplicaID, 0, len(known))
+			for id := range known {
+				polled = append(polled, id)
+			}
+			mu.Unlock()
 			var wg sync.WaitGroup
-			for id := range servers {
+			for _, id := range polled {
 				wg.Add(1)
 				go func(id ids.ReplicaID) {
 					defer wg.Done()
@@ -371,12 +388,49 @@ func startViewPoller(tr *wire.TCP, g *gcs.Group, servers map[ids.ReplicaID]strin
 						}
 						g.AdoptView(st.View, st.Sequencer)
 					}
+					mu.Lock()
+					adoptClusterShape(tr, g, known, st.Membership, logf)
+					mu.Unlock()
 				}(id)
 			}
 			wg.Wait()
 		}
 	}()
 	return func() { close(stop) }
+}
+
+// adoptClusterShape folds one member's reported membership snapshot into
+// a client-side stack: newly reported voters and pending joiners get
+// transport links and join the known set, and the client-only group's
+// voter set advances to the reported epoch — so Broadcast keeps
+// forwarding to a sequencer that actually exists after the member the
+// client booted against is removed. Epoch gating makes stale and
+// duplicate reports no-ops, so polling many members is safe.
+func adoptClusterShape(tr *wire.TCP, g *gcs.Group, known map[ids.ReplicaID]string,
+	snap *member.Snapshot, logf func(string, ...interface{})) {
+	if snap == nil || len(snap.Voters) == 0 {
+		return
+	}
+	for _, m := range snap.Learners {
+		if _, ok := known[m.ID]; !ok && m.Addr != "" {
+			tr.AddPeer(m.ID, m.Addr)
+			known[m.ID] = m.Addr
+		}
+	}
+	if snap.Epoch <= g.MembershipEpoch() {
+		return
+	}
+	voters := make([]ids.ReplicaID, 0, len(snap.Voters))
+	for _, m := range snap.Voters {
+		voters = append(voters, m.ID)
+		if _, ok := known[m.ID]; !ok && m.Addr != "" {
+			tr.AddPeer(m.ID, m.Addr)
+			known[m.ID] = m.Addr
+		}
+	}
+	if g.ApplyMembership(snap.Epoch, voters, false) && logf != nil {
+		logf("client: adopted membership epoch %d: voters %v", snap.Epoch, voters)
+	}
 }
 
 // CeilingStep records one rung of the ceiling search.

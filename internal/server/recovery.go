@@ -8,6 +8,7 @@ import (
 	"detmt/internal/core"
 	"detmt/internal/gcs"
 	"detmt/internal/ids"
+	"detmt/internal/member"
 	"detmt/internal/recovery"
 	"detmt/internal/replica"
 )
@@ -47,7 +48,15 @@ func (s *Server) captureCheckpoint(seq uint64) {
 }
 
 const (
+	// fetchTimeout bounds the bulk checkpoint transfer only. Every other
+	// recovery RPC is small (a status/members blob, one tail batch) and
+	// uses metaTimeout: the wire layer queues into a reconnecting link
+	// and waits the FULL timeout when the peer is dead, so a generous
+	// bound here would stall donor rotation for its entire duration —
+	// a learner whose donor dies mid-bootstrap must move to the next
+	// donor in seconds, not tens of seconds.
 	fetchTimeout  = 10 * time.Second
+	metaTimeout   = 2 * time.Second
 	tailBatchMax  = 2048
 	gapHealRounds = 400 // ~20s of 50ms polls before restarting recovery
 )
@@ -55,16 +64,19 @@ const (
 // runRecovery drives the rejoin state machine, cycling through donor
 // peers until one attempt succeeds.
 func (s *Server) runRecovery() {
-	donors := make([]ids.ReplicaID, 0, len(s.o.Peers))
-	for id := range s.o.Peers {
-		donors = append(donors, id)
-	}
-	sortReplicaIDs(donors)
 	for attempt := 0; ; attempt++ {
 		select {
 		case <-s.stop:
 			return
 		default:
+		}
+		// Recomputed per attempt: a membership snapshot adopted during a
+		// failed attempt may have revealed voters the boot peer map never
+		// knew about.
+		donors := s.donorList()
+		if len(donors) == 0 {
+			time.Sleep(250 * time.Millisecond)
+			continue
 		}
 		donor := donors[attempt%len(donors)]
 		if s.tryRecover(donor) {
@@ -88,7 +100,7 @@ func (s *Server) tryRecover(donor ids.ReplicaID) bool {
 	// tick loop could conclude it still holds the role and fork the
 	// order.
 	var donorStatus Status
-	if b, err := s.tr.Control(donor, []byte("status"), fetchTimeout); err != nil {
+	if b, err := s.tr.Control(donor, []byte("status"), metaTimeout); err != nil {
 		logf("server %v: status fetch from %v: %v", s.o.ID, donor, err)
 		return false
 	} else if err := json.Unmarshal(b, &donorStatus); err != nil {
@@ -136,19 +148,33 @@ func (s *Server) tryRecover(donor ids.ReplicaID) bool {
 		}
 	}
 
+	// Adopt the donor's membership AFTER the checkpoint fetch: the donor
+	// only moves forward, so its snapshot covers every change delivered
+	// at or before the checkpoint slot — later ones replay from the tail
+	// and duplicates fail Stage deterministically. A fetch failure is
+	// tolerable (a static cluster's snapshot equals our boot config).
+	if b, err := s.tr.Control(donor, []byte("members"), metaTimeout); err == nil {
+		var snap member.Snapshot
+		if json.Unmarshal(b, &snap) == nil && len(snap.Voters) > 0 {
+			s.adoptMembership(snap)
+		}
+	} else {
+		logf("server %v: membership fetch from %v: %v (keeping boot config)", s.o.ID, donor, err)
+	}
+
 	// An LSA follower additionally needs the leader's scheduling
 	// decisions issued since the checkpoint: its scheduler replays the
 	// tail under exactly the decision stream the survivors followed, so
 	// the rejoined trace hash matches theirs bit for bit.
 	if s.o.Scheduler == replica.KindLSA && !s.rep.IsLSALeader() {
 		leader := s.o.ID
-		for id := range s.o.Peers {
-			if id < leader {
-				leader = id
+		for _, m := range s.memb.Active().Members {
+			if m.ID < leader {
+				leader = m.ID
 			}
 		}
 		for from := lsaFed + uint64(len(lsaDecs)) + 1; ; {
-			decs, more, ok, err := s.tr.FetchDecisions(leader, from, tailBatchMax, fetchTimeout)
+			decs, more, ok, err := s.tr.FetchDecisions(leader, from, tailBatchMax, metaTimeout)
 			if err != nil {
 				logf("server %v: decision fetch from %v: %v", s.o.ID, leader, err)
 				return false
@@ -174,13 +200,14 @@ func (s *Server) tryRecover(donor ids.ReplicaID) bool {
 	// keeps delivering while we fetch, so a gap between the fetched tail
 	// and the buffer closes by polling again.
 	var tail []gcs.Envelope
+	promoted := false
 	for round := 0; ; round++ {
 		if round > gapHealRounds {
 			logf("server %v: catch-up gap to %v did not close, restarting recovery", s.o.ID, donor)
 			return false
 		}
 		from := next + uint64(len(tail))
-		envs, more, ok, err := s.tr.FetchTail(donor, from, tailBatchMax, fetchTimeout)
+		envs, more, ok, err := s.tr.FetchTail(donor, from, tailBatchMax, metaTimeout)
 		if err != nil {
 			logf("server %v: tail fetch from %v: %v", s.o.ID, donor, err)
 			return false
@@ -196,8 +223,46 @@ func (s *Server) tryRecover(donor ids.ReplicaID) bool {
 			continue
 		}
 		bmin, _, bcount := s.group.BufferedSeqRange()
-		if bcount == 0 || bmin <= next+uint64(len(tail)) {
-			break // tail reaches the buffered live stream (or nothing is live)
+		if bcount == 0 {
+			if !s.o.Learner || promoted {
+				// A rejoining voter receives fan-out from the moment its
+				// transport reconnects, so an empty buffer means nothing was
+				// sequenced since — the tail is complete. The same holds for
+				// a learner once its Add has ACTIVATED at the donor: the
+				// voters opened links at stage time, so anything sequenced
+				// after this iteration's fetch would have been buffered.
+				break
+			}
+			// A LEARNER receives no fan-out until its AddReplica is staged
+			// at the sequencer: an empty buffer proves nothing, slots may
+			// still be sequenced without us. Keep extending the donor tail
+			// until the live stream demonstrably reaches this process (the
+			// proposal's Pad fillers guarantee post-staging traffic). The
+			// pads can ALSO lose a race against the voters' dial to this
+			// process and the cluster then go idle — so periodically ask
+			// the donor whether our promotion already happened; if it did,
+			// take one more tail round and close under voter semantics.
+			if round%10 == 9 {
+				if b, err := s.tr.Control(donor, []byte("members"), metaTimeout); err == nil {
+					var snap member.Snapshot
+					if err := json.Unmarshal(b, &snap); err == nil {
+						for _, m := range snap.Voters {
+							if m.ID == s.o.ID {
+								promoted = true
+							}
+						}
+					}
+				}
+				if promoted {
+					logf("server %v: add activated at %v while catching up; closing the tail as a voter", s.o.ID, donor)
+					continue
+				}
+			}
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		if bmin <= next+uint64(len(tail)) {
+			break // tail reaches the buffered live stream
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
@@ -221,11 +286,6 @@ func (s *Server) tryRecover(donor ids.ReplicaID) bool {
 func (s *Server) runGossip(interval time.Duration) {
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
-	peers := make([]ids.ReplicaID, 0, len(s.o.Peers))
-	for id := range s.o.Peers {
-		peers = append(peers, id)
-	}
-	sortReplicaIDs(peers)
 	for {
 		select {
 		case <-s.stop:
@@ -236,7 +296,22 @@ func (s *Server) runGossip(interval time.Duration) {
 		state := s.recState
 		s.stateMu.Unlock()
 		if state != "caught_up" {
-			continue // nothing to compare while recovering; stay put when halted
+			continue // nothing to compare while recovering, halted, or removed
+		}
+		// Recomputed per round: gossip majorities must be judged against
+		// the configuration active NOW, not the boot membership.
+		active := s.memb.Active()
+		var peers []ids.ReplicaID
+		selfVoter := false
+		for _, m := range active.Members {
+			if m.ID == s.o.ID {
+				selfVoter = true
+				continue
+			}
+			peers = append(peers, m.ID)
+		}
+		if !selfVoter || len(peers) == 0 {
+			continue // removed members and singletons have no quorum to poll
 		}
 		mine := s.mgr.Points()
 		if len(mine) == 0 {

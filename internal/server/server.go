@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -25,6 +26,7 @@ import (
 	"detmt/internal/gcs"
 	"detmt/internal/ids"
 	"detmt/internal/lang"
+	"detmt/internal/member"
 	"detmt/internal/recovery"
 	"detmt/internal/replica"
 	"detmt/internal/vclock"
@@ -61,10 +63,20 @@ type Options struct {
 	Listen   string
 	Listener net.Listener
 	// Peers maps every OTHER member's replica id to its address. The
-	// membership is static: sorted(keys(Peers) + ID). The lowest member
-	// is the sequencer (and LSA leader); its process runs the stamped
-	// sequencing tick loop.
+	// boot membership is sorted(keys(Peers) + ID); the lowest member is
+	// the initial sequencer (and LSA leader) and its process runs the
+	// stamped sequencing tick loop. At runtime the membership can
+	// change: AddReplica/RemoveReplica/ReplaceReplica changes proposed
+	// through any member ride the total order and activate on every
+	// replica at the same slot (see internal/member).
 	Peers map[ids.ReplicaID]string
+	// Learner starts this process as a catch-up learner joining a live
+	// cluster: its own id is NOT part of the voter set (Peers lists the
+	// current voters), it bootstraps through the recovery path (implies
+	// Recover), receives the sequenced fan-out once its AddReplica
+	// change is delivered, and is promoted to voter at that change's
+	// activation slot. cmd/detmt-server's -join flag sets this up.
+	Learner bool
 	// Scheduler selects the deterministic multithreading strategy.
 	Scheduler replica.SchedulerKind
 	// Workload parameterises the Fig. 1 benchmark object every server
@@ -140,6 +152,13 @@ type Options struct {
 	// SeqRetention bounds the sequenced-log tail retained for serving a
 	// rejoining peer's catch-up (see gcs.Config.SeqRetention).
 	SeqRetention int
+
+	// DetectTimeout is the sequencer-silence window of the failure
+	// detector (0 applies the gcs default, 50ms). Deployments on flaky
+	// links raise it: a partition shorter than this window never deposes
+	// a live sequencer, and a follower partitioned for less than it
+	// rejoins the stream without a view change.
+	DetectTimeout time.Duration
 
 	// DataDir persists checkpoints and the restart-epoch counter for
 	// crash recovery. "" keeps checkpoints in memory only (the process
@@ -234,6 +253,9 @@ type Status struct {
 	// retries, error/timeout/fast-fail counts, re-performs after a
 	// takeover, circuit-breaker state, and call latency.
 	Nested replica.NestedMetrics `json:"nested"`
+	// Membership is the slot-indexed configuration this member considers
+	// active: epoch, config hash, voters, learners and pending changes.
+	Membership *member.Snapshot `json:"membership,omitempty"`
 	// Classes reports the class-aware admission counters (nil unless the
 	// server runs with EarlySched).
 	Classes *ClassStatus `json:"classes,omitempty"`
@@ -266,6 +288,7 @@ type Server struct {
 	group   *gcs.Group
 	rep     *replica.Replica
 	mgr     *recovery.Manager
+	memb    *member.Tracker
 	backend backend.ExternalBackend // non-nil when Options.Backend is set
 
 	stop     chan struct{}
@@ -274,6 +297,7 @@ type Server struct {
 	stateMu    sync.Mutex
 	ready      bool // group/replica fully constructed (callback guard)
 	recState   string
+	wasMember  bool // self was in the last active config (removal = member→non-member)
 	replayed   int
 	gossipLag  uint64
 	diagnostic string
@@ -309,12 +333,23 @@ func New(o Options) (*Server, error) {
 	if o.NestedLatency == 0 {
 		o.NestedLatency = 12 * time.Millisecond
 	}
-	members := []ids.ReplicaID{o.ID}
+	if o.Learner {
+		// A learner can only materialise by catching up with the live
+		// stream it missed; there is no fresh-start learner.
+		o.Recover = true
+	}
+	var members []ids.ReplicaID
+	if !o.Learner {
+		members = append(members, o.ID)
+	}
 	for id := range o.Peers {
 		if id == o.ID {
 			return nil, fmt.Errorf("server: peer map contains own id %v", o.ID)
 		}
 		members = append(members, id)
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("server: a learner needs at least one voter peer")
 	}
 	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
 
@@ -336,6 +371,24 @@ func New(o Options) (*Server, error) {
 	if o.Recover {
 		s.recState = "recovering"
 	}
+	// The boot membership config (epoch 0, slot 0). A joiner's tracker
+	// is reseeded from a donor snapshot during recovery; everyone else's
+	// evolves only through ordered ConfigChange deliveries, so all
+	// trackers agree at every slot.
+	selfAddr := o.Listen
+	if o.Listener != nil {
+		selfAddr = o.Listener.Addr().String()
+	}
+	mm := make([]member.Member, 0, len(members))
+	for _, id := range members {
+		addr := o.Peers[id]
+		if id == o.ID {
+			addr = selfAddr
+		}
+		mm = append(mm, member.Member{ID: id, Addr: addr})
+	}
+	s.memb = member.NewTracker(member.Config{Members: mm}, 0)
+	s.wasMember = !o.Learner // a learner's boot config excludes itself
 	// The sequencer process leads the virtual timeline (unbounded
 	// horizon); followers advance only up to the stamps and heartbeats
 	// it publishes. Pacing must be on before the group starts its tick
@@ -371,7 +424,16 @@ func New(o Options) (*Server, error) {
 		OnPeerUp: func(name string) {
 			id, ok := idByName[name]
 			if !ok {
-				return
+				// Dynamically added peers are not in the boot map; their
+				// wire names are canonical ("R<id>").
+				if !strings.HasPrefix(name, "R") {
+					return
+				}
+				n, err := strconv.Atoi(strings.TrimPrefix(name, "R"))
+				if err != nil || n <= 0 {
+					return
+				}
+				id = ids.ReplicaID(n)
 			}
 			s.stateMu.Lock()
 			ready := s.ready
@@ -390,6 +452,13 @@ func New(o Options) (*Server, error) {
 	}
 	s.tr = tr
 
+	var learners []ids.ReplicaID
+	if o.Learner {
+		// This process rides outside the voter set until its AddReplica
+		// change activates; the group still builds it a local node so it
+		// can consume the sequenced fan-out.
+		learners = []ids.ReplicaID{o.ID}
+	}
 	gcfg := gcs.Config{
 		Clock:          s.clock,
 		Group:          o.Group,
@@ -405,6 +474,8 @@ func New(o Options) (*Server, error) {
 		NoGroupCommit:  o.NoGroupCommit,
 		Recovering:     o.Recover,
 		SeqRetention:   o.SeqRetention,
+		DetectTimeout:  o.DetectTimeout,
+		Learners:       learners,
 		Logf:           o.Logf,
 		FetchGap: func(donor ids.ReplicaID, from uint64, max int) []gcs.Envelope {
 			envs, _, _, err := tr.FetchTail(donor, from, max, fetchTimeout)
@@ -465,6 +536,8 @@ func New(o Options) (*Server, error) {
 		CheckpointEvery:  o.CheckpointEvery,
 		CheckpointSink:   s.captureCheckpoint,
 		IdemPrefix:       o.IdemPrefix,
+		OnSlot:           s.onSlot,
+		OnConfigChange:   s.onConfigChange,
 	})
 	switch {
 	case o.Families != nil:
@@ -580,6 +653,8 @@ func (s *Server) Status() Status {
 		st.State = v
 	}
 	st.Classes = s.classStatus()
+	snap := s.memb.Snapshot()
+	st.Membership = &snap
 	return st
 }
 
@@ -646,6 +721,17 @@ func (s *Server) handleControl(req []byte) []byte {
 			return []byte(`{"error":"not sharded"}`)
 		}
 		return s.o.OnShards()
+	case cmd == "members":
+		return marshalControl(s.memb.Snapshot())
+	case strings.HasPrefix(cmd, "memberchange "):
+		var ch member.Change
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(cmd, "memberchange ")), &ch); err != nil {
+			return []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
+		}
+		if err := s.ProposeChange(ch); err != nil {
+			return []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
+		}
+		return []byte(`{"proposed":true}`)
 	case strings.HasPrefix(cmd, "chaos "):
 		if s.o.OnChaos == nil {
 			return []byte(`{"error":"chaos not enabled"}`)
@@ -681,6 +767,9 @@ func (s *Server) DetachBackend() {
 func (s *Server) Close() error {
 	s.stopOnce.Do(func() { close(s.stop) })
 	if s.o.Logf != nil {
+		ms := s.memb.Snapshot()
+		s.o.Logf("member: shutdown: epoch=%d config=%s voters=%d learners=%d pending=%d",
+			ms.Epoch, ms.Hash, len(ms.Voters), len(ms.Learners), len(ms.Pending))
 		if cs := s.classStatus(); cs != nil {
 			s.o.Logf("earlysched: shutdown: active_classes=%d escalations=%d merge_stalls=%d parallel=%d serial=%d parallel_ratio=%.2f",
 				cs.ActiveClasses, cs.Escalations, cs.MergeStalls, cs.ParallelCommits, cs.SerialCommits, cs.ParallelRatio)

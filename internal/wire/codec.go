@@ -18,6 +18,7 @@ import (
 	"detmt/internal/gcs"
 	"detmt/internal/ids"
 	"detmt/internal/lang"
+	"detmt/internal/member"
 	"detmt/internal/replica"
 )
 
@@ -27,7 +28,7 @@ import (
 // the golden-bytes test in codec_test.go pins the current format.
 const (
 	Magic   = "DTMT"
-	Version = uint16(6) // v6: hellos carry the sender's shard group tag (sharded scale-out)
+	Version = uint16(7) // v7: membership ConfigChange payloads (dynamic reconfiguration)
 )
 
 // Frame kinds.
@@ -63,6 +64,7 @@ const (
 	tagDummy         = byte(5)
 	tagLSADecision   = byte(6)
 	tagString        = byte(7) // debugging / test payloads
+	tagConfigChange  = byte(8) // v7: membership change riding the total order
 )
 
 // lang.Value tags.
@@ -315,6 +317,12 @@ func appendPayload(b []byte, p gcs.Payload) ([]byte, error) {
 		return appendU64(b, uint64(x.Event.Thread)), nil
 	case string:
 		return appendString(append(b, tagString), x), nil
+	case member.Change:
+		b = append(b, tagConfigChange)
+		b = append(b, byte(x.Kind))
+		b = appendI64(b, int64(x.ID))
+		b = appendI64(b, int64(x.NewID))
+		return appendString(b, x.Addr), nil
 	default:
 		return b, fmt.Errorf("wire: unencodable payload type %T", p)
 	}
@@ -366,6 +374,13 @@ func (r *reader) payload() gcs.Payload {
 		}}
 	case tagString:
 		return r.str()
+	case tagConfigChange:
+		return member.Change{
+			Kind:  member.ChangeKind(r.u8()),
+			ID:    ids.ReplicaID(r.i64()),
+			NewID: ids.ReplicaID(r.i64()),
+			Addr:  r.str(),
+		}
 	default:
 		if r.err == nil {
 			r.err = fmt.Errorf("wire: unknown payload tag %d", tag)

@@ -12,6 +12,7 @@ import (
 	"detmt/internal/gcs"
 	"detmt/internal/ids"
 	"detmt/internal/lang"
+	"detmt/internal/member"
 	"detmt/internal/replica"
 )
 
@@ -38,7 +39,7 @@ func randOrigin(rng *rand.Rand) gcs.Origin {
 }
 
 func randPayload(rng *rand.Rand) gcs.Payload {
-	switch rng.Intn(8) {
+	switch rng.Intn(9) {
 	case 0:
 		return nil
 	case 1:
@@ -81,6 +82,18 @@ func randPayload(rng *rand.Rand) gcs.Payload {
 			Mutex:  ids.MutexID(rng.Intn(16)),
 			Thread: ids.ThreadID(rng.Uint64()),
 		}}
+	case 7:
+		ch := member.Change{
+			Kind: member.ChangeKind(1 + rng.Intn(4)),
+			ID:   ids.ReplicaID(1 + rng.Intn(8)),
+		}
+		if ch.Kind == member.Add || ch.Kind == member.Replace {
+			ch.Addr = "127.0.0.1:7421"
+		}
+		if ch.Kind == member.Replace {
+			ch.NewID = ids.ReplicaID(10 + rng.Intn(8))
+		}
+		return ch
 	default:
 		return "probe payload"
 	}
@@ -224,8 +237,8 @@ func TestGoldenBytes(t *testing.T) {
 	if err := writePreamble(&pre); err != nil {
 		t.Fatal(err)
 	}
-	// v6: hellos carry the sender's shard group tag.
-	if got, want := hex.EncodeToString(pre.Bytes()), "44544d540006"; got != want {
+	// v7: membership ConfigChange payloads ride the total order.
+	if got, want := hex.EncodeToString(pre.Bytes()), "44544d540007"; got != want {
 		t.Errorf("preamble drifted:\n  got  %s\n  want %s", got, want)
 	}
 
@@ -252,5 +265,32 @@ func TestGoldenBytes(t *testing.T) {
 	const want = "01000000000000000700000000000000090102030405060708010000000000000000000000000000000200000000000000000100000000000000000000000000000000030000000000000000000000000ee6b2800000000301000000020000000500000004666967310000000401000000000000000402000000000000000103000000000000000100"
 	if got := hex.EncodeToString(b); got != want {
 		t.Errorf("envelope encoding drifted:\n  got  %s\n  want %s", got, want)
+	}
+
+	// v7 ConfigChange payload: tag 08, kind, outgoing id, incoming id,
+	// incoming address.
+	chEnv := gcs.Envelope{
+		Kind:   gcs.EnvSequenced,
+		Seq:    11,
+		View:   2,
+		UID:    0x1122334455667788,
+		Origin: gcs.Origin{Replica: 1},
+		From:   gcs.Origin{Replica: 1},
+		To:     gcs.Origin{Replica: 4},
+		Stamp:  125 * time.Millisecond,
+		Payload: member.Change{
+			Kind:  member.Replace,
+			ID:    2,
+			NewID: 4,
+			Addr:  "127.0.0.1:7424",
+		},
+	}
+	b, err = AppendEnvelope(nil, chEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantCh = "01000000000000000b000000000000000211223344556677880000000000000000010000000000000000000000000000000001000000000000000000000000000000000400000000000000000000000007735940000000000803000000000000000200000000000000040000000e3132372e302e302e313a37343234"
+	if got := hex.EncodeToString(b); got != wantCh {
+		t.Errorf("ConfigChange encoding drifted:\n  got  %s\n  want %s", got, wantCh)
 	}
 }

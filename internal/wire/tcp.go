@@ -670,6 +670,25 @@ func (t *TCP) DropPeer(id ids.ReplicaID) {
 	pl.mu.Unlock()
 }
 
+// AddPeer starts dialing a replica that was not in the endpoint's
+// initial peer map — the transport half of dynamic membership: when a
+// ConfigChange introduces a member, every existing process adds a link
+// to it so sequenced traffic and horizon multicasts reach the joiner
+// while it is still a learner. Idempotent; a no-op for an already
+// known peer or a closed endpoint.
+func (t *TCP) AddPeer(id ids.ReplicaID, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed || t.peers[id] != nil {
+		return
+	}
+	pl := newPeerLink(t, id, addr)
+	t.peers[id] = pl
+	t.wg.Add(1)
+	go pl.run()
+	t.o.Logf("wire: added peer %v at %s", id, addr)
+}
+
 // RetransmitDropped returns the total number of frames shed by the
 // MaxUnacked retransmission bound across all peer links.
 func (t *TCP) RetransmitDropped() uint64 {

@@ -12,6 +12,13 @@
 #                             ceilings and fails on a >10% drop vs the
 #                             committed BENCH_PR9.json; wall timing-sensitive,
 #                             so not part of the default run)
+#   scripts/check.sh -soak    the long mixed-chaos soak only: seeded
+#                             transport partitions + a replica kill/rejoin +
+#                             a backend error-rate episode + one live
+#                             membership change, all under continuous load;
+#                             fails on any lost client reply or hash
+#                             divergence. DETMT_SOAK_SECS tunes the dwell
+#                             time (default 20s; CI's nightly job uses 300).
 set -eu
 cd "$(dirname "$0")/.."
 short=""
@@ -21,6 +28,10 @@ if [ "${1:-}" = "-short" ]; then
 fi
 if [ "${1:-}" = "-bench" ]; then
 	bench="yes"
+fi
+if [ "${1:-}" = "-soak" ]; then
+	echo "check.sh: mixed-chaos soak (DETMT_SOAK_SECS=${DETMT_SOAK_SECS:-20})" >&2
+	DETMT_SOAK=1 exec go test -race -count=1 -run 'TestMixedChaosSoak' -timeout 30m -v ./internal/server/
 fi
 go build ./...
 go vet ./...
